@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark harness.
+
+Benchmarks regenerate every table and figure of the paper's evaluation at
+a CI-friendly scale.  Design-time artifacts are cached in a repo-local
+directory (``.repro_cache``) so repeated benchmark invocations skip the
+expensive oracle-trace collection and RL pre-training.
+
+Set ``REPRO_BENCH_SCALE=paper`` to run the full-size configurations
+instead of the smoke ones (hours instead of minutes).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.assets import AssetConfig, AssetStore
+from repro.platform import hikey970
+
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "smoke")
+CACHE_DIR = os.path.join(os.path.dirname(__file__), os.pardir, ".repro_cache")
+
+
+def paper_scale() -> bool:
+    return BENCH_SCALE == "paper"
+
+
+@pytest.fixture(scope="session")
+def platform():
+    return hikey970()
+
+
+@pytest.fixture(scope="session")
+def assets(platform):
+    if paper_scale():
+        config = AssetConfig.paper(cache_dir=CACHE_DIR)
+    else:
+        config = AssetConfig.smoke(cache_dir=CACHE_DIR)
+    store = AssetStore(platform, config)
+    store.dataset()
+    store.models()
+    store.qtables()
+    return store
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

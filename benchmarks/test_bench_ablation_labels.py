@@ -1,0 +1,49 @@
+"""Ablations of the IL training-data design: labels and features.
+
+These quantify two silent design choices of the paper: the Eq.-4 soft
+labels (vs. hard one-hot labels) and the f_tilde_{x\\AoI} features.
+"""
+
+import pytest
+from conftest import paper_scale, run_once
+
+from repro.experiments.ablation import (
+    AblationConfig,
+    _collect_grids,
+    run_feature_ablation,
+    run_label_ablation,
+)
+
+
+@pytest.fixture(scope="module")
+def ablation_setup(assets):
+    config = AblationConfig.paper() if paper_scale() else AblationConfig.smoke()
+    return config, _collect_grids(assets, config)
+
+
+def test_bench_ablation_labels(benchmark, assets, ablation_setup):
+    config, grids = ablation_setup
+    result = run_once(benchmark, lambda: run_label_ablation(assets, config, grids))
+    print("\n[Ablation] Soft vs hard labels")
+    print(result.report())
+    soft = result.get("soft alpha=1 (paper)")
+    hard = result.get("hard one-hot")
+    # The paper's soft labels must not lose to hard one-hot labels.
+    assert soft.within_1c >= hard.within_1c - 0.02
+    benchmark.extra_info["soft_within"] = soft.within_1c
+    benchmark.extra_info["hard_within"] = hard.within_1c
+
+
+def test_bench_ablation_features(benchmark, assets, ablation_setup):
+    config, grids = ablation_setup
+    result = run_once(
+        benchmark, lambda: run_feature_ablation(assets, config, grids)
+    )
+    print("\n[Ablation] Feature importance")
+    print(result.report())
+    full = result.get("full features (paper)")
+    reduced = result.get("no f_wo_aoi, no L2D")
+    # Dropping information must not *improve* the mean excess noticeably.
+    assert full.excess_c <= reduced.excess_c + 0.1
+    benchmark.extra_info["full_within"] = full.within_1c
+    benchmark.extra_info["reduced_within"] = reduced.within_1c

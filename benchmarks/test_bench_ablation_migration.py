@@ -1,0 +1,25 @@
+"""Ablation: one migration per epoch vs. greedy multi-migration."""
+
+from conftest import paper_scale, run_once
+
+from repro.experiments.ablation import (
+    AblationConfig,
+    run_migration_granularity_ablation,
+)
+
+
+def test_bench_ablation_migration_granularity(benchmark, assets):
+    config = AblationConfig.paper() if paper_scale() else AblationConfig.smoke()
+    result = run_once(
+        benchmark, lambda: run_migration_granularity_ablation(assets, config)
+    )
+    print("\n[Ablation] Migration granularity")
+    print(result.report())
+    one = result.get("one per epoch (paper)")
+    greedy = result.get("greedy multi-migration")
+    # The paper's choice must not lose on QoS, and greedy migrates at
+    # least as often (each extra move risks interacting transients).
+    assert one[2] <= greedy[2]
+    assert greedy[3] >= one[3]
+    benchmark.extra_info["one_per_epoch_migrations"] = one[3]
+    benchmark.extra_info["greedy_migrations"] = greedy[3]

@@ -1,0 +1,31 @@
+"""Ablation: measurement noise vs. label sharpness (the alpha trade-off)."""
+
+from conftest import paper_scale, run_once
+
+from repro.experiments.ablation import AblationConfig, run_noise_ablation
+
+
+def test_bench_ablation_noise(benchmark, assets):
+    config = AblationConfig.paper() if paper_scale() else AblationConfig.smoke()
+    result = run_once(
+        benchmark,
+        lambda: run_noise_ablation(
+            assets, config, noise_stds_c=(0.0, 1.0), alphas=(0.5, 2.0)
+        ),
+    )
+    print("\n[Ablation] Measurement noise x label alpha")
+    print(result.report())
+    # Sec. 4.2's claim: sharper labels (high alpha) are more susceptible
+    # to measurement noise.  The degradation under noise must be at least
+    # as bad for alpha=2 as for alpha=0.5.
+    drop_sharp = (
+        result.get("noise=0.0C alpha=2").within_1c
+        - result.get("noise=1.0C alpha=2").within_1c
+    )
+    drop_tolerant = (
+        result.get("noise=0.0C alpha=0.5").within_1c
+        - result.get("noise=1.0C alpha=0.5").within_1c
+    )
+    assert drop_sharp >= drop_tolerant - 0.05
+    benchmark.extra_info["drop_sharp"] = drop_sharp
+    benchmark.extra_info["drop_tolerant"] = drop_tolerant

@@ -1,0 +1,27 @@
+"""Ablation: control-period sweep around the paper's 500 ms / 50 ms."""
+
+from conftest import paper_scale, run_once
+
+from repro.experiments.ablation import AblationConfig, run_period_ablation
+
+
+def test_bench_ablation_periods(benchmark, assets):
+    config = AblationConfig.paper() if paper_scale() else AblationConfig.smoke()
+    result = run_once(benchmark, lambda: run_period_ablation(assets, config))
+    print("\n[Ablation] Migration / DVFS period sweep")
+    print(result.report())
+    paper_rows = [
+        r
+        for r in result.rows
+        if r.migration_period_s == 0.5 and r.dvfs_period_s == 0.05
+    ]
+    assert paper_rows, "paper operating point missing from the sweep"
+    # The paper's operating point must be competitive: no violations and
+    # within 1 degC of the best sweep point.
+    best_temp = min(r.mean_temp_c for r in result.rows)
+    assert paper_rows[0].violations == 0
+    assert paper_rows[0].mean_temp_c <= best_temp + 1.0
+    # Slower migration epochs mean fewer migrations.
+    slowest = max(result.rows, key=lambda r: r.migration_period_s)
+    fastest = min(result.rows, key=lambda r: r.migration_period_s)
+    assert slowest.migrations <= fastest.migrations

@@ -1,0 +1,22 @@
+"""Ablation: the RL reward's QoS-violation penalty (paper: tuned to -200)."""
+
+from conftest import paper_scale, run_once
+
+from repro.experiments.ablation import AblationConfig, run_rl_reward_ablation
+
+
+def test_bench_ablation_rl_reward(benchmark, assets):
+    config = AblationConfig.paper() if paper_scale() else AblationConfig.smoke()
+    result = run_once(
+        benchmark,
+        lambda: run_rl_reward_ablation(
+            assets, config, penalties=(-50.0, -200.0, -800.0)
+        ),
+    )
+    print("\n[Ablation] RL violation-penalty sweep")
+    print(result.report())
+    assert len(result.rows) == 3
+    # Reward shaping moves the operating point: the sweep must not be
+    # degenerate (identical outcomes would mean the penalty is ignored).
+    outcomes = {(r.violations, r.migrations) for r in result.rows}
+    assert len(outcomes) >= 2

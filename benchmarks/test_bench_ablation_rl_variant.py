@@ -1,0 +1,20 @@
+"""Ablation: plain Q vs. Double Q for the RL baseline."""
+
+from conftest import paper_scale, run_once
+
+from repro.experiments.ablation import AblationConfig, run_rl_variant_ablation
+
+
+def test_bench_ablation_rl_variant(benchmark, assets):
+    config = AblationConfig.paper() if paper_scale() else AblationConfig.smoke()
+    result = run_once(benchmark, lambda: run_rl_variant_ablation(assets, config))
+    print("\n[Ablation] RL learner variant (plain Q vs Double Q)")
+    print(result.report())
+    plain = result.get("plain Q (paper)")
+    double = result.get("double Q")
+    # A better learner does not cure the structural RL problems: Double Q
+    # must not suddenly reach TOP-IL-like zero-violation behaviour while
+    # plain Q violates (both should be in the same ballpark).
+    assert abs(plain[1] - double[1]) < 5.0  # temperatures comparable
+    benchmark.extra_info["plain_violations"] = plain[2]
+    benchmark.extra_info["double_violations"] = double[2]

@@ -1,0 +1,24 @@
+"""Ablation: the paper's no-DAgger claim (exhaustive source coverage)."""
+
+from conftest import paper_scale, run_once
+
+from repro.experiments.ablation import (
+    AblationConfig,
+    run_source_coverage_ablation,
+)
+
+
+def test_bench_ablation_source_coverage(benchmark, assets):
+    config = AblationConfig.paper() if paper_scale() else AblationConfig.smoke()
+    result = run_once(
+        benchmark, lambda: run_source_coverage_ablation(assets, config)
+    )
+    print("\n[Ablation] Source coverage (no-DAgger claim)")
+    print(result.report())
+    full = result.get("all sources (paper)")
+    optimal_only = result.get("optimal source only")
+    # Training on every source must help recovery from bad mappings —
+    # this is the paper's argument for not needing DAgger.
+    assert full.within_1c >= optimal_only.within_1c
+    benchmark.extra_info["all_sources_within"] = full.within_1c
+    benchmark.extra_info["optimal_only_within"] = optimal_only.within_1c

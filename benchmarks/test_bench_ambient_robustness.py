@@ -1,0 +1,17 @@
+"""Extension: ambient-temperature robustness of the trained policy."""
+
+from conftest import paper_scale, run_once
+
+from repro.experiments.robustness import AmbientConfig, run_ambient_robustness
+
+
+def test_bench_ambient_robustness(benchmark, assets):
+    config = AmbientConfig.paper() if paper_scale() else AmbientConfig.smoke()
+    result = run_once(benchmark, lambda: run_ambient_robustness(assets, config))
+    print("\n[Extension] Ambient-temperature robustness")
+    print(result.report())
+    # Decisions are temperature-free, so QoS must hold at every ambient
+    # and the rise above ambient must barely move.
+    assert result.max_violations() == 0
+    assert result.rise_spread_c() < 2.0
+    benchmark.extra_info["rise_spread_c"] = result.rise_spread_c()

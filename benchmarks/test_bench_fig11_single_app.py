@@ -1,0 +1,34 @@
+"""Fig. 11 — single-application workloads with unseen applications."""
+
+from conftest import paper_scale, run_once
+
+from repro.experiments.single_app import SingleAppConfig, run_single_app
+
+
+def test_bench_fig11_single_app(benchmark, assets):
+    if paper_scale():
+        config = SingleAppConfig.paper()
+    else:
+        config = SingleAppConfig(
+            apps=("canneal", "swaptions", "bodytrack", "jacobi-2d"),
+            repetitions=2,
+            instruction_scale=0.02,
+        )
+    result = run_once(benchmark, lambda: run_single_app(assets, config))
+    print("\n[Fig. 11] Single-application workloads (all unseen)")
+    print(result.report())
+    # Paper shapes: TOP-IL has zero violations; powersave violates
+    # everything except the memory-bound canneal; ondemand is hottest.
+    assert result.total_violations("TOP-IL") == 0
+    assert result.get("canneal", "GTS/powersave").violations == 0
+    non_canneal = [
+        o
+        for o in result.outcomes
+        if o.technique == "GTS/powersave" and o.app != "canneal"
+    ]
+    assert all(o.violations > 0 for o in non_canneal)
+    assert result.mean_temp("GTS/ondemand") >= result.mean_temp("TOP-IL") - 0.2
+    benchmark.extra_info["il_violations"] = result.total_violations("TOP-IL")
+    benchmark.extra_info["powersave_violations"] = result.total_violations(
+        "GTS/powersave"
+    )

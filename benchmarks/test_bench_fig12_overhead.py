@@ -1,0 +1,22 @@
+"""Fig. 12 — run-time overhead vs. number of running applications."""
+
+from conftest import paper_scale, run_once
+
+from repro.experiments.overhead import OverheadConfig, run_overhead
+
+
+def test_bench_fig12_overhead(benchmark, assets):
+    config = OverheadConfig.paper() if paper_scale() else OverheadConfig.smoke()
+    result = run_once(benchmark, lambda: run_overhead(assets, config))
+    print("\n[Fig. 12] Run-time overhead")
+    print(result.report())
+    rows = sorted(result.rows, key=lambda r: r.n_apps)
+    # Paper shapes: the DVFS loop scales with applications; the
+    # NPU-batched migration policy stays flat; total stays negligible.
+    assert rows[-1].dvfs_ms_per_s > rows[0].dvfs_ms_per_s
+    npu_growth = rows[-1].migration_npu_ms_per_s / rows[0].migration_npu_ms_per_s
+    cpu_growth = rows[-1].migration_cpu_ms_per_s / rows[0].migration_cpu_ms_per_s
+    assert npu_growth < 1.6
+    assert cpu_growth > 2.0
+    assert result.max_total_fraction() < 0.03
+    benchmark.extra_info["max_total_fraction"] = result.max_total_fraction()

@@ -1,0 +1,18 @@
+"""Fig. 1 — motivational example: regenerate the per-mapping temperatures."""
+
+from conftest import paper_scale, run_once
+
+from repro.experiments.motivation import MotivationConfig, run_motivation
+from repro.platform.hikey import BIG, LITTLE
+
+
+def test_bench_fig1_motivation(benchmark, platform):
+    config = MotivationConfig.paper() if paper_scale() else MotivationConfig.smoke()
+    result = run_once(benchmark, lambda: run_motivation(config, platform))
+    print("\n[Fig. 1] Motivational example")
+    print(result.report())
+    # Paper shape: adi is big-optimal alone, seidel-2d LITTLE-optimal alone.
+    assert result.optimal_cluster("adi", 1) == BIG
+    assert result.optimal_cluster("seidel-2d", 1) == LITTLE
+    benchmark.extra_info["adi_s1_gap_c"] = result.temperature_gap("adi", 1)
+    benchmark.extra_info["seidel_s1_gap_c"] = result.temperature_gap("seidel-2d", 1)

@@ -1,0 +1,17 @@
+"""Fig. 3 — NN topology grid search (depth x width vs. test loss)."""
+
+from conftest import paper_scale, run_once
+
+from repro.experiments.nas import NASConfig, run_nas
+
+
+def test_bench_fig3_nas(benchmark, assets):
+    config = NASConfig.paper() if paper_scale() else NASConfig.smoke()
+    result = run_once(benchmark, lambda: run_nas(assets, config))
+    print("\n[Fig. 3] NAS grid search")
+    print(result.report())
+    best = (result.grid.best_depth, result.grid.best_width)
+    assert result.grid.losses[best] == min(result.grid.losses.values())
+    benchmark.extra_info["best_depth"] = result.grid.best_depth
+    benchmark.extra_info["best_width"] = result.grid.best_width
+    benchmark.extra_info["best_loss"] = result.grid.best_loss

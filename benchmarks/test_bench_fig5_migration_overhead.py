@@ -1,0 +1,26 @@
+"""Fig. 5 — worst-case ping-pong migration overhead per application."""
+
+from conftest import paper_scale, run_once
+
+from repro.experiments.migration import (
+    MigrationOverheadConfig,
+    run_migration_overhead,
+)
+
+
+def test_bench_fig5_migration_overhead(benchmark, platform):
+    config = (
+        MigrationOverheadConfig.paper()
+        if paper_scale()
+        else MigrationOverheadConfig.smoke()
+    )
+    result = run_once(
+        benchmark, lambda: run_migration_overhead(config, platform)
+    )
+    print("\n[Fig. 5] Worst-case migration overhead")
+    print(result.report())
+    # Paper shape: worst case < ~4 %, mean well below.
+    assert result.max_overhead() < 0.05
+    assert result.mean_overhead() < 0.03
+    benchmark.extra_info["max_overhead"] = result.max_overhead()
+    benchmark.extra_info["mean_overhead"] = result.mean_overhead()

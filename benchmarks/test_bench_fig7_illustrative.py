@@ -1,0 +1,26 @@
+"""Fig. 7 — illustrative IL vs RL mapping stability on adi / seidel-2d."""
+
+from conftest import paper_scale, run_once
+
+from repro.experiments.illustrative import IllustrativeConfig, run_illustrative
+
+
+def test_bench_fig7_illustrative(benchmark, assets):
+    config = (
+        IllustrativeConfig.paper() if paper_scale() else IllustrativeConfig.smoke()
+    )
+    result = run_once(benchmark, lambda: run_illustrative(assets, config))
+    print("\n[Fig. 7] Illustrative example: IL vs RL")
+    print(result.report())
+    # Paper shape: IL maps adi to big consistently; IL is at least as
+    # stable as RL (fewer or equal cluster switches).
+    assert result.get("adi", "TOP-IL").fraction_on_big > 0.6
+    il_switches = sum(
+        r.cluster_switches for r in result.runs if r.technique == "TOP-IL"
+    )
+    rl_switches = sum(
+        r.cluster_switches for r in result.runs if r.technique == "TOP-RL"
+    )
+    assert il_switches <= rl_switches
+    benchmark.extra_info["il_switches"] = il_switches
+    benchmark.extra_info["rl_switches"] = rl_switches

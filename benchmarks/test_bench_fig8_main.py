@@ -1,0 +1,60 @@
+"""Fig. 8 — the main experiment: mixed workloads, fan and no fan."""
+
+import pytest
+from conftest import paper_scale, run_once
+
+from repro.experiments.main_mixed import MainMixedConfig, run_main_mixed
+from repro.thermal import FAN_COOLING, PASSIVE_COOLING
+
+
+@pytest.fixture(scope="module")
+def main_result(assets):
+    if paper_scale():
+        config = MainMixedConfig.paper()
+    else:
+        config = MainMixedConfig(
+            n_apps=8,
+            arrival_rates=(1.0 / 8.0,),
+            repetitions=2,
+            coolings=(FAN_COOLING, PASSIVE_COOLING),
+            instruction_scale=0.03,
+        )
+    return run_main_mixed(assets, config)
+
+
+def test_bench_fig8_main(benchmark, assets, main_result):
+    result = run_once(benchmark, lambda: main_result)
+    print("\n[Fig. 8] Mixed workloads — avg temperature and QoS violations")
+    print(result.report())
+    for cooling in ("fan", "no_fan"):
+        il = result.aggregate("TOP-IL", cooling)
+        rl = result.aggregate("TOP-RL", cooling)
+        ondemand = result.aggregate("GTS/ondemand", cooling)
+        powersave = result.aggregate("GTS/powersave", cooling)
+        # Paper shapes, per cooling configuration:
+        assert il.mean_temp_c < ondemand.mean_temp_c, cooling
+        assert powersave.mean_violations >= il.mean_violations, cooling
+        assert il.mean_violations <= rl.mean_violations, cooling
+    fan = result.aggregate("TOP-IL", "fan")
+    benchmark.extra_info["il_temp_fan"] = fan.mean_temp_c
+    benchmark.extra_info["il_violations_fan"] = fan.mean_violations
+    benchmark.extra_info["ondemand_minus_il_c"] = (
+        result.aggregate("GTS/ondemand", "fan").mean_temp_c - fan.mean_temp_c
+    )
+
+
+def test_bench_fig10_frequency_usage(benchmark, main_result):
+    """Fig. 10 — CPU time per cluster and VF level (no-fan runs)."""
+    result = run_once(benchmark, lambda: main_result)
+    print("\n[Fig. 10] CPU time per cluster and VF level (no fan)")
+    print(result.frequency_usage_report(cooling="no_fan"))
+    ondemand = result.aggregate("GTS/ondemand", "no_fan").cpu_time_by_vf
+    powersave = result.aggregate("GTS/powersave", "no_fan").cpu_time_by_vf
+    # Paper shapes: GTS favors big; ondemand runs mostly at the top big
+    # level; powersave only ever uses the lowest levels.
+    assert ondemand.cluster_total("big") > ondemand.cluster_total("LITTLE")
+    top_big = max(f for (c, f) in ondemand.seconds if c == "big")
+    assert ondemand.fraction("big", top_big) > 0.3
+    for (cluster, freq), seconds in powersave.seconds.items():
+        if seconds > 0:
+            assert freq < 0.7e9

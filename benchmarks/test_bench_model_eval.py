@@ -1,0 +1,18 @@
+"""Sec. 7.4 — held-out model evaluation (within 1 degC of optimal)."""
+
+from conftest import paper_scale, run_once
+
+from repro.experiments.model_eval import ModelEvalConfig, run_model_eval
+
+
+def test_bench_model_eval(benchmark, assets):
+    config = ModelEvalConfig.paper() if paper_scale() else ModelEvalConfig.smoke()
+    result = run_once(benchmark, lambda: run_model_eval(assets, config))
+    print("\n[Sec. 7.4] Model evaluation on held-out AoIs")
+    print(result.report())
+    # Paper: within 1 degC in 82 +/- 5 % of cases, 0.5 +/- 0.2 degC excess.
+    # The smoke-scale model clears relaxed thresholds.
+    assert result.mean_within > 0.5
+    assert result.mean_excess_c < 2.0
+    benchmark.extra_info["within_1c"] = result.mean_within
+    benchmark.extra_info["excess_c"] = result.mean_excess_c

@@ -1,0 +1,17 @@
+"""Extension: optimality gap of TOP-IL vs. the privileged oracle."""
+
+from conftest import paper_scale, run_once
+
+from repro.experiments.optimality import OptimalityConfig, run_optimality_gap
+
+
+def test_bench_optimality_gap(benchmark, assets):
+    config = OptimalityConfig.paper() if paper_scale() else OptimalityConfig.smoke()
+    result = run_once(benchmark, lambda: run_optimality_gap(assets, config))
+    print("\n[Extension] Optimality gap vs. oracle static mapping")
+    print(result.report())
+    # The learned policy should track the oracle closely (paper Sec. 7.4:
+    # 0.5 +/- 0.2 degC mean excess at design time).
+    assert result.mean_gap_c() < 2.0
+    assert result.il_violations() == 0
+    benchmark.extra_info["mean_gap_c"] = result.mean_gap_c()

@@ -1,0 +1,19 @@
+"""Extension: quantify the IL-vs-RL stability claim directly."""
+
+from conftest import paper_scale, run_once
+
+from repro.experiments.stability import StabilityConfig, run_stability
+
+
+def test_bench_stability(benchmark, assets):
+    config = StabilityConfig.paper() if paper_scale() else StabilityConfig.smoke()
+    result = run_once(benchmark, lambda: run_stability(assets, config))
+    print("\n[Extension] Policy stability: IL vs RL")
+    print(result.report())
+    il = result.get("TOP-IL")
+    rl = result.get("TOP-RL")
+    # The paper's claim: RL's continual exploration destabilizes mappings.
+    assert il.migrations_per_min <= rl.migrations_per_min
+    assert il.mapping_entropy <= rl.mapping_entropy + 0.05
+    benchmark.extra_info["il_migrations_per_min"] = il.migrations_per_min
+    benchmark.extra_info["rl_migrations_per_min"] = rl.migrations_per_min

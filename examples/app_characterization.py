@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Characterize an application across the full VF grid (Fig. 2a/2b style).
+
+Prints the IPS / power / energy-per-instruction table the paper's trace
+campaign measures on the board, directly from the application model, and
+highlights the cheapest operating point for a chosen QoS target — the
+decision the whole paper revolves around.
+
+Usage::
+
+    python examples/app_characterization.py [--app adi] [--qos-fraction 0.3]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.apps import app_catalog, get_app, profile_app, qos_fraction_of_big_max
+from repro.platform import hikey970
+from repro.utils.plots import ascii_bars
+from repro.utils.units import format_frequency
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--app", default="adi", choices=sorted(app_catalog()))
+    parser.add_argument("--qos-fraction", type=float, default=0.3)
+    args = parser.parse_args()
+
+    platform = hikey970()
+    app = get_app(args.app)
+    profile = profile_app(app, platform)
+
+    print(profile.report())
+
+    target = qos_fraction_of_big_max(app, platform, args.qos_fraction)
+    print(f"\nQoS target: {target / 1e6:.0f} MIPS "
+          f"({args.qos_fraction:.0%} of big-cluster peak)")
+    point = profile.min_point_for(target)
+    if point is None:
+        print("-> target unreachable on this platform")
+        return
+    print(f"-> cheapest feasible point: {point.cluster} @ "
+          f"{format_frequency(point.frequency_hz)} "
+          f"({point.core_power_w * 1e3:.0f} mW core power)")
+
+    best = profile.most_efficient_point()
+    print(f"-> most energy-efficient point: {best.cluster} @ "
+          f"{format_frequency(best.frequency_hz)} "
+          f"({best.energy_per_instruction_nj:.2f} nJ/inst)")
+
+    print("\ncore power of the feasible options (per cluster minimum):")
+    rows = []
+    for cluster in platform.clusters:
+        feasible = [
+            p for p in profile.on_cluster(cluster.name) if p.ips >= target
+        ]
+        if feasible:
+            cheapest = min(feasible, key=lambda p: p.core_power_w)
+            rows.append(
+                (
+                    f"{cluster.name} @ {format_frequency(cheapest.frequency_hz)}",
+                    cheapest.core_power_w * 1e3,
+                )
+            )
+        else:
+            rows.append((f"{cluster.name} (infeasible)", 0.0))
+    print(ascii_bars(rows, unit=" mW"))
+
+
+if __name__ == "__main__":
+    main()

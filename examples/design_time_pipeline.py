@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Walk through the oracle-demonstration pipeline of Fig. 2 step by step.
+
+For one scenario (an AoI plus a fixed background) this example:
+
+1. collects traces over the per-cluster VF grid for each free core,
+   printing the performance/temperature tables of Fig. 2a/2b;
+2. picks one QoS target and background requirement and shows the Eq. 3
+   trace selection and the Eq. 4 soft labels (Fig. 2c);
+3. prints a few of the resulting training examples (Fig. 2d).
+
+Usage::
+
+    python examples/design_time_pipeline.py [--aoi seidel-2d]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.il.dataset import DatasetBuilder
+from repro.il.traces import TraceCollector, TraceScenario
+from repro.platform import hikey970
+from repro.platform.hikey import BIG, LITTLE
+from repro.utils.tables import ascii_table
+from repro.utils.units import format_frequency
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--aoi", default="seidel-2d")
+    args = parser.parse_args()
+
+    platform = hikey970()
+    scenario = TraceScenario(
+        aoi_app=args.aoi,
+        # Background occupies six cores; cores 3 and 6 stay free, exactly
+        # like the paper's illustrative example.
+        background=(
+            (0, "syr2k"), (1, "heat-3d"), (2, "gramschmidt"),
+            (4, "fdtd-2d"), (5, "syr2k"), (7, "floyd-warshall"),
+        ),
+    )
+    print(f"AoI: {args.aoi}; free cores: {scenario.free_cores(platform)}")
+
+    print("\n[1/3] collecting traces over the reduced VF grid...")
+    collector = TraceCollector(platform, vf_levels_per_cluster=3)
+    grid = collector.collect(scenario)
+
+    for core in grid.aoi_cores():
+        cluster = platform.cluster_of_core(core).name
+        print(f"\nTrace results (AoI on core {core}, {cluster} cluster):")
+        rows = []
+        for f_l in grid.vf_grid[LITTLE]:
+            for f_b in grid.vf_grid[BIG]:
+                point = grid.lookup(core, {LITTLE: f_l, BIG: f_b})
+                rows.append(
+                    (
+                        format_frequency(f_l),
+                        format_frequency(f_b),
+                        f"{point.aoi_ips / 1e6:.0f} MIPS",
+                        f"{point.peak_temp_c:.1f} C",
+                    )
+                )
+        print(ascii_table(["f_LITTLE", "f_big", "AoI perf", "peak temp"], rows))
+
+    print("\n[2/3] sweeping one QoS target + background requirement (Eq. 3/4)...")
+    builder = DatasetBuilder(platform)
+    qos_target = 0.4 * grid.max_aoi_ips()
+    f_wo_aoi = {
+        LITTLE: grid.vf_grid[LITTLE][1],
+        BIG: grid.vf_grid[BIG][0],
+    }
+    print(f"Q_AoI = {qos_target / 1e6:.0f} MIPS, "
+          f"f~(LITTLE\\AoI) = {format_frequency(f_wo_aoi[LITTLE])}, "
+          f"f~(big\\AoI) = {format_frequency(f_wo_aoi[BIG])}")
+    selections = {
+        core: builder.select_trace(grid, core, qos_target, f_wo_aoi)
+        for core in grid.aoi_cores()
+    }
+    rows = []
+    for core, sel in selections.items():
+        if sel.point is None:
+            rows.append((core, "-", "-", "QoS infeasible"))
+        else:
+            rows.append(
+                (
+                    core,
+                    format_frequency(sel.f_hz[LITTLE]),
+                    format_frequency(sel.f_hz[BIG]),
+                    f"{sel.point.peak_temp_c:.1f} C",
+                )
+            )
+    print(ascii_table(["core", "selected f_LITTLE", "selected f_big", "temp"], rows))
+    labels = builder.make_labels(selections, sorted(scenario.background_dict()))
+    print(f"labels (Eq. 4): {['%.2f' % v for v in labels]}")
+
+    print("\n[3/3] building the full dataset for this scenario...")
+    dataset = builder.build_from_grid(grid)
+    print(f"{len(dataset)} training examples "
+          f"(features {dataset.features.shape}, labels {dataset.labels.shape})")
+    print("first example features:",
+          [f"{v:.2f}" for v in dataset.features[0]])
+    print("first example labels:  ",
+          [f"{v:.2f}" for v in dataset.labels[0]])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Quickstart: train a small TOP-IL model and manage a mixed workload.
+
+Runs the complete flow end to end at a small scale (a couple of minutes):
+
+1. collect oracle traces on the simulated HiKey 970,
+2. build the imitation-learning dataset and train the migration NN,
+3. execute a mixed workload under TOP-IL, and
+4. print the run summary (temperature, QoS violations, overhead).
+
+Usage::
+
+    python examples/quickstart.py [--scenarios N] [--apps N] [--seed S]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.il import ILPipeline, PipelineConfig, TopIL
+from repro.nn.training import TrainingConfig
+from repro.platform import hikey970
+from repro.utils.tables import ascii_table
+from repro.workloads import mixed_workload, run_workload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scenarios", type=int, default=10,
+                        help="oracle scenarios for IL training")
+    parser.add_argument("--apps", type=int, default=8,
+                        help="applications in the mixed workload")
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    platform = hikey970()
+    print(f"platform: {platform.name} "
+          f"({', '.join(f'{c.name} x{c.n_cores}' for c in platform.clusters)})")
+
+    print(f"\n[1/3] design-time pipeline ({args.scenarios} scenarios)...")
+    pipeline = ILPipeline(
+        platform,
+        config=PipelineConfig(
+            n_scenarios=args.scenarios,
+            vf_levels_per_cluster=3,
+            max_aoi_candidates=3,
+            n_models=1,
+            seed=args.seed,
+            training=TrainingConfig(max_epochs=150, patience=20),
+        ),
+    )
+    result = pipeline.run()
+    print(f"      {len(result.dataset)} training examples, "
+          f"validation MSE {result.training_results[0].best_val_loss:.4f}")
+
+    print(f"\n[2/3] running a {args.apps}-app mixed workload under TOP-IL...")
+    workload = mixed_workload(
+        platform,
+        n_apps=args.apps,
+        arrival_rate_per_s=1.0 / 8.0,
+        seed=args.seed,
+        instruction_scale=0.05,
+    )
+    run = run_workload(platform, TopIL(result.models[0]), workload, seed=args.seed)
+    s = run.summary
+
+    print("\n[3/3] results")
+    print(ascii_table(
+        ["metric", "value"],
+        [
+            ("simulated time", f"{s.duration_s:.0f} s"),
+            ("avg temperature", f"{s.mean_temp_c:.1f} C"),
+            ("peak temperature", f"{s.peak_temp_c:.1f} C"),
+            ("QoS violations", f"{s.n_qos_violations} / {s.n_apps}"),
+            ("migrations executed", s.migrations),
+            ("manager overhead", f"{100 * s.overhead_fraction:.2f} % of one core"),
+        ],
+    ))
+
+
+if __name__ == "__main__":
+    main()

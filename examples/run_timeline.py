@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Fig. 7-style run panel: temperature and per-app mapping timelines.
+
+Runs a small mixed workload under a chosen technique and renders the
+trace as text: a temperature sparkline plus one mapping row per
+application ('b' = big cluster, 'L' = LITTLE, '.' = not running), with
+the fraction of time each application met its QoS target.
+
+Usage::
+
+    python examples/run_timeline.py [--technique top-il|top-rl|ondemand|powersave]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.assets import AssetConfig, AssetStore
+from repro.governors import GTSOndemand, GTSPowersave
+from repro.il import TopIL
+from repro.metrics.timeline import render_run_timelines
+from repro.rl import TopRL
+from repro.utils.rng import RandomSource
+from repro.workloads import mixed_workload, run_workload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--technique",
+        default="top-il",
+        choices=["top-il", "top-rl", "ondemand", "powersave"],
+    )
+    parser.add_argument("--apps", type=int, default=6)
+    parser.add_argument("--seed", type=int, default=4)
+    parser.add_argument("--cache", default=".repro_cache")
+    args = parser.parse_args()
+
+    assets = AssetStore(config=AssetConfig.smoke(cache_dir=args.cache))
+    platform = assets.platform
+    technique = {
+        "top-il": lambda: TopIL(assets.models()[0]),
+        "top-rl": lambda: TopRL(
+            qtable=assets.qtables()[0].copy(),
+            rng=RandomSource(args.seed).child("rl"),
+        ),
+        "ondemand": GTSOndemand,
+        "powersave": GTSPowersave,
+    }[args.technique]()
+
+    workload = mixed_workload(
+        platform,
+        n_apps=args.apps,
+        arrival_rate_per_s=1.0 / 6.0,
+        seed=args.seed,
+        instruction_scale=0.04,
+    )
+    print(f"running {technique.name} on {args.apps} apps ...")
+    run = run_workload(platform, technique, workload, seed=args.seed)
+
+    targets = {p.pid: p.qos_target_ips for p in run.sim.all_processes()}
+    print()
+    print(render_run_timelines(run.trace, platform, targets))
+    print()
+    s = run.summary
+    print(f"avg temp {s.mean_temp_c:.1f} C, peak {s.peak_temp_c:.1f} C, "
+          f"violations {s.n_qos_violations}/{s.n_apps}, "
+          f"migrations {s.migrations}")
+
+
+if __name__ == "__main__":
+    main()

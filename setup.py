@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+The project is fully described in pyproject.toml; this file only enables
+legacy `pip install -e . --no-use-pep517` / `python setup.py develop`
+workflows on offline machines.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""repro — reproduction of "NPU-Accelerated Imitation Learning for Thermal
+Optimization of QoS-Constrained Heterogeneous Multi-Cores" (Rapp et al.).
+
+The package provides:
+
+* a full simulation substrate for the paper's HiKey 970 platform
+  (:mod:`repro.platform`, :mod:`repro.power`, :mod:`repro.thermal`,
+  :mod:`repro.apps`, :mod:`repro.sim`),
+* the paper's contribution TOP-IL (:mod:`repro.il`, :mod:`repro.nn`,
+  :mod:`repro.npu`),
+* the baselines: TOP-RL (:mod:`repro.rl`) and Linux GTS with ondemand /
+  powersave governors (:mod:`repro.governors`),
+* workload generation and metrics (:mod:`repro.workloads`,
+  :mod:`repro.metrics`), and
+* one experiment runner per figure/table of the paper's evaluation
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro.platform import hikey970
+    from repro.il import ILPipeline, PipelineConfig, TopIL
+    from repro.workloads import mixed_workload, run_workload
+
+    platform = hikey970()
+    result = ILPipeline(platform, config=PipelineConfig(n_scenarios=10)).run()
+    workload = mixed_workload(platform, n_apps=6, instruction_scale=0.02)
+    run = run_workload(platform, TopIL(result.models[0]), workload)
+    print(run.summary.mean_temp_c, run.summary.n_qos_violations)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

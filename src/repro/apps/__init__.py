@@ -1,0 +1,47 @@
+"""Application models: per-cluster performance, power activity, phases.
+
+The paper's whole argument rests on applications differing in two ways:
+
+1. **big-vs-LITTLE benefit** — how much the out-of-order pipeline and larger
+   caches of the big cluster help (adi: a lot; seidel-2d: little), and
+2. **frequency sensitivity** — how strongly IPS scales with the VF level
+   (canneal is memory-bound and barely scales; swaptions is compute-bound
+   and scales linearly).
+
+:class:`AppModel` captures both with a two-parameter-per-cluster roofline
+model, plus a phase schedule for applications with time-varying behaviour
+(the PARSEC apps), a switching-activity factor for the power model, and an
+L2D access rate (the feature the paper uses to characterize the AoI).
+"""
+
+from repro.apps.model import AppModel, ClusterPerfParams, Phase, PhaseSchedule
+from repro.apps.catalog import (
+    POLYBENCH_APPS,
+    PARSEC_APPS,
+    TRACE_COLLECTION_APPS,
+    TRAINING_APPS,
+    HELDOUT_APPS,
+    app_catalog,
+    get_app,
+)
+from repro.apps.qos import default_qos_target, qos_fraction_of_big_max
+from repro.apps.profiles import AppProfile, OperatingPoint, profile_app
+
+__all__ = [
+    "AppModel",
+    "ClusterPerfParams",
+    "Phase",
+    "PhaseSchedule",
+    "POLYBENCH_APPS",
+    "PARSEC_APPS",
+    "TRACE_COLLECTION_APPS",
+    "TRAINING_APPS",
+    "HELDOUT_APPS",
+    "app_catalog",
+    "get_app",
+    "default_qos_target",
+    "qos_fraction_of_big_max",
+    "AppProfile",
+    "OperatingPoint",
+    "profile_app",
+]

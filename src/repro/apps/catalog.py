@@ -1,0 +1,283 @@
+"""Catalog of benchmark application models.
+
+The paper's mixed workload draws from eight PARSEC applications
+(blackscholes, bodytrack, canneal, dedup, facesim, ferret, fluidanimate,
+swaptions) and eight Polybench kernels (adi, fdtd-2d, floyd-warshall,
+gramschmidt, heat-3d, jacobi-2d, seidel-2d, syr2k).  Oracle traces are
+collected for nine constant-behaviour kernels (the eight Polybench ones
+plus covariance); seven are used for training and two (jacobi-2d and
+covariance) are held out, matching the paper's 7-train / 2-test split for
+the model evaluation.  All PARSEC applications are *unseen* at run time.
+
+Parameters are calibrated to the paper's qualitative anchors:
+
+* **adi** profits strongly from the big cluster: at a QoS target of 30 % of
+  its big-cluster peak IPS it needs the top LITTLE level (~1.8 GHz) but only
+  the bottom big level (~0.7 GHz), so mapping it big is cooler (Fig. 1).
+* **seidel-2d** gains little from the big cluster, making the LITTLE
+  mapping slightly cooler (Fig. 1).
+* **canneal** is memory-bound; its performance "depends less on the CPU VF
+  level" (Sec. 7.3) — it is the only app whose QoS survives powersave.
+* **swaptions / syr2k / gramschmidt** are compute-bound and scale linearly
+  with frequency; **heat-3d / fdtd-2d** are bandwidth-hungry stencils.
+* **dedup / facesim** have pronounced execution phases (the paper observes
+  negative ping-pong migration overhead for them in Fig. 5), and the other
+  PARSEC apps have milder phases.  Polybench kernels are phase-free, which
+  the oracle trace-collection pipeline requires.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.apps.model import AppModel, ClusterPerfParams, Phase, PhaseSchedule
+from repro.platform.hikey import BIG, LITTLE
+
+
+#: Reference frequencies for memory-frequency coupling: the cluster's top
+#: VF level, where the base ``mem_time_per_inst`` values are calibrated.
+_LITTLE_REF_HZ = 1.844e9
+_BIG_REF_HZ = 2.362e9
+
+
+def _perf(
+    cpi_little: float,
+    mem_little: float,
+    cpi_big: float,
+    mem_big: float,
+    activity_little: float = 0.8,
+    activity_big: float = 0.85,
+    coupling_little: float = 0.0,
+    coupling_big: float = 0.0,
+) -> Dict[str, ClusterPerfParams]:
+    return {
+        LITTLE: ClusterPerfParams(
+            cpi_little,
+            mem_little,
+            activity_little,
+            mem_freq_coupling=coupling_little,
+            mem_ref_freq_hz=_LITTLE_REF_HZ,
+        ),
+        BIG: ClusterPerfParams(
+            cpi_big,
+            mem_big,
+            activity_big,
+            mem_freq_coupling=coupling_big,
+            mem_ref_freq_hz=_BIG_REF_HZ,
+        ),
+    }
+
+
+def _build_catalog() -> Dict[str, AppModel]:
+    apps: List[AppModel] = [
+        # ------------------------- PARSEC ---------------------------------
+        AppModel(
+            name="blackscholes",
+            suite="parsec",
+            perf=_perf(1.30, 0.3e-10, 0.68, 0.2e-10, 0.90, 0.92),
+            l2d_per_inst=0.004,
+            total_instructions=3.0e11,
+            phases=PhaseSchedule(
+                [Phase(0.8), Phase(0.2, cpi_scale=1.15, mem_scale=1.5, l2d_scale=1.5)]
+            ),
+        ),
+        AppModel(
+            name="bodytrack",
+            suite="parsec",
+            perf=_perf(1.20, 1.2e-10, 0.70, 0.8e-10, 0.82, 0.86),
+            l2d_per_inst=0.010,
+            total_instructions=2.5e11,
+            phases=PhaseSchedule(
+                [
+                    Phase(0.5, cpi_scale=0.9, mem_scale=0.7),
+                    Phase(0.5, cpi_scale=1.1, mem_scale=1.4, l2d_scale=1.4),
+                ]
+            ),
+        ),
+        AppModel(
+            name="canneal",
+            suite="parsec",
+            perf=_perf(1.00, 12.0e-10, 0.75, 10.5e-10, 0.55, 0.60),
+            l2d_per_inst=0.060,
+            total_instructions=1.2e11,
+            phases=PhaseSchedule(
+                [Phase(0.7), Phase(0.3, mem_scale=1.25, activity_scale=0.9)]
+            ),
+        ),
+        AppModel(
+            name="dedup",
+            suite="parsec",
+            perf=_perf(1.20, 2.5e-10, 0.75, 1.5e-10, 0.78, 0.84),
+            l2d_per_inst=0.020,
+            total_instructions=2.0e11,
+            # Strongly alternating compress/hash phases: the big-cluster
+            # benefit swings phase to phase (negative ping-pong overhead).
+            phases=PhaseSchedule(
+                [
+                    Phase(0.5, cpi_scale=0.80, mem_scale=0.40, l2d_scale=0.5),
+                    Phase(0.5, cpi_scale=1.20, mem_scale=1.60, l2d_scale=1.5),
+                ]
+            ),
+            phase_cycle_instructions=1.0e10,
+        ),
+        AppModel(
+            name="facesim",
+            suite="parsec",
+            perf=_perf(1.10, 3.0e-10, 0.70, 2.0e-10, 0.80, 0.85),
+            l2d_per_inst=0.030,
+            total_instructions=2.5e11,
+            phases=PhaseSchedule(
+                [
+                    Phase(0.4, cpi_scale=0.85, mem_scale=0.5),
+                    Phase(0.6, cpi_scale=1.10, mem_scale=1.35, l2d_scale=1.3),
+                ]
+            ),
+            phase_cycle_instructions=1.2e10,
+        ),
+        AppModel(
+            name="ferret",
+            suite="parsec",
+            perf=_perf(1.25, 1.6e-10, 0.72, 1.0e-10, 0.80, 0.85),
+            l2d_per_inst=0.015,
+            total_instructions=2.2e11,
+            phases=PhaseSchedule(
+                [Phase(0.6), Phase(0.4, cpi_scale=1.1, mem_scale=1.3)]
+            ),
+        ),
+        AppModel(
+            name="fluidanimate",
+            suite="parsec",
+            perf=_perf(1.15, 1.8e-10, 0.70, 1.1e-10, 0.84, 0.88),
+            l2d_per_inst=0.018,
+            total_instructions=2.8e11,
+            phases=PhaseSchedule(
+                [Phase(0.7, mem_scale=0.9), Phase(0.3, mem_scale=1.4)]
+            ),
+        ),
+        AppModel(
+            name="swaptions",
+            suite="parsec",
+            perf=_perf(1.30, 0.10e-10, 0.68, 0.08e-10, 0.95, 0.95),
+            l2d_per_inst=0.001,
+            total_instructions=3.5e11,
+        ),
+        # ----------------------- Polybench (constant behaviour) ------------
+        AppModel(
+            name="adi",
+            suite="polybench",
+            perf=_perf(1.40, 1.5e-10, 0.55, 0.5e-10, 0.85, 0.90),
+            l2d_per_inst=0.012,
+            total_instructions=1.8e11,
+        ),
+        AppModel(
+            name="fdtd-2d",
+            suite="polybench",
+            perf=_perf(1.15, 3.0e-10, 0.80, 2.2e-10, 0.75, 0.80,
+                       coupling_little=0.3, coupling_big=0.3),
+            l2d_per_inst=0.025,
+            total_instructions=1.5e11,
+        ),
+        AppModel(
+            name="floyd-warshall",
+            suite="polybench",
+            perf=_perf(1.50, 1.0e-10, 1.10, 0.8e-10, 0.78, 0.80),
+            l2d_per_inst=0.008,
+            total_instructions=2.0e11,
+        ),
+        AppModel(
+            name="gramschmidt",
+            suite="polybench",
+            perf=_perf(1.25, 0.8e-10, 0.68, 0.5e-10, 0.85, 0.88),
+            l2d_per_inst=0.006,
+            total_instructions=2.0e11,
+        ),
+        AppModel(
+            name="heat-3d",
+            suite="polybench",
+            perf=_perf(1.05, 4.5e-10, 0.85, 3.5e-10, 0.70, 0.75,
+                       coupling_little=0.3, coupling_big=0.3),
+            l2d_per_inst=0.040,
+            total_instructions=1.3e11,
+        ),
+        AppModel(
+            name="jacobi-2d",
+            suite="polybench",
+            perf=_perf(1.10, 2.4e-10, 0.75, 1.8e-10, 0.76, 0.80,
+                       coupling_little=0.4, coupling_big=0.4),
+            l2d_per_inst=0.020,
+            total_instructions=1.6e11,
+        ),
+        AppModel(
+            name="seidel-2d",
+            suite="polybench",
+            # The big-cluster memory latency is fully clock-coupled (the
+            # stencil's dependent loads ride the DSU/DDR devfreq chain), so
+            # IPS scales ~linearly with f on big and the 30 % QoS target
+            # needs ~1.0 GHz there — the paper's Fig. 1 anchor that makes
+            # the LITTLE mapping slightly cooler.
+            perf=_perf(
+                1.10, 1.5e-10, 0.95, 1.3e-10, 0.72, 0.74,
+                coupling_little=0.5, coupling_big=1.0,
+            ),
+            l2d_per_inst=0.015,
+            total_instructions=1.7e11,
+        ),
+        AppModel(
+            name="syr2k",
+            suite="polybench",
+            perf=_perf(1.20, 0.5e-10, 0.65, 0.35e-10, 0.90, 0.92),
+            l2d_per_inst=0.005,
+            total_instructions=2.5e11,
+        ),
+        AppModel(
+            name="covariance",
+            suite="polybench",
+            perf=_perf(1.35, 1.8e-10, 0.80, 1.0e-10, 0.80, 0.84),
+            l2d_per_inst=0.015,
+            total_instructions=1.8e11,
+        ),
+    ]
+    return {app.name: app for app in apps}
+
+
+_CATALOG = _build_catalog()
+
+#: All PARSEC application names (unseen by training).
+PARSEC_APPS = tuple(sorted(a.name for a in _CATALOG.values() if a.suite == "parsec"))
+
+#: All Polybench kernel names.
+POLYBENCH_APPS = tuple(
+    sorted(a.name for a in _CATALOG.values() if a.suite == "polybench")
+)
+
+#: The nine constant-behaviour kernels oracle traces are collected for.
+TRACE_COLLECTION_APPS = POLYBENCH_APPS
+
+#: The seven kernels whose traces train the IL model (paper Sec. 7.2/7.4).
+TRAINING_APPS = (
+    "adi",
+    "fdtd-2d",
+    "floyd-warshall",
+    "gramschmidt",
+    "heat-3d",
+    "seidel-2d",
+    "syr2k",
+)
+
+#: Kernels held out from training, used only for model testing.
+HELDOUT_APPS = tuple(sorted(set(TRACE_COLLECTION_APPS) - set(TRAINING_APPS)))
+
+
+def app_catalog() -> Dict[str, AppModel]:
+    """A fresh copy of the full name -> :class:`AppModel` catalog."""
+    return dict(_CATALOG)
+
+
+def get_app(name: str) -> AppModel:
+    """Look up one application model by name."""
+    try:
+        return _CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown application {name!r}; known: {sorted(_CATALOG)}"
+        ) from None

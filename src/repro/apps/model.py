@@ -1,0 +1,260 @@
+"""Roofline-style application performance model with phases.
+
+Performance model
+-----------------
+The time one instruction takes on a core running at frequency ``f`` splits
+into a core part and a memory part::
+
+    t_inst = cpi / f + mem_time_per_inst
+
+``cpi`` is the core cycles per instruction of the pipeline (lower on the
+out-of-order big cores), and ``mem_time_per_inst`` is the average stall
+time spent waiting for memory per instruction (lower on the big cluster for
+cache-friendly applications because of its larger caches).  This yields::
+
+    IPS(f) = f / (cpi + mem_time_per_inst * f)
+
+which is linear in ``f`` for compute-bound applications and saturates at
+``1 / mem_time_per_inst`` for memory-bound ones — exactly the behaviour the
+paper exploits (e.g. canneal's QoS "depends less on the CPU VF level").
+
+Phases
+------
+PARSEC applications exhibit execution phases with different characteristics.
+A :class:`PhaseSchedule` cycles through :class:`Phase` entries, each scaling
+the base parameters for a given fraction of the application's instructions.
+Polybench applications (used for oracle traces) have constant behaviour, as
+the paper's training-data pipeline requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.platform.vf import VFLevel, VFTable
+from repro.utils.validation import check_in_range, check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class ClusterPerfParams:
+    """Per-cluster performance/power parameters of one application.
+
+    ``cpi``: core cycles per instruction absent memory stalls.
+    ``mem_time_per_inst``: seconds of memory stall per instruction at the
+    reference frequency.
+    ``activity``: switching-activity factor in [0, 1] for the power model.
+    ``mem_freq_coupling``: in [0, 1] — how strongly the memory subsystem's
+    effective latency follows the cluster clock.  On big.LITTLE SoCs the
+    interconnect/DDR frequency is devfreq-coupled to the cluster, so
+    memory-sensitive applications see *longer* stall times at low VF
+    levels: ``mem_eff(f) = mem_time_per_inst * (mem_ref_freq_hz / f) **
+    mem_freq_coupling``.  0 = fixed wall-clock latency (DRAM-latency
+    bound), 1 = latency constant in cycles (fully coupled).
+    """
+
+    cpi: float
+    mem_time_per_inst: float
+    activity: float = 0.8
+    mem_freq_coupling: float = 0.0
+    mem_ref_freq_hz: float = 2.0e9
+
+    def __post_init__(self):
+        check_positive("cpi", self.cpi)
+        check_non_negative("mem_time_per_inst", self.mem_time_per_inst)
+        check_in_range("activity", self.activity, 0.0, 1.0)
+        check_in_range("mem_freq_coupling", self.mem_freq_coupling, 0.0, 1.0)
+        check_positive("mem_ref_freq_hz", self.mem_ref_freq_hz)
+
+    def effective_mem_time(self, frequency_hz: float) -> float:
+        """Memory stall seconds/instruction at ``frequency_hz``."""
+        check_positive("frequency_hz", frequency_hz)
+        if self.mem_freq_coupling == 0.0 or self.mem_time_per_inst == 0.0:
+            return self.mem_time_per_inst
+        return self.mem_time_per_inst * (
+            self.mem_ref_freq_hz / frequency_hz
+        ) ** self.mem_freq_coupling
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One execution phase: parameter multipliers over a slice of work.
+
+    ``instruction_fraction`` is the share of the schedule's cycle spent in
+    this phase; scales multiply the application's base parameters.
+    """
+
+    instruction_fraction: float
+    cpi_scale: float = 1.0
+    mem_scale: float = 1.0
+    activity_scale: float = 1.0
+    l2d_scale: float = 1.0
+
+    def __post_init__(self):
+        check_positive("instruction_fraction", self.instruction_fraction)
+        check_positive("cpi_scale", self.cpi_scale)
+        check_non_negative("mem_scale", self.mem_scale)
+        check_non_negative("activity_scale", self.activity_scale)
+        check_non_negative("l2d_scale", self.l2d_scale)
+
+
+class PhaseSchedule:
+    """Cyclic sequence of phases addressed by executed-instruction count."""
+
+    def __init__(self, phases: List[Phase]):
+        if not phases:
+            raise ValueError("PhaseSchedule needs at least one phase")
+        total = sum(p.instruction_fraction for p in phases)
+        # Normalize so fractions sum to 1 regardless of the input scale.
+        self._phases = [
+            Phase(
+                instruction_fraction=p.instruction_fraction / total,
+                cpi_scale=p.cpi_scale,
+                mem_scale=p.mem_scale,
+                activity_scale=p.activity_scale,
+                l2d_scale=p.l2d_scale,
+            )
+            for p in phases
+        ]
+
+    @property
+    def phases(self) -> List[Phase]:
+        return list(self._phases)
+
+    @property
+    def is_constant(self) -> bool:
+        """True when the schedule never changes the base parameters."""
+        return len(self._phases) == 1 and self._phases[0] == Phase(1.0)
+
+    def phase_at(self, cycle_progress: float) -> Phase:
+        """The phase active at ``cycle_progress`` in [0, 1) of one cycle."""
+        progress = cycle_progress % 1.0
+        acc = 0.0
+        for phase in self._phases:
+            acc += phase.instruction_fraction
+            if progress < acc - 1e-12:
+                return phase
+        return self._phases[-1]
+
+
+CONSTANT_SCHEDULE = PhaseSchedule([Phase(1.0)])
+
+
+@dataclass
+class AppModel:
+    """A complete application model.
+
+    Parameters
+    ----------
+    name / suite:
+        Identity; ``suite`` is ``"parsec"`` or ``"polybench"``.
+    perf:
+        :class:`ClusterPerfParams` per cluster name.
+    l2d_per_inst:
+        L2 data-cache accesses per instruction (the paper's
+        memory-intensiveness feature).
+    total_instructions:
+        Work until completion when run as a workload item.
+    phases:
+        Phase schedule; ``phase_cycle_instructions`` is the number of
+        instructions in one pass through the schedule.
+    """
+
+    name: str
+    suite: str
+    perf: Dict[str, ClusterPerfParams]
+    l2d_per_inst: float
+    total_instructions: float = 2.0e11
+    phases: PhaseSchedule = field(default_factory=lambda: CONSTANT_SCHEDULE)
+    phase_cycle_instructions: float = 2.0e10
+
+    def __post_init__(self):
+        if not self.perf:
+            raise ValueError(f"app {self.name!r} has no cluster parameters")
+        check_non_negative("l2d_per_inst", self.l2d_per_inst)
+        check_positive("total_instructions", self.total_instructions)
+        check_positive("phase_cycle_instructions", self.phase_cycle_instructions)
+
+    # --- parameter resolution ----------------------------------------------------
+    def clusters(self) -> List[str]:
+        return list(self.perf.keys())
+
+    def has_phases(self) -> bool:
+        return not self.phases.is_constant
+
+    def params_at(
+        self, cluster_name: str, instructions_done: float = 0.0
+    ) -> Tuple[ClusterPerfParams, float]:
+        """Effective (params, l2d_per_inst) after ``instructions_done`` work."""
+        base = self.perf[cluster_name]
+        cycle_progress = (instructions_done / self.phase_cycle_instructions) % 1.0
+        phase = self.phases.phase_at(cycle_progress)
+        params = ClusterPerfParams(
+            cpi=base.cpi * phase.cpi_scale,
+            mem_time_per_inst=base.mem_time_per_inst * phase.mem_scale,
+            activity=min(1.0, base.activity * phase.activity_scale),
+            mem_freq_coupling=base.mem_freq_coupling,
+            mem_ref_freq_hz=base.mem_ref_freq_hz,
+        )
+        return params, self.l2d_per_inst * phase.l2d_scale
+
+    # --- performance queries ------------------------------------------------------
+    def ips(
+        self,
+        cluster_name: str,
+        frequency_hz: float,
+        instructions_done: float = 0.0,
+        mem_slowdown: float = 1.0,
+    ) -> float:
+        """Instructions per second on ``cluster_name`` at ``frequency_hz``.
+
+        ``mem_slowdown`` >= 1 scales the memory-stall component; the
+        simulator uses it to model memory contention between co-runners.
+        """
+        check_positive("frequency_hz", frequency_hz)
+        if mem_slowdown < 1.0:
+            raise ValueError("mem_slowdown must be >= 1")
+        params, _ = self.params_at(cluster_name, instructions_done)
+        seconds_per_inst = (
+            params.cpi / frequency_hz
+            + params.effective_mem_time(frequency_hz) * mem_slowdown
+        )
+        return 1.0 / seconds_per_inst
+
+    def max_ips(self, cluster_name: str, vf_table: VFTable) -> float:
+        """IPS at the highest VF level of ``vf_table`` (phase 0)."""
+        return self.ips(cluster_name, vf_table.max_level.frequency_hz)
+
+    def min_frequency_for(
+        self,
+        cluster_name: str,
+        vf_table: VFTable,
+        qos_ips: float,
+        instructions_done: float = 0.0,
+    ) -> Optional[VFLevel]:
+        """Lowest VF level on ``cluster_name`` that reaches ``qos_ips``.
+
+        Returns ``None`` when the target is unreachable even at the highest
+        level (the "-1 label" case of the paper's Eq. 4).
+        """
+        check_positive("qos_ips", qos_ips)
+        for level in vf_table:
+            if (
+                self.ips(cluster_name, level.frequency_hz, instructions_done)
+                >= qos_ips
+            ):
+                return level
+        return None
+
+    def l2d_per_second(
+        self,
+        cluster_name: str,
+        frequency_hz: float,
+        instructions_done: float = 0.0,
+    ) -> float:
+        """L2D accesses per second at the given operating point."""
+        _, l2d = self.params_at(cluster_name, instructions_done)
+        return l2d * self.ips(cluster_name, frequency_hz, instructions_done)
+
+    def __repr__(self) -> str:
+        return f"AppModel({self.name!r}, suite={self.suite!r})"

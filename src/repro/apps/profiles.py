@@ -1,0 +1,116 @@
+"""Offline application characterization tables.
+
+The paper's trace-collection campaign effectively characterizes each
+benchmark across the VF grid (the Fig. 2a/2b tables).  This module
+produces the same characterization directly from an application model —
+IPS, required power, and energy efficiency per (cluster, VF level) — which
+the examples and docs use and which makes the catalog's personalities
+auditable at a glance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.apps.model import AppModel
+from repro.platform import Platform
+from repro.power import PowerModel
+from repro.utils.tables import ascii_table
+from repro.utils.units import format_frequency
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One (cluster, VF level) characterization row for an application."""
+
+    cluster: str
+    frequency_hz: float
+    voltage_v: float
+    ips: float
+    core_power_w: float
+
+    @property
+    def mips(self) -> float:
+        return self.ips / 1e6
+
+    @property
+    def energy_per_instruction_nj(self) -> float:
+        """Core energy per instruction in nanojoules."""
+        return 1e9 * self.core_power_w / self.ips
+
+
+@dataclass
+class AppProfile:
+    """Full VF-grid characterization of one application."""
+
+    app_name: str
+    points: List[OperatingPoint] = field(default_factory=list)
+
+    def on_cluster(self, cluster: str) -> List[OperatingPoint]:
+        return [p for p in self.points if p.cluster == cluster]
+
+    def max_ips(self) -> float:
+        return max(p.ips for p in self.points)
+
+    def most_efficient_point(self) -> OperatingPoint:
+        """The operating point with the lowest energy per instruction."""
+        return min(self.points, key=lambda p: p.energy_per_instruction_nj)
+
+    def min_point_for(self, qos_ips: float) -> Optional[OperatingPoint]:
+        """The lowest-power point meeting ``qos_ips``, or None."""
+        feasible = [p for p in self.points if p.ips >= qos_ips]
+        if not feasible:
+            return None
+        return min(feasible, key=lambda p: p.core_power_w)
+
+    def report(self) -> str:
+        rows = [
+            (
+                p.cluster,
+                format_frequency(p.frequency_hz),
+                f"{p.mips:.0f} MIPS",
+                f"{p.core_power_w * 1e3:.0f} mW",
+                f"{p.energy_per_instruction_nj:.2f} nJ",
+            )
+            for p in sorted(self.points, key=lambda p: (p.cluster, p.frequency_hz))
+        ]
+        table = ascii_table(
+            ["cluster", "VF level", "performance", "core power", "energy/inst"],
+            rows,
+        )
+        return f"profile of {self.app_name}:\n{table}"
+
+
+def profile_app(
+    app: AppModel,
+    platform: Platform,
+    power_model: Optional[PowerModel] = None,
+    nominal_temp_c: float = 50.0,
+) -> AppProfile:
+    """Characterize ``app`` at every (cluster, VF level) of ``platform``.
+
+    ``core_power_w`` is the single-core power (dynamic at the app's
+    activity factor plus leakage at ``nominal_temp_c``) — the quantity the
+    mapping trade-offs of Fig. 1 hinge on.
+    """
+    power_model = power_model or PowerModel(platform)
+    profile = AppProfile(app_name=app.name)
+    for cluster in platform.clusters:
+        core_id = cluster.core_ids[0]
+        params, _ = app.params_at(cluster.name, 0.0)
+        for level in cluster.vf_table:
+            ips = app.ips(cluster.name, level.frequency_hz)
+            power = power_model.core_dynamic_power(
+                core_id, level, params.activity
+            ) + power_model.core_leakage_power(core_id, level, nominal_temp_c)
+            profile.points.append(
+                OperatingPoint(
+                    cluster=cluster.name,
+                    frequency_hz=level.frequency_hz,
+                    voltage_v=level.voltage_v,
+                    ips=ips,
+                    core_power_w=power,
+                )
+            )
+    return profile

@@ -1,0 +1,42 @@
+"""QoS-target helpers.
+
+The paper expresses QoS targets in IPS.  Two selection rules appear in the
+evaluation:
+
+* the motivational example and illustrative runs set the target to a
+  fraction (30 %) of the IPS reached at the highest VF level on the big
+  cluster;
+* the single-application experiments set targets "such that they can be met
+  at the highest VF level on the LITTLE cluster".
+
+Both helpers live here so every experiment selects targets identically.
+"""
+
+from __future__ import annotations
+
+from repro.apps.model import AppModel
+from repro.platform.description import Platform
+from repro.platform.hikey import BIG, LITTLE
+from repro.utils.validation import check_in_range
+
+
+def qos_fraction_of_big_max(
+    app: AppModel, platform: Platform, fraction: float = 0.3
+) -> float:
+    """QoS target as ``fraction`` of the app's big-cluster peak IPS."""
+    check_in_range("fraction", fraction, 0.0, 1.0)
+    big = platform.cluster(BIG)
+    return fraction * app.max_ips(BIG, big.vf_table)
+
+
+def default_qos_target(
+    app: AppModel, platform: Platform, fraction_of_little_max: float = 0.75
+) -> float:
+    """QoS target reachable at the top LITTLE level (single-app experiments).
+
+    A fraction of the LITTLE-cluster peak IPS guarantees feasibility on both
+    clusters while leaving DVFS headroom, mirroring Sec. 7.3.
+    """
+    check_in_range("fraction_of_little_max", fraction_of_little_max, 0.0, 1.0)
+    little = platform.cluster(LITTLE)
+    return fraction_of_little_max * app.max_ips(LITTLE, little.vf_table)

@@ -1,0 +1,133 @@
+"""Command-line interface: run experiments and generate reports.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli run fig8 [--scale smoke|medium|paper] [--cache DIR]
+    python -m repro.cli report [--scale medium] [--out EXPERIMENTS.md]
+
+``run`` executes one experiment and prints its figure rows; ``report``
+runs the whole evaluation and writes the paper-vs-measured markdown.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.experiments.assets import AssetConfig, AssetStore
+from repro.experiments.report import ReportScale, generate_report
+
+DEFAULT_CACHE = ".repro_cache"
+
+
+def _scale(name: str) -> ReportScale:
+    factory = {
+        "smoke": ReportScale.smoke,
+        "medium": ReportScale.medium,
+        "paper": ReportScale.paper,
+    }.get(name)
+    if factory is None:
+        raise SystemExit(f"unknown scale {name!r}; use smoke|medium|paper")
+    return factory()
+
+
+def _assets(cache_dir: str, scale_name: str) -> AssetStore:
+    if scale_name == "paper":
+        config = AssetConfig.paper(cache_dir=cache_dir)
+    elif scale_name == "medium":
+        config = AssetConfig(
+            n_scenarios=40,
+            vf_levels_per_cluster=4,
+            max_aoi_candidates=4,
+            n_models=3,
+            cache_dir=cache_dir,
+        )
+    else:
+        config = AssetConfig.smoke(cache_dir=cache_dir)
+    return AssetStore(config=config)
+
+
+def _experiments(scale: ReportScale, assets: AssetStore) -> Dict[str, Callable[[], str]]:
+    from repro.experiments.illustrative import run_illustrative
+    from repro.experiments.main_mixed import run_main_mixed
+    from repro.experiments.migration import run_migration_overhead
+    from repro.experiments.model_eval import run_model_eval
+    from repro.experiments.motivation import run_motivation
+    from repro.experiments.nas import run_nas
+    from repro.experiments.overhead import run_overhead
+    from repro.experiments.single_app import run_single_app
+
+    return {
+        "fig1": lambda: run_motivation(scale.motivation, assets.platform).report(),
+        "fig3": lambda: run_nas(assets, scale.nas).report(),
+        "fig5": lambda: run_migration_overhead(
+            scale.migration, assets.platform
+        ).report(),
+        "fig7": lambda: run_illustrative(assets, scale.illustrative).report(),
+        "fig8": lambda: run_main_mixed(assets, scale.main_mixed).report(),
+        "fig10": lambda: run_main_mixed(
+            assets, scale.main_mixed
+        ).frequency_usage_report(
+            cooling=scale.main_mixed.coolings[-1].name
+        ),
+        "fig11": lambda: run_single_app(assets, scale.single_app).report(),
+        "model-eval": lambda: run_model_eval(assets, scale.model_eval).report(),
+        "fig12": lambda: run_overhead(assets, scale.overhead).report(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.cli", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("experiment")
+    run_p.add_argument("--scale", default="smoke")
+    run_p.add_argument("--cache", default=DEFAULT_CACHE)
+
+    report_p = sub.add_parser("report", help="run the whole evaluation")
+    report_p.add_argument("--scale", default="medium")
+    report_p.add_argument("--out", default="EXPERIMENTS.md")
+    report_p.add_argument("--cache", default=DEFAULT_CACHE)
+
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        scale = ReportScale.smoke()
+        names = _experiments(scale, _assets(DEFAULT_CACHE, "smoke"))
+        print("\n".join(sorted(names)))
+        return 0
+
+    if args.command == "run":
+        scale = _scale(args.scale)
+        assets = _assets(args.cache, args.scale)
+        experiments = _experiments(scale, assets)
+        fn = experiments.get(args.experiment)
+        if fn is None:
+            print(
+                f"unknown experiment {args.experiment!r}; "
+                f"known: {sorted(experiments)}",
+                file=sys.stderr,
+            )
+            return 2
+        print(fn())
+        return 0
+
+    if args.command == "report":
+        scale = _scale(args.scale)
+        assets = _assets(args.cache, args.scale)
+        report = generate_report(assets, scale)
+        with open(args.out, "w") as handle:
+            handle.write(report)
+        print(f"wrote {args.out}")
+        return 0
+
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,101 @@
+"""Experiment runners — one per figure/table of the paper's evaluation.
+
+Every module exposes a ``run_*`` function taking an experiment config with
+two standard constructors: ``smoke()`` (CI-sized, seconds to run) and
+``paper()`` (full-sized, reproduces the paper's setup).  Results are plain
+dataclasses with an ``as_rows()``/``report()`` rendering of the same
+rows/series the paper's figure shows.
+
+==============  ===========================================================
+module          paper artifact
+==============  ===========================================================
+motivation      Fig. 1  — optimal mapping depends on app and background
+nas             Fig. 3  — NN topology grid search
+migration       Fig. 5  — worst-case ping-pong migration overhead
+illustrative    Fig. 7  — IL vs RL mapping stability (adi / seidel-2d)
+main_mixed      Fig. 8  — mixed workloads, fan and no fan (+ Fig. 10 data)
+single_app      Fig. 11 — unseen single-application workloads
+model_eval      Sec. 7.4 — held-out mapping quality of the NN
+overhead        Fig. 12 — run-time overhead vs number of applications
+ablation        design-choice studies: labels, features, periods,
+                migration granularity, source coverage (no-DAgger),
+                measurement noise, RL reward/learner variants
+stability       extension — IL-vs-RL stability metrics
+optimality      extension — gap to a privileged oracle static mapping
+robustness      extension — ambient-temperature robustness
+report          run everything, render EXPERIMENTS.md
+==============  ===========================================================
+"""
+
+from repro.experiments.assets import AssetStore, AssetConfig
+
+__all__ = ["AssetStore", "AssetConfig"]
+
+from repro.experiments.motivation import MotivationConfig, run_motivation
+from repro.experiments.nas import NASConfig, run_nas, split_dataset_by_apps
+from repro.experiments.migration import (
+    MigrationOverheadConfig,
+    run_migration_overhead,
+)
+from repro.experiments.illustrative import IllustrativeConfig, run_illustrative
+from repro.experiments.main_mixed import MainMixedConfig, run_main_mixed
+from repro.experiments.single_app import SingleAppConfig, run_single_app
+from repro.experiments.model_eval import ModelEvalConfig, run_model_eval
+from repro.experiments.overhead import OverheadConfig, run_overhead
+
+__all__ += [
+    "MotivationConfig",
+    "run_motivation",
+    "NASConfig",
+    "run_nas",
+    "split_dataset_by_apps",
+    "MigrationOverheadConfig",
+    "run_migration_overhead",
+    "IllustrativeConfig",
+    "run_illustrative",
+    "MainMixedConfig",
+    "run_main_mixed",
+    "SingleAppConfig",
+    "run_single_app",
+    "ModelEvalConfig",
+    "run_model_eval",
+    "OverheadConfig",
+    "run_overhead",
+]
+
+from repro.experiments.ablation import (
+    AblationConfig,
+    run_label_ablation,
+    run_feature_ablation,
+    run_period_ablation,
+    run_migration_granularity_ablation,
+    run_source_coverage_ablation,
+    run_noise_ablation,
+)
+
+__all__ += [
+    "AblationConfig",
+    "run_label_ablation",
+    "run_feature_ablation",
+    "run_period_ablation",
+    "run_migration_granularity_ablation",
+    "run_source_coverage_ablation",
+    "run_noise_ablation",
+]
+
+from repro.experiments.optimality import OptimalityConfig, run_optimality_gap
+
+__all__ += ["OptimalityConfig", "run_optimality_gap"]
+
+from repro.experiments.stability import StabilityConfig, run_stability
+
+__all__ += ["StabilityConfig", "run_stability"]
+
+from repro.experiments.ablation import run_rl_reward_ablation
+from repro.experiments.robustness import AmbientConfig, run_ambient_robustness
+
+__all__ += ["run_rl_reward_ablation", "AmbientConfig", "run_ambient_robustness"]
+
+from repro.experiments.ablation import run_rl_variant_ablation
+
+__all__ += ["run_rl_variant_ablation"]

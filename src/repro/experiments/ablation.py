@@ -1,0 +1,557 @@
+"""Ablation experiments for the design choices DESIGN.md calls out.
+
+Four studies:
+
+* **labels** — soft Eq.-4 labels (several alpha values) vs. hard one-hot
+  labels, judged by held-out mapping quality (like Sec. 7.4);
+* **features** — removing the f_tilde_{x\\AoI} features (aspect c) or the
+  L2D feature (aspect a) from the model input;
+* **periods** — sweeping the migration epoch and DVFS-loop period around
+  the paper's 500 ms / 50 ms choices;
+* **migration granularity** — one migration per epoch (the paper) vs.
+  greedily executing every predicted improvement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.catalog import HELDOUT_APPS, TRAINING_APPS
+from repro.experiments.assets import AssetStore
+from repro.experiments.model_eval import _evaluate_model_on_grid
+from repro.il.ablation import (
+    F_WO_AOI_FEATURES,
+    L2D_FEATURE,
+    GreedyMultiMigrationPolicy,
+    train_masked_model,
+)
+from repro.il.dataset import DatasetBuilder, LabelConfig
+from repro.il.pipeline import generate_scenarios
+from repro.il.technique import TopIL
+from repro.nn.training import TrainingConfig
+from repro.utils.rng import RandomSource
+from repro.utils.tables import ascii_table
+from repro.workloads.generator import mixed_workload
+from repro.workloads.runner import run_workload
+
+
+@dataclass
+class AblationConfig:
+    """Shared sizes for the ablation studies."""
+
+    n_train_scenarios: int = 10
+    n_test_scenarios: int = 4
+    seed: int = 99
+    training: TrainingConfig = field(
+        default_factory=lambda: TrainingConfig(max_epochs=150, patience=20)
+    )
+    # Period sweep (paper values first).
+    migration_periods_s: Sequence[float] = (0.5, 0.25, 1.0, 2.0)
+    dvfs_periods_s: Sequence[float] = (0.05, 0.1, 0.2)
+    workload_apps: int = 8
+    instruction_scale: float = 0.03
+
+    @classmethod
+    def smoke(cls) -> "AblationConfig":
+        return cls(n_train_scenarios=6, n_test_scenarios=3,
+                   migration_periods_s=(0.5, 2.0), dvfs_periods_s=(0.05, 0.2))
+
+    @classmethod
+    def paper(cls) -> "AblationConfig":
+        return cls(n_train_scenarios=40, n_test_scenarios=12)
+
+
+@dataclass
+class AblationRow:
+    variant: str
+    within_1c: float
+    excess_c: float
+
+
+@dataclass
+class AblationResult:
+    study: str
+    rows: List[AblationRow] = field(default_factory=list)
+
+    def get(self, variant: str) -> AblationRow:
+        for row in self.rows:
+            if row.variant == variant:
+                return row
+        raise KeyError(variant)
+
+    def report(self) -> str:
+        table = ascii_table(
+            ["variant", "within 1C", "mean excess"],
+            [
+                (r.variant, f"{100 * r.within_1c:.1f} %", f"{r.excess_c:.2f} C")
+                for r in self.rows
+            ],
+        )
+        return f"[{self.study}]\n{table}"
+
+
+def _collect_grids(assets: AssetStore, config: AblationConfig):
+    """Training grids (training AoIs) and test grids (held-out AoIs)."""
+    pipeline = assets.pipeline()
+    rng = RandomSource(config.seed)
+    train_scenarios = generate_scenarios(
+        assets.platform, TRAINING_APPS, config.n_train_scenarios,
+        rng.child("ablation-train"),
+    )
+    test_scenarios = generate_scenarios(
+        assets.platform, HELDOUT_APPS, config.n_test_scenarios,
+        rng.child("ablation-test"),
+    )
+    return (
+        pipeline.collect_traces(train_scenarios),
+        pipeline.collect_traces(test_scenarios),
+    )
+
+
+def _heldout_quality(model, test_grids, builder: DatasetBuilder) -> Tuple[float, float]:
+    flags: List[bool] = []
+    excesses: List[float] = []
+    for grid in test_grids:
+        w, e = _evaluate_model_on_grid(model, grid, builder, 1.0)
+        flags.extend(w)
+        excesses.extend(e)
+    if not flags:
+        raise ValueError("no comparable held-out cases")
+    return float(np.mean(flags)), float(np.mean(excesses))
+
+
+def run_label_ablation(
+    assets: AssetStore,
+    config: AblationConfig = AblationConfig(),
+    grids=None,
+) -> AblationResult:
+    """Soft labels at several alphas vs. hard one-hot labels."""
+    train_grids, test_grids = grids or _collect_grids(assets, config)
+    eval_builder = DatasetBuilder(assets.platform)
+    result = AblationResult(study="label ablation")
+    variants = [
+        ("soft alpha=1 (paper)", LabelConfig(alpha=1.0)),
+        ("soft alpha=0.5", LabelConfig(alpha=0.5)),
+        ("soft alpha=2", LabelConfig(alpha=2.0)),
+        ("hard one-hot", LabelConfig(hard_labels=True)),
+    ]
+    for name, label_config in variants:
+        builder = DatasetBuilder(assets.platform, label_config)
+        dataset = builder.build(train_grids)
+        model = train_masked_model(
+            dataset, (), seed=config.seed, training=config.training
+        )
+        within, excess = _heldout_quality(model, test_grids, eval_builder)
+        result.rows.append(AblationRow(name, within, excess))
+    return result
+
+
+def run_feature_ablation(
+    assets: AssetStore,
+    config: AblationConfig = AblationConfig(),
+    grids=None,
+) -> AblationResult:
+    """Full features vs. dropping aspect-c or the L2D feature."""
+    train_grids, test_grids = grids or _collect_grids(assets, config)
+    builder = DatasetBuilder(assets.platform)
+    dataset = builder.build(train_grids)
+    result = AblationResult(study="feature ablation")
+    variants = [
+        ("full features (paper)", ()),
+        ("no f_wo_aoi features", F_WO_AOI_FEATURES),
+        ("no L2D feature", L2D_FEATURE),
+        ("no f_wo_aoi, no L2D", F_WO_AOI_FEATURES + L2D_FEATURE),
+    ]
+    for name, mask in variants:
+        model = train_masked_model(
+            dataset, mask, seed=config.seed, training=config.training
+        )
+        within, excess = _heldout_quality(model, test_grids, builder)
+        result.rows.append(AblationRow(name, within, excess))
+    return result
+
+
+@dataclass
+class PeriodRow:
+    migration_period_s: float
+    dvfs_period_s: float
+    mean_temp_c: float
+    violations: int
+    migrations: int
+
+
+@dataclass
+class PeriodAblationResult:
+    rows: List[PeriodRow] = field(default_factory=list)
+
+    def report(self) -> str:
+        return ascii_table(
+            ["migration period", "DVFS period", "avg temp", "violations",
+             "migrations"],
+            [
+                (f"{r.migration_period_s * 1e3:.0f} ms",
+                 f"{r.dvfs_period_s * 1e3:.0f} ms",
+                 f"{r.mean_temp_c:.1f} C", r.violations, r.migrations)
+                for r in self.rows
+            ],
+        )
+
+
+def run_period_ablation(
+    assets: AssetStore, config: AblationConfig = AblationConfig()
+) -> PeriodAblationResult:
+    """Sweep the control periods around the paper's 500 ms / 50 ms."""
+    platform = assets.platform
+    model = assets.models()[0]
+    workload = mixed_workload(
+        platform,
+        n_apps=config.workload_apps,
+        arrival_rate_per_s=1.0 / 8.0,
+        seed=config.seed,
+        instruction_scale=config.instruction_scale,
+    )
+    result = PeriodAblationResult()
+    for mig_period in config.migration_periods_s:
+        for dvfs_period in config.dvfs_periods_s:
+            technique = TopIL(
+                model,
+                migration_period_s=mig_period,
+                dvfs_period_s=dvfs_period,
+            )
+            run = run_workload(platform, technique, workload, seed=config.seed)
+            result.rows.append(
+                PeriodRow(
+                    migration_period_s=mig_period,
+                    dvfs_period_s=dvfs_period,
+                    mean_temp_c=run.summary.mean_temp_c,
+                    violations=run.summary.n_qos_violations,
+                    migrations=run.summary.migrations,
+                )
+            )
+    return result
+
+
+@dataclass
+class MigrationGranularityResult:
+    rows: List[Tuple[str, float, int, int]] = field(default_factory=list)
+
+    def get(self, variant: str) -> Tuple[str, float, int, int]:
+        for row in self.rows:
+            if row[0] == variant:
+                return row
+        raise KeyError(variant)
+
+    def report(self) -> str:
+        return ascii_table(
+            ["variant", "avg temp", "violations", "migrations"],
+            [
+                (name, f"{temp:.1f} C", viol, mig)
+                for name, temp, viol, mig in self.rows
+            ],
+        )
+
+
+def run_migration_granularity_ablation(
+    assets: AssetStore, config: AblationConfig = AblationConfig()
+) -> MigrationGranularityResult:
+    """One migration per epoch (paper) vs. greedy multi-migration."""
+    platform = assets.platform
+    model = assets.models()[0]
+    workload = mixed_workload(
+        platform,
+        n_apps=config.workload_apps,
+        arrival_rate_per_s=1.0 / 6.0,
+        seed=config.seed,
+        instruction_scale=config.instruction_scale,
+    )
+    result = MigrationGranularityResult()
+    for name, policy_cls in (
+        ("one per epoch (paper)", None),
+        ("greedy multi-migration", GreedyMultiMigrationPolicy),
+    ):
+        technique = TopIL(model)
+        if policy_cls is not None:
+            technique.migration = policy_cls(
+                model=model,
+                period_s=technique.migration.period_s,
+                dvfs_loop=technique.dvfs_loop,
+                overhead_model=technique.migration.overhead_model,
+            )
+        run = run_workload(platform, technique, workload, seed=config.seed)
+        result.rows.append(
+            (
+                name,
+                run.summary.mean_temp_c,
+                run.summary.n_qos_violations,
+                run.summary.migrations,
+            )
+        )
+    return result
+
+
+def _optimal_source_only(dataset):
+    """Keep only examples whose source core is the labeled optimum.
+
+    This mimics naive behavioural cloning on optimal trajectories — the
+    setting where DAgger-style corrections would normally be required.
+    """
+    import numpy as np
+
+    from repro.il.dataset import ILDataset
+
+    keep = []
+    for i in range(len(dataset)):
+        source = dataset.meta[i][1]
+        if dataset.labels[i].max() > 0 and dataset.labels[i][source] == 1.0:
+            keep.append(i)
+    return ILDataset(
+        features=dataset.features[keep],
+        labels=dataset.labels[keep],
+        meta=[dataset.meta[i] for i in keep],
+    )
+
+
+def run_source_coverage_ablation(
+    assets: AssetStore,
+    config: AblationConfig = AblationConfig(),
+    grids=None,
+) -> AblationResult:
+    """All-source training (the paper) vs. optimal-source-only training.
+
+    The paper argues it needs no DAgger because one training example is
+    created for *every* feasible source core, so the policy learns to
+    recover from any mapping.  This ablation trains a model only on
+    optimally-placed sources and evaluates both models exclusively on
+    recovery cases (AoI on a suboptimal core).
+    """
+    train_grids, test_grids = grids or _collect_grids(assets, config)
+    builder = DatasetBuilder(assets.platform)
+    full = builder.build(train_grids)
+    optimal_only = _optimal_source_only(full)
+    result = AblationResult(study="source-coverage ablation (no-DAgger claim)")
+    for name, dataset in (
+        ("all sources (paper)", full),
+        ("optimal source only", optimal_only),
+    ):
+        model = train_masked_model(
+            dataset, (), seed=config.seed, training=config.training
+        )
+        flags, excesses = [], []
+        for grid in test_grids:
+            w, e = _evaluate_model_on_grid(
+                model, grid, builder, 1.0, only_suboptimal_sources=True
+            )
+            flags.extend(w)
+            excesses.extend(e)
+        if not flags:
+            raise ValueError("no suboptimal-source cases in the test grids")
+        result.rows.append(
+            AblationRow(
+                name, float(np.mean(flags)), float(np.mean(excesses))
+            )
+        )
+    return result
+
+
+def run_noise_ablation(
+    assets: AssetStore,
+    config: AblationConfig = AblationConfig(),
+    grids=None,
+    noise_stds_c: Sequence[float] = (0.0, 0.3, 1.0),
+    alphas: Sequence[float] = (0.5, 1.0, 2.0),
+    rng_seed: int = 4242,
+) -> AblationResult:
+    """Measurement noise vs. label sharpness (the alpha trade-off).
+
+    Sec. 4.2 states that alpha trades off "tolerating slightly higher
+    temperatures and susceptibility to temperature measurement noise".
+    This study injects Gaussian noise into the oracle's measured peak
+    temperatures before label generation, for several alphas, and scores
+    the resulting models on *clean* held-out grids.
+    """
+    import dataclasses as _dc
+
+    from repro.il.traces import TraceGrid, TracePoint
+    from repro.utils.rng import RandomSource as _RS
+
+    train_grids, test_grids = grids or _collect_grids(assets, config)
+    eval_builder = DatasetBuilder(assets.platform)
+    result = AblationResult(study="measurement-noise x alpha ablation")
+
+    def _noisy(grids_in, std, rng):
+        if std == 0.0:
+            return list(grids_in)
+        noisy = []
+        for grid in grids_in:
+            clone = TraceGrid(scenario=grid.scenario, vf_grid=dict(grid.vf_grid))
+            for point in grid.points.values():
+                clone.add(
+                    _dc.replace(
+                        point,
+                        peak_temp_c=point.peak_temp_c
+                        + float(rng.normal(0.0, std)),
+                    )
+                )
+            noisy.append(clone)
+        return noisy
+
+    for std in noise_stds_c:
+        rng = _RS(rng_seed).child(f"noise-{std}")
+        noisy_grids = _noisy(train_grids, std, rng)
+        for alpha in alphas:
+            builder = DatasetBuilder(
+                assets.platform, LabelConfig(alpha=alpha)
+            )
+            dataset = builder.build(noisy_grids)
+            model = train_masked_model(
+                dataset, (), seed=config.seed, training=config.training
+            )
+            within, excess = _heldout_quality(model, test_grids, eval_builder)
+            result.rows.append(
+                AblationRow(f"noise={std:.1f}C alpha={alpha:g}", within, excess)
+            )
+    return result
+
+
+@dataclass
+class RLRewardRow:
+    penalty: float
+    epsilon: float
+    mean_temp_c: float
+    violations: int
+    migrations: int
+
+
+@dataclass
+class RLRewardAblationResult:
+    rows: List[RLRewardRow] = field(default_factory=list)
+
+    def report(self) -> str:
+        return ascii_table(
+            ["violation penalty", "epsilon", "avg temp", "violations",
+             "migrations"],
+            [
+                (f"{r.penalty:.0f}", f"{r.epsilon:.2f}",
+                 f"{r.mean_temp_c:.1f} C", r.violations, r.migrations)
+                for r in self.rows
+            ],
+        )
+
+
+def run_rl_reward_ablation(
+    assets: AssetStore,
+    config: AblationConfig = AblationConfig(),
+    penalties: Sequence[float] = (-50.0, -200.0, -800.0),
+    epsilons: Sequence[float] = (0.1,),
+) -> RLRewardAblationResult:
+    """Sweep the RL reward's QoS-violation penalty (and epsilon).
+
+    The paper "empirically tuned the negative reward of -200 ... to
+    achieve a good trade-off between low temperature and low QoS
+    violations" — the structural problem of folding an objective and a
+    constraint into one scalar.  This sweep makes the trade-off visible:
+    weak penalties sacrifice QoS for temperature; harsh penalties push the
+    policy to hot-but-safe operating points.
+    """
+    from repro.rl.policy import RLConfig as _RLConfig
+    from repro.rl.pretrain import pretrain_qtable
+    from repro.rl.technique import TopRL
+
+    platform = assets.platform
+    workload = mixed_workload(
+        platform,
+        n_apps=config.workload_apps,
+        arrival_rate_per_s=1.0 / 6.0,
+        seed=config.seed,
+        instruction_scale=config.instruction_scale,
+    )
+    result = RLRewardAblationResult()
+    for penalty in penalties:
+        for epsilon in epsilons:
+            rl_config = _RLConfig(
+                qos_violation_reward=penalty, epsilon=epsilon
+            )
+            table = pretrain_qtable(
+                platform,
+                seed=config.seed,
+                episodes=1,
+                instruction_scale=0.02,
+                config=rl_config,
+            )
+            technique = TopRL(
+                qtable=table,
+                config=rl_config,
+                rng=RandomSource(config.seed).child(
+                    f"rl-reward-{penalty}-{epsilon}"
+                ),
+            )
+            run = run_workload(platform, technique, workload, seed=config.seed)
+            result.rows.append(
+                RLRewardRow(
+                    penalty=penalty,
+                    epsilon=epsilon,
+                    mean_temp_c=run.summary.mean_temp_c,
+                    violations=run.summary.n_qos_violations,
+                    migrations=run.summary.migrations,
+                )
+            )
+    return result
+
+
+def run_rl_variant_ablation(
+    assets: AssetStore,
+    config: AblationConfig = AblationConfig(),
+) -> MigrationGranularityResult:
+    """Plain Q-learning vs. Double Q-learning for the RL baseline.
+
+    Double Q removes the maximization bias of tabular Q-learning; if the
+    RL baseline's weakness were merely the learner, this variant would
+    close the gap to TOP-IL.  The structural problems the paper names
+    (online exploration, scalarized reward) remain, so it does not.
+    """
+    from repro.rl.double import DoubleQTable
+    from repro.rl.policy import RLConfig as _RLConfig
+    from repro.rl.state import N_STATES
+    from repro.rl.technique import TopRL
+
+    platform = assets.platform
+    workload = mixed_workload(
+        platform,
+        n_apps=config.workload_apps,
+        arrival_rate_per_s=1.0 / 6.0,
+        seed=config.seed,
+        instruction_scale=config.instruction_scale,
+    )
+    result = MigrationGranularityResult()
+    pretrained = assets.qtables()[0]
+    variants = [
+        ("plain Q (paper)", pretrained.copy()),
+    ]
+    double = DoubleQTable(
+        N_STATES, platform.n_cores,
+        rng=RandomSource(config.seed).child("double-q"),
+    )
+    # Warm-start both halves from the pre-trained plain table so the
+    # comparison isolates the update rule, not the training budget.
+    double.table_a.values[:] = pretrained.values / 2.0
+    double.table_b.values[:] = pretrained.values / 2.0
+    variants.append(("double Q", double))
+    for name, table in variants:
+        technique = TopRL(
+            qtable=table,
+            config=_RLConfig(),
+            rng=RandomSource(config.seed).child(f"rl-variant-{name}"),
+        )
+        run = run_workload(platform, technique, workload, seed=config.seed)
+        result.rows.append(
+            (
+                name,
+                run.summary.mean_temp_c,
+                run.summary.n_qos_violations,
+                run.summary.migrations,
+            )
+        )
+    return result

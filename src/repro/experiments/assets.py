@@ -1,0 +1,163 @@
+"""Shared experiment assets: trained IL models and pre-trained Q-tables.
+
+Several experiments need the same design-time artifacts (the paper trains
+three IL models and three RL policies once and reuses them everywhere).
+:class:`AssetStore` builds them on first use and caches the expensive parts
+(the IL dataset, the Q-tables) on disk so repeated benchmark invocations
+are fast.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from repro.il.dataset import ILDataset
+from repro.il.pipeline import ILPipeline, PipelineConfig
+from repro.nn.layers import Sequential
+from repro.nn.training import TrainingConfig
+from repro.platform import Platform, hikey970
+from repro.rl.pretrain import pretrain_qtable
+from repro.rl.qtable import QTable
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class AssetConfig:
+    """Size knobs of the shared design-time artifacts."""
+
+    n_scenarios: int = 60
+    vf_levels_per_cluster: int = 4
+    max_aoi_candidates: int = 4
+    n_models: int = 3
+    training: TrainingConfig = field(default_factory=TrainingConfig)
+    rl_episodes: int = 3
+    rl_instruction_scale: float = 0.05
+    seed: int = 42
+    cache_dir: Optional[str] = None
+
+    def __post_init__(self):
+        check_positive("n_scenarios", self.n_scenarios)
+
+    @classmethod
+    def smoke(cls, cache_dir: Optional[str] = None) -> "AssetConfig":
+        """A minute-scale configuration for tests and CI benchmarks.
+
+        Large enough that the trained policy exhibits the paper's
+        behaviours (e.g. migrating adi to the big cluster), small enough
+        to build in well under a minute.
+        """
+        return cls(
+            n_scenarios=14,
+            vf_levels_per_cluster=3,
+            max_aoi_candidates=3,
+            n_models=2,
+            training=TrainingConfig(max_epochs=150, patience=20),
+            rl_episodes=1,
+            rl_instruction_scale=0.02,
+            cache_dir=cache_dir,
+        )
+
+    @classmethod
+    def paper(cls, cache_dir: Optional[str] = None) -> "AssetConfig":
+        """The paper-sized configuration (100 scenarios, 3 models)."""
+        return cls(n_scenarios=100, n_models=3, cache_dir=cache_dir)
+
+
+class AssetStore:
+    """Lazily builds and caches models, datasets, and Q-tables."""
+
+    def __init__(
+        self,
+        platform: Optional[Platform] = None,
+        config: Optional[AssetConfig] = None,
+    ):
+        self.platform = platform or hikey970()
+        self.config = config or AssetConfig()
+        self._dataset: Optional[ILDataset] = None
+        self._models: Optional[List[Sequential]] = None
+        self._qtables: Optional[List[QTable]] = None
+        self._pipeline: Optional[ILPipeline] = None
+
+    # ------------------------------------------------------------------ paths
+    def _cache_path(self, name: str) -> Optional[str]:
+        if self.config.cache_dir is None:
+            return None
+        os.makedirs(self.config.cache_dir, exist_ok=True)
+        tag = (
+            f"s{self.config.n_scenarios}-v{self.config.vf_levels_per_cluster}"
+            f"-c{self.config.max_aoi_candidates}-seed{self.config.seed}"
+        )
+        return os.path.join(self.config.cache_dir, f"{name}-{tag}.npz")
+
+    # ------------------------------------------------------------------ pipeline
+    def pipeline(self) -> ILPipeline:
+        if self._pipeline is None:
+            cfg = PipelineConfig(
+                n_scenarios=self.config.n_scenarios,
+                vf_levels_per_cluster=self.config.vf_levels_per_cluster,
+                max_aoi_candidates=self.config.max_aoi_candidates,
+                n_models=self.config.n_models,
+                training=self.config.training,
+                seed=self.config.seed,
+                cache_path=self._cache_path("il-dataset"),
+            )
+            self._pipeline = ILPipeline(self.platform, config=cfg)
+        return self._pipeline
+
+    def dataset(self) -> ILDataset:
+        """The IL training dataset (built or loaded from cache)."""
+        if self._dataset is None:
+            pipeline = self.pipeline()
+            cache = pipeline.config.cache_path
+            if cache is not None and os.path.exists(cache):
+                self._dataset = ILDataset.load(cache)
+            else:
+                from repro.il.pipeline import generate_scenarios
+                from repro.utils.rng import RandomSource
+
+                scenarios = generate_scenarios(
+                    self.platform,
+                    pipeline.config.apps,
+                    pipeline.config.n_scenarios,
+                    RandomSource(pipeline.config.seed).child("scenarios"),
+                    pipeline.config.max_background_apps,
+                )
+                grids = pipeline.collect_traces(scenarios)
+                self._dataset = pipeline.build_dataset(grids)
+                if cache is not None:
+                    self._dataset.save(cache)
+        return self._dataset
+
+    def models(self) -> List[Sequential]:
+        """The trained IL models (one per random seed)."""
+        if self._models is None:
+            result = self.pipeline().train_models(self.dataset())
+            self._models = result.models
+        return self._models
+
+    def qtables(self) -> List[QTable]:
+        """Pre-trained RL Q-tables (one per random seed)."""
+        if self._qtables is None:
+            tables: List[QTable] = []
+            for i in range(self.config.n_models):
+                path = self._cache_path(f"qtable-{i}")
+                if path is not None and os.path.exists(path):
+                    tables.append(QTable.load(path))
+                    continue
+                table = pretrain_qtable(
+                    self.platform,
+                    seed=self.config.seed + i,
+                    episodes=self.config.rl_episodes,
+                    instruction_scale=self.config.rl_instruction_scale,
+                )
+                if path is not None:
+                    table.save(path)
+                tables.append(table)
+            self._qtables = tables
+        return self._qtables
+
+    def with_config(self, **overrides) -> "AssetStore":
+        """A new store sharing the platform but with config overrides."""
+        return AssetStore(self.platform, replace(self.config, **overrides))

@@ -1,0 +1,161 @@
+"""Fig. 7 — illustrative example: IL vs RL mapping stability.
+
+Runs *adi* (big-optimal) and *seidel-2d* (LITTLE-optimal) as single
+applications under TOP-IL and TOP-RL, recording the cluster the AoI is
+mapped to over time.  The paper's observation: TOP-IL consistently selects
+the optimal cluster while TOP-RL oscillates, raising temperature during
+the suboptimal intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.apps.catalog import get_app
+from repro.apps.qos import qos_fraction_of_big_max
+from repro.experiments.assets import AssetStore
+from repro.governors.base import Technique
+from repro.il.technique import TopIL
+from repro.platform import Platform
+from repro.platform.hikey import BIG, LITTLE
+from repro.rl.technique import TopRL
+from repro.utils.rng import RandomSource
+from repro.utils.tables import ascii_table
+from repro.workloads.generator import Workload, WorkloadItem
+from repro.workloads.runner import run_workload
+
+
+@dataclass
+class IllustrativeConfig:
+    apps: tuple = ("adi", "seidel-2d")
+    qos_fraction: float = 0.3
+    instruction_scale: float = 0.3
+    seed: int = 7
+
+    @classmethod
+    def smoke(cls) -> "IllustrativeConfig":
+        return cls(instruction_scale=0.04)
+
+    @classmethod
+    def paper(cls) -> "IllustrativeConfig":
+        return cls(instruction_scale=1.0)
+
+
+@dataclass
+class IllustrativeRun:
+    app: str
+    technique: str
+    fraction_on_big: float
+    cluster_switches: int
+    mean_temp_c: float
+    qos_violated: bool
+    cluster_series: List[str] = field(default_factory=list)
+    time_series: List[float] = field(default_factory=list)
+
+
+@dataclass
+class IllustrativeResult:
+    runs: List[IllustrativeRun] = field(default_factory=list)
+
+    def get(self, app: str, technique: str) -> IllustrativeRun:
+        for run in self.runs:
+            if run.app == app and run.technique == technique:
+                return run
+        raise KeyError((app, technique))
+
+    def timeline(self, app: str, technique: str, width: int = 60) -> str:
+        """Fig. 7's mapping timeline as text: 'b' = big, 'L' = LITTLE.
+
+        A dot marks samples where the application was not running
+        (before arrival / after completion).
+        """
+        run = self.get(app, technique)
+        series = run.cluster_series
+        if not series:
+            return ""
+        stride = max(1, len(series) // width)
+        sampled = series[::stride][:width]
+        symbol = {BIG: "b", LITTLE: "L", "": "."}
+        return "".join(symbol.get(c, "?") for c in sampled)
+
+    def report(self) -> str:
+        rows = [
+            (
+                r.app,
+                r.technique,
+                f"{100 * r.fraction_on_big:.0f} %",
+                r.cluster_switches,
+                f"{r.mean_temp_c:.1f} C",
+                "violated" if r.qos_violated else "met",
+            )
+            for r in self.runs
+        ]
+        table = ascii_table(
+            ["app", "technique", "time on big", "switches", "mean temp", "QoS"],
+            rows,
+        )
+        timelines = "\n".join(
+            f"{r.app:10s} {r.technique:7s} "
+            f"[{self.timeline(r.app, r.technique)}]"
+            for r in self.runs
+        )
+        return f"{table}\n\nmapping timelines (b = big, L = LITTLE):\n{timelines}"
+
+
+def _cluster_series(result, pid: int, platform: Platform) -> List[str]:
+    core_to_cluster = {
+        c.core_id: c.cluster_name for c in platform.cores
+    }
+    return result.trace.cluster_of_samples(pid, core_to_cluster)
+
+
+def run_illustrative(
+    assets: AssetStore,
+    config: IllustrativeConfig = IllustrativeConfig(),
+) -> IllustrativeResult:
+    """Run the four (app x technique) combinations of Fig. 7."""
+    platform = assets.platform
+    models = assets.models()
+    qtables = assets.qtables()
+    result = IllustrativeResult()
+    for app_name in config.apps:
+        app = get_app(app_name)
+        target = qos_fraction_of_big_max(app, platform, config.qos_fraction)
+        workload = Workload(
+            name=f"illustrative-{app_name}",
+            items=[WorkloadItem(app_name, target, 0.0)],
+            instruction_scale=config.instruction_scale,
+        )
+        techniques: List[Technique] = [
+            TopIL(models[0]),
+            TopRL(
+                qtable=qtables[0].copy(),
+                rng=RandomSource(config.seed).child(f"rl-{app_name}"),
+            ),
+        ]
+        for technique in techniques:
+            run = run_workload(
+                platform, technique, workload, seed=config.seed
+            )
+            pid = 0
+            clusters = _cluster_series(run, pid, platform)
+            active = [c for c in clusters if c]
+            on_big = sum(1 for c in active if c == BIG)
+            switches = sum(
+                1 for a, b in zip(active, active[1:]) if a != b
+            )
+            process = run.sim.process(pid)
+            result.runs.append(
+                IllustrativeRun(
+                    app=app_name,
+                    technique=technique.name,
+                    fraction_on_big=on_big / max(1, len(active)),
+                    cluster_switches=switches,
+                    mean_temp_c=run.summary.mean_temp_c,
+                    qos_violated=process.violated_qos(run.sim.now_s),
+                    cluster_series=clusters,
+                    time_series=list(run.trace.times),
+                )
+            )
+    return result

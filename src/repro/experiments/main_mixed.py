@@ -1,0 +1,211 @@
+"""Fig. 8 (+ Fig. 10 data) — the main experiment: parallel mixed workloads.
+
+A mixed workload of randomly selected PARSEC + Polybench applications with
+random QoS targets and Poisson arrivals is executed under all four
+techniques, at several arrival rates, with three repetitions (each using a
+model / Q-table trained with a different random seed), with active (fan)
+and passive (no fan) cooling.  Reported per technique: average temperature
+and the number of QoS-violating applications (mean +/- std over
+repetitions), plus the CPU-time-per-VF-level distribution (Fig. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.assets import AssetStore
+from repro.governors.base import Technique
+from repro.governors.techniques import GTSOndemand, GTSPowersave
+from repro.il.technique import TopIL
+from repro.metrics.cputime import CpuTimeByVF
+from repro.rl.technique import TopRL
+from repro.thermal import CoolingConfig, FAN_COOLING, PASSIVE_COOLING
+from repro.utils.rng import RandomSource
+from repro.utils.tables import ascii_table
+from repro.workloads.generator import mixed_workload
+from repro.workloads.runner import run_workload
+
+TECHNIQUE_NAMES = ("TOP-IL", "TOP-RL", "GTS/ondemand", "GTS/powersave")
+
+
+@dataclass
+class MainMixedConfig:
+    n_apps: int = 20
+    arrival_rates: Sequence[float] = (1.0 / 45.0, 1.0 / 25.0, 1.0 / 12.0)
+    repetitions: int = 3
+    coolings: Sequence[CoolingConfig] = (FAN_COOLING, PASSIVE_COOLING)
+    instruction_scale: float = 1.0
+    workload_seed: int = 11
+    techniques: Sequence[str] = TECHNIQUE_NAMES
+
+    @classmethod
+    def smoke(cls) -> "MainMixedConfig":
+        return cls(
+            n_apps=6,
+            arrival_rates=(1.0 / 6.0,),
+            repetitions=2,
+            coolings=(FAN_COOLING,),
+            instruction_scale=0.02,
+        )
+
+    @classmethod
+    def paper(cls) -> "MainMixedConfig":
+        return cls()
+
+
+@dataclass
+class TechniqueAggregate:
+    """Per-(technique, cooling) aggregate over rates and repetitions."""
+
+    technique: str
+    cooling: str
+    mean_temp_c: float
+    std_temp_c: float
+    mean_violations: float
+    std_violations: float
+    mean_violation_fraction: float
+    cpu_time_by_vf: CpuTimeByVF
+    dtm_throttle_events: int
+    mean_utilization: float
+    peak_utilization: float
+
+
+@dataclass
+class MainMixedResult:
+    config: MainMixedConfig
+    aggregates: List[TechniqueAggregate] = field(default_factory=list)
+    #: raw rows: (technique, cooling, rate, repetition, mean temp, violations)
+    raw: List[Tuple[str, str, float, int, float, int]] = field(default_factory=list)
+
+    def aggregate(self, technique: str, cooling: str) -> TechniqueAggregate:
+        for agg in self.aggregates:
+            if agg.technique == technique and agg.cooling == cooling:
+                return agg
+        raise KeyError((technique, cooling))
+
+    def report(self) -> str:
+        rows = [
+            (
+                a.technique,
+                a.cooling,
+                f"{a.mean_temp_c:.1f} +/- {a.std_temp_c:.1f} C",
+                f"{a.mean_violations:.1f} +/- {a.std_violations:.1f}",
+                f"{100 * a.mean_violation_fraction:.0f} %",
+                a.dtm_throttle_events,
+            )
+            for a in self.aggregates
+        ]
+        return ascii_table(
+            ["technique", "cooling", "avg temp", "QoS violations", "violation %",
+             "throttle events"],
+            rows,
+        )
+
+    def frequency_usage_report(self, cooling: str = "no_fan") -> str:
+        """Fig. 10: CPU time per cluster and VF level per technique."""
+        rows = []
+        for agg in self.aggregates:
+            if agg.cooling != cooling:
+                continue
+            usage = agg.cpu_time_by_vf
+            for (cluster, freq), seconds in sorted(usage.seconds.items()):
+                rows.append(
+                    (
+                        agg.technique,
+                        cluster,
+                        f"{freq / 1e9:.2f} GHz",
+                        f"{seconds:.1f} s",
+                        f"{100 * usage.fraction(cluster, freq):.0f} %",
+                    )
+                )
+        return ascii_table(
+            ["technique", "cluster", "VF level", "CPU time", "share"], rows
+        )
+
+
+def _make_technique(name: str, assets: AssetStore, repetition: int, seed: int) -> Technique:
+    """Instantiate one technique; learned ones use the repetition's model."""
+    if name == "TOP-IL":
+        models = assets.models()
+        return TopIL(models[repetition % len(models)])
+    if name == "TOP-RL":
+        qtables = assets.qtables()
+        return TopRL(
+            qtable=qtables[repetition % len(qtables)].copy(),
+            rng=RandomSource(seed).child(f"rl-run-{repetition}"),
+        )
+    if name == "GTS/ondemand":
+        return GTSOndemand()
+    if name == "GTS/powersave":
+        return GTSPowersave()
+    raise ValueError(f"unknown technique {name!r}")
+
+
+def run_main_mixed(
+    assets: AssetStore,
+    config: MainMixedConfig = MainMixedConfig(),
+) -> MainMixedResult:
+    """Run the full technique x rate x repetition x cooling grid."""
+    platform = assets.platform
+    result = MainMixedResult(config=config)
+    for cooling in config.coolings:
+        per_technique: Dict[str, Dict[str, list]] = {
+            name: {"temps": [], "violations": [], "fracs": [],
+                   "usage": CpuTimeByVF(), "throttles": 0,
+                   "utils": [], "peaks": []}
+            for name in config.techniques
+        }
+        for rate in config.arrival_rates:
+            for rep in range(config.repetitions):
+                workload = mixed_workload(
+                    platform,
+                    n_apps=config.n_apps,
+                    arrival_rate_per_s=rate,
+                    seed=config.workload_seed + rep,
+                    instruction_scale=config.instruction_scale,
+                )
+                for name in config.techniques:
+                    technique = _make_technique(
+                        name, assets, rep, config.workload_seed + rep
+                    )
+                    run = run_workload(
+                        platform,
+                        technique,
+                        workload,
+                        cooling=cooling,
+                        seed=config.workload_seed + rep,
+                    )
+                    s = run.summary
+                    bucket = per_technique[name]
+                    bucket["temps"].append(s.mean_temp_c)
+                    bucket["violations"].append(s.n_qos_violations)
+                    bucket["fracs"].append(s.violation_fraction)
+                    bucket["usage"] = bucket["usage"].merge(s.cpu_time_by_vf)
+                    bucket["throttles"] += s.dtm_throttle_events
+                    bucket["utils"].append(s.mean_utilization)
+                    bucket["peaks"].append(s.peak_utilization)
+                    result.raw.append(
+                        (name, cooling.name, rate, rep, s.mean_temp_c,
+                         s.n_qos_violations)
+                    )
+        for name in config.techniques:
+            bucket = per_technique[name]
+            result.aggregates.append(
+                TechniqueAggregate(
+                    technique=name,
+                    cooling=cooling.name,
+                    mean_temp_c=float(np.mean(bucket["temps"])),
+                    std_temp_c=float(np.std(bucket["temps"])),
+                    mean_violations=float(np.mean(bucket["violations"])),
+                    std_violations=float(np.std(bucket["violations"])),
+                    mean_violation_fraction=float(np.mean(bucket["fracs"])),
+                    cpu_time_by_vf=bucket["usage"],
+                    dtm_throttle_events=bucket["throttles"],
+                    mean_utilization=float(np.mean(bucket["utils"])),
+                    peak_utilization=float(np.max(bucket["peaks"])),
+                )
+            )
+    return result

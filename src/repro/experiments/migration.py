@@ -1,0 +1,167 @@
+"""Fig. 5 — worst-case application-migration overhead.
+
+The paper quantifies the cost of migrating by ping-ponging an application
+between a big and a LITTLE core every migration epoch (500 ms) and
+comparing its throughput against the average of staying put::
+
+    m = (1/2 (1/t_big + 1/t_LITTLE)) / (1/t_migrate) - 1
+
+Expressed in rates: ``m = mean(r_big, r_LITTLE) / r_pingpong - 1``.  The
+overhead comes from cold caches after each move; applications with strong
+phase behaviour (dedup, facesim) can show *negative* overhead when the
+epoch correlates with their phases.  Each experiment is repeated three
+times with a different epoch offset (the repetition randomness of the
+paper's three runs).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.catalog import get_app
+from repro.platform import Platform, hikey970
+from repro.platform.hikey import BIG, LITTLE
+from repro.sim.kernel import SimConfig, Simulator
+from repro.thermal import FAN_COOLING
+from repro.utils.tables import ascii_table
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class MigrationOverheadConfig:
+    apps: Sequence[str] = (
+        "blackscholes",
+        "bodytrack",
+        "canneal",
+        "dedup",
+        "facesim",
+        "ferret",
+        "fluidanimate",
+        "swaptions",
+    )
+    epoch_s: float = 0.5
+    measure_s: float = 60.0
+    repetitions: int = 3
+    little_core: int = 0
+    big_core: int = 4
+    dt_s: float = 0.01
+
+    def __post_init__(self):
+        check_positive("measure_s", self.measure_s)
+        check_positive("repetitions", self.repetitions)
+
+    @classmethod
+    def smoke(cls) -> "MigrationOverheadConfig":
+        return cls(apps=("dedup", "swaptions", "canneal"), measure_s=30.0, repetitions=2)
+
+    @classmethod
+    def paper(cls) -> "MigrationOverheadConfig":
+        return cls()
+
+
+@dataclass
+class MigrationOverheadResult:
+    #: app -> (mean overhead, std over repetitions)
+    overhead: List[Tuple[str, float, float]] = field(default_factory=list)
+
+    def max_overhead(self) -> float:
+        return max(m for _, m, _ in self.overhead)
+
+    def mean_overhead(self) -> float:
+        return float(np.mean([m for _, m, _ in self.overhead]))
+
+    def report(self) -> str:
+        rows = [
+            (app, f"{100 * mean:+.2f} %", f"{100 * std:.2f} %")
+            for app, mean, std in self.overhead
+        ]
+        table = ascii_table(["app", "overhead", "std"], rows)
+        return (
+            f"{table}\n"
+            f"max {100 * self.max_overhead():.2f} %, "
+            f"mean {100 * self.mean_overhead():.2f} %"
+        )
+
+
+def _throughput(
+    platform: Platform,
+    app_name: str,
+    core_schedule,
+    measure_s: float,
+    epoch_s: float,
+    dt_s: float,
+) -> float:
+    """Instructions/s of ``app`` under a core schedule (callable of time)."""
+    sim = Simulator(
+        platform,
+        FAN_COOLING,
+        config=SimConfig(dt_s=dt_s, model_overhead_on_core=None),
+        sensor_noise_std_c=0.0,
+    )
+    for cluster in platform.clusters:
+        sim.set_vf_level(cluster.name, cluster.vf_table.max_level)
+    app = dataclasses.replace(get_app(app_name), total_instructions=1e15)
+    pid = sim.submit(app, qos_target_ips=1.0, arrival_time_s=0.0)
+    first_core = core_schedule(0.0)
+    sim.placement_policy = lambda s, p: first_core
+
+    def migrator(s: Simulator) -> None:
+        target = core_schedule(s.now_s)
+        proc = s.process(pid)
+        if proc.is_running() and proc.core_id != target:
+            s.migrate(pid, target)
+
+    sim.add_controller("pingpong", epoch_s, migrator)
+    sim.run_for(measure_s)
+    return sim.process(pid).instructions_done / measure_s
+
+
+def run_migration_overhead(
+    config: MigrationOverheadConfig = MigrationOverheadConfig(),
+    platform: Optional[Platform] = None,
+) -> MigrationOverheadResult:
+    """Measure the worst-case ping-pong migration overhead per application."""
+    platform = platform or hikey970()
+    result = MigrationOverheadResult()
+    for app_name in config.apps:
+        r_big = _throughput(
+            platform,
+            app_name,
+            lambda t: config.big_core,
+            config.measure_s,
+            config.epoch_s,
+            config.dt_s,
+        )
+        r_little = _throughput(
+            platform,
+            app_name,
+            lambda t: config.little_core,
+            config.measure_s,
+            config.epoch_s,
+            config.dt_s,
+        )
+        overheads = []
+        for rep in range(config.repetitions):
+            offset = rep * config.epoch_s / config.repetitions
+
+            def schedule(t: float, _offset=offset) -> int:
+                phase = int((t + _offset) // config.epoch_s)
+                return config.big_core if phase % 2 == 0 else config.little_core
+
+            r_pingpong = _throughput(
+                platform,
+                app_name,
+                schedule,
+                config.measure_s,
+                config.epoch_s,
+                config.dt_s,
+            )
+            overheads.append(0.5 * (r_big + r_little) / r_pingpong - 1.0)
+        result.overhead.append(
+            (app_name, float(np.mean(overheads)), float(np.std(overheads)))
+        )
+    return result

@@ -1,0 +1,199 @@
+"""Sec. 7.4 — evaluating the NN model in isolation on held-out AoIs.
+
+Fresh trace grids are collected for scenarios whose AoI is a *held-out*
+kernel (never used for training).  For every sweep setting the model rates
+all candidate mappings from each feasible source core; the predicted
+mapping (highest rating among candidates) is compared against the oracle's
+coolest mapping.  Reported, per model and aggregated over models trained
+with different seeds:
+
+* the fraction of cases where the chosen mapping is within 1 degC of the
+  optimum (paper: 82 +/- 5 %), and
+* the mean temperature excess over the optimum (paper: 0.5 +/- 0.2 degC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.catalog import HELDOUT_APPS
+from repro.experiments.assets import AssetStore
+from repro.il.dataset import DatasetBuilder
+from repro.il.pipeline import generate_scenarios
+from repro.il.traces import TraceGrid
+from repro.nn.layers import Sequential
+from repro.utils.rng import RandomSource
+from repro.utils.tables import ascii_table
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class ModelEvalConfig:
+    test_apps: Sequence[str] = HELDOUT_APPS
+    n_scenarios: int = 12
+    within_threshold_c: float = 1.0
+    seed: int = 77
+
+    def __post_init__(self):
+        check_positive("n_scenarios", self.n_scenarios)
+        check_positive("within_threshold_c", self.within_threshold_c)
+
+    @classmethod
+    def smoke(cls) -> "ModelEvalConfig":
+        return cls(n_scenarios=3)
+
+    @classmethod
+    def paper(cls) -> "ModelEvalConfig":
+        return cls(n_scenarios=30)
+
+
+@dataclass
+class ModelEvalResult:
+    per_model_within: List[float] = field(default_factory=list)
+    per_model_excess: List[float] = field(default_factory=list)
+    n_cases: int = 0
+
+    @property
+    def mean_within(self) -> float:
+        return float(np.mean(self.per_model_within))
+
+    @property
+    def std_within(self) -> float:
+        return float(np.std(self.per_model_within))
+
+    @property
+    def mean_excess_c(self) -> float:
+        return float(np.mean(self.per_model_excess))
+
+    @property
+    def std_excess_c(self) -> float:
+        return float(np.std(self.per_model_excess))
+
+    def report(self) -> str:
+        rows = [
+            (i, f"{100 * w:.1f} %", f"{e:.2f} C")
+            for i, (w, e) in enumerate(
+                zip(self.per_model_within, self.per_model_excess)
+            )
+        ]
+        table = ascii_table(["model", "within 1C", "mean excess"], rows)
+        return (
+            f"{table}\n"
+            f"aggregate: within 1C {100 * self.mean_within:.1f} +/- "
+            f"{100 * self.std_within:.1f} %, excess "
+            f"{self.mean_excess_c:.2f} +/- {self.std_excess_c:.2f} C "
+            f"({self.n_cases} cases)"
+        )
+
+
+def _evaluate_model_on_grid(
+    model: Sequential,
+    grid: TraceGrid,
+    builder: DatasetBuilder,
+    threshold_c: float,
+    only_suboptimal_sources: bool = False,
+) -> Tuple[List[bool], List[float]]:
+    """Walk the sweep; return (within-threshold flags, temp excesses).
+
+    With ``only_suboptimal_sources`` the evaluation restricts itself to
+    cases where the AoI currently sits on a core that is *not* the coolest
+    feasible mapping — the recovery situations that motivate the paper's
+    exhaustive-source training (its argument for not needing DAgger).
+    """
+    platform = builder.platform
+    occupied = sorted(grid.scenario.background_dict())
+    candidates = grid.aoi_cores()
+    max_ips = grid.max_aoi_ips()
+    within: List[bool] = []
+    excess: List[float] = []
+
+    from repro.il.dataset import _dict_product  # same sweep as training
+
+    for fraction in builder.qos_fractions:
+        qos_target = fraction * max_ips
+        for f_wo_aoi in _dict_product(grid.vf_grid):
+            selections = {
+                core: builder.select_trace(grid, core, qos_target, f_wo_aoi)
+                for core in candidates
+            }
+            feasible = {
+                core: sel
+                for core, sel in selections.items()
+                if sel.point is not None
+            }
+            if len(feasible) < 2:
+                continue  # nothing to choose between
+            t_min = min(sel.point.peak_temp_c for sel in feasible.values())
+            utils = {c: 0.0 for c in range(platform.n_cores)}
+            for c in occupied:
+                utils[c] = 1.0
+            best_core = min(
+                feasible, key=lambda c: feasible[c].point.peak_temp_c
+            )
+            for source_core, source_sel in feasible.items():
+                if only_suboptimal_sources and source_core == best_core:
+                    continue
+                source_utils = dict(utils)
+                source_utils[source_core] = 1.0
+                vec = builder.extractor.build(
+                    aoi_ips=source_sel.point.aoi_ips,
+                    aoi_l2d_rate=source_sel.point.aoi_l2d_rate,
+                    aoi_qos_target=qos_target,
+                    aoi_core=source_core,
+                    f_wo_aoi_hz=f_wo_aoi,
+                    f_current_hz=source_sel.f_hz,
+                    core_utilization=source_utils,
+                )
+                ratings = model.forward(vec)[0]
+                chosen = max(candidates, key=lambda c: ratings[c])
+                if chosen in feasible:
+                    t_chosen = feasible[chosen].point.peak_temp_c
+                else:
+                    # Choosing an infeasible core is maximally wrong: charge
+                    # the hottest feasible temperature plus the threshold.
+                    t_chosen = (
+                        max(sel.point.peak_temp_c for sel in feasible.values())
+                        + threshold_c
+                    )
+                within.append(t_chosen - t_min <= threshold_c)
+                excess.append(t_chosen - t_min)
+    return within, excess
+
+
+def run_model_eval(
+    assets: AssetStore,
+    config: ModelEvalConfig = ModelEvalConfig(),
+    grids: Optional[Sequence[TraceGrid]] = None,
+) -> ModelEvalResult:
+    """Evaluate every trained model on held-out-AoI trace grids."""
+    platform = assets.platform
+    pipeline = assets.pipeline()
+    if grids is None:
+        scenarios = generate_scenarios(
+            platform,
+            config.test_apps,
+            config.n_scenarios,
+            RandomSource(config.seed).child("model-eval"),
+            pipeline.config.max_background_apps,
+        )
+        grids = pipeline.collect_traces(scenarios)
+    builder = pipeline.builder
+    result = ModelEvalResult()
+    for model in assets.models():
+        flags: List[bool] = []
+        excesses: List[float] = []
+        for grid in grids:
+            w, e = _evaluate_model_on_grid(
+                model, grid, builder, config.within_threshold_c
+            )
+            flags.extend(w)
+            excesses.extend(e)
+        if not flags:
+            raise ValueError("model evaluation produced no comparable cases")
+        result.per_model_within.append(float(np.mean(flags)))
+        result.per_model_excess.append(float(np.mean(excesses)))
+        result.n_cases = len(flags)
+    return result

@@ -1,0 +1,205 @@
+"""Fig. 1 — motivational example: the optimal mapping depends on the
+application and on the background.
+
+Scenario 1 runs *adi* or *seidel-2d* alone with a QoS target of 30 % of the
+IPS reached at the highest big-cluster VF level.  Each cluster mapping is
+operated at the lowest VF levels satisfying the target; the steady
+temperatures show that *adi* is cooler on the big cluster while *seidel-2d*
+is (slightly) cooler on LITTLE.
+
+Scenario 2 adds background applications with high QoS targets that force
+both clusters to their peak VF level; with per-cluster DVFS the AoI then
+runs at peak either way and the two mappings become nearly equivalent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.catalog import get_app
+from repro.apps.qos import qos_fraction_of_big_max
+from repro.platform import Platform, VFLevel, hikey970
+from repro.platform.hikey import BIG, LITTLE
+from repro.sim.kernel import SimConfig, Simulator
+from repro.thermal import CoolingConfig, FAN_COOLING
+from repro.utils.tables import ascii_table
+from repro.utils.units import format_frequency, format_temperature
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class MotivationConfig:
+    """Sizes of the motivational experiment."""
+
+    apps: Tuple[str, ...] = ("adi", "seidel-2d")
+    qos_fraction: float = 0.3
+    little_core: int = 0
+    big_core: int = 4
+    observe_s: float = 150.0
+    background_app: str = "syr2k"
+    dt_s: float = 0.02
+
+    def __post_init__(self):
+        check_positive("observe_s", self.observe_s)
+
+    @classmethod
+    def smoke(cls) -> "MotivationConfig":
+        return cls(observe_s=30.0)
+
+    @classmethod
+    def paper(cls) -> "MotivationConfig":
+        return cls()
+
+
+@dataclass
+class MappingOutcome:
+    """Result of running one AoI mapping at its minimum feasible VF levels."""
+
+    app: str
+    scenario: int
+    mapped_cluster: str
+    f_l_hz: float
+    f_b_hz: float
+    temp_c: float
+    feasible: bool
+
+
+@dataclass
+class MotivationResult:
+    outcomes: List[MappingOutcome] = field(default_factory=list)
+
+    def optimal_cluster(self, app: str, scenario: int) -> Optional[str]:
+        """The cooler feasible mapping for (app, scenario)."""
+        candidates = [
+            o
+            for o in self.outcomes
+            if o.app == app and o.scenario == scenario and o.feasible
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda o: o.temp_c).mapped_cluster
+
+    def temperature_gap(self, app: str, scenario: int) -> float:
+        """|T_little - T_big| for one (app, scenario)."""
+        temps = {
+            o.mapped_cluster: o.temp_c
+            for o in self.outcomes
+            if o.app == app and o.scenario == scenario and o.feasible
+        }
+        if len(temps) < 2:
+            return float("inf")
+        return abs(temps[LITTLE] - temps[BIG])
+
+    def report(self) -> str:
+        rows = [
+            (
+                o.app,
+                o.scenario,
+                o.mapped_cluster,
+                format_frequency(o.f_l_hz),
+                format_frequency(o.f_b_hz),
+                format_temperature(o.temp_c) if o.feasible else "QoS infeasible",
+            )
+            for o in self.outcomes
+        ]
+        return ascii_table(
+            ["app", "scenario", "mapping", "f_LITTLE", "f_big", "temperature"],
+            rows,
+        )
+
+
+def _steady_temp(
+    platform: Platform,
+    cooling: CoolingConfig,
+    placements: Dict[int, str],
+    vf: Dict[str, VFLevel],
+    observe_s: float,
+    dt_s: float,
+) -> float:
+    """Run fixed placements at fixed VF levels; return the final sensor temp."""
+    sim = Simulator(
+        platform,
+        cooling,
+        config=SimConfig(dt_s=dt_s, model_overhead_on_core=None),
+        sensor_noise_std_c=0.0,
+    )
+    for name, level in vf.items():
+        sim.set_vf_level(name, level)
+    assignment: Dict[int, int] = {}
+    for core, app_name in placements.items():
+        app = dataclasses.replace(get_app(app_name), total_instructions=1e15)
+        pid = sim.submit(app, qos_target_ips=1.0, arrival_time_s=0.0)
+        assignment[pid] = core
+    sim.placement_policy = lambda s, p: assignment[p.pid]
+    sim.run_for(observe_s)
+    return sim.sensor_temp_c()
+
+
+def run_motivation(
+    config: MotivationConfig = MotivationConfig(),
+    platform: Optional[Platform] = None,
+    cooling: CoolingConfig = FAN_COOLING,
+) -> MotivationResult:
+    """Run both scenarios for every configured application."""
+    platform = platform or hikey970()
+    result = MotivationResult()
+    mappings = [(LITTLE, config.little_core), (BIG, config.big_core)]
+
+    for app_name in config.apps:
+        app = get_app(app_name)
+        target = qos_fraction_of_big_max(app, platform, config.qos_fraction)
+
+        # --- Scenario 1: AoI alone, lowest VF levels meeting the target.
+        for cluster_name, core in mappings:
+            cluster = platform.cluster(cluster_name)
+            level = app.min_frequency_for(cluster_name, cluster.vf_table, target)
+            if level is None:
+                result.outcomes.append(
+                    MappingOutcome(
+                        app_name, 1, cluster_name, 0.0, 0.0, float("nan"), False
+                    )
+                )
+                continue
+            vf = {
+                c.name: (level if c.name == cluster_name else c.vf_table.min_level)
+                for c in platform.clusters
+            }
+            temp = _steady_temp(
+                platform, cooling, {core: app_name}, vf, config.observe_s, config.dt_s
+            )
+            result.outcomes.append(
+                MappingOutcome(
+                    app_name,
+                    1,
+                    cluster_name,
+                    vf[LITTLE].frequency_hz,
+                    vf[BIG].frequency_hz,
+                    temp,
+                    True,
+                )
+            )
+
+        # --- Scenario 2: heavy background pins both clusters at peak VF.
+        background = {1: config.background_app, 2: config.background_app,
+                      5: config.background_app, 6: config.background_app}
+        vf = platform.max_vf_levels()
+        for cluster_name, core in mappings:
+            placements = dict(background)
+            placements[core] = app_name
+            temp = _steady_temp(
+                platform, cooling, placements, vf, config.observe_s, config.dt_s
+            )
+            result.outcomes.append(
+                MappingOutcome(
+                    app_name,
+                    2,
+                    cluster_name,
+                    vf[LITTLE].frequency_hz,
+                    vf[BIG].frequency_hz,
+                    temp,
+                    True,
+                )
+            )
+    return result

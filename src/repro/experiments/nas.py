@@ -1,0 +1,104 @@
+"""Fig. 3 — grid search over the NN topology (depth x width).
+
+The paper's NAS evaluates fully-connected topologies on held-out data and
+finds 4 hidden layers of 64 neurons best.  This runner splits the IL
+dataset by AoI application (training kernels vs. held-out kernels) and
+reports the test loss per grid point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.apps.catalog import HELDOUT_APPS, TRAINING_APPS
+from repro.experiments.assets import AssetStore
+from repro.il.dataset import ILDataset
+from repro.nn.nas import GridSearchResult, grid_search
+from repro.nn.training import TrainingConfig
+from repro.utils.tables import ascii_table
+
+
+@dataclass
+class NASConfig:
+    depths: Sequence[int] = (1, 2, 3, 4, 5, 6)
+    widths: Sequence[int] = (8, 16, 32, 64, 128)
+    training: TrainingConfig = field(default_factory=TrainingConfig)
+
+    @classmethod
+    def smoke(cls) -> "NASConfig":
+        return cls(
+            depths=(1, 2, 4),
+            widths=(8, 32, 64),
+            training=TrainingConfig(max_epochs=40, patience=10),
+        )
+
+    @classmethod
+    def paper(cls) -> "NASConfig":
+        return cls()
+
+
+@dataclass
+class NASResult:
+    grid: GridSearchResult
+    train_examples: int
+    test_examples: int
+
+    def as_rows(self) -> List[Tuple[int, int, float]]:
+        return self.grid.as_rows()
+
+    def report(self) -> str:
+        table = ascii_table(
+            ["hidden layers", "width", "test MSE"],
+            [(d, w, loss) for d, w, loss in self.as_rows()],
+        )
+        return (
+            f"{table}\n"
+            f"best: {self.grid.best_depth} layers x {self.grid.best_width} "
+            f"neurons (test MSE {self.grid.best_loss:.4f})"
+        )
+
+
+def split_dataset_by_apps(
+    dataset: ILDataset,
+    train_apps: Sequence[str] = TRAINING_APPS,
+    test_apps: Sequence[str] = HELDOUT_APPS,
+) -> Tuple[ILDataset, ILDataset]:
+    """The paper's AoI-level train/test split."""
+    return dataset.filter_by_apps(train_apps), dataset.filter_by_apps(test_apps)
+
+
+def run_nas(
+    assets: AssetStore,
+    config: NASConfig = NASConfig(),
+    train_apps: Optional[Sequence[str]] = None,
+    test_apps: Optional[Sequence[str]] = None,
+) -> NASResult:
+    """Run the topology grid search on the asset store's dataset.
+
+    When the dataset contains no held-out AoI examples (tiny smoke
+    configurations can draw only training apps), a random 80/20 split is
+    used instead so the search still runs.
+    """
+    dataset = assets.dataset()
+    train = dataset.filter_by_apps(train_apps or TRAINING_APPS)
+    test = dataset.filter_by_apps(test_apps or HELDOUT_APPS)
+    if len(test) == 0 or len(train) == 0:
+        n = len(dataset)
+        cut = max(1, int(0.8 * n))
+        train = ILDataset(
+            dataset.features[:cut], dataset.labels[:cut], dataset.meta[:cut]
+        )
+        test = ILDataset(
+            dataset.features[cut:], dataset.labels[cut:], dataset.meta[cut:]
+        )
+    grid = grid_search(
+        train.features,
+        train.labels,
+        test.features,
+        test.labels,
+        depths=config.depths,
+        widths=config.widths,
+        config=config.training,
+    )
+    return NASResult(grid=grid, train_examples=len(train), test_examples=len(test))

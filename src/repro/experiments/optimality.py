@@ -1,0 +1,108 @@
+"""Optimality gap: TOP-IL vs. the privileged oracle static mapping.
+
+Extension beyond the paper: the run-time analogue of the Sec. 7.4 model
+evaluation.  Both techniques use the same QoS DVFS loop; they differ only
+in mapping decisions.  The oracle sees the true application models and
+solves the thermal steady state; TOP-IL sees only run-time counters.  The
+gap in average temperature is the price of learning from demonstrations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.catalog import HELDOUT_APPS, PARSEC_APPS
+from repro.experiments.assets import AssetStore
+from repro.governors.oracle import OracleStaticMapping
+from repro.il.technique import TopIL
+from repro.thermal import CoolingConfig, FAN_COOLING
+from repro.utils.tables import ascii_table
+from repro.workloads.generator import single_app_workload
+from repro.workloads.runner import run_workload
+
+
+@dataclass
+class OptimalityConfig:
+    apps: Sequence[str] = PARSEC_APPS + HELDOUT_APPS
+    instruction_scale: float = 0.1
+    qos_fraction_of_little_max: float = 0.75
+    seed: int = 31
+
+    @classmethod
+    def smoke(cls) -> "OptimalityConfig":
+        return cls(apps=("adi", "canneal", "jacobi-2d"), instruction_scale=0.02)
+
+    @classmethod
+    def paper(cls) -> "OptimalityConfig":
+        return cls(instruction_scale=0.5)
+
+
+@dataclass
+class OptimalityResult:
+    #: (app, oracle temp, TOP-IL temp, gap, oracle violations, il violations)
+    rows: List[Tuple[str, float, float, float, int, int]] = field(
+        default_factory=list
+    )
+
+    def mean_gap_c(self) -> float:
+        return float(np.mean([r[3] for r in self.rows]))
+
+    def max_gap_c(self) -> float:
+        return float(np.max([r[3] for r in self.rows]))
+
+    def il_violations(self) -> int:
+        return sum(r[5] for r in self.rows)
+
+    def report(self) -> str:
+        table = ascii_table(
+            ["app", "oracle temp", "TOP-IL temp", "gap", "oracle viol",
+             "IL viol"],
+            [
+                (app, f"{oracle:.2f} C", f"{il:.2f} C", f"{gap:+.2f} C", ov, iv)
+                for app, oracle, il, gap, ov, iv in self.rows
+            ],
+        )
+        return (
+            f"{table}\n"
+            f"mean gap {self.mean_gap_c():+.2f} C, "
+            f"max gap {self.max_gap_c():+.2f} C"
+        )
+
+
+def run_optimality_gap(
+    assets: AssetStore,
+    config: OptimalityConfig = OptimalityConfig(),
+    cooling: CoolingConfig = FAN_COOLING,
+) -> OptimalityResult:
+    """Run every app under the oracle and under TOP-IL; report the gaps."""
+    platform = assets.platform
+    model = assets.models()[0]
+    result = OptimalityResult()
+    for app_name in config.apps:
+        workload = single_app_workload(
+            app_name,
+            platform,
+            qos_fraction_of_little_max=config.qos_fraction_of_little_max,
+            instruction_scale=config.instruction_scale,
+        )
+        oracle_run = run_workload(
+            platform, OracleStaticMapping(), workload, cooling=cooling,
+            seed=config.seed,
+        )
+        il_run = run_workload(
+            platform, TopIL(model), workload, cooling=cooling, seed=config.seed
+        )
+        result.rows.append(
+            (
+                app_name,
+                oracle_run.summary.mean_temp_c,
+                il_run.summary.mean_temp_c,
+                il_run.summary.mean_temp_c - oracle_run.summary.mean_temp_c,
+                oracle_run.summary.n_qos_violations,
+                il_run.summary.n_qos_violations,
+            )
+        )
+    return result

@@ -1,0 +1,154 @@
+"""Fig. 12 — run-time overhead of the manager vs. number of applications.
+
+Two views are produced:
+
+* **analytic** — per-invocation costs from the overhead model, scaled to
+  ms of CPU time per second: the DVFS loop (20 invocations/s) grows
+  linearly with the application count (counter reads), while the
+  NPU-batched migration policy (2 invocations/s) stays flat.  A
+  CPU-inference column shows what the policy would cost without the NPU.
+* **measured** — an actual simulator run per application count, reading
+  the overhead ledger the TOP-IL technique charges while managing.
+
+The paper's reference points: worst case 0.54 ms (DVFS) and 4.3 ms
+(migration) per invocation, total overhead <= 1.7 % of one core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.experiments.assets import AssetStore
+from repro.il.technique import TopIL
+from repro.npu.latency import CPUInferenceLatency, NPUInferenceLatency
+from repro.npu.overhead import ManagementOverheadModel
+from repro.platform.hikey import LITTLE
+from repro.thermal import FAN_COOLING
+from repro.utils.tables import ascii_table
+from repro.workloads.generator import Workload, WorkloadItem
+from repro.workloads.runner import run_workload
+
+
+@dataclass
+class OverheadConfig:
+    app_counts: Sequence[int] = (1, 2, 4, 6, 8)
+    measure_app: str = "fdtd-2d"
+    instruction_scale: float = 0.05
+    seed: int = 5
+
+    @classmethod
+    def smoke(cls) -> "OverheadConfig":
+        return cls(app_counts=(1, 4, 8), instruction_scale=0.01)
+
+    @classmethod
+    def paper(cls) -> "OverheadConfig":
+        return cls(app_counts=(1, 2, 3, 4, 5, 6, 7, 8), instruction_scale=0.3)
+
+
+@dataclass
+class OverheadRow:
+    n_apps: int
+    dvfs_ms_per_s: float
+    migration_npu_ms_per_s: float
+    migration_cpu_ms_per_s: float
+    measured_total_fraction: Optional[float] = None
+
+
+@dataclass
+class OverheadResult:
+    rows: List[OverheadRow] = field(default_factory=list)
+    dvfs_rate_per_s: float = 20.0
+    migration_rate_per_s: float = 2.0
+
+    def max_total_fraction(self) -> float:
+        measured = [
+            r.measured_total_fraction
+            for r in self.rows
+            if r.measured_total_fraction is not None
+        ]
+        if measured:
+            return max(measured)
+        return max(
+            (r.dvfs_ms_per_s + r.migration_npu_ms_per_s) / 1000.0 for r in self.rows
+        )
+
+    def report(self) -> str:
+        rows = [
+            (
+                r.n_apps,
+                f"{r.dvfs_ms_per_s:.2f}",
+                f"{r.migration_npu_ms_per_s:.2f}",
+                f"{r.migration_cpu_ms_per_s:.2f}",
+                (
+                    f"{100 * r.measured_total_fraction:.2f} %"
+                    if r.measured_total_fraction is not None
+                    else "-"
+                ),
+            )
+            for r in self.rows
+        ]
+        table = ascii_table(
+            ["apps", "DVFS ms/s", "migration (NPU) ms/s",
+             "migration (CPU) ms/s", "measured total"],
+            rows,
+        )
+        return f"{table}\nmax total overhead {100 * self.max_total_fraction():.2f} %"
+
+
+def run_overhead(
+    assets: AssetStore,
+    config: OverheadConfig = OverheadConfig(),
+    measure: bool = True,
+) -> OverheadResult:
+    """Produce the Fig. 12 series, analytically and (optionally) measured."""
+    platform = assets.platform
+    model = assets.models()[0]
+    npu = ManagementOverheadModel(inference=NPUInferenceLatency())
+    cpu = ManagementOverheadModel(inference=CPUInferenceLatency())
+    result = OverheadResult()
+    for n_apps in config.app_counts:
+        dvfs_ms = 1e3 * npu.dvfs_invocation_s(n_apps) * result.dvfs_rate_per_s
+        mig_npu_ms = (
+            1e3
+            * npu.migration_invocation_s(n_apps, model)
+            * result.migration_rate_per_s
+        )
+        mig_cpu_ms = (
+            1e3
+            * cpu.migration_invocation_s(n_apps, model)
+            * result.migration_rate_per_s
+        )
+        measured: Optional[float] = None
+        if measure:
+            workload = Workload(
+                name=f"overhead-{n_apps}",
+                items=[
+                    WorkloadItem(
+                        config.measure_app,
+                        # Modest target: keep all apps runnable concurrently.
+                        qos_target_ips=1e8,
+                        arrival_time_s=0.1 * i,
+                    )
+                    for i in range(n_apps)
+                ],
+                instruction_scale=config.instruction_scale,
+            )
+            run = run_workload(
+                platform,
+                TopIL(model, overhead_model=npu),
+                workload,
+                cooling=FAN_COOLING,
+                seed=config.seed,
+            )
+            measured = run.summary.overhead_fraction
+        result.rows.append(
+            OverheadRow(
+                n_apps=n_apps,
+                dvfs_ms_per_s=dvfs_ms,
+                migration_npu_ms_per_s=mig_npu_ms,
+                migration_cpu_ms_per_s=mig_cpu_ms,
+                measured_total_fraction=measured,
+            )
+        )
+    return result

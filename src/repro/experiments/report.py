@@ -1,0 +1,292 @@
+"""Run the complete evaluation and render a paper-vs-measured report.
+
+``generate_report`` executes every experiment of the paper's evaluation
+section at a configurable scale and renders one markdown document with the
+measured numbers next to the paper's, which is how ``EXPERIMENTS.md`` is
+produced (``python -m repro.cli report``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.experiments.ablation import (
+    AblationConfig,
+    _collect_grids,
+    run_feature_ablation,
+    run_label_ablation,
+    run_migration_granularity_ablation,
+    run_period_ablation,
+    run_source_coverage_ablation,
+)
+from repro.experiments.assets import AssetStore
+from repro.experiments.illustrative import IllustrativeConfig, run_illustrative
+from repro.experiments.main_mixed import MainMixedConfig, run_main_mixed
+from repro.experiments.migration import (
+    MigrationOverheadConfig,
+    run_migration_overhead,
+)
+from repro.experiments.model_eval import ModelEvalConfig, run_model_eval
+from repro.experiments.motivation import MotivationConfig, run_motivation
+from repro.experiments.nas import NASConfig, run_nas
+from repro.experiments.overhead import OverheadConfig, run_overhead
+from repro.experiments.single_app import SingleAppConfig, run_single_app
+from repro.nn.training import TrainingConfig
+from repro.thermal import FAN_COOLING, PASSIVE_COOLING
+
+
+@dataclass
+class ReportScale:
+    """Experiment sizes for one report run."""
+
+    name: str
+    motivation: MotivationConfig
+    nas: NASConfig
+    migration: MigrationOverheadConfig
+    illustrative: IllustrativeConfig
+    main_mixed: MainMixedConfig
+    single_app: SingleAppConfig
+    model_eval: ModelEvalConfig
+    overhead: OverheadConfig
+    ablation: AblationConfig
+
+    @classmethod
+    def smoke(cls) -> "ReportScale":
+        return cls(
+            name="smoke",
+            motivation=MotivationConfig.smoke(),
+            nas=NASConfig.smoke(),
+            migration=MigrationOverheadConfig.smoke(),
+            illustrative=IllustrativeConfig.smoke(),
+            main_mixed=MainMixedConfig.smoke(),
+            single_app=SingleAppConfig.smoke(),
+            model_eval=ModelEvalConfig.smoke(),
+            overhead=OverheadConfig.smoke(),
+            ablation=AblationConfig.smoke(),
+        )
+
+    @classmethod
+    def medium(cls) -> "ReportScale":
+        """Minutes-scale sizes that exhibit the paper's shapes clearly."""
+        return cls(
+            name="medium",
+            motivation=MotivationConfig(observe_s=180.0),
+            nas=NASConfig(
+                depths=(1, 2, 3, 4, 5, 6),
+                widths=(8, 16, 32, 64, 128),
+                training=TrainingConfig(max_epochs=120, patience=15),
+            ),
+            migration=MigrationOverheadConfig(measure_s=60.0, repetitions=3),
+            illustrative=IllustrativeConfig(instruction_scale=0.15),
+            main_mixed=MainMixedConfig(
+                n_apps=16,
+                arrival_rates=(1.0 / 30.0, 1.0 / 15.0),
+                repetitions=3,
+                coolings=(FAN_COOLING, PASSIVE_COOLING),
+                instruction_scale=0.15,
+            ),
+            single_app=SingleAppConfig(repetitions=3, instruction_scale=0.1),
+            model_eval=ModelEvalConfig(n_scenarios=12),
+            overhead=OverheadConfig(
+                app_counts=(1, 2, 4, 6, 8), instruction_scale=0.03
+            ),
+            ablation=AblationConfig(n_train_scenarios=16, n_test_scenarios=6),
+        )
+
+    @classmethod
+    def paper(cls) -> "ReportScale":
+        return cls(
+            name="paper",
+            motivation=MotivationConfig.paper(),
+            nas=NASConfig.paper(),
+            migration=MigrationOverheadConfig.paper(),
+            illustrative=IllustrativeConfig.paper(),
+            main_mixed=MainMixedConfig.paper(),
+            single_app=SingleAppConfig.paper(),
+            model_eval=ModelEvalConfig.paper(),
+            overhead=OverheadConfig.paper(),
+            ablation=AblationConfig.paper(),
+        )
+
+
+def _main_and_usage(assets: AssetStore, scale: ReportScale) -> str:
+    result = run_main_mixed(assets, scale.main_mixed)
+    coolings = [c.name for c in scale.main_mixed.coolings]
+    usage_cooling = "no_fan" if "no_fan" in coolings else coolings[0]
+    return (
+        result.report()
+        + "\n\nCPU time per cluster and VF level "
+        + f"({usage_cooling}):\n"
+        + result.frequency_usage_report(cooling=usage_cooling)
+    )
+
+
+def _section(title: str, paper_claim: str, body: str, elapsed_s: float) -> str:
+    return (
+        f"## {title}\n\n"
+        f"**Paper:** {paper_claim}\n\n"
+        f"**Measured** ({elapsed_s:.0f} s wall):\n\n"
+        "```\n"
+        f"{body}\n"
+        "```\n"
+    )
+
+
+def generate_report(
+    assets: AssetStore,
+    scale: Optional[ReportScale] = None,
+    progress: Optional[Callable[[str], None]] = print,
+) -> str:
+    """Run every experiment and render the markdown report."""
+    scale = scale or ReportScale.medium()
+    say = progress or (lambda msg: None)
+    sections: List[str] = []
+    header = (
+        "# EXPERIMENTS — paper vs. measured\n\n"
+        "Generated by `repro.experiments.report.generate_report` at scale "
+        f"`{scale.name}` on the simulated HiKey 970 platform.  Absolute\n"
+        "numbers come from the simulation substrate; the comparisons check\n"
+        "the paper's *shapes* (who wins, by roughly what factor, where\n"
+        "crossovers fall).\n"
+    )
+
+    def run(title, paper_claim, fn):
+        say(f"[report] {title} ...")
+        start = time.time()
+        body = fn()
+        sections.append(_section(title, paper_claim, body, time.time() - start))
+
+    run(
+        "Fig. 1 — Motivational example",
+        "adi is coolest on the big cluster, seidel-2d (slightly) on LITTLE; "
+        "with a heavy background the preference changes (per-cluster DVFS).",
+        lambda: run_motivation(scale.motivation, assets.platform).report(),
+    )
+    run(
+        "Fig. 3 — NAS grid search",
+        "best topology: 4 hidden layers x 64 neurons.",
+        lambda: run_nas(assets, scale.nas).report(),
+    )
+    run(
+        "Fig. 5 — Worst-case migration overhead",
+        "max < 4 %, average 0.1 %; dedup/facesim can go negative.",
+        lambda: run_migration_overhead(scale.migration, assets.platform).report(),
+    )
+    run(
+        "Fig. 7 — Illustrative example (IL vs RL)",
+        "TOP-IL consistently selects the optimal cluster; TOP-RL "
+        "oscillates, raising temperature during suboptimal intervals.",
+        lambda: run_illustrative(assets, scale.illustrative).report(),
+    )
+    run(
+        "Fig. 8 — Main experiment (mixed workloads, fan and no fan) "
+        "and Fig. 10 — CPU time per VF level",
+        "TOP-IL reduces avg temperature by up to 17 degC vs GTS/ondemand at "
+        "slightly more violations; powersave is coolest but violates most; "
+        "TOP-RL matches TOP-IL's temperature with 63-89 % more violations; "
+        "independent of cooling.  GTS/ondemand concentrates CPU time at the "
+        "top big VF level; powersave at the lowest levels on both clusters.",
+        lambda: _main_and_usage(assets, scale),
+    )
+    run(
+        "Fig. 11 — Single-application workloads (unseen apps)",
+        "only TOP-IL reaches zero violations at low temperature; powersave "
+        "violates everything except canneal; TOP-RL violates ~33 % of runs.",
+        lambda: run_single_app(assets, scale.single_app).report(),
+    )
+    run(
+        "Sec. 7.4 — Model evaluation (held-out AoIs)",
+        "mapping within 1 degC of the optimum in 82 +/- 5 % of cases; "
+        "mean excess 0.5 +/- 0.2 degC.",
+        lambda: run_model_eval(assets, scale.model_eval).report(),
+    )
+    run(
+        "Fig. 12 — Run-time overhead",
+        "DVFS loop scales with the app count (8.7 ms/s worst case); the "
+        "NPU-batched migration policy stays flat (8.6 ms/s); total <= 1.7 %.",
+        lambda: run_overhead(assets, scale.overhead).report(),
+    )
+
+    say("[report] ablations ...")
+    start = time.time()
+    grids = _collect_grids(assets, scale.ablation)
+    bodies = [
+        run_label_ablation(assets, scale.ablation, grids).report(),
+        run_feature_ablation(assets, scale.ablation, grids).report(),
+        run_period_ablation(assets, scale.ablation).report(),
+        run_migration_granularity_ablation(assets, scale.ablation).report(),
+        run_source_coverage_ablation(assets, scale.ablation, grids).report(),
+        run_noise_ablation(assets, scale.ablation, grids).report(),
+    ]
+    sections.append(
+        _section(
+            "Ablations — design choices",
+            "not in the paper; quantify the soft labels (Eq. 4), the "
+            "aspect-c features, the 500 ms / 50 ms periods, the "
+            "one-migration-per-epoch rule, the exhaustive source coverage "
+            "(no-DAgger claim), and the alpha-vs-noise trade-off.",
+            "\n\n".join(bodies),
+            time.time() - start,
+        )
+    )
+
+    from repro.experiments.ablation import (
+        run_rl_reward_ablation,
+        run_rl_variant_ablation,
+    )
+    from repro.experiments.optimality import OptimalityConfig, run_optimality_gap
+    from repro.experiments.robustness import AmbientConfig, run_ambient_robustness
+    from repro.experiments.stability import StabilityConfig, run_stability
+
+    extension_runs = [
+        (
+            "Extension — optimality gap vs. privileged oracle",
+            "the run-time analogue of Sec. 7.4: TOP-IL should track an "
+            "oracle that sees the true models and solves the thermal "
+            "steady state.",
+            lambda: run_optimality_gap(
+                assets,
+                OptimalityConfig.smoke()
+                if scale.name == "smoke"
+                else OptimalityConfig(),
+            ).report(),
+        ),
+        (
+            "Extension — policy stability metrics",
+            "quantifies the paper's stability claim: IL migrates less, "
+            "oscillates less, and dips QoS less than online-learning RL.",
+            lambda: run_stability(
+                assets,
+                StabilityConfig.smoke()
+                if scale.name == "smoke"
+                else StabilityConfig(),
+            ).report(),
+        ),
+        (
+            "Extension — ambient-temperature robustness",
+            "the policy's features contain no temperature, so decisions "
+            "are ambient-independent and QoS holds at any ambient.",
+            lambda: run_ambient_robustness(
+                assets,
+                AmbientConfig.smoke()
+                if scale.name == "smoke"
+                else AmbientConfig(),
+            ).report(),
+        ),
+        (
+            "Extension — RL reward and learner variants",
+            "the -200 penalty's trade-off, and Double Q-learning as a "
+            "stronger learner that still does not fix the structural "
+            "instability.",
+            lambda: (
+                run_rl_reward_ablation(assets, scale.ablation).report()
+                + "\n\n"
+                + run_rl_variant_ablation(assets, scale.ablation).report()
+            ),
+        ),
+    ]
+    for title, claim, fn in extension_runs:
+        run(title, claim, fn)
+    return header + "\n" + "\n".join(sections)

@@ -1,0 +1,142 @@
+"""Fig. 11 — single-application workloads with only unseen applications.
+
+Every application here is *unseen* (never used for IL training or RL
+pre-training): the eight PARSEC applications plus the held-out Polybench
+kernels.  QoS targets are set so they can be met at the highest LITTLE VF
+level.  The paper's finding: only TOP-IL achieves both a low temperature
+and zero QoS violations; powersave violates almost everything except the
+memory-bound canneal; RL's instability violates ~1/3 of executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.catalog import HELDOUT_APPS, PARSEC_APPS
+from repro.experiments.assets import AssetStore
+from repro.experiments.main_mixed import TECHNIQUE_NAMES, _make_technique
+from repro.thermal import CoolingConfig, FAN_COOLING
+from repro.utils.tables import ascii_table
+from repro.workloads.generator import single_app_workload
+from repro.workloads.runner import run_workload
+
+
+@dataclass
+class SingleAppConfig:
+    apps: Sequence[str] = PARSEC_APPS + HELDOUT_APPS
+    techniques: Sequence[str] = TECHNIQUE_NAMES
+    repetitions: int = 3
+    qos_fraction_of_little_max: float = 0.75
+    instruction_scale: float = 0.3
+    seed: int = 23
+
+    @classmethod
+    def smoke(cls) -> "SingleAppConfig":
+        return cls(
+            apps=("canneal", "swaptions", "jacobi-2d"),
+            repetitions=2,
+            instruction_scale=0.02,
+        )
+
+    @classmethod
+    def paper(cls) -> "SingleAppConfig":
+        return cls(instruction_scale=1.0)
+
+
+@dataclass
+class SingleAppOutcome:
+    app: str
+    technique: str
+    mean_temp_c: float
+    std_temp_c: float
+    violations: int  # number of repetitions with a QoS violation
+    repetitions: int
+
+
+@dataclass
+class SingleAppResult:
+    outcomes: List[SingleAppOutcome] = field(default_factory=list)
+
+    def get(self, app: str, technique: str) -> SingleAppOutcome:
+        for o in self.outcomes:
+            if o.app == app and o.technique == technique:
+                return o
+        raise KeyError((app, technique))
+
+    def total_violations(self, technique: str) -> int:
+        return sum(o.violations for o in self.outcomes if o.technique == technique)
+
+    def total_executions(self, technique: str) -> int:
+        return sum(o.repetitions for o in self.outcomes if o.technique == technique)
+
+    def mean_temp(self, technique: str) -> float:
+        temps = [o.mean_temp_c for o in self.outcomes if o.technique == technique]
+        return float(np.mean(temps))
+
+    def report(self) -> str:
+        rows = [
+            (
+                o.app,
+                o.technique,
+                f"{o.mean_temp_c:.1f} +/- {o.std_temp_c:.1f} C",
+                f"{o.violations}/{o.repetitions}",
+            )
+            for o in self.outcomes
+        ]
+        table = ascii_table(["app", "technique", "avg temp", "violations"], rows)
+        summary_rows = [
+            (
+                t,
+                f"{self.mean_temp(t):.1f} C",
+                f"{self.total_violations(t)}/{self.total_executions(t)}",
+            )
+            for t in sorted({o.technique for o in self.outcomes})
+        ]
+        summary = ascii_table(["technique", "mean temp", "violated runs"], summary_rows)
+        return f"{table}\n\n{summary}"
+
+
+def run_single_app(
+    assets: AssetStore,
+    config: SingleAppConfig = SingleAppConfig(),
+    cooling: CoolingConfig = FAN_COOLING,
+) -> SingleAppResult:
+    """Run every (app x technique) with ``repetitions`` different models."""
+    platform = assets.platform
+    result = SingleAppResult()
+    for app_name in config.apps:
+        workload = single_app_workload(
+            app_name,
+            platform,
+            qos_fraction_of_little_max=config.qos_fraction_of_little_max,
+            instruction_scale=config.instruction_scale,
+        )
+        for name in config.techniques:
+            temps: List[float] = []
+            violations = 0
+            for rep in range(config.repetitions):
+                technique = _make_technique(name, assets, rep, config.seed + rep)
+                run = run_workload(
+                    platform,
+                    technique,
+                    workload,
+                    cooling=cooling,
+                    seed=config.seed + rep,
+                )
+                temps.append(run.summary.mean_temp_c)
+                if run.summary.n_qos_violations > 0:
+                    violations += 1
+            result.outcomes.append(
+                SingleAppOutcome(
+                    app=app_name,
+                    technique=name,
+                    mean_temp_c=float(np.mean(temps)),
+                    std_temp_c=float(np.std(temps)),
+                    violations=violations,
+                    repetitions=config.repetitions,
+                )
+            )
+    return result

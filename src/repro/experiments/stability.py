@@ -1,0 +1,159 @@
+"""Policy-stability comparison: IL vs RL (the paper's third contribution).
+
+The paper claims design-time training until convergence gives TOP-IL a
+*stable* policy, whereas TOP-RL's continual online exploration causes
+abrupt mapping changes, spurious QoS violations, and temperature jumps.
+This experiment quantifies stability directly:
+
+* **migration rate** — executed migrations per simulated minute;
+* **mapping entropy** — how spread-out each application's per-cluster
+  residency is (0 = always the same cluster, 1 = 50/50 oscillation);
+* **temperature jitter** — std-dev of the sensor's first difference;
+* **instantaneous QoS dips** — 1 − mean(QoS-met time fraction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.experiments.assets import AssetStore
+from repro.il.technique import TopIL
+from repro.platform.hikey import BIG
+from repro.rl.technique import TopRL
+from repro.utils.rng import RandomSource
+from repro.utils.tables import ascii_table
+from repro.workloads.generator import mixed_workload
+from repro.workloads.runner import run_workload
+
+
+@dataclass
+class StabilityConfig:
+    n_apps: int = 10
+    arrival_rate_per_s: float = 1.0 / 8.0
+    repetitions: int = 2
+    instruction_scale: float = 0.05
+    seed: int = 61
+
+    @classmethod
+    def smoke(cls) -> "StabilityConfig":
+        return cls(n_apps=6, repetitions=1, instruction_scale=0.03)
+
+    @classmethod
+    def paper(cls) -> "StabilityConfig":
+        return cls(n_apps=20, repetitions=3, instruction_scale=0.3)
+
+
+@dataclass
+class StabilityRow:
+    technique: str
+    migrations_per_min: float
+    mapping_entropy: float
+    temp_jitter_c: float
+    qos_dip_fraction: float
+
+
+@dataclass
+class StabilityResult:
+    rows: List[StabilityRow] = field(default_factory=list)
+
+    def get(self, technique: str) -> StabilityRow:
+        for row in self.rows:
+            if row.technique == technique:
+                return row
+        raise KeyError(technique)
+
+    def report(self) -> str:
+        return ascii_table(
+            ["technique", "migrations/min", "mapping entropy",
+             "temp jitter", "QoS dips"],
+            [
+                (
+                    r.technique,
+                    f"{r.migrations_per_min:.1f}",
+                    f"{r.mapping_entropy:.3f}",
+                    f"{r.temp_jitter_c:.3f} C",
+                    f"{100 * r.qos_dip_fraction:.1f} %",
+                )
+                for r in self.rows
+            ],
+        )
+
+
+def _mapping_entropy(run, platform) -> float:
+    """Mean binary entropy of per-process cluster residency."""
+    core_to_cluster = {c.core_id: c.cluster_name for c in platform.cores}
+    entropies = []
+    for pid, series in run.trace.process_cores.items():
+        clusters = [core_to_cluster.get(c) for c in series if c >= 0]
+        if len(clusters) < 2:
+            continue
+        p_big = sum(1 for c in clusters if c == BIG) / len(clusters)
+        if p_big in (0.0, 1.0):
+            entropies.append(0.0)
+        else:
+            entropies.append(
+                -(p_big * np.log2(p_big) + (1 - p_big) * np.log2(1 - p_big))
+            )
+    return float(np.mean(entropies)) if entropies else 0.0
+
+
+def _temp_jitter(run) -> float:
+    temps = np.asarray(run.trace.sensor_temp_c)
+    if len(temps) < 2:
+        return 0.0
+    return float(np.std(np.diff(temps)))
+
+
+def run_stability(
+    assets: AssetStore, config: StabilityConfig = StabilityConfig()
+) -> StabilityResult:
+    """Compare TOP-IL and TOP-RL on the stability metrics."""
+    platform = assets.platform
+    metrics = {name: [] for name in ("TOP-IL", "TOP-RL")}
+    for rep in range(config.repetitions):
+        workload = mixed_workload(
+            platform,
+            n_apps=config.n_apps,
+            arrival_rate_per_s=config.arrival_rate_per_s,
+            seed=config.seed + rep,
+            instruction_scale=config.instruction_scale,
+        )
+        models = assets.models()
+        qtables = assets.qtables()
+        techniques = [
+            TopIL(models[rep % len(models)]),
+            TopRL(
+                qtable=qtables[rep % len(qtables)].copy(),
+                rng=RandomSource(config.seed + rep).child("stability-rl"),
+            ),
+        ]
+        for technique in techniques:
+            run = run_workload(
+                platform, technique, workload, seed=config.seed + rep
+            )
+            minutes = max(1e-9, run.summary.duration_s / 60.0)
+            dips = 1.0 - run.summary.mean_qos_met_fraction
+            metrics[technique.name].append(
+                (
+                    run.summary.migrations / minutes,
+                    _mapping_entropy(run, platform),
+                    _temp_jitter(run),
+                    dips,
+                )
+            )
+    result = StabilityResult()
+    for name, samples in metrics.items():
+        arr = np.asarray(samples)
+        result.rows.append(
+            StabilityRow(
+                technique=name,
+                migrations_per_min=float(arr[:, 0].mean()),
+                mapping_entropy=float(arr[:, 1].mean()),
+                temp_jitter_c=float(arr[:, 2].mean()),
+                qos_dip_fraction=float(arr[:, 3].mean()),
+            )
+        )
+    return result

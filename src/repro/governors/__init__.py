@@ -1,0 +1,35 @@
+"""Resource-management techniques: Linux baselines and the paper's DVFS loop.
+
+A :class:`Technique` bundles everything one management approach installs on
+the simulator: a placement policy for arrivals, DVFS governors, schedulers,
+and migration policies.  The four techniques of the paper's evaluation are
+
+* ``GTS/ondemand`` — Linux Global Task Scheduling + the ondemand governor
+  (the Android 8.0 default on the HiKey 970),
+* ``GTS/powersave`` — GTS + the powersave governor,
+* ``TOP-IL`` — the paper's contribution (:mod:`repro.il`), and
+* ``TOP-RL`` — the RL baseline (:mod:`repro.rl`),
+
+where both TOP variants use the per-cluster QoS DVFS control loop
+implemented in :mod:`repro.governors.qos_dvfs`.
+"""
+
+from repro.governors.base import Technique
+from repro.governors.linux import OndemandGovernor, PowersaveGovernor, PerformanceGovernor
+from repro.governors.gts import GTSScheduler
+from repro.governors.qos_dvfs import QoSDVFSControlLoop, estimate_min_level
+from repro.governors.techniques import GTSOndemand, GTSPowersave
+from repro.governors.oracle import OracleStaticMapping
+
+__all__ = [
+    "Technique",
+    "OndemandGovernor",
+    "PowersaveGovernor",
+    "PerformanceGovernor",
+    "GTSScheduler",
+    "QoSDVFSControlLoop",
+    "estimate_min_level",
+    "GTSOndemand",
+    "GTSPowersave",
+    "OracleStaticMapping",
+]

@@ -1,0 +1,27 @@
+"""The Technique abstraction: one complete resource-management approach."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.sim.kernel import Simulator
+
+
+class Technique(abc.ABC):
+    """A complete management approach installable on a simulator.
+
+    A technique may register controllers (periodic callbacks), replace the
+    arrival placement policy, and keep internal state.  Techniques are
+    single-use: construct a fresh instance per run so no state leaks
+    between experiments.
+    """
+
+    #: Identifier used in experiment reports ("TOP-IL", "GTS/ondemand", ...).
+    name: str = "technique"
+
+    @abc.abstractmethod
+    def attach(self, sim: Simulator) -> None:
+        """Install this technique's controllers and policies on ``sim``."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,90 @@
+"""Global Task Scheduling (GTS) — the Arm/Linaro big.LITTLE scheduler.
+
+GTS tracks per-task load and migrates performance-hungry tasks to the big
+cluster and mostly-idle tasks to the LITTLE cluster.  The evaluation's
+benchmark processes are always CPU-hungry, so GTS "favors the big cluster"
+(Sec. 7.2): arrivals go to free big cores first, spill onto free LITTLE
+cores, and only then share cores.  A periodic balance pass up-migrates
+tasks from LITTLE when big cores free up and spreads tasks off crowded
+cores, which is what lets GTS/powersave occupy both clusters once the low
+VF level slows everything down and applications pile up.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.platform.hikey import BIG, LITTLE
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+from repro.utils.validation import check_positive
+
+
+class GTSScheduler:
+    """Load-based placement + periodic up-migration and spreading."""
+
+    def __init__(self, balance_period_s: float = 0.2, busy_load_threshold: float = 0.5):
+        check_positive("balance_period_s", balance_period_s)
+        self.balance_period_s = balance_period_s
+        self.busy_load_threshold = busy_load_threshold
+
+    # --- placement of arrivals ----------------------------------------------------
+    def place(self, sim: Simulator, process: Process) -> int:
+        """Free big core, else free LITTLE core, else least-loaded big core."""
+        for cluster_name in (BIG, LITTLE):
+            free = [
+                c
+                for c in sim.platform.cores_in_cluster(cluster_name)
+                if not sim.processes_on_core(c)
+            ]
+            if free:
+                return free[0]
+        loads = [
+            (len(sim.processes_on_core(c)), c)
+            for c in sim.platform.cores_in_cluster(BIG)
+        ]
+        loads.sort()
+        return loads[0][1]
+
+    # --- periodic balancing -----------------------------------------------------------
+    def _pick_migratable(self, sim: Simulator, core: int) -> Optional[Process]:
+        procs = sim.processes_on_core(core)
+        if not procs:
+            return None
+        # Prefer the task that has been on the core longest (stable choice).
+        return min(procs, key=lambda p: p.pid)
+
+    def balance(self, sim: Simulator) -> None:
+        """One GTS balance pass: up-migrate, then spread crowded cores."""
+        # 1. Up-migration: busy tasks on LITTLE move to free big cores.
+        free_big: List[int] = [
+            c for c in sim.platform.cores_in_cluster(BIG) if not sim.processes_on_core(c)
+        ]
+        for core in sim.platform.cores_in_cluster(LITTLE):
+            if not free_big:
+                break
+            proc = self._pick_migratable(sim, core)
+            if proc is None:
+                continue
+            sim.migrate(proc.pid, free_big.pop(0))
+        # 2. Spreading: move tasks from crowded cores to any free core,
+        #    preferring big targets (all tasks are performance-hungry).
+        free_cores = [
+            c
+            for c in sim.platform.cores_in_cluster(BIG)
+            + sim.platform.cores_in_cluster(LITTLE)
+            if not sim.processes_on_core(c)
+        ]
+        crowded = sorted(
+            (c for c in range(sim.platform.n_cores) if len(sim.processes_on_core(c)) > 1),
+            key=lambda c: -len(sim.processes_on_core(c)),
+        )
+        for core in crowded:
+            while len(sim.processes_on_core(core)) > 1 and free_cores:
+                target = free_cores.pop(0)
+                proc = self._pick_migratable(sim, core)
+                sim.migrate(proc.pid, target)
+
+    def attach(self, sim: Simulator, name: str = "gts") -> None:
+        sim.placement_policy = self.place
+        sim.add_controller(name, self.balance_period_s, self.balance)

@@ -1,0 +1,84 @@
+"""Linux cpufreq governors: ondemand, powersave, performance.
+
+These are the state-of-the-practice DVFS baselines of the evaluation.  They
+are QoS- and temperature-oblivious: *ondemand* scales VF levels with CPU
+utilization (up aggressively, down gradually, like the Linux governor),
+*powersave* pins the lowest VF level, *performance* pins the highest.
+"""
+
+from __future__ import annotations
+
+from repro.sim.kernel import Simulator
+from repro.utils.validation import check_in_range, check_positive
+
+
+class PowersaveGovernor:
+    """Always select the lowest VF level on every cluster."""
+
+    period_s = 0.1
+
+    def __call__(self, sim: Simulator) -> None:
+        for cluster in sim.platform.clusters:
+            sim.set_vf_level(cluster.name, cluster.vf_table.min_level)
+
+    def attach(self, sim: Simulator, name: str = "powersave") -> None:
+        self(sim)  # take effect immediately, then periodically re-assert
+        sim.add_controller(name, self.period_s, self)
+
+
+class PerformanceGovernor:
+    """Always select the highest VF level on every cluster."""
+
+    period_s = 0.1
+
+    def __call__(self, sim: Simulator) -> None:
+        for cluster in sim.platform.clusters:
+            sim.set_vf_level(cluster.name, cluster.vf_table.max_level)
+
+    def attach(self, sim: Simulator, name: str = "performance") -> None:
+        self(sim)
+        sim.add_controller(name, self.period_s, self)
+
+
+class OndemandGovernor:
+    """Utilization-driven DVFS like the Linux ondemand governor.
+
+    Every sampling period the governor inspects the cluster utilization
+    (the max over its cores, as cpufreq policies do).  Above
+    ``up_threshold`` it jumps straight to the highest VF level; below
+    ``down_threshold`` it steps down one level; in between it holds.
+    With the always-busy benchmark processes of the evaluation this yields
+    the paper's observed behaviour: "ondemand selects high frequencies when
+    applications are executed".
+    """
+
+    def __init__(
+        self,
+        sampling_period_s: float = 0.1,
+        up_threshold: float = 0.80,
+        down_threshold: float = 0.20,
+    ):
+        check_positive("sampling_period_s", sampling_period_s)
+        check_in_range("up_threshold", up_threshold, 0.0, 1.0)
+        check_in_range("down_threshold", down_threshold, 0.0, up_threshold)
+        self.sampling_period_s = sampling_period_s
+        self.up_threshold = up_threshold
+        self.down_threshold = down_threshold
+
+    def cluster_utilization(self, sim: Simulator, cluster_name: str) -> float:
+        cores = sim.platform.cores_in_cluster(cluster_name)
+        return max(sim.core_utilization(c) for c in cores)
+
+    def __call__(self, sim: Simulator) -> None:
+        for cluster in sim.platform.clusters:
+            util = self.cluster_utilization(sim, cluster.name)
+            current = sim.vf_level(cluster.name)
+            if util >= self.up_threshold:
+                sim.set_vf_level(cluster.name, cluster.vf_table.max_level)
+            elif util <= self.down_threshold:
+                sim.set_vf_level(
+                    cluster.name, cluster.vf_table.step_down(current)
+                )
+
+    def attach(self, sim: Simulator, name: str = "ondemand") -> None:
+        sim.add_controller(name, self.sampling_period_s, self)

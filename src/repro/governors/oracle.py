@@ -1,0 +1,126 @@
+"""Oracle static-mapping baseline (upper bound for migration policies).
+
+The paper's oracle exists only at design time (it labels the training
+data).  For *evaluation* it is useful to have a run-time upper bound: a
+privileged policy that uses the application models, the power model, and a
+thermal steady-state solve — information no real resource manager has — to
+place every application on the core that minimizes the predicted hottest
+zone temperature while meeting all QoS targets.
+
+Comparing TOP-IL against this oracle quantifies the policy's optimality
+gap (the run-time analogue of the Sec. 7.4 model evaluation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.governors.base import Technique
+from repro.governors.qos_dvfs import QoSDVFSControlLoop
+from repro.platform import Platform, VFLevel
+from repro.power import PowerModel
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+from repro.thermal import RCThermalNetwork
+
+
+class OracleStaticMapping(Technique):
+    """Privileged placement: minimize predicted steady-state zone temp.
+
+    For every candidate core the oracle computes the per-cluster VF levels
+    required to satisfy every running application's QoS target (using the
+    *true* application models), evaluates the power model at that operating
+    point, solves the thermal steady state, and takes the max over the
+    observable zones.  The coolest feasible candidate wins.  Placement is
+    static (applications are not migrated afterwards) and the standard QoS
+    DVFS loop controls the VF levels at run time.
+    """
+
+    name = "Oracle(static)"
+
+    def __init__(self, dvfs_period_s: float = 0.05):
+        self.dvfs_loop = QoSDVFSControlLoop(period_s=dvfs_period_s)
+        self._reference_thermal: Optional[RCThermalNetwork] = None
+
+    # ------------------------------------------------------------- prediction
+    def _required_levels(
+        self, sim: Simulator, assignments: Dict[int, int]
+    ) -> Optional[Dict[str, VFLevel]]:
+        """Min per-cluster levels meeting every app's target, or None."""
+        platform = sim.platform
+        levels: Dict[str, VFLevel] = {
+            c.name: c.vf_table.min_level for c in platform.clusters
+        }
+        for pid, core in assignments.items():
+            process = sim.process(pid)
+            cluster = platform.cluster_of_core(core)
+            level = process.app.min_frequency_for(
+                cluster.name,
+                cluster.vf_table,
+                process.qos_target_ips,
+                process.instructions_done,
+            )
+            if level is None:
+                return None
+            if level.frequency_hz > levels[cluster.name].frequency_hz:
+                levels[cluster.name] = level
+        return levels
+
+    def predicted_zone_temp(
+        self, sim: Simulator, assignments: Dict[int, int]
+    ) -> Optional[float]:
+        """Predicted steady-state max zone temperature for an assignment."""
+        levels = self._required_levels(sim, assignments)
+        if levels is None:
+            return None
+        platform = sim.platform
+        activity: Dict[int, float] = {}
+        for pid, core in assignments.items():
+            process = sim.process(pid)
+            cluster = platform.cluster_of_core(core)
+            params, _ = process.app.params_at(
+                cluster.name, process.instructions_done
+            )
+            activity[core] = min(1.0, activity.get(core, 0.0) + params.activity)
+        temps = {c: platform.ambient_temp_c + 15.0 for c in range(platform.n_cores)}
+        breakdown = sim.power_model.compute(levels, activity, temps)
+        steady = sim.thermal.steady_state(breakdown.per_block)
+        zones = [
+            t
+            for name, t in steady.items()
+            if name.startswith("uncore") or name == "soc_rest"
+        ]
+        return max(zones) if zones else max(steady.values())
+
+    # ------------------------------------------------------------- placement
+    def place(self, sim: Simulator, process: Process) -> int:
+        current = {p.pid: p.core_id for p in sim.running_processes()}
+        best_core: Optional[int] = None
+        best_temp = float("inf")
+        fallback: Optional[int] = None
+        for core in range(sim.platform.n_cores):
+            if sim.processes_on_core(core):
+                continue
+            assignments = dict(current)
+            assignments[process.pid] = core
+            temp = self.predicted_zone_temp(sim, assignments)
+            if fallback is None:
+                fallback = core
+            if temp is not None and temp < best_temp:
+                best_temp = temp
+                best_core = core
+        if best_core is not None:
+            return best_core
+        if fallback is not None:
+            return fallback
+        # No free core: share the least-loaded one.
+        loads = [
+            (len(sim.processes_on_core(c)), c)
+            for c in range(sim.platform.n_cores)
+        ]
+        loads.sort()
+        return loads[0][1]
+
+    def attach(self, sim: Simulator) -> None:
+        sim.placement_policy = self.place
+        self.dvfs_loop.attach(sim)

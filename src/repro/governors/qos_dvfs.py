@@ -1,0 +1,105 @@
+"""The paper's per-cluster QoS DVFS control loop (Sec. 5.2).
+
+Every 50 ms the loop estimates, per application ``k``, the minimum VF level
+that satisfies its QoS target by linear scaling from the current reading
+(Eq. 1)::
+
+    f_k_min = min { f in F_x(k) : q_k * f / f_x(k) >= Q_k }
+
+takes the per-cluster maximum over the applications mapped to it (Eq. 5),
+and moves each cluster's VF level **one step** towards that target — the
+linear estimate is only trustworthy for small changes.  Idle clusters run
+at the lowest level.  Two iterations are skipped around each application
+migration (the one in the migration epoch and the one right after) so the
+cold-cache transient does not masquerade as a QoS violation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.platform.vf import VFLevel, VFTable
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+from repro.utils.validation import check_positive
+
+
+def estimate_min_level(
+    current_ips: float,
+    current_freq_hz: float,
+    qos_target_ips: float,
+    vf_table: VFTable,
+) -> VFLevel:
+    """Eq. 1: lowest level whose linearly-scaled IPS reaches the target.
+
+    Falls back to the highest level when even it is predicted too slow —
+    the loop can do no better than run flat out.
+    """
+    check_positive("current_freq_hz", current_freq_hz)
+    if current_ips <= 0.0:
+        # No reading yet (e.g. right after arrival): be conservative.
+        return vf_table.max_level
+    required = qos_target_ips * current_freq_hz / current_ips
+    return vf_table.clamp(required)
+
+
+class QoSDVFSControlLoop:
+    """The 50 ms control loop shared by TOP-IL and TOP-RL."""
+
+    def __init__(self, period_s: float = 0.05, skip_iterations_after_migration: int = 2):
+        check_positive("period_s", period_s)
+        if skip_iterations_after_migration < 0:
+            raise ValueError("skip_iterations_after_migration must be >= 0")
+        self.period_s = period_s
+        self.skip_iterations = skip_iterations_after_migration
+        self._skips_remaining = 0
+        self.invocations = 0
+        self.skipped = 0
+
+    def notify_migration(self) -> None:
+        """Called by the migration policy when it executes a migration."""
+        self._skips_remaining = self.skip_iterations
+
+    def required_level(
+        self, sim: Simulator, process: Process
+    ) -> Optional[VFLevel]:
+        """Eq. 1 for one process, or None when it is not running."""
+        if not process.is_running():
+            return None
+        cluster = sim.platform.cluster_of_core(process.core_id)
+        return estimate_min_level(
+            current_ips=process.smoothed_ips,
+            current_freq_hz=sim.vf_level(cluster.name).frequency_hz,
+            qos_target_ips=process.qos_target_ips,
+            vf_table=cluster.vf_table,
+        )
+
+    def __call__(self, sim: Simulator) -> None:
+        self.invocations += 1
+        if self._skips_remaining > 0:
+            self._skips_remaining -= 1
+            self.skipped += 1
+            return
+        for cluster in sim.platform.clusters:
+            procs = [
+                p
+                for p in sim.running_processes()
+                if sim.platform.cluster_of_core(p.core_id).name == cluster.name
+            ]
+            if not procs:
+                # Idle clusters are operated at the lowest VF level.
+                sim.set_vf_level(cluster.name, cluster.vf_table.min_level)
+                continue
+            targets = [self.required_level(sim, p) for p in procs]
+            target = max(
+                (t for t in targets if t is not None),
+                key=lambda lv: lv.frequency_hz,
+                default=cluster.vf_table.min_level,
+            )
+            current = sim.vf_level(cluster.name)
+            sim.set_vf_level(
+                cluster.name, cluster.vf_table.step_towards(current, target)
+            )
+
+    def attach(self, sim: Simulator, name: str = "qos-dvfs") -> None:
+        sim.add_controller(name, self.period_s, self)

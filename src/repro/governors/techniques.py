@@ -1,0 +1,36 @@
+"""The Linux baseline techniques: GTS paired with ondemand / powersave."""
+
+from __future__ import annotations
+
+from repro.governors.base import Technique
+from repro.governors.gts import GTSScheduler
+from repro.governors.linux import OndemandGovernor, PowersaveGovernor
+from repro.sim.kernel import Simulator
+
+
+class GTSOndemand(Technique):
+    """GTS scheduling + ondemand DVFS — the Android 8.0 default."""
+
+    name = "GTS/ondemand"
+
+    def __init__(self):
+        self.scheduler = GTSScheduler()
+        self.governor = OndemandGovernor()
+
+    def attach(self, sim: Simulator) -> None:
+        self.scheduler.attach(sim)
+        self.governor.attach(sim)
+
+
+class GTSPowersave(Technique):
+    """GTS scheduling + powersave DVFS — minimum power, QoS-oblivious."""
+
+    name = "GTS/powersave"
+
+    def __init__(self):
+        self.scheduler = GTSScheduler()
+        self.governor = PowersaveGovernor()
+
+    def attach(self, sim: Simulator) -> None:
+        self.scheduler.attach(sim)
+        self.governor.attach(sim)

@@ -1,0 +1,43 @@
+"""TOP-IL: imitation-learning-based application migration (the paper's core).
+
+The package implements the full design-time and run-time pipeline:
+
+* :mod:`repro.il.features` — the feature vector of Table 2 (21 features),
+  extracted identically from design-time traces and run-time observables;
+* :mod:`repro.il.traces` — oracle trace collection over per-cluster VF
+  grids (Fig. 2, top): the expensive, privileged design-time measurements;
+* :mod:`repro.il.dataset` — QoS-target sweeping and soft-label generation
+  (Eq. 4), turning traces into training examples (Fig. 2, bottom);
+* :mod:`repro.il.policy` — the run-time migration policy: one batched NN
+  inference per epoch with every application as the AoI, executing the
+  single migration with the largest predicted rating improvement (Eq. 5);
+* :mod:`repro.il.technique` — TOP-IL as an installable technique (policy +
+  the QoS DVFS control loop);
+* :mod:`repro.il.pipeline` — end-to-end: scenarios -> traces -> dataset ->
+  three models trained with different seeds.
+"""
+
+from repro.il.features import FeatureExtractor, FEATURE_COUNT, feature_names
+from repro.il.traces import TraceCollector, TraceScenario, TraceGrid, TracePoint
+from repro.il.dataset import DatasetBuilder, LabelConfig, ILDataset
+from repro.il.policy import TopILMigrationPolicy
+from repro.il.technique import TopIL
+from repro.il.pipeline import ILPipeline, PipelineConfig, generate_scenarios
+
+__all__ = [
+    "FeatureExtractor",
+    "FEATURE_COUNT",
+    "feature_names",
+    "TraceCollector",
+    "TraceScenario",
+    "TraceGrid",
+    "TracePoint",
+    "DatasetBuilder",
+    "LabelConfig",
+    "ILDataset",
+    "TopILMigrationPolicy",
+    "TopIL",
+    "ILPipeline",
+    "PipelineConfig",
+    "generate_scenarios",
+]

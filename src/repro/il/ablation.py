@@ -1,0 +1,126 @@
+"""Ablation utilities for the design choices DESIGN.md calls out.
+
+The paper makes several silent design decisions worth quantifying:
+
+* **soft labels** (Eq. 4) instead of one-hot labels on the coolest core;
+* the **f_tilde_{x \\ AoI} features** (aspect c of Table 2) that tell the
+  model how much each cluster's VF level could drop without the AoI;
+* migrating **one application per epoch** instead of greedily executing
+  every predicted improvement.
+
+This module provides the pieces the ablation experiments need: a
+feature-masking model wrapper, a masked training helper, and a greedy
+multi-migration policy variant.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.il.dataset import ILDataset
+from repro.il.policy import TopILMigrationPolicy
+from repro.nn.layers import Sequential, build_mlp
+from repro.nn.training import TrainingConfig, train_model
+from repro.sim.kernel import Simulator
+from repro.utils.rng import RandomSource
+
+#: Feature indices of the f_tilde_{x\AoI}/f_x ratios on the 8-core,
+#: 2-cluster platform (see repro.il.features.feature_names).
+F_WO_AOI_FEATURES = (11, 12)
+#: Feature index of the AoI's L2D access rate.
+L2D_FEATURE = (1,)
+
+
+class FeatureMaskedModel:
+    """Wraps a model, zeroing selected input features before inference.
+
+    Training and run-time inference must see the same masking, so the
+    wrapper is used in both places: :func:`train_masked_model` trains the
+    inner model on masked features, and the wrapper re-applies the mask to
+    every run-time batch.
+    """
+
+    def __init__(self, model: Sequential, masked_features: Sequence[int]):
+        self.model = model
+        self.masked_features = tuple(masked_features)
+
+    def mask(self, features: np.ndarray) -> np.ndarray:
+        masked = np.array(np.atleast_2d(features), dtype=float, copy=True)
+        for idx in self.masked_features:
+            masked[:, idx] = 0.0
+        return masked
+
+    def forward(self, features: np.ndarray) -> np.ndarray:
+        return self.model.forward(self.mask(features))
+
+    __call__ = forward
+
+
+def train_masked_model(
+    dataset: ILDataset,
+    masked_features: Sequence[int] = (),
+    hidden_layers: int = 4,
+    hidden_width: int = 64,
+    seed: int = 0,
+    training: Optional[TrainingConfig] = None,
+) -> FeatureMaskedModel:
+    """Train a model with the given input features zeroed out."""
+    if len(dataset) == 0:
+        raise ValueError("cannot train on an empty dataset")
+    rng = RandomSource(seed).child("ablation-model")
+    inner = build_mlp(
+        input_dim=dataset.features.shape[1],
+        output_dim=dataset.labels.shape[1],
+        hidden_layers=hidden_layers,
+        hidden_width=hidden_width,
+        rng=rng,
+    )
+    wrapper = FeatureMaskedModel(inner, masked_features)
+    config = training or TrainingConfig(seed=seed)
+    train_model(inner, wrapper.mask(dataset.features), dataset.labels, config)
+    return wrapper
+
+
+class GreedyMultiMigrationPolicy(TopILMigrationPolicy):
+    """Ablation: execute *every* improving migration each epoch.
+
+    The paper migrates only the single best application per epoch because
+    simultaneous migrations interact unpredictably (they invalidate each
+    other's predicted VF levels and temperatures).  This variant greedily
+    applies all positive-improvement migrations in descending order,
+    re-deriving the free-core set as it goes.
+    """
+
+    def __call__(self, sim: Simulator) -> None:
+        self.invocations += 1
+        processes = sim.running_processes()
+        sim.account_overhead(
+            "migration",
+            self.overhead_model.migration_invocation_s(len(processes), self.model),
+        )
+        if not processes:
+            return
+        ratings = self.rate_mappings(sim, processes)
+        free = set(sim.free_cores())
+        candidates: List[tuple] = []
+        for row, process in enumerate(processes):
+            current = float(ratings[row, process.core_id])
+            for core in free:
+                improvement = float(ratings[row, core]) - current
+                if improvement > self.improvement_threshold:
+                    candidates.append((improvement, process.pid, core))
+        candidates.sort(reverse=True)
+        moved = set()
+        for improvement, pid, core in candidates:
+            if pid in moved or core not in free:
+                continue
+            old_core = sim.process(pid).core_id
+            sim.migrate(pid, core)
+            free.discard(core)
+            free.add(old_core)
+            moved.add(pid)
+            self.migrations_executed += 1
+        if moved and self.dvfs_loop is not None:
+            self.dvfs_loop.notify_migration()

@@ -1,0 +1,286 @@
+"""Training-data extraction: QoS sweep + soft labels (Fig. 2 bottom, Eq. 4).
+
+For every scenario's :class:`~repro.il.traces.TraceGrid` we sweep
+
+* the AoI QoS target ``Q_AoI`` (fractions of the AoI's peak observed IPS),
+* the background VF requirements ``f_tilde_{l \\ AoI}`` and
+  ``f_tilde_{b \\ AoI}`` (over the trace grid's frequencies),
+
+and, per candidate core ``j``, select the trace whose VF levels are the
+lowest that satisfy all three constraints (Eq. 3).  Matching the run-time
+DVFS control loop, the cluster *not* hosting the AoI stays at the
+background requirement while the AoI's own cluster is raised until the
+QoS target is met.  The peak temperatures of the selected traces yield the
+soft labels of Eq. 4::
+
+    l_j = 0                                  core j occupied by background
+    l_j = -1                                 core j cannot meet Q_AoI
+    l_j = exp(-alpha * (T_j - min_j' T_j'))  otherwise
+
+One training example is emitted per feasible source core, so the policy is
+trained to recover from *every* potential current mapping — the reason the
+paper needs no DAgger-style iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.il.features import FeatureExtractor
+from repro.il.traces import TraceGrid, TracePoint
+from repro.platform import Platform
+from repro.utils.validation import check_positive
+
+DEFAULT_QOS_FRACTIONS = (0.2, 0.35, 0.5, 0.65, 0.8, 0.95)
+
+
+@dataclass(frozen=True)
+class LabelConfig:
+    """Label-generation parameters (Eq. 4)."""
+
+    alpha: float = 1.0
+    occupied_label: float = 0.0
+    infeasible_label: float = -1.0
+    #: Ablation switch: one-hot label on the coolest mapping instead of
+    #: the soft exponential labels.
+    hard_labels: bool = False
+
+    def __post_init__(self):
+        check_positive("alpha", self.alpha)
+
+
+@dataclass
+class ILDataset:
+    """Features, labels, and per-example metadata.
+
+    ``meta`` rows are ``(aoi_app, source_core)``; filtering by AoI app
+    implements the paper's train/test split for the model evaluation.
+    """
+
+    features: np.ndarray
+    labels: np.ndarray
+    meta: List[Tuple[str, int]] = field(default_factory=list)
+
+    def __post_init__(self):
+        self.features = np.asarray(self.features, dtype=float)
+        self.labels = np.asarray(self.labels, dtype=float)
+        if len(self.features) != len(self.labels) or len(self.features) != len(
+            self.meta
+        ):
+            raise ValueError("features, labels, and meta must align")
+
+    def __len__(self) -> int:
+        return len(self.features)
+
+    def filter_by_apps(self, app_names: Sequence[str]) -> "ILDataset":
+        """Keep only examples whose AoI is one of ``app_names``."""
+        wanted = set(app_names)
+        idx = [i for i, (app, _) in enumerate(self.meta) if app in wanted]
+        return ILDataset(
+            features=self.features[idx],
+            labels=self.labels[idx],
+            meta=[self.meta[i] for i in idx],
+        )
+
+    def merge(self, other: "ILDataset") -> "ILDataset":
+        if len(self) == 0:
+            return other
+        if len(other) == 0:
+            return self
+        return ILDataset(
+            features=np.vstack([self.features, other.features]),
+            labels=np.vstack([self.labels, other.labels]),
+            meta=self.meta + other.meta,
+        )
+
+    def save(self, path: str) -> None:
+        apps = np.array([m[0] for m in self.meta])
+        cores = np.array([m[1] for m in self.meta])
+        np.savez_compressed(
+            path,
+            features=self.features,
+            labels=self.labels,
+            apps=apps,
+            cores=cores,
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "ILDataset":
+        data = np.load(path, allow_pickle=False)
+        meta = [
+            (str(a), int(c)) for a, c in zip(data["apps"], data["cores"])
+        ]
+        return cls(features=data["features"], labels=data["labels"], meta=meta)
+
+
+@dataclass(frozen=True)
+class _Selection:
+    """The trace selected for one candidate core under one sweep setting."""
+
+    point: Optional[TracePoint]  # None = QoS infeasible on this core
+    f_hz: Dict[str, float]
+
+
+class DatasetBuilder:
+    """Turns trace grids into an :class:`ILDataset`."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        label_config: LabelConfig = LabelConfig(),
+        qos_fractions: Sequence[float] = DEFAULT_QOS_FRACTIONS,
+    ):
+        self.platform = platform
+        self.label_config = label_config
+        self.qos_fractions = tuple(qos_fractions)
+        self.extractor = FeatureExtractor(platform)
+
+    # ------------------------------------------------------------- Eq. 3 selection
+    def select_trace(
+        self,
+        grid: TraceGrid,
+        aoi_core: int,
+        qos_target: float,
+        f_wo_aoi: Dict[str, float],
+    ) -> _Selection:
+        """Lowest VF levels satisfying background needs and the QoS target.
+
+        The non-AoI clusters run exactly at the background requirement; the
+        AoI's cluster is raised (starting from its own background
+        requirement) until the observed trace IPS reaches the target.
+        """
+        aoi_cluster = self.platform.cluster_of_core(aoi_core).name
+        freqs: Dict[str, float] = {}
+        for name, grid_freqs in grid.vf_grid.items():
+            candidates = [f for f in grid_freqs if f >= f_wo_aoi[name] - 1e-3]
+            if not candidates:
+                candidates = [max(grid_freqs)]
+            freqs[name] = min(candidates)
+        for f_aoi in sorted(
+            f for f in grid.vf_grid[aoi_cluster] if f >= freqs[aoi_cluster] - 1e-3
+        ):
+            trial = dict(freqs)
+            trial[aoi_cluster] = f_aoi
+            point = grid.lookup(aoi_core, trial)
+            if point.aoi_ips >= qos_target:
+                return _Selection(point=point, f_hz=trial)
+        # Even the highest level cannot meet the target on this core.
+        trial = dict(freqs)
+        trial[aoi_cluster] = max(grid.vf_grid[aoi_cluster])
+        return _Selection(point=None, f_hz=trial)
+
+    # ------------------------------------------------------------------ Eq. 4 labels
+    def make_labels(
+        self, selections: Dict[int, _Selection], occupied: Sequence[int]
+    ) -> Optional[np.ndarray]:
+        """Soft label vector over all cores, or None if nothing is feasible."""
+        cfg = self.label_config
+        labels = np.full(self.platform.n_cores, cfg.occupied_label)
+        feasible = {
+            core: sel.point.peak_temp_c
+            for core, sel in selections.items()
+            if sel.point is not None
+        }
+        if not feasible:
+            return None
+        t_min = min(feasible.values())
+        for core, sel in selections.items():
+            if sel.point is None:
+                labels[core] = cfg.infeasible_label
+            elif cfg.hard_labels:
+                labels[core] = 1.0 if sel.point.peak_temp_c == t_min else 0.0
+            else:
+                labels[core] = float(
+                    np.exp(-cfg.alpha * (sel.point.peak_temp_c - t_min))
+                )
+        for core in occupied:
+            labels[core] = cfg.occupied_label
+        return labels
+
+    # ------------------------------------------------------------------ full build
+    def build_from_grid(self, grid: TraceGrid) -> ILDataset:
+        """Sweep QoS targets and background requirements over one grid."""
+        scenario = grid.scenario
+        occupied = sorted(scenario.background_dict())
+        candidates = grid.aoi_cores()
+        max_ips = grid.max_aoi_ips()
+        cluster_names = sorted(grid.vf_grid)
+
+        features: List[np.ndarray] = []
+        labels: List[np.ndarray] = []
+        meta: List[Tuple[str, int]] = []
+
+        f_wo_combos = list(
+            _dict_product({name: grid.vf_grid[name] for name in cluster_names})
+        )
+        for fraction in self.qos_fractions:
+            qos_target = fraction * max_ips
+            for f_wo_aoi in f_wo_combos:
+                selections = {
+                    core: self.select_trace(grid, core, qos_target, f_wo_aoi)
+                    for core in candidates
+                }
+                label_vec = self.make_labels(selections, occupied)
+                if label_vec is None:
+                    continue
+                utils = {c: 0.0 for c in range(self.platform.n_cores)}
+                for c in occupied:
+                    utils[c] = 1.0
+                for source_core, sel in selections.items():
+                    if sel.point is None:
+                        continue  # AoI could not be executing here
+                    source_utils = dict(utils)
+                    source_utils[source_core] = 1.0
+                    vec = self.extractor.build(
+                        aoi_ips=sel.point.aoi_ips,
+                        aoi_l2d_rate=sel.point.aoi_l2d_rate,
+                        aoi_qos_target=qos_target,
+                        aoi_core=source_core,
+                        f_wo_aoi_hz=f_wo_aoi,
+                        f_current_hz=sel.f_hz,
+                        core_utilization=source_utils,
+                    )
+                    features.append(vec)
+                    labels.append(label_vec)
+                    meta.append((scenario.aoi_app, source_core))
+        if not features:
+            return ILDataset(
+                features=np.zeros((0, self.extractor.n_features)),
+                labels=np.zeros((0, self.platform.n_cores)),
+                meta=[],
+            )
+        return ILDataset(
+            features=np.vstack(features), labels=np.vstack(labels), meta=meta
+        )
+
+    def build(self, grids: Sequence[TraceGrid]) -> ILDataset:
+        """Build and merge datasets from many scenario grids."""
+        dataset = ILDataset(
+            features=np.zeros((0, self.extractor.n_features)),
+            labels=np.zeros((0, self.platform.n_cores)),
+            meta=[],
+        )
+        for grid in grids:
+            dataset = dataset.merge(self.build_from_grid(grid))
+        return dataset
+
+
+def _dict_product(values_by_key: Dict[str, List[float]]):
+    """Cartesian product over a dict of lists, yielding dicts."""
+    keys = sorted(values_by_key)
+    if not keys:
+        yield {}
+        return
+
+    def rec(i: int, acc: Dict[str, float]):
+        if i == len(keys):
+            yield dict(acc)
+            return
+        for value in values_by_key[keys[i]]:
+            acc[keys[i]] = value
+            yield from rec(i + 1, acc)
+
+    yield from rec(0, {})

@@ -1,0 +1,139 @@
+"""Feature extraction for IL-based migration (Table 2 of the paper).
+
+The 21 features describe, for one application of interest (AoI):
+
+===========================  =====  ==========================================
+feature                      count  aspect
+===========================  =====  ==========================================
+AoI current QoS (IPS)            1  (a) AoI characteristics
+AoI L2D accesses / s             1  (a)
+AoI current mapping, one-hot     8  (a)
+AoI QoS target (IPS)             1  (b)
+f_tilde_{x \\ AoI} / f_x          2  (c) background VF needs per cluster
+core utilizations                8  (c)
+===========================  =====  ==========================================
+
+The same extractor serves design time (values sourced from traces and the
+sweep) and run time (values sourced from the simulator's perf-counter view),
+which is what makes the oracle demonstrations match the run-time input
+distribution.  IPS values are normalized to GIPS and L2D rates to 1e8/s so
+all features are O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+import numpy as np
+
+from repro.governors.qos_dvfs import estimate_min_level
+from repro.platform import Platform
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+
+IPS_SCALE = 1e9
+L2D_SCALE = 1e8
+
+#: Total feature-vector length for an 8-core, 2-cluster platform.
+FEATURE_COUNT = 21
+
+
+def feature_names(platform: Platform) -> List[str]:
+    """Human-readable feature names in vector order."""
+    names = ["aoi_qos_gips", "aoi_l2d_1e8_per_s", "aoi_qos_target_gips"]
+    names += [f"aoi_on_core{c}" for c in range(platform.n_cores)]
+    names += [f"f_wo_aoi_over_f_{cl.name}" for cl in platform.clusters]
+    names += [f"util_core{c}" for c in range(platform.n_cores)]
+    return names
+
+
+class FeatureExtractor:
+    """Builds the Table-2 feature vector for one AoI."""
+
+    def __init__(self, platform: Platform):
+        self.platform = platform
+        self.n_features = 3 + platform.n_cores + len(platform.clusters) + platform.n_cores
+
+    # ------------------------------------------------------------- generic form
+    def build(
+        self,
+        aoi_ips: float,
+        aoi_l2d_rate: float,
+        aoi_qos_target: float,
+        aoi_core: int,
+        f_wo_aoi_hz: Mapping[str, float],
+        f_current_hz: Mapping[str, float],
+        core_utilization: Mapping[int, float],
+    ) -> np.ndarray:
+        """Assemble a feature vector from raw values.
+
+        ``f_wo_aoi_hz`` is the estimated required VF level per cluster if
+        the AoI were absent; ``f_current_hz`` the current per-cluster VF.
+        """
+        if not 0 <= aoi_core < self.platform.n_cores:
+            raise ValueError(f"aoi_core {aoi_core} out of range")
+        vec = np.zeros(self.n_features)
+        vec[0] = aoi_ips / IPS_SCALE
+        vec[1] = aoi_l2d_rate / L2D_SCALE
+        vec[2] = aoi_qos_target / IPS_SCALE
+        vec[3 + aoi_core] = 1.0
+        offset = 3 + self.platform.n_cores
+        for i, cluster in enumerate(self.platform.clusters):
+            current = f_current_hz[cluster.name]
+            if current <= 0:
+                raise ValueError(f"current frequency of {cluster.name} must be > 0")
+            vec[offset + i] = f_wo_aoi_hz[cluster.name] / current
+        offset += len(self.platform.clusters)
+        for c in range(self.platform.n_cores):
+            vec[offset + c] = float(core_utilization.get(c, 0.0))
+        return vec
+
+    # ------------------------------------------------------------ run-time form
+    def required_level_without(
+        self, sim: Simulator, aoi: Process
+    ) -> Dict[str, float]:
+        """Estimate f_tilde_{x \\ AoI} per cluster from run-time counters.
+
+        For each cluster the requirement is the max of Eq. 1 over the
+        *other* running applications mapped to it; an otherwise-empty
+        cluster needs only its lowest level.
+        """
+        result: Dict[str, float] = {}
+        for cluster in self.platform.clusters:
+            needed = cluster.vf_table.min_level.frequency_hz
+            for p in sim.running_processes():
+                if p.pid == aoi.pid:
+                    continue
+                if self.platform.cluster_of_core(p.core_id).name != cluster.name:
+                    continue
+                level = estimate_min_level(
+                    p.smoothed_ips,
+                    sim.vf_level(cluster.name).frequency_hz,
+                    p.qos_target_ips,
+                    cluster.vf_table,
+                )
+                needed = max(needed, level.frequency_hz)
+            result[cluster.name] = needed
+        return result
+
+    def from_simulator(self, sim: Simulator, aoi: Process) -> np.ndarray:
+        """Extract the run-time feature vector for ``aoi``."""
+        if not aoi.is_running():
+            raise ValueError(f"AoI pid {aoi.pid} is not running")
+        f_wo_aoi = self.required_level_without(sim, aoi)
+        f_current = {
+            cl.name: sim.vf_level(cl.name).frequency_hz
+            for cl in self.platform.clusters
+        }
+        utils = {
+            c: sim.core_utilization(c) for c in range(self.platform.n_cores)
+        }
+        return self.build(
+            aoi_ips=aoi.smoothed_ips,
+            aoi_l2d_rate=aoi.smoothed_l2d_rate,
+            aoi_qos_target=aoi.qos_target_ips,
+            aoi_core=aoi.core_id,
+            f_wo_aoi_hz=f_wo_aoi,
+            f_current_hz=f_current,
+            core_utilization=utils,
+        )

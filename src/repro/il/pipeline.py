@@ -1,0 +1,199 @@
+"""End-to-end design-time pipeline: scenarios -> traces -> dataset -> models.
+
+The paper creates 19,831 training examples from 100 combinations of AoI and
+background and trains three models with different random seeds to show
+robustness to weight initialization.  :class:`ILPipeline` reproduces that
+flow on the simulated platform, with a size knob so tests can run a scaled
+version, and optional on-disk caching of the (expensive) dataset.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.apps.catalog import TRAINING_APPS
+from repro.il.dataset import (
+    DEFAULT_QOS_FRACTIONS,
+    DatasetBuilder,
+    ILDataset,
+    LabelConfig,
+)
+from repro.il.traces import TraceCollector, TraceGrid, TraceScenario
+from repro.nn.layers import Sequential, build_mlp
+from repro.nn.training import TrainingConfig, TrainingResult, train_model
+from repro.platform import Platform
+from repro.thermal import CoolingConfig, FAN_COOLING
+from repro.utils.rng import RandomSource
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class PipelineConfig:
+    """Size and hyperparameters of the design-time pipeline."""
+
+    n_scenarios: int = 100
+    apps: Sequence[str] = TRAINING_APPS
+    seed: int = 42
+    vf_levels_per_cluster: int = 4
+    qos_fractions: Sequence[float] = DEFAULT_QOS_FRACTIONS
+    max_background_apps: int = 6
+    max_aoi_candidates: int = 4
+    hidden_layers: int = 4
+    hidden_width: int = 64
+    n_models: int = 3
+    training: TrainingConfig = field(default_factory=TrainingConfig)
+    label_config: LabelConfig = field(default_factory=LabelConfig)
+    cache_path: Optional[str] = None
+
+    def __post_init__(self):
+        check_positive("n_scenarios", self.n_scenarios)
+        check_positive("n_models", self.n_models)
+        if not self.apps:
+            raise ValueError("pipeline needs at least one AoI application")
+
+
+def generate_scenarios(
+    platform: Platform,
+    apps: Sequence[str],
+    n_scenarios: int,
+    rng: RandomSource,
+    max_background_apps: int = 6,
+) -> List[TraceScenario]:
+    """Random (AoI, background) combinations with at least one free core.
+
+    Background sizes are drawn uniformly from 0 to ``max_background_apps``
+    so the model sees everything from an idle system (single-application
+    workloads) to a nearly full one.
+    """
+    check_positive("n_scenarios", n_scenarios)
+    apps = list(apps)
+    scenarios: List[TraceScenario] = []
+    max_bg = min(max_background_apps, platform.n_cores - 1)
+    for _ in range(n_scenarios):
+        aoi = str(rng.choice(apps))
+        n_bg = int(rng.integers(0, max_bg + 1))
+        cores = list(rng.choice(platform.n_cores, size=n_bg, replace=False))
+        background = tuple(
+            sorted((int(core), str(rng.choice(apps))) for core in cores)
+        )
+        scenarios.append(TraceScenario(aoi_app=aoi, background=background))
+    return scenarios
+
+
+@dataclass
+class PipelineResult:
+    """Everything the design-time pipeline produces."""
+
+    dataset: ILDataset
+    models: List[Sequential]
+    training_results: List[TrainingResult]
+    scenarios: List[TraceScenario]
+
+
+class ILPipeline:
+    """Run the full design-time flow on the simulated platform."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        cooling: CoolingConfig = FAN_COOLING,
+        config: PipelineConfig = None,
+    ):
+        self.platform = platform
+        self.cooling = cooling
+        self.config = config or PipelineConfig()
+        self.collector = TraceCollector(
+            platform,
+            cooling,
+            vf_levels_per_cluster=self.config.vf_levels_per_cluster,
+        )
+        self.builder = DatasetBuilder(
+            platform,
+            label_config=self.config.label_config,
+            qos_fractions=self.config.qos_fractions,
+        )
+
+    # ------------------------------------------------------------------ stages
+    def collect_traces(self, scenarios: Sequence[TraceScenario]) -> List[TraceGrid]:
+        """Collect trace grids, bounding AoI candidates per scenario."""
+        rng = RandomSource(self.config.seed).child("aoi-candidates")
+        grids: List[TraceGrid] = []
+        for scenario in scenarios:
+            free = scenario.free_cores(self.platform)
+            if not free:
+                continue
+            if len(free) > self.config.max_aoi_candidates:
+                # Keep cluster diversity: sample candidates from both sides.
+                little = [c for c in free if c < 4]
+                big = [c for c in free if c >= 4]
+                picks: List[int] = []
+                half = self.config.max_aoi_candidates // 2
+                if little:
+                    k = min(len(little), max(1, half))
+                    picks += [int(x) for x in rng.choice(little, size=k, replace=False)]
+                if big:
+                    k = min(len(big), self.config.max_aoi_candidates - len(picks))
+                    if k > 0:
+                        picks += [int(x) for x in rng.choice(big, size=k, replace=False)]
+                candidates = sorted(picks)
+            else:
+                candidates = free
+            grids.append(self.collector.collect(scenario, aoi_cores=candidates))
+        return grids
+
+    def build_dataset(self, grids: Sequence[TraceGrid]) -> ILDataset:
+        return self.builder.build(grids)
+
+    def train_models(self, dataset: ILDataset) -> PipelineResult:
+        """Train ``n_models`` models with different random seeds."""
+        if len(dataset) == 0:
+            raise ValueError("cannot train on an empty dataset")
+        models: List[Sequential] = []
+        results: List[TrainingResult] = []
+        for i in range(self.config.n_models):
+            rng = RandomSource(self.config.seed).child(f"model-{i}")
+            model = build_mlp(
+                input_dim=dataset.features.shape[1],
+                output_dim=dataset.labels.shape[1],
+                hidden_layers=self.config.hidden_layers,
+                hidden_width=self.config.hidden_width,
+                rng=rng,
+            )
+            cfg = TrainingConfig(
+                initial_lr=self.config.training.initial_lr,
+                lr_decay=self.config.training.lr_decay,
+                batch_size=self.config.training.batch_size,
+                max_epochs=self.config.training.max_epochs,
+                patience=self.config.training.patience,
+                val_fraction=self.config.training.val_fraction,
+                seed=self.config.seed + i,
+            )
+            results.append(train_model(model, dataset.features, dataset.labels, cfg))
+            models.append(model)
+        return PipelineResult(
+            dataset=dataset, models=models, training_results=results, scenarios=[]
+        )
+
+    # ------------------------------------------------------------------ end to end
+    def run(self) -> PipelineResult:
+        """Scenarios -> traces -> dataset (cached) -> trained models."""
+        scenarios = generate_scenarios(
+            self.platform,
+            self.config.apps,
+            self.config.n_scenarios,
+            RandomSource(self.config.seed).child("scenarios"),
+            self.config.max_background_apps,
+        )
+        cache = self.config.cache_path
+        if cache is not None and os.path.exists(cache):
+            dataset = ILDataset.load(cache)
+        else:
+            grids = self.collect_traces(scenarios)
+            dataset = self.build_dataset(grids)
+            if cache is not None:
+                dataset.save(cache)
+        result = self.train_models(dataset)
+        result.scenarios = scenarios
+        return result

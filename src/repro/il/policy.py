@@ -1,0 +1,114 @@
+"""Run-time TOP-IL migration policy (Sec. 5.1).
+
+Every migration epoch (500 ms) the policy:
+
+1. extracts one feature vector per running application (each in turn as
+   the AoI),
+2. performs a single **batched** NN inference — on the board this is one
+   non-blocking HiAI DDK call to the NPU; here numpy computes the values
+   while :class:`~repro.npu.latency.NPUInferenceLatency` accounts the time
+   the call would take,
+3. reads the predicted rating ``l~_{k,c}`` of mapping application ``k`` to
+   core ``c``, and
+4. executes the single migration with the largest improvement over the
+   current mapping (Eq. 5), if any improvement exceeds a small hysteresis
+   threshold.
+
+Only one application migrates per epoch: simultaneous migrations would
+interact unpredictably and blow up the action space (Sec. 5.1).  The DVFS
+control loop is notified so it skips its two post-migration iterations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.governors.qos_dvfs import QoSDVFSControlLoop
+from repro.il.features import FeatureExtractor
+from repro.nn.layers import Sequential
+from repro.npu.overhead import ManagementOverheadModel
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class TopILMigrationPolicy:
+    """NN-based migration with batched (NPU) inference."""
+
+    def __init__(
+        self,
+        model: Sequential,
+        period_s: float = 0.5,
+        improvement_threshold: float = 0.02,
+        dvfs_loop: Optional[QoSDVFSControlLoop] = None,
+        overhead_model: Optional[ManagementOverheadModel] = None,
+    ):
+        check_positive("period_s", period_s)
+        check_non_negative("improvement_threshold", improvement_threshold)
+        self.model = model
+        self.period_s = period_s
+        self.improvement_threshold = improvement_threshold
+        self.dvfs_loop = dvfs_loop
+        self.overhead_model = overhead_model or ManagementOverheadModel()
+        self._extractor: Optional[FeatureExtractor] = None
+        self.invocations = 0
+        self.migrations_executed = 0
+
+    # ------------------------------------------------------------------ inference
+    def rate_mappings(
+        self, sim: Simulator, processes: List[Process]
+    ) -> np.ndarray:
+        """Predicted ratings, one row per process (as AoI), one col per core."""
+        if self._extractor is None:
+            self._extractor = FeatureExtractor(sim.platform)
+        batch = np.vstack(
+            [self._extractor.from_simulator(sim, p) for p in processes]
+        )
+        return self.model.forward(batch)
+
+    def best_migration(
+        self, sim: Simulator, processes: List[Process], ratings: np.ndarray
+    ) -> Optional[Tuple[int, int, float]]:
+        """Eq. 5: ``(pid, core, improvement)`` of the best migration.
+
+        Candidate targets are the process's own core and currently free
+        cores; cores occupied by other applications are excluded (their
+        trained rating is ~0 and sharing a core would hurt QoS).
+        """
+        free = set(sim.free_cores())
+        best: Optional[Tuple[int, int, float]] = None
+        for row, process in enumerate(processes):
+            current_core = process.core_id
+            current_rating = float(ratings[row, current_core])
+            for core in free:
+                improvement = float(ratings[row, core]) - current_rating
+                if best is None or improvement > best[2]:
+                    best = (process.pid, core, improvement)
+        return best
+
+    # ------------------------------------------------------------------ epoch
+    def __call__(self, sim: Simulator) -> None:
+        self.invocations += 1
+        processes = sim.running_processes()
+        sim.account_overhead(
+            "migration",
+            self.overhead_model.migration_invocation_s(len(processes), self.model),
+        )
+        if not processes:
+            return
+        ratings = self.rate_mappings(sim, processes)
+        best = self.best_migration(sim, processes, ratings)
+        if best is None:
+            return
+        pid, core, improvement = best
+        if improvement <= self.improvement_threshold:
+            return
+        sim.migrate(pid, core)
+        self.migrations_executed += 1
+        if self.dvfs_loop is not None:
+            self.dvfs_loop.notify_migration()
+
+    def attach(self, sim: Simulator, name: str = "top-il-migration") -> None:
+        sim.add_controller(name, self.period_s, self)

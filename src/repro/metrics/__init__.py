@@ -1,0 +1,15 @@
+"""Run metrics: temperature statistics, QoS violations, CPU-time histograms."""
+
+from repro.metrics.summary import RunSummary, summarize_run
+from repro.metrics.cputime import CpuTimeByVF, aggregate_cpu_time
+from repro.metrics.timeline import AppTimeline, extract_timelines, render_run_timelines
+
+__all__ = [
+    "RunSummary",
+    "summarize_run",
+    "CpuTimeByVF",
+    "aggregate_cpu_time",
+    "AppTimeline",
+    "extract_timelines",
+    "render_run_timelines",
+]

@@ -1,0 +1,64 @@
+"""CPU-time-per-VF-level accounting (the raw data behind Fig. 10).
+
+The paper explains the main results by plotting, per technique, how much
+total CPU time was spent on each cluster at each VF level.  Every process
+records its execution time keyed by (cluster, frequency); this module
+aggregates those ledgers across a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.platform import Platform
+from repro.sim.process import Process
+
+
+@dataclass
+class CpuTimeByVF:
+    """Total CPU seconds per (cluster name, frequency Hz)."""
+
+    seconds: Dict[Tuple[str, float], float] = field(default_factory=dict)
+
+    def add(self, cluster: str, frequency_hz: float, cpu_s: float) -> None:
+        key = (cluster, frequency_hz)
+        self.seconds[key] = self.seconds.get(key, 0.0) + cpu_s
+
+    def merge(self, other: "CpuTimeByVF") -> "CpuTimeByVF":
+        merged = CpuTimeByVF(seconds=dict(self.seconds))
+        for key, value in other.seconds.items():
+            merged.seconds[key] = merged.seconds.get(key, 0.0) + value
+        return merged
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def cluster_total(self, cluster: str) -> float:
+        return sum(v for (cl, _), v in self.seconds.items() if cl == cluster)
+
+    def fraction(self, cluster: str, frequency_hz: float) -> float:
+        """Share of total CPU time at this (cluster, frequency)."""
+        total = self.total
+        if total <= 0:
+            return 0.0
+        return self.seconds.get((cluster, frequency_hz), 0.0) / total
+
+    def as_rows(self, platform: Platform) -> List[Tuple[str, float, float]]:
+        """Sorted ``(cluster, frequency_hz, seconds)`` rows for reporting."""
+        rows: List[Tuple[str, float, float]] = []
+        for cluster in platform.clusters:
+            for level in cluster.vf_table:
+                cpu_s = self.seconds.get((cluster.name, level.frequency_hz), 0.0)
+                rows.append((cluster.name, level.frequency_hz, cpu_s))
+        return rows
+
+
+def aggregate_cpu_time(processes: Iterable[Process]) -> CpuTimeByVF:
+    """Merge the per-process CPU-time ledgers of a run."""
+    result = CpuTimeByVF()
+    for process in processes:
+        for (cluster, freq), cpu_s in process.cpu_time_by_vf.items():
+            result.add(cluster, freq, cpu_s)
+    return result

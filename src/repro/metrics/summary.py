@@ -1,0 +1,106 @@
+"""Whole-run summary metrics.
+
+Collects exactly the quantities the paper's figures report: time-averaged
+and peak sensor temperature, the number and fraction of applications
+violating their QoS targets, CPU time per VF level, migration counts,
+system utilization, and the management overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.metrics.cputime import CpuTimeByVF, aggregate_cpu_time
+from repro.sim.kernel import Simulator
+from repro.sim.process import ProcessState
+
+
+@dataclass
+class RunSummary:
+    """Metrics of one completed run."""
+
+    technique: str
+    workload: str
+    duration_s: float
+    mean_temp_c: float
+    peak_temp_c: float
+    n_apps: int
+    n_qos_violations: int
+    violation_fraction: float
+    mean_qos_met_fraction: float
+    cpu_time_by_vf: CpuTimeByVF
+    migrations: int
+    dtm_throttle_events: int
+    mean_utilization: float
+    peak_utilization: float
+    overhead_cpu_s: Dict[str, float] = field(default_factory=dict)
+    violating_apps: List[str] = field(default_factory=list)
+
+    @property
+    def overhead_total_s(self) -> float:
+        return sum(self.overhead_cpu_s.values())
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Manager CPU time as a fraction of one core's wall time."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.overhead_total_s / self.duration_s
+
+
+def _utilization_stats(sim: Simulator) -> tuple:
+    """Mean/peak system utilization from per-process CPU time and the trace.
+
+    Mean utilization is total process CPU time divided by (cores x run
+    duration); peak is the max concurrent busy-core fraction observed in
+    the trace samples.
+    """
+    duration = max(sim.now_s, 1e-9)
+    total_cpu = sum(p.total_cpu_time_s for p in sim.all_processes())
+    mean_util = total_cpu / (sim.platform.n_cores * duration)
+    peak = 0.0
+    for i in range(len(sim.trace.times)):
+        busy_cores = set()
+        for pid, series in sim.trace.process_cores.items():
+            if i < len(series) and series[i] >= 0:
+                busy_cores.add(series[i])
+        peak = max(peak, len(busy_cores) / sim.platform.n_cores)
+    return mean_util, peak
+
+
+def summarize_run(sim: Simulator, technique_name: str, workload_name: str) -> RunSummary:
+    """Build a :class:`RunSummary` from a finished simulation."""
+    processes = sim.all_processes()
+    finished = [p for p in processes if p.state is ProcessState.FINISHED]
+    judged = finished if finished else processes
+    violators = [
+        p for p in judged if p.violated_qos(sim.now_s, sim.config.qos_tolerance)
+    ]
+    qos_met_fracs = [p.qos_met_fraction() for p in judged]
+    mean_util, peak_util = _utilization_stats(sim)
+    trace = sim.trace
+    mean_temp = trace.mean_sensor_temp() if trace.times else sim.sensor_temp_c()
+    peak_temp = trace.peak_sensor_temp() if trace.times else sim.sensor_temp_c()
+    return RunSummary(
+        technique=technique_name,
+        workload=workload_name,
+        duration_s=sim.now_s,
+        mean_temp_c=mean_temp,
+        peak_temp_c=peak_temp,
+        n_apps=len(judged),
+        n_qos_violations=len(violators),
+        violation_fraction=len(violators) / max(1, len(judged)),
+        mean_qos_met_fraction=float(np.mean(qos_met_fracs)) if qos_met_fracs else 1.0,
+        cpu_time_by_vf=aggregate_cpu_time(processes),
+        migrations=len(
+            [m for m in trace.migrations if m.from_core is not None]
+        ),
+        dtm_throttle_events=sim.dtm_throttle_events,
+        mean_utilization=mean_util,
+        peak_utilization=peak_util,
+        overhead_cpu_s=dict(sim.overhead_cpu_s),
+        violating_apps=[p.app.name for p in violators],
+    )

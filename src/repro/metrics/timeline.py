@@ -1,0 +1,109 @@
+"""Timeline post-processing of run traces.
+
+Extracts per-application QoS and mapping timelines from a
+:class:`~repro.sim.trace.TraceRecorder`, the data behind the paper's
+Fig. 7 time-series panels: which cluster each application occupied, when
+its instantaneous QoS dipped, and how the temperature evolved alongside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.platform import Platform
+from repro.sim.trace import TraceRecorder
+from repro.utils.plots import sparkline
+
+
+@dataclass
+class AppTimeline:
+    """One application's run, resampled on the trace grid."""
+
+    pid: int
+    times_s: List[float]
+    clusters: List[str]  # '' when not running
+    ips: List[float]
+    qos_target_ips: float
+
+    @property
+    def active_samples(self) -> int:
+        return sum(1 for c in self.clusters if c)
+
+    def cluster_residency(self) -> Dict[str, float]:
+        """Fraction of active samples spent on each cluster."""
+        active = [c for c in self.clusters if c]
+        if not active:
+            return {}
+        return {
+            name: active.count(name) / len(active) for name in set(active)
+        }
+
+    def qos_met_series(self, tolerance: float = 0.02) -> List[bool]:
+        """Instantaneous QoS satisfaction per active sample."""
+        threshold = self.qos_target_ips * (1.0 - tolerance)
+        return [
+            ips >= threshold
+            for ips, cluster in zip(self.ips, self.clusters)
+            if cluster
+        ]
+
+    def qos_met_fraction(self, tolerance: float = 0.02) -> float:
+        series = self.qos_met_series(tolerance)
+        if not series:
+            return 1.0
+        return sum(series) / len(series)
+
+    def switches(self) -> int:
+        """Number of cluster changes while running."""
+        active = [c for c in self.clusters if c]
+        return sum(1 for a, b in zip(active, active[1:]) if a != b)
+
+
+def extract_timelines(
+    trace: TraceRecorder,
+    platform: Platform,
+    qos_targets: Dict[int, float],
+) -> Dict[int, AppTimeline]:
+    """Build an :class:`AppTimeline` per pid present in the trace."""
+    core_to_cluster = {c.core_id: c.cluster_name for c in platform.cores}
+    timelines: Dict[int, AppTimeline] = {}
+    for pid, cores in trace.process_cores.items():
+        clusters = [core_to_cluster.get(c, "") if c >= 0 else "" for c in cores]
+        ips = trace.process_ips.get(pid, [0.0] * len(cores))
+        timelines[pid] = AppTimeline(
+            pid=pid,
+            times_s=list(trace.times[: len(cores)]),
+            clusters=clusters,
+            ips=list(ips),
+            qos_target_ips=qos_targets.get(pid, 1.0),
+        )
+    return timelines
+
+
+def render_run_timelines(
+    trace: TraceRecorder,
+    platform: Platform,
+    qos_targets: Dict[int, float],
+    width: int = 60,
+) -> str:
+    """A Fig.-7-style text panel: temperature plus per-app mapping rows."""
+    lines = [
+        f"temperature [{sparkline(trace.sensor_temp_c, width)}] "
+        f"{min(trace.sensor_temp_c):.1f}-{max(trace.sensor_temp_c):.1f} C"
+    ]
+    timelines = extract_timelines(trace, platform, qos_targets)
+    symbol = {"": ".", "LITTLE": "L", "big": "b"}
+    for pid in sorted(timelines):
+        timeline = timelines[pid]
+        series = timeline.clusters
+        stride = max(1, len(series) // width)
+        sampled = series[::stride][:width]
+        row = "".join(symbol.get(c, c[:1] or ".") for c in sampled)
+        met = timeline.qos_met_fraction()
+        lines.append(
+            f"pid {pid:<3d}      [{row}] QoS met {100 * met:.0f} %"
+        )
+    return "\n".join(lines)

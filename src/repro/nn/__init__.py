@@ -1,0 +1,35 @@
+"""A small, dependency-free neural-network library (numpy only).
+
+Implements exactly what the paper's IL model needs: fully-connected layers
+with ReLU activations, MSE loss, the Adam optimizer with momentum, an
+exponentially decaying learning rate (0.01 * 0.95^epoch), early stopping
+with patience, and a grid-search NAS over depth and width (Fig. 3).
+
+The forward pass is deliberately simple (a chain of matmuls), which is also
+what makes it trivially batchable on the NPU model in :mod:`repro.npu`.
+"""
+
+from repro.nn.layers import Linear, ReLU, Sequential, build_mlp
+from repro.nn.losses import MSELoss
+from repro.nn.optim import Adam, ExponentialDecay
+from repro.nn.training import TrainingConfig, TrainingResult, train_model, train_val_split
+from repro.nn.nas import GridSearchResult, grid_search
+from repro.nn.serialize import save_model, load_model
+
+__all__ = [
+    "Linear",
+    "ReLU",
+    "Sequential",
+    "build_mlp",
+    "MSELoss",
+    "Adam",
+    "ExponentialDecay",
+    "TrainingConfig",
+    "TrainingResult",
+    "train_model",
+    "train_val_split",
+    "GridSearchResult",
+    "grid_search",
+    "save_model",
+    "load_model",
+]

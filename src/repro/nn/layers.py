@@ -1,0 +1,165 @@
+"""Fully-connected layers and the sequential container.
+
+Every layer implements ``forward(x)`` and ``backward(grad_out)``; parameters
+and their gradients are exposed via ``params()`` as ``(name, value, grad)``
+triples consumed by the optimizer.  Arrays are float64 throughout — the
+model is tiny (4x64 at its best topology), so numeric robustness beats
+speed here; the NPU latency model accounts for quantized inference cost
+separately.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RandomSource
+
+ParamTriple = Tuple[str, np.ndarray, np.ndarray]
+
+
+class Linear:
+    """Affine layer ``y = x @ W + b`` with He-uniform initialization."""
+
+    def __init__(self, in_features: int, out_features: int, rng: RandomSource):
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("layer dimensions must be positive")
+        bound = np.sqrt(6.0 / in_features)
+        self.weight = rng.uniform(-bound, bound, size=(in_features, out_features))
+        self.bias = np.zeros(out_features)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._last_input: Optional[np.ndarray] = None
+
+    @property
+    def in_features(self) -> int:
+        return self.weight.shape[0]
+
+    @property
+    def out_features(self) -> int:
+        return self.weight.shape[1]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected input dim {self.in_features}, got {x.shape[1]}"
+            )
+        self._last_input = x
+        return x @ self.weight + self.bias
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._last_input is None:
+            raise RuntimeError("backward called before forward")
+        grad_out = np.atleast_2d(grad_out)
+        self.grad_weight += self._last_input.T @ grad_out
+        self.grad_bias += grad_out.sum(axis=0)
+        return grad_out @ self.weight.T
+
+    def params(self) -> List[ParamTriple]:
+        return [
+            ("weight", self.weight, self.grad_weight),
+            ("bias", self.bias, self.grad_bias),
+        ]
+
+    def zero_grad(self) -> None:
+        self.grad_weight[:] = 0.0
+        self.grad_bias[:] = 0.0
+
+
+class ReLU:
+    """Rectified linear activation."""
+
+    def __init__(self):
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        self._mask = x > 0.0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.where(self._mask, grad_out, 0.0)
+
+    def params(self) -> List[ParamTriple]:
+        return []
+
+    def zero_grad(self) -> None:
+        pass
+
+
+class Sequential:
+    """A chain of layers with whole-model (de)serialization helpers."""
+
+    def __init__(self, layers: List):
+        if not layers:
+            raise ValueError("Sequential needs at least one layer")
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = np.atleast_2d(np.asarray(x, dtype=float))
+        for layer in self.layers:
+            out = layer.forward(out)
+        return out
+
+    __call__ = forward
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = grad_out
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def params(self) -> List[ParamTriple]:
+        triples: List[ParamTriple] = []
+        for i, layer in enumerate(self.layers):
+            for name, value, grad in layer.params():
+                triples.append((f"layer{i}.{name}", value, grad))
+        return triples
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    def n_parameters(self) -> int:
+        return sum(value.size for _, value, _ in self.params())
+
+    # --- weight snapshots (for early stopping) --------------------------------
+    def get_state(self) -> List[np.ndarray]:
+        return [value.copy() for _, value, _ in self.params()]
+
+    def set_state(self, state: List[np.ndarray]) -> None:
+        triples = self.params()
+        if len(state) != len(triples):
+            raise ValueError("state does not match model structure")
+        for (_, value, _), saved in zip(triples, state):
+            if value.shape != saved.shape:
+                raise ValueError("state shape mismatch")
+            value[:] = saved
+
+
+def build_mlp(
+    input_dim: int,
+    output_dim: int,
+    hidden_layers: int,
+    hidden_width: int,
+    rng: RandomSource,
+) -> Sequential:
+    """Build the paper's MLP: ReLU hidden layers, linear output layer.
+
+    The best topology found by the paper's NAS is 4 hidden layers of 64
+    neurons each; :func:`repro.nn.nas.grid_search` reproduces that search.
+    """
+    if hidden_layers < 0:
+        raise ValueError("hidden_layers must be >= 0")
+    layers: List = []
+    width_in = input_dim
+    for _ in range(hidden_layers):
+        layers.append(Linear(width_in, hidden_width, rng))
+        layers.append(ReLU())
+        width_in = hidden_width
+    layers.append(Linear(width_in, output_dim, rng))
+    return Sequential(layers)

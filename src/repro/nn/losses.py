@@ -1,0 +1,27 @@
+"""Loss functions.  The paper trains with plain MSE over all outputs."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+class MSELoss:
+    """Mean squared error, averaged over batch and output dimensions."""
+
+    def __call__(
+        self, prediction: np.ndarray, target: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        """Return ``(loss, grad_wrt_prediction)``."""
+        prediction = np.atleast_2d(np.asarray(prediction, dtype=float))
+        target = np.atleast_2d(np.asarray(target, dtype=float))
+        if prediction.shape != target.shape:
+            raise ValueError(
+                f"shape mismatch: prediction {prediction.shape} vs "
+                f"target {target.shape}"
+            )
+        diff = prediction - target
+        loss = float(np.mean(diff**2))
+        grad = 2.0 * diff / diff.size
+        return loss, grad

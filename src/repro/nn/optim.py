@@ -1,0 +1,68 @@
+"""Optimizers and learning-rate schedules.
+
+The paper uses "Adam optimizer with momentum" and an exponentially decaying
+learning rate of ``0.01 * 0.95^epoch``; both are implemented here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.nn.layers import ParamTriple
+from repro.utils.validation import check_in_range, check_positive
+
+
+class ExponentialDecay:
+    """Learning-rate schedule ``lr0 * decay^epoch``."""
+
+    def __init__(self, initial_lr: float = 0.01, decay: float = 0.95):
+        check_positive("initial_lr", initial_lr)
+        check_in_range("decay", decay, 0.0, 1.0)
+        self.initial_lr = initial_lr
+        self.decay = decay
+
+    def lr_at(self, epoch: int) -> float:
+        if epoch < 0:
+            raise ValueError("epoch must be >= 0")
+        return self.initial_lr * self.decay**epoch
+
+
+class Adam:
+    """Adam with bias-corrected first (momentum) and second moments."""
+
+    def __init__(
+        self,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        check_in_range("beta1", beta1, 0.0, 1.0)
+        check_in_range("beta2", beta2, 0.0, 1.0)
+        check_positive("eps", eps)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: Dict[str, np.ndarray] = {}
+        self._v: Dict[str, np.ndarray] = {}
+        self._step = 0
+
+    def step(self, params: List[ParamTriple], lr: float) -> None:
+        """Apply one update to every parameter in ``params``."""
+        check_positive("lr", lr)
+        self._step += 1
+        t = self._step
+        for name, value, grad in params:
+            m = self._m.setdefault(name, np.zeros_like(value))
+            v = self._v.setdefault(name, np.zeros_like(value))
+            m[:] = self.beta1 * m + (1.0 - self.beta1) * grad
+            v[:] = self.beta2 * v + (1.0 - self.beta2) * grad**2
+            m_hat = m / (1.0 - self.beta1**t)
+            v_hat = v / (1.0 - self.beta2**t)
+            value -= lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def reset(self) -> None:
+        self._m.clear()
+        self._v.clear()
+        self._step = 0

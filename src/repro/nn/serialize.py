@@ -1,0 +1,53 @@
+"""Model persistence: save/load trained MLPs as ``.npz`` archives.
+
+The archive stores the topology (layer types and sizes) plus every
+parameter tensor, so a model trained by the design-time pipeline can be
+shipped to the run-time manager — the moral equivalent of exporting the
+trained network to the board's HiAI model format.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.nn.layers import Linear, ReLU, Sequential
+from repro.utils.rng import RandomSource
+
+
+def save_model(model: Sequential, path: str) -> None:
+    """Serialize ``model`` (topology + weights) to ``path``."""
+    arrays = {}
+    layer_kinds: List[str] = []
+    for i, layer in enumerate(model.layers):
+        if isinstance(layer, Linear):
+            layer_kinds.append("linear")
+            arrays[f"layer{i}_weight"] = layer.weight
+            arrays[f"layer{i}_bias"] = layer.bias
+        elif isinstance(layer, ReLU):
+            layer_kinds.append("relu")
+        else:
+            raise TypeError(f"cannot serialize layer type {type(layer).__name__}")
+    arrays["layer_kinds"] = np.array(layer_kinds)
+    np.savez_compressed(path, **arrays)
+
+
+def load_model(path: str) -> Sequential:
+    """Load a model saved by :func:`save_model`."""
+    data = np.load(path, allow_pickle=False)
+    kinds = [str(k) for k in data["layer_kinds"]]
+    layers: List = []
+    throwaway_rng = RandomSource(0)
+    for i, kind in enumerate(kinds):
+        if kind == "linear":
+            weight = data[f"layer{i}_weight"]
+            layer = Linear(weight.shape[0], weight.shape[1], throwaway_rng)
+            layer.weight[:] = weight
+            layer.bias[:] = data[f"layer{i}_bias"]
+            layers.append(layer)
+        elif kind == "relu":
+            layers.append(ReLU())
+        else:
+            raise ValueError(f"unknown layer kind {kind!r} in {path}")
+    return Sequential(layers)

@@ -1,0 +1,18 @@
+"""NPU acceleration model and management-overhead accounting.
+
+The HiKey 970's NPU (accessed via the HiAI DDK) performs one *batched*
+inference for all running applications in a single call: its parallelism
+makes the latency essentially independent of the batch size, which is why
+the paper's migration policy has a constant overhead regardless of how many
+applications run (Fig. 12).  A CPU-inference comparator quantifies what the
+NPU buys.
+"""
+
+from repro.npu.latency import CPUInferenceLatency, NPUInferenceLatency
+from repro.npu.overhead import ManagementOverheadModel
+
+__all__ = [
+    "NPUInferenceLatency",
+    "CPUInferenceLatency",
+    "ManagementOverheadModel",
+]

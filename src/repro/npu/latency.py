@@ -1,0 +1,85 @@
+"""Inference-latency models: NPU (batched) vs. CPU (serial).
+
+Numerical inference itself is executed exactly (numpy) by the policy; these
+models answer "how long would this call have taken on the board", which
+drives the overhead accounting of Fig. 12.
+
+Calibration: the paper reports 4.3 ms per migration-policy invocation
+(dominated by the non-blocking HiAI call and feature collection) with the
+latency "barely changing" with the number of applications.  A CPU inference
+of the same model on the A53, by contrast, pays a per-sample cost, so its
+invocation latency grows linearly with the application count.
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import Sequential
+from repro.utils.validation import check_non_negative, check_positive
+
+
+def model_flops(model: Sequential) -> int:
+    """Multiply-accumulate count of one forward pass (batch size 1)."""
+    total = 0
+    for _, value, _ in model.params():
+        if value.ndim == 2:
+            total += 2 * value.shape[0] * value.shape[1]
+        else:
+            total += value.shape[0]
+    return total
+
+
+class NPUInferenceLatency:
+    """Batched inference on the NPU: latency ~ constant in the batch size.
+
+    ``setup_s`` covers the driver round trip (DDK call, DMA of the feature
+    batch); ``per_wave_s`` the compute of one hardware wave; batches up to
+    ``wave_size`` samples execute as one wave.
+    """
+
+    def __init__(
+        self,
+        setup_s: float = 1.7e-3,
+        per_wave_s: float = 0.3e-3,
+        wave_size: int = 16,
+    ):
+        check_non_negative("setup_s", setup_s)
+        check_non_negative("per_wave_s", per_wave_s)
+        check_positive("wave_size", wave_size)
+        self.setup_s = setup_s
+        self.per_wave_s = per_wave_s
+        self.wave_size = wave_size
+
+    def latency_s(self, batch_size: int, model: Sequential) -> float:
+        """Latency of one batched inference call."""
+        if batch_size <= 0:
+            return 0.0
+        waves = -(-batch_size // self.wave_size)  # ceil division
+        return self.setup_s + waves * self.per_wave_s
+
+
+class CPUInferenceLatency:
+    """Serial inference on a CPU core: latency grows with the batch.
+
+    ``per_sample_base_s`` models framework overhead per sample;
+    ``flops_per_s`` the effective throughput of the core for tiny GEMVs
+    (far below peak because the matrices do not amortize call overhead).
+    """
+
+    def __init__(
+        self,
+        setup_s: float = 0.3e-3,
+        per_sample_base_s: float = 1.1e-3,
+        flops_per_s: float = 2.0e9,
+    ):
+        check_non_negative("setup_s", setup_s)
+        check_non_negative("per_sample_base_s", per_sample_base_s)
+        check_positive("flops_per_s", flops_per_s)
+        self.setup_s = setup_s
+        self.per_sample_base_s = per_sample_base_s
+        self.flops_per_s = flops_per_s
+
+    def latency_s(self, batch_size: int, model: Sequential) -> float:
+        if batch_size <= 0:
+            return 0.0
+        per_sample = self.per_sample_base_s + model_flops(model) / self.flops_per_s
+        return self.setup_s + batch_size * per_sample

@@ -1,0 +1,60 @@
+"""Management run-time overhead model (Fig. 12).
+
+The paper's single-threaded manager binary pays, per invocation:
+
+* **DVFS control loop** (every 50 ms): a fixed cost plus a per-application
+  cost for reading performance counters — the component that scales with
+  the number of running applications (worst case 0.54 ms/invocation,
+  8.7 ms/s at 16 Hz);
+* **migration policy** (every 500 ms): feature collection per application
+  plus one batched NN inference — nearly constant thanks to the NPU
+  (worst case 4.3 ms/invocation, 8.6 ms/s at 2 Hz).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.nn.layers import Sequential
+from repro.npu.latency import NPUInferenceLatency
+from repro.utils.validation import check_non_negative
+
+
+class ManagementOverheadModel:
+    """CPU-time cost of one manager invocation, by component."""
+
+    def __init__(
+        self,
+        dvfs_base_s: float = 0.19e-3,
+        dvfs_per_app_s: float = 0.031e-3,
+        migration_base_s: float = 1.4e-3,
+        migration_per_app_s: float = 0.15e-3,
+        inference: Optional[object] = None,
+    ):
+        check_non_negative("dvfs_base_s", dvfs_base_s)
+        check_non_negative("dvfs_per_app_s", dvfs_per_app_s)
+        check_non_negative("migration_base_s", migration_base_s)
+        check_non_negative("migration_per_app_s", migration_per_app_s)
+        self.dvfs_base_s = dvfs_base_s
+        self.dvfs_per_app_s = dvfs_per_app_s
+        self.migration_base_s = migration_base_s
+        self.migration_per_app_s = migration_per_app_s
+        self.inference = inference or NPUInferenceLatency()
+
+    def dvfs_invocation_s(self, n_apps: int) -> float:
+        """Cost of one DVFS-loop invocation with ``n_apps`` running."""
+        if n_apps < 0:
+            raise ValueError("n_apps must be >= 0")
+        return self.dvfs_base_s + self.dvfs_per_app_s * n_apps
+
+    def migration_invocation_s(self, n_apps: int, model: Sequential) -> float:
+        """Cost of one migration-policy invocation (incl. inference)."""
+        if n_apps < 0:
+            raise ValueError("n_apps must be >= 0")
+        if n_apps == 0:
+            return self.migration_base_s
+        return (
+            self.migration_base_s
+            + self.migration_per_app_s * n_apps
+            + self.inference.latency_s(n_apps, model)
+        )

@@ -1,0 +1,24 @@
+"""Platform description: clusters, cores, VF tables, floorplan, DTM.
+
+This package models the *static* hardware description of a heterogeneous
+clustered multi-core — the information a resource manager can know at design
+time.  The reproduction ships a faithful description of the HiKey 970 board
+used in the paper (:func:`repro.platform.hikey.hikey970`): an Arm big.LITTLE
+SoC with four Cortex-A53 (LITTLE) and four Cortex-A73 (big) cores,
+per-cluster DVFS, and a single on-chip temperature sensor.
+"""
+
+from repro.platform.vf import VFLevel, VFTable
+from repro.platform.description import Cluster, Core, FloorplanTile, Platform, DTMConfig
+from repro.platform.hikey import hikey970
+
+__all__ = [
+    "VFLevel",
+    "VFTable",
+    "Cluster",
+    "Core",
+    "FloorplanTile",
+    "Platform",
+    "DTMConfig",
+    "hikey970",
+]

@@ -1,0 +1,215 @@
+"""Static platform description: cores, clusters, floorplan, DTM config.
+
+A :class:`Platform` is the single source of truth about the hardware that
+both the simulator substrate and the resource-management policies consume.
+Policies may only use information that a real resource manager could obtain
+(cluster topology, VF tables); internal parameters used by the power/thermal
+substrate (capacitance coefficients, floorplan geometry) live here too but
+are consumed only by the simulator, mirroring the paper's setting where the
+policy has no power sensors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.platform.vf import VFLevel, VFTable
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class Core:
+    """One CPU core: an index into the platform and its owning cluster."""
+
+    core_id: int
+    cluster_name: str
+
+    def __post_init__(self):
+        check_non_negative("core_id", self.core_id)
+
+
+@dataclass
+class Cluster:
+    """A DVFS cluster: a set of identical cores sharing one VF domain.
+
+    ``dyn_power_coeff`` is the effective switched capacitance (W / (V^2 Hz))
+    per fully-active core; ``static_power_coeff`` scales the
+    temperature-dependent leakage.  ``idle_power_fraction`` is the fraction
+    of active dynamic power a clock-gated idle core still burns.
+    """
+
+    name: str
+    core_ids: Tuple[int, ...]
+    vf_table: VFTable
+    dyn_power_coeff: float
+    static_power_coeff: float
+    idle_power_fraction: float = 0.05
+    # Relative microarchitectural capability used by application models:
+    # big cores have out-of-order pipelines and larger caches.
+    out_of_order: bool = False
+
+    def __post_init__(self):
+        if not self.core_ids:
+            raise ValueError(f"cluster {self.name!r} has no cores")
+        check_positive("dyn_power_coeff", self.dyn_power_coeff)
+        check_non_negative("static_power_coeff", self.static_power_coeff)
+        check_non_negative("idle_power_fraction", self.idle_power_fraction)
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.core_ids)
+
+
+@dataclass(frozen=True)
+class FloorplanTile:
+    """Axis-aligned placement of one thermal block on the die (meters)."""
+
+    name: str
+    x: float
+    y: float
+    width: float
+    height: float
+
+    def __post_init__(self):
+        check_positive("width", self.width)
+        check_positive("height", self.height)
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return (self.x + self.width / 2.0, self.y + self.height / 2.0)
+
+    def shares_edge_with(self, other: "FloorplanTile") -> float:
+        """Length of the shared boundary with ``other`` (0 if not adjacent)."""
+        eps = 1e-9
+        # Vertical adjacency (side by side in x).
+        if abs((self.x + self.width) - other.x) < eps or abs(
+            (other.x + other.width) - self.x
+        ) < eps:
+            lo = max(self.y, other.y)
+            hi = min(self.y + self.height, other.y + other.height)
+            return max(0.0, hi - lo)
+        # Horizontal adjacency (stacked in y).
+        if abs((self.y + self.height) - other.y) < eps or abs(
+            (other.y + other.height) - self.y
+        ) < eps:
+            lo = max(self.x, other.x)
+            hi = min(self.x + self.width, other.x + other.width)
+            return max(0.0, hi - lo)
+        return 0.0
+
+
+@dataclass(frozen=True)
+class DTMConfig:
+    """Dynamic thermal management (thermal throttling) parameters.
+
+    Real boards throttle the VF levels when the critical temperature is
+    exceeded; the paper's trace collection uses a fan precisely to avoid
+    DTM polluting the training data.  The simulator implements the same
+    reactive throttling so GTS/ondemand shows throttling without a fan.
+    """
+
+    trigger_temp_c: float = 85.0
+    release_temp_c: float = 80.0
+    check_period_s: float = 0.1
+
+    def __post_init__(self):
+        if self.release_temp_c > self.trigger_temp_c:
+            raise ValueError("release_temp_c must not exceed trigger_temp_c")
+        check_positive("check_period_s", self.check_period_s)
+
+
+@dataclass
+class Platform:
+    """Complete static description of a clustered heterogeneous multi-core."""
+
+    name: str
+    clusters: List[Cluster]
+    floorplan: Dict[str, FloorplanTile] = field(default_factory=dict)
+    dtm: DTMConfig = field(default_factory=DTMConfig)
+    ambient_temp_c: float = 25.0
+
+    def __post_init__(self):
+        seen_ids: set = set()
+        for cluster in self.clusters:
+            for cid in cluster.core_ids:
+                if cid in seen_ids:
+                    raise ValueError(f"core id {cid} appears in two clusters")
+                seen_ids.add(cid)
+        if seen_ids != set(range(len(seen_ids))):
+            raise ValueError("core ids must be contiguous starting at 0")
+        self._cores: List[Core] = [
+            Core(cid, cluster.name)
+            for cluster in self.clusters
+            for cid in cluster.core_ids
+        ]
+        self._cores.sort(key=lambda c: c.core_id)
+        self._cluster_by_name = {c.name: c for c in self.clusters}
+        if len(self._cluster_by_name) != len(self.clusters):
+            raise ValueError("cluster names must be unique")
+
+    # --- lookups ---------------------------------------------------------------
+    @property
+    def cores(self) -> List[Core]:
+        return list(self._cores)
+
+    @property
+    def n_cores(self) -> int:
+        return len(self._cores)
+
+    @property
+    def cluster_names(self) -> List[str]:
+        return [c.name for c in self.clusters]
+
+    def cluster(self, name: str) -> Cluster:
+        try:
+            return self._cluster_by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown cluster {name!r}; have {self.cluster_names}"
+            ) from None
+
+    def cluster_of_core(self, core_id: int) -> Cluster:
+        return self._cluster_by_name[self._cores[core_id].cluster_name]
+
+    def core_tile(self, core_id: int) -> Optional[FloorplanTile]:
+        return self.floorplan.get(f"core{core_id}")
+
+    def cores_in_cluster(self, name: str) -> List[int]:
+        return list(self.cluster(name).core_ids)
+
+    def default_vf_levels(self) -> Dict[str, VFLevel]:
+        """Lowest VF level per cluster — the power-on / idle configuration."""
+        return {c.name: c.vf_table.min_level for c in self.clusters}
+
+    def max_vf_levels(self) -> Dict[str, VFLevel]:
+        """Highest VF level per cluster."""
+        return {c.name: c.vf_table.max_level for c in self.clusters}
+
+
+def grid_floorplan(
+    blocks: Sequence[Tuple[str, float, float]], columns: int, origin=(0.0, 0.0)
+) -> Dict[str, FloorplanTile]:
+    """Lay out ``(name, width, height)`` blocks row-major on a grid.
+
+    A convenience for building regular core grids; rows are packed with the
+    max block height of the row so tiles never overlap.
+    """
+    check_positive("columns", columns)
+    tiles: Dict[str, FloorplanTile] = {}
+    x0, y0 = origin
+    x, y = x0, y0
+    row_height = 0.0
+    for i, (name, w, h) in enumerate(blocks):
+        if i > 0 and i % columns == 0:
+            x = x0
+            y += row_height
+            row_height = 0.0
+        tiles[name] = FloorplanTile(name, x, y, w, h)
+        x += w
+        row_height = max(row_height, h)
+    return tiles

@@ -1,0 +1,169 @@
+"""Description of the HiKey 970 board used in the paper.
+
+The HiKey 970 carries a HiSilicon Kirin 970 smartphone SoC with the common
+Arm big.LITTLE architecture: four Cortex-A53 (LITTLE) cores and four
+Cortex-A73 (big) cores with per-cluster DVFS up to 1.84 GHz and 2.36 GHz
+respectively, plus an NPU.  The VF tables below follow the board's cpufreq
+OPP tables; voltages are representative published values for the process
+(the board exposes no voltage telemetry, and only relative V^2*f scaling
+matters to the reproduction).
+
+Core ids follow the Linux enumeration on the board, which the paper's
+figures also use: cores 0-3 are LITTLE, cores 4-7 are big.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.platform.description import (
+    Cluster,
+    DTMConfig,
+    FloorplanTile,
+    Platform,
+)
+from repro.platform.vf import VFLevel, VFTable
+from repro.utils.units import GHZ, MHZ
+
+LITTLE = "LITTLE"
+BIG = "big"
+
+# (frequency, voltage) pairs for the Cortex-A53 cluster of the Kirin 970.
+_LITTLE_OPP = [
+    (509 * MHZ, 0.70),
+    (1018 * MHZ, 0.80),
+    (1210 * MHZ, 0.85),
+    (1402 * MHZ, 0.90),
+    (1556 * MHZ, 0.94),
+    (1690 * MHZ, 0.97),
+    (1844 * MHZ, 1.00),
+]
+
+# (frequency, voltage) pairs for the Cortex-A73 cluster of the Kirin 970.
+_BIG_OPP = [
+    (682 * MHZ, 0.72),
+    (1018 * MHZ, 0.79),
+    (1210 * MHZ, 0.83),
+    (1364 * MHZ, 0.87),
+    (1498 * MHZ, 0.90),
+    (1652 * MHZ, 0.94),
+    (1863 * MHZ, 0.99),
+    (2093 * MHZ, 1.04),
+    (2362 * MHZ, 1.10),
+]
+
+
+def _little_vf_table() -> VFTable:
+    return VFTable([VFLevel(f, v) for f, v in _LITTLE_OPP])
+
+
+def _big_vf_table() -> VFTable:
+    return VFTable([VFLevel(f, v) for f, v in _BIG_OPP])
+
+
+def _kirin970_floorplan() -> Dict[str, FloorplanTile]:
+    """A representative Kirin 970 floorplan (dimensions in meters).
+
+    The die is roughly 9.7 x 10 mm.  The CPU complex occupies one corner:
+    the four A73 cores are several times larger than the A53 cores.  The
+    remaining silicon (GPU, NPU, modem, uncore) is modeled as two passive
+    blocks that act as lateral heat spreaders, which is what creates the
+    spatial thermal coupling the paper emphasizes.
+    """
+    mm = 1e-3
+    tiles: Dict[str, FloorplanTile] = {}
+    # LITTLE cores: 0.9 x 0.8 mm each, in a 2x2 block at the die corner.
+    lw, lh = 0.9 * mm, 0.8 * mm
+    for i in range(4):
+        col, row = i % 2, i // 2
+        tiles[f"core{i}"] = FloorplanTile(f"core{i}", col * lw, row * lh, lw, lh)
+    # big cores: 1.8 x 1.6 mm each, in a 2x2 block next to the LITTLE block.
+    bw, bh = 1.8 * mm, 1.6 * mm
+    bx0 = 2 * lw + 0.2 * mm
+    for i in range(4):
+        col, row = i % 2, i // 2
+        tiles[f"core{4 + i}"] = FloorplanTile(
+            f"core{4 + i}", bx0 + col * bw, row * bh, bw, bh
+        )
+    # Shared L2 / uncore blocks sit above each cluster.
+    tiles["uncore_LITTLE"] = FloorplanTile(
+        "uncore_LITTLE", 0.0, 2 * lh, 2 * lw, 3.0 * mm
+    )
+    tiles["uncore_big"] = FloorplanTile("uncore_big", bx0, 2 * bh, 2 * bw, 1.4 * mm)
+    # Rest of the SoC (GPU, NPU, modem) as one large passive block.
+    tiles["soc_rest"] = FloorplanTile("soc_rest", 0.0, 4.6 * mm, 9.7 * mm, 5.4 * mm)
+    return tiles
+
+
+def hikey970(
+    ambient_temp_c: float = 25.0,
+    dtm_trigger_c: float = 85.0,
+    dtm_release_c: float = 80.0,
+) -> Platform:
+    """Build the HiKey 970 platform description.
+
+    Power coefficients are calibrated so that a fully-loaded A73 core at
+    2.36 GHz / 1.10 V dissipates about 1.8 W and a fully-loaded A53 core at
+    1.84 GHz / 1.00 V about 0.45 W, matching published big.LITTLE
+    measurements at the cluster level.
+    """
+    little = Cluster(
+        name=LITTLE,
+        core_ids=(0, 1, 2, 3),
+        vf_table=_little_vf_table(),
+        dyn_power_coeff=2.4e-10,
+        static_power_coeff=0.035,
+        idle_power_fraction=0.04,
+        out_of_order=False,
+    )
+    big = Cluster(
+        name=BIG,
+        core_ids=(4, 5, 6, 7),
+        vf_table=_big_vf_table(),
+        dyn_power_coeff=6.3e-10,
+        static_power_coeff=0.095,
+        idle_power_fraction=0.05,
+        out_of_order=True,
+    )
+    return Platform(
+        name="hikey970",
+        clusters=[little, big],
+        floorplan=_kirin970_floorplan(),
+        dtm=DTMConfig(
+            trigger_temp_c=dtm_trigger_c,
+            release_temp_c=dtm_release_c,
+            check_period_s=0.1,
+        ),
+        ambient_temp_c=ambient_temp_c,
+    )
+
+
+def reduced_vf_grid(platform: Platform, per_cluster: int = 4) -> Dict[str, List[VFLevel]]:
+    """Pick a reduced, evenly-spread subset of VF levels per cluster.
+
+    The paper accelerates oracle trace collection by obtaining traces for a
+    reduced set of VF levels (Sec. 4.2).  This helper selects
+    ``per_cluster`` levels spread over each table, always including the
+    lowest and highest level.
+    """
+    if per_cluster < 2:
+        raise ValueError("per_cluster must be >= 2 to include min and max")
+    grid: Dict[str, List[VFLevel]] = {}
+    for cluster in platform.clusters:
+        levels = cluster.vf_table.levels
+        if per_cluster >= len(levels):
+            grid[cluster.name] = levels
+            continue
+        picks = [
+            levels[round(i * (len(levels) - 1) / (per_cluster - 1))]
+            for i in range(per_cluster)
+        ]
+        # Deduplicate while preserving order (rounding can collide).
+        seen = set()
+        unique = []
+        for lv in picks:
+            if lv.frequency_hz not in seen:
+                seen.add(lv.frequency_hz)
+                unique.append(lv)
+        grid[cluster.name] = unique
+    return grid

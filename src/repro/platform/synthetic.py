@@ -1,0 +1,111 @@
+"""Synthetic platforms beyond the HiKey 970.
+
+The paper states its solution "is compatible with any number of clusters".
+This module provides a tri-cluster platform (LITTLE / big / prime, like
+modern flagship SoCs) to exercise that claim: the feature extractor, trace
+collector, dataset builder, DVFS loop, and TOP-IL policy are all
+cluster-count-agnostic, and the tests in
+``tests/unit/test_synthetic_platform.py`` prove it end to end.
+
+(The GTS baseline and the RL state quantizer are intentionally
+big.LITTLE-specific, as on real devices.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.apps.model import AppModel, ClusterPerfParams
+from repro.platform.description import Cluster, FloorplanTile, Platform
+from repro.platform.vf import VFLevel, VFTable
+from repro.utils.units import MHZ
+
+LITTLE = "LITTLE"
+BIG = "big"
+PRIME = "prime"
+
+_LITTLE_OPP = [(500 * MHZ, 0.70), (1000 * MHZ, 0.80), (1500 * MHZ, 0.90), (1800 * MHZ, 1.00)]
+_BIG_OPP = [(700 * MHZ, 0.72), (1400 * MHZ, 0.85), (2000 * MHZ, 0.95), (2400 * MHZ, 1.05)]
+_PRIME_OPP = [(800 * MHZ, 0.75), (1600 * MHZ, 0.88), (2400 * MHZ, 1.00), (2900 * MHZ, 1.10)]
+
+
+def _table(opp) -> VFTable:
+    return VFTable([VFLevel(f, v) for f, v in opp])
+
+
+def tricluster(ambient_temp_c: float = 25.0) -> Platform:
+    """A 4+3+1 LITTLE/big/prime platform with per-cluster DVFS."""
+    little = Cluster(
+        name=LITTLE,
+        core_ids=(0, 1, 2, 3),
+        vf_table=_table(_LITTLE_OPP),
+        dyn_power_coeff=2.4e-10,
+        static_power_coeff=0.035,
+        out_of_order=False,
+    )
+    big = Cluster(
+        name=BIG,
+        core_ids=(4, 5, 6),
+        vf_table=_table(_BIG_OPP),
+        dyn_power_coeff=6.0e-10,
+        static_power_coeff=0.09,
+        out_of_order=True,
+    )
+    prime = Cluster(
+        name=PRIME,
+        core_ids=(7,),
+        vf_table=_table(_PRIME_OPP),
+        dyn_power_coeff=9.0e-10,
+        static_power_coeff=0.14,
+        out_of_order=True,
+    )
+    mm = 1e-3
+    tiles: Dict[str, FloorplanTile] = {}
+    lw, lh = 0.9 * mm, 0.8 * mm
+    for i in range(4):
+        tiles[f"core{i}"] = FloorplanTile(
+            f"core{i}", (i % 2) * lw, (i // 2) * lh, lw, lh
+        )
+    bw, bh = 1.7 * mm, 1.5 * mm
+    bx0 = 2 * lw + 0.2 * mm
+    for i in range(3):
+        tiles[f"core{4 + i}"] = FloorplanTile(
+            f"core{4 + i}", bx0 + (i % 2) * bw, (i // 2) * bh, bw, bh
+        )
+    tiles["core7"] = FloorplanTile(
+        "core7", bx0 + bw, bh, 2.2 * mm, 2.0 * mm
+    )
+    tiles[f"uncore_{LITTLE}"] = FloorplanTile(f"uncore_{LITTLE}", 0.0, 2 * lh, 2 * lw, 2.0 * mm)
+    tiles[f"uncore_{BIG}"] = FloorplanTile(f"uncore_{BIG}", bx0, 2 * bh, bw, 0.6 * mm)
+    tiles[f"uncore_{PRIME}"] = FloorplanTile(
+        f"uncore_{PRIME}", bx0 + bw, bh + 2.0 * mm, 2.2 * mm, 0.6 * mm
+    )
+    tiles["soc_rest"] = FloorplanTile("soc_rest", 0.0, 3.6 * mm, 9.0 * mm, 5.0 * mm)
+    return Platform(
+        name="synthetic-tricluster",
+        clusters=[little, big, prime],
+        floorplan=tiles,
+        ambient_temp_c=ambient_temp_c,
+    )
+
+
+def synthetic_app(
+    name: str = "kernel",
+    cpi_little: float = 1.3,
+    cpi_big: float = 0.7,
+    cpi_prime: float = 0.55,
+    mem_time: float = 1.0e-10,
+    activity: float = 0.85,
+) -> AppModel:
+    """A constant-behaviour application with parameters for all clusters."""
+    return AppModel(
+        name=name,
+        suite="synthetic",
+        perf={
+            LITTLE: ClusterPerfParams(cpi_little, mem_time, activity),
+            BIG: ClusterPerfParams(cpi_big, mem_time * 0.8, activity),
+            PRIME: ClusterPerfParams(cpi_prime, mem_time * 0.7, activity),
+        },
+        l2d_per_inst=0.01,
+        total_instructions=2.0e11,
+    )

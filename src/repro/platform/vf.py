@@ -1,0 +1,140 @@
+"""Voltage/frequency (VF) levels and per-cluster VF tables.
+
+The paper's platform supports per-cluster DVFS: all cores of a cluster share
+one VF level chosen from a discrete, ordered table (the Linux ``cpufreq``
+OPP table).  :class:`VFTable` provides the operations every policy in the
+reproduction needs: ordered access, "lowest level that reaches frequency f",
+and single-step moves (the QoS DVFS control loop of Sec. 5.2 moves one step
+per invocation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True, order=True)
+class VFLevel:
+    """One operating performance point: a frequency and its supply voltage."""
+
+    frequency_hz: float
+    voltage_v: float
+
+    def __post_init__(self):
+        check_positive("frequency_hz", self.frequency_hz)
+        check_positive("voltage_v", self.voltage_v)
+
+
+class VFTable:
+    """An ordered, immutable table of VF levels for one cluster.
+
+    Levels are sorted by ascending frequency; voltage must be non-decreasing
+    with frequency (physical DVFS tables are monotone).
+    """
+
+    def __init__(self, levels: Sequence[VFLevel]):
+        if not levels:
+            raise ValueError("VFTable needs at least one level")
+        ordered = sorted(levels, key=lambda lv: lv.frequency_hz)
+        for prev, cur in zip(ordered, ordered[1:]):
+            if cur.frequency_hz == prev.frequency_hz:
+                raise ValueError(
+                    f"duplicate frequency {cur.frequency_hz} in VF table"
+                )
+            if cur.voltage_v < prev.voltage_v:
+                raise ValueError("voltage must be non-decreasing with frequency")
+        self._levels: List[VFLevel] = list(ordered)
+
+    # --- basic container protocol --------------------------------------------
+    def __len__(self) -> int:
+        return len(self._levels)
+
+    def __iter__(self) -> Iterator[VFLevel]:
+        return iter(self._levels)
+
+    def __getitem__(self, index: int) -> VFLevel:
+        return self._levels[index]
+
+    @property
+    def levels(self) -> List[VFLevel]:
+        """A copy of the ordered level list."""
+        return list(self._levels)
+
+    @property
+    def frequencies(self) -> List[float]:
+        """All frequencies in ascending order (Hz)."""
+        return [lv.frequency_hz for lv in self._levels]
+
+    @property
+    def min_level(self) -> VFLevel:
+        return self._levels[0]
+
+    @property
+    def max_level(self) -> VFLevel:
+        return self._levels[-1]
+
+    # --- lookups ---------------------------------------------------------------
+    def index_of(self, frequency_hz: float) -> int:
+        """Return the index of the level with exactly this frequency."""
+        for i, lv in enumerate(self._levels):
+            if lv.frequency_hz == frequency_hz:
+                return i
+        raise KeyError(f"frequency {frequency_hz} not in VF table")
+
+    def level_at_or_above(self, frequency_hz: float) -> VFLevel:
+        """The lowest level whose frequency is >= ``frequency_hz``.
+
+        This implements the ``min { f in F_x : ... }`` selection of Eq. (1).
+        Raises :class:`ValueError` if even the highest level is too slow,
+        because callers must handle infeasible QoS targets explicitly.
+        """
+        for lv in self._levels:
+            if lv.frequency_hz >= frequency_hz:
+                return lv
+        raise ValueError(
+            f"no VF level reaches {frequency_hz} Hz "
+            f"(max is {self.max_level.frequency_hz} Hz)"
+        )
+
+    def has_level_at_or_above(self, frequency_hz: float) -> bool:
+        """Whether some level reaches ``frequency_hz``."""
+        return self.max_level.frequency_hz >= frequency_hz
+
+    def clamp(self, frequency_hz: float) -> VFLevel:
+        """The lowest level >= ``frequency_hz``, or the max level if none."""
+        if self.has_level_at_or_above(frequency_hz):
+            return self.level_at_or_above(frequency_hz)
+        return self.max_level
+
+    # --- stepping ---------------------------------------------------------------
+    def step_towards(self, current: VFLevel, target: VFLevel) -> VFLevel:
+        """Move one table step from ``current`` towards ``target``.
+
+        The DVFS control loop adjusts the VF level by only one step per
+        invocation because its minimum-frequency estimates come from linear
+        scaling and are only trustworthy for small changes (Sec. 5.2).
+        """
+        ci = self.index_of(current.frequency_hz)
+        ti = self.index_of(target.frequency_hz)
+        if ti > ci:
+            return self._levels[ci + 1]
+        if ti < ci:
+            return self._levels[ci - 1]
+        return current
+
+    def step_down(self, current: VFLevel) -> VFLevel:
+        """One step down (or the same level when already at the bottom)."""
+        ci = self.index_of(current.frequency_hz)
+        return self._levels[max(0, ci - 1)]
+
+    def step_up(self, current: VFLevel) -> VFLevel:
+        """One step up (or the same level when already at the top)."""
+        ci = self.index_of(current.frequency_hz)
+        return self._levels[min(len(self._levels) - 1, ci + 1)]
+
+    def __repr__(self) -> str:
+        freqs = ", ".join(f"{lv.frequency_hz / 1e9:.3f}" for lv in self._levels)
+        return f"VFTable([{freqs}] GHz)"

@@ -1,0 +1,11 @@
+"""Power models for the simulated SoC.
+
+The paper's board exposes **no power sensors**; power exists in this
+reproduction purely as the input to the thermal substrate.  Policies never
+read it, matching the paper's constraint ("Lim. Power Sensors" column of
+Table 1).
+"""
+
+from repro.power.model import PowerModel, PowerBreakdown
+
+__all__ = ["PowerModel", "PowerBreakdown"]

@@ -1,0 +1,147 @@
+"""Per-block power computation: dynamic switching + temperature-aware leakage.
+
+Model structure (standard CMOS first-order model, e.g. HotSpot tooling):
+
+* **Dynamic power** per core: ``C_eff * V^2 * f * activity`` where ``C_eff``
+  is the cluster's effective switched capacitance and ``activity`` in [0, 1]
+  combines utilization (fraction of the interval the core ran) and the
+  running application's switching-activity factor.
+* **Idle power**: a clock-gated idle core burns a small fraction of its
+  full-activity dynamic power.
+* **Leakage power** per core: ``k_static * V^2 * (1 + k_T * (T - T_ref))``
+  — leakage grows with supply voltage and with temperature, the feedback
+  loop that makes sustained big-cluster operation disproportionately hot.
+* **Uncore power** per cluster: a base cost plus a share proportional to
+  the cluster's aggregate activity (interconnect, shared L2).
+* **soc_rest**: a constant background power for the rest of the die (display
+  pipeline, memory controller, rails), keeping idle temperature realistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.platform import Platform, VFLevel
+from repro.utils.validation import check_in_range, check_non_negative
+
+
+@dataclass
+class PowerBreakdown:
+    """Power per thermal block (W) with convenience totals."""
+
+    per_block: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return sum(self.per_block.values())
+
+    def core_power(self, core_id: int) -> float:
+        return self.per_block.get(f"core{core_id}", 0.0)
+
+
+class PowerModel:
+    """Compute a :class:`PowerBreakdown` for the current platform state.
+
+    Parameters
+    ----------
+    platform:
+        The static platform description (provides cluster coefficients).
+    leakage_temp_coeff:
+        Fractional leakage increase per degree Celsius above ``leakage_ref_c``.
+    uncore_base_w / uncore_activity_w:
+        Per-cluster uncore power: constant part and the part scaled by the
+        mean core activity of the cluster.
+    soc_rest_w:
+        Constant background power of the non-CPU silicon.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        leakage_temp_coeff: float = 0.012,
+        leakage_ref_c: float = 25.0,
+        uncore_base_w: float = 0.05,
+        uncore_activity_w: float = 0.25,
+        soc_rest_w: float = 0.55,
+    ):
+        check_non_negative("leakage_temp_coeff", leakage_temp_coeff)
+        check_non_negative("uncore_base_w", uncore_base_w)
+        check_non_negative("uncore_activity_w", uncore_activity_w)
+        check_non_negative("soc_rest_w", soc_rest_w)
+        self.platform = platform
+        self.leakage_temp_coeff = leakage_temp_coeff
+        self.leakage_ref_c = leakage_ref_c
+        self.uncore_base_w = uncore_base_w
+        self.uncore_activity_w = uncore_activity_w
+        self.soc_rest_w = soc_rest_w
+
+    # --- per-core components ----------------------------------------------------
+    def core_dynamic_power(
+        self, core_id: int, vf: VFLevel, activity: float
+    ) -> float:
+        """Dynamic power of one core at ``vf`` with the given activity.
+
+        ``activity`` = 0 means the core is idle (clock-gated, small residual
+        switching); 1 means a fully active, high-switching workload.
+        """
+        check_in_range("activity", activity, 0.0, 1.0)
+        cluster = self.platform.cluster_of_core(core_id)
+        full = cluster.dyn_power_coeff * vf.voltage_v**2 * vf.frequency_hz
+        idle = cluster.idle_power_fraction * full
+        return idle + (full - idle) * activity
+
+    def core_leakage_power(self, core_id: int, vf: VFLevel, temp_c: float) -> float:
+        """Leakage power of one core at its current voltage and temperature."""
+        cluster = self.platform.cluster_of_core(core_id)
+        temp_factor = 1.0 + self.leakage_temp_coeff * max(
+            0.0, temp_c - self.leakage_ref_c
+        )
+        return cluster.static_power_coeff * vf.voltage_v**2 * temp_factor
+
+    # --- full breakdown -----------------------------------------------------------
+    def compute(
+        self,
+        vf_levels: Mapping[str, VFLevel],
+        core_activity: Mapping[int, float],
+        core_temps_c: Mapping[int, float],
+    ) -> PowerBreakdown:
+        """Power per thermal block for the given operating state.
+
+        Parameters
+        ----------
+        vf_levels:
+            Current VF level per cluster name.
+        core_activity:
+            Activity in [0, 1] per core id; missing cores are treated idle.
+        core_temps_c:
+            Current temperature per core id, used for leakage feedback.
+            Missing cores fall back to the platform ambient.
+        """
+        blocks: Dict[str, float] = {}
+        cluster_activity_sum: Dict[str, float] = {
+            c.name: 0.0 for c in self.platform.clusters
+        }
+        ambient = self.platform.ambient_temp_c
+        for core in self.platform.cores:
+            cluster = self.platform.cluster_of_core(core.core_id)
+            vf = vf_levels[cluster.name]
+            activity = float(core_activity.get(core.core_id, 0.0))
+            temp = float(core_temps_c.get(core.core_id, ambient))
+            power = self.core_dynamic_power(
+                core.core_id, vf, activity
+            ) + self.core_leakage_power(core.core_id, vf, temp)
+            blocks[f"core{core.core_id}"] = power
+            cluster_activity_sum[cluster.name] += activity
+
+        for cluster in self.platform.clusters:
+            mean_activity = cluster_activity_sum[cluster.name] / cluster.n_cores
+            vf = vf_levels[cluster.name]
+            # Uncore power scales with voltage squared like the cores do.
+            v_scale = (vf.voltage_v / cluster.vf_table.max_level.voltage_v) ** 2
+            blocks[f"uncore_{cluster.name}"] = v_scale * (
+                self.uncore_base_w + self.uncore_activity_w * mean_activity
+            )
+
+        blocks["soc_rest"] = self.soc_rest_w
+        return PowerBreakdown(per_block=blocks)

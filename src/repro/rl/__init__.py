@@ -1,0 +1,32 @@
+"""TOP-RL: the reinforcement-learning baseline (Sec. 6 of the paper).
+
+One tabular Q-learning agent per running application, all sharing a single
+Q-table (2,304 entries = 288 quantized states x 8 migration actions).  A
+mediator selects the single executed action among the agents' proposals by
+the highest Q-value and forwards the next reward only to that agent.  The
+reward combines temperature and the QoS constraint into one scalar
+(``80C - T``, or ``-200`` on any QoS violation) — the structural weakness
+the paper attributes RL's instability to.
+
+Like on the board, the policy is pre-trained until convergence on a random
+workload (:func:`repro.rl.pretrain.pretrain_qtable`), then continues
+epsilon-greedy **online** learning during evaluation runs.
+"""
+
+from repro.rl.state import StateQuantizer, N_STATES
+from repro.rl.qtable import QTable
+from repro.rl.policy import TopRLMigrationPolicy, RLConfig
+from repro.rl.technique import TopRL
+from repro.rl.pretrain import pretrain_qtable
+from repro.rl.double import DoubleQTable
+
+__all__ = [
+    "StateQuantizer",
+    "N_STATES",
+    "QTable",
+    "TopRLMigrationPolicy",
+    "RLConfig",
+    "TopRL",
+    "pretrain_qtable",
+    "DoubleQTable",
+]

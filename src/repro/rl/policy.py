@@ -1,0 +1,131 @@
+"""TOP-RL migration policy: per-application agents + mediator (Fig. 6).
+
+Each migration epoch:
+
+1. the reward for the *previously executed* action is computed
+   (``80C - T`` when every application meets its QoS target, ``-200``
+   otherwise) and the Q-table is updated — only for the agent whose action
+   was selected last epoch, as the paper's mediator prescribes;
+2. every running application's agent observes its quantized state and
+   proposes an action epsilon-greedily;
+3. the mediator executes the single proposal with the highest Q-value
+   (exploratory proposals carry their Q-value too, so exploration still
+   reaches the platform — the source of the run-time instability the
+   paper demonstrates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.npu.overhead import ManagementOverheadModel
+from repro.rl.qtable import QTable
+from repro.rl.state import N_STATES, StateQuantizer
+from repro.sim.kernel import Simulator
+from repro.utils.rng import RandomSource
+from repro.utils.validation import check_in_range, check_positive
+
+
+@dataclass(frozen=True)
+class RLConfig:
+    """Training parameters, selected as in the paper (after [lu2015])."""
+
+    epsilon: float = 0.1
+    discount: float = 0.8
+    learning_rate: float = 0.05
+    period_s: float = 0.5
+    reward_offset_c: float = 80.0
+    qos_violation_reward: float = -200.0
+
+    def __post_init__(self):
+        check_in_range("epsilon", self.epsilon, 0.0, 1.0)
+        check_in_range("discount", self.discount, 0.0, 1.0)
+        check_in_range("learning_rate", self.learning_rate, 0.0, 1.0)
+        check_positive("period_s", self.period_s)
+
+
+class TopRLMigrationPolicy:
+    """Multi-agent Q-learning migration with a shared table and mediator."""
+
+    def __init__(
+        self,
+        qtable: Optional[QTable] = None,
+        config: RLConfig = RLConfig(),
+        rng: Optional[RandomSource] = None,
+        learning_enabled: bool = True,
+        overhead_model: Optional[ManagementOverheadModel] = None,
+        n_actions: int = 8,
+    ):
+        self.config = config
+        self.qtable = qtable or QTable(
+            N_STATES,
+            n_actions,
+            learning_rate=config.learning_rate,
+            discount=config.discount,
+        )
+        self.rng = rng or RandomSource(0)
+        self.learning_enabled = learning_enabled
+        self.overhead_model = overhead_model or ManagementOverheadModel()
+        self._quantizer: Optional[StateQuantizer] = None
+        # (pid, state, action) of the action the mediator executed last epoch.
+        self._last_executed: Optional[Tuple[int, int, int]] = None
+        self.invocations = 0
+        self.migrations_executed = 0
+
+    # ------------------------------------------------------------------ reward
+    def reward(self, sim: Simulator) -> float:
+        """Eq. 7: temperature reward, crushed to -200 on any QoS violation."""
+        for p in sim.running_processes():
+            if not sim.qos_satisfied(p):
+                return self.config.qos_violation_reward
+        return self.config.reward_offset_c - sim.sensor_temp_c()
+
+    # ------------------------------------------------------------------ epoch
+    def __call__(self, sim: Simulator) -> None:
+        self.invocations += 1
+        processes = sim.running_processes()
+        # RL inference is a table lookup (CPU); charge per-app counter reads.
+        sim.account_overhead(
+            "migration",
+            self.overhead_model.migration_base_s
+            + self.overhead_model.migration_per_app_s * len(processes),
+        )
+        if self._quantizer is None:
+            self._quantizer = StateQuantizer(sim.platform)
+
+        states: Dict[int, int] = {
+            p.pid: self._quantizer.state_of(sim, p) for p in processes
+        }
+
+        # 1. Learn from the previously executed action.
+        if self.learning_enabled and self._last_executed is not None:
+            pid, state, action = self._last_executed
+            if pid in states:  # the process may have finished meanwhile
+                self.qtable.update(state, action, self.reward(sim), states[pid])
+        self._last_executed = None
+
+        if not processes:
+            return
+
+        # 2. Per-agent epsilon-greedy proposals.
+        proposals: Dict[int, Tuple[int, float]] = {}
+        for p in processes:
+            state = states[p.pid]
+            if float(self.rng.uniform()) < self.config.epsilon:
+                action = int(self.rng.integers(0, self.qtable.n_actions))
+            else:
+                action = self.qtable.best_action(state)
+            proposals[p.pid] = (action, self.qtable.q(state, action))
+
+        # 3. Mediator: execute the single proposal with the highest Q-value.
+        best_pid = max(proposals, key=lambda pid: proposals[pid][1])
+        action, _ = proposals[best_pid]
+        process = sim.process(best_pid)
+        if process.core_id != action:
+            sim.migrate(best_pid, action)
+            self.migrations_executed += 1
+        self._last_executed = (best_pid, states[best_pid], action)
+
+    def attach(self, sim: Simulator, name: str = "top-rl-migration") -> None:
+        sim.add_controller(name, self.config.period_s, self)

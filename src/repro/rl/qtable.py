@@ -1,0 +1,93 @@
+"""The shared Q-table and the Q-learning update rule."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_in_range, check_non_negative
+
+
+class QTable:
+    """A dense (n_states x n_actions) action-value table.
+
+    All agents share one table (the paper's design) to generalize across
+    applications and give newly arriving applications a trained policy
+    immediately.  Initialization is constant, matching the paper's remark
+    that initial RL performance is not representative.
+    """
+
+    def __init__(
+        self,
+        n_states: int,
+        n_actions: int,
+        initial_value: float = 0.0,
+        learning_rate: float = 0.05,
+        discount: float = 0.8,
+    ):
+        if n_states <= 0 or n_actions <= 0:
+            raise ValueError("table dimensions must be positive")
+        check_in_range("learning_rate", learning_rate, 0.0, 1.0)
+        check_in_range("discount", discount, 0.0, 1.0)
+        self.values = np.full((n_states, n_actions), float(initial_value))
+        self.learning_rate = learning_rate
+        self.discount = discount
+        self.updates = 0
+
+    @property
+    def n_states(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def n_actions(self) -> int:
+        return self.values.shape[1]
+
+    @property
+    def size(self) -> int:
+        """Total number of entries (the paper reports 2,304)."""
+        return self.values.size
+
+    def best_action(self, state: int) -> int:
+        return int(np.argmax(self.values[state]))
+
+    def q(self, state: int, action: int) -> float:
+        return float(self.values[state, action])
+
+    def update(self, state: int, action: int, reward: float, next_state: int) -> None:
+        """One Q-learning step: ``Q += alpha (r + gamma max_a' Q' - Q)``."""
+        check_non_negative("state", state)
+        target = reward + self.discount * float(np.max(self.values[next_state]))
+        self.values[state, action] += self.learning_rate * (
+            target - self.values[state, action]
+        )
+        self.updates += 1
+
+    def copy(self) -> "QTable":
+        clone = QTable(
+            self.n_states,
+            self.n_actions,
+            learning_rate=self.learning_rate,
+            discount=self.discount,
+        )
+        clone.values[:] = self.values
+        clone.updates = self.updates
+        return clone
+
+    def save(self, path: str) -> None:
+        np.savez_compressed(
+            path,
+            values=self.values,
+            learning_rate=self.learning_rate,
+            discount=self.discount,
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "QTable":
+        data = np.load(path)
+        table = cls(
+            n_states=data["values"].shape[0],
+            n_actions=data["values"].shape[1],
+            learning_rate=float(data["learning_rate"]),
+            discount=float(data["discount"]),
+        )
+        table.values[:] = data["values"]
+        return table

@@ -1,0 +1,91 @@
+"""State quantization for the tabular RL baseline.
+
+The paper quantizes the same information the IL features carry, keeping the
+Q-table at 2,304 entries.  The discrete state combines:
+
+* QoS target met / missed (2),
+* AoI's current cluster (2),
+* AoI's L2D access rate, 3 bins (memory intensity),
+* LITTLE-cluster VF level, 4 bins,
+* big-cluster VF level, 3 bins,
+* whether the *other* cluster has a free core (2),
+
+for ``2 * 2 * 3 * 4 * 3 * 2 = 288`` states, times 8 migration actions =
+2,304 Q-table entries — the size the paper reports.
+"""
+
+from __future__ import annotations
+
+from repro.platform import Platform
+from repro.platform.hikey import BIG, LITTLE
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+
+#: L2D accesses/s thresholds separating compute / mixed / memory-bound.
+L2D_BIN_EDGES = (1.0e7, 8.0e7)
+
+N_QOS = 2
+N_CLUSTER = 2
+N_L2D = 3
+N_FL = 4
+N_FB = 3
+N_FREE_OTHER = 2
+N_STATES = N_QOS * N_CLUSTER * N_L2D * N_FL * N_FB * N_FREE_OTHER
+
+
+class StateQuantizer:
+    """Maps run-time observables of one AoI to a discrete state index."""
+
+    def __init__(self, platform: Platform):
+        self.platform = platform
+        self._little_levels = len(platform.cluster(LITTLE).vf_table)
+        self._big_levels = len(platform.cluster(BIG).vf_table)
+
+    # --- component quantizers ------------------------------------------------
+    def qos_bin(self, sim: Simulator, process: Process) -> int:
+        return 1 if sim.qos_satisfied(process) else 0
+
+    def cluster_bin(self, sim: Simulator, process: Process) -> int:
+        cluster = sim.platform.cluster_of_core(process.core_id)
+        return 0 if cluster.name == LITTLE else 1
+
+    def l2d_bin(self, process: Process) -> int:
+        rate = process.smoothed_l2d_rate
+        for i, edge in enumerate(L2D_BIN_EDGES):
+            if rate < edge:
+                return i
+        return len(L2D_BIN_EDGES)
+
+    def _vf_bin(self, sim: Simulator, cluster_name: str, n_bins: int) -> int:
+        table = sim.platform.cluster(cluster_name).vf_table
+        idx = table.index_of(sim.vf_level(cluster_name).frequency_hz)
+        n_levels = len(table)
+        return min(n_bins - 1, idx * n_bins // n_levels)
+
+    def fl_bin(self, sim: Simulator) -> int:
+        return self._vf_bin(sim, LITTLE, N_FL)
+
+    def fb_bin(self, sim: Simulator) -> int:
+        return self._vf_bin(sim, BIG, N_FB)
+
+    def free_other_bin(self, sim: Simulator, process: Process) -> int:
+        """1 when the cluster the AoI is *not* on has a free core."""
+        current = sim.platform.cluster_of_core(process.core_id).name
+        other = BIG if current == LITTLE else LITTLE
+        for core in sim.platform.cores_in_cluster(other):
+            if not sim.processes_on_core(core):
+                return 1
+        return 0
+
+    # --- combined index ---------------------------------------------------------
+    def state_of(self, sim: Simulator, process: Process) -> int:
+        """Discrete state index in ``[0, N_STATES)`` for one AoI."""
+        if not process.is_running():
+            raise ValueError(f"pid {process.pid} is not running")
+        index = self.qos_bin(sim, process)
+        index = index * N_CLUSTER + self.cluster_bin(sim, process)
+        index = index * N_L2D + self.l2d_bin(process)
+        index = index * N_FL + self.fl_bin(sim)
+        index = index * N_FB + self.fb_bin(sim)
+        index = index * N_FREE_OTHER + self.free_other_bin(sim, process)
+        return index

@@ -1,0 +1,70 @@
+"""TOP-RL as an installable technique: RL migration + QoS DVFS loop.
+
+For a fair comparison the paper pairs the RL migration policy with the
+**same** DVFS control loop as TOP-IL; only the migration decisions differ.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.governors.base import Technique
+from repro.governors.qos_dvfs import QoSDVFSControlLoop
+from repro.npu.overhead import ManagementOverheadModel
+from repro.rl.policy import RLConfig, TopRLMigrationPolicy
+from repro.rl.qtable import QTable
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+from repro.utils.rng import RandomSource
+
+
+def _least_loaded_placement(sim: Simulator, process: Process) -> int:
+    loads = [
+        (len(sim.processes_on_core(c)), c) for c in range(sim.platform.n_cores)
+    ]
+    loads.sort()
+    return loads[0][1]
+
+
+class TopRL(Technique):
+    """The RL baseline with the shared QoS DVFS control loop."""
+
+    name = "TOP-RL"
+
+    def __init__(
+        self,
+        qtable: Optional[QTable] = None,
+        config: RLConfig = RLConfig(),
+        rng: Optional[RandomSource] = None,
+        learning_enabled: bool = True,
+        dvfs_period_s: float = 0.05,
+        overhead_model: Optional[ManagementOverheadModel] = None,
+    ):
+        self.dvfs_loop = QoSDVFSControlLoop(period_s=dvfs_period_s)
+        self.migration = TopRLMigrationPolicy(
+            qtable=qtable,
+            config=config,
+            rng=rng,
+            learning_enabled=learning_enabled,
+            overhead_model=overhead_model,
+        )
+        self._overhead = self.migration.overhead_model
+
+    @property
+    def qtable(self) -> QTable:
+        return self.migration.qtable
+
+    def attach(self, sim: Simulator) -> None:
+        sim.placement_policy = _least_loaded_placement
+        self.dvfs_loop.attach(sim)
+        self.migration.attach(sim)
+        original = self.dvfs_loop.__call__
+
+        def with_overhead(s: Simulator, _orig=original) -> None:
+            s.account_overhead(
+                "dvfs", self._overhead.dvfs_invocation_s(len(s.running_processes()))
+            )
+            _orig(s)
+
+        sim.remove_controller("qos-dvfs")
+        sim.add_controller("qos-dvfs", self.dvfs_loop.period_s, with_overhead)

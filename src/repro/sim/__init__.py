@@ -1,0 +1,27 @@
+"""Discrete-time full-system simulator.
+
+This package is the substrate that replaces the physical HiKey 970 board:
+it executes application models on cores, advances the power and thermal
+models, exposes exactly the observables the board exposes (perf counters,
+core utilizations, one temperature sensor), and hosts the pluggable
+resource-management techniques (TOP-IL, TOP-RL, GTS + Linux governors).
+
+The kernel advances in fixed steps (default 10 ms).  Controllers —
+scheduler, DVFS governor, migration policy, DTM — register with a period
+and are invoked on their own grid, mirroring the paper's 50 ms DVFS loop
+and 500 ms migration epoch.
+"""
+
+from repro.sim.process import Process, ProcessState
+from repro.sim.kernel import Simulator, SimConfig, Controller
+from repro.sim.trace import TraceRecorder, MigrationEvent
+
+__all__ = [
+    "Process",
+    "ProcessState",
+    "Simulator",
+    "SimConfig",
+    "Controller",
+    "TraceRecorder",
+    "MigrationEvent",
+]

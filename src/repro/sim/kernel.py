@@ -1,0 +1,448 @@
+"""The discrete-time full-system simulator.
+
+One :class:`Simulator` instance couples:
+
+* the **platform description** (clusters, VF tables, floorplan, DTM),
+* the **power model** (per-block W from activity, VF, temperature),
+* the **thermal network** (RC dynamics per floorplan tile + board),
+* the **temperature sensor** (20 Hz, quantized — the only temperature
+  observable, as on the board),
+* the **process layer** (application models executing on cores, with
+  timeslicing, memory contention, and cold caches after migration), and
+* pluggable **controllers** (DVFS governors, schedulers, migration
+  policies) invoked on their own periods.
+
+Policies interact with the simulator exclusively through board-realistic
+observables: per-process smoothed IPS and L2D rates (perf API), per-core
+utilization, current VF levels, and the thermal sensor.  Ground-truth node
+temperatures and power are available on the simulator for *metrics and
+oracle generation only* — the same privileged design-time access the paper
+gets from instrumented trace collection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.apps.model import AppModel
+from repro.platform import Platform, VFLevel
+from repro.power import PowerModel
+from repro.sim.process import Process, ProcessState
+from repro.sim.trace import MigrationEvent, TraceRecorder
+from repro.thermal import (
+    CoolingConfig,
+    FAN_COOLING,
+    RCThermalNetwork,
+    TemperatureSensor,
+    build_thermal_network,
+)
+from repro.utils.rng import RandomSource
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass
+class SimConfig:
+    """Tunable simulator parameters.
+
+    ``contention_coeff`` scales cluster-level memory-contention slowdown;
+    ``cold_cache_penalty``/``cold_cache_duration_s`` model the transient
+    after a migration (the reason the paper's DVFS loop skips iterations);
+    ``perf_smoothing_tau_s`` is the time constant of the perf-counter EMA;
+    ``qos_tolerance`` is the relative slack applied when judging QoS.
+    """
+
+    dt_s: float = 0.01
+    contention_coeff: float = 0.15
+    cold_cache_penalty: float = 1.35
+    cold_cache_duration_s: float = 0.1
+    perf_smoothing_tau_s: float = 0.1
+    qos_tolerance: float = 0.02
+    model_overhead_on_core: Optional[int] = 0
+    trace_sample_period_s: float = 0.1
+
+    def __post_init__(self):
+        check_positive("dt_s", self.dt_s)
+        check_non_negative("contention_coeff", self.contention_coeff)
+        if self.cold_cache_penalty < 1.0:
+            raise ValueError("cold_cache_penalty must be >= 1")
+        check_non_negative("cold_cache_duration_s", self.cold_cache_duration_s)
+        check_positive("perf_smoothing_tau_s", self.perf_smoothing_tau_s)
+        check_non_negative("qos_tolerance", self.qos_tolerance)
+
+
+@dataclass
+class Controller:
+    """A periodic callback into the simulator (governor, policy, DTM...)."""
+
+    name: str
+    period_s: float
+    callback: Callable[["Simulator"], None]
+    next_due_s: float = 0.0
+
+    def __post_init__(self):
+        check_positive("period_s", self.period_s)
+
+
+PlacementPolicy = Callable[["Simulator", Process], int]
+
+
+def default_placement(sim: "Simulator", process: Process) -> int:
+    """Place an arrival on the emptiest core (lowest core id on ties)."""
+    loads = [(len(sim.processes_on_core(c)), c) for c in range(sim.platform.n_cores)]
+    loads.sort()
+    return loads[0][1]
+
+
+class Simulator:
+    """Couple platform, power, thermal, processes, and controllers."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        cooling: CoolingConfig = FAN_COOLING,
+        power_model: Optional[PowerModel] = None,
+        config: Optional[SimConfig] = None,
+        rng: Optional[RandomSource] = None,
+        thermal: Optional[RCThermalNetwork] = None,
+        sensor_noise_std_c: float = 0.05,
+    ):
+        self.platform = platform
+        self.cooling = cooling
+        self.config = config or SimConfig()
+        self.rng = rng or RandomSource(0)
+        self.power_model = power_model or PowerModel(platform)
+        self.thermal = thermal or build_thermal_network(platform, cooling)
+        core_nodes = [f"core{c}" for c in range(platform.n_cores)]
+        # The HiKey 970 exposes cluster-level thermal zones (cls0/cls1/gpu),
+        # not per-core sensors; the observable temperature is the max over
+        # those zones.  Fall back to all silicon nodes for floorplans
+        # without zone blocks.
+        zone_nodes = [
+            n
+            for n in self.thermal.node_names
+            if n.startswith("uncore") or n == "soc_rest"
+        ]
+        if not zone_nodes:
+            zone_nodes = [n for n in self.thermal.node_names if n != "board"]
+        self._zone_nodes = zone_nodes
+        self.sensor = TemperatureSensor(
+            self.thermal,
+            nodes=zone_nodes,
+            sample_period_s=0.05,
+            quantization_c=0.1,
+            noise_std_c=sensor_noise_std_c,
+            rng=self.rng.child("sensor"),
+        )
+        self._core_nodes = core_nodes
+
+        self.now_s = 0.0
+        self._processes: Dict[int, Process] = {}
+        self._next_pid = 0
+        self._pending: List[Process] = []
+        self._vf: Dict[str, VFLevel] = platform.default_vf_levels()
+        self._controllers: List[Controller] = []
+        self.placement_policy: PlacementPolicy = default_placement
+        self.trace = TraceRecorder(sample_period_s=self.config.trace_sample_period_s)
+
+        # DTM throttling state: max allowed VF index per cluster.
+        self._dtm_cap: Dict[str, int] = {
+            c.name: len(c.vf_table) - 1 for c in platform.clusters
+        }
+        self._dtm_next_check_s = 0.0
+        self.dtm_throttle_events = 0
+
+        # Run-time overhead ledger (management CPU time, by component).
+        self.overhead_cpu_s: Dict[str, float] = {}
+        self._pending_overhead_s = 0.0
+        self._last_power_total_w = 0.0
+
+    # ------------------------------------------------------------------ workload
+    def submit(
+        self, app: AppModel, qos_target_ips: float, arrival_time_s: float = 0.0
+    ) -> int:
+        """Add an application instance to the workload; returns its pid."""
+        if arrival_time_s < self.now_s:
+            raise ValueError("cannot submit in the past")
+        pid = self._next_pid
+        self._next_pid += 1
+        process = Process(pid, app, qos_target_ips, arrival_time_s)
+        self._processes[pid] = process
+        self._pending.append(process)
+        self._pending.sort(key=lambda p: (p.arrival_time_s, p.pid))
+        return pid
+
+    # ------------------------------------------------------------------ controllers
+    def add_controller(
+        self, name: str, period_s: float, callback: Callable[["Simulator"], None]
+    ) -> Controller:
+        """Register a periodic controller; first invocation at ``period_s``."""
+        controller = Controller(
+            name, period_s, callback, next_due_s=self.now_s + period_s
+        )
+        self._controllers.append(controller)
+        return controller
+
+    def remove_controller(self, name: str) -> None:
+        self._controllers = [c for c in self._controllers if c.name != name]
+
+    # ------------------------------------------------------------------ observables
+    def process(self, pid: int) -> Process:
+        return self._processes[pid]
+
+    def all_processes(self) -> List[Process]:
+        return list(self._processes.values())
+
+    def running_processes(self) -> List[Process]:
+        return [p for p in self._processes.values() if p.is_running()]
+
+    def processes_on_core(self, core_id: int) -> List[Process]:
+        return [p for p in self.running_processes() if p.core_id == core_id]
+
+    def core_utilization(self, core_id: int) -> float:
+        """1.0 when the core has runnable work, else 0.0 (busy benchmarks)."""
+        return 1.0 if self.processes_on_core(core_id) else 0.0
+
+    def free_cores(self) -> List[int]:
+        return [
+            c for c in range(self.platform.n_cores) if not self.processes_on_core(c)
+        ]
+
+    def vf_level(self, cluster_name: str) -> VFLevel:
+        return self._vf[cluster_name]
+
+    def vf_levels(self) -> Dict[str, VFLevel]:
+        return dict(self._vf)
+
+    def sensor_temp_c(self) -> float:
+        """The (only) run-time temperature observable."""
+        return self.sensor.read(self.now_s)
+
+    def ground_truth_temps(self) -> Dict[str, float]:
+        """Privileged access for metrics/oracles — not for policies."""
+        return self.thermal.temperatures()
+
+    def max_core_temp_c(self) -> float:
+        """Ground-truth hottest core (not observable on the board)."""
+        return self.thermal.max_temperature(self._core_nodes)
+
+    def zone_temp_c(self) -> float:
+        """Ground-truth thermal-zone temperature (what the sensor samples,
+        without the sensor's sampling/quantization/noise)."""
+        return self.thermal.max_temperature(self._zone_nodes)
+
+    def total_power_w(self) -> float:
+        return self._last_power_total_w
+
+    def qos_satisfied(self, process: Process) -> bool:
+        """Instantaneous QoS check against the smoothed IPS reading."""
+        threshold = process.qos_target_ips * (1.0 - self.config.qos_tolerance)
+        return process.smoothed_ips >= threshold
+
+    # ------------------------------------------------------------------ actuation
+    def set_vf_level(self, cluster_name: str, level: VFLevel) -> VFLevel:
+        """Request a VF level; DTM may cap it.  Returns the applied level."""
+        table = self.platform.cluster(cluster_name).vf_table
+        idx = table.index_of(level.frequency_hz)
+        capped = min(idx, self._dtm_cap[cluster_name])
+        applied = table[capped]
+        self._vf[cluster_name] = applied
+        return applied
+
+    def migrate(self, pid: int, core_id: int) -> None:
+        """Move a process to ``core_id`` (records the event in the trace)."""
+        if not 0 <= core_id < self.platform.n_cores:
+            raise ValueError(f"core {core_id} out of range")
+        process = self._processes[pid]
+        if not process.is_running():
+            raise RuntimeError(f"pid {pid} is not running")
+        if process.core_id == core_id:
+            return
+        from_core = process.core_id
+        process.migrate(core_id, self.now_s)
+        self.trace.record_migration(
+            MigrationEvent(self.now_s, pid, process.app.name, from_core, core_id)
+        )
+
+    def account_overhead(self, component: str, cpu_seconds: float) -> None:
+        """Charge management CPU time; it steals cycles on the manager core."""
+        check_non_negative("cpu_seconds", cpu_seconds)
+        self.overhead_cpu_s[component] = (
+            self.overhead_cpu_s.get(component, 0.0) + cpu_seconds
+        )
+        if self.config.model_overhead_on_core is not None:
+            self._pending_overhead_s += cpu_seconds
+
+    # ------------------------------------------------------------------ stepping
+    def step(self) -> None:
+        """Advance the simulation by one ``dt``."""
+        dt = self.config.dt_s
+        self._admit_arrivals()
+        activity = self._execute_processes(dt)
+        self._advance_thermal(activity, dt)
+        self._check_dtm()
+        self._run_controllers()
+        self._record_trace()
+        self.now_s += dt
+
+    def run_for(self, duration_s: float) -> None:
+        """Run for a fixed amount of simulated time."""
+        check_positive("duration_s", duration_s)
+        end = self.now_s + duration_s
+        while self.now_s < end - 1e-9:
+            self.step()
+
+    def run_until_complete(self, timeout_s: float = 36000.0) -> None:
+        """Run until every submitted process finished (or ``timeout_s``)."""
+        end = self.now_s + timeout_s
+        while self.now_s < end:
+            if not self._pending and not self.running_processes():
+                return
+            self.step()
+        raise TimeoutError(
+            f"workload not complete after {timeout_s} s of simulated time"
+        )
+
+    # ------------------------------------------------------------------ internals
+    def _admit_arrivals(self) -> None:
+        while self._pending and self._pending[0].arrival_time_s <= self.now_s + 1e-12:
+            process = self._pending.pop(0)
+            core = self.placement_policy(self, process)
+            process.start(core, self.now_s)
+            self.trace.record_migration(
+                MigrationEvent(self.now_s, process.pid, process.app.name, None, core)
+            )
+
+    def _cluster_mem_pressure(self) -> Dict[str, float]:
+        """Sum of co-runner memory-boundedness per cluster (contention)."""
+        pressure = {c.name: 0.0 for c in self.platform.clusters}
+        for p in self.running_processes():
+            cluster = self.platform.cluster_of_core(p.core_id)
+            f = self._vf[cluster.name].frequency_hz
+            params, _ = p.app.params_at(cluster.name, p.instructions_done)
+            mem_time = params.effective_mem_time(f)
+            t_inst = params.cpi / f + mem_time
+            mem_frac = mem_time / t_inst if t_inst > 0 else 0.0
+            pressure[cluster.name] += mem_frac
+        return pressure
+
+    def _execute_processes(self, dt: float) -> Dict[int, float]:
+        """Run every core for ``dt``; returns per-core activity for power."""
+        activity: Dict[int, float] = {}
+        pressure = self._cluster_mem_pressure()
+        smoothing = min(1.0, dt / self.config.perf_smoothing_tau_s)
+        overhead_core = self.config.model_overhead_on_core
+        finished: List[Process] = []
+
+        for core_id in range(self.platform.n_cores):
+            procs = self.processes_on_core(core_id)
+            core_activity = 0.0
+            usable_dt = dt
+            if overhead_core is not None and core_id == overhead_core:
+                stolen = min(dt, self._pending_overhead_s)
+                self._pending_overhead_s -= stolen
+                usable_dt = dt - stolen
+                core_activity += (stolen / dt) * 0.8  # manager is CPU-busy
+            if procs:
+                cluster = self.platform.cluster_of_core(core_id)
+                f = self._vf[cluster.name].frequency_hz
+                share = usable_dt / len(procs)
+                for p in procs:
+                    params, l2d_rate = p.app.params_at(
+                        cluster.name, p.instructions_done
+                    )
+                    mem_time = params.effective_mem_time(f)
+                    t_inst = params.cpi / f + mem_time
+                    own_mem_frac = mem_time / t_inst if t_inst > 0 else 0.0
+                    others = max(0.0, pressure[cluster.name] - own_mem_frac)
+                    slowdown = 1.0 + self.config.contention_coeff * others
+                    if (
+                        p.last_migration_time_s is not None
+                        and self.now_s - p.last_migration_time_s
+                        < self.config.cold_cache_duration_s
+                    ):
+                        slowdown *= self.config.cold_cache_penalty
+                    ips = p.app.ips(
+                        cluster.name, f, p.instructions_done, mem_slowdown=slowdown
+                    )
+                    instructions = min(ips * share, p.remaining_instructions)
+                    actual_time = instructions / ips if ips > 0 else 0.0
+                    p.account_execution(
+                        actual_time,
+                        instructions,
+                        l2d_rate * instructions,
+                        cluster.name,
+                        f,
+                    )
+                    core_activity += params.activity * (actual_time / dt)
+                    if p.remaining_instructions <= 0.0:
+                        finished.append(p)
+            activity[core_id] = min(1.0, core_activity)
+
+        for p in finished:
+            p.finish(self.now_s + dt)
+
+        # Update smoothed counters and QoS accounting for running processes.
+        for p in self.running_processes():
+            ips_now, l2d_now, _ = p.read_window(dt)
+            p.smoothed_ips += smoothing * (ips_now - p.smoothed_ips)
+            p.smoothed_l2d_rate += smoothing * (l2d_now - p.smoothed_l2d_rate)
+            # Grace period after arrival: counters need a window to settle.
+            if self.now_s - p.arrival_time_s > 2 * self.config.perf_smoothing_tau_s:
+                p.account_qos_observation(dt, self.qos_satisfied(p))
+        return activity
+
+    def _advance_thermal(self, activity: Dict[int, float], dt: float) -> None:
+        temps = self.thermal.temperatures()
+        core_temps = {
+            c: temps[f"core{c}"] for c in range(self.platform.n_cores)
+        }
+        breakdown = self.power_model.compute(self._vf, activity, core_temps)
+        self._last_power_total_w = breakdown.total
+        power = dict(breakdown.per_block)
+        self.thermal.step(power, dt)
+
+    def _check_dtm(self) -> None:
+        dtm = self.platform.dtm
+        if self.now_s + 1e-12 < self._dtm_next_check_s:
+            return
+        self._dtm_next_check_s = self.now_s + dtm.check_period_s
+        temp = self.sensor_temp_c()
+        if temp >= dtm.trigger_temp_c:
+            throttled = False
+            for cluster in self.platform.clusters:
+                if self._dtm_cap[cluster.name] > 0:
+                    self._dtm_cap[cluster.name] -= 1
+                    throttled = True
+            if throttled:
+                self.dtm_throttle_events += 1
+                for cluster in self.platform.clusters:
+                    # Re-apply the current request so the cap takes effect.
+                    self.set_vf_level(cluster.name, self._vf[cluster.name])
+        elif temp <= dtm.release_temp_c:
+            for cluster in self.platform.clusters:
+                top = len(cluster.vf_table) - 1
+                if self._dtm_cap[cluster.name] < top:
+                    self._dtm_cap[cluster.name] += 1
+
+    def _run_controllers(self) -> None:
+        for controller in self._controllers:
+            if self.now_s + 1e-12 >= controller.next_due_s:
+                controller.callback(self)
+                controller.next_due_s = self.now_s + controller.period_s
+
+    def _record_trace(self) -> None:
+        if not self.trace.due(self.now_s):
+            return
+        temps = self.thermal.temperatures()
+        running = self.running_processes()
+        self.trace.record(
+            now_s=self.now_s,
+            sensor_temp_c=self.sensor_temp_c(),
+            max_core_temp_c=self.max_core_temp_c(),
+            total_power_w=self._last_power_total_w,
+            vf_hz={name: lv.frequency_hz for name, lv in self._vf.items()},
+            node_temps_c=temps,
+            process_core={p.pid: p.core_id for p in running},
+            process_ips={p.pid: p.smoothed_ips for p in running},
+        )

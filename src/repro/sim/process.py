@@ -1,0 +1,171 @@
+"""Process objects: one running instance of an application model.
+
+A :class:`Process` carries the dynamic state the OS would keep for a task:
+core affinity, retired-instruction counts, windowed performance counters
+(the view the Linux ``perf`` API offers), migration bookkeeping (for the
+cold-cache penalty), and per-(cluster, frequency) CPU-time accounting that
+feeds the paper's Fig. 10 analysis.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional, Tuple
+
+from repro.apps.model import AppModel
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle of a process in the simulator."""
+
+    PENDING = "pending"  # in the workload, not yet arrived
+    RUNNING = "running"  # placed on a core and executing
+    FINISHED = "finished"  # all instructions retired
+
+
+class Process:
+    """One application instance with OS-visible dynamic state."""
+
+    def __init__(
+        self,
+        pid: int,
+        app: AppModel,
+        qos_target_ips: float,
+        arrival_time_s: float,
+    ):
+        check_non_negative("pid", pid)
+        check_positive("qos_target_ips", qos_target_ips)
+        check_non_negative("arrival_time_s", arrival_time_s)
+        self.pid = pid
+        self.app = app
+        self.qos_target_ips = float(qos_target_ips)
+        self.arrival_time_s = float(arrival_time_s)
+
+        self.state = ProcessState.PENDING
+        self.core_id: Optional[int] = None
+        self.instructions_done = 0.0
+        self.finish_time_s: Optional[float] = None
+        self.last_migration_time_s: Optional[float] = None
+
+        # Windowed counters, reset by the perf reader after each read.
+        self._window_instructions = 0.0
+        self._window_l2d = 0.0
+        self._window_cpu_time = 0.0
+
+        # Smoothed perf-counter readings maintained by the kernel; this is
+        # the view policies get (the board's perf API reads are similarly
+        # aggregated over the control period).
+        self.smoothed_ips = 0.0
+        self.smoothed_l2d_rate = 0.0
+
+        # Lifetime accounting.
+        self.total_cpu_time_s = 0.0
+        self.migration_count = 0
+        # CPU time per (cluster name, frequency Hz) — Fig. 10's raw data.
+        self.cpu_time_by_vf: Dict[Tuple[str, float], float] = {}
+        # Integral of instantaneous QoS-satisfaction for violation stats.
+        self.qos_met_time_s = 0.0
+        self.qos_observed_time_s = 0.0
+
+    # --- lifecycle ------------------------------------------------------------
+    def start(self, core_id: int, now_s: float) -> None:
+        """Place the arriving process on its first core."""
+        if self.state is not ProcessState.PENDING:
+            raise RuntimeError(f"pid {self.pid} started twice")
+        self.state = ProcessState.RUNNING
+        self.core_id = core_id
+        # The first placement is not a migration: no cold-cache penalty.
+        self.last_migration_time_s = None
+
+    def migrate(self, core_id: int, now_s: float) -> None:
+        """Move the process to another core (Linux affinity)."""
+        if self.state is not ProcessState.RUNNING:
+            raise RuntimeError(f"cannot migrate pid {self.pid} in {self.state}")
+        if core_id == self.core_id:
+            return
+        self.core_id = core_id
+        self.last_migration_time_s = now_s
+        self.migration_count += 1
+
+    def finish(self, now_s: float) -> None:
+        self.state = ProcessState.FINISHED
+        self.finish_time_s = now_s
+        self.core_id = None
+
+    @property
+    def remaining_instructions(self) -> float:
+        return max(0.0, self.app.total_instructions - self.instructions_done)
+
+    def is_running(self) -> bool:
+        return self.state is ProcessState.RUNNING
+
+    # --- execution accounting ----------------------------------------------------
+    def account_execution(
+        self,
+        cpu_time_s: float,
+        instructions: float,
+        l2d_accesses: float,
+        cluster_name: str,
+        frequency_hz: float,
+    ) -> None:
+        """Record one step of execution on the current core."""
+        check_non_negative("cpu_time_s", cpu_time_s)
+        self.instructions_done += instructions
+        self._window_instructions += instructions
+        self._window_l2d += l2d_accesses
+        self._window_cpu_time += cpu_time_s
+        self.total_cpu_time_s += cpu_time_s
+        key = (cluster_name, frequency_hz)
+        self.cpu_time_by_vf[key] = self.cpu_time_by_vf.get(key, 0.0) + cpu_time_s
+
+    def account_qos_observation(self, dt_s: float, qos_met: bool) -> None:
+        """Fold one observation interval into the QoS satisfaction stats."""
+        self.qos_observed_time_s += dt_s
+        if qos_met:
+            self.qos_met_time_s += dt_s
+
+    # --- perf-counter window --------------------------------------------------------
+    def read_window(self, window_s: float) -> Tuple[float, float, float]:
+        """Read and reset the counter window.
+
+        Returns ``(ips, l2d_per_s, cpu_share)`` over the elapsed window of
+        length ``window_s`` wall-clock seconds.  IPS is wall-clock based
+        (instructions retired divided by elapsed time), matching what the
+        paper's QoS targets are expressed against.
+        """
+        check_positive("window_s", window_s)
+        ips = self._window_instructions / window_s
+        l2d = self._window_l2d / window_s
+        share = self._window_cpu_time / window_s
+        self._window_instructions = 0.0
+        self._window_l2d = 0.0
+        self._window_cpu_time = 0.0
+        return ips, l2d, share
+
+    # --- summary metrics ---------------------------------------------------------------
+    def mean_ips(self, now_s: float) -> float:
+        """Average IPS since arrival (or over the whole execution)."""
+        end = self.finish_time_s if self.finish_time_s is not None else now_s
+        elapsed = max(1e-9, end - self.arrival_time_s)
+        return self.instructions_done / elapsed
+
+    def violated_qos(self, now_s: float, tolerance: float = 0.02) -> bool:
+        """Whether the whole-execution average IPS missed the target.
+
+        A small tolerance absorbs measurement-grain effects, as on the
+        board where counter windows and sensor sampling quantize QoS.
+        """
+        return self.mean_ips(now_s) < self.qos_target_ips * (1.0 - tolerance)
+
+    def qos_met_fraction(self) -> float:
+        """Fraction of observed time the instantaneous QoS was satisfied."""
+        if self.qos_observed_time_s <= 0.0:
+            return 1.0
+        return self.qos_met_time_s / self.qos_observed_time_s
+
+    def __repr__(self) -> str:
+        return (
+            f"Process(pid={self.pid}, app={self.app.name!r}, "
+            f"state={self.state.value}, core={self.core_id})"
+        )

@@ -1,0 +1,116 @@
+"""Trace recording: time series of everything an experiment may report.
+
+The recorder samples the simulator on a fixed grid (default every 100 ms of
+simulated time) and keeps compact parallel lists.  Experiments post-process
+these into the figures' series: temperature traces (Figs. 1/7), CPU time
+per VF level (Fig. 10), and QoS statistics (Figs. 8/11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class MigrationEvent:
+    """One executed migration: which process moved where, and when."""
+
+    time_s: float
+    pid: int
+    app_name: str
+    from_core: Optional[int]
+    to_core: int
+
+
+@dataclass
+class TraceRecorder:
+    """Fixed-rate sampler of simulator state.
+
+    Attributes are parallel lists indexed by sample; ``vf_levels[cluster]``
+    holds the frequency series of one cluster, ``core_temps[name]`` the
+    ground-truth temperature series of one thermal node, and
+    ``process_cores[pid]`` the core id (or -1) per sample.
+    """
+
+    sample_period_s: float = 0.1
+    times: List[float] = field(default_factory=list)
+    sensor_temp_c: List[float] = field(default_factory=list)
+    max_core_temp_c: List[float] = field(default_factory=list)
+    total_power_w: List[float] = field(default_factory=list)
+    vf_levels: Dict[str, List[float]] = field(default_factory=dict)
+    core_temps: Dict[str, List[float]] = field(default_factory=dict)
+    process_cores: Dict[int, List[int]] = field(default_factory=dict)
+    process_ips: Dict[int, List[float]] = field(default_factory=dict)
+    migrations: List[MigrationEvent] = field(default_factory=list)
+    _last_sample_time: Optional[float] = field(default=None, repr=False)
+
+    def __post_init__(self):
+        check_positive("sample_period_s", self.sample_period_s)
+
+    def due(self, now_s: float) -> bool:
+        """Whether a new sample should be taken at ``now_s``."""
+        return (
+            self._last_sample_time is None
+            or now_s - self._last_sample_time >= self.sample_period_s - 1e-12
+        )
+
+    def record(
+        self,
+        now_s: float,
+        sensor_temp_c: float,
+        max_core_temp_c: float,
+        total_power_w: float,
+        vf_hz: Dict[str, float],
+        node_temps_c: Dict[str, float],
+        process_core: Dict[int, int],
+        process_ips: Dict[int, float],
+    ) -> None:
+        """Append one sample (call only when :meth:`due`)."""
+        self._last_sample_time = now_s
+        self.times.append(now_s)
+        self.sensor_temp_c.append(sensor_temp_c)
+        self.max_core_temp_c.append(max_core_temp_c)
+        self.total_power_w.append(total_power_w)
+        for cluster, freq in vf_hz.items():
+            self.vf_levels.setdefault(cluster, []).append(freq)
+        for node, temp in node_temps_c.items():
+            self.core_temps.setdefault(node, []).append(temp)
+        known = set(self.process_cores) | set(process_core)
+        for pid in known:
+            series = self.process_cores.setdefault(pid, [-1] * (len(self.times) - 1))
+            # Backfill pids that appear mid-run so all series stay aligned.
+            while len(series) < len(self.times) - 1:
+                series.append(-1)
+            series.append(process_core.get(pid, -1))
+        known_ips = set(self.process_ips) | set(process_ips)
+        for pid in known_ips:
+            series = self.process_ips.setdefault(pid, [0.0] * (len(self.times) - 1))
+            while len(series) < len(self.times) - 1:
+                series.append(0.0)
+            series.append(process_ips.get(pid, 0.0))
+
+    def record_migration(self, event: MigrationEvent) -> None:
+        self.migrations.append(event)
+
+    # --- post-processing ---------------------------------------------------------
+    def mean_sensor_temp(self) -> float:
+        """Time-average of the sensor temperature over the run."""
+        if not self.sensor_temp_c:
+            raise ValueError("trace is empty")
+        return float(np.mean(self.sensor_temp_c))
+
+    def peak_sensor_temp(self) -> float:
+        if not self.sensor_temp_c:
+            raise ValueError("trace is empty")
+        return float(np.max(self.sensor_temp_c))
+
+    def cluster_of_samples(self, pid: int, core_to_cluster: Dict[int, str]) -> List[str]:
+        """Map a pid's core series to cluster names ('' when not running)."""
+        return [
+            core_to_cluster.get(core, "") for core in self.process_cores.get(pid, [])
+        ]

@@ -1,0 +1,26 @@
+"""Thermal substrate: lumped RC network, cooling configurations, sensors.
+
+The paper argues that temperature differs fundamentally from power/energy
+because of **spatial** (heat transfer between blocks) and **temporal** (heat
+capacity) effects.  This package models both with a compact thermal model in
+the spirit of HotSpot: every floorplan tile becomes an RC node coupled
+laterally to adjacent tiles and vertically to a board node, which convects
+to ambient through a cooling-dependent conductance (fan vs. no fan).
+"""
+
+from repro.thermal.cooling import CoolingConfig, FAN_COOLING, PASSIVE_COOLING
+from repro.thermal.rc import RCThermalNetwork
+from repro.thermal.builder import build_thermal_network
+from repro.thermal.sensor import TemperatureSensor
+from repro.thermal.reduction import ReducedThermalModel, reduce_network
+
+__all__ = [
+    "CoolingConfig",
+    "FAN_COOLING",
+    "PASSIVE_COOLING",
+    "RCThermalNetwork",
+    "build_thermal_network",
+    "TemperatureSensor",
+    "ReducedThermalModel",
+    "reduce_network",
+]

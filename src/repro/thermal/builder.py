@@ -1,0 +1,98 @@
+"""Build an RC thermal network from a platform floorplan.
+
+The construction mirrors compact-thermal-model practice:
+
+* every floorplan tile becomes a silicon node whose capacitance is the
+  volumetric heat capacity of silicon times the tile volume (die thickness
+  plus an effective spreading layer above the die);
+* laterally adjacent tiles are connected with a conductance proportional to
+  the shared edge length and inversely proportional to the center distance;
+* every tile connects vertically (through the package) to a single board
+  node with a conductance proportional to its area;
+* the board node convects to ambient with the cooling-dependent conductance
+  from :class:`repro.thermal.cooling.CoolingConfig`.
+
+Default material constants produce the temperature ranges the paper
+reports on the HiKey 970: ~35 degC idle, ~55 degC under full load with a
+fan, and DTM-triggering temperatures above 85 degC without a fan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.platform import Platform
+from repro.thermal.cooling import CoolingConfig
+from repro.thermal.rc import RCThermalNetwork
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ThermalMaterials:
+    """Material/geometry constants for the compact model.
+
+    ``effective_thickness_m`` combines the thinned die and the heat
+    spreading structures directly above it; ``lateral_k_w_per_mk`` is the
+    effective in-plane conductivity of that composite layer.
+    ``vertical_w_per_k_m2`` is the area-specific conductance from silicon
+    through the package to the board.
+    """
+
+    effective_thickness_m: float = 1.0e-3
+    lateral_k_w_per_mk: float = 150.0
+    vertical_w_per_k_m2: float = 5500.0
+    volumetric_heat_capacity_j_per_m3k: float = 1.75e6
+
+    def __post_init__(self):
+        check_positive("effective_thickness_m", self.effective_thickness_m)
+        check_positive("lateral_k_w_per_mk", self.lateral_k_w_per_mk)
+        check_positive("vertical_w_per_k_m2", self.vertical_w_per_k_m2)
+        check_positive(
+            "volumetric_heat_capacity_j_per_m3k",
+            self.volumetric_heat_capacity_j_per_m3k,
+        )
+
+
+BOARD_NODE = "board"
+
+
+def build_thermal_network(
+    platform: Platform,
+    cooling: CoolingConfig,
+    materials: ThermalMaterials = ThermalMaterials(),
+) -> RCThermalNetwork:
+    """Assemble and finalize the RC network for ``platform`` + ``cooling``."""
+    if not platform.floorplan:
+        raise ValueError(f"platform {platform.name!r} has no floorplan")
+    net = RCThermalNetwork(ambient_temp_c=platform.ambient_temp_c)
+
+    tiles = platform.floorplan
+    for name, tile in tiles.items():
+        volume = tile.area * materials.effective_thickness_m
+        net.add_node(name, materials.volumetric_heat_capacity_j_per_m3k * volume)
+
+    net.add_node(BOARD_NODE, cooling.board_capacitance_j_per_k)
+
+    # Lateral conduction between adjacent tiles.
+    for (name_a, tile_a), (name_b, tile_b) in combinations(tiles.items(), 2):
+        edge = tile_a.shares_edge_with(tile_b)
+        if edge <= 0.0:
+            continue
+        ca, cb = tile_a.center, tile_b.center
+        distance = ((ca[0] - cb[0]) ** 2 + (ca[1] - cb[1]) ** 2) ** 0.5
+        conductance = (
+            materials.lateral_k_w_per_mk
+            * materials.effective_thickness_m
+            * edge
+            / distance
+        )
+        net.connect(name_a, name_b, conductance)
+
+    # Vertical conduction from every tile to the board, then to ambient.
+    for name, tile in tiles.items():
+        net.connect(name, BOARD_NODE, materials.vertical_w_per_k_m2 * tile.area)
+    net.connect_to_ambient(BOARD_NODE, cooling.board_to_ambient_w_per_k)
+
+    net.finalize()
+    return net

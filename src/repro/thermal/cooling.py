@@ -1,0 +1,47 @@
+"""Cooling configurations (active fan vs. passive).
+
+The paper collects oracle traces with a fan (to avoid DTM polluting the
+training data) and evaluates both with and without the fan to show the
+policy generalizes across cooling.  To first order a fan multiplies the
+convective conductance from the board/heatsink to ambient; that is exactly
+what :class:`CoolingConfig` captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class CoolingConfig:
+    """Board-level cooling description.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier used in experiment reports.
+    board_to_ambient_w_per_k:
+        Convective conductance from the board node to ambient (W/K).
+        Active cooling increases it roughly 3x over natural convection.
+    board_capacitance_j_per_k:
+        Thermal capacitance of the board + heatsink assembly; sets the
+        minutes-scale warm-up/cool-down dynamics (the paper waits 10 min
+        between runs and warms up backgrounds for 2 min).
+    """
+
+    name: str
+    board_to_ambient_w_per_k: float
+    board_capacitance_j_per_k: float = 60.0
+
+    def __post_init__(self):
+        check_positive("board_to_ambient_w_per_k", self.board_to_ambient_w_per_k)
+        check_positive("board_capacitance_j_per_k", self.board_capacitance_j_per_k)
+
+
+#: Active cooling with the fan used during oracle trace collection.
+FAN_COOLING = CoolingConfig(name="fan", board_to_ambient_w_per_k=0.70)
+
+#: Passive cooling (no fan) used to test generalization in Sec. 7.2.
+PASSIVE_COOLING = CoolingConfig(name="no_fan", board_to_ambient_w_per_k=0.24)

@@ -1,0 +1,127 @@
+"""Model-order reduction for RC thermal networks (modal truncation).
+
+Compact thermal models grow quadratically expensive with floorplan detail.
+The classic remedy is modal reduction: diagonalize the (symmetrized) state
+matrix, keep only the slowest ``k`` modes, and evolve the reduced state.
+For the step sizes resource management cares about (tens of milliseconds
+and up), the fast modes have fully decayed anyway, so very few modes
+reproduce the observable temperatures almost exactly.
+
+The reduction uses the standard symmetrization trick: with
+``C dθ/dt = −G θ + P`` and ``S = C^{1/2}``, the transformed system
+``dx/dt = −A x + S^{-1} P`` with ``A = S^{-1} G S^{-1}`` is symmetric, so
+its eigendecomposition is orthonormal and truncation is well-conditioned.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.thermal.rc import RCThermalNetwork
+from repro.utils.validation import check_positive
+
+
+class ReducedThermalModel:
+    """A modal-truncated surrogate of a finalized :class:`RCThermalNetwork`.
+
+    Exposes the same stepping/readout surface (``step``, ``temperatures``,
+    ``steady_state``, ``max_temperature``) for the retained accuracy class:
+    steady states are *exact* (the static gain is corrected), transients
+    are exact in the retained modes and instantaneous in the truncated
+    ones.  Consequence: on a power change, the content carried by the
+    truncated (fast, core-local) modes redistributes instantly, so
+    individual small tiles can jump by a few degrees while the large zone
+    nodes stay accurate — use the reduced model for zone-level readouts,
+    which is what the thermal sensor observes anyway.
+    """
+
+    def __init__(self, network: RCThermalNetwork, n_modes: int):
+        check_positive("n_modes", n_modes)
+        g = network.conductance_matrix
+        caps = network._cap_vector.copy()
+        n = g.shape[0]
+        if n_modes > n:
+            raise ValueError(f"n_modes {n_modes} exceeds network size {n}")
+        self.ambient_temp_c = network.ambient_temp_c
+        self._names: List[str] = list(network.node_names)
+        self._index = {name: i for i, name in enumerate(self._names)}
+        s_inv = 1.0 / np.sqrt(caps)
+        a = (s_inv[:, None] * g) * s_inv[None, :]
+        eigvals, eigvecs = np.linalg.eigh(a)
+        # Smallest eigenvalues = slowest (dominant) thermal modes.
+        keep = np.argsort(eigvals)[:n_modes]
+        self._lam = eigvals[keep]
+        self._v = eigvecs[:, keep]
+        self._s_inv = s_inv
+        self._g_inv = np.linalg.inv(g)
+        self.n_modes = n_modes
+        self._x = np.zeros(n_modes)  # modal state relative to steady state
+        self._p = np.zeros(n)
+
+    @property
+    def node_names(self) -> List[str]:
+        return list(self._names)
+
+    # --- internal transforms ------------------------------------------------
+    def _power_vector(self, power_w: Mapping[str, float]) -> np.ndarray:
+        p = np.zeros(len(self._names))
+        for name, value in power_w.items():
+            p[self._index[name]] = float(value)
+        return p
+
+    # --- public surface -------------------------------------------------------
+    def reset(self) -> None:
+        self._x[:] = 0.0
+        self._p[:] = 0.0
+
+    def set_from(self, network: RCThermalNetwork) -> None:
+        """Project the full network's current state into the modal basis."""
+        theta = np.array(
+            [network.temperature_of(n) - network.ambient_temp_c for n in self._names]
+        )
+        theta_ss = self._g_inv @ self._p
+        y = (theta - theta_ss) / self._s_inv
+        self._x = self._v.T @ y
+
+    def temperatures(self) -> Dict[str, float]:
+        theta_ss = self._g_inv @ self._p
+        theta = theta_ss + self._s_inv * (self._v @ self._x)
+        return {
+            name: float(theta[i] + self.ambient_temp_c)
+            for i, name in enumerate(self._names)
+        }
+
+    def max_temperature(self, nodes: Optional[List[str]] = None) -> float:
+        temps = self.temperatures()
+        names = nodes if nodes is not None else self._names
+        return max(temps[n] for n in names)
+
+    def steady_state(self, power_w: Mapping[str, float]) -> Dict[str, float]:
+        theta_ss = self._g_inv @ self._power_vector(power_w)
+        return {
+            name: float(theta_ss[i] + self.ambient_temp_c)
+            for i, name in enumerate(self._names)
+        }
+
+    def step(self, power_w: Mapping[str, float], dt_s: float) -> Dict[str, float]:
+        """Advance the reduced model by ``dt_s`` with constant power."""
+        check_positive("dt_s", dt_s)
+        p_new = self._power_vector(power_w)
+        if not np.array_equal(p_new, self._p):
+            # Power changed: shift the modal state so the *physical* state
+            # is continuous across the change of steady-state reference.
+            theta_old_ss = self._g_inv @ self._p
+            theta_new_ss = self._g_inv @ p_new
+            delta_y = (theta_old_ss - theta_new_ss) / self._s_inv
+            self._x = self._x + self._v.T @ delta_y
+            self._p = p_new
+        self._x = np.exp(-self._lam * dt_s) * self._x
+        return self.temperatures()
+
+
+def reduce_network(network: RCThermalNetwork, n_modes: int) -> ReducedThermalModel:
+    """Build a :class:`ReducedThermalModel` keeping the ``n_modes`` slowest
+    modes of ``network``."""
+    return ReducedThermalModel(network, n_modes)

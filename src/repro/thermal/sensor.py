@@ -1,0 +1,90 @@
+"""On-chip temperature sensor model.
+
+The HiKey 970 exposes a single SoC thermal sensor that the paper samples at
+20 Hz.  Real thermal sensors report the hottest monitored location with
+limited resolution and some noise; :class:`TemperatureSensor` models all
+three aspects.  Both the DTM logic and the experiment metrics read the
+sensor rather than ground-truth node temperatures, so every reported result
+is subject to the same observability limits as the board.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.thermal.rc import RCThermalNetwork
+from repro.utils.rng import RandomSource
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class TemperatureSensor:
+    """Samples the max temperature over monitored nodes at a fixed rate.
+
+    Parameters
+    ----------
+    network:
+        The thermal network to observe.
+    nodes:
+        Names of the monitored nodes (default: every silicon node except
+        the board).  The sensor reports the max over them, matching SoC
+        thermal-zone behaviour.
+    sample_period_s:
+        Sampling interval; the paper samples at 20 Hz (0.05 s).
+    quantization_c:
+        Reporting resolution in degrees Celsius (0 disables quantization).
+    noise_std_c:
+        Gaussian measurement noise standard deviation.
+    """
+
+    def __init__(
+        self,
+        network: RCThermalNetwork,
+        nodes: Optional[List[str]] = None,
+        sample_period_s: float = 0.05,
+        quantization_c: float = 0.1,
+        noise_std_c: float = 0.0,
+        rng: Optional[RandomSource] = None,
+    ):
+        check_positive("sample_period_s", sample_period_s)
+        check_non_negative("quantization_c", quantization_c)
+        check_non_negative("noise_std_c", noise_std_c)
+        self.network = network
+        if nodes is None:
+            nodes = [n for n in network.node_names if n != "board"]
+        if not nodes:
+            raise ValueError("sensor needs at least one monitored node")
+        for n in nodes:
+            network.node_index(n)  # raises KeyError for unknown nodes
+        self.nodes = list(nodes)
+        self.sample_period_s = sample_period_s
+        self.quantization_c = quantization_c
+        self.noise_std_c = noise_std_c
+        self._rng = rng or RandomSource(0)
+        self._last_sample_time: Optional[float] = None
+        self._last_value: Optional[float] = None
+
+    def read(self, now_s: float) -> float:
+        """Return the sensor value at simulation time ``now_s``.
+
+        A fresh measurement is taken only when at least one sample period
+        elapsed since the previous one; otherwise the held value is
+        returned, reproducing the 20 Hz zero-order-hold behaviour.
+        """
+        due = (
+            self._last_sample_time is None
+            or now_s - self._last_sample_time >= self.sample_period_s - 1e-12
+        )
+        if due:
+            value = self.network.max_temperature(self.nodes)
+            if self.noise_std_c > 0.0:
+                value += float(self._rng.normal(0.0, self.noise_std_c))
+            if self.quantization_c > 0.0:
+                value = round(value / self.quantization_c) * self.quantization_c
+            self._last_value = value
+            self._last_sample_time = now_s
+        return float(self._last_value)
+
+    def reset(self) -> None:
+        """Forget the held sample (used when a new run starts)."""
+        self._last_sample_time = None
+        self._last_value = None

@@ -1,0 +1,58 @@
+"""Shared utilities: units, validation, RNG handling, small numerics.
+
+These helpers are deliberately dependency-light so that every other
+subpackage (platform, thermal, simulator, learning) can import them without
+pulling in heavyweight machinery.
+"""
+
+from repro.utils.units import (
+    GHZ,
+    MHZ,
+    KHZ,
+    HZ,
+    MS,
+    US,
+    celsius_to_kelvin,
+    kelvin_to_celsius,
+    format_frequency,
+    format_temperature,
+    format_time,
+    mips,
+)
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+from repro.utils.rng import RandomSource, spawn_rng
+from repro.utils.ema import ExponentialMovingAverage
+from repro.utils.tables import ascii_table
+from repro.utils.plots import ascii_bars, sparkline
+
+__all__ = [
+    "GHZ",
+    "MHZ",
+    "KHZ",
+    "HZ",
+    "MS",
+    "US",
+    "celsius_to_kelvin",
+    "kelvin_to_celsius",
+    "format_frequency",
+    "format_temperature",
+    "format_time",
+    "mips",
+    "check_finite",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "RandomSource",
+    "spawn_rng",
+    "ExponentialMovingAverage",
+    "ascii_table",
+    "ascii_bars",
+    "sparkline",
+]

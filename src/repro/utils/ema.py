@@ -1,0 +1,40 @@
+"""Exponential moving average used to smooth noisy run-time observations.
+
+The DVFS control loop and the feature extractor both read performance
+counters that fluctuate between 50 ms windows; a light EMA stabilizes the
+estimates the way the paper's implementation smooths perf readings.
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import check_in_range
+
+
+class ExponentialMovingAverage:
+    """First-order IIR smoother: ``y <- alpha * x + (1 - alpha) * y``.
+
+    ``alpha = 1`` reproduces the raw signal; smaller values smooth more.
+    Before the first observation the average is ``None``.
+    """
+
+    def __init__(self, alpha: float = 0.5):
+        check_in_range("alpha", alpha, 0.0, 1.0)
+        self.alpha = float(alpha)
+        self._value = None
+
+    @property
+    def value(self):
+        """The current smoothed value, or ``None`` if no samples were seen."""
+        return self._value
+
+    def update(self, sample: float) -> float:
+        """Fold ``sample`` into the average and return the new value."""
+        if self._value is None:
+            self._value = float(sample)
+        else:
+            self._value = self.alpha * float(sample) + (1.0 - self.alpha) * self._value
+        return self._value
+
+    def reset(self) -> None:
+        """Forget all history (used right after an application migration)."""
+        self._value = None

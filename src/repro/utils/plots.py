@@ -1,0 +1,55 @@
+"""ASCII bar charts and sparklines for experiment reports.
+
+The benchmark harness prints the same *series* the paper's figures plot;
+these helpers make the magnitudes readable in a terminal without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+_SPARK_BLOCKS = " .:-=+*#%@"
+
+
+def ascii_bars(
+    rows: Sequence[Tuple[str, float]],
+    width: int = 40,
+    unit: str = "",
+    baseline: Optional[float] = None,
+) -> str:
+    """Render ``(label, value)`` rows as horizontal bars.
+
+    ``baseline`` anchors the left edge (default: 0 or the min value if any
+    value is below zero), so temperature comparisons can start near
+    ambient instead of zero.
+    """
+    if not rows:
+        raise ValueError("no rows to plot")
+    values = [v for _, v in rows]
+    lo = baseline if baseline is not None else min(0.0, min(values))
+    hi = max(values)
+    span = max(1e-12, hi - lo)
+    label_width = max(len(label) for label, _ in rows)
+    lines: List[str] = []
+    for label, value in rows:
+        filled = int(round((value - lo) / span * width))
+        filled = max(0, min(width, filled))
+        bar = "#" * filled
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Iterable[float], width: int = 60) -> str:
+    """Render a numeric series as a one-line sparkline."""
+    series = list(values)
+    if not series:
+        return ""
+    stride = max(1, len(series) // width)
+    sampled = series[::stride][:width]
+    lo, hi = min(sampled), max(sampled)
+    span = max(1e-12, hi - lo)
+    return "".join(
+        _SPARK_BLOCKS[int((v - lo) / span * (len(_SPARK_BLOCKS) - 1))]
+        for v in sampled
+    )

@@ -1,0 +1,36 @@
+"""Minimal ASCII table rendering for experiment reports.
+
+The benchmark harness prints the same rows/series the paper reports; this
+formatter keeps that output dependency-free and stable enough to diff.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def _render(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def ascii_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render ``rows`` under ``headers`` as a fixed-width ASCII table."""
+    rendered_rows: List[List[str]] = [[_render(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [fmt_row(list(headers)), sep]
+    lines.extend(fmt_row(row) for row in rendered_rows)
+    return "\n".join(lines)

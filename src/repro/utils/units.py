@@ -1,0 +1,66 @@
+"""Physical units and formatting helpers.
+
+Conventions used across the reproduction:
+
+* Frequencies are stored in **Hz** as floats (e.g. ``1.844 * GHZ``).
+* Time is stored in **seconds** as floats.
+* Temperatures are stored in **degrees Celsius** (the thermal network
+  internally works with temperature *differences*, which are identical in
+  Celsius and Kelvin).
+* Performance is stored in **instructions per second** (IPS); the paper
+  reports MIPS, so :func:`mips` converts for readability.
+"""
+
+from __future__ import annotations
+
+# --- frequency multipliers -------------------------------------------------
+HZ = 1.0
+KHZ = 1e3
+MHZ = 1e6
+GHZ = 1e9
+
+# --- time multipliers -------------------------------------------------------
+US = 1e-6
+MS = 1e-3
+
+_ZERO_CELSIUS_IN_KELVIN = 273.15
+
+
+def celsius_to_kelvin(temp_c: float) -> float:
+    """Convert a temperature from degrees Celsius to Kelvin."""
+    return temp_c + _ZERO_CELSIUS_IN_KELVIN
+
+
+def kelvin_to_celsius(temp_k: float) -> float:
+    """Convert a temperature from Kelvin to degrees Celsius."""
+    return temp_k - _ZERO_CELSIUS_IN_KELVIN
+
+
+def mips(ips: float) -> float:
+    """Convert instructions per second to millions of instructions per second."""
+    return ips / 1e6
+
+
+def format_frequency(freq_hz: float) -> str:
+    """Render a frequency the way the paper does (e.g. ``1.8 GHz``)."""
+    if freq_hz >= GHZ:
+        return f"{freq_hz / GHZ:.2f} GHz"
+    if freq_hz >= MHZ:
+        return f"{freq_hz / MHZ:.0f} MHz"
+    if freq_hz >= KHZ:
+        return f"{freq_hz / KHZ:.0f} kHz"
+    return f"{freq_hz:.0f} Hz"
+
+
+def format_temperature(temp_c: float) -> str:
+    """Render a temperature in the paper's style (e.g. ``42.5 °C``)."""
+    return f"{temp_c:.1f} °C"
+
+
+def format_time(seconds: float) -> str:
+    """Render a duration with a sensible unit (s / ms / µs)."""
+    if seconds >= 1.0:
+        return f"{seconds:.2f} s"
+    if seconds >= MS:
+        return f"{seconds / MS:.2f} ms"
+    return f"{seconds / US:.1f} µs"

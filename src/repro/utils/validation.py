@@ -1,0 +1,51 @@
+"""Small argument-validation helpers.
+
+All helpers raise :class:`ValueError` with a message that names the offending
+parameter, which keeps constructor bodies short while producing actionable
+errors from deep inside the simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Union
+
+import numpy as np
+
+Number = Union[int, float]
+
+
+def check_positive(name: str, value: Number) -> None:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+
+
+def check_non_negative(name: str, value: Number) -> None:
+    """Raise ``ValueError`` unless ``value`` is >= 0."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_probability(name: str, value: Number) -> None:
+    """Raise ``ValueError`` unless ``value`` lies in [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def check_in_range(name: str, value: Number, low: Number, high: Number) -> None:
+    """Raise ``ValueError`` unless ``low <= value <= high``."""
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+
+
+def check_finite(name: str, value: Union[Number, Iterable[Number], np.ndarray]) -> None:
+    """Raise ``ValueError`` if ``value`` (scalar or array) contains NaN/inf."""
+    arr = np.asarray(value, dtype=float)
+    if arr.size == 1:
+        scalar = float(arr)
+        if not math.isfinite(scalar):
+            raise ValueError(f"{name} must be finite, got {scalar!r}")
+        return
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} must be finite everywhere")

@@ -1,0 +1,30 @@
+"""Workload generation and the experiment run engine.
+
+Reproduces the paper's workload construction: mixed workloads of 20
+randomly selected PARSEC + Polybench applications with random QoS targets
+and Poisson arrival times at varying rates (Sec. 7.2), plus the
+single-application workloads of Sec. 7.3.
+"""
+
+from repro.workloads.generator import (
+    WorkloadItem,
+    Workload,
+    mixed_workload,
+    single_app_workload,
+    save_workload,
+    load_workload,
+    DEFAULT_MIXED_APPS,
+)
+from repro.workloads.runner import RunResult, run_workload
+
+__all__ = [
+    "WorkloadItem",
+    "Workload",
+    "mixed_workload",
+    "single_app_workload",
+    "save_workload",
+    "load_workload",
+    "DEFAULT_MIXED_APPS",
+    "RunResult",
+    "run_workload",
+]

@@ -1,0 +1,188 @@
+"""Workload construction: mixed Poisson-arrival and single-app workloads."""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.apps.catalog import PARSEC_APPS, get_app
+from repro.apps.model import AppModel
+from repro.apps.qos import default_qos_target
+from repro.platform import Platform
+from repro.platform.hikey import LITTLE
+from repro.utils.rng import RandomSource
+from repro.utils.validation import check_positive
+
+#: The paper's mixed-workload application pool (Sec. 7.2): eight PARSEC
+#: applications and eight Polybench kernels.
+DEFAULT_MIXED_APPS: Tuple[str, ...] = (
+    "blackscholes",
+    "bodytrack",
+    "canneal",
+    "dedup",
+    "facesim",
+    "ferret",
+    "fluidanimate",
+    "swaptions",
+    "adi",
+    "fdtd-2d",
+    "floyd-warshall",
+    "gramschmidt",
+    "heat-3d",
+    "jacobi-2d",
+    "seidel-2d",
+    "syr2k",
+)
+
+
+@dataclass(frozen=True)
+class WorkloadItem:
+    """One application instance to execute."""
+
+    app_name: str
+    qos_target_ips: float
+    arrival_time_s: float
+
+    def __post_init__(self):
+        check_positive("qos_target_ips", self.qos_target_ips)
+        if self.arrival_time_s < 0:
+            raise ValueError("arrival_time_s must be >= 0")
+
+
+@dataclass
+class Workload:
+    """A named list of items plus a global instruction-scale knob.
+
+    ``instruction_scale`` < 1 shrinks every application's instruction count
+    proportionally — experiments use it to run CI-sized versions of the
+    paper's multi-minute workloads without changing their structure.
+    """
+
+    name: str
+    items: List[WorkloadItem]
+    instruction_scale: float = 1.0
+
+    def __post_init__(self):
+        check_positive("instruction_scale", self.instruction_scale)
+        if not self.items:
+            raise ValueError("workload has no items")
+
+    def resolve_app(self, item: WorkloadItem) -> AppModel:
+        """The (possibly scaled) application model for one item."""
+        app = get_app(item.app_name)
+        if self.instruction_scale == 1.0:
+            return app
+        return dataclasses.replace(
+            app, total_instructions=app.total_instructions * self.instruction_scale
+        )
+
+    @property
+    def n_items(self) -> int:
+        return len(self.items)
+
+    def last_arrival_s(self) -> float:
+        return max(item.arrival_time_s for item in self.items)
+
+
+def mixed_workload(
+    platform: Platform,
+    n_apps: int = 20,
+    arrival_rate_per_s: float = 1.0 / 30.0,
+    seed: int = 0,
+    apps: Sequence[str] = DEFAULT_MIXED_APPS,
+    qos_fraction_range: Tuple[float, float] = (0.35, 0.85),
+    instruction_scale: float = 1.0,
+) -> Workload:
+    """The paper's mixed workload: random apps, QoS targets, Poisson arrivals.
+
+    QoS targets are drawn as a random fraction of the application's peak
+    IPS at the top LITTLE VF level, which keeps every target feasible on
+    either cluster in isolation while leaving contention to create real
+    pressure — matching the paper's "random QoS target for each
+    application".  The arrival rate controls the system load (the paper
+    sweeps it to reach 13-37 % average utilization).
+    """
+    check_positive("n_apps", n_apps)
+    check_positive("arrival_rate_per_s", arrival_rate_per_s)
+    lo, hi = qos_fraction_range
+    if not 0.0 < lo <= hi <= 1.0:
+        raise ValueError("qos_fraction_range must satisfy 0 < lo <= hi <= 1")
+    rng = RandomSource(seed).child("mixed-workload")
+    little_table = platform.cluster(LITTLE).vf_table
+    items: List[WorkloadItem] = []
+    t = 0.0
+    for _ in range(n_apps):
+        t += float(rng.exponential(1.0 / arrival_rate_per_s))
+        name = str(rng.choice(list(apps)))
+        app = get_app(name)
+        fraction = float(rng.uniform(lo, hi))
+        target = fraction * app.max_ips(LITTLE, little_table)
+        items.append(WorkloadItem(name, target, t))
+    return Workload(
+        name=f"mixed-n{n_apps}-rate{arrival_rate_per_s:.4f}-seed{seed}",
+        items=items,
+        instruction_scale=instruction_scale,
+    )
+
+
+def single_app_workload(
+    app_name: str,
+    platform: Platform,
+    qos_fraction_of_little_max: float = 0.75,
+    qos_target_ips: Optional[float] = None,
+    instruction_scale: float = 1.0,
+) -> Workload:
+    """One application arriving at t=0 with a LITTLE-feasible QoS target."""
+    app = get_app(app_name)
+    target = (
+        qos_target_ips
+        if qos_target_ips is not None
+        else default_qos_target(app, platform, qos_fraction_of_little_max)
+    )
+    return Workload(
+        name=f"single-{app_name}",
+        items=[WorkloadItem(app_name, target, 0.0)],
+        instruction_scale=instruction_scale,
+    )
+
+
+def save_workload(workload: Workload, path: str) -> None:
+    """Persist a workload to JSON so experiments can be replayed exactly."""
+    import json
+
+    payload = {
+        "name": workload.name,
+        "instruction_scale": workload.instruction_scale,
+        "items": [
+            {
+                "app": item.app_name,
+                "qos_target_ips": item.qos_target_ips,
+                "arrival_time_s": item.arrival_time_s,
+            }
+            for item in workload.items
+        ],
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def load_workload(path: str) -> Workload:
+    """Load a workload saved by :func:`save_workload`."""
+    import json
+
+    with open(path) as handle:
+        payload = json.load(handle)
+    items = [
+        WorkloadItem(
+            app_name=entry["app"],
+            qos_target_ips=float(entry["qos_target_ips"]),
+            arrival_time_s=float(entry["arrival_time_s"]),
+        )
+        for entry in payload["items"]
+    ]
+    return Workload(
+        name=str(payload["name"]),
+        items=items,
+        instruction_scale=float(payload.get("instruction_scale", 1.0)),
+    )

@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite.
+
+Heavy design-time artifacts (trace grids, datasets, trained models,
+Q-tables) are built once per session from a small but non-trivial
+configuration and cached in a session temp directory so that every test
+module can use them without re-running the pipeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.assets import AssetConfig, AssetStore
+from repro.il.traces import TraceCollector, TraceScenario
+from repro.platform import hikey970
+
+
+@pytest.fixture(scope="session")
+def platform():
+    """One HiKey 970 platform description shared by all tests."""
+    return hikey970()
+
+
+@pytest.fixture(scope="session")
+def asset_cache_dir(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("repro-assets"))
+
+
+@pytest.fixture(scope="session")
+def assets(platform, asset_cache_dir):
+    """Session-scoped smoke-sized assets (dataset, models, Q-tables)."""
+    store = AssetStore(platform, AssetConfig.smoke(cache_dir=asset_cache_dir))
+    # Materialize eagerly so individual tests don't pay the build lazily
+    # in surprising places.
+    store.dataset()
+    store.models()
+    store.qtables()
+    return store
+
+
+@pytest.fixture(scope="session")
+def tiny_trace_grid(platform):
+    """A small trace grid: one scenario, two candidate cores, 2x2 VF grid."""
+    collector = TraceCollector(
+        platform,
+        vf_levels_per_cluster=2,
+        max_window_s=3.0,
+        min_window_s=2.0,
+        dt_s=0.02,
+    )
+    scenario = TraceScenario(
+        aoi_app="seidel-2d",
+        background=((1, "syr2k"), (5, "gramschmidt")),
+    )
+    return collector.collect(scenario, aoi_cores=[0, 4])

@@ -1,0 +1,118 @@
+"""End-to-end calibration checks against the paper's numeric anchors.
+
+The substitution argument in DESIGN.md rests on the substrate reproducing
+specific operating points the paper reports.  These tests pin them down so
+future model changes cannot silently drift away from the paper.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.apps import get_app
+from repro.platform.hikey import BIG, LITTLE
+from repro.sim import SimConfig, Simulator
+from repro.thermal import FAN_COOLING, PASSIVE_COOLING
+
+
+def _steady(platform, cooling, placements, vf_idx, duration=200.0):
+    """Final sensor temp for fixed placements at fixed VF indices."""
+    sim = Simulator(
+        platform,
+        cooling,
+        config=SimConfig(dt_s=0.02, model_overhead_on_core=None),
+        sensor_noise_std_c=0.0,
+    )
+    for name, idx in vf_idx.items():
+        sim.set_vf_level(name, platform.cluster(name).vf_table[idx])
+    assignment = {}
+    for core, app_name in placements.items():
+        app = dataclasses.replace(
+            get_app(app_name), total_instructions=1e15
+        )
+        pid = sim.submit(app, 1.0, 0.0)
+        assignment[pid] = core
+    sim.placement_policy = lambda s, p: assignment[p.pid]
+    sim.run_for(duration)
+    return sim
+
+
+class TestThermalAnchors:
+    def test_idle_temperature_range(self, platform):
+        """Idle board sits a few degrees above the 25 C ambient."""
+        sim = _steady(platform, FAN_COOLING, {}, {})
+        assert 26.0 < sim.sensor_temp_c() < 34.0
+
+    def test_paper_trace_anchor_high_vf(self, platform):
+        """Fig. 2's trace tables: ~7 busy cores at 1.8/1.5 GHz reach the
+        mid-50s C with the fan (the paper reports 56.1 C)."""
+        placements = {c: "seidel-2d" for c in (0, 1, 2, 3, 4, 5, 7)}
+        sim = _steady(
+            platform, FAN_COOLING, placements, {LITTLE: 6, BIG: 4}
+        )
+        assert 50.0 < sim.sensor_temp_c() < 68.0
+
+    def test_paper_trace_anchor_low_vf(self, platform):
+        """Same load at 0.5/0.7 GHz: the paper reports 35.8 C."""
+        placements = {c: "seidel-2d" for c in (0, 1, 2, 3, 4, 5, 7)}
+        sim = _steady(
+            platform, FAN_COOLING, placements, {LITTLE: 0, BIG: 0}
+        )
+        assert 30.0 < sim.sensor_temp_c() < 40.0
+
+    def test_passive_cooling_penalty(self, platform):
+        """Removing the fan adds roughly 10 C at a mid-load point."""
+        placements = {c: "seidel-2d" for c in (0, 1, 2, 3, 4, 5, 7)}
+        fan = _steady(platform, FAN_COOLING, placements, {LITTLE: 6, BIG: 4})
+        passive = _steady(
+            platform, PASSIVE_COOLING, placements, {LITTLE: 6, BIG: 4},
+            duration=400.0,
+        )
+        delta = passive.sensor_temp_c() - fan.sensor_temp_c()
+        assert 5.0 < delta < 25.0
+
+    def test_full_load_without_fan_reaches_dtm_territory(self, platform):
+        """GTS/ondemand throttles without the fan in the paper; sustained
+        full load must approach the 85 C trigger."""
+        placements = {c: "swaptions" for c in range(8)}
+        sim = _steady(
+            platform,
+            PASSIVE_COOLING,
+            placements,
+            {LITTLE: 6, BIG: 8},
+            duration=500.0,
+        )
+        assert sim.sensor_temp_c() > 75.0 or sim.dtm_throttle_events > 0
+
+
+class TestPerformanceAnchors:
+    def test_adi_vf_requirements(self, platform):
+        """Fig. 1: adi at 30 % of big-peak needs ~1.8 GHz LITTLE but only
+        ~0.7 GHz big."""
+        adi = get_app("adi")
+        target = 0.3 * adi.max_ips(BIG, platform.cluster(BIG).vf_table)
+        little = adi.min_frequency_for(
+            LITTLE, platform.cluster(LITTLE).vf_table, target
+        )
+        big = adi.min_frequency_for(BIG, platform.cluster(BIG).vf_table, target)
+        assert little.frequency_hz == pytest.approx(1.844e9, rel=0.01)
+        assert big.frequency_hz == pytest.approx(0.682e9, rel=0.01)
+
+    def test_seidel_vf_requirements(self, platform):
+        """Fig. 1: seidel-2d needs ~1.2 GHz LITTLE / ~1.0 GHz big."""
+        seidel = get_app("seidel-2d")
+        target = 0.3 * seidel.max_ips(BIG, platform.cluster(BIG).vf_table)
+        little = seidel.min_frequency_for(
+            LITTLE, platform.cluster(LITTLE).vf_table, target
+        )
+        big = seidel.min_frequency_for(BIG, platform.cluster(BIG).vf_table, target)
+        assert little.frequency_hz == pytest.approx(1.018e9, rel=0.01)
+        assert big.frequency_hz == pytest.approx(1.018e9, rel=0.01)
+
+    def test_mips_ranges_match_paper_tables(self, platform):
+        """Fig. 2's trace tables show hundreds of MIPS for seidel-2d."""
+        seidel = get_app("seidel-2d")
+        low = seidel.ips(LITTLE, 0.509e9)
+        high = seidel.ips(BIG, 2.362e9)
+        assert 50e6 < low < 600e6
+        assert 0.8e9 < high < 3e9

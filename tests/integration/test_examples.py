@@ -1,0 +1,61 @@
+"""Smoke-run the example scripts (the fast ones) as subprocesses.
+
+Examples are part of the public deliverable; these tests keep them
+runnable as the library evolves.  Slow examples (quickstart,
+compare_techniques, design_time_pipeline, run_timeline) are exercised
+indirectly through the APIs they call.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+def _run(script, *args, timeout=420):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestFastExamples:
+    def test_app_characterization(self):
+        out = _run("app_characterization.py", "--app", "adi")
+        assert "cheapest feasible point: big" in out
+
+    def test_npu_acceleration(self):
+        out = _run("npu_acceleration.py", "--max-apps", "4")
+        assert "migration (NPU)" in out
+        assert "migration (CPU)" in out
+
+    def test_thermal_playground(self):
+        out = _run(
+            "thermal_playground.py", "--app", "adi", "--duration", "15"
+        )
+        assert "LITTLE" in out and "big" in out
+
+    def test_multi_cluster(self):
+        out = _run("multi_cluster.py")
+        assert "prime" in out
+        assert "QoS" in out
+
+    @pytest.mark.parametrize(
+        "script",
+        [
+            "quickstart.py",
+            "compare_techniques.py",
+            "design_time_pipeline.py",
+            "run_timeline.py",
+        ],
+    )
+    def test_help_works_everywhere(self, script):
+        out = _run(script, "--help", timeout=60)
+        assert "usage" in out.lower()

@@ -1,0 +1,295 @@
+"""Smoke-sized runs of every per-figure experiment runner.
+
+Each test executes the experiment with its ``smoke()`` configuration and
+asserts the paper's qualitative shape, not absolute numbers.
+"""
+
+import pytest
+
+from repro.experiments import (
+    IllustrativeConfig,
+    MainMixedConfig,
+    MigrationOverheadConfig,
+    ModelEvalConfig,
+    MotivationConfig,
+    NASConfig,
+    OverheadConfig,
+    SingleAppConfig,
+    run_illustrative,
+    run_main_mixed,
+    run_migration_overhead,
+    run_model_eval,
+    run_motivation,
+    run_nas,
+    run_overhead,
+    run_single_app,
+)
+from repro.platform.hikey import BIG, LITTLE
+
+
+class TestFig1Motivation:
+    @pytest.fixture(scope="class")
+    def result(self, platform):
+        return run_motivation(MotivationConfig.smoke(), platform)
+
+    def test_adi_big_optimal_alone(self, result):
+        assert result.optimal_cluster("adi", 1) == BIG
+
+    def test_seidel_little_optimal_alone(self, result):
+        assert result.optimal_cluster("seidel-2d", 1) == LITTLE
+
+    def test_adi_gap_shrinks_or_flips_with_background(self, result):
+        """Per-cluster DVFS changes the trade-off under load: the strong
+        big advantage of scenario 1 does not persist in scenario 2."""
+        assert result.optimal_cluster("adi", 2) != BIG or (
+            result.temperature_gap("adi", 2) < result.temperature_gap("adi", 1)
+        )
+
+    def test_report_renders(self, result):
+        text = result.report()
+        assert "adi" in text and "seidel-2d" in text
+
+
+class TestFig3NAS:
+    @pytest.fixture(scope="class")
+    def result(self, assets):
+        return run_nas(assets, NASConfig.smoke())
+
+    def test_grid_fully_evaluated(self, result):
+        assert len(result.grid.losses) == 9  # 3 depths x 3 widths
+
+    def test_best_point_is_minimum(self, result):
+        best = (result.grid.best_depth, result.grid.best_width)
+        assert result.grid.losses[best] == min(result.grid.losses.values())
+
+    def test_report_names_best(self, result):
+        assert "best:" in result.report()
+
+
+class TestFig5MigrationOverhead:
+    @pytest.fixture(scope="class")
+    def result(self, platform):
+        return run_migration_overhead(MigrationOverheadConfig.smoke(), platform)
+
+    def test_overhead_small(self, result):
+        """Paper: worst case < 4%; allow margin for the short smoke window."""
+        assert result.max_overhead() < 0.05
+
+    def test_all_apps_measured(self, result):
+        assert {a for a, _, _ in result.overhead} == {
+            "dedup",
+            "swaptions",
+            "canneal",
+        }
+
+    def test_memoryless_app_cheapest(self, result):
+        by_app = {a: m for a, m, _ in result.overhead}
+        assert by_app["swaptions"] <= by_app["canneal"] + 0.01
+
+
+class TestFig7Illustrative:
+    @pytest.fixture(scope="class")
+    def result(self, assets):
+        return run_illustrative(assets, IllustrativeConfig.smoke())
+
+    def test_il_picks_big_for_adi(self, result):
+        run = result.get("adi", "TOP-IL")
+        assert run.fraction_on_big > 0.6
+
+    def test_il_more_stable_than_rl(self, result):
+        """Cluster switches: IL settles, RL keeps exploring."""
+        il = sum(r.cluster_switches for r in result.runs if r.technique == "TOP-IL")
+        rl = sum(r.cluster_switches for r in result.runs if r.technique == "TOP-RL")
+        assert il <= rl
+
+    def test_il_meets_qos(self, result):
+        for app in ("adi", "seidel-2d"):
+            assert not result.get(app, "TOP-IL").qos_violated
+
+
+class TestFig8MainMixed:
+    @pytest.fixture(scope="class")
+    def result(self, assets):
+        return run_main_mixed(assets, MainMixedConfig.smoke())
+
+    def test_all_techniques_aggregated(self, result):
+        names = {a.technique for a in result.aggregates}
+        assert names == {"TOP-IL", "TOP-RL", "GTS/ondemand", "GTS/powersave"}
+
+    def test_il_cooler_than_ondemand(self, result):
+        il = result.aggregate("TOP-IL", "fan")
+        od = result.aggregate("GTS/ondemand", "fan")
+        assert il.mean_temp_c < od.mean_temp_c
+
+    def test_powersave_most_violations(self, result):
+        ps = result.aggregate("GTS/powersave", "fan")
+        il = result.aggregate("TOP-IL", "fan")
+        assert ps.mean_violations >= il.mean_violations
+
+    def test_frequency_usage_report_renders(self, result):
+        text = result.frequency_usage_report(cooling="fan")
+        assert "GHz" in text
+
+
+class TestFig11SingleApp:
+    @pytest.fixture(scope="class")
+    def result(self, assets):
+        return run_single_app(assets, SingleAppConfig.smoke())
+
+    def test_top_il_zero_violations(self, result):
+        assert result.total_violations("TOP-IL") == 0
+
+    def test_powersave_spares_only_canneal(self, result):
+        """canneal is VF-insensitive; the compute apps starve at min VF."""
+        assert result.get("canneal", "GTS/powersave").violations == 0
+        assert result.get("swaptions", "GTS/powersave").violations > 0
+
+    def test_ondemand_hottest(self, result):
+        od = result.mean_temp("GTS/ondemand")
+        assert od >= result.mean_temp("TOP-IL") - 0.2
+
+    def test_report_renders(self, result):
+        assert "technique" in result.report()
+
+
+class TestModelEval:
+    @pytest.fixture(scope="class")
+    def result(self, assets):
+        return run_model_eval(assets, ModelEvalConfig.smoke())
+
+    def test_majority_within_one_degree(self, result):
+        """Paper: 82 +/- 5 %; the smoke model should manage > 50 %."""
+        assert result.mean_within > 0.5
+
+    def test_excess_temperature_small(self, result):
+        """Paper: 0.5 +/- 0.2 degC mean excess."""
+        assert result.mean_excess_c < 2.0
+
+    def test_cases_counted(self, result):
+        assert result.n_cases > 20
+
+    def test_report_renders(self, result):
+        assert "within 1C" in result.report()
+
+
+class TestFig12Overhead:
+    @pytest.fixture(scope="class")
+    def result(self, assets):
+        return run_overhead(assets, OverheadConfig.smoke())
+
+    def test_dvfs_grows_with_apps(self, result):
+        rows = sorted(result.rows, key=lambda r: r.n_apps)
+        assert rows[-1].dvfs_ms_per_s > rows[0].dvfs_ms_per_s
+
+    def test_npu_migration_flat(self, result):
+        rows = sorted(result.rows, key=lambda r: r.n_apps)
+        growth = rows[-1].migration_npu_ms_per_s / rows[0].migration_npu_ms_per_s
+        assert growth < 1.6
+
+    def test_cpu_inference_scales_with_apps(self, result):
+        rows = sorted(result.rows, key=lambda r: r.n_apps)
+        growth = rows[-1].migration_cpu_ms_per_s / rows[0].migration_cpu_ms_per_s
+        assert growth > 2.0
+
+    def test_total_overhead_negligible(self, result):
+        assert result.max_total_fraction() < 0.03
+
+    def test_measured_matches_analytic_scale(self, result):
+        for row in result.rows:
+            if row.measured_total_fraction is not None:
+                analytic = (row.dvfs_ms_per_s + row.migration_npu_ms_per_s) / 1000
+                assert row.measured_total_fraction < 3 * analytic + 0.005
+
+
+class TestOptimalityGap:
+    @pytest.fixture(scope="class")
+    def result(self, assets):
+        from repro.experiments.optimality import (
+            OptimalityConfig,
+            run_optimality_gap,
+        )
+
+        return run_optimality_gap(assets, OptimalityConfig.smoke())
+
+    def test_gap_small(self, result):
+        """The learned policy tracks the privileged oracle closely."""
+        assert result.mean_gap_c() < 2.0
+
+    def test_il_meets_qos_everywhere(self, result):
+        assert result.il_violations() == 0
+
+    def test_all_apps_covered(self, result):
+        assert {r[0] for r in result.rows} == {"adi", "canneal", "jacobi-2d"}
+
+    def test_report_renders(self, result):
+        assert "mean gap" in result.report()
+
+
+class TestStability:
+    @pytest.fixture(scope="class")
+    def result(self, assets):
+        from repro.experiments.stability import StabilityConfig, run_stability
+
+        return run_stability(assets, StabilityConfig.smoke())
+
+    def test_il_migrates_less(self, result):
+        assert (
+            result.get("TOP-IL").migrations_per_min
+            <= result.get("TOP-RL").migrations_per_min
+        )
+
+    def test_il_fewer_qos_dips(self, result):
+        assert (
+            result.get("TOP-IL").qos_dip_fraction
+            <= result.get("TOP-RL").qos_dip_fraction + 0.02
+        )
+
+    def test_metrics_in_valid_ranges(self, result):
+        for row in result.rows:
+            assert 0.0 <= row.mapping_entropy <= 1.0
+            assert 0.0 <= row.qos_dip_fraction <= 1.0
+            assert row.temp_jitter_c >= 0.0
+
+    def test_report_renders(self, result):
+        assert "migrations/min" in result.report()
+
+
+class TestAmbientRobustness:
+    @pytest.fixture(scope="class")
+    def result(self, assets):
+        from repro.experiments.robustness import (
+            AmbientConfig,
+            run_ambient_robustness,
+        )
+
+        return run_ambient_robustness(assets, AmbientConfig.smoke())
+
+    def test_no_violations_at_any_ambient(self, result):
+        assert result.max_violations() == 0
+
+    def test_rise_over_ambient_nearly_constant(self, result):
+        assert result.rise_spread_c() < 2.0
+
+    def test_decisions_ambient_independent(self, result):
+        """Same workload, temperature-free features -> same migrations."""
+        migrations = {r[4] for r in result.rows}
+        assert len(migrations) == 1
+
+
+class TestRLRewardAblation:
+    @pytest.fixture(scope="class")
+    def result(self, assets):
+        from repro.experiments.ablation import (
+            AblationConfig,
+            run_rl_reward_ablation,
+        )
+
+        return run_rl_reward_ablation(
+            assets, AblationConfig.smoke(), penalties=(-50.0, -800.0)
+        )
+
+    def test_sweep_covers_requested_penalties(self, result):
+        assert {r.penalty for r in result.rows} == {-50.0, -800.0}
+
+    def test_report_renders(self, result):
+        assert "violation penalty" in result.report()

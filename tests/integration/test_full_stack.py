@@ -1,0 +1,106 @@
+"""Cross-module integration: the four techniques on a shared workload.
+
+These tests assert the paper's qualitative *shape* on a small mixed
+workload: GTS/ondemand is hottest with few violations, GTS/powersave is
+coolest with many violations, TOP-IL achieves low temperature with no or
+few violations, and TOP-RL matches TOP-IL's temperature ballpark but
+violates more.
+"""
+
+import pytest
+
+from repro.governors.techniques import GTSOndemand, GTSPowersave
+from repro.il.technique import TopIL
+from repro.rl.technique import TopRL
+from repro.utils.rng import RandomSource
+from repro.workloads import mixed_workload, run_workload
+
+
+@pytest.fixture(scope="module")
+def comparison(assets):
+    """Run all four techniques twice on the same workloads."""
+    platform = assets.platform
+    models = assets.models()
+    qtables = assets.qtables()
+    summaries = {}
+    for rep in range(2):
+        workload = mixed_workload(
+            platform,
+            n_apps=8,
+            arrival_rate_per_s=1.0 / 8.0,
+            seed=100 + rep,
+            instruction_scale=0.03,
+        )
+        techniques = [
+            TopIL(models[rep % len(models)]),
+            TopRL(
+                qtable=qtables[rep % len(qtables)].copy(),
+                rng=RandomSource(rep).child("rl"),
+            ),
+            GTSOndemand(),
+            GTSPowersave(),
+        ]
+        for technique in techniques:
+            run = run_workload(platform, technique, workload, seed=rep)
+            summaries.setdefault(technique.name, []).append(run.summary)
+    return summaries
+
+
+def _mean(values):
+    return sum(values) / len(values)
+
+
+class TestMainShapes:
+    def test_all_workloads_complete(self, comparison):
+        for name, summaries in comparison.items():
+            for s in summaries:
+                assert s.n_apps == 8, name
+
+    def test_ondemand_hottest(self, comparison):
+        ondemand = _mean([s.mean_temp_c for s in comparison["GTS/ondemand"]])
+        for other in ("TOP-IL", "GTS/powersave"):
+            assert ondemand > _mean([s.mean_temp_c for s in comparison[other]])
+
+    def test_top_il_cooler_than_ondemand(self, comparison):
+        il = _mean([s.mean_temp_c for s in comparison["TOP-IL"]])
+        ondemand = _mean([s.mean_temp_c for s in comparison["GTS/ondemand"]])
+        assert il < ondemand - 0.5
+
+    def test_powersave_violates_most(self, comparison):
+        ps = sum(s.n_qos_violations for s in comparison["GTS/powersave"])
+        il = sum(s.n_qos_violations for s in comparison["TOP-IL"])
+        assert ps > il
+
+    def test_top_il_fewest_violations_among_thermal_savers(self, comparison):
+        il = sum(s.n_qos_violations for s in comparison["TOP-IL"])
+        rl = sum(s.n_qos_violations for s in comparison["TOP-RL"])
+        ps = sum(s.n_qos_violations for s in comparison["GTS/powersave"])
+        assert il <= rl
+        assert il <= ps
+        assert il <= 1  # near-zero violations for TOP-IL
+
+    def test_rl_migrates_more_than_il(self, comparison):
+        """Instability: continual exploration causes extra migrations."""
+        il = sum(s.migrations for s in comparison["TOP-IL"])
+        rl = sum(s.migrations for s in comparison["TOP-RL"])
+        assert rl > il
+
+    def test_linux_baselines_pay_no_manager_overhead(self, comparison):
+        for name in ("GTS/ondemand", "GTS/powersave"):
+            assert all(s.overhead_total_s == 0.0 for s in comparison[name])
+
+    def test_top_overhead_negligible(self, comparison):
+        for name in ("TOP-IL", "TOP-RL"):
+            for s in comparison[name]:
+                assert s.overhead_fraction < 0.02
+
+    def test_gts_prefers_big_cluster(self, comparison):
+        for s in comparison["GTS/ondemand"]:
+            usage = s.cpu_time_by_vf
+            assert usage.cluster_total("big") > usage.cluster_total("LITTLE")
+
+    def test_powersave_runs_only_lowest_levels(self, comparison):
+        for s in comparison["GTS/powersave"]:
+            for (cluster, freq), seconds in s.cpu_time_by_vf.seconds.items():
+                if seconds > 0:
+                    assert freq < 0.7e9

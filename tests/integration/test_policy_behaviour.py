@@ -1,0 +1,91 @@
+"""Behavioural integration tests of the trained TOP-IL policy."""
+
+import dataclasses
+
+import pytest
+
+from repro.apps import get_app
+from repro.apps.qos import qos_fraction_of_big_max
+from repro.il.technique import TopIL
+from repro.platform.hikey import BIG, LITTLE
+from repro.sim import SimConfig, Simulator
+from repro.thermal import FAN_COOLING, PASSIVE_COOLING
+from repro.workloads import run_workload, single_app_workload
+
+
+class TestMigrationQuality:
+    def test_adi_migrated_to_big_cluster(self, assets):
+        """The Fig. 1 anchor: adi (30% big-max target) belongs on big."""
+        platform = assets.platform
+        sim = Simulator(
+            platform,
+            FAN_COOLING,
+            config=SimConfig(dt_s=0.01),
+            sensor_noise_std_c=0.0,
+        )
+        technique = TopIL(assets.models()[0])
+        technique.attach(sim)
+        app = dataclasses.replace(get_app("adi"), total_instructions=1e15)
+        target = qos_fraction_of_big_max(get_app("adi"), platform, 0.3)
+        pid = sim.submit(app, target, 0.0)
+        sim.placement_policy = lambda s, p: 0  # start on the wrong cluster
+        sim.run_for(5.0)
+        cluster = platform.cluster_of_core(sim.process(pid).core_id)
+        assert cluster.name == BIG
+
+    def test_policy_stable_after_settling(self, assets):
+        """TOP-IL does not ping-pong: few migrations over a long run."""
+        platform = assets.platform
+        workload = single_app_workload("adi", platform, instruction_scale=0.05)
+        run = run_workload(platform, TopIL(assets.models()[0]), workload, seed=0)
+        assert run.summary.migrations <= 3
+
+
+class TestQoSUnderManagement:
+    @pytest.mark.parametrize("app_name", ["canneal", "swaptions", "jacobi-2d"])
+    def test_single_unseen_apps_meet_qos(self, assets, app_name):
+        platform = assets.platform
+        workload = single_app_workload(
+            app_name, platform, instruction_scale=0.02
+        )
+        run = run_workload(platform, TopIL(assets.models()[0]), workload, seed=1)
+        assert run.summary.n_qos_violations == 0
+
+    def test_generalizes_to_passive_cooling(self, assets):
+        """The model was trained with fan traces; it must work without."""
+        platform = assets.platform
+        workload = single_app_workload("adi", platform, instruction_scale=0.03)
+        run = run_workload(
+            platform,
+            TopIL(assets.models()[0]),
+            workload,
+            cooling=PASSIVE_COOLING,
+            seed=2,
+        )
+        assert run.summary.n_qos_violations == 0
+
+    def test_dvfs_loop_tracks_demand_spike(self, assets):
+        """When a heavy app joins, the cluster VF level rises to protect QoS."""
+        platform = assets.platform
+        sim = Simulator(
+            platform,
+            FAN_COOLING,
+            config=SimConfig(dt_s=0.01),
+            sensor_noise_std_c=0.0,
+        )
+        technique = TopIL(assets.models()[0])
+        technique.attach(sim)
+        table = platform.cluster(BIG).vf_table
+        light = dataclasses.replace(get_app("seidel-2d"), total_instructions=1e15)
+        heavy = dataclasses.replace(get_app("syr2k"), total_instructions=1e15)
+        sim.submit(light, 3e8, 0.0)
+        heavy_target = 0.9 * get_app("syr2k").max_ips(BIG, table)
+        sim.submit(heavy, heavy_target, 5.0)
+        sim.run_for(4.0)
+        level_before = max(
+            sim.vf_level(LITTLE).frequency_hz, sim.vf_level(BIG).frequency_hz
+        )
+        sim.run_for(8.0)
+        heavy_proc = sim.process(1)
+        cluster = platform.cluster_of_core(heavy_proc.core_id)
+        assert sim.vf_level(cluster.name).frequency_hz > level_before

@@ -1,0 +1,73 @@
+"""Invariants of the application performance model (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.model import AppModel, ClusterPerfParams
+
+cpis = st.floats(min_value=0.3, max_value=3.0)
+mems = st.floats(min_value=0.0, max_value=2e-9)
+couplings = st.floats(min_value=0.0, max_value=1.0)
+freqs = st.floats(min_value=2e8, max_value=3e9)
+
+
+@st.composite
+def apps(draw):
+    params = ClusterPerfParams(
+        cpi=draw(cpis),
+        mem_time_per_inst=draw(mems),
+        activity=0.8,
+        mem_freq_coupling=draw(couplings),
+        mem_ref_freq_hz=2.0e9,
+    )
+    return AppModel(
+        name="prop", suite="polybench", perf={"X": params}, l2d_per_inst=0.01
+    )
+
+
+class TestIPSInvariants:
+    @given(apps(), freqs)
+    @settings(max_examples=80)
+    def test_ips_positive_and_finite(self, app, f):
+        ips = app.ips("X", f)
+        assert 0 < ips < 1e12
+
+    @given(apps(), freqs, freqs)
+    @settings(max_examples=80)
+    def test_ips_monotone_in_frequency(self, app, f1, f2):
+        lo, hi = sorted([f1, f2])
+        assert app.ips("X", hi) >= app.ips("X", lo) - 1e-9
+
+    @given(apps(), freqs)
+    @settings(max_examples=80)
+    def test_ips_bounded_by_core_roofline(self, app, f):
+        """IPS can never exceed f / cpi (the no-stall bound)."""
+        params = app.perf["X"]
+        assert app.ips("X", f) <= f / params.cpi + 1e-6
+
+    @given(apps(), freqs, st.floats(min_value=1.0, max_value=5.0))
+    @settings(max_examples=80)
+    def test_contention_never_speeds_up(self, app, f, slowdown):
+        assert app.ips("X", f, mem_slowdown=slowdown) <= app.ips("X", f) + 1e-9
+
+    @given(apps(), freqs)
+    @settings(max_examples=80)
+    def test_sublinear_scaling_for_uncoupled_memory(self, app, f):
+        """Doubling frequency at coupling 0 gains at most 2x IPS."""
+        gain = app.ips("X", 2 * f) / app.ips("X", f)
+        assert gain <= 2.0 + 1e-9
+
+
+class TestEffectiveMemTime:
+    @given(apps(), freqs)
+    @settings(max_examples=80)
+    def test_effective_mem_time_non_negative(self, app, f):
+        assert app.perf["X"].effective_mem_time(f) >= 0.0
+
+    @given(apps())
+    @settings(max_examples=80)
+    def test_effective_equals_base_at_reference(self, app):
+        params = app.perf["X"]
+        assert params.effective_mem_time(params.mem_ref_freq_hz) == (
+            params.mem_time_per_inst
+        )

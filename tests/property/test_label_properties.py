@@ -1,0 +1,114 @@
+"""Invariants of the Eq. 4 soft-label construction (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.il.dataset import DatasetBuilder, LabelConfig, _Selection
+from repro.il.traces import TracePoint
+from repro.platform import hikey970
+
+PLATFORM = hikey970()
+
+
+def _point(core, temp):
+    return TracePoint(
+        aoi_core=core,
+        f_hz=(("LITTLE", 1e9), ("big", 1e9)),
+        aoi_ips=1e9,
+        aoi_l2d_rate=1e7,
+        peak_temp_c=temp,
+    )
+
+
+@st.composite
+def selections(draw):
+    cores = draw(
+        st.lists(st.integers(0, 7), min_size=1, max_size=8, unique=True)
+    )
+    sels = {}
+    any_feasible = False
+    for core in cores:
+        if draw(st.booleans()):
+            temp = draw(st.floats(min_value=25.0, max_value=95.0))
+            sels[core] = _Selection(_point(core, temp), {})
+            any_feasible = True
+        else:
+            sels[core] = _Selection(None, {})
+    occupied = [c for c in range(8) if c not in cores]
+    return sels, occupied, any_feasible
+
+
+class TestLabelInvariants:
+    @given(selections(), st.floats(min_value=0.1, max_value=5.0))
+    @settings(max_examples=100)
+    def test_labels_bounded(self, sel_data, alpha):
+        sels, occupied, feasible = sel_data
+        builder = DatasetBuilder(PLATFORM, LabelConfig(alpha=alpha))
+        labels = builder.make_labels(sels, occupied)
+        if not feasible:
+            assert labels is None
+            return
+        assert labels.min() >= -1.0
+        assert labels.max() <= 1.0
+
+    @given(selections())
+    @settings(max_examples=100)
+    def test_coolest_feasible_mapping_scores_one(self, sel_data):
+        sels, occupied, feasible = sel_data
+        if not feasible:
+            return
+        builder = DatasetBuilder(PLATFORM)
+        labels = builder.make_labels(sels, occupied)
+        temps = {
+            c: s.point.peak_temp_c for c, s in sels.items() if s.point is not None
+        }
+        best = min(temps, key=temps.get)
+        assert labels[best] == 1.0
+
+    @given(selections())
+    @settings(max_examples=100)
+    def test_label_order_follows_temperature_order(self, sel_data):
+        sels, occupied, feasible = sel_data
+        if not feasible:
+            return
+        builder = DatasetBuilder(PLATFORM)
+        labels = builder.make_labels(sels, occupied)
+        temps = {
+            c: s.point.peak_temp_c for c, s in sels.items() if s.point is not None
+        }
+        cores = sorted(temps, key=temps.get)
+        for a, b in zip(cores, cores[1:]):
+            assert labels[a] >= labels[b] - 1e-12
+
+    @given(selections())
+    @settings(max_examples=100)
+    def test_occupied_always_zero_infeasible_always_minus_one(self, sel_data):
+        sels, occupied, feasible = sel_data
+        if not feasible:
+            return
+        builder = DatasetBuilder(PLATFORM)
+        labels = builder.make_labels(sels, occupied)
+        for core in occupied:
+            assert labels[core] == 0.0
+        for core, sel in sels.items():
+            if sel.point is None and core not in occupied:
+                assert labels[core] == -1.0
+
+    @given(selections())
+    @settings(max_examples=60)
+    def test_sharper_alpha_never_raises_labels(self, sel_data):
+        sels, occupied, feasible = sel_data
+        if not feasible:
+            return
+        soft = DatasetBuilder(PLATFORM, LabelConfig(alpha=0.5)).make_labels(
+            sels, occupied
+        )
+        sharp = DatasetBuilder(PLATFORM, LabelConfig(alpha=2.0)).make_labels(
+            sels, occupied
+        )
+        feas = [
+            c for c, s in sels.items() if s.point is not None and c not in occupied
+        ]
+        for core in feas:
+            assert sharp[core] <= soft[core] + 1e-12

@@ -1,0 +1,92 @@
+"""Invariants of the metrics layer (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.cputime import CpuTimeByVF
+from repro.metrics.timeline import AppTimeline
+
+clusters = st.sampled_from(["LITTLE", "big"])
+freqs = st.sampled_from([0.5e9, 1.0e9, 1.8e9, 2.36e9])
+cpu_seconds = st.floats(min_value=0.0, max_value=1000.0)
+
+
+@st.composite
+def usage_entries(draw, max_entries=12):
+    n = draw(st.integers(1, max_entries))
+    return [
+        (draw(clusters), draw(freqs), draw(cpu_seconds)) for _ in range(n)
+    ]
+
+
+class TestCpuTimeInvariants:
+    @given(usage_entries())
+    @settings(max_examples=60)
+    def test_total_equals_sum_of_cluster_totals(self, entries):
+        usage = CpuTimeByVF()
+        for cluster, freq, secs in entries:
+            usage.add(cluster, freq, secs)
+        assert abs(
+            usage.total
+            - usage.cluster_total("LITTLE")
+            - usage.cluster_total("big")
+        ) < 1e-6
+
+    @given(usage_entries())
+    @settings(max_examples=60)
+    def test_fractions_sum_to_one(self, entries):
+        usage = CpuTimeByVF()
+        for cluster, freq, secs in entries:
+            usage.add(cluster, freq, secs)
+        if usage.total == 0:
+            return
+        total_fraction = sum(
+            usage.fraction(cluster, freq) for (cluster, freq) in usage.seconds
+        )
+        assert abs(total_fraction - 1.0) < 1e-9
+
+    @given(usage_entries(), usage_entries())
+    @settings(max_examples=40)
+    def test_merge_is_additive(self, a_entries, b_entries):
+        a, b = CpuTimeByVF(), CpuTimeByVF()
+        for cluster, freq, secs in a_entries:
+            a.add(cluster, freq, secs)
+        for cluster, freq, secs in b_entries:
+            b.add(cluster, freq, secs)
+        merged = a.merge(b)
+        assert abs(merged.total - a.total - b.total) < 1e-6
+
+
+@st.composite
+def timelines(draw, max_samples=30):
+    n = draw(st.integers(1, max_samples))
+    choices = ["", "LITTLE", "big"]
+    cluster_series = [draw(st.sampled_from(choices)) for _ in range(n)]
+    ips = [draw(st.floats(min_value=0.0, max_value=5e9)) for _ in range(n)]
+    target = draw(st.floats(min_value=1e6, max_value=5e9))
+    return AppTimeline(
+        pid=0,
+        times_s=[0.1 * i for i in range(n)],
+        clusters=cluster_series,
+        ips=ips,
+        qos_target_ips=target,
+    )
+
+
+class TestTimelineInvariants:
+    @given(timelines())
+    @settings(max_examples=60)
+    def test_residency_sums_to_one_when_active(self, timeline):
+        residency = timeline.cluster_residency()
+        if residency:
+            assert abs(sum(residency.values()) - 1.0) < 1e-9
+
+    @given(timelines())
+    @settings(max_examples=60)
+    def test_qos_fraction_bounded(self, timeline):
+        assert 0.0 <= timeline.qos_met_fraction() <= 1.0
+
+    @given(timelines())
+    @settings(max_examples=60)
+    def test_switches_bounded_by_active_samples(self, timeline):
+        assert 0 <= timeline.switches() <= max(0, timeline.active_samples - 1)

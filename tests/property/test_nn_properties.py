@@ -1,0 +1,98 @@
+"""Gradient correctness and training invariants of the NN library."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.layers import build_mlp
+from repro.nn.losses import MSELoss
+from repro.utils.rng import RandomSource
+
+
+@st.composite
+def mlp_specs(draw):
+    return dict(
+        input_dim=draw(st.integers(1, 6)),
+        output_dim=draw(st.integers(1, 4)),
+        hidden_layers=draw(st.integers(0, 3)),
+        hidden_width=draw(st.integers(1, 12)),
+        seed=draw(st.integers(0, 1000)),
+        batch=draw(st.integers(1, 8)),
+    )
+
+
+class TestGradients:
+    @given(mlp_specs())
+    @settings(max_examples=25, deadline=None)
+    def test_backward_matches_finite_differences(self, spec):
+        rng = RandomSource(spec["seed"])
+        model = build_mlp(
+            spec["input_dim"],
+            spec["output_dim"],
+            spec["hidden_layers"],
+            spec["hidden_width"],
+            rng,
+        )
+        x = rng.normal(size=(spec["batch"], spec["input_dim"]))
+        y = rng.normal(size=(spec["batch"], spec["output_dim"]))
+        loss_fn = MSELoss()
+
+        model.zero_grad()
+        _, grad = loss_fn(model.forward(x), y)
+        model.backward(grad)
+
+        # Check one random parameter per parameter tensor.  Finite
+        # differences are invalid where a ReLU kink falls inside the
+        # perturbation interval; two step sizes that disagree reveal such
+        # non-smooth points, which are skipped.
+        check_rng = np.random.default_rng(spec["seed"])
+
+        def loss_at(value, idx, delta):
+            value[idx] += delta
+            loss, _ = loss_fn(model.forward(x), y)
+            value[idx] -= delta
+            return loss
+
+        eps = 1e-6
+        for _, value, analytic in model.params():
+            flat_idx = int(check_rng.integers(value.size))
+            idx = np.unravel_index(flat_idx, value.shape)
+            center = loss_at(value, idx, 0.0)
+            forward = (loss_at(value, idx, eps) - center) / eps
+            backward = (center - loss_at(value, idx, -eps)) / eps
+            if not np.isclose(forward, backward, rtol=1e-3, atol=1e-6):
+                continue  # one-sided slopes differ: ReLU kink at this point
+            assert np.isclose(analytic[idx], 0.5 * (forward + backward),
+                              rtol=1e-3, atol=1e-6)
+
+    @given(mlp_specs())
+    @settings(max_examples=25, deadline=None)
+    def test_forward_deterministic(self, spec):
+        rng = RandomSource(spec["seed"])
+        model = build_mlp(
+            spec["input_dim"],
+            spec["output_dim"],
+            spec["hidden_layers"],
+            spec["hidden_width"],
+            rng,
+        )
+        x = rng.normal(size=(spec["batch"], spec["input_dim"]))
+        assert np.array_equal(model.forward(x), model.forward(x))
+
+    @given(mlp_specs())
+    @settings(max_examples=25, deadline=None)
+    def test_batch_rows_independent(self, spec):
+        """Row i of a batched forward equals the single-sample forward."""
+        rng = RandomSource(spec["seed"])
+        model = build_mlp(
+            spec["input_dim"],
+            spec["output_dim"],
+            spec["hidden_layers"],
+            spec["hidden_width"],
+            rng,
+        )
+        x = rng.normal(size=(spec["batch"], spec["input_dim"]))
+        batched = model.forward(x)
+        for i in range(spec["batch"]):
+            single = model.forward(x[i : i + 1])
+            assert np.allclose(batched[i], single[0])

@@ -1,0 +1,76 @@
+"""Invariants of the modal thermal reduction (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.thermal.rc import RCThermalNetwork
+from repro.thermal.reduction import reduce_network
+
+capacitances = st.floats(min_value=1e-2, max_value=50.0)
+conductances = st.floats(min_value=5e-2, max_value=5.0)
+powers = st.floats(min_value=0.0, max_value=10.0)
+
+
+@st.composite
+def networks(draw, min_nodes=2, max_nodes=6):
+    n = draw(st.integers(min_nodes, max_nodes))
+    net = RCThermalNetwork(ambient_temp_c=25.0)
+    for i in range(n):
+        net.add_node(f"n{i}", draw(capacitances))
+    for i in range(n - 1):
+        net.connect(f"n{i}", f"n{i + 1}", draw(conductances))
+    net.connect_to_ambient(f"n{n - 1}", draw(conductances))
+    net.finalize()
+    return net
+
+
+class TestReductionInvariants:
+    @given(networks(), powers)
+    @settings(max_examples=40, deadline=None)
+    def test_steady_state_always_exact(self, net, p):
+        reduced = reduce_network(net, 1)  # even a single mode
+        full = net.steady_state({"n0": p})
+        approx = reduced.steady_state({"n0": p})
+        for name in full:
+            assert np.isclose(approx[name], full[name], atol=1e-8)
+
+    @given(networks(), powers, st.floats(min_value=0.05, max_value=2.0))
+    @settings(max_examples=30, deadline=None)
+    def test_full_rank_reduction_matches_exact_integrator(self, net, p, dt):
+        reduced = reduce_network(net, net.n_nodes)
+        for _ in range(10):
+            net.step({"n0": p}, dt)
+            reduced.step({"n0": p}, dt)
+        full = net.temperatures()
+        approx = reduced.temperatures()
+        for name in full:
+            assert np.isclose(approx[name], full[name], atol=1e-6)
+
+    @given(networks(), powers, st.integers(1, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_truncated_model_converges_to_steady_state(self, net, p, k):
+        k = min(k, net.n_nodes)
+        reduced = reduce_network(net, k)
+        target = reduced.steady_state({"n0": p})
+        tau = float(net.time_constants()[0])
+        for _ in range(40):
+            reduced.step({"n0": p}, tau)
+        temps = reduced.temperatures()
+        for name in temps:
+            assert np.isclose(temps[name], target[name], atol=1e-3)
+
+    @given(networks(), powers, st.integers(1, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_truncated_model_stays_bounded(self, net, p, k):
+        """No mode can diverge.  Truncation may transiently over/undershoot
+        the physical envelope (the reconstruction is not elementwise
+        monotone), but only by a bounded fraction of the steady rise."""
+        k = min(k, net.n_nodes)
+        reduced = reduce_network(net, k)
+        rise = max(max(reduced.steady_state({"n0": p}).values()) - 25.0, 0.0)
+        slack = 0.5 * rise + 1.0
+        for _ in range(50):
+            reduced.step({"n0": p}, 0.5)
+            assert max(reduced.temperatures().values()) <= 25.0 + rise + slack
+            assert min(reduced.temperatures().values()) >= 25.0 - slack

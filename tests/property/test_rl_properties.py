@@ -1,0 +1,73 @@
+"""Invariants of Q-learning and the RL state quantizer (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rl.qtable import QTable
+
+states = st.integers(0, 15)
+actions = st.integers(0, 3)
+rewards = st.floats(min_value=-200.0, max_value=60.0)
+
+
+@st.composite
+def transitions(draw, n=20):
+    return [
+        (draw(states), draw(actions), draw(rewards), draw(states))
+        for _ in range(n)
+    ]
+
+
+class TestQTableInvariants:
+    @given(transitions())
+    @settings(max_examples=60)
+    def test_values_bounded_by_reward_geometric_series(self, steps):
+        """|Q| can never exceed max|r| / (1 - gamma) starting from zero."""
+        table = QTable(16, 4, learning_rate=0.1, discount=0.8)
+        bound = 200.0 / (1.0 - 0.8) + 1e-6
+        for s, a, r, s2 in steps:
+            table.update(s, a, r, s2)
+            assert np.abs(table.values).max() <= bound
+
+    @given(transitions())
+    @settings(max_examples=60)
+    def test_only_visited_entries_change(self, steps):
+        table = QTable(16, 4)
+        touched = set()
+        for s, a, r, s2 in steps:
+            table.update(s, a, r, s2)
+            touched.add((s, a))
+        for s in range(16):
+            for a in range(4):
+                if (s, a) not in touched:
+                    assert table.values[s, a] == 0.0
+
+    @given(st.floats(min_value=-100, max_value=50), st.integers(10, 200))
+    @settings(max_examples=40)
+    def test_self_loop_converges_to_fixed_point(self, reward, n):
+        """Q(s,a) on a single self-loop approaches r / (1 - gamma)."""
+        table = QTable(1, 1, learning_rate=0.3, discount=0.5)
+        for _ in range(n):
+            table.update(0, 0, reward, 0)
+        fixed_point = reward / (1.0 - 0.5)
+        # Error shrinks monotonically in expectation; after n updates it is
+        # bounded by |fp| * (1 - alpha_eff)^n which we upper-bound loosely.
+        assert abs(table.q(0, 0)) <= abs(fixed_point) + 1e-9
+
+    @given(transitions())
+    @settings(max_examples=40)
+    def test_update_count_matches(self, steps):
+        table = QTable(16, 4)
+        for s, a, r, s2 in steps:
+            table.update(s, a, r, s2)
+        assert table.updates == len(steps)
+
+    @given(transitions())
+    @settings(max_examples=40)
+    def test_copy_isolated_from_updates(self, steps):
+        table = QTable(16, 4)
+        snapshot = table.copy()
+        for s, a, r, s2 in steps:
+            table.update(s, a, r, s2)
+        assert np.all(snapshot.values == 0.0)

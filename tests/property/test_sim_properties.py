@@ -1,0 +1,106 @@
+"""Conservation and bookkeeping invariants of the simulator (hypothesis)."""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import app_catalog, get_app
+from repro.platform import hikey970
+from repro.sim import SimConfig, Simulator
+from repro.thermal import FAN_COOLING
+
+PLATFORM = hikey970()
+APP_NAMES = sorted(app_catalog())
+
+
+@st.composite
+def small_workloads(draw):
+    n = draw(st.integers(1, 5))
+    items = []
+    for _ in range(n):
+        name = draw(st.sampled_from(APP_NAMES))
+        arrival = draw(st.floats(min_value=0.0, max_value=0.5))
+        items.append((name, arrival))
+    return items
+
+
+def _run(items, seconds=1.0, seed=0):
+    sim = Simulator(
+        PLATFORM,
+        FAN_COOLING,
+        config=SimConfig(dt_s=0.02, model_overhead_on_core=None),
+        sensor_noise_std_c=0.0,
+    )
+    for name, arrival in items:
+        app = dataclasses.replace(get_app(name), total_instructions=1e15)
+        sim.submit(app, 1e6, arrival)
+    sim.run_for(seconds)
+    return sim
+
+
+class TestConservation:
+    @given(small_workloads())
+    @settings(max_examples=20, deadline=None)
+    def test_cpu_time_never_exceeds_wall_time_per_core(self, items):
+        sim = _run(items)
+        per_core = {}
+        for p in sim.all_processes():
+            if p.core_id is not None:
+                per_core.setdefault(p.core_id, 0.0)
+        total_cpu = sum(p.total_cpu_time_s for p in sim.all_processes())
+        busy_cores = {p.core_id for p in sim.all_processes() if p.core_id is not None}
+        assert total_cpu <= sim.now_s * max(1, len(busy_cores)) + 1e-6
+
+    @given(small_workloads())
+    @settings(max_examples=20, deadline=None)
+    def test_vf_ledger_sums_to_cpu_time(self, items):
+        sim = _run(items)
+        for p in sim.all_processes():
+            ledger = sum(p.cpu_time_by_vf.values())
+            assert abs(ledger - p.total_cpu_time_s) < 1e-9
+
+    @given(small_workloads())
+    @settings(max_examples=20, deadline=None)
+    def test_instructions_never_exceed_total(self, items):
+        sim = _run(items)
+        for p in sim.all_processes():
+            assert p.instructions_done <= p.app.total_instructions + 1e-3
+
+    @given(small_workloads())
+    @settings(max_examples=20, deadline=None)
+    def test_each_running_process_on_exactly_one_core(self, items):
+        sim = _run(items)
+        seen = {}
+        for core in range(PLATFORM.n_cores):
+            for p in sim.processes_on_core(core):
+                assert p.pid not in seen
+                seen[p.pid] = core
+        for p in sim.running_processes():
+            assert p.pid in seen
+
+
+class TestPhysicalBounds:
+    @given(small_workloads())
+    @settings(max_examples=15, deadline=None)
+    def test_temperatures_bounded(self, items):
+        sim = _run(items)
+        for temp in sim.ground_truth_temps().values():
+            assert PLATFORM.ambient_temp_c - 1.0 <= temp <= 130.0
+
+    @given(small_workloads())
+    @settings(max_examples=15, deadline=None)
+    def test_power_positive(self, items):
+        sim = _run(items)
+        assert sim.total_power_w() > 0.0
+
+
+class TestDeterminism:
+    @given(small_workloads())
+    @settings(max_examples=10, deadline=None)
+    def test_identical_runs_identical_results(self, items):
+        a = _run(items)
+        b = _run(items)
+        assert a.sensor_temp_c() == b.sensor_temp_c()
+        for pa, pb in zip(a.all_processes(), b.all_processes()):
+            assert pa.instructions_done == pb.instructions_done

@@ -1,0 +1,136 @@
+"""Physical invariants of the RC thermal network (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.thermal.rc import RCThermalNetwork
+
+# Strategies kept in physically sane ranges so matrices stay well-conditioned.
+capacitances = st.floats(min_value=1e-3, max_value=100.0)
+conductances = st.floats(min_value=1e-2, max_value=10.0)
+powers = st.floats(min_value=0.0, max_value=20.0)
+temps = st.floats(min_value=-20.0, max_value=150.0)
+
+
+def _chain_network(caps, conds, amb_cond):
+    """A chain of nodes n0 - n1 - ... with ambient at the last node."""
+    net = RCThermalNetwork(ambient_temp_c=25.0)
+    for i, c in enumerate(caps):
+        net.add_node(f"n{i}", c)
+    for i, g in enumerate(conds):
+        net.connect(f"n{i}", f"n{i + 1}", g)
+    net.connect_to_ambient(f"n{len(caps) - 1}", amb_cond)
+    net.finalize()
+    return net
+
+
+@st.composite
+def chain_networks(draw, min_nodes=2, max_nodes=5):
+    n = draw(st.integers(min_nodes, max_nodes))
+    caps = [draw(capacitances) for _ in range(n)]
+    conds = [draw(conductances) for _ in range(n - 1)]
+    amb = draw(conductances)
+    return _chain_network(caps, conds, amb)
+
+
+class TestPassivity:
+    @given(chain_networks(), st.lists(temps, min_size=5, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_unpowered_network_contracts_towards_ambient(self, net, start):
+        """With P = 0 the max |T - ambient| never increases."""
+        init = {name: start[i % len(start)] for i, name in enumerate(net.node_names)}
+        net.set_temperatures(init)
+        prev = max(abs(t - 25.0) for t in net.temperatures().values())
+        for _ in range(20):
+            net.step({}, 0.5)
+            cur = max(abs(t - 25.0) for t in net.temperatures().values())
+            assert cur <= prev + 1e-9
+            prev = cur
+
+    @given(chain_networks(), powers)
+    @settings(max_examples=40, deadline=None)
+    def test_powered_nodes_never_below_ambient(self, net, p):
+        net.reset()
+        for _ in range(20):
+            net.step({"n0": p}, 0.3)
+        assert all(t >= 25.0 - 1e-9 for t in net.temperatures().values())
+
+
+class TestLinearity:
+    @given(chain_networks(), powers, powers)
+    @settings(max_examples=40, deadline=None)
+    def test_steady_state_superposition(self, net, p1, p2):
+        """theta_ss(p1 + p2) = theta_ss(p1) + theta_ss(p2)."""
+        names = net.node_names
+        a = net.steady_state({names[0]: p1})
+        b = net.steady_state({names[-1]: p2})
+        combined = net.steady_state({names[0]: p1, names[-1]: p2})
+        for name in names:
+            expected = a[name] + b[name] - 25.0  # ambient counted twice
+            assert np.isclose(combined[name], expected, atol=1e-6)
+
+    @given(chain_networks(), powers)
+    @settings(max_examples=40, deadline=None)
+    def test_steady_state_monotone_in_power(self, net, p):
+        low = net.steady_state({"n0": p})
+        high = net.steady_state({"n0": p + 1.0})
+        for name in net.node_names:
+            assert high[name] >= low[name] - 1e-9
+
+
+class TestConvergence:
+    @given(chain_networks(), powers)
+    @settings(max_examples=25, deadline=None)
+    def test_step_converges_to_steady_state(self, net, p):
+        target = net.steady_state({"n0": p})
+        # Step far past the slowest time constant.
+        tau_max = float(net.time_constants()[0])
+        for _ in range(30):
+            net.step({"n0": p}, tau_max)
+        temps = net.temperatures()
+        for name in net.node_names:
+            assert np.isclose(temps[name], target[name], atol=1e-3)
+
+    @given(chain_networks(), powers, st.floats(min_value=0.01, max_value=2.0))
+    @settings(max_examples=25, deadline=None)
+    def test_split_step_equals_full_step(self, net, p, dt):
+        """Exactness of the expm integrator for piecewise-constant power."""
+        clone = _rebuild_like(net)
+        net.step({"n0": p}, dt)
+        clone.step({"n0": p}, dt / 2)
+        clone.step({"n0": p}, dt / 2)
+        for name in net.node_names:
+            assert np.isclose(
+                net.temperature_of(name), clone.temperature_of(name), atol=1e-8
+            )
+
+
+def _rebuild_like(net):
+    """Clone a finalized chain network (structure captured via matrices)."""
+    clone = RCThermalNetwork(ambient_temp_c=net.ambient_temp_c)
+    clone._names = list(net._names)
+    clone._index = dict(net._index)
+    clone._cap_vector = net._cap_vector.copy()
+    clone._g_matrix = net._g_matrix.copy()
+    clone._g_inv = net._g_inv.copy()
+    clone._theta = net._theta.copy()
+    clone._finalized = True
+    clone._expm_cache = {}
+    return clone
+
+
+class TestEnergyBound:
+    @given(chain_networks(), powers, st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_stored_energy_never_exceeds_injected(self, net, p, dt):
+        """From a cold start, sum(C_i * theta_i) <= total injected energy
+        (the rest was dissipated to ambient) — first-law sanity check."""
+        net.reset()
+        injected = 0.0
+        for _ in range(25):
+            net.step({"n0": p}, dt)
+            injected += p * dt
+            theta = [t - 25.0 for t in net.temperatures().values()]
+            stored = sum(c * th for c, th in zip(net._cap_vector, theta))
+            assert stored <= injected + 1e-6

@@ -1,0 +1,76 @@
+"""Invariants of VF tables (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.platform.vf import VFLevel, VFTable
+
+
+@st.composite
+def vf_tables(draw):
+    n = draw(st.integers(min_value=1, max_value=10))
+    freqs = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=1e8, max_value=5e9),
+                min_size=n,
+                max_size=n,
+                unique=True,
+            )
+        )
+    )
+    voltages = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.5, max_value=1.3), min_size=n, max_size=n
+            )
+        )
+    )
+    return VFTable([VFLevel(f, v) for f, v in zip(freqs, voltages)])
+
+
+class TestTableInvariants:
+    @given(vf_tables())
+    @settings(max_examples=60)
+    def test_frequencies_sorted_and_voltage_monotone(self, table):
+        freqs = table.frequencies
+        volts = [lv.voltage_v for lv in table]
+        assert freqs == sorted(freqs)
+        assert volts == sorted(volts)
+
+    @given(vf_tables(), st.floats(min_value=1e7, max_value=6e9))
+    @settings(max_examples=60)
+    def test_level_at_or_above_is_lowest_sufficient(self, table, target):
+        if not table.has_level_at_or_above(target):
+            return
+        level = table.level_at_or_above(target)
+        assert level.frequency_hz >= target
+        below = [f for f in table.frequencies if f < level.frequency_hz]
+        assert all(f < target for f in below)
+
+    @given(vf_tables(), st.floats(min_value=1e7, max_value=6e9))
+    @settings(max_examples=60)
+    def test_clamp_always_returns_member(self, table, target):
+        level = table.clamp(target)
+        assert level.frequency_hz in table.frequencies
+
+
+class TestStepping:
+    @given(vf_tables(), st.data())
+    @settings(max_examples=60)
+    def test_step_towards_terminates_at_target(self, table, data):
+        i = data.draw(st.integers(0, len(table) - 1))
+        j = data.draw(st.integers(0, len(table) - 1))
+        current, target = table[i], table[j]
+        for _ in range(len(table) + 1):
+            current = table.step_towards(current, target)
+        assert current == target
+
+    @given(vf_tables(), st.data())
+    @settings(max_examples=60)
+    def test_step_moves_at_most_one_level(self, table, data):
+        i = data.draw(st.integers(0, len(table) - 1))
+        j = data.draw(st.integers(0, len(table) - 1))
+        current, target = table[i], table[j]
+        nxt = table.step_towards(current, target)
+        assert abs(table.index_of(nxt.frequency_hz) - i) <= 1

@@ -1,0 +1,61 @@
+"""Invariants of workload generation (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import get_app
+from repro.platform import hikey970
+from repro.platform.hikey import LITTLE
+from repro.workloads.generator import mixed_workload
+
+PLATFORM = hikey970()
+
+seeds = st.integers(0, 10_000)
+counts = st.integers(1, 30)
+rates = st.floats(min_value=0.01, max_value=2.0)
+
+
+class TestMixedWorkloadInvariants:
+    @given(seeds, counts, rates)
+    @settings(max_examples=50, deadline=None)
+    def test_arrivals_sorted_and_positive(self, seed, n, rate):
+        wl = mixed_workload(PLATFORM, n_apps=n, arrival_rate_per_s=rate, seed=seed)
+        arrivals = [i.arrival_time_s for i in wl.items]
+        assert arrivals == sorted(arrivals)
+        assert all(a > 0 for a in arrivals)
+
+    @given(seeds, counts)
+    @settings(max_examples=50, deadline=None)
+    def test_targets_within_declared_fraction_range(self, seed, n):
+        wl = mixed_workload(
+            PLATFORM, n_apps=n, seed=seed, qos_fraction_range=(0.35, 0.85)
+        )
+        table = PLATFORM.cluster(LITTLE).vf_table
+        for item in wl.items:
+            peak = get_app(item.app_name).max_ips(LITTLE, table)
+            fraction = item.qos_target_ips / peak
+            assert 0.35 - 1e-9 <= fraction <= 0.85 + 1e-9
+
+    @given(seeds, counts, rates)
+    @settings(max_examples=50, deadline=None)
+    def test_generation_is_pure(self, seed, n, rate):
+        a = mixed_workload(PLATFORM, n_apps=n, arrival_rate_per_s=rate, seed=seed)
+        b = mixed_workload(PLATFORM, n_apps=n, arrival_rate_per_s=rate, seed=seed)
+        assert a.items == b.items
+
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_json_roundtrip_lossless(self, seed):
+        import os
+        import tempfile
+
+        from repro.workloads.generator import load_workload, save_workload
+
+        wl = mixed_workload(PLATFORM, n_apps=5, seed=seed)
+        fd, path = tempfile.mkstemp(suffix=".json")
+        os.close(fd)
+        try:
+            save_workload(wl, path)
+            assert load_workload(path).items == wl.items
+        finally:
+            os.unlink(path)

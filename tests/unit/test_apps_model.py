@@ -1,0 +1,162 @@
+"""Application performance model: roofline IPS, phases, coupling."""
+
+import pytest
+
+from repro.apps.model import (
+    AppModel,
+    ClusterPerfParams,
+    Phase,
+    PhaseSchedule,
+)
+from repro.platform.vf import VFLevel, VFTable
+from repro.utils.units import GHZ
+
+
+@pytest.fixture
+def table():
+    return VFTable(
+        [VFLevel(0.5 * GHZ, 0.7), VFLevel(1.0 * GHZ, 0.8), VFLevel(2.0 * GHZ, 1.0)]
+    )
+
+
+def _app(cpi=1.0, mem=1e-10, coupling=0.0, phases=None, **kwargs):
+    perf = {
+        "LITTLE": ClusterPerfParams(
+            cpi, mem, 0.8, mem_freq_coupling=coupling, mem_ref_freq_hz=2.0 * GHZ
+        )
+    }
+    extra = {"phases": phases} if phases else {}
+    return AppModel(
+        name="toy", suite="polybench", perf=perf, l2d_per_inst=0.01, **extra, **kwargs
+    )
+
+
+class TestClusterPerfParams:
+    def test_rejects_bad_cpi(self):
+        with pytest.raises(ValueError):
+            ClusterPerfParams(0.0, 1e-10)
+
+    def test_rejects_bad_activity(self):
+        with pytest.raises(ValueError):
+            ClusterPerfParams(1.0, 1e-10, activity=1.2)
+
+    def test_effective_mem_time_uncoupled(self):
+        p = ClusterPerfParams(1.0, 2e-10, mem_freq_coupling=0.0)
+        assert p.effective_mem_time(0.5e9) == pytest.approx(2e-10)
+
+    def test_effective_mem_time_fully_coupled(self):
+        """coupling=1: stall time doubles when frequency halves."""
+        p = ClusterPerfParams(1.0, 2e-10, mem_freq_coupling=1.0, mem_ref_freq_hz=2e9)
+        assert p.effective_mem_time(1e9) == pytest.approx(4e-10)
+        assert p.effective_mem_time(2e9) == pytest.approx(2e-10)
+
+
+class TestIPSModel:
+    def test_compute_bound_scales_linearly(self):
+        app = _app(cpi=1.0, mem=0.0)
+        assert app.ips("LITTLE", 2e9) == pytest.approx(2 * app.ips("LITTLE", 1e9))
+
+    def test_memory_bound_saturates(self):
+        app = _app(cpi=0.5, mem=10e-10)
+        gain = app.ips("LITTLE", 2e9) / app.ips("LITTLE", 0.5e9)
+        assert gain < 2.0  # 4x frequency buys < 2x performance
+
+    def test_saturation_ceiling(self):
+        app = _app(cpi=0.5, mem=10e-10)
+        assert app.ips("LITTLE", 100e9) < 1.0 / 10e-10
+
+    def test_fully_coupled_app_scales_linearly(self):
+        """coupling=1 makes memory latency constant in cycles -> linear IPS."""
+        app = _app(cpi=1.0, mem=5e-10, coupling=1.0)
+        assert app.ips("LITTLE", 2e9) == pytest.approx(
+            2 * app.ips("LITTLE", 1e9), rel=1e-9
+        )
+
+    def test_contention_slowdown_reduces_ips(self):
+        app = _app(cpi=1.0, mem=5e-10)
+        assert app.ips("LITTLE", 1e9, mem_slowdown=2.0) < app.ips("LITTLE", 1e9)
+
+    def test_contention_does_not_affect_pure_compute(self):
+        app = _app(cpi=1.0, mem=0.0)
+        assert app.ips("LITTLE", 1e9, mem_slowdown=3.0) == pytest.approx(
+            app.ips("LITTLE", 1e9)
+        )
+
+    def test_invalid_slowdown_rejected(self):
+        with pytest.raises(ValueError):
+            _app().ips("LITTLE", 1e9, mem_slowdown=0.5)
+
+
+class TestMinFrequencyFor:
+    def test_finds_lowest_sufficient_level(self, table):
+        app = _app(cpi=1.0, mem=0.0)
+        # IPS(f) = f, so 0.8 GIPS needs the 1 GHz level.
+        level = app.min_frequency_for("LITTLE", table, 0.8e9)
+        assert level.frequency_hz == pytest.approx(1.0 * GHZ)
+
+    def test_returns_none_when_unreachable(self, table):
+        app = _app(cpi=1.0, mem=0.0)
+        assert app.min_frequency_for("LITTLE", table, 3e9) is None
+
+    def test_max_ips_consistency(self, table):
+        app = _app(cpi=1.0, mem=1e-10)
+        target = app.max_ips("LITTLE", table)
+        level = app.min_frequency_for("LITTLE", table, target * 0.999)
+        assert level == table.max_level
+
+
+class TestPhases:
+    def test_schedule_normalizes_fractions(self):
+        sched = PhaseSchedule([Phase(2.0), Phase(2.0)])
+        assert sum(p.instruction_fraction for p in sched.phases) == pytest.approx(1.0)
+
+    def test_phase_at_selects_by_progress(self):
+        sched = PhaseSchedule([Phase(0.5, cpi_scale=1.0), Phase(0.5, cpi_scale=2.0)])
+        assert sched.phase_at(0.25).cpi_scale == 1.0
+        assert sched.phase_at(0.75).cpi_scale == 2.0
+
+    def test_phase_cycles(self):
+        sched = PhaseSchedule([Phase(0.5, cpi_scale=1.0), Phase(0.5, cpi_scale=2.0)])
+        assert sched.phase_at(1.25).cpi_scale == 1.0
+
+    def test_constant_schedule_flag(self):
+        assert PhaseSchedule([Phase(1.0)]).is_constant
+        assert not PhaseSchedule([Phase(0.5), Phase(0.5, cpi_scale=2.0)]).is_constant
+
+    def test_app_ips_changes_with_phase(self):
+        phases = PhaseSchedule([Phase(0.5, cpi_scale=1.0), Phase(0.5, cpi_scale=2.0)])
+        app = _app(cpi=1.0, mem=0.0, phases=phases, phase_cycle_instructions=1e9)
+        early = app.ips("LITTLE", 1e9, instructions_done=0.0)
+        late = app.ips("LITTLE", 1e9, instructions_done=0.6e9)
+        assert early == pytest.approx(2 * late)
+
+    def test_phase_preserves_coupling(self):
+        phases = PhaseSchedule([Phase(0.5), Phase(0.5, mem_scale=2.0)])
+        app = _app(cpi=1.0, mem=2e-10, coupling=1.0, phases=phases)
+        params, _ = app.params_at("LITTLE", 0.0)
+        assert params.mem_freq_coupling == 1.0
+
+
+class TestL2D:
+    def test_l2d_rate_proportional_to_ips(self):
+        app = _app(cpi=1.0, mem=0.0)
+        assert app.l2d_per_second("LITTLE", 2e9) == pytest.approx(
+            2 * app.l2d_per_second("LITTLE", 1e9)
+        )
+
+    def test_l2d_scaled_by_phase(self):
+        phases = PhaseSchedule([Phase(0.5, l2d_scale=1.0), Phase(0.5, l2d_scale=3.0)])
+        app = _app(cpi=1.0, mem=0.0, phases=phases, phase_cycle_instructions=1e9)
+        early = app.l2d_per_second("LITTLE", 1e9, 0.0)
+        late = app.l2d_per_second("LITTLE", 1e9, 0.6e9)
+        assert late == pytest.approx(3 * early)
+
+
+class TestValidation:
+    def test_empty_perf_rejected(self):
+        with pytest.raises(ValueError):
+            AppModel(name="x", suite="s", perf={}, l2d_per_inst=0.01)
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            _app().ips("LITTLE", 0.0)

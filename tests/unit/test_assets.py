@@ -1,0 +1,74 @@
+"""The AssetStore: caching, laziness, config overrides."""
+
+import os
+
+import pytest
+
+from repro.experiments.assets import AssetConfig, AssetStore
+from repro.nn.training import TrainingConfig
+
+
+def _tiny_config(cache_dir=None):
+    return AssetConfig(
+        n_scenarios=2,
+        vf_levels_per_cluster=2,
+        max_aoi_candidates=2,
+        n_models=1,
+        training=TrainingConfig(max_epochs=10, patience=5),
+        rl_episodes=1,
+        rl_instruction_scale=0.01,
+        cache_dir=cache_dir,
+    )
+
+
+class TestAssetStore:
+    def test_dataset_built_lazily_and_memoized(self, platform, tmp_path):
+        store = AssetStore(platform, _tiny_config(str(tmp_path)))
+        first = store.dataset()
+        assert store.dataset() is first
+
+    def test_dataset_cache_reused_across_stores(self, platform, tmp_path):
+        config = _tiny_config(str(tmp_path))
+        a = AssetStore(platform, config)
+        ds_a = a.dataset()
+        cache_files = os.listdir(str(tmp_path))
+        assert any(f.startswith("il-dataset") for f in cache_files)
+        b = AssetStore(platform, config)
+        ds_b = b.dataset()
+        assert len(ds_a) == len(ds_b)
+        assert (ds_a.features == ds_b.features).all()
+
+    def test_cache_tag_separates_configs(self, platform, tmp_path):
+        a = AssetStore(platform, _tiny_config(str(tmp_path)))
+        a.dataset()
+        bigger = _tiny_config(str(tmp_path))
+        bigger.n_scenarios = 3
+        b = AssetStore(platform, bigger)
+        b.dataset()
+        files = [f for f in os.listdir(str(tmp_path)) if f.startswith("il-dataset")]
+        assert len(files) == 2
+
+    def test_models_match_config_count(self, platform, tmp_path):
+        store = AssetStore(platform, _tiny_config(str(tmp_path)))
+        assert len(store.models()) == 1
+
+    def test_qtables_cached_on_disk(self, platform, tmp_path):
+        store = AssetStore(platform, _tiny_config(str(tmp_path)))
+        store.qtables()
+        files = os.listdir(str(tmp_path))
+        assert any(f.startswith("qtable-") for f in files)
+        # Re-load path: a second store reads the file rather than training.
+        again = AssetStore(platform, _tiny_config(str(tmp_path)))
+        tables = again.qtables()
+        assert len(tables) == 1
+
+    def test_no_cache_dir_works(self, platform):
+        store = AssetStore(platform, _tiny_config(None))
+        assert store.dataset() is not None
+
+    def test_with_config_overrides(self, platform, tmp_path):
+        store = AssetStore(platform, _tiny_config(str(tmp_path)))
+        derived = store.with_config(n_scenarios=5)
+        assert derived.config.n_scenarios == 5
+        assert derived.platform is store.platform
+        assert store.config.n_scenarios == 2  # original untouched

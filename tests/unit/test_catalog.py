@@ -1,0 +1,129 @@
+"""The application catalog: structure and the paper's calibration anchors."""
+
+import pytest
+
+from repro.apps import (
+    HELDOUT_APPS,
+    PARSEC_APPS,
+    POLYBENCH_APPS,
+    TRACE_COLLECTION_APPS,
+    TRAINING_APPS,
+    app_catalog,
+    get_app,
+    qos_fraction_of_big_max,
+)
+from repro.platform import hikey970
+from repro.platform.hikey import BIG, LITTLE
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return hikey970()
+
+
+class TestCatalogStructure:
+    def test_sixteen_mixed_workload_apps_plus_covariance(self):
+        catalog = app_catalog()
+        assert len(PARSEC_APPS) == 8
+        assert len(POLYBENCH_APPS) == 9  # 8 paper kernels + covariance
+        assert len(catalog) == 17
+
+    def test_paper_parsec_set(self):
+        assert set(PARSEC_APPS) == {
+            "blackscholes", "bodytrack", "canneal", "dedup",
+            "facesim", "ferret", "fluidanimate", "swaptions",
+        }
+
+    def test_training_split_is_paper_split(self):
+        """7 training kernels; jacobi-2d and covariance held out."""
+        assert len(TRAINING_APPS) == 7
+        assert set(HELDOUT_APPS) == {"jacobi-2d", "covariance"}
+        assert "jacobi-2d" not in TRAINING_APPS
+
+    def test_trace_apps_are_phase_free(self):
+        """The oracle pipeline requires constant-QoS benchmarks."""
+        for name in TRACE_COLLECTION_APPS:
+            assert not get_app(name).has_phases(), name
+
+    def test_parsec_apps_mostly_have_phases(self):
+        phased = [n for n in PARSEC_APPS if get_app(n).has_phases()]
+        assert len(phased) >= 6
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(KeyError, match="unknown"):
+            get_app("doom")
+
+    def test_catalog_copy_is_isolated(self):
+        catalog = app_catalog()
+        catalog.pop("adi")
+        assert get_app("adi") is not None
+
+    def test_every_app_models_both_clusters(self):
+        for app in app_catalog().values():
+            assert set(app.clusters()) == {LITTLE, BIG}
+
+
+class TestPaperAnchors:
+    def test_adi_needs_top_little_but_bottom_big(self, platform):
+        """Fig. 1 scenario 1: QoS=30% of big-max -> ~1.8 GHz LITTLE vs
+        ~0.7 GHz big."""
+        adi = get_app("adi")
+        target = qos_fraction_of_big_max(adi, platform, 0.3)
+        little = adi.min_frequency_for(LITTLE, platform.cluster(LITTLE).vf_table, target)
+        big = adi.min_frequency_for(BIG, platform.cluster(BIG).vf_table, target)
+        assert little is not None and little.frequency_hz > 1.7e9
+        assert big is not None and big.frequency_hz < 0.8e9
+
+    def test_seidel_needs_similar_levels_on_both(self, platform):
+        """Fig. 1: seidel-2d ~1.2 GHz LITTLE vs ~1.0 GHz big."""
+        seidel = get_app("seidel-2d")
+        target = qos_fraction_of_big_max(seidel, platform, 0.3)
+        little = seidel.min_frequency_for(
+            LITTLE, platform.cluster(LITTLE).vf_table, target
+        )
+        big = seidel.min_frequency_for(BIG, platform.cluster(BIG).vf_table, target)
+        assert 0.9e9 < little.frequency_hz < 1.5e9
+        assert 0.9e9 < big.frequency_hz < 1.3e9
+
+    def test_canneal_is_vf_insensitive(self, platform):
+        """Sec. 7.3: canneal's performance depends little on the VF level."""
+        canneal = get_app("canneal")
+        table = platform.cluster(LITTLE).vf_table
+        gain = canneal.ips(LITTLE, table.max_level.frequency_hz) / canneal.ips(
+            LITTLE, table.min_level.frequency_hz
+        )
+        freq_gain = table.max_level.frequency_hz / table.min_level.frequency_hz
+        assert gain < 0.6 * freq_gain
+
+    def test_canneal_meets_halved_target_at_lowest_level(self, platform):
+        """Only canneal survives powersave in the single-app experiments."""
+        canneal = get_app("canneal")
+        little = platform.cluster(LITTLE)
+        target = 0.5 * canneal.max_ips(LITTLE, little.vf_table)
+        at_min = canneal.ips(LITTLE, little.vf_table.min_level.frequency_hz)
+        assert at_min >= target
+
+    def test_compute_apps_fail_halved_target_at_lowest_level(self, platform):
+        little = platform.cluster(LITTLE)
+        for name in ("swaptions", "syr2k", "gramschmidt"):
+            app = get_app(name)
+            target = 0.5 * app.max_ips(LITTLE, little.vf_table)
+            at_min = app.ips(LITTLE, little.vf_table.min_level.frequency_hz)
+            assert at_min < target, name
+
+    def test_swaptions_big_benefit_large(self, platform):
+        """Compute-bound apps profit ~3x from the big cluster at equal f."""
+        app = get_app("swaptions")
+        ratio = app.ips(BIG, 1e9) / app.ips(LITTLE, 1e9)
+        assert ratio > 1.7
+
+    def test_big_cluster_never_slower_at_equal_frequency(self, platform):
+        for app in app_catalog().values():
+            assert app.ips(BIG, 1e9) >= 0.95 * app.ips(LITTLE, 1e9), app.name
+
+    def test_runtimes_are_minutes_scale(self, platform):
+        """Apps 'run for several minutes' (Sec. 5.1)."""
+        big = platform.cluster(BIG)
+        for app in app_catalog().values():
+            seconds = app.total_instructions / app.max_ips(BIG, big.vf_table)
+            assert 20.0 < seconds < 1200.0, app.name

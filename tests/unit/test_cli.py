@@ -1,0 +1,48 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro import cli
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig1", "fig3", "fig5", "fig7", "fig8", "fig10",
+                     "fig11", "fig12", "model-eval"):
+            assert name in out
+
+
+class TestScaleParsing:
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            cli._scale("gigantic")
+
+    @pytest.mark.parametrize("name", ["smoke", "medium", "paper"])
+    def test_known_scales(self, name):
+        assert cli._scale(name).name == name
+
+
+class TestRun:
+    def test_unknown_experiment_errors(self, tmp_path, capsys):
+        code = cli.main(
+            ["run", "fig99", "--scale", "smoke", "--cache", str(tmp_path)]
+        )
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_fig1_prints_table(self, tmp_path, capsys, monkeypatch):
+        # fig1 needs no trained assets, so it is cheap enough for a test.
+        from repro.experiments.motivation import MotivationConfig
+
+        monkeypatch.setattr(
+            "repro.experiments.report.MotivationConfig.smoke",
+            classmethod(lambda cls: MotivationConfig(observe_s=5.0)),
+        )
+        code = cli.main(
+            ["run", "fig1", "--scale", "smoke", "--cache", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "adi" in out and "seidel-2d" in out

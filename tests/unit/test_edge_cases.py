@@ -1,0 +1,108 @@
+"""Edge cases and error paths across modules."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.apps import get_app
+from repro.experiments.main_mixed import _make_technique
+from repro.experiments.nas import split_dataset_by_apps
+from repro.il.dataset import ILDataset
+from repro.sim import SimConfig, Simulator
+from repro.thermal import FAN_COOLING
+
+
+class TestMakeTechnique:
+    def test_unknown_name_rejected(self, assets):
+        with pytest.raises(ValueError, match="unknown technique"):
+            _make_technique("SCHED_MAGIC", assets, 0, 0)
+
+    def test_repetition_cycles_models(self, assets):
+        n = len(assets.models())
+        t0 = _make_technique("TOP-IL", assets, 0, 0)
+        tn = _make_technique("TOP-IL", assets, n, 0)
+        assert t0.migration.model is tn.migration.model
+
+
+class TestNASSplit:
+    def test_split_by_apps(self):
+        ds = ILDataset(
+            features=np.zeros((4, 21)),
+            labels=np.zeros((4, 8)),
+            meta=[("adi", 0), ("jacobi-2d", 0), ("adi", 1), ("covariance", 2)],
+        )
+        train, test = split_dataset_by_apps(ds)
+        assert len(train) == 2
+        assert len(test) == 2
+        assert all(m[0] == "adi" for m in train.meta)
+
+
+class TestSimConfigValidation:
+    def test_negative_dt_rejected(self):
+        with pytest.raises(ValueError):
+            SimConfig(dt_s=0.0)
+
+    def test_cold_cache_penalty_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            SimConfig(cold_cache_penalty=0.9)
+
+    def test_negative_contention_rejected(self):
+        with pytest.raises(ValueError):
+            SimConfig(contention_coeff=-0.1)
+
+
+class TestSimulatorEdges:
+    def test_zero_process_steps_are_stable(self, platform):
+        sim = Simulator(platform, FAN_COOLING, config=SimConfig(dt_s=0.05))
+        sim.run_for(1.0)
+        assert not sim.running_processes()
+        assert sim.now_s == pytest.approx(1.0)
+
+    def test_process_finishing_exactly_at_step_boundary(self, platform):
+        sim = Simulator(
+            platform,
+            FAN_COOLING,
+            config=SimConfig(dt_s=0.01, model_overhead_on_core=None),
+            sensor_noise_std_c=0.0,
+        )
+        app = get_app("syr2k")
+        rate = app.ips("LITTLE", sim.vf_level("LITTLE").frequency_hz)
+        exact = dataclasses.replace(
+            app, total_instructions=rate * 0.01 * 10
+        )
+        pid = sim.submit(exact, 1e6, 0.0)
+        sim.placement_policy = lambda s, p: 0
+        sim.run_for(1.0)
+        proc = sim.process(pid)
+        assert not proc.is_running()
+        assert proc.instructions_done == pytest.approx(
+            exact.total_instructions, rel=1e-9
+        )
+
+    def test_simultaneous_arrivals_all_admitted(self, platform):
+        sim = Simulator(platform, FAN_COOLING, config=SimConfig(dt_s=0.01))
+        long_app = dataclasses.replace(
+            get_app("adi"), total_instructions=1e15
+        )
+        for _ in range(5):
+            sim.submit(long_app, 1e8, 0.5)
+        sim.run_for(0.6)
+        assert len(sim.running_processes()) == 5
+
+    def test_unknown_pid_rejected(self, platform):
+        sim = Simulator(platform, FAN_COOLING)
+        with pytest.raises(KeyError):
+            sim.process(42)
+
+    def test_set_vf_unknown_cluster_rejected(self, platform):
+        sim = Simulator(platform, FAN_COOLING)
+        level = platform.cluster("big").vf_table.min_level
+        with pytest.raises(KeyError):
+            sim.set_vf_level("mega", level)
+
+    def test_set_vf_foreign_level_rejected(self, platform):
+        sim = Simulator(platform, FAN_COOLING)
+        foreign = platform.cluster("big").vf_table.max_level
+        with pytest.raises(KeyError):
+            sim.set_vf_level("LITTLE", foreign)  # 2.36 GHz not in table

@@ -1,0 +1,41 @@
+"""Exponential moving average."""
+
+import pytest
+
+from repro.utils.ema import ExponentialMovingAverage
+
+
+class TestEMA:
+    def test_starts_empty(self):
+        assert ExponentialMovingAverage().value is None
+
+    def test_first_sample_adopted(self):
+        ema = ExponentialMovingAverage(alpha=0.3)
+        assert ema.update(10.0) == pytest.approx(10.0)
+
+    def test_alpha_one_tracks_signal(self):
+        ema = ExponentialMovingAverage(alpha=1.0)
+        ema.update(1.0)
+        assert ema.update(5.0) == pytest.approx(5.0)
+
+    def test_smoothing_between_samples(self):
+        ema = ExponentialMovingAverage(alpha=0.5)
+        ema.update(0.0)
+        assert ema.update(10.0) == pytest.approx(5.0)
+        assert ema.update(10.0) == pytest.approx(7.5)
+
+    def test_converges_to_constant_signal(self):
+        ema = ExponentialMovingAverage(alpha=0.2)
+        for _ in range(100):
+            ema.update(3.0)
+        assert ema.value == pytest.approx(3.0)
+
+    def test_reset_forgets(self):
+        ema = ExponentialMovingAverage()
+        ema.update(4.0)
+        ema.reset()
+        assert ema.value is None
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            ExponentialMovingAverage(alpha=1.5)

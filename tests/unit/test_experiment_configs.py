@@ -1,0 +1,102 @@
+"""Experiment configuration objects: smoke/paper constructors and guards."""
+
+import pytest
+
+from repro.experiments.ablation import AblationConfig
+from repro.experiments.illustrative import IllustrativeConfig
+from repro.experiments.main_mixed import MainMixedConfig, TECHNIQUE_NAMES
+from repro.experiments.migration import MigrationOverheadConfig
+from repro.experiments.model_eval import ModelEvalConfig
+from repro.experiments.motivation import MotivationConfig
+from repro.experiments.nas import NASConfig
+from repro.experiments.overhead import OverheadConfig
+from repro.experiments.report import ReportScale
+from repro.experiments.single_app import SingleAppConfig
+
+ALL_CONFIGS = [
+    MotivationConfig,
+    NASConfig,
+    MigrationOverheadConfig,
+    IllustrativeConfig,
+    MainMixedConfig,
+    SingleAppConfig,
+    ModelEvalConfig,
+    OverheadConfig,
+    AblationConfig,
+]
+
+
+class TestConstructors:
+    @pytest.mark.parametrize("config_cls", ALL_CONFIGS)
+    def test_smoke_and_paper_construct(self, config_cls):
+        assert config_cls.smoke() is not None
+        assert config_cls.paper() is not None
+
+    @pytest.mark.parametrize("config_cls", ALL_CONFIGS)
+    def test_smoke_is_not_paper(self, config_cls):
+        assert config_cls.smoke() != config_cls.paper()
+
+
+class TestPaperParameters:
+    def test_main_mixed_paper_matches_paper_setup(self):
+        cfg = MainMixedConfig.paper()
+        assert cfg.n_apps == 20           # 20 randomly selected applications
+        assert cfg.repetitions == 3       # three models / repetitions
+        assert len(cfg.coolings) == 2     # fan and no fan
+        assert set(cfg.techniques) == set(TECHNIQUE_NAMES)
+
+    def test_single_app_paper_covers_all_unseen_apps(self):
+        cfg = SingleAppConfig.paper()
+        assert len(cfg.apps) == 10  # 8 PARSEC + 2 held-out kernels
+        assert cfg.repetitions == 3
+
+    def test_nas_paper_grid_contains_best_topology(self):
+        cfg = NASConfig.paper()
+        assert 4 in cfg.depths
+        assert 64 in cfg.widths
+
+    def test_migration_paper_uses_parsec_pool(self):
+        cfg = MigrationOverheadConfig.paper()
+        assert len(cfg.apps) == 8
+        assert cfg.epoch_s == pytest.approx(0.5)  # the migration epoch
+
+    def test_motivation_paper_studies_adi_and_seidel(self):
+        cfg = MotivationConfig.paper()
+        assert set(cfg.apps) == {"adi", "seidel-2d"}
+        assert cfg.qos_fraction == pytest.approx(0.3)
+
+    def test_overhead_paper_covers_one_to_eight_apps(self):
+        cfg = OverheadConfig.paper()
+        assert min(cfg.app_counts) == 1
+        assert max(cfg.app_counts) == 8
+
+
+class TestValidation:
+    def test_motivation_rejects_zero_duration(self):
+        with pytest.raises(ValueError):
+            MotivationConfig(observe_s=0.0)
+
+    def test_model_eval_rejects_zero_scenarios(self):
+        with pytest.raises(ValueError):
+            ModelEvalConfig(n_scenarios=0)
+
+    def test_migration_rejects_zero_repetitions(self):
+        with pytest.raises(ValueError):
+            MigrationOverheadConfig(repetitions=0)
+
+
+class TestReportScale:
+    @pytest.mark.parametrize("name", ["smoke", "medium", "paper"])
+    def test_scales_construct(self, name):
+        scale = getattr(ReportScale, name)()
+        assert scale.name == name
+
+    def test_medium_between_smoke_and_paper(self):
+        smoke = ReportScale.smoke()
+        medium = ReportScale.medium()
+        paper = ReportScale.paper()
+        assert (
+            smoke.main_mixed.n_apps
+            <= medium.main_mixed.n_apps
+            <= paper.main_mixed.n_apps
+        )

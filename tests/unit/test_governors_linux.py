@@ -1,0 +1,98 @@
+"""Linux governors: ondemand, powersave, performance."""
+
+import dataclasses
+
+import pytest
+
+from repro.apps import get_app
+from repro.governors.linux import (
+    OndemandGovernor,
+    PerformanceGovernor,
+    PowersaveGovernor,
+)
+from repro.platform import hikey970
+from repro.platform.hikey import BIG, LITTLE
+from repro.sim import SimConfig, Simulator
+from repro.thermal import FAN_COOLING
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return hikey970()
+
+
+def _sim(platform):
+    return Simulator(
+        platform,
+        FAN_COOLING,
+        config=SimConfig(dt_s=0.01, model_overhead_on_core=None),
+        sensor_noise_std_c=0.0,
+    )
+
+
+def _long(name):
+    return dataclasses.replace(get_app(name), total_instructions=1e15)
+
+
+class TestPowersave:
+    def test_pins_minimum(self, platform):
+        sim = _sim(platform)
+        sim.set_vf_level(BIG, platform.cluster(BIG).vf_table.max_level)
+        PowersaveGovernor().attach(sim)
+        sim.run_for(0.2)
+        for cluster in platform.clusters:
+            assert sim.vf_level(cluster.name) == cluster.vf_table.min_level
+
+    def test_effect_is_immediate(self, platform):
+        sim = _sim(platform)
+        sim.set_vf_level(BIG, platform.cluster(BIG).vf_table.max_level)
+        PowersaveGovernor().attach(sim)
+        assert sim.vf_level(BIG) == platform.cluster(BIG).vf_table.min_level
+
+
+class TestPerformance:
+    def test_pins_maximum(self, platform):
+        sim = _sim(platform)
+        PerformanceGovernor().attach(sim)
+        sim.run_for(0.2)
+        for cluster in platform.clusters:
+            assert sim.vf_level(cluster.name) == cluster.vf_table.max_level
+
+
+class TestOndemand:
+    def test_busy_cluster_jumps_to_max(self, platform):
+        sim = _sim(platform)
+        sim.submit(_long("swaptions"), 1e6, 0.0)
+        sim.placement_policy = lambda s, p: 4
+        OndemandGovernor().attach(sim)
+        sim.run_for(0.3)
+        assert sim.vf_level(BIG) == platform.cluster(BIG).vf_table.max_level
+
+    def test_idle_cluster_steps_down(self, platform):
+        sim = _sim(platform)
+        sim.set_vf_level(LITTLE, platform.cluster(LITTLE).vf_table.max_level)
+        OndemandGovernor().attach(sim)
+        sim.run_for(1.5)
+        assert sim.vf_level(LITTLE) == platform.cluster(LITTLE).vf_table.min_level
+
+    def test_step_down_is_gradual(self, platform):
+        sim = _sim(platform)
+        table = platform.cluster(LITTLE).vf_table
+        sim.set_vf_level(LITTLE, table.max_level)
+        gov = OndemandGovernor(sampling_period_s=0.1)
+        gov.attach(sim)
+        sim.run_for(0.15)  # one governor invocation
+        assert sim.vf_level(LITTLE).frequency_hz == table[-2].frequency_hz
+
+    def test_clusters_independent(self, platform):
+        sim = _sim(platform)
+        sim.submit(_long("swaptions"), 1e6, 0.0)
+        sim.placement_policy = lambda s, p: 4  # busy big, idle LITTLE
+        OndemandGovernor().attach(sim)
+        sim.run_for(1.5)
+        assert sim.vf_level(BIG) == platform.cluster(BIG).vf_table.max_level
+        assert sim.vf_level(LITTLE) == platform.cluster(LITTLE).vf_table.min_level
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            OndemandGovernor(up_threshold=0.5, down_threshold=0.8)

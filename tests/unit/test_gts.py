@@ -1,0 +1,95 @@
+"""GTS scheduler: placement, up-migration, spreading."""
+
+import dataclasses
+
+import pytest
+
+from repro.apps import get_app
+from repro.governors.gts import GTSScheduler
+from repro.platform import hikey970
+from repro.platform.hikey import BIG, LITTLE
+from repro.sim import SimConfig, Simulator
+from repro.thermal import FAN_COOLING
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return hikey970()
+
+
+def _sim(platform):
+    return Simulator(
+        platform,
+        FAN_COOLING,
+        config=SimConfig(dt_s=0.01, model_overhead_on_core=None),
+        sensor_noise_std_c=0.0,
+    )
+
+
+def _long(name="adi"):
+    return dataclasses.replace(get_app(name), total_instructions=1e15)
+
+
+class TestPlacement:
+    def test_prefers_big_cluster(self, platform):
+        sim = _sim(platform)
+        GTSScheduler().attach(sim)
+        pid = sim.submit(_long(), 1e8, 0.0)
+        sim.step()
+        assert sim.process(pid).core_id in platform.cores_in_cluster(BIG)
+
+    def test_fills_big_then_little(self, platform):
+        sim = _sim(platform)
+        GTSScheduler().attach(sim)
+        pids = [sim.submit(_long(), 1e8, 0.0) for _ in range(6)]
+        sim.step()
+        big_cores = set(platform.cores_in_cluster(BIG))
+        on_big = [p for p in pids if sim.process(p).core_id in big_cores]
+        assert len(on_big) == 4
+        assert all(sim.process(p).core_id is not None for p in pids)
+
+    def test_overflow_shares_big_cores(self, platform):
+        sim = _sim(platform)
+        GTSScheduler().attach(sim)
+        pids = [sim.submit(_long(), 1e8, 0.0) for _ in range(10)]
+        sim.step()
+        counts = [len(sim.processes_on_core(c)) for c in range(8)]
+        assert max(counts) == 2
+        assert sum(counts) == 10
+
+
+class TestBalancing:
+    def test_up_migration_when_big_frees(self, platform):
+        sim = _sim(platform)
+        gts = GTSScheduler(balance_period_s=0.05)
+        gts.attach(sim)
+        little_pid = sim.submit(_long(), 1e8, 0.0)
+        sim.placement_policy = lambda s, p: 0  # force onto LITTLE
+        sim.step()
+        assert sim.process(little_pid).core_id == 0
+        sim.placement_policy = gts.place
+        sim.run_for(0.2)  # balance passes run
+        assert sim.process(little_pid).core_id in platform.cores_in_cluster(BIG)
+
+    def test_spreading_from_crowded_core(self, platform):
+        sim = _sim(platform)
+        gts = GTSScheduler(balance_period_s=0.05)
+        gts.attach(sim)
+        pids = [sim.submit(_long(), 1e8, 0.0) for _ in range(2)]
+        sim.placement_policy = lambda s, p: 4  # both on core 4
+        sim.step()
+        sim.placement_policy = gts.place
+        sim.run_for(0.2)
+        cores = {sim.process(p).core_id for p in pids}
+        assert len(cores) == 2
+
+    def test_balance_idempotent_when_spread(self, platform):
+        sim = _sim(platform)
+        gts = GTSScheduler(balance_period_s=0.05)
+        gts.attach(sim)
+        pids = [sim.submit(_long(), 1e8, 0.0) for _ in range(4)]
+        sim.run_for(0.3)
+        before = {p: sim.process(p).core_id for p in pids}
+        sim.run_for(0.3)
+        after = {p: sim.process(p).core_id for p in pids}
+        assert before == after

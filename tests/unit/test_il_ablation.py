@@ -1,0 +1,132 @@
+"""Ablation utilities: feature masking and greedy multi-migration."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.apps import get_app
+from repro.il.ablation import (
+    F_WO_AOI_FEATURES,
+    FeatureMaskedModel,
+    GreedyMultiMigrationPolicy,
+    train_masked_model,
+)
+from repro.il.dataset import ILDataset
+from repro.nn.layers import build_mlp
+from repro.nn.training import TrainingConfig
+from repro.sim import SimConfig, Simulator
+from repro.thermal import FAN_COOLING
+from repro.utils.rng import RandomSource
+
+
+class TestFeatureMaskedModel:
+    def test_masked_features_ignored(self):
+        inner = build_mlp(21, 8, 1, 8, RandomSource(0))
+        model = FeatureMaskedModel(inner, F_WO_AOI_FEATURES)
+        x = np.ones((2, 21))
+        y = model.forward(x)
+        x2 = x.copy()
+        x2[:, list(F_WO_AOI_FEATURES)] = 123.0  # must not matter
+        assert np.allclose(model.forward(x2), y)
+
+    def test_unmasked_features_still_matter(self):
+        inner = build_mlp(21, 8, 1, 8, RandomSource(0))
+        model = FeatureMaskedModel(inner, F_WO_AOI_FEATURES)
+        x = np.ones((1, 21))
+        x2 = x.copy()
+        x2[0, 0] = 5.0
+        assert not np.allclose(model.forward(x2), model.forward(x))
+
+    def test_mask_does_not_mutate_input(self):
+        inner = build_mlp(21, 8, 0, 8, RandomSource(0))
+        model = FeatureMaskedModel(inner, (1,))
+        x = np.ones((1, 21))
+        model.forward(x)
+        assert x[0, 1] == 1.0
+
+    def test_empty_mask_is_identity(self):
+        inner = build_mlp(4, 2, 0, 4, RandomSource(0))
+        model = FeatureMaskedModel(inner, ())
+        x = np.arange(4.0).reshape(1, 4)
+        assert np.allclose(model.forward(x), inner.forward(x))
+
+
+class TestTrainMaskedModel:
+    def test_trains_and_predicts(self):
+        rng = RandomSource(0)
+        features = rng.normal(size=(60, 21))
+        labels = np.tanh(features[:, :8])
+        dataset = ILDataset(features, labels, [("adi", 0)] * 60)
+        model = train_masked_model(
+            dataset,
+            masked_features=(2,),
+            hidden_layers=1,
+            hidden_width=8,
+            training=TrainingConfig(max_epochs=20, patience=10),
+        )
+        assert model.forward(features[:3]).shape == (3, 8)
+
+    def test_empty_dataset_rejected(self):
+        dataset = ILDataset(np.zeros((0, 21)), np.zeros((0, 8)), [])
+        with pytest.raises(ValueError):
+            train_masked_model(dataset)
+
+
+class _AllCoresGoodModel:
+    """Rates every free core far above any current mapping."""
+
+    def forward(self, batch):
+        batch = np.atleast_2d(batch)
+        out = np.full((batch.shape[0], 8), 0.9)
+        # The one-hot mapping occupies columns 3..10.
+        current = np.argmax(batch[:, 3:11], axis=1)
+        out[np.arange(batch.shape[0]), current] = 0.0
+        return out
+
+
+class TestGreedyMultiMigration:
+    def _sim(self, platform):
+        return Simulator(
+            platform,
+            FAN_COOLING,
+            config=SimConfig(dt_s=0.01, model_overhead_on_core=None),
+            sensor_noise_std_c=0.0,
+        )
+
+    def test_moves_multiple_apps_in_one_epoch(self, platform):
+        sim = self._sim(platform)
+        policy = GreedyMultiMigrationPolicy(_AllCoresGoodModel(), period_s=0.5)
+        app = dataclasses.replace(get_app("adi"), total_instructions=1e15)
+        for _ in range(3):
+            sim.submit(app, 1e8, 0.0)
+        order = iter([0, 1, 2])
+        sim.placement_policy = lambda s, p: next(order)
+        sim.run_for(0.3)
+        policy(sim)
+        assert policy.migrations_executed >= 2
+
+    def test_no_two_apps_share_a_target(self, platform):
+        sim = self._sim(platform)
+        policy = GreedyMultiMigrationPolicy(_AllCoresGoodModel(), period_s=0.5)
+        app = dataclasses.replace(get_app("adi"), total_instructions=1e15)
+        for _ in range(4):
+            sim.submit(app, 1e8, 0.0)
+        order = iter([0, 1, 2, 3])
+        sim.placement_policy = lambda s, p: next(order)
+        sim.run_for(0.3)
+        policy(sim)
+        cores = [p.core_id for p in sim.running_processes()]
+        assert len(cores) == len(set(cores))
+
+    def test_each_app_moves_at_most_once_per_epoch(self, platform):
+        sim = self._sim(platform)
+        policy = GreedyMultiMigrationPolicy(_AllCoresGoodModel(), period_s=0.5)
+        app = dataclasses.replace(get_app("adi"), total_instructions=1e15)
+        sim.submit(app, 1e8, 0.0)
+        sim.placement_policy = lambda s, p: 0
+        sim.run_for(0.3)
+        before = sim.running_processes()[0].migration_count
+        policy(sim)
+        after = sim.running_processes()[0].migration_count
+        assert after - before <= 1

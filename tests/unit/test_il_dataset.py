@@ -1,0 +1,194 @@
+"""Training-data extraction: Eq. 3 trace selection and Eq. 4 labels."""
+
+import numpy as np
+import pytest
+
+from repro.il.dataset import (
+    DatasetBuilder,
+    ILDataset,
+    LabelConfig,
+    _Selection,
+)
+from repro.il.traces import TracePoint
+from repro.platform import hikey970  # noqa: F401 (platform fixture lives in conftest)
+from repro.platform.hikey import BIG, LITTLE
+
+
+# The session-scoped `platform` fixture comes from tests/conftest.py.
+
+
+@pytest.fixture
+def builder(platform):
+    return DatasetBuilder(platform)
+
+
+def _point(core, temp, ips=1e9):
+    return TracePoint(
+        aoi_core=core,
+        f_hz=((BIG, 1e9), (LITTLE, 1e9)),
+        aoi_ips=ips,
+        aoi_l2d_rate=1e7,
+        peak_temp_c=temp,
+    )
+
+
+class TestLabels:
+    def test_optimal_mapping_gets_one(self, builder):
+        sels = {
+            0: _Selection(_point(0, 40.0), {}),
+            4: _Selection(_point(4, 45.0), {}),
+        }
+        labels = builder.make_labels(sels, occupied=[])
+        assert labels[0] == pytest.approx(1.0)
+
+    def test_soft_decay_matches_eq4(self, builder):
+        """l_j = exp(-alpha (T_j - T_min)) with alpha = 1."""
+        sels = {
+            0: _Selection(_point(0, 40.0), {}),
+            4: _Selection(_point(4, 44.0), {}),
+        }
+        labels = builder.make_labels(sels, occupied=[])
+        assert labels[4] == pytest.approx(np.exp(-4.0))
+
+    def test_paper_example_line_one(self, builder):
+        """42.5C vs 46.6C -> labels 1.00 and 0.02 (Fig. 2c line I)."""
+        sels = {
+            3: _Selection(_point(3, 42.5), {}),
+            6: _Selection(_point(6, 46.6), {}),
+        }
+        labels = builder.make_labels(sels, occupied=[0, 1, 2, 4, 5, 7])
+        assert labels[3] == pytest.approx(1.0)
+        assert labels[6] == pytest.approx(0.0166, abs=0.005)
+
+    def test_infeasible_core_gets_minus_one(self, builder):
+        sels = {
+            3: _Selection(None, {}),
+            6: _Selection(_point(6, 52.2), {}),
+        }
+        labels = builder.make_labels(sels, occupied=[])
+        assert labels[3] == -1.0
+        assert labels[6] == pytest.approx(1.0)
+
+    def test_occupied_cores_get_zero(self, builder):
+        sels = {0: _Selection(_point(0, 40.0), {})}
+        labels = builder.make_labels(sels, occupied=[1, 2])
+        assert labels[1] == 0.0 and labels[2] == 0.0
+
+    def test_all_infeasible_returns_none(self, builder):
+        sels = {0: _Selection(None, {}), 4: _Selection(None, {})}
+        assert builder.make_labels(sels, occupied=[]) is None
+
+    def test_alpha_controls_decay(self, platform):
+        sharp = DatasetBuilder(platform, LabelConfig(alpha=2.0))
+        sels = {
+            0: _Selection(_point(0, 40.0), {}),
+            4: _Selection(_point(4, 41.0), {}),
+        }
+        labels = sharp.make_labels(sels, occupied=[])
+        assert labels[4] == pytest.approx(np.exp(-2.0))
+
+    def test_hard_labels_one_hot(self, platform):
+        hard = DatasetBuilder(platform, LabelConfig(hard_labels=True))
+        sels = {
+            0: _Selection(_point(0, 40.0), {}),
+            4: _Selection(_point(4, 41.0), {}),
+        }
+        labels = hard.make_labels(sels, occupied=[])
+        assert labels[0] == 1.0 and labels[4] == 0.0
+
+
+class TestSelectTrace:
+    def test_respects_background_floor(self, builder, tiny_trace_grid):
+        grid = tiny_trace_grid
+        hi_l = grid.vf_grid[LITTLE][-1]
+        f_wo = {LITTLE: hi_l, BIG: grid.vf_grid[BIG][0]}
+        sel = builder.select_trace(grid, 0, qos_target=1.0, f_wo_aoi=f_wo)
+        assert sel.f_hz[LITTLE] == hi_l
+
+    def test_raises_aoi_cluster_until_target(self, builder, tiny_trace_grid):
+        grid = tiny_trace_grid
+        f_wo = {n: grid.vf_grid[n][0] for n in grid.vf_grid}
+        easy = builder.select_trace(grid, 0, qos_target=1.0, f_wo_aoi=f_wo)
+        hard_target = grid.lookup(
+            0, {LITTLE: grid.vf_grid[LITTLE][-1], BIG: grid.vf_grid[BIG][0]}
+        ).aoi_ips * 0.99
+        hard = builder.select_trace(grid, 0, hard_target, f_wo_aoi=f_wo)
+        assert hard.f_hz[LITTLE] > easy.f_hz[LITTLE]
+
+    def test_infeasible_returns_none_point(self, builder, tiny_trace_grid):
+        grid = tiny_trace_grid
+        f_wo = {n: grid.vf_grid[n][0] for n in grid.vf_grid}
+        sel = builder.select_trace(grid, 0, qos_target=1e12, f_wo_aoi=f_wo)
+        assert sel.point is None
+
+    def test_non_aoi_cluster_stays_at_background_level(
+        self, builder, tiny_trace_grid
+    ):
+        grid = tiny_trace_grid
+        f_wo = {n: grid.vf_grid[n][0] for n in grid.vf_grid}
+        sel = builder.select_trace(grid, 0, qos_target=1.0, f_wo_aoi=f_wo)
+        assert sel.f_hz[BIG] == grid.vf_grid[BIG][0]
+
+
+class TestBuildFromGrid:
+    def test_examples_generated(self, builder, tiny_trace_grid):
+        dataset = builder.build_from_grid(tiny_trace_grid)
+        assert len(dataset) > 0
+        assert dataset.features.shape[1] == builder.extractor.n_features
+        assert dataset.labels.shape[1] == 8
+
+    def test_labels_within_range(self, builder, tiny_trace_grid):
+        dataset = builder.build_from_grid(tiny_trace_grid)
+        assert dataset.labels.min() >= -1.0
+        assert dataset.labels.max() <= 1.0
+
+    def test_every_label_row_has_an_optimum_or_infeasible(
+        self, builder, tiny_trace_grid
+    ):
+        dataset = builder.build_from_grid(tiny_trace_grid)
+        for row in dataset.labels:
+            assert row.max() == pytest.approx(1.0)
+
+    def test_meta_records_aoi_and_source(self, builder, tiny_trace_grid):
+        dataset = builder.build_from_grid(tiny_trace_grid)
+        apps = {m[0] for m in dataset.meta}
+        sources = {m[1] for m in dataset.meta}
+        assert apps == {"seidel-2d"}
+        assert sources.issubset({0, 4})
+
+    def test_occupied_cores_labeled_zero(self, builder, tiny_trace_grid):
+        dataset = builder.build_from_grid(tiny_trace_grid)
+        # Background sits on cores 1 and 5 in the fixture scenario.
+        assert np.all(dataset.labels[:, 1] == 0.0)
+        assert np.all(dataset.labels[:, 5] == 0.0)
+
+
+class TestILDataset:
+    def _dataset(self):
+        return ILDataset(
+            features=np.arange(12).reshape(3, 4).astype(float),
+            labels=np.ones((3, 2)),
+            meta=[("adi", 0), ("seidel-2d", 1), ("adi", 2)],
+        )
+
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            ILDataset(np.ones((2, 3)), np.ones((3, 2)), [("a", 0)] * 3)
+
+    def test_filter_by_apps(self):
+        ds = self._dataset().filter_by_apps(["adi"])
+        assert len(ds) == 2
+        assert all(m[0] == "adi" for m in ds.meta)
+
+    def test_merge(self):
+        merged = self._dataset().merge(self._dataset())
+        assert len(merged) == 6
+
+    def test_save_load_roundtrip(self, tmp_path):
+        path = str(tmp_path / "ds.npz")
+        ds = self._dataset()
+        ds.save(path)
+        loaded = ILDataset.load(path)
+        assert np.allclose(loaded.features, ds.features)
+        assert np.allclose(loaded.labels, ds.labels)
+        assert loaded.meta == ds.meta

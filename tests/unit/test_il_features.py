@@ -1,0 +1,126 @@
+"""IL feature extraction (Table 2)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.apps import get_app
+from repro.il.features import FEATURE_COUNT, FeatureExtractor, feature_names
+from repro.platform import hikey970
+from repro.platform.hikey import BIG, LITTLE
+from repro.sim import SimConfig, Simulator
+from repro.thermal import FAN_COOLING
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return hikey970()
+
+
+@pytest.fixture
+def extractor(platform):
+    return FeatureExtractor(platform)
+
+
+def _base_kwargs(platform):
+    return dict(
+        aoi_ips=1.0e9,
+        aoi_l2d_rate=2.0e8,
+        aoi_qos_target=0.8e9,
+        aoi_core=3,
+        f_wo_aoi_hz={LITTLE: 1.4e9, BIG: 0.682e9},
+        f_current_hz={LITTLE: 1.844e9, BIG: 0.682e9},
+        core_utilization={c: 1.0 for c in (0, 1, 2, 3)},
+    )
+
+
+class TestVectorLayout:
+    def test_length_matches_table2(self, extractor, platform):
+        vec = extractor.build(**_base_kwargs(platform))
+        assert len(vec) == FEATURE_COUNT == 21
+
+    def test_names_align_with_length(self, extractor, platform):
+        assert len(feature_names(platform)) == extractor.n_features
+
+    def test_scalar_features_normalized(self, extractor, platform):
+        vec = extractor.build(**_base_kwargs(platform))
+        assert vec[0] == pytest.approx(1.0)   # 1 GIPS
+        assert vec[1] == pytest.approx(2.0)   # 2e8 L2D/s
+        assert vec[2] == pytest.approx(0.8)   # QoS target
+
+    def test_mapping_one_hot(self, extractor, platform):
+        vec = extractor.build(**_base_kwargs(platform))
+        onehot = vec[3:11]
+        assert onehot[3] == 1.0
+        assert onehot.sum() == 1.0
+
+    def test_f_wo_aoi_ratios(self, extractor, platform):
+        vec = extractor.build(**_base_kwargs(platform))
+        # Clusters appear in platform order: LITTLE then big.
+        assert vec[11] == pytest.approx(1.4e9 / 1.844e9)
+        assert vec[12] == pytest.approx(1.0)
+
+    def test_core_utilizations(self, extractor, platform):
+        vec = extractor.build(**_base_kwargs(platform))
+        assert np.allclose(vec[13:21], [1, 1, 1, 1, 0, 0, 0, 0])
+
+    def test_invalid_core_rejected(self, extractor, platform):
+        kwargs = _base_kwargs(platform)
+        kwargs["aoi_core"] = 9
+        with pytest.raises(ValueError):
+            extractor.build(**kwargs)
+
+
+class TestRuntimeExtraction:
+    def _sim(self, platform):
+        sim = Simulator(
+            platform,
+            FAN_COOLING,
+            config=SimConfig(dt_s=0.01, model_overhead_on_core=None),
+            sensor_noise_std_c=0.0,
+        )
+        return sim
+
+    def test_from_simulator_layout(self, platform, extractor):
+        sim = self._sim(platform)
+        app = dataclasses.replace(get_app("adi"), total_instructions=1e15)
+        pid = sim.submit(app, 5e8, 0.0)
+        sim.placement_policy = lambda s, p: 4
+        sim.run_for(0.5)
+        vec = extractor.from_simulator(sim, sim.process(pid))
+        assert vec[3 + 4] == 1.0  # mapped to core 4
+        assert vec[13 + 4] == 1.0  # core 4 busy
+        assert vec[0] > 0  # live IPS reading
+
+    def test_f_wo_aoi_empty_cluster_needs_minimum(self, platform, extractor):
+        sim = self._sim(platform)
+        app = dataclasses.replace(get_app("adi"), total_instructions=1e15)
+        pid = sim.submit(app, 5e8, 0.0)
+        sim.placement_policy = lambda s, p: 4
+        sim.run_for(0.3)
+        needs = extractor.required_level_without(sim, sim.process(pid))
+        for cluster in platform.clusters:
+            assert needs[cluster.name] == pytest.approx(
+                cluster.vf_table.min_level.frequency_hz
+            )
+
+    def test_f_wo_aoi_reflects_background_demand(self, platform, extractor):
+        sim = self._sim(platform)
+        hungry = dataclasses.replace(get_app("syr2k"), total_instructions=1e15)
+        table = platform.cluster(LITTLE).vf_table
+        target = 0.9 * get_app("syr2k").max_ips(LITTLE, table)
+        aoi_pid = sim.submit(hungry, 1e6, 0.0)
+        bg_pid = sim.submit(hungry, target, 0.0)
+        order = iter([4, 0])  # AoI on big, background on LITTLE
+        sim.placement_policy = lambda s, p: next(order)
+        sim.set_vf_level(LITTLE, table.max_level)
+        sim.run_for(0.5)
+        needs = extractor.required_level_without(sim, sim.process(aoi_pid))
+        assert needs[LITTLE] > table.min_level.frequency_hz
+
+    def test_not_running_aoi_rejected(self, platform, extractor):
+        sim = self._sim(platform)
+        pid = sim.submit(get_app("adi"), 1e8, arrival_time_s=10.0)
+        with pytest.raises(ValueError):
+            extractor.from_simulator(sim, sim.process(pid))

@@ -1,0 +1,82 @@
+"""Design-time pipeline: scenario generation and end-to-end flow."""
+
+import pytest
+
+from repro.il.pipeline import PipelineConfig, generate_scenarios
+from repro.utils.rng import RandomSource
+
+
+class TestGenerateScenarios:
+    def test_count(self, platform):
+        scenarios = generate_scenarios(
+            platform, ["adi", "syr2k"], 20, RandomSource(0)
+        )
+        assert len(scenarios) == 20
+
+    def test_always_a_free_core(self, platform):
+        scenarios = generate_scenarios(
+            platform, ["adi"], 50, RandomSource(1), max_background_apps=7
+        )
+        assert all(s.free_cores(platform) for s in scenarios)
+
+    def test_background_cores_distinct(self, platform):
+        scenarios = generate_scenarios(platform, ["adi"], 50, RandomSource(2))
+        for s in scenarios:
+            cores = [c for c, _ in s.background]
+            assert len(cores) == len(set(cores))
+
+    def test_aoi_from_requested_apps(self, platform):
+        apps = ["adi", "seidel-2d"]
+        scenarios = generate_scenarios(platform, apps, 30, RandomSource(3))
+        assert {s.aoi_app for s in scenarios}.issubset(set(apps))
+
+    def test_deterministic_given_seed(self, platform):
+        a = generate_scenarios(platform, ["adi"], 10, RandomSource(7))
+        b = generate_scenarios(platform, ["adi"], 10, RandomSource(7))
+        assert a == b
+
+    def test_background_sizes_vary(self, platform):
+        scenarios = generate_scenarios(platform, ["adi"], 60, RandomSource(4))
+        sizes = {len(s.background) for s in scenarios}
+        assert len(sizes) >= 4  # includes empty and crowded systems
+
+
+class TestPipelineConfig:
+    def test_rejects_empty_apps(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(apps=())
+
+    def test_rejects_zero_scenarios(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(n_scenarios=0)
+
+
+class TestSessionAssets:
+    """End-to-end checks against the session-scoped smoke assets."""
+
+    def test_dataset_nonempty_and_shaped(self, assets):
+        ds = assets.dataset()
+        assert len(ds) > 50
+        assert ds.features.shape[1] == 21
+        assert ds.labels.shape[1] == 8
+
+    def test_models_trained_and_distinct(self, assets):
+        models = assets.models()
+        assert len(models) == 2
+        x = assets.dataset().features[:4]
+        out0, out1 = models[0].forward(x), models[1].forward(x)
+        assert out0.shape == (4, 8)
+        assert not (out0 == out1).all()  # different seeds -> different weights
+
+    def test_model_fits_training_data_reasonably(self, assets):
+        from repro.nn.losses import MSELoss
+
+        ds = assets.dataset()
+        loss, _ = MSELoss()(assets.models()[0].forward(ds.features), ds.labels)
+        assert loss < 0.15
+
+    def test_dataset_cached_on_disk(self, assets):
+        import os
+
+        cache_files = os.listdir(assets.config.cache_dir)
+        assert any(f.startswith("il-dataset") for f in cache_files)

@@ -1,0 +1,142 @@
+"""TOP-IL run-time migration policy."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.apps import get_app
+from repro.governors.qos_dvfs import QoSDVFSControlLoop
+from repro.il.policy import TopILMigrationPolicy
+from repro.nn.layers import build_mlp
+from repro.sim import SimConfig, Simulator
+from repro.thermal import FAN_COOLING
+from repro.utils.rng import RandomSource
+
+
+class _FixedModel:
+    """A stand-in model returning a constant rating matrix."""
+
+    def __init__(self, ratings_per_core):
+        self.ratings = np.asarray(ratings_per_core, dtype=float)
+
+    def forward(self, batch):
+        batch = np.atleast_2d(batch)
+        return np.tile(self.ratings, (batch.shape[0], 1))
+
+
+def _sim(platform):
+    return Simulator(
+        platform,
+        FAN_COOLING,
+        config=SimConfig(dt_s=0.01, model_overhead_on_core=None),
+        sensor_noise_std_c=0.0,
+    )
+
+
+def _long(name="adi"):
+    return dataclasses.replace(get_app(name), total_instructions=1e15)
+
+
+def _real_model():
+    return build_mlp(21, 8, 2, 16, RandomSource(0))
+
+
+class TestBestMigration:
+    def test_prefers_highest_improvement(self, platform):
+        sim = _sim(platform)
+        pid = sim.submit(_long(), 1e8, 0.0)
+        sim.placement_policy = lambda s, p: 0
+        sim.run_for(0.2)
+        ratings = np.zeros((1, 8))
+        ratings[0, 6] = 0.9  # core 6 much better than current core 0
+        policy = TopILMigrationPolicy(_real_model())
+        best = policy.best_migration(sim, sim.running_processes(), ratings)
+        assert best == (pid, 6, pytest.approx(0.9))
+
+    def test_occupied_cores_excluded(self, platform):
+        sim = _sim(platform)
+        sim.submit(_long(), 1e8, 0.0)
+        sim.submit(_long(), 1e8, 0.0)
+        order = iter([0, 6])
+        sim.placement_policy = lambda s, p: next(order)
+        sim.run_for(0.2)
+        procs = sim.running_processes()
+        ratings = np.zeros((2, 8))
+        ratings[0, 6] = 5.0  # tempting but occupied by the other process
+        ratings[0, 5] = 0.5
+        policy = TopILMigrationPolicy(_real_model())
+        best = policy.best_migration(sim, procs, ratings)
+        assert best[1] == 5
+
+    def test_improvement_relative_to_current_core(self, platform):
+        sim = _sim(platform)
+        pid = sim.submit(_long(), 1e8, 0.0)
+        sim.placement_policy = lambda s, p: 2
+        sim.run_for(0.2)
+        ratings = np.full((1, 8), 0.5)
+        ratings[0, 2] = 0.9  # current core already best
+        policy = TopILMigrationPolicy(_real_model())
+        best = policy.best_migration(sim, sim.running_processes(), ratings)
+        assert best[2] < 0  # any move is a downgrade
+
+
+class TestEpochBehaviour:
+    def test_executes_single_best_migration(self, platform):
+        sim = _sim(platform)
+        model = _FixedModel([0, 0, 0, 0, 0.9, 0, 0, 0])
+        policy = TopILMigrationPolicy(model, period_s=0.5)
+        pid = sim.submit(_long(), 1e8, 0.0)
+        sim.placement_policy = lambda s, p: 0
+        policy.attach(sim)
+        sim.run_for(0.6)
+        assert sim.process(pid).core_id == 4
+        assert policy.migrations_executed == 1
+
+    def test_hysteresis_blocks_tiny_improvements(self, platform):
+        sim = _sim(platform)
+        model = _FixedModel([0.50, 0.51, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5])
+        policy = TopILMigrationPolicy(model, improvement_threshold=0.05)
+        pid = sim.submit(_long(), 1e8, 0.0)
+        sim.placement_policy = lambda s, p: 0
+        policy.attach(sim)
+        sim.run_for(1.2)
+        assert sim.process(pid).core_id == 0
+        assert policy.migrations_executed == 0
+
+    def test_notifies_dvfs_loop(self, platform):
+        sim = _sim(platform)
+        loop = QoSDVFSControlLoop(period_s=0.05)
+        model = _FixedModel([0, 0, 0, 0, 0.9, 0, 0, 0])
+        policy = TopILMigrationPolicy(model, period_s=0.3, dvfs_loop=loop)
+        sim.submit(_long(), 1e8, 0.0)
+        sim.placement_policy = lambda s, p: 0
+        loop.attach(sim)
+        policy.attach(sim)
+        sim.run_for(0.6)
+        assert loop.skipped >= 2
+
+    def test_overhead_charged_every_epoch(self, platform):
+        sim = _sim(platform)
+        policy = TopILMigrationPolicy(_real_model(), period_s=0.25)
+        sim.submit(_long(), 1e8, 0.0)
+        policy.attach(sim)
+        sim.run_for(1.1)
+        assert sim.overhead_cpu_s["migration"] > 0
+        assert policy.invocations == 4
+
+    def test_idle_system_is_safe(self, platform):
+        sim = _sim(platform)
+        policy = TopILMigrationPolicy(_real_model(), period_s=0.2)
+        policy.attach(sim)
+        sim.run_for(0.5)  # no processes: must not raise
+        assert policy.migrations_executed == 0
+
+    def test_parallel_inference_one_row_per_app(self, platform):
+        sim = _sim(platform)
+        for _ in range(3):
+            sim.submit(_long(), 1e8, 0.0)
+        sim.run_for(0.2)
+        policy = TopILMigrationPolicy(_real_model())
+        ratings = policy.rate_mappings(sim, sim.running_processes())
+        assert ratings.shape == (3, 8)

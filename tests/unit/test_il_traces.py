@@ -1,0 +1,94 @@
+"""Oracle trace collection."""
+
+import pytest
+
+from repro.il.traces import TraceCollector, TracePoint, TraceScenario
+from repro.platform import hikey970  # noqa: F401 (platform fixture lives in conftest)
+from repro.platform.hikey import BIG, LITTLE
+
+
+# The session-scoped `platform` fixture comes from tests/conftest.py.
+
+
+class TestTraceScenario:
+    def test_free_cores(self, platform):
+        scenario = TraceScenario("adi", ((0, "syr2k"), (4, "heat-3d")))
+        assert scenario.free_cores(platform) == [1, 2, 3, 5, 6, 7]
+
+    def test_background_dict(self):
+        scenario = TraceScenario("adi", ((0, "syr2k"),))
+        assert scenario.background_dict() == {0: "syr2k"}
+
+
+class TestTraceGrid:
+    def test_lookup_roundtrip(self, tiny_trace_grid):
+        grid = tiny_trace_grid
+        freqs = {name: grid.vf_grid[name][0] for name in grid.vf_grid}
+        point = grid.lookup(0, freqs)
+        assert isinstance(point, TracePoint)
+        assert point.aoi_core == 0
+
+    def test_aoi_cores(self, tiny_trace_grid):
+        assert tiny_trace_grid.aoi_cores() == [0, 4]
+
+    def test_complete_grid(self, tiny_trace_grid):
+        """2 cores x 2 LITTLE levels x 2 big levels = 8 points."""
+        assert len(tiny_trace_grid.points) == 8
+
+    def test_max_aoi_ips_positive(self, tiny_trace_grid):
+        assert tiny_trace_grid.max_aoi_ips() > 1e8
+
+
+class TestTracePhysics:
+    def test_ips_grows_with_own_cluster_frequency(self, tiny_trace_grid):
+        grid = tiny_trace_grid
+        lo = {n: grid.vf_grid[n][0] for n in grid.vf_grid}
+        hi = dict(lo)
+        hi[LITTLE] = grid.vf_grid[LITTLE][-1]
+        assert grid.lookup(0, hi).aoi_ips > grid.lookup(0, lo).aoi_ips
+
+    def test_temperature_grows_with_frequency(self, tiny_trace_grid):
+        grid = tiny_trace_grid
+        lo = {n: grid.vf_grid[n][0] for n in grid.vf_grid}
+        hi = {n: grid.vf_grid[n][-1] for n in grid.vf_grid}
+        assert grid.lookup(4, hi).peak_temp_c > grid.lookup(4, lo).peak_temp_c
+
+    def test_big_mapping_faster_at_equal_level_index(self, tiny_trace_grid):
+        grid = tiny_trace_grid
+        freqs_hi = {n: grid.vf_grid[n][-1] for n in grid.vf_grid}
+        assert (
+            grid.lookup(4, freqs_hi).aoi_ips > grid.lookup(0, freqs_hi).aoi_ips
+        )
+
+    def test_temperatures_in_sane_range(self, tiny_trace_grid):
+        for point in tiny_trace_grid.points.values():
+            assert 25.0 < point.peak_temp_c < 100.0
+
+    def test_l2d_rate_proportional_to_ips(self, tiny_trace_grid):
+        for point in tiny_trace_grid.points.values():
+            assert point.aoi_l2d_rate == pytest.approx(
+                point.aoi_ips * 0.015, rel=0.2
+            )  # seidel-2d l2d_per_inst = 0.015
+
+
+class TestCollectorValidation:
+    def test_occupied_candidate_rejected(self, platform):
+        collector = TraceCollector(platform, vf_levels_per_cluster=2)
+        scenario = TraceScenario("adi", ((0, "syr2k"),))
+        with pytest.raises(ValueError, match="occupied"):
+            collector.collect(scenario, aoi_cores=[0])
+
+    def test_full_background_rejected(self, platform):
+        collector = TraceCollector(platform, vf_levels_per_cluster=2)
+        scenario = TraceScenario(
+            "adi", tuple((c, "syr2k") for c in range(8))
+        )
+        with pytest.raises(ValueError, match="no free core"):
+            collector.collect(scenario)
+
+    def test_grid_frequencies_sorted(self, platform):
+        collector = TraceCollector(platform, vf_levels_per_cluster=3)
+        grid = collector.grid_frequencies()
+        for freqs in grid.values():
+            assert freqs == sorted(freqs)
+            assert len(freqs) == 3

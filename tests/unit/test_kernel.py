@@ -1,0 +1,320 @@
+"""Simulator kernel: arrivals, execution, thermal coupling, DTM, controllers."""
+
+import dataclasses
+
+import pytest
+
+from repro.apps import get_app
+from repro.platform import hikey970
+from repro.platform.hikey import BIG, LITTLE
+from repro.sim import SimConfig, Simulator
+from repro.thermal import FAN_COOLING, PASSIVE_COOLING
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return hikey970()
+
+
+def _sim(platform, **cfg):
+    config = SimConfig(dt_s=0.01, model_overhead_on_core=None, **cfg)
+    return Simulator(platform, FAN_COOLING, config=config, sensor_noise_std_c=0.0)
+
+
+def _long(app_name):
+    return dataclasses.replace(get_app(app_name), total_instructions=1e15)
+
+
+class TestArrivalsAndPlacement:
+    def test_arrival_starts_process(self, platform):
+        sim = _sim(platform)
+        pid = sim.submit(_long("adi"), 1e8, arrival_time_s=0.05)
+        sim.step()
+        assert not sim.process(pid).is_running()
+        sim.run_for(0.1)
+        assert sim.process(pid).is_running()
+
+    def test_submit_in_past_rejected(self, platform):
+        sim = _sim(platform)
+        sim.run_for(1.0)
+        with pytest.raises(ValueError):
+            sim.submit(_long("adi"), 1e8, arrival_time_s=0.0)
+
+    def test_default_placement_spreads(self, platform):
+        sim = _sim(platform)
+        for _ in range(4):
+            sim.submit(_long("adi"), 1e8, 0.0)
+        sim.step()
+        cores = {p.core_id for p in sim.running_processes()}
+        assert len(cores) == 4
+
+    def test_custom_placement_policy(self, platform):
+        sim = _sim(platform)
+        sim.placement_policy = lambda s, p: 7
+        pid = sim.submit(_long("adi"), 1e8, 0.0)
+        sim.step()
+        assert sim.process(pid).core_id == 7
+
+
+class TestExecution:
+    def test_instructions_match_model_ips(self, platform):
+        sim = _sim(platform)
+        sim.set_vf_level(BIG, platform.cluster(BIG).vf_table.max_level)
+        pid = sim.submit(_long("swaptions"), 1e6, 0.0)
+        sim.placement_policy = lambda s, p: 4
+        sim.run_for(1.0)
+        expected = get_app("swaptions").ips(
+            BIG, platform.cluster(BIG).vf_table.max_level.frequency_hz
+        )
+        assert sim.process(pid).instructions_done == pytest.approx(expected, rel=0.05)
+
+    def test_timeslicing_halves_throughput(self, platform):
+        sim = _sim(platform)
+        pids = [sim.submit(_long("syr2k"), 1e6, 0.0) for _ in range(2)]
+        sim.placement_policy = lambda s, p: 0  # both on core 0
+        sim.run_for(1.0)
+        solo = _sim(platform)
+        solo_pid = solo.submit(_long("syr2k"), 1e6, 0.0)
+        solo.placement_policy = lambda s, p: 0
+        solo.run_for(1.0)
+        shared = sim.process(pids[0]).instructions_done
+        alone = solo.process(solo_pid).instructions_done
+        assert shared == pytest.approx(alone / 2, rel=0.05)
+
+    def test_completion_finishes_process(self, platform):
+        sim = _sim(platform)
+        short = dataclasses.replace(get_app("swaptions"), total_instructions=1e8)
+        pid = sim.submit(short, 1e6, 0.0)
+        sim.run_for(2.0)
+        proc = sim.process(pid)
+        assert not proc.is_running()
+        assert proc.finish_time_s is not None
+        assert proc.instructions_done == pytest.approx(1e8, rel=1e-6)
+
+    def test_memory_contention_slows_corunners(self, platform):
+        """Two memory-hungry apps on one cluster run slower than solo."""
+        solo = _sim(platform)
+        p0 = solo.submit(_long("heat-3d"), 1e6, 0.0)
+        solo.placement_policy = lambda s, p: 0
+        solo.run_for(1.0)
+        pair = _sim(platform)
+        pids = [pair.submit(_long("heat-3d"), 1e6, 0.0) for _ in range(2)]
+        order = iter([0, 1])
+        pair.placement_policy = lambda s, p: next(order)
+        pair.run_for(1.0)
+        assert (
+            pair.process(pids[0]).instructions_done
+            < solo.process(p0).instructions_done
+        )
+
+    def test_contention_disabled_when_coeff_zero(self, platform):
+        sim = _sim(platform, contention_coeff=0.0)
+        pids = [sim.submit(_long("heat-3d"), 1e6, 0.0) for _ in range(2)]
+        order = iter([0, 1])
+        sim.placement_policy = lambda s, p: next(order)
+        sim.run_for(1.0)
+        solo = _sim(platform, contention_coeff=0.0)
+        p0 = solo.submit(_long("heat-3d"), 1e6, 0.0)
+        solo.placement_policy = lambda s, p: 0
+        solo.run_for(1.0)
+        assert sim.process(pids[0]).instructions_done == pytest.approx(
+            solo.process(p0).instructions_done, rel=0.01
+        )
+
+    def test_cold_cache_penalty_after_migration(self, platform):
+        sim = _sim(platform)
+        pid = sim.submit(_long("heat-3d"), 1e6, 0.0)
+        sim.placement_policy = lambda s, p: 0
+        sim.run_for(0.5)
+        before = sim.process(pid).smoothed_ips
+        sim.migrate(pid, 1)  # same cluster: model params unchanged
+        sim.run_for(0.05)
+        after = sim.process(pid).smoothed_ips
+        assert after < before
+
+
+class TestObservables:
+    def test_core_utilization_binary(self, platform):
+        sim = _sim(platform)
+        sim.submit(_long("adi"), 1e8, 0.0)
+        sim.placement_policy = lambda s, p: 2
+        sim.step()
+        assert sim.core_utilization(2) == 1.0
+        assert sim.core_utilization(3) == 0.0
+
+    def test_free_cores(self, platform):
+        sim = _sim(platform)
+        sim.submit(_long("adi"), 1e8, 0.0)
+        sim.placement_policy = lambda s, p: 5
+        sim.step()
+        assert 5 not in sim.free_cores()
+        assert len(sim.free_cores()) == 7
+
+    def test_smoothed_ips_converges(self, platform):
+        sim = _sim(platform)
+        pid = sim.submit(_long("syr2k"), 1e6, 0.0)
+        sim.placement_policy = lambda s, p: 0
+        sim.run_for(1.0)
+        expected = get_app("syr2k").ips(
+            LITTLE, sim.vf_level(LITTLE).frequency_hz
+        )
+        assert sim.process(pid).smoothed_ips == pytest.approx(expected, rel=0.1)
+
+    def test_qos_satisfied_uses_tolerance(self, platform):
+        sim = _sim(platform)
+        pid = sim.submit(_long("syr2k"), 1e6, 0.0)
+        sim.run_for(0.5)
+        proc = sim.process(pid)
+        proc.qos_target_ips = proc.smoothed_ips * 1.01  # within 2% tolerance
+        assert sim.qos_satisfied(proc)
+        proc.qos_target_ips = proc.smoothed_ips * 1.10
+        assert not sim.qos_satisfied(proc)
+
+
+class TestActuation:
+    def test_set_vf_level(self, platform):
+        sim = _sim(platform)
+        top = platform.cluster(BIG).vf_table.max_level
+        applied = sim.set_vf_level(BIG, top)
+        assert applied == top
+        assert sim.vf_level(BIG) == top
+
+    def test_migrate_records_event(self, platform):
+        sim = _sim(platform)
+        pid = sim.submit(_long("adi"), 1e8, 0.0)
+        sim.placement_policy = lambda s, p: 0
+        sim.step()
+        sim.migrate(pid, 4)
+        moves = [m for m in sim.trace.migrations if m.from_core is not None]
+        assert len(moves) == 1
+        assert moves[0].from_core == 0 and moves[0].to_core == 4
+
+    def test_migrate_out_of_range_rejected(self, platform):
+        sim = _sim(platform)
+        pid = sim.submit(_long("adi"), 1e8, 0.0)
+        sim.step()
+        with pytest.raises(ValueError):
+            sim.migrate(pid, 8)
+
+
+class TestControllers:
+    def test_controller_invoked_on_period(self, platform):
+        sim = _sim(platform)
+        calls = []
+        sim.add_controller("probe", 0.05, lambda s: calls.append(s.now_s))
+        sim.run_for(0.5)
+        assert len(calls) == pytest.approx(10, abs=1)
+
+    def test_remove_controller(self, platform):
+        sim = _sim(platform)
+        calls = []
+        sim.add_controller("probe", 0.05, lambda s: calls.append(1))
+        sim.run_for(0.2)
+        n = len(calls)
+        sim.remove_controller("probe")
+        sim.run_for(0.2)
+        assert len(calls) == n
+
+
+class TestThermalCoupling:
+    def test_running_hot_app_raises_temperature(self, platform):
+        sim = _sim(platform)
+        start = sim.zone_temp_c()
+        sim.set_vf_level(BIG, platform.cluster(BIG).vf_table.max_level)
+        for _ in range(4):
+            sim.submit(_long("swaptions"), 1e6, 0.0)
+        sim.run_for(30.0)
+        assert sim.zone_temp_c() > start + 3.0
+
+    def test_no_fan_runs_hotter(self, platform):
+        temps = {}
+        for cooling in (FAN_COOLING, PASSIVE_COOLING):
+            sim = Simulator(
+                platform,
+                cooling,
+                config=SimConfig(dt_s=0.01, model_overhead_on_core=None),
+                sensor_noise_std_c=0.0,
+            )
+            sim.set_vf_level(BIG, platform.cluster(BIG).vf_table.max_level)
+            for _ in range(4):
+                sim.submit(_long("swaptions"), 1e6, 0.0)
+            # Long enough for the board (minutes-scale time constant) to
+            # feel the cooling difference.
+            sim.run_for(150.0)
+            temps[cooling.name] = sim.zone_temp_c()
+        assert temps["no_fan"] > temps["fan"] + 1.0
+
+
+class TestDTM:
+    def test_dtm_throttles_hot_system(self, platform):
+        hot = hikey970(dtm_trigger_c=32.0, dtm_release_c=30.0)
+        sim = Simulator(
+            hot,
+            PASSIVE_COOLING,
+            config=SimConfig(dt_s=0.01, model_overhead_on_core=None),
+            sensor_noise_std_c=0.0,
+        )
+        for cluster in hot.clusters:
+            sim.set_vf_level(cluster.name, cluster.vf_table.max_level)
+        for _ in range(8):
+            sim.submit(_long("swaptions"), 1e6, 0.0)
+        sim.run_for(60.0)
+        assert sim.dtm_throttle_events > 0
+        assert (
+            sim.vf_level(BIG).frequency_hz
+            < hot.cluster(BIG).vf_table.max_level.frequency_hz
+        )
+
+    def test_dtm_caps_requests(self, platform):
+        hot = hikey970(dtm_trigger_c=26.0, dtm_release_c=24.0)
+        sim = Simulator(hot, PASSIVE_COOLING, config=SimConfig(dt_s=0.01))
+        for _ in range(8):
+            sim.submit(_long("swaptions"), 1e6, 0.0)
+        for cluster in hot.clusters:
+            sim.set_vf_level(cluster.name, cluster.vf_table.max_level)
+        sim.run_for(120.0)
+        # With the cap active, re-requesting max must not restore max.
+        applied = sim.set_vf_level(BIG, hot.cluster(BIG).vf_table.max_level)
+        assert (
+            applied.frequency_hz < hot.cluster(BIG).vf_table.max_level.frequency_hz
+        )
+
+
+class TestOverheadAccounting:
+    def test_ledger_accumulates(self, platform):
+        sim = _sim(platform)
+        sim.account_overhead("dvfs", 0.001)
+        sim.account_overhead("dvfs", 0.002)
+        sim.account_overhead("migration", 0.004)
+        assert sim.overhead_cpu_s["dvfs"] == pytest.approx(0.003)
+        assert sim.overhead_cpu_s["migration"] == pytest.approx(0.004)
+
+    def test_overhead_steals_cycles_on_manager_core(self, platform):
+        config = SimConfig(dt_s=0.01, model_overhead_on_core=0)
+        sim = Simulator(platform, FAN_COOLING, config=config, sensor_noise_std_c=0.0)
+        pid = sim.submit(_long("syr2k"), 1e6, 0.0)
+        sim.placement_policy = lambda s, p: 0
+        sim.add_controller("load", 0.05, lambda s: s.account_overhead("x", 0.005))
+        sim.run_for(1.0)
+        stolen = sim.process(pid).instructions_done
+        free = _sim(platform)
+        pid2 = free.submit(_long("syr2k"), 1e6, 0.0)
+        free.placement_policy = lambda s, p: 0
+        free.run_for(1.0)
+        assert stolen < 0.95 * free.process(pid2).instructions_done
+
+
+class TestRunUntilComplete:
+    def test_completes_workload(self, platform):
+        sim = _sim(platform)
+        short = dataclasses.replace(get_app("adi"), total_instructions=5e8)
+        sim.submit(short, 1e6, 0.0)
+        sim.submit(short, 1e6, 0.3)
+        sim.run_until_complete(timeout_s=100.0)
+        assert not sim.running_processes()
+
+    def test_timeout_raises(self, platform):
+        sim = _sim(platform)
+        sim.submit(_long("adi"), 1e6, 0.0)
+        with pytest.raises(TimeoutError):
+            sim.run_until_complete(timeout_s=0.5)

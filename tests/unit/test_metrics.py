@@ -1,0 +1,97 @@
+"""Run metrics: CPU-time aggregation and run summaries."""
+
+import dataclasses
+
+import pytest
+
+from repro.apps import get_app
+from repro.governors.techniques import GTSOndemand
+from repro.metrics.cputime import CpuTimeByVF, aggregate_cpu_time
+from repro.metrics.summary import summarize_run
+from repro.sim import SimConfig, Simulator
+from repro.sim.process import Process
+from repro.thermal import FAN_COOLING
+from repro.workloads import run_workload, single_app_workload
+
+
+class TestCpuTimeByVF:
+    def test_add_and_total(self):
+        usage = CpuTimeByVF()
+        usage.add("LITTLE", 1e9, 2.0)
+        usage.add("LITTLE", 1e9, 1.0)
+        usage.add("big", 2e9, 3.0)
+        assert usage.total == pytest.approx(6.0)
+        assert usage.seconds[("LITTLE", 1e9)] == pytest.approx(3.0)
+
+    def test_cluster_total(self):
+        usage = CpuTimeByVF()
+        usage.add("LITTLE", 1e9, 2.0)
+        usage.add("LITTLE", 1.5e9, 1.0)
+        usage.add("big", 2e9, 4.0)
+        assert usage.cluster_total("LITTLE") == pytest.approx(3.0)
+
+    def test_fraction(self):
+        usage = CpuTimeByVF()
+        usage.add("LITTLE", 1e9, 1.0)
+        usage.add("big", 2e9, 3.0)
+        assert usage.fraction("big", 2e9) == pytest.approx(0.75)
+        assert usage.fraction("big", 5e9) == 0.0
+
+    def test_fraction_of_empty_is_zero(self):
+        assert CpuTimeByVF().fraction("big", 1e9) == 0.0
+
+    def test_merge(self):
+        a = CpuTimeByVF()
+        a.add("big", 1e9, 1.0)
+        b = CpuTimeByVF()
+        b.add("big", 1e9, 2.0)
+        b.add("LITTLE", 1e9, 1.0)
+        merged = a.merge(b)
+        assert merged.seconds[("big", 1e9)] == pytest.approx(3.0)
+        assert a.seconds[("big", 1e9)] == pytest.approx(1.0)  # unchanged
+
+    def test_as_rows_covers_full_tables(self, platform):
+        usage = CpuTimeByVF()
+        usage.add("big", platform.cluster("big").vf_table[0].frequency_hz, 1.0)
+        rows = usage.as_rows(platform)
+        n_levels = sum(len(c.vf_table) for c in platform.clusters)
+        assert len(rows) == n_levels
+
+    def test_aggregate_from_processes(self):
+        p1 = Process(0, get_app("adi"), 1e8, 0.0)
+        p2 = Process(1, get_app("adi"), 1e8, 0.0)
+        p1.account_execution(1.0, 1e9, 0, "big", 2e9)
+        p2.account_execution(2.0, 2e9, 0, "big", 2e9)
+        usage = aggregate_cpu_time([p1, p2])
+        assert usage.seconds[("big", 2e9)] == pytest.approx(3.0)
+
+
+class TestRunSummary:
+    @pytest.fixture(scope="class")
+    def run(self, platform):
+        workload = single_app_workload(
+            "syr2k", platform, instruction_scale=0.01
+        )
+        return run_workload(platform, GTSOndemand(), workload, seed=0)
+
+    def test_summary_fields_populated(self, run):
+        s = run.summary
+        assert s.technique == "GTS/ondemand"
+        assert s.duration_s > 0
+        assert 25.0 < s.mean_temp_c < 90.0
+        assert s.peak_temp_c >= s.mean_temp_c
+        assert s.n_apps == 1
+
+    def test_cpu_time_recorded(self, run):
+        assert run.summary.cpu_time_by_vf.total > 0
+
+    def test_utilization_bounds(self, run):
+        s = run.summary
+        assert 0.0 < s.mean_utilization <= 1.0
+        assert s.mean_utilization <= s.peak_utilization <= 1.0
+
+    def test_feasible_single_app_meets_qos(self, run):
+        assert run.summary.n_qos_violations == 0
+
+    def test_overhead_fraction_for_unmanaged_run_is_zero(self, run):
+        assert run.summary.overhead_fraction == 0.0

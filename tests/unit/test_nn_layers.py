@@ -1,0 +1,169 @@
+"""NN layers: shapes, backward correctness, state handling."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear, ReLU, Sequential, build_mlp
+from repro.nn.losses import MSELoss
+from repro.utils.rng import RandomSource
+
+
+@pytest.fixture
+def rng():
+    return RandomSource(0)
+
+
+class TestLinear:
+    def test_forward_shape(self, rng):
+        layer = Linear(4, 3, rng)
+        out = layer.forward(np.ones((5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_forward_1d_promoted(self, rng):
+        layer = Linear(4, 3, rng)
+        assert layer.forward(np.ones(4)).shape == (1, 3)
+
+    def test_wrong_input_dim_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Linear(4, 3, rng).forward(np.ones((2, 5)))
+
+    def test_backward_before_forward_rejected(self, rng):
+        with pytest.raises(RuntimeError):
+            Linear(4, 3, rng).backward(np.ones((1, 3)))
+
+    def test_gradients_accumulate(self, rng):
+        layer = Linear(2, 2, rng)
+        x = np.ones((1, 2))
+        layer.forward(x)
+        layer.backward(np.ones((1, 2)))
+        first = layer.grad_weight.copy()
+        layer.forward(x)
+        layer.backward(np.ones((1, 2)))
+        assert np.allclose(layer.grad_weight, 2 * first)
+
+    def test_zero_grad(self, rng):
+        layer = Linear(2, 2, rng)
+        layer.forward(np.ones((1, 2)))
+        layer.backward(np.ones((1, 2)))
+        layer.zero_grad()
+        assert np.all(layer.grad_weight == 0)
+        assert np.all(layer.grad_bias == 0)
+
+    def test_numeric_gradient_check(self, rng):
+        """Backward matches finite differences for loss = sum(output)."""
+        layer = Linear(3, 2, rng)
+        x = rng.normal(size=(4, 3))
+        layer.forward(x)
+        layer.backward(np.ones((4, 2)))
+        analytic = layer.grad_weight.copy()
+        eps = 1e-6
+        for i in range(3):
+            for j in range(2):
+                layer.weight[i, j] += eps
+                up = layer.forward(x).sum()
+                layer.weight[i, j] -= 2 * eps
+                down = layer.forward(x).sum()
+                layer.weight[i, j] += eps
+                numeric = (up - down) / (2 * eps)
+                assert analytic[i, j] == pytest.approx(numeric, rel=1e-4)
+
+
+class TestReLU:
+    def test_clips_negative(self):
+        relu = ReLU()
+        out = relu.forward(np.array([-1.0, 0.0, 2.0]))
+        assert np.allclose(out, [0.0, 0.0, 2.0])
+
+    def test_backward_masks_gradient(self):
+        relu = ReLU()
+        relu.forward(np.array([-1.0, 3.0]))
+        grad = relu.backward(np.array([1.0, 1.0]))
+        assert np.allclose(grad, [0.0, 1.0])
+
+    def test_backward_before_forward_rejected(self):
+        with pytest.raises(RuntimeError):
+            ReLU().backward(np.ones(2))
+
+
+class TestSequential:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+    def test_forward_chains(self, rng):
+        model = build_mlp(4, 2, hidden_layers=2, hidden_width=8, rng=rng)
+        assert model.forward(np.ones((3, 4))).shape == (3, 2)
+
+    def test_callable(self, rng):
+        model = build_mlp(4, 2, 1, 8, rng)
+        assert np.allclose(model(np.ones((1, 4))), model.forward(np.ones((1, 4))))
+
+    def test_n_parameters(self, rng):
+        model = build_mlp(21, 8, hidden_layers=4, hidden_width=64, rng=rng)
+        # 21*64+64 + 3*(64*64+64) + 64*8+8
+        expected = 21 * 64 + 64 + 3 * (64 * 64 + 64) + 64 * 8 + 8
+        assert model.n_parameters() == expected
+
+    def test_state_roundtrip(self, rng):
+        model = build_mlp(4, 2, 2, 8, rng)
+        x = np.ones((1, 4))
+        state = model.get_state()
+        before = model.forward(x).copy()
+        # Perturb weights, then restore.
+        for _, value, _ in model.params():
+            value += 1.0
+        assert not np.allclose(model.forward(x), before)
+        model.set_state(state)
+        assert np.allclose(model.forward(x), before)
+
+    def test_set_state_shape_mismatch_rejected(self, rng):
+        a = build_mlp(4, 2, 2, 8, rng)
+        b = build_mlp(4, 2, 2, 16, rng)
+        with pytest.raises(ValueError):
+            a.set_state(b.get_state())
+
+    def test_full_model_gradient_check(self, rng):
+        """End-to-end backward matches finite differences through MSE."""
+        model = build_mlp(3, 2, hidden_layers=1, hidden_width=5, rng=rng)
+        x = rng.normal(size=(4, 3))
+        y = rng.normal(size=(4, 2))
+        loss_fn = MSELoss()
+
+        def loss_value():
+            return loss_fn(model.forward(x), y)[0]
+
+        model.zero_grad()
+        _, grad = loss_fn(model.forward(x), y)
+        model.backward(grad)
+        name, value, analytic = model.params()[0]
+        eps = 1e-6
+        value[0, 0] += eps
+        up = loss_value()
+        value[0, 0] -= 2 * eps
+        down = loss_value()
+        value[0, 0] += eps
+        assert analytic[0, 0] == pytest.approx((up - down) / (2 * eps), rel=1e-4)
+
+
+class TestBuildMLP:
+    def test_zero_hidden_layers_is_linear(self, rng):
+        model = build_mlp(4, 2, 0, 64, rng)
+        assert len(model.layers) == 1
+
+    def test_paper_topology(self, rng):
+        """The paper's best topology: 4 hidden layers x 64 neurons."""
+        model = build_mlp(21, 8, 4, 64, rng)
+        linears = [l for l in model.layers if isinstance(l, Linear)]
+        assert len(linears) == 5
+        assert all(l.out_features == 64 for l in linears[:-1])
+        assert linears[-1].out_features == 8
+
+    def test_negative_depth_rejected(self, rng):
+        with pytest.raises(ValueError):
+            build_mlp(4, 2, -1, 8, rng)
+
+    def test_seeded_init_reproducible(self):
+        a = build_mlp(4, 2, 1, 8, RandomSource(1))
+        b = build_mlp(4, 2, 1, 8, RandomSource(1))
+        x = np.ones((1, 4))
+        assert np.allclose(a.forward(x), b.forward(x))

@@ -1,0 +1,59 @@
+"""Grid-search NAS."""
+
+import numpy as np
+
+from repro.nn.nas import grid_search
+from repro.nn.training import TrainingConfig
+from repro.utils.rng import RandomSource
+
+
+def _data(n, seed):
+    rng = RandomSource(seed)
+    x = rng.normal(size=(n, 4))
+    y = np.tanh(x[:, :2]) + 0.1 * x[:, 2:]
+    return x, y
+
+
+class TestGridSearch:
+    def test_evaluates_every_grid_point(self):
+        x, y = _data(80, 0)
+        xt, yt = _data(30, 1)
+        result = grid_search(
+            x, y, xt, yt,
+            depths=(1, 2), widths=(4, 8),
+            config=TrainingConfig(max_epochs=10, patience=5),
+        )
+        assert set(result.losses) == {(1, 4), (1, 8), (2, 4), (2, 8)}
+
+    def test_best_matches_minimum(self):
+        x, y = _data(80, 0)
+        xt, yt = _data(30, 1)
+        result = grid_search(
+            x, y, xt, yt,
+            depths=(1, 2), widths=(4,),
+            config=TrainingConfig(max_epochs=10, patience=5),
+        )
+        best_key = min(result.losses, key=result.losses.get)
+        assert (result.best_depth, result.best_width) == best_key
+        assert result.best_loss == result.losses[best_key]
+
+    def test_rows_sorted(self):
+        x, y = _data(50, 0)
+        result = grid_search(
+            x, y, x, y,
+            depths=(2, 1), widths=(8, 4),
+            config=TrainingConfig(max_epochs=5, patience=5),
+        )
+        rows = result.as_rows()
+        assert rows == sorted(rows)
+
+    def test_capacity_helps_on_nonlinear_task(self):
+        """A hidden layer beats a pure linear model on a tanh target."""
+        x, y = _data(300, 0)
+        xt, yt = _data(100, 1)
+        result = grid_search(
+            x, y, xt, yt,
+            depths=(0, 2), widths=(16,),
+            config=TrainingConfig(max_epochs=60, patience=20),
+        )
+        assert result.losses[(2, 16)] < result.losses[(0, 16)]

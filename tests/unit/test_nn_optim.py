@@ -1,0 +1,95 @@
+"""Optimizer, LR schedule, and loss."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import build_mlp
+from repro.nn.losses import MSELoss
+from repro.nn.optim import Adam, ExponentialDecay
+from repro.utils.rng import RandomSource
+
+
+class TestMSELoss:
+    def test_zero_for_perfect_prediction(self):
+        loss, grad = MSELoss()(np.ones((2, 3)), np.ones((2, 3)))
+        assert loss == 0.0
+        assert np.all(grad == 0.0)
+
+    def test_value_matches_definition(self):
+        pred = np.array([[1.0, 2.0]])
+        target = np.array([[0.0, 0.0]])
+        loss, _ = MSELoss()(pred, target)
+        assert loss == pytest.approx((1 + 4) / 2)
+
+    def test_gradient_direction(self):
+        pred = np.array([[2.0]])
+        target = np.array([[1.0]])
+        _, grad = MSELoss()(pred, target)
+        assert grad[0, 0] > 0  # reduce prediction to reduce loss
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MSELoss()(np.ones((2, 2)), np.ones((2, 3)))
+
+
+class TestExponentialDecay:
+    def test_paper_schedule(self):
+        """lr = 0.01 * 0.95^epoch (Sec. 4.3)."""
+        sched = ExponentialDecay(0.01, 0.95)
+        assert sched.lr_at(0) == pytest.approx(0.01)
+        assert sched.lr_at(10) == pytest.approx(0.01 * 0.95**10)
+
+    def test_monotone_decreasing(self):
+        sched = ExponentialDecay()
+        lrs = [sched.lr_at(e) for e in range(20)]
+        assert all(a > b for a, b in zip(lrs, lrs[1:]))
+
+    def test_negative_epoch_rejected(self):
+        with pytest.raises(ValueError):
+            ExponentialDecay().lr_at(-1)
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        """Adam drives a simple quadratic towards its minimum at 3."""
+        x = np.array([10.0])
+        grad = np.zeros(1)
+        adam = Adam()
+        for _ in range(500):
+            grad[:] = 2 * (x - 3.0)
+            adam.step([("x", x, grad)], lr=0.1)
+        assert x[0] == pytest.approx(3.0, abs=1e-2)
+
+    def test_trains_small_network(self):
+        rng = RandomSource(0)
+        model = build_mlp(2, 1, 1, 16, rng)
+        x = rng.normal(size=(64, 2))
+        y = (x[:, :1] + 2 * x[:, 1:]) * 0.5
+        loss_fn = MSELoss()
+        adam = Adam()
+        first_loss = None
+        for _ in range(200):
+            model.zero_grad()
+            loss, grad = loss_fn(model.forward(x), y)
+            if first_loss is None:
+                first_loss = loss
+            model.backward(grad)
+            adam.step(model.params(), lr=0.01)
+        final_loss, _ = loss_fn(model.forward(x), y)
+        assert final_loss < 0.05 * first_loss
+
+    def test_reset_clears_state(self):
+        adam = Adam()
+        x = np.array([1.0])
+        g = np.array([1.0])
+        adam.step([("x", x, g)], lr=0.1)
+        adam.reset()
+        assert adam._step == 0
+
+    def test_invalid_lr_rejected(self):
+        with pytest.raises(ValueError):
+            Adam().step([], lr=0.0)
+
+    def test_invalid_betas_rejected(self):
+        with pytest.raises(ValueError):
+            Adam(beta1=1.5)

@@ -1,0 +1,42 @@
+"""Model save/load round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Sequential, build_mlp
+from repro.nn.serialize import load_model, save_model
+from repro.utils.rng import RandomSource
+
+
+class TestRoundTrip:
+    def test_predictions_identical(self, tmp_path):
+        model = build_mlp(21, 8, 4, 64, RandomSource(3))
+        path = str(tmp_path / "model.npz")
+        save_model(model, path)
+        loaded = load_model(path)
+        x = RandomSource(0).normal(size=(5, 21))
+        assert np.array_equal(model.forward(x), loaded.forward(x))
+
+    def test_topology_preserved(self, tmp_path):
+        model = build_mlp(4, 2, 2, 16, RandomSource(0))
+        path = str(tmp_path / "m.npz")
+        save_model(model, path)
+        loaded = load_model(path)
+        assert len(loaded.layers) == len(model.layers)
+        assert loaded.n_parameters() == model.n_parameters()
+
+    def test_linear_only_model(self, tmp_path):
+        model = build_mlp(4, 2, 0, 8, RandomSource(0))
+        path = str(tmp_path / "lin.npz")
+        save_model(model, path)
+        x = np.ones((1, 4))
+        assert np.array_equal(model.forward(x), load_model(path).forward(x))
+
+    def test_unknown_layer_rejected(self, tmp_path):
+        class Mystery:
+            def params(self):
+                return []
+
+        model = Sequential([Mystery()])
+        with pytest.raises(TypeError):
+            save_model(model, str(tmp_path / "bad.npz"))

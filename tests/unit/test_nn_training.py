@@ -1,0 +1,96 @@
+"""Training loop: splitting, early stopping, reproducibility."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import build_mlp
+from repro.nn.losses import MSELoss
+from repro.nn.training import TrainingConfig, train_model, train_val_split
+from repro.utils.rng import RandomSource
+
+
+def _toy_data(n=200, seed=0):
+    rng = RandomSource(seed)
+    x = rng.normal(size=(n, 3))
+    y = np.stack([x[:, 0] + x[:, 1], x[:, 2] * 0.5], axis=1)
+    return x, y
+
+
+class TestTrainValSplit:
+    def test_split_sizes(self):
+        x, y = _toy_data(100)
+        xt, yt, xv, yv = train_val_split(x, y, 0.2, RandomSource(0))
+        assert len(xv) == 20 and len(xt) == 80
+
+    def test_no_overlap_and_complete(self):
+        x, y = _toy_data(50)
+        x = x + np.arange(50)[:, None]  # make rows unique
+        xt, _, xv, _ = train_val_split(x, y, 0.2, RandomSource(0))
+        all_rows = {tuple(r) for r in np.vstack([xt, xv])}
+        assert len(all_rows) == 50
+
+    def test_zero_fraction_uses_all_for_both(self):
+        x, y = _toy_data(10)
+        xt, _, xv, _ = train_val_split(x, y, 0.0, RandomSource(0))
+        assert len(xt) == 10 and len(xv) == 10
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            train_val_split(np.ones((3, 2)), np.ones((4, 1)), 0.2, RandomSource(0))
+
+
+class TestTrainModel:
+    def test_loss_decreases(self):
+        x, y = _toy_data()
+        model = build_mlp(3, 2, 2, 16, RandomSource(0))
+        result = train_model(
+            model, x, y, TrainingConfig(max_epochs=50, patience=50)
+        )
+        assert result.train_losses[-1] < 0.2 * result.train_losses[0]
+
+    def test_early_stopping_triggers(self):
+        x, y = _toy_data(40)
+        model = build_mlp(3, 2, 1, 4, RandomSource(0))
+        result = train_model(
+            model, x, y, TrainingConfig(max_epochs=300, patience=5)
+        )
+        assert result.stopped_early
+        assert result.epochs_run < 300
+
+    def test_best_weights_restored(self):
+        """After training, the model's val loss equals the best recorded."""
+        x, y = _toy_data(60)
+        config = TrainingConfig(max_epochs=60, patience=8, seed=1)
+        model = build_mlp(3, 2, 1, 8, RandomSource(1))
+        result = train_model(model, x, y, config)
+        # Recompute the validation loss with the same deterministic split.
+        rng = RandomSource(config.seed).child("training")
+        _, _, xv, yv = train_val_split(x, y, config.val_fraction, rng)
+        val_loss, _ = MSELoss()(model.forward(xv), yv)
+        assert val_loss == pytest.approx(result.best_val_loss, rel=1e-9)
+
+    def test_reproducible_given_seed(self):
+        x, y = _toy_data()
+        results = []
+        for _ in range(2):
+            model = build_mlp(3, 2, 1, 8, RandomSource(5))
+            r = train_model(model, x, y, TrainingConfig(max_epochs=20, seed=9))
+            results.append(r.val_losses)
+        assert results[0] == results[1]
+
+    def test_different_seeds_differ(self):
+        x, y = _toy_data()
+        losses = []
+        for seed in (0, 1):
+            model = build_mlp(3, 2, 1, 8, RandomSource(seed))
+            r = train_model(
+                model, x, y, TrainingConfig(max_epochs=10, seed=seed)
+            )
+            losses.append(tuple(r.val_losses))
+        assert losses[0] != losses[1]
+
+    def test_paper_defaults(self):
+        cfg = TrainingConfig()
+        assert cfg.initial_lr == pytest.approx(0.01)
+        assert cfg.lr_decay == pytest.approx(0.95)
+        assert cfg.patience == 20

@@ -1,0 +1,102 @@
+"""Oracle static-mapping baseline."""
+
+import dataclasses
+
+import pytest
+
+from repro.apps import get_app
+from repro.apps.qos import qos_fraction_of_big_max
+from repro.governors.oracle import OracleStaticMapping
+from repro.platform.hikey import BIG, LITTLE
+from repro.sim import SimConfig, Simulator
+from repro.thermal import FAN_COOLING
+
+
+def _sim(platform):
+    return Simulator(
+        platform,
+        FAN_COOLING,
+        config=SimConfig(dt_s=0.01, model_overhead_on_core=None),
+        sensor_noise_std_c=0.0,
+    )
+
+
+def _long(name):
+    return dataclasses.replace(get_app(name), total_instructions=1e15)
+
+
+class TestPlacement:
+    def test_adi_placed_on_big(self, platform):
+        """The oracle must find the Fig. 1 anchor without any learning."""
+        sim = _sim(platform)
+        oracle = OracleStaticMapping()
+        oracle.attach(sim)
+        target = qos_fraction_of_big_max(get_app("adi"), platform, 0.3)
+        pid = sim.submit(_long("adi"), target, 0.0)
+        sim.step()
+        cluster = platform.cluster_of_core(sim.process(pid).core_id)
+        assert cluster.name == BIG
+
+    def test_seidel_placed_on_little(self, platform):
+        sim = _sim(platform)
+        oracle = OracleStaticMapping()
+        oracle.attach(sim)
+        target = qos_fraction_of_big_max(get_app("seidel-2d"), platform, 0.3)
+        pid = sim.submit(_long("seidel-2d"), target, 0.0)
+        sim.step()
+        cluster = platform.cluster_of_core(sim.process(pid).core_id)
+        assert cluster.name == LITTLE
+
+    def test_avoids_occupied_cores(self, platform):
+        sim = _sim(platform)
+        oracle = OracleStaticMapping()
+        oracle.attach(sim)
+        pids = [sim.submit(_long("adi"), 1e8, 0.0) for _ in range(3)]
+        sim.step()
+        cores = [sim.process(p).core_id for p in pids]
+        assert len(set(cores)) == 3
+
+    def test_full_system_shares_least_loaded(self, platform):
+        sim = _sim(platform)
+        oracle = OracleStaticMapping()
+        oracle.attach(sim)
+        pids = [sim.submit(_long("adi"), 1e8, 0.0) for _ in range(9)]
+        sim.step()
+        counts = [len(sim.processes_on_core(c)) for c in range(8)]
+        assert max(counts) == 2
+
+    def test_infeasible_target_still_places(self, platform):
+        sim = _sim(platform)
+        oracle = OracleStaticMapping()
+        oracle.attach(sim)
+        pid = sim.submit(_long("adi"), 1e13, 0.0)  # unreachable target
+        sim.step()
+        assert sim.process(pid).core_id is not None
+
+
+class TestPrediction:
+    def test_predicted_temp_feasible_assignment(self, platform):
+        sim = _sim(platform)
+        oracle = OracleStaticMapping()
+        pid = sim.submit(_long("adi"), 1e8, 0.0)
+        sim.step()
+        temp = oracle.predicted_zone_temp(sim, {pid: 4})
+        assert platform.ambient_temp_c < temp < 100.0
+
+    def test_prediction_none_for_infeasible(self, platform):
+        sim = _sim(platform)
+        oracle = OracleStaticMapping()
+        pid = sim.submit(_long("adi"), 1e13, 0.0)
+        sim.step()
+        assert oracle.predicted_zone_temp(sim, {pid: 0}) is None
+
+    def test_hotter_config_predicted_hotter(self, platform):
+        sim = _sim(platform)
+        oracle = OracleStaticMapping()
+        easy = sim.submit(_long("adi"), 1e8, 0.0)
+        sim.step()
+        low = oracle.predicted_zone_temp(sim, {easy: 4})
+        hard_target = qos_fraction_of_big_max(get_app("adi"), platform, 0.9)
+        sim.process(easy).qos_target_ips = hard_target
+        high = oracle.predicted_zone_temp(sim, {easy: 4})
+        assert high > low

@@ -1,0 +1,167 @@
+"""Platform description, floorplan geometry, and the HiKey 970 facts."""
+
+import pytest
+
+from repro.platform import (
+    Cluster,
+    DTMConfig,
+    FloorplanTile,
+    Platform,
+    VFLevel,
+    VFTable,
+    hikey970,
+)
+from repro.platform.description import grid_floorplan
+from repro.platform.hikey import BIG, LITTLE, reduced_vf_grid
+from repro.utils.units import GHZ
+
+
+def _cluster(name, core_ids, out_of_order=False):
+    return Cluster(
+        name=name,
+        core_ids=core_ids,
+        vf_table=VFTable([VFLevel(1e9, 0.8), VFLevel(2e9, 1.0)]),
+        dyn_power_coeff=1e-10,
+        static_power_coeff=0.01,
+        out_of_order=out_of_order,
+    )
+
+
+class TestPlatformValidation:
+    def test_duplicate_core_id_rejected(self):
+        with pytest.raises(ValueError, match="two clusters"):
+            Platform("p", [_cluster("a", (0, 1)), _cluster("b", (1, 2))])
+
+    def test_non_contiguous_ids_rejected(self):
+        with pytest.raises(ValueError, match="contiguous"):
+            Platform("p", [_cluster("a", (0, 2))])
+
+    def test_duplicate_cluster_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            Platform("p", [_cluster("a", (0,)), _cluster("a", (1,))])
+
+    def test_cluster_lookup(self):
+        p = Platform("p", [_cluster("a", (0, 1)), _cluster("b", (2, 3))])
+        assert p.cluster("b").core_ids == (2, 3)
+        with pytest.raises(KeyError):
+            p.cluster("zzz")
+
+    def test_cluster_of_core(self):
+        p = Platform("p", [_cluster("a", (0, 1)), _cluster("b", (2, 3))])
+        assert p.cluster_of_core(3).name == "b"
+
+
+class TestFloorplanTile:
+    def test_area_and_center(self):
+        tile = FloorplanTile("t", 1.0, 2.0, 2.0, 4.0)
+        assert tile.area == pytest.approx(8.0)
+        assert tile.center == (2.0, 4.0)
+
+    def test_side_by_side_adjacency(self):
+        a = FloorplanTile("a", 0, 0, 1, 1)
+        b = FloorplanTile("b", 1, 0, 1, 1)
+        assert a.shares_edge_with(b) == pytest.approx(1.0)
+
+    def test_stacked_adjacency(self):
+        a = FloorplanTile("a", 0, 0, 2, 1)
+        b = FloorplanTile("b", 0.5, 1, 1, 1)
+        assert a.shares_edge_with(b) == pytest.approx(1.0)
+
+    def test_disjoint_tiles_share_nothing(self):
+        a = FloorplanTile("a", 0, 0, 1, 1)
+        b = FloorplanTile("b", 5, 5, 1, 1)
+        assert a.shares_edge_with(b) == 0.0
+
+    def test_gap_breaks_adjacency(self):
+        a = FloorplanTile("a", 0, 0, 1, 1)
+        b = FloorplanTile("b", 1.1, 0, 1, 1)
+        assert a.shares_edge_with(b) == 0.0
+
+
+class TestGridFloorplan:
+    def test_row_major_layout(self):
+        tiles = grid_floorplan([("a", 1, 1), ("b", 1, 1), ("c", 1, 1)], columns=2)
+        assert tiles["b"].x == pytest.approx(1.0)
+        assert tiles["c"].y == pytest.approx(1.0)
+
+    def test_no_overlap(self):
+        tiles = grid_floorplan([(f"t{i}", 1, 1) for i in range(4)], columns=2)
+        coords = {(t.x, t.y) for t in tiles.values()}
+        assert len(coords) == 4
+
+
+class TestDTMConfig:
+    def test_release_above_trigger_rejected(self):
+        with pytest.raises(ValueError):
+            DTMConfig(trigger_temp_c=80.0, release_temp_c=85.0)
+
+    def test_defaults_sane(self):
+        cfg = DTMConfig()
+        assert cfg.release_temp_c <= cfg.trigger_temp_c
+
+
+class TestHiKey970:
+    def test_eight_cores_two_clusters(self):
+        p = hikey970()
+        assert p.n_cores == 8
+        assert set(p.cluster_names) == {LITTLE, BIG}
+
+    def test_core_numbering_matches_board(self):
+        p = hikey970()
+        assert p.cores_in_cluster(LITTLE) == [0, 1, 2, 3]
+        assert p.cores_in_cluster(BIG) == [4, 5, 6, 7]
+
+    def test_peak_frequencies_match_board(self):
+        p = hikey970()
+        assert p.cluster(LITTLE).vf_table.max_level.frequency_hz == pytest.approx(
+            1.844 * GHZ
+        )
+        assert p.cluster(BIG).vf_table.max_level.frequency_hz == pytest.approx(
+            2.362 * GHZ
+        )
+
+    def test_big_cluster_is_out_of_order(self):
+        p = hikey970()
+        assert p.cluster(BIG).out_of_order
+        assert not p.cluster(LITTLE).out_of_order
+
+    def test_floorplan_covers_cores_and_zones(self):
+        p = hikey970()
+        for c in range(8):
+            assert f"core{c}" in p.floorplan
+        assert "uncore_LITTLE" in p.floorplan
+        assert "uncore_big" in p.floorplan
+        assert "soc_rest" in p.floorplan
+
+    def test_big_cores_larger_than_little(self):
+        p = hikey970()
+        assert p.floorplan["core4"].area > 2 * p.floorplan["core0"].area
+
+    def test_default_vf_is_minimum(self):
+        p = hikey970()
+        for name, level in p.default_vf_levels().items():
+            assert level == p.cluster(name).vf_table.min_level
+
+
+class TestReducedVFGrid:
+    def test_includes_min_and_max(self):
+        p = hikey970()
+        grid = reduced_vf_grid(p, per_cluster=4)
+        for cluster in p.clusters:
+            freqs = [lv.frequency_hz for lv in grid[cluster.name]]
+            assert cluster.vf_table.min_level.frequency_hz in freqs
+            assert cluster.vf_table.max_level.frequency_hz in freqs
+
+    def test_respects_count(self):
+        p = hikey970()
+        grid = reduced_vf_grid(p, per_cluster=3)
+        assert all(len(levels) == 3 for levels in grid.values())
+
+    def test_requesting_more_than_available_returns_all(self):
+        p = hikey970()
+        grid = reduced_vf_grid(p, per_cluster=99)
+        assert len(grid[LITTLE]) == len(p.cluster(LITTLE).vf_table)
+
+    def test_rejects_fewer_than_two(self):
+        with pytest.raises(ValueError):
+            reduced_vf_grid(hikey970(), per_cluster=1)

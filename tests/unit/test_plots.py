@@ -1,0 +1,55 @@
+"""ASCII plotting helpers."""
+
+import pytest
+
+from repro.utils.plots import ascii_bars, sparkline
+
+
+class TestAsciiBars:
+    def test_longest_value_fills_width(self):
+        out = ascii_bars([("a", 1.0), ("b", 2.0)], width=10)
+        lines = out.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_baseline_anchors_left_edge(self):
+        out = ascii_bars([("cool", 30.0), ("hot", 40.0)], width=10, baseline=30.0)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 0
+        assert lines[1].count("#") == 10
+
+    def test_unit_rendered(self):
+        out = ascii_bars([("x", 1.0)], unit=" C")
+        assert "1.00 C" in out
+
+    def test_labels_aligned(self):
+        out = ascii_bars([("short", 1.0), ("a-long-label", 2.0)])
+        lines = out.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bars([])
+
+    def test_negative_values_handled(self):
+        out = ascii_bars([("neg", -1.0), ("pos", 1.0)])
+        assert len(out.splitlines()) == 2
+
+
+class TestSparkline:
+    def test_length_bounded_by_width(self):
+        assert len(sparkline(range(1000), width=50)) <= 50
+
+    def test_monotone_series_monotone_blocks(self):
+        from repro.utils.plots import _SPARK_BLOCKS
+
+        line = sparkline([0, 1, 2, 3, 4], width=5)
+        levels = [_SPARK_BLOCKS.index(ch) for ch in line]
+        assert levels == sorted(levels)
+
+    def test_empty_series(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series_uniform(self):
+        line = sparkline([5.0] * 20, width=10)
+        assert len(set(line)) == 1

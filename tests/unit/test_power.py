@@ -1,0 +1,118 @@
+"""Power model behaviour."""
+
+import pytest
+
+from repro.platform import hikey970
+from repro.platform.hikey import BIG, LITTLE
+from repro.power import PowerModel
+
+
+@pytest.fixture
+def platform():
+    return hikey970()
+
+
+@pytest.fixture
+def model(platform):
+    return PowerModel(platform)
+
+
+def _max_vf(platform):
+    return platform.max_vf_levels()
+
+
+def _min_vf(platform):
+    return platform.default_vf_levels()
+
+
+class TestCoreDynamicPower:
+    def test_scales_with_activity(self, platform, model):
+        vf = platform.cluster(BIG).vf_table.max_level
+        idle = model.core_dynamic_power(4, vf, 0.0)
+        busy = model.core_dynamic_power(4, vf, 1.0)
+        assert busy > 5 * idle
+
+    def test_big_core_burns_more_than_little_at_full_tilt(self, platform, model):
+        big = model.core_dynamic_power(4, platform.cluster(BIG).vf_table.max_level, 1.0)
+        little = model.core_dynamic_power(
+            0, platform.cluster(LITTLE).vf_table.max_level, 1.0
+        )
+        assert big > 2.5 * little
+
+    def test_calibration_magnitudes(self, platform, model):
+        """Full-tilt per-core power is in the published big.LITTLE range."""
+        big = model.core_dynamic_power(4, platform.cluster(BIG).vf_table.max_level, 1.0)
+        little = model.core_dynamic_power(
+            0, platform.cluster(LITTLE).vf_table.max_level, 1.0
+        )
+        assert 1.0 < big < 3.0
+        assert 0.2 < little < 1.0
+
+    def test_superlinear_in_frequency(self, platform, model):
+        """V scales with f, so power grows faster than linearly."""
+        table = platform.cluster(BIG).vf_table
+        low, high = table[0], table[-1]
+        p_low = model.core_dynamic_power(4, low, 1.0)
+        p_high = model.core_dynamic_power(4, high, 1.0)
+        freq_ratio = high.frequency_hz / low.frequency_hz
+        assert p_high / p_low > freq_ratio
+
+    def test_invalid_activity_rejected(self, platform, model):
+        with pytest.raises(ValueError):
+            model.core_dynamic_power(0, platform.cluster(LITTLE).vf_table[0], 1.5)
+
+
+class TestLeakage:
+    def test_grows_with_temperature(self, platform, model):
+        vf = platform.cluster(BIG).vf_table.max_level
+        cold = model.core_leakage_power(4, vf, 25.0)
+        hot = model.core_leakage_power(4, vf, 85.0)
+        assert hot > cold * 1.3
+
+    def test_grows_with_voltage(self, platform, model):
+        table = platform.cluster(BIG).vf_table
+        assert model.core_leakage_power(4, table[-1], 40.0) > model.core_leakage_power(
+            4, table[0], 40.0
+        )
+
+    def test_no_negative_temp_factor_below_reference(self, platform, model):
+        vf = platform.cluster(BIG).vf_table[0]
+        assert model.core_leakage_power(4, vf, 0.0) == pytest.approx(
+            model.core_leakage_power(4, vf, 25.0)
+        )
+
+
+class TestComputeBreakdown:
+    def test_all_blocks_present(self, platform, model):
+        bd = model.compute(_min_vf(platform), {}, {})
+        for name in platform.floorplan:
+            assert name in bd.per_block
+
+    def test_total_is_sum(self, platform, model):
+        bd = model.compute(_min_vf(platform), {0: 1.0}, {})
+        assert bd.total == pytest.approx(sum(bd.per_block.values()))
+
+    def test_idle_power_is_modest(self, platform, model):
+        bd = model.compute(_min_vf(platform), {}, {})
+        assert 0.3 < bd.total < 2.0
+
+    def test_full_load_power_realistic(self, platform, model):
+        activity = {c: 0.9 for c in range(8)}
+        temps = {c: 70.0 for c in range(8)}
+        bd = model.compute(_max_vf(platform), activity, temps)
+        assert 7.0 < bd.total < 15.0
+
+    def test_activity_raises_uncore_power(self, platform, model):
+        idle = model.compute(_max_vf(platform), {}, {})
+        busy = model.compute(_max_vf(platform), {4: 1.0, 5: 1.0}, {})
+        assert busy.per_block["uncore_big"] > idle.per_block["uncore_big"]
+
+    def test_core_power_accessor(self, platform, model):
+        bd = model.compute(_max_vf(platform), {6: 1.0}, {})
+        assert bd.core_power(6) == bd.per_block["core6"]
+        assert bd.core_power(99) == 0.0
+
+    def test_missing_cores_treated_idle(self, platform, model):
+        explicit = model.compute(_min_vf(platform), {c: 0.0 for c in range(8)}, {})
+        implicit = model.compute(_min_vf(platform), {}, {})
+        assert explicit.total == pytest.approx(implicit.total)

@@ -1,0 +1,119 @@
+"""Process lifecycle and accounting."""
+
+import pytest
+
+from repro.apps import get_app
+from repro.sim.process import Process, ProcessState
+
+
+@pytest.fixture
+def process():
+    return Process(
+        pid=1, app=get_app("adi"), qos_target_ips=5e8, arrival_time_s=2.0
+    )
+
+
+class TestLifecycle:
+    def test_starts_pending(self, process):
+        assert process.state is ProcessState.PENDING
+        assert process.core_id is None
+
+    def test_start_places_on_core(self, process):
+        process.start(3, 2.0)
+        assert process.state is ProcessState.RUNNING
+        assert process.core_id == 3
+        assert process.last_migration_time_s is None  # placement != migration
+
+    def test_double_start_rejected(self, process):
+        process.start(3, 2.0)
+        with pytest.raises(RuntimeError):
+            process.start(4, 2.5)
+
+    def test_migrate_updates_core_and_counters(self, process):
+        process.start(3, 2.0)
+        process.migrate(6, 5.0)
+        assert process.core_id == 6
+        assert process.migration_count == 1
+        assert process.last_migration_time_s == 5.0
+
+    def test_migrate_to_same_core_is_noop(self, process):
+        process.start(3, 2.0)
+        process.migrate(3, 5.0)
+        assert process.migration_count == 0
+
+    def test_migrate_before_start_rejected(self, process):
+        with pytest.raises(RuntimeError):
+            process.migrate(1, 0.0)
+
+    def test_finish(self, process):
+        process.start(3, 2.0)
+        process.finish(100.0)
+        assert process.state is ProcessState.FINISHED
+        assert process.finish_time_s == 100.0
+        assert process.core_id is None
+
+
+class TestExecutionAccounting:
+    def test_instructions_accumulate(self, process):
+        process.start(0, 2.0)
+        process.account_execution(0.01, 1e7, 1e5, "LITTLE", 1e9)
+        process.account_execution(0.01, 2e7, 2e5, "LITTLE", 1e9)
+        assert process.instructions_done == pytest.approx(3e7)
+        assert process.total_cpu_time_s == pytest.approx(0.02)
+
+    def test_cpu_time_keyed_by_vf(self, process):
+        process.start(0, 2.0)
+        process.account_execution(0.01, 1e7, 0, "LITTLE", 1e9)
+        process.account_execution(0.02, 1e7, 0, "LITTLE", 2e9)
+        process.account_execution(0.03, 1e7, 0, "big", 2e9)
+        assert process.cpu_time_by_vf[("LITTLE", 1e9)] == pytest.approx(0.01)
+        assert process.cpu_time_by_vf[("LITTLE", 2e9)] == pytest.approx(0.02)
+        assert process.cpu_time_by_vf[("big", 2e9)] == pytest.approx(0.03)
+
+    def test_remaining_instructions(self, process):
+        total = process.app.total_instructions
+        process.account_execution(0.0, total / 2, 0, "LITTLE", 1e9)
+        assert process.remaining_instructions == pytest.approx(total / 2)
+
+    def test_window_read_resets(self, process):
+        process.account_execution(0.05, 5e7, 5e5, "LITTLE", 1e9)
+        ips, l2d, share = process.read_window(0.1)
+        assert ips == pytest.approx(5e8)
+        assert l2d == pytest.approx(5e6)
+        assert share == pytest.approx(0.5)
+        ips2, _, _ = process.read_window(0.1)
+        assert ips2 == 0.0
+
+
+class TestQoSMetrics:
+    def test_mean_ips_uses_wall_clock_since_arrival(self, process):
+        process.start(0, 2.0)
+        process.account_execution(1.0, 1e9, 0, "LITTLE", 1e9)
+        assert process.mean_ips(now_s=4.0) == pytest.approx(5e8)
+
+    def test_violated_qos_threshold(self, process):
+        process.start(0, 2.0)
+        # Exactly on target: 5e8 IPS over 2 s elapsed.
+        process.account_execution(2.0, 1e9, 0, "LITTLE", 1e9)
+        assert not process.violated_qos(now_s=4.0)
+        # Now dilute with idle time: mean drops below the target.
+        assert process.violated_qos(now_s=8.0)
+
+    def test_qos_met_fraction(self, process):
+        process.account_qos_observation(1.0, True)
+        process.account_qos_observation(1.0, False)
+        process.account_qos_observation(2.0, True)
+        assert process.qos_met_fraction() == pytest.approx(0.75)
+
+    def test_qos_met_fraction_defaults_to_one(self, process):
+        assert process.qos_met_fraction() == 1.0
+
+
+class TestValidation:
+    def test_invalid_qos_target_rejected(self):
+        with pytest.raises(ValueError):
+            Process(0, get_app("adi"), qos_target_ips=0.0, arrival_time_s=0.0)
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            Process(0, get_app("adi"), qos_target_ips=1e8, arrival_time_s=-1.0)

@@ -1,0 +1,82 @@
+"""Application characterization profiles."""
+
+import pytest
+
+from repro.apps import get_app
+from repro.apps.profiles import profile_app
+from repro.platform.hikey import BIG, LITTLE
+
+
+@pytest.fixture(scope="module")
+def adi_profile(platform):
+    return profile_app(get_app("adi"), platform)
+
+
+@pytest.fixture(scope="module")
+def canneal_profile(platform):
+    return profile_app(get_app("canneal"), platform)
+
+
+class TestProfileStructure:
+    def test_covers_every_vf_level(self, platform, adi_profile):
+        expected = sum(len(c.vf_table) for c in platform.clusters)
+        assert len(adi_profile.points) == expected
+
+    def test_on_cluster_filter(self, platform, adi_profile):
+        little = adi_profile.on_cluster(LITTLE)
+        assert len(little) == len(platform.cluster(LITTLE).vf_table)
+        assert all(p.cluster == LITTLE for p in little)
+
+    def test_report_renders(self, adi_profile):
+        text = adi_profile.report()
+        assert "MIPS" in text and "mW" in text
+
+
+class TestPhysicalShape:
+    def test_ips_monotone_in_frequency(self, adi_profile):
+        for cluster in (LITTLE, BIG):
+            points = sorted(
+                adi_profile.on_cluster(cluster), key=lambda p: p.frequency_hz
+            )
+            ips = [p.ips for p in points]
+            assert ips == sorted(ips)
+
+    def test_power_monotone_in_frequency(self, adi_profile):
+        for cluster in (LITTLE, BIG):
+            points = sorted(
+                adi_profile.on_cluster(cluster), key=lambda p: p.frequency_hz
+            )
+            power = [p.core_power_w for p in points]
+            assert power == sorted(power)
+
+    def test_compute_app_efficiency_sweet_spot_not_at_top(self, adi_profile):
+        """V^2 scaling makes the top VF level energy-inefficient."""
+        best = adi_profile.most_efficient_point()
+        top_big = max(
+            adi_profile.on_cluster(BIG), key=lambda p: p.frequency_hz
+        )
+        assert best.energy_per_instruction_nj < top_big.energy_per_instruction_nj
+
+    def test_memory_bound_app_wastes_energy_at_high_vf(self, canneal_profile):
+        """canneal's IPS saturates, so energy/inst explodes with frequency."""
+        little = sorted(
+            canneal_profile.on_cluster(LITTLE), key=lambda p: p.frequency_hz
+        )
+        assert (
+            little[-1].energy_per_instruction_nj
+            > 2 * little[0].energy_per_instruction_nj
+        )
+
+
+class TestQueries:
+    def test_min_point_for_prefers_low_power(self, adi_profile):
+        target = 0.3 * adi_profile.max_ips()
+        point = adi_profile.min_point_for(target)
+        assert point is not None
+        assert point.ips >= target
+        # Fig. 1's anchor: the cheapest way to run adi at 30% is the big
+        # cluster's bottom level, not the LITTLE cluster's top level.
+        assert point.cluster == BIG
+
+    def test_min_point_for_unreachable_returns_none(self, adi_profile):
+        assert adi_profile.min_point_for(1e13) is None

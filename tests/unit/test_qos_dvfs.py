@@ -1,0 +1,136 @@
+"""The paper's QoS DVFS control loop (Sec. 5.2) and Eq. 1."""
+
+import dataclasses
+
+import pytest
+
+from repro.apps import get_app
+from repro.governors.qos_dvfs import QoSDVFSControlLoop, estimate_min_level
+from repro.platform import hikey970
+from repro.platform.hikey import BIG, LITTLE
+from repro.platform.vf import VFLevel, VFTable
+from repro.sim import SimConfig, Simulator
+from repro.thermal import FAN_COOLING
+from repro.utils.units import GHZ
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return hikey970()
+
+
+@pytest.fixture
+def table():
+    return VFTable(
+        [VFLevel(0.5 * GHZ, 0.7), VFLevel(1.0 * GHZ, 0.8), VFLevel(2.0 * GHZ, 1.0)]
+    )
+
+
+def _sim(platform):
+    return Simulator(
+        platform,
+        FAN_COOLING,
+        config=SimConfig(dt_s=0.01, model_overhead_on_core=None),
+        sensor_noise_std_c=0.0,
+    )
+
+
+def _long(name):
+    return dataclasses.replace(get_app(name), total_instructions=1e15)
+
+
+class TestEstimateMinLevel:
+    def test_linear_scaling(self, table):
+        """At 1 GHz doing 1 GIPS with a 1.5 GIPS target -> need 1.5 GHz -> 2 GHz level."""
+        level = estimate_min_level(1e9, 1e9, 1.5e9, table)
+        assert level.frequency_hz == pytest.approx(2.0 * GHZ)
+
+    def test_target_already_met_picks_lowest_sufficient(self, table):
+        level = estimate_min_level(2e9, 2e9, 0.4e9, table)
+        assert level.frequency_hz == pytest.approx(0.5 * GHZ)
+
+    def test_unreachable_falls_back_to_max(self, table):
+        level = estimate_min_level(1e9, 2e9, 10e9, table)
+        assert level == table.max_level
+
+    def test_no_reading_is_conservative(self, table):
+        assert estimate_min_level(0.0, 1e9, 1e9, table) == table.max_level
+
+
+class TestControlLoop:
+    def test_idle_clusters_at_minimum(self, platform):
+        sim = _sim(platform)
+        sim.set_vf_level(BIG, platform.cluster(BIG).vf_table.max_level)
+        QoSDVFSControlLoop().attach(sim)
+        sim.run_for(0.2)
+        assert sim.vf_level(BIG) == platform.cluster(BIG).vf_table.min_level
+
+    def test_converges_to_qos_sufficient_level(self, platform):
+        sim = _sim(platform)
+        app = get_app("syr2k")
+        target = 0.5 * app.max_ips(LITTLE, platform.cluster(LITTLE).vf_table)
+        sim.submit(_long("syr2k"), target, 0.0)
+        sim.placement_policy = lambda s, p: 0
+        QoSDVFSControlLoop().attach(sim)
+        sim.run_for(3.0)
+        proc = sim.running_processes()[0]
+        assert sim.qos_satisfied(proc)
+        # and not at an excessive level: one step below must violate QoS.
+        expected = app.min_frequency_for(
+            LITTLE, platform.cluster(LITTLE).vf_table, target
+        )
+        got = sim.vf_level(LITTLE).frequency_hz
+        assert got == pytest.approx(expected.frequency_hz, rel=0.25)
+
+    def test_moves_one_step_per_invocation(self, platform):
+        sim = _sim(platform)
+        table = platform.cluster(LITTLE).vf_table
+        app = get_app("syr2k")
+        target = 0.9 * app.max_ips(LITTLE, table)
+        sim.submit(_long("syr2k"), target, 0.0)
+        sim.placement_policy = lambda s, p: 0
+        loop = QoSDVFSControlLoop(period_s=0.05)
+        loop.attach(sim)
+        start_idx = table.index_of(sim.vf_level(LITTLE).frequency_hz)
+        sim.run_for(0.06)  # exactly one loop invocation
+        after_idx = table.index_of(sim.vf_level(LITTLE).frequency_hz)
+        assert after_idx - start_idx <= 1
+
+    def test_cluster_follows_most_demanding_app(self, platform):
+        """Per-cluster DVFS: the max over the apps' needs wins (Eq. 5)."""
+        sim = _sim(platform)
+        table = platform.cluster(LITTLE).vf_table
+        lazy_target = 0.2 * get_app("syr2k").max_ips(LITTLE, table)
+        eager_target = 0.85 * get_app("gramschmidt").max_ips(LITTLE, table)
+        sim.submit(_long("syr2k"), lazy_target, 0.0)
+        sim.submit(_long("gramschmidt"), eager_target, 0.0)
+        order = iter([0, 1])
+        sim.placement_policy = lambda s, p: next(order)
+        QoSDVFSControlLoop().attach(sim)
+        sim.run_for(3.0)
+        eager_level = get_app("gramschmidt").min_frequency_for(
+            LITTLE, table, eager_target
+        )
+        assert sim.vf_level(LITTLE).frequency_hz >= eager_level.frequency_hz * 0.8
+
+    def test_skip_after_migration(self, platform):
+        sim = _sim(platform)
+        loop = QoSDVFSControlLoop(period_s=0.05, skip_iterations_after_migration=2)
+        loop.attach(sim)
+        loop.notify_migration()
+        sim.run_for(0.25)
+        assert loop.skipped == 2
+        assert loop.invocations >= 4
+
+    def test_no_skip_without_migration(self, platform):
+        sim = _sim(platform)
+        loop = QoSDVFSControlLoop()
+        loop.attach(sim)
+        sim.run_for(0.3)
+        assert loop.skipped == 0
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            QoSDVFSControlLoop(period_s=0.0)
+        with pytest.raises(ValueError):
+            QoSDVFSControlLoop(skip_iterations_after_migration=-1)

@@ -1,0 +1,31 @@
+"""Report rendering helpers (the full report run is exercised via the CLI)."""
+
+from repro.experiments.report import ReportScale, _section
+
+
+class TestSection:
+    def test_contains_title_claim_and_body(self):
+        text = _section("Fig. X — Something", "the paper says Y", "row1\nrow2", 1.5)
+        assert "## Fig. X — Something" in text
+        assert "**Paper:** the paper says Y" in text
+        assert "row1" in text and "row2" in text
+
+    def test_body_fenced_as_code(self):
+        text = _section("T", "c", "body", 0.0)
+        assert text.count("```") == 2
+
+
+class TestScaleOrdering:
+    def test_paper_model_eval_larger_than_smoke(self):
+        assert (
+            ReportScale.paper().model_eval.n_scenarios
+            > ReportScale.smoke().model_eval.n_scenarios
+        )
+
+    def test_paper_nas_grid_is_full(self):
+        scale = ReportScale.paper()
+        assert len(scale.nas.depths) * len(scale.nas.widths) == 30
+
+    def test_medium_uses_both_coolings(self):
+        names = {c.name for c in ReportScale.medium().main_mixed.coolings}
+        assert names == {"fan", "no_fan"}

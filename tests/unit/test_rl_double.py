@@ -1,0 +1,70 @@
+"""Double Q-learning table."""
+
+import numpy as np
+import pytest
+
+from repro.rl.double import DoubleQTable
+from repro.utils.rng import RandomSource
+
+
+class TestDoubleQTable:
+    def test_interface_compatible_with_policy(self):
+        table = DoubleQTable(8, 4, rng=RandomSource(0))
+        assert table.n_actions == 4
+        assert table.best_action(0) in range(4)
+        assert table.q(0, 0) == 0.0
+
+    def test_update_touches_exactly_one_table(self):
+        table = DoubleQTable(4, 2, rng=RandomSource(0))
+        table.update(0, 1, 10.0, 1)
+        changed_a = np.any(table.table_a.values != 0.0)
+        changed_b = np.any(table.table_b.values != 0.0)
+        assert changed_a != changed_b  # exclusive-or
+
+    def test_combined_values_are_sum(self):
+        table = DoubleQTable(2, 2, rng=RandomSource(0))
+        table.table_a.values[0, 0] = 1.0
+        table.table_b.values[0, 0] = 2.0
+        assert table.q(0, 0) == pytest.approx(3.0)
+
+    def test_converges_on_self_loop(self):
+        table = DoubleQTable(1, 1, learning_rate=0.2, discount=0.5,
+                             rng=RandomSource(1))
+        for _ in range(3000):
+            table.update(0, 0, 1.0, 0)
+        # Fixed point of the combined value: each table -> r/(1-gamma).
+        assert table.q(0, 0) == pytest.approx(2 * 1.0 / (1 - 0.5), rel=0.05)
+
+    def test_copy_is_independent(self):
+        table = DoubleQTable(2, 2, rng=RandomSource(0))
+        clone = table.copy()
+        table.update(0, 0, 5.0, 1)
+        assert np.all(clone.values == 0.0)
+
+    def test_update_counter(self):
+        table = DoubleQTable(2, 2, rng=RandomSource(0))
+        for _ in range(7):
+            table.update(0, 0, 1.0, 1)
+        assert table.updates == 7
+
+    def test_policy_accepts_double_table(self, platform):
+        import dataclasses
+
+        from repro.apps import get_app
+        from repro.rl.policy import TopRLMigrationPolicy
+        from repro.rl.state import N_STATES
+        from repro.sim import SimConfig, Simulator
+        from repro.thermal import FAN_COOLING
+
+        sim = Simulator(platform, FAN_COOLING,
+                        config=SimConfig(dt_s=0.01, model_overhead_on_core=None),
+                        sensor_noise_std_c=0.0)
+        table = DoubleQTable(N_STATES, 8, rng=RandomSource(0))
+        policy = TopRLMigrationPolicy(qtable=table, rng=RandomSource(1))
+        app = dataclasses.replace(get_app("adi"), total_instructions=1e15)
+        sim.submit(app, 1e8, 0.0)
+        sim.run_for(0.3)
+        policy(sim)
+        sim.run_for(0.5)
+        policy(sim)
+        assert table.updates >= 1

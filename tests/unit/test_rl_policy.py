@@ -1,0 +1,174 @@
+"""TOP-RL migration policy: reward, mediator, learning."""
+
+import dataclasses
+
+import pytest
+
+from repro.apps import get_app
+from repro.rl.policy import RLConfig, TopRLMigrationPolicy
+from repro.rl.qtable import QTable
+from repro.rl.state import N_STATES
+from repro.sim import SimConfig, Simulator
+from repro.thermal import FAN_COOLING
+from repro.utils.rng import RandomSource
+
+
+def _sim(platform):
+    return Simulator(
+        platform,
+        FAN_COOLING,
+        config=SimConfig(dt_s=0.01, model_overhead_on_core=None),
+        sensor_noise_std_c=0.0,
+    )
+
+
+def _long(name="syr2k"):
+    return dataclasses.replace(get_app(name), total_instructions=1e15)
+
+
+class TestReward:
+    def test_temperature_reward_when_qos_met(self, platform):
+        sim = _sim(platform)
+        sim.submit(_long(), 1e6, 0.0)  # trivially met target
+        sim.run_for(0.5)
+        policy = TopRLMigrationPolicy(rng=RandomSource(0))
+        reward = policy.reward(sim)
+        assert reward == pytest.approx(80.0 - sim.sensor_temp_c(), abs=0.5)
+
+    def test_violation_reward_is_minus_200(self, platform):
+        sim = _sim(platform)
+        sim.submit(_long(), 1e6, 0.0)
+        sim.run_for(0.5)
+        sim.running_processes()[0].qos_target_ips = 1e13
+        policy = TopRLMigrationPolicy(rng=RandomSource(0))
+        assert policy.reward(sim) == -200.0
+
+
+class TestMediator:
+    def test_single_action_per_epoch(self, platform):
+        sim = _sim(platform)
+        policy = TopRLMigrationPolicy(rng=RandomSource(0))
+        for _ in range(4):
+            sim.submit(_long(), 1e6, 0.0)
+        sim.run_for(0.3)
+        migrations_before = len(sim.trace.migrations)
+        policy(sim)
+        executed = len(
+            [m for m in sim.trace.migrations if m.from_core is not None]
+        ) - len([m for m in sim.trace.migrations[:migrations_before] if m.from_core is not None])
+        assert executed <= 1
+
+    def test_highest_q_proposal_wins(self, platform):
+        sim = _sim(platform)
+        table = QTable(N_STATES, 8)
+        policy = TopRLMigrationPolicy(
+            qtable=table,
+            config=RLConfig(epsilon=0.0),
+            rng=RandomSource(0),
+        )
+        pids = [sim.submit(_long(), 1e6, 0.0) for _ in range(2)]
+        order = iter([0, 4])
+        sim.placement_policy = lambda s, p: next(order)
+        sim.run_for(0.3)
+        from repro.rl.state import StateQuantizer
+
+        q = StateQuantizer(platform)
+        s0 = q.state_of(sim, sim.process(pids[0]))
+        s1 = q.state_of(sim, sim.process(pids[1]))
+        table.values[s0, 7] = 1.0   # proposal of agent 0
+        table.values[s1, 2] = 10.0  # proposal of agent 1 (higher Q)
+        policy(sim)
+        assert sim.process(pids[1]).core_id == 2
+        assert sim.process(pids[0]).core_id == 0
+
+    def test_learning_updates_only_selected_agent(self, platform):
+        sim = _sim(platform)
+        table = QTable(N_STATES, 8)
+        policy = TopRLMigrationPolicy(
+            qtable=table, config=RLConfig(epsilon=0.0), rng=RandomSource(0)
+        )
+        sim.submit(_long(), 1e6, 0.0)
+        sim.run_for(0.3)
+        policy(sim)  # selects and executes an action
+        updates_before = table.updates
+        sim.run_for(0.5)
+        policy(sim)  # learns from the previous action
+        assert table.updates == updates_before + 1
+
+
+class TestLearningDynamics:
+    def test_violation_penalty_discourages_action(self, platform):
+        sim = _sim(platform)
+        table = QTable(N_STATES, 8)
+        policy = TopRLMigrationPolicy(
+            qtable=table, config=RLConfig(epsilon=0.0), rng=RandomSource(0)
+        )
+        pid = sim.submit(_long(), 1e6, 0.0)
+        sim.run_for(0.3)
+        policy(sim)
+        _, state, action = policy._last_executed
+        sim.process(pid).qos_target_ips = 1e13  # force violation
+        sim.run_for(0.3)
+        policy(sim)
+        assert table.q(state, action) < 0
+
+    def test_learning_disabled_freezes_table(self, platform):
+        sim = _sim(platform)
+        table = QTable(N_STATES, 8)
+        policy = TopRLMigrationPolicy(
+            qtable=table, learning_enabled=False, rng=RandomSource(0)
+        )
+        sim.submit(_long(), 1e6, 0.0)
+        sim.run_for(0.3)
+        policy(sim)
+        sim.run_for(0.5)
+        policy(sim)
+        assert table.updates == 0
+
+    def test_exploration_rate_zero_is_greedy(self, platform):
+        sim = _sim(platform)
+        table = QTable(N_STATES, 8)
+        table.values[:, 3] = 1.0  # core 3 globally attractive
+        policy = TopRLMigrationPolicy(
+            qtable=table, config=RLConfig(epsilon=0.0), rng=RandomSource(0)
+        )
+        pid = sim.submit(_long(), 1e6, 0.0)
+        sim.placement_policy = lambda s, p: 0
+        sim.run_for(0.3)
+        policy(sim)
+        assert sim.process(pid).core_id == 3
+
+    def test_finished_process_skipped_in_update(self, platform):
+        sim = _sim(platform)
+        short = dataclasses.replace(get_app("syr2k"), total_instructions=5e8)
+        policy = TopRLMigrationPolicy(rng=RandomSource(0))
+        sim.submit(short, 1e6, 0.0)
+        sim.run_for(0.3)
+        policy(sim)
+        sim.run_for(5.0)  # process finishes
+        policy(sim)  # must not raise
+        assert not sim.running_processes()
+
+    def test_overhead_charged(self, platform):
+        sim = _sim(platform)
+        policy = TopRLMigrationPolicy(rng=RandomSource(0))
+        sim.submit(_long(), 1e6, 0.0)
+        sim.run_for(0.2)
+        policy(sim)
+        assert sim.overhead_cpu_s["migration"] > 0
+
+
+class TestPaperDefaults:
+    def test_rl_config_matches_paper(self):
+        """Sec. 6.3: eps=0.1, gamma=0.8, alpha=0.05, 500 ms epochs."""
+        cfg = RLConfig()
+        assert cfg.epsilon == pytest.approx(0.1)
+        assert cfg.discount == pytest.approx(0.8)
+        assert cfg.learning_rate == pytest.approx(0.05)
+        assert cfg.period_s == pytest.approx(0.5)
+
+    def test_reward_constants_match_paper(self):
+        """Eq. 7: r = 80C - T, or -200 on a QoS violation."""
+        cfg = RLConfig()
+        assert cfg.reward_offset_c == pytest.approx(80.0)
+        assert cfg.qos_violation_reward == pytest.approx(-200.0)

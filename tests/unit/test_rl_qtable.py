@@ -1,0 +1,70 @@
+"""Q-table mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.rl.qtable import QTable
+
+
+class TestConstruction:
+    def test_paper_size(self):
+        table = QTable(288, 8)
+        assert table.size == 2304
+
+    def test_constant_initialization(self):
+        table = QTable(4, 2, initial_value=1.5)
+        assert np.all(table.values == 1.5)
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            QTable(0, 8)
+
+    def test_invalid_learning_rate_rejected(self):
+        with pytest.raises(ValueError):
+            QTable(4, 2, learning_rate=1.5)
+
+
+class TestUpdateRule:
+    def test_single_update_matches_definition(self):
+        """Q += alpha (r + gamma max Q' - Q)."""
+        table = QTable(3, 2, learning_rate=0.5, discount=0.8)
+        table.values[1] = [2.0, 4.0]  # next-state values
+        table.update(state=0, action=0, reward=10.0, next_state=1)
+        expected = 0.0 + 0.5 * (10.0 + 0.8 * 4.0 - 0.0)
+        assert table.q(0, 0) == pytest.approx(expected)
+
+    def test_update_counter(self):
+        table = QTable(2, 2)
+        table.update(0, 0, 1.0, 1)
+        table.update(0, 1, 1.0, 1)
+        assert table.updates == 2
+
+    def test_convergence_on_two_state_chain(self):
+        """Repeated updates converge to r / (1 - gamma) on a self-loop."""
+        table = QTable(1, 1, learning_rate=0.2, discount=0.5)
+        for _ in range(500):
+            table.update(0, 0, 1.0, 0)
+        assert table.q(0, 0) == pytest.approx(1.0 / (1 - 0.5), abs=1e-3)
+
+    def test_best_action(self):
+        table = QTable(2, 3)
+        table.values[0] = [0.1, 0.9, 0.3]
+        assert table.best_action(0) == 1
+
+
+class TestPersistence:
+    def test_copy_is_independent(self):
+        a = QTable(2, 2)
+        b = a.copy()
+        b.values[0, 0] = 99.0
+        assert a.values[0, 0] == 0.0
+
+    def test_save_load_roundtrip(self, tmp_path):
+        table = QTable(4, 3, learning_rate=0.05, discount=0.8)
+        table.values[:] = np.arange(12).reshape(4, 3)
+        path = str(tmp_path / "q.npz")
+        table.save(path)
+        loaded = QTable.load(path)
+        assert np.allclose(loaded.values, table.values)
+        assert loaded.learning_rate == table.learning_rate
+        assert loaded.discount == table.discount

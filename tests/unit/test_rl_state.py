@@ -1,0 +1,118 @@
+"""RL state quantization."""
+
+import dataclasses
+
+import pytest
+
+from repro.apps import get_app
+from repro.platform.hikey import BIG, LITTLE
+from repro.rl.state import N_STATES, StateQuantizer
+from repro.sim import SimConfig, Simulator
+from repro.thermal import FAN_COOLING
+
+
+def _sim(platform):
+    return Simulator(
+        platform,
+        FAN_COOLING,
+        config=SimConfig(dt_s=0.01, model_overhead_on_core=None),
+        sensor_noise_std_c=0.0,
+    )
+
+
+def _long(name="adi"):
+    return dataclasses.replace(get_app(name), total_instructions=1e15)
+
+
+class TestTableSize:
+    def test_paper_qtable_size(self):
+        """288 states x 8 actions = 2,304 entries as in the paper."""
+        assert N_STATES * 8 == 2304
+
+
+class TestComponentBins:
+    def test_cluster_bin(self, platform):
+        sim = _sim(platform)
+        q = StateQuantizer(platform)
+        pids = [sim.submit(_long(), 1e8, 0.0) for _ in range(2)]
+        order = iter([0, 4])
+        sim.placement_policy = lambda s, p: next(order)
+        sim.step()
+        assert q.cluster_bin(sim, sim.process(pids[0])) == 0
+        assert q.cluster_bin(sim, sim.process(pids[1])) == 1
+
+    def test_qos_bin_tracks_satisfaction(self, platform):
+        sim = _sim(platform)
+        q = StateQuantizer(platform)
+        pid = sim.submit(_long("syr2k"), 1e6, 0.0)
+        sim.run_for(0.5)
+        proc = sim.process(pid)
+        assert q.qos_bin(sim, proc) == 1
+        proc.qos_target_ips = 1e12
+        assert q.qos_bin(sim, proc) == 0
+
+    def test_l2d_bins_cover_app_spectrum(self, platform):
+        sim = _sim(platform)
+        q = StateQuantizer(platform)
+        pids = [
+            sim.submit(_long("swaptions"), 1e6, 0.0),
+            sim.submit(_long("canneal"), 1e6, 0.0),
+        ]
+        sim.run_for(0.5)
+        compute = q.l2d_bin(sim.process(pids[0]))
+        memory = q.l2d_bin(sim.process(pids[1]))
+        assert compute < memory
+
+    def test_vf_bins_monotone(self, platform):
+        sim = _sim(platform)
+        q = StateQuantizer(platform)
+        table = platform.cluster(LITTLE).vf_table
+        sim.set_vf_level(LITTLE, table.min_level)
+        low = q.fl_bin(sim)
+        sim.set_vf_level(LITTLE, table.max_level)
+        high = q.fl_bin(sim)
+        assert low == 0 and high == 3
+
+    def test_free_other_bin(self, platform):
+        sim = _sim(platform)
+        q = StateQuantizer(platform)
+        pid = sim.submit(_long(), 1e8, 0.0)
+        sim.placement_policy = lambda s, p: 0
+        sim.step()
+        assert q.free_other_bin(sim, sim.process(pid)) == 1
+        # Fill the big cluster entirely.
+        fills = [sim.submit(_long(), 1e8, 0.01) for _ in range(4)]
+        order = iter([4, 5, 6, 7])
+        sim.placement_policy = lambda s, p: next(order)
+        sim.run_for(0.05)
+        assert q.free_other_bin(sim, sim.process(pid)) == 0
+
+
+class TestCombinedIndex:
+    def test_state_in_range(self, platform):
+        sim = _sim(platform)
+        q = StateQuantizer(platform)
+        for name in ("adi", "canneal", "swaptions"):
+            sim.submit(_long(name), 1e8, 0.0)
+        sim.run_for(0.3)
+        for p in sim.running_processes():
+            state = q.state_of(sim, p)
+            assert 0 <= state < N_STATES
+
+    def test_distinct_configurations_distinct_states(self, platform):
+        sim = _sim(platform)
+        q = StateQuantizer(platform)
+        pids = [sim.submit(_long(), 1e8, 0.0) for _ in range(2)]
+        order = iter([0, 4])
+        sim.placement_policy = lambda s, p: next(order)
+        sim.run_for(0.3)
+        s0 = q.state_of(sim, sim.process(pids[0]))
+        s1 = q.state_of(sim, sim.process(pids[1]))
+        assert s0 != s1
+
+    def test_pending_process_rejected(self, platform):
+        sim = _sim(platform)
+        q = StateQuantizer(platform)
+        pid = sim.submit(_long(), 1e8, arrival_time_s=5.0)
+        with pytest.raises(ValueError):
+            q.state_of(sim, sim.process(pid))

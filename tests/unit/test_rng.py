@@ -1,0 +1,68 @@
+"""Deterministic random-source behaviour."""
+
+import numpy as np
+
+from repro.utils.rng import RandomSource, spawn_rng
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = RandomSource(7).uniform(size=10)
+        b = RandomSource(7).uniform(size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RandomSource(7).uniform(size=10)
+        b = RandomSource(8).uniform(size=10)
+        assert not np.array_equal(a, b)
+
+
+class TestChildStreams:
+    def test_child_is_deterministic(self):
+        a = RandomSource(7).child("workload").uniform(size=5)
+        b = RandomSource(7).child("workload").uniform(size=5)
+        assert np.array_equal(a, b)
+
+    def test_children_with_different_keys_differ(self):
+        root = RandomSource(7)
+        a = root.child("alpha").uniform(size=5)
+        b = root.child("beta").uniform(size=5)
+        assert not np.array_equal(a, b)
+
+    def test_child_independent_of_parent_draws(self):
+        """Consuming the parent stream must not shift a child stream."""
+        root1 = RandomSource(7)
+        child_before = root1.child("x").uniform(size=5)
+        root2 = RandomSource(7)
+        root2.uniform(size=100)  # consume parent draws
+        child_after = root2.child("x").uniform(size=5)
+        assert np.array_equal(child_before, child_after)
+
+    def test_spawn_rng_shortcut(self):
+        a = spawn_rng(3, "k").uniform(size=4)
+        b = RandomSource(3).child("k").uniform(size=4)
+        assert np.array_equal(a, b)
+
+
+class TestDistributionPassthroughs:
+    def test_integers_within_bounds(self):
+        values = RandomSource(0).integers(0, 8, size=1000)
+        assert values.min() >= 0 and values.max() < 8
+
+    def test_choice_draws_from_sequence(self):
+        options = ["a", "b", "c"]
+        picks = {str(RandomSource(i).choice(options)) for i in range(20)}
+        assert picks.issubset(set(options))
+
+    def test_exponential_positive(self):
+        values = RandomSource(0).exponential(scale=10.0, size=100)
+        assert (values > 0).all()
+
+    def test_shuffle_preserves_elements(self):
+        items = list(range(10))
+        RandomSource(0).shuffle(items)
+        assert sorted(items) == list(range(10))
+
+    def test_normal_centered(self):
+        values = RandomSource(0).normal(5.0, 0.1, size=2000)
+        assert abs(values.mean() - 5.0) < 0.05

@@ -1,0 +1,77 @@
+"""Temperature sensor: sampling, quantization, hold behaviour."""
+
+import pytest
+
+from repro.thermal.rc import RCThermalNetwork
+from repro.thermal.sensor import TemperatureSensor
+from repro.utils.rng import RandomSource
+
+
+def _network():
+    net = RCThermalNetwork(ambient_temp_c=25.0)
+    net.add_node("a", 0.1)
+    net.add_node("b", 0.1)
+    net.connect("a", "b", 1.0)
+    net.connect_to_ambient("b", 1.0)
+    net.finalize()
+    return net
+
+
+class TestSensor:
+    def test_reads_max_over_nodes(self):
+        net = _network()
+        net.set_temperatures({"a": 40.0, "b": 55.0})
+        sensor = TemperatureSensor(net, quantization_c=0.0)
+        assert sensor.read(0.0) == pytest.approx(55.0)
+
+    def test_monitored_subset(self):
+        net = _network()
+        net.set_temperatures({"a": 40.0, "b": 55.0})
+        sensor = TemperatureSensor(net, nodes=["a"], quantization_c=0.0)
+        assert sensor.read(0.0) == pytest.approx(40.0)
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(KeyError):
+            TemperatureSensor(_network(), nodes=["missing"])
+
+    def test_zero_order_hold_between_samples(self):
+        net = _network()
+        net.set_temperatures({"a": 40.0})
+        sensor = TemperatureSensor(net, sample_period_s=0.05, quantization_c=0.0)
+        first = sensor.read(0.0)
+        net.set_temperatures({"a": 90.0})
+        # Within the same sample period the held value is returned.
+        assert sensor.read(0.01) == pytest.approx(first)
+        # After the period elapses a fresh sample is taken.
+        assert sensor.read(0.05) == pytest.approx(90.0)
+
+    def test_quantization(self):
+        net = _network()
+        net.set_temperatures({"a": 42.5678, "b": 42.5678})
+        sensor = TemperatureSensor(net, quantization_c=0.1)
+        value = sensor.read(0.0)
+        assert value == pytest.approx(42.6)
+
+    def test_noise_is_seeded(self):
+        readings = []
+        for _ in range(2):
+            net = _network()
+            net.set_temperatures({"a": 50.0, "b": 50.0})
+            sensor = TemperatureSensor(
+                net, quantization_c=0.0, noise_std_c=0.5, rng=RandomSource(3)
+            )
+            readings.append(sensor.read(0.0))
+        assert readings[0] == pytest.approx(readings[1])
+
+    def test_reset_forces_fresh_sample(self):
+        net = _network()
+        net.set_temperatures({"a": 40.0})
+        sensor = TemperatureSensor(net, sample_period_s=10.0, quantization_c=0.0)
+        sensor.read(0.0)
+        net.set_temperatures({"a": 60.0})
+        sensor.reset()
+        assert sensor.read(0.001) == pytest.approx(60.0)
+
+    def test_paper_sampling_rate_default(self):
+        sensor = TemperatureSensor(_network())
+        assert sensor.sample_period_s == pytest.approx(0.05)  # 20 Hz

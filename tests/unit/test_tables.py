@@ -1,0 +1,29 @@
+"""ASCII table rendering."""
+
+import pytest
+
+from repro.utils.tables import ascii_table
+
+
+class TestAsciiTable:
+    def test_headers_and_rows_rendered(self):
+        out = ascii_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "1" in lines[2] and "4" in lines[3]
+
+    def test_column_width_adapts(self):
+        out = ascii_table(["x"], [["longvalue"]])
+        assert "longvalue" in out
+
+    def test_float_formatting(self):
+        out = ascii_table(["v"], [[1.23456]])
+        assert "1.235" in out
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = ascii_table(["a"], [])
+        assert "a" in out

@@ -1,0 +1,104 @@
+"""Technique wrappers: attach semantics and overhead charging."""
+
+import dataclasses
+
+import pytest
+
+from repro.apps import get_app
+from repro.governors.techniques import GTSOndemand, GTSPowersave
+from repro.il.technique import TopIL
+from repro.nn.layers import build_mlp
+from repro.platform.hikey import BIG, LITTLE
+from repro.rl.technique import TopRL
+from repro.sim import SimConfig, Simulator
+from repro.thermal import FAN_COOLING
+from repro.utils.rng import RandomSource
+
+
+def _sim(platform):
+    return Simulator(
+        platform,
+        FAN_COOLING,
+        config=SimConfig(dt_s=0.01, model_overhead_on_core=None),
+        sensor_noise_std_c=0.0,
+    )
+
+
+def _long(name="adi"):
+    return dataclasses.replace(get_app(name), total_instructions=1e15)
+
+
+def _model():
+    return build_mlp(21, 8, 2, 16, RandomSource(0))
+
+
+class TestLinuxTechniques:
+    def test_gts_ondemand_name_and_behaviour(self, platform):
+        sim = _sim(platform)
+        technique = GTSOndemand()
+        assert technique.name == "GTS/ondemand"
+        technique.attach(sim)
+        sim.submit(_long(), 1e8, 0.0)
+        sim.run_for(0.5)
+        proc = sim.running_processes()[0]
+        # GTS placed it big; ondemand ramped the busy cluster to max.
+        assert platform.cluster_of_core(proc.core_id).name == BIG
+        assert sim.vf_level(BIG) == platform.cluster(BIG).vf_table.max_level
+
+    def test_gts_powersave_pins_minimum(self, platform):
+        sim = _sim(platform)
+        GTSPowersave().attach(sim)
+        sim.submit(_long(), 1e8, 0.0)
+        sim.run_for(0.5)
+        for cluster in platform.clusters:
+            assert sim.vf_level(cluster.name) == cluster.vf_table.min_level
+
+
+class TestTopILTechnique:
+    def test_attach_registers_both_loops(self, platform):
+        sim = _sim(platform)
+        TopIL(_model()).attach(sim)
+        names = {c.name for c in sim._controllers}
+        assert "qos-dvfs" in names
+        assert "top-il-migration" in names
+
+    def test_charges_both_overhead_components(self, platform):
+        sim = _sim(platform)
+        TopIL(_model()).attach(sim)
+        sim.submit(_long(), 1e8, 0.0)
+        sim.run_for(1.1)
+        assert sim.overhead_cpu_s["dvfs"] > 0
+        assert sim.overhead_cpu_s["migration"] > 0
+
+    def test_custom_periods_respected(self, platform):
+        sim = _sim(platform)
+        technique = TopIL(_model(), migration_period_s=0.25, dvfs_period_s=0.1)
+        technique.attach(sim)
+        sim.run_for(1.05)
+        assert technique.migration.invocations == 4
+        assert technique.dvfs_loop.invocations == 10
+
+    def test_dvfs_loop_shared_with_migration(self, platform):
+        technique = TopIL(_model())
+        assert technique.migration.dvfs_loop is technique.dvfs_loop
+
+
+class TestTopRLTechnique:
+    def test_attach_registers_both_loops(self, platform):
+        sim = _sim(platform)
+        TopRL(rng=RandomSource(0)).attach(sim)
+        names = {c.name for c in sim._controllers}
+        assert "qos-dvfs" in names
+        assert "top-rl-migration" in names
+
+    def test_fresh_qtable_created_by_default(self, platform):
+        technique = TopRL(rng=RandomSource(0))
+        assert technique.qtable.size == 2304
+
+    def test_overhead_charged(self, platform):
+        sim = _sim(platform)
+        TopRL(rng=RandomSource(0)).attach(sim)
+        sim.submit(_long(), 1e8, 0.0)
+        sim.run_for(1.1)
+        assert sim.overhead_cpu_s["dvfs"] > 0
+        assert sim.overhead_cpu_s["migration"] > 0

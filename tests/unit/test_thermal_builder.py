@@ -1,0 +1,83 @@
+"""Thermal network builder and cooling configurations."""
+
+import pytest
+
+from repro.platform import Platform, hikey970
+from repro.thermal import (
+    FAN_COOLING,
+    PASSIVE_COOLING,
+    build_thermal_network,
+)
+from repro.thermal.builder import ThermalMaterials
+from repro.thermal.cooling import CoolingConfig
+
+
+@pytest.fixture
+def platform():
+    return hikey970()
+
+
+class TestCoolingConfig:
+    def test_fan_conducts_better_than_passive(self):
+        assert (
+            FAN_COOLING.board_to_ambient_w_per_k
+            > 2 * PASSIVE_COOLING.board_to_ambient_w_per_k
+        )
+
+    def test_invalid_conductance_rejected(self):
+        with pytest.raises(ValueError):
+            CoolingConfig(name="x", board_to_ambient_w_per_k=0.0)
+
+
+class TestBuilder:
+    def test_nodes_match_floorplan_plus_board(self, platform):
+        net = build_thermal_network(platform, FAN_COOLING)
+        assert set(net.node_names) == set(platform.floorplan) | {"board"}
+
+    def test_requires_floorplan(self):
+        bare = hikey970()
+        bare.floorplan = {}
+        with pytest.raises(ValueError, match="floorplan"):
+            build_thermal_network(bare, FAN_COOLING)
+
+    def test_steady_state_hotter_without_fan(self, platform):
+        power = {f"core{c}": 1.0 for c in range(4, 8)}
+        fan = build_thermal_network(platform, FAN_COOLING).steady_state(power)
+        passive = build_thermal_network(platform, PASSIVE_COOLING).steady_state(power)
+        assert passive["core4"] > fan["core4"] + 5.0
+
+    def test_heated_core_is_local_hotspot(self, platform):
+        net = build_thermal_network(platform, FAN_COOLING)
+        ss = net.steady_state({"core6": 1.5})
+        assert ss["core6"] == max(ss[f"core{c}"] for c in range(8))
+
+    def test_heat_spreads_to_neighbours(self, platform):
+        """Spatial coupling: heating core6 raises core7 well above ambient."""
+        net = build_thermal_network(platform, FAN_COOLING)
+        ss = net.steady_state({"core6": 1.5})
+        assert ss["core7"] > platform.ambient_temp_c + 2.0
+
+    def test_custom_materials_affect_resistance(self, platform):
+        low_r = ThermalMaterials(vertical_w_per_k_m2=50000.0)
+        net_default = build_thermal_network(platform, FAN_COOLING)
+        net_low_r = build_thermal_network(platform, FAN_COOLING, low_r)
+        power = {"core4": 1.0}
+        assert (
+            net_low_r.steady_state(power)["core4"]
+            < net_default.steady_state(power)["core4"]
+        )
+
+    def test_calibration_full_load_range_with_fan(self, platform):
+        """~10.5 W total should land near the paper's loaded-board range."""
+        net = build_thermal_network(platform, FAN_COOLING)
+        power = {f"core{c}": 0.45 for c in range(4)}
+        power.update({f"core{c}": 1.7 for c in range(4, 8)})
+        power.update({"uncore_LITTLE": 0.2, "uncore_big": 0.3, "soc_rest": 0.55})
+        ss = net.steady_state(power)
+        hottest = max(ss[f"core{c}"] for c in range(8))
+        assert 70.0 < hottest < 105.0
+
+    def test_idle_board_near_ambient(self, platform):
+        net = build_thermal_network(platform, FAN_COOLING)
+        ss = net.steady_state({"soc_rest": 0.55})
+        assert ss["board"] < platform.ambient_temp_c + 3.0

@@ -1,0 +1,160 @@
+"""RC thermal network: construction, steady state, dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.thermal.rc import RCThermalNetwork
+
+
+def _two_node_network(ambient=25.0):
+    net = RCThermalNetwork(ambient_temp_c=ambient)
+    net.add_node("chip", 0.01)
+    net.add_node("board", 10.0)
+    net.connect("chip", "board", 0.5)
+    net.connect_to_ambient("board", 1.0)
+    net.finalize()
+    return net
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self):
+        net = RCThermalNetwork()
+        net.add_node("a", 1.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            net.add_node("a", 1.0)
+
+    def test_self_connection_rejected(self):
+        net = RCThermalNetwork()
+        net.add_node("a", 1.0)
+        with pytest.raises(ValueError):
+            net.connect("a", "a", 1.0)
+
+    def test_finalize_requires_ambient_path(self):
+        net = RCThermalNetwork()
+        net.add_node("a", 1.0)
+        with pytest.raises(ValueError, match="ambient"):
+            net.finalize()
+
+    def test_no_modification_after_finalize(self):
+        net = _two_node_network()
+        with pytest.raises(RuntimeError):
+            net.add_node("x", 1.0)
+        with pytest.raises(RuntimeError):
+            net.connect_to_ambient("chip", 1.0)
+
+    def test_use_before_finalize_rejected(self):
+        net = RCThermalNetwork()
+        net.add_node("a", 1.0)
+        net.connect_to_ambient("a", 1.0)
+        with pytest.raises(RuntimeError):
+            net.temperatures()
+
+    def test_double_finalize_rejected(self):
+        net = _two_node_network()
+        with pytest.raises(RuntimeError):
+            net.finalize()
+
+
+class TestSteadyState:
+    def test_no_power_means_ambient(self):
+        net = _two_node_network(ambient=30.0)
+        ss = net.steady_state({})
+        assert all(t == pytest.approx(30.0) for t in ss.values())
+
+    def test_two_node_analytic_solution(self):
+        """chip = ambient + P (1/G_amb + 1/G_link), board = ambient + P/G_amb."""
+        net = _two_node_network(ambient=25.0)
+        ss = net.steady_state({"chip": 2.0})
+        assert ss["board"] == pytest.approx(25.0 + 2.0 / 1.0)
+        assert ss["chip"] == pytest.approx(25.0 + 2.0 * (1.0 + 1.0 / 0.5))
+
+    def test_power_at_unknown_node_rejected(self):
+        net = _two_node_network()
+        with pytest.raises(KeyError):
+            net.steady_state({"nope": 1.0})
+
+    def test_negative_power_rejected(self):
+        net = _two_node_network()
+        with pytest.raises(ValueError):
+            net.steady_state({"chip": -1.0})
+
+
+class TestDynamics:
+    def test_step_converges_to_steady_state(self):
+        net = _two_node_network()
+        target = net.steady_state({"chip": 1.5})
+        for _ in range(5000):
+            net.step({"chip": 1.5}, 0.1)
+        temps = net.temperatures()
+        for name in temps:
+            assert temps[name] == pytest.approx(target[name], abs=1e-3)
+
+    def test_cooling_decays_to_ambient(self):
+        net = _two_node_network()
+        net.set_temperatures({"chip": 80.0, "board": 60.0})
+        for _ in range(5000):
+            net.step({}, 0.5)
+        assert net.temperature_of("chip") == pytest.approx(25.0, abs=1e-2)
+
+    def test_heating_monotone_from_cold_start(self):
+        net = _two_node_network()
+        prev = net.temperature_of("chip")
+        for _ in range(50):
+            net.step({"chip": 1.0}, 0.05)
+            cur = net.temperature_of("chip")
+            assert cur >= prev - 1e-12
+            prev = cur
+
+    def test_exact_integration_independent_of_step_size(self):
+        """The expm integrator is exact for constant power: two half steps
+        must equal one full step."""
+        net1 = _two_node_network()
+        net2 = _two_node_network()
+        net1.step({"chip": 1.0}, 1.0)
+        net2.step({"chip": 1.0}, 0.5)
+        net2.step({"chip": 1.0}, 0.5)
+        assert net1.temperature_of("chip") == pytest.approx(
+            net2.temperature_of("chip"), abs=1e-9
+        )
+
+    def test_step_requires_positive_dt(self):
+        net = _two_node_network()
+        with pytest.raises(ValueError):
+            net.step({}, 0.0)
+
+    def test_time_constants_positive_and_ordered(self):
+        net = _two_node_network()
+        taus = net.time_constants()
+        assert (taus > 0).all()
+        assert taus[0] >= taus[-1]
+
+    def test_board_time_constant_dominates(self):
+        """Board capacitance sets the minutes-scale dominant time constant."""
+        net = _two_node_network()
+        taus = net.time_constants()
+        assert taus[0] > 50 * taus[-1]
+
+
+class TestStateAccess:
+    def test_set_and_reset(self):
+        net = _two_node_network()
+        net.set_temperatures({"chip": 55.0})
+        assert net.temperature_of("chip") == pytest.approx(55.0)
+        net.reset()
+        assert net.temperature_of("chip") == pytest.approx(25.0)
+
+    def test_reset_to_temperature(self):
+        net = _two_node_network()
+        net.reset(40.0)
+        assert net.temperature_of("board") == pytest.approx(40.0)
+
+    def test_max_temperature_subset(self):
+        net = _two_node_network()
+        net.set_temperatures({"chip": 50.0, "board": 70.0})
+        assert net.max_temperature(["chip"]) == pytest.approx(50.0)
+        assert net.max_temperature() == pytest.approx(70.0)
+
+    def test_conductance_matrix_symmetric(self):
+        net = _two_node_network()
+        g = net.conductance_matrix
+        assert np.allclose(g, g.T)

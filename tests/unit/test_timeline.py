@@ -1,0 +1,85 @@
+"""Timeline extraction from run traces."""
+
+import pytest
+
+from repro.metrics.timeline import (
+    AppTimeline,
+    extract_timelines,
+    render_run_timelines,
+)
+from repro.sim.trace import TraceRecorder
+
+
+def _trace_with(samples):
+    """Build a trace; samples = list of (t, {pid: core}, {pid: ips})."""
+    rec = TraceRecorder(sample_period_s=0.1)
+    for t, cores, ips in samples:
+        rec.record(
+            now_s=t,
+            sensor_temp_c=30.0 + t,
+            max_core_temp_c=31.0 + t,
+            total_power_w=2.0,
+            vf_hz={"LITTLE": 1e9, "big": 2e9},
+            node_temps_c={},
+            process_core=cores,
+            process_ips=ips,
+        )
+    return rec
+
+
+class TestAppTimeline:
+    def _timeline(self):
+        return AppTimeline(
+            pid=1,
+            times_s=[0.0, 0.1, 0.2, 0.3],
+            clusters=["LITTLE", "LITTLE", "big", ""],
+            ips=[1e9, 0.5e9, 2e9, 0.0],
+            qos_target_ips=0.9e9,
+        )
+
+    def test_cluster_residency(self):
+        res = self._timeline().cluster_residency()
+        assert res["LITTLE"] == pytest.approx(2 / 3)
+        assert res["big"] == pytest.approx(1 / 3)
+
+    def test_switch_count(self):
+        assert self._timeline().switches() == 1
+
+    def test_qos_met_series_skips_inactive(self):
+        series = self._timeline().qos_met_series()
+        assert series == [True, False, True]
+
+    def test_qos_met_fraction(self):
+        assert self._timeline().qos_met_fraction() == pytest.approx(2 / 3)
+
+    def test_empty_timeline_defaults(self):
+        empty = AppTimeline(1, [], [], [], 1e9)
+        assert empty.qos_met_fraction() == 1.0
+        assert empty.cluster_residency() == {}
+        assert empty.switches() == 0
+
+
+class TestExtraction:
+    def test_extract_from_trace(self, platform):
+        trace = _trace_with(
+            [
+                (0.0, {1: 0}, {1: 1e9}),
+                (0.1, {1: 4}, {1: 2e9}),
+                (0.2, {}, {}),
+            ]
+        )
+        timelines = extract_timelines(trace, platform, {1: 0.5e9})
+        assert timelines[1].clusters == ["LITTLE", "big", ""]
+        assert timelines[1].qos_target_ips == 0.5e9
+
+    def test_render_panel(self, platform):
+        trace = _trace_with(
+            [
+                (0.0, {1: 0}, {1: 1e9}),
+                (0.1, {1: 4}, {1: 2e9}),
+            ]
+        )
+        panel = render_run_timelines(trace, platform, {1: 0.5e9})
+        assert "temperature" in panel
+        assert "pid 1" in panel
+        assert "Lb" in panel

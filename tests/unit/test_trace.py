@@ -1,0 +1,80 @@
+"""Trace recorder behaviour."""
+
+import pytest
+
+from repro.sim.trace import MigrationEvent, TraceRecorder
+
+
+def _sample(recorder, t, temp=30.0, pids=None):
+    recorder.record(
+        now_s=t,
+        sensor_temp_c=temp,
+        max_core_temp_c=temp + 1.0,
+        total_power_w=2.0,
+        vf_hz={"LITTLE": 1e9, "big": 2e9},
+        node_temps_c={"core0": temp},
+        process_core=pids or {},
+        process_ips={pid: 1e9 for pid in (pids or {})},
+    )
+
+
+class TestSamplingGrid:
+    def test_due_respects_period(self):
+        rec = TraceRecorder(sample_period_s=0.1)
+        assert rec.due(0.0)
+        _sample(rec, 0.0)
+        assert not rec.due(0.05)
+        assert rec.due(0.1)
+
+    def test_series_stay_parallel(self):
+        rec = TraceRecorder()
+        _sample(rec, 0.0)
+        _sample(rec, 0.1)
+        assert len(rec.times) == len(rec.sensor_temp_c) == 2
+        assert len(rec.vf_levels["LITTLE"]) == 2
+
+    def test_late_pid_backfilled(self):
+        """A process appearing mid-run gets -1 for earlier samples."""
+        rec = TraceRecorder()
+        _sample(rec, 0.0, pids={})
+        _sample(rec, 0.1, pids={7: 3})
+        assert rec.process_cores[7] == [-1, 3]
+
+    def test_departed_pid_marked_idle(self):
+        rec = TraceRecorder()
+        _sample(rec, 0.0, pids={7: 3})
+        _sample(rec, 0.1, pids={})
+        assert rec.process_cores[7] == [3, -1]
+
+
+class TestStatistics:
+    def test_mean_and_peak(self):
+        rec = TraceRecorder()
+        _sample(rec, 0.0, temp=30.0)
+        _sample(rec, 0.1, temp=50.0)
+        assert rec.mean_sensor_temp() == pytest.approx(40.0)
+        assert rec.peak_sensor_temp() == pytest.approx(50.0)
+
+    def test_empty_trace_raises(self):
+        with pytest.raises(ValueError):
+            TraceRecorder().mean_sensor_temp()
+
+    def test_cluster_of_samples(self):
+        rec = TraceRecorder()
+        _sample(rec, 0.0, pids={1: 0})
+        _sample(rec, 0.1, pids={1: 5})
+        _sample(rec, 0.2, pids={})
+        clusters = rec.cluster_of_samples(1, {0: "LITTLE", 5: "big"})
+        assert clusters == ["LITTLE", "big", ""]
+
+
+class TestMigrationEvents:
+    def test_events_recorded_in_order(self):
+        rec = TraceRecorder()
+        rec.record_migration(MigrationEvent(1.0, 1, "adi", 0, 4))
+        rec.record_migration(MigrationEvent(2.0, 1, "adi", 4, 0))
+        assert [m.time_s for m in rec.migrations] == [1.0, 2.0]
+
+    def test_placement_has_no_source(self):
+        event = MigrationEvent(0.0, 1, "adi", None, 3)
+        assert event.from_core is None

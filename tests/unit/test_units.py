@@ -1,0 +1,74 @@
+"""Unit conversions and formatting helpers."""
+
+import pytest
+
+from repro.utils import units
+
+
+class TestFrequencyConstants:
+    def test_ghz_is_1e9(self):
+        assert units.GHZ == 1e9
+
+    def test_mhz_is_1e6(self):
+        assert units.MHZ == 1e6
+
+    def test_khz_is_1e3(self):
+        assert units.KHZ == 1e3
+
+    def test_hz_is_identity(self):
+        assert units.HZ == 1.0
+
+    def test_composition(self):
+        assert 1.844 * units.GHZ == 1844 * units.MHZ
+
+
+class TestTemperatureConversion:
+    def test_zero_celsius(self):
+        assert units.celsius_to_kelvin(0.0) == pytest.approx(273.15)
+
+    def test_roundtrip(self):
+        assert units.kelvin_to_celsius(units.celsius_to_kelvin(42.5)) == pytest.approx(
+            42.5
+        )
+
+    def test_negative_temperature(self):
+        assert units.celsius_to_kelvin(-40.0) == pytest.approx(233.15)
+
+
+class TestMips:
+    def test_one_gips(self):
+        assert units.mips(1e9) == pytest.approx(1000.0)
+
+    def test_paper_example(self):
+        # 471 MIPS from the paper's trace table.
+        assert units.mips(471e6) == pytest.approx(471.0)
+
+
+class TestFormatFrequency:
+    def test_ghz_formatting(self):
+        assert units.format_frequency(1.844e9) == "1.84 GHz"
+
+    def test_mhz_formatting(self):
+        assert units.format_frequency(682e6) == "682 MHz"
+
+    def test_khz_formatting(self):
+        assert units.format_frequency(32e3) == "32 kHz"
+
+    def test_hz_formatting(self):
+        assert units.format_frequency(50.0) == "50 Hz"
+
+
+class TestFormatTemperature:
+    def test_one_decimal(self):
+        assert units.format_temperature(42.55) == "42.5 °C"
+
+
+class TestFormatTime:
+    def test_seconds(self):
+        assert units.format_time(2.5) == "2.50 s"
+
+    def test_milliseconds(self):
+        assert units.format_time(0.0043) == "4.30 ms"
+
+    def test_microseconds(self):
+        assert units.format_time(25e-6) == "25.0 µs"

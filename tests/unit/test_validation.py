@@ -1,0 +1,73 @@
+"""Argument-validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive("x", 0.1)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        check_non_negative("x", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="x"):
+            check_non_negative("x", -1e-9)
+
+
+class TestCheckProbability:
+    def test_accepts_bounds(self):
+        check_probability("p", 0.0)
+        check_probability("p", 1.0)
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            check_probability("p", 1.01)
+
+
+class TestCheckInRange:
+    def test_accepts_inside(self):
+        check_in_range("x", 5, 0, 10)
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError, match="x"):
+            check_in_range("x", 11, 0, 10)
+
+    def test_error_names_parameter(self):
+        with pytest.raises(ValueError, match="alpha"):
+            check_in_range("alpha", -1, 0, 1)
+
+
+class TestCheckFinite:
+    def test_accepts_scalar(self):
+        check_finite("x", 1.5)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_finite("x", float("nan"))
+
+    def test_rejects_inf_in_array(self):
+        with pytest.raises(ValueError):
+            check_finite("arr", np.array([1.0, np.inf]))
+
+    def test_accepts_array(self):
+        check_finite("arr", np.ones(10))

@@ -1,0 +1,110 @@
+"""VF levels and tables."""
+
+import pytest
+
+from repro.platform.vf import VFLevel, VFTable
+from repro.utils.units import GHZ, MHZ
+
+
+@pytest.fixture
+def table():
+    return VFTable(
+        [
+            VFLevel(0.5 * GHZ, 0.70),
+            VFLevel(1.0 * GHZ, 0.80),
+            VFLevel(1.4 * GHZ, 0.90),
+            VFLevel(1.8 * GHZ, 1.00),
+        ]
+    )
+
+
+class TestVFLevel:
+    def test_rejects_non_positive_frequency(self):
+        with pytest.raises(ValueError):
+            VFLevel(0.0, 0.8)
+
+    def test_rejects_non_positive_voltage(self):
+        with pytest.raises(ValueError):
+            VFLevel(1e9, 0.0)
+
+    def test_ordering_by_frequency(self):
+        assert VFLevel(1e9, 0.8) < VFLevel(2e9, 0.9)
+
+
+class TestVFTableConstruction:
+    def test_requires_levels(self):
+        with pytest.raises(ValueError):
+            VFTable([])
+
+    def test_sorts_by_frequency(self, table):
+        assert table.frequencies == sorted(table.frequencies)
+
+    def test_rejects_duplicate_frequency(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            VFTable([VFLevel(1e9, 0.8), VFLevel(1e9, 0.9)])
+
+    def test_rejects_non_monotone_voltage(self):
+        with pytest.raises(ValueError, match="voltage"):
+            VFTable([VFLevel(1e9, 0.9), VFLevel(2e9, 0.8)])
+
+    def test_len_and_iteration(self, table):
+        assert len(table) == 4
+        assert [lv.frequency_hz for lv in table] == table.frequencies
+
+    def test_min_max(self, table):
+        assert table.min_level.frequency_hz == 0.5 * GHZ
+        assert table.max_level.frequency_hz == 1.8 * GHZ
+
+
+class TestLookups:
+    def test_index_of(self, table):
+        assert table.index_of(1.0 * GHZ) == 1
+
+    def test_index_of_unknown_raises(self, table):
+        with pytest.raises(KeyError):
+            table.index_of(999 * MHZ)
+
+    def test_level_at_or_above_exact(self, table):
+        assert table.level_at_or_above(1.0 * GHZ).frequency_hz == 1.0 * GHZ
+
+    def test_level_at_or_above_rounds_up(self, table):
+        assert table.level_at_or_above(1.1 * GHZ).frequency_hz == 1.4 * GHZ
+
+    def test_level_at_or_above_unreachable_raises(self, table):
+        with pytest.raises(ValueError, match="no VF level"):
+            table.level_at_or_above(2.5 * GHZ)
+
+    def test_has_level_at_or_above(self, table):
+        assert table.has_level_at_or_above(1.8 * GHZ)
+        assert not table.has_level_at_or_above(1.81 * GHZ)
+
+    def test_clamp_saturates_at_max(self, table):
+        assert table.clamp(5 * GHZ).frequency_hz == 1.8 * GHZ
+
+    def test_clamp_below_min_picks_min(self, table):
+        assert table.clamp(0.1 * GHZ).frequency_hz == 0.5 * GHZ
+
+
+class TestStepping:
+    def test_step_towards_up(self, table):
+        nxt = table.step_towards(table[0], table[3])
+        assert nxt.frequency_hz == table[1].frequency_hz
+
+    def test_step_towards_down(self, table):
+        nxt = table.step_towards(table[3], table[0])
+        assert nxt.frequency_hz == table[2].frequency_hz
+
+    def test_step_towards_same_is_identity(self, table):
+        assert table.step_towards(table[2], table[2]) == table[2]
+
+    def test_step_down_at_bottom_holds(self, table):
+        assert table.step_down(table[0]) == table[0]
+
+    def test_step_up_at_top_holds(self, table):
+        assert table.step_up(table[3]) == table[3]
+
+    def test_repeated_steps_reach_target(self, table):
+        current = table[0]
+        for _ in range(len(table)):
+            current = table.step_towards(current, table[3])
+        assert current == table[3]

@@ -1,0 +1,139 @@
+"""Workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_app
+from repro.platform.hikey import LITTLE
+from repro.workloads.generator import (
+    DEFAULT_MIXED_APPS,
+    Workload,
+    WorkloadItem,
+    mixed_workload,
+    single_app_workload,
+)
+
+
+class TestWorkloadItem:
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadItem("adi", 0.0, 1.0)
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadItem("adi", 1e8, -1.0)
+
+
+class TestWorkload:
+    def test_requires_items(self):
+        with pytest.raises(ValueError):
+            Workload("w", [])
+
+    def test_instruction_scale_applied(self):
+        wl = Workload(
+            "w", [WorkloadItem("adi", 1e8, 0.0)], instruction_scale=0.1
+        )
+        scaled = wl.resolve_app(wl.items[0])
+        assert scaled.total_instructions == pytest.approx(
+            0.1 * get_app("adi").total_instructions
+        )
+
+    def test_scale_one_returns_catalog_model(self):
+        wl = Workload("w", [WorkloadItem("adi", 1e8, 0.0)])
+        assert wl.resolve_app(wl.items[0]) is get_app("adi")
+
+
+class TestMixedWorkload:
+    def test_paper_pool_has_sixteen_apps(self):
+        assert len(DEFAULT_MIXED_APPS) == 16
+
+    def test_item_count(self, platform):
+        wl = mixed_workload(platform, n_apps=20, seed=0)
+        assert wl.n_items == 20
+
+    def test_deterministic_given_seed(self, platform):
+        a = mixed_workload(platform, n_apps=10, seed=3)
+        b = mixed_workload(platform, n_apps=10, seed=3)
+        assert a.items == b.items
+
+    def test_different_seeds_differ(self, platform):
+        a = mixed_workload(platform, n_apps=10, seed=3)
+        b = mixed_workload(platform, n_apps=10, seed=4)
+        assert a.items != b.items
+
+    def test_arrivals_increasing(self, platform):
+        wl = mixed_workload(platform, n_apps=30, seed=1)
+        arrivals = [i.arrival_time_s for i in wl.items]
+        assert arrivals == sorted(arrivals)
+
+    def test_arrival_rate_controls_density(self, platform):
+        fast = mixed_workload(platform, n_apps=50, arrival_rate_per_s=1.0, seed=0)
+        slow = mixed_workload(platform, n_apps=50, arrival_rate_per_s=0.1, seed=0)
+        assert fast.last_arrival_s() < slow.last_arrival_s()
+
+    def test_mean_interarrival_matches_rate(self, platform):
+        rate = 0.5
+        wl = mixed_workload(platform, n_apps=500, arrival_rate_per_s=rate, seed=2)
+        arrivals = np.array([i.arrival_time_s for i in wl.items])
+        gaps = np.diff(np.concatenate([[0.0], arrivals]))
+        assert gaps.mean() == pytest.approx(1.0 / rate, rel=0.15)
+
+    def test_qos_targets_feasible_on_little(self, platform):
+        wl = mixed_workload(platform, n_apps=40, seed=5)
+        table = platform.cluster(LITTLE).vf_table
+        for item in wl.items:
+            app = get_app(item.app_name)
+            assert item.qos_target_ips <= app.max_ips(LITTLE, table) * 0.86
+
+    def test_apps_drawn_from_pool(self, platform):
+        wl = mixed_workload(platform, n_apps=40, seed=6)
+        assert {i.app_name for i in wl.items}.issubset(set(DEFAULT_MIXED_APPS))
+
+    def test_invalid_fraction_range_rejected(self, platform):
+        with pytest.raises(ValueError):
+            mixed_workload(platform, qos_fraction_range=(0.9, 0.5))
+
+
+class TestSingleAppWorkload:
+    def test_single_item_at_time_zero(self, platform):
+        wl = single_app_workload("canneal", platform)
+        assert wl.n_items == 1
+        assert wl.items[0].arrival_time_s == 0.0
+
+    def test_default_target_feasible_on_little(self, platform):
+        wl = single_app_workload("swaptions", platform)
+        app = get_app("swaptions")
+        table = platform.cluster(LITTLE).vf_table
+        assert wl.items[0].qos_target_ips < app.max_ips(LITTLE, table)
+
+    def test_explicit_target_respected(self, platform):
+        wl = single_app_workload("adi", platform, qos_target_ips=1.23e8)
+        assert wl.items[0].qos_target_ips == pytest.approx(1.23e8)
+
+
+class TestWorkloadPersistence:
+    def test_json_roundtrip(self, platform, tmp_path):
+        from repro.workloads.generator import load_workload, save_workload
+
+        original = mixed_workload(platform, n_apps=6, seed=9,
+                                  instruction_scale=0.25)
+        path = str(tmp_path / "workload.json")
+        save_workload(original, path)
+        loaded = load_workload(path)
+        assert loaded.name == original.name
+        assert loaded.instruction_scale == original.instruction_scale
+        assert loaded.items == original.items
+
+    def test_loaded_workload_resolves_apps(self, platform, tmp_path):
+        from repro.workloads.generator import load_workload, save_workload
+
+        original = single_app_workload("canneal", platform,
+                                       instruction_scale=0.5)
+        path = str(tmp_path / "single.json")
+        save_workload(original, path)
+        loaded = load_workload(path)
+        app = loaded.resolve_app(loaded.items[0])
+        assert app.name == "canneal"
+        assert app.total_instructions == pytest.approx(
+            0.5 * get_app("canneal").total_instructions
+        )
