@@ -1,0 +1,51 @@
+"""Simulation-kernel throughput: simulated seconds per wall-clock second.
+
+Runs the same fixed-seed mixed workload as the fast-path equivalence
+fixture and reports the headline number in
+``benchmark.extra_info["sim_s_per_wall_s"]`` so it lands in the
+pytest-benchmark JSON (``--benchmark-json=...``).  At smoke scale the
+seed kernel measured ~64 sim-s/wall-s; the fast-path kernel must hold
+well above that (the CI gate in ``tests/perf`` enforces a floor).
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import run_once
+
+from repro.governors.techniques import GTSOndemand
+from repro.thermal import FAN_COOLING
+from repro.workloads.generator import mixed_workload
+from repro.workloads.runner import run_workload
+
+SEED = 11
+N_APPS = 6
+ARRIVAL_RATE = 1.0 / 6.0
+INSTRUCTION_SCALE = 0.02
+
+
+def test_bench_kernel_throughput(benchmark, platform):
+    workload = mixed_workload(
+        platform,
+        n_apps=N_APPS,
+        arrival_rate_per_s=ARRIVAL_RATE,
+        seed=SEED,
+        instruction_scale=INSTRUCTION_SCALE,
+    )
+
+    def run():
+        start = time.perf_counter()
+        result = run_workload(
+            platform, GTSOndemand(), workload, cooling=FAN_COOLING, seed=SEED
+        )
+        wall_s = time.perf_counter() - start
+        return result.sim.now_s, wall_s
+
+    sim_s, wall_s = run_once(benchmark, run)
+    throughput = sim_s / wall_s
+    benchmark.extra_info["sim_s"] = sim_s
+    benchmark.extra_info["wall_s"] = wall_s
+    benchmark.extra_info["sim_s_per_wall_s"] = throughput
+    assert sim_s > 10.0  # the scenario actually ran
+    assert throughput > 0.0

@@ -128,13 +128,21 @@ class PhaseSchedule:
 
     def phase_at(self, cycle_progress: float) -> Phase:
         """The phase active at ``cycle_progress`` in [0, 1) of one cycle."""
+        return self._phases[self.index_at(cycle_progress)]
+
+    def index_at(self, cycle_progress: float) -> int:
+        """Index of the phase active at ``cycle_progress`` in [0, 1)."""
         progress = cycle_progress % 1.0
         acc = 0.0
-        for phase in self._phases:
+        for i, phase in enumerate(self._phases):
             acc += phase.instruction_fraction
             if progress < acc - 1e-12:
-                return phase
-        return self._phases[-1]
+                return i
+        return len(self._phases) - 1
+
+    def phase(self, index: int) -> Phase:
+        """The phase at ``index`` (no list copy, unlike :attr:`phases`)."""
+        return self._phases[index]
 
 
 CONSTANT_SCHEDULE = PhaseSchedule([Phase(1.0)])
@@ -174,6 +182,12 @@ class AppModel:
         check_non_negative("l2d_per_inst", self.l2d_per_inst)
         check_positive("total_instructions", self.total_instructions)
         check_positive("phase_cycle_instructions", self.phase_cycle_instructions)
+        # Effective params per (cluster, phase index); phase scaling is a
+        # pure function of the phase, so each segment is computed once.
+        self._params_cache: Dict[
+            Tuple[str, int], Tuple[ClusterPerfParams, float]
+        ] = {}
+        self._constant_phases = self.phases.is_constant
 
     # --- parameter resolution ----------------------------------------------------
     def clusters(self) -> List[str]:
@@ -186,17 +200,28 @@ class AppModel:
         self, cluster_name: str, instructions_done: float = 0.0
     ) -> Tuple[ClusterPerfParams, float]:
         """Effective (params, l2d_per_inst) after ``instructions_done`` work."""
-        base = self.perf[cluster_name]
-        cycle_progress = (instructions_done / self.phase_cycle_instructions) % 1.0
-        phase = self.phases.phase_at(cycle_progress)
-        params = ClusterPerfParams(
-            cpi=base.cpi * phase.cpi_scale,
-            mem_time_per_inst=base.mem_time_per_inst * phase.mem_scale,
-            activity=min(1.0, base.activity * phase.activity_scale),
-            mem_freq_coupling=base.mem_freq_coupling,
-            mem_ref_freq_hz=base.mem_ref_freq_hz,
-        )
-        return params, self.l2d_per_inst * phase.l2d_scale
+        if self._constant_phases:
+            index = 0
+        else:
+            cycle_progress = (
+                instructions_done / self.phase_cycle_instructions
+            ) % 1.0
+            index = self.phases.index_at(cycle_progress)
+        key = (cluster_name, index)
+        cached = self._params_cache.get(key)
+        if cached is None:
+            base = self.perf[cluster_name]
+            phase = self.phases.phase(index)
+            params = ClusterPerfParams(
+                cpi=base.cpi * phase.cpi_scale,
+                mem_time_per_inst=base.mem_time_per_inst * phase.mem_scale,
+                activity=min(1.0, base.activity * phase.activity_scale),
+                mem_freq_coupling=base.mem_freq_coupling,
+                mem_ref_freq_hz=base.mem_ref_freq_hz,
+            )
+            cached = (params, self.l2d_per_inst * phase.l2d_scale)
+            self._params_cache[key] = cached
+        return cached
 
     # --- performance queries ------------------------------------------------------
     def ips(

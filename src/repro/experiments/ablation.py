@@ -22,6 +22,7 @@ import numpy as np
 from repro.apps.catalog import HELDOUT_APPS, TRAINING_APPS
 from repro.experiments.assets import AssetStore
 from repro.experiments.model_eval import _evaluate_model_on_grid
+from repro.experiments.parallel import run_cells
 from repro.il.ablation import (
     F_WO_AOI_FEATURES,
     L2D_FEATURE,
@@ -200,12 +201,21 @@ class PeriodAblationResult:
         )
 
 
-def run_period_ablation(
-    assets: AssetStore, config: AblationConfig = AblationConfig()
-) -> PeriodAblationResult:
-    """Sweep the control periods around the paper's 500 ms / 50 ms."""
+# Shared read-only state for the period-sweep workers (pool initializer).
+_PERIOD_STATE: Dict[str, object] = {}
+
+
+def _init_period_worker(assets: AssetStore, config: AblationConfig) -> None:
+    _PERIOD_STATE["assets"] = assets
+    _PERIOD_STATE["config"] = config
+
+
+def _run_period_cell(cell: Tuple[float, float]) -> PeriodRow:
+    """One (migration period, DVFS period) point of the sweep."""
+    mig_period, dvfs_period = cell
+    assets: AssetStore = _PERIOD_STATE["assets"]  # type: ignore[assignment]
+    config: AblationConfig = _PERIOD_STATE["config"]  # type: ignore[assignment]
     platform = assets.platform
-    model = assets.models()[0]
     workload = mixed_workload(
         platform,
         n_apps=config.workload_apps,
@@ -213,25 +223,46 @@ def run_period_ablation(
         seed=config.seed,
         instruction_scale=config.instruction_scale,
     )
-    result = PeriodAblationResult()
-    for mig_period in config.migration_periods_s:
-        for dvfs_period in config.dvfs_periods_s:
-            technique = TopIL(
-                model,
-                migration_period_s=mig_period,
-                dvfs_period_s=dvfs_period,
-            )
-            run = run_workload(platform, technique, workload, seed=config.seed)
-            result.rows.append(
-                PeriodRow(
-                    migration_period_s=mig_period,
-                    dvfs_period_s=dvfs_period,
-                    mean_temp_c=run.summary.mean_temp_c,
-                    violations=run.summary.n_qos_violations,
-                    migrations=run.summary.migrations,
-                )
-            )
-    return result
+    technique = TopIL(
+        assets.models()[0],
+        migration_period_s=mig_period,
+        dvfs_period_s=dvfs_period,
+    )
+    run = run_workload(platform, technique, workload, seed=config.seed)
+    return PeriodRow(
+        migration_period_s=mig_period,
+        dvfs_period_s=dvfs_period,
+        mean_temp_c=run.summary.mean_temp_c,
+        violations=run.summary.n_qos_violations,
+        migrations=run.summary.migrations,
+    )
+
+
+def run_period_ablation(
+    assets: AssetStore,
+    config: AblationConfig = AblationConfig(),
+    parallel: Optional[bool] = None,
+    n_workers: Optional[int] = None,
+) -> PeriodAblationResult:
+    """Sweep the control periods around the paper's 500 ms / 50 ms.
+
+    The grid cells are independent, seed-stable simulations, so they fan
+    out over :func:`repro.experiments.parallel.run_cells`.
+    """
+    cells = [
+        (mig_period, dvfs_period)
+        for mig_period in config.migration_periods_s
+        for dvfs_period in config.dvfs_periods_s
+    ]
+    rows = run_cells(
+        cells,
+        _run_period_cell,
+        init=_init_period_worker,
+        init_args=(assets, config),
+        parallel=parallel,
+        n_workers=n_workers,
+    )
+    return PeriodAblationResult(rows=list(rows))
 
 
 @dataclass

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.experiments.assets import AssetStore
+from repro.experiments.parallel import run_cells
 from repro.governors.base import Technique
 from repro.governors.techniques import GTSOndemand, GTSPowersave
 from repro.il.technique import TopIL
@@ -144,13 +145,75 @@ def _make_technique(name: str, assets: AssetStore, repetition: int, seed: int) -
     raise ValueError(f"unknown technique {name!r}")
 
 
+# Shared read-only state for the fan-out workers, installed once per worker
+# process by the pool initializer (and once in-process on the serial path).
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _init_main_mixed_worker(assets: AssetStore, config: MainMixedConfig) -> None:
+    _WORKER_STATE["assets"] = assets
+    _WORKER_STATE["config"] = config
+
+
+def _run_main_mixed_cell(cell: Tuple[CoolingConfig, float, int, str]):
+    """One (cooling, rate, repetition, technique) simulation -> summary.
+
+    Every input is derived from the cell coordinates and the shared config
+    seeds, so the result is independent of scheduling and worker identity.
+    """
+    cooling, rate, rep, name = cell
+    assets: AssetStore = _WORKER_STATE["assets"]  # type: ignore[assignment]
+    config: MainMixedConfig = _WORKER_STATE["config"]  # type: ignore[assignment]
+    workload = mixed_workload(
+        assets.platform,
+        n_apps=config.n_apps,
+        arrival_rate_per_s=rate,
+        seed=config.workload_seed + rep,
+        instruction_scale=config.instruction_scale,
+    )
+    technique = _make_technique(name, assets, rep, config.workload_seed + rep)
+    run = run_workload(
+        assets.platform,
+        technique,
+        workload,
+        cooling=cooling,
+        seed=config.workload_seed + rep,
+    )
+    return run.summary
+
+
 def run_main_mixed(
     assets: AssetStore,
     config: MainMixedConfig = MainMixedConfig(),
+    parallel: Optional[bool] = None,
+    n_workers: Optional[int] = None,
 ) -> MainMixedResult:
-    """Run the full technique x rate x repetition x cooling grid."""
-    platform = assets.platform
+    """Run the full technique x rate x repetition x cooling grid.
+
+    Cells fan out over a process pool (see
+    :mod:`repro.experiments.parallel`); each cell is seed-stable, so the
+    aggregates are identical to the serial nested loop.
+    """
+    cells = [
+        (cooling, rate, rep, name)
+        for cooling in config.coolings
+        for rate in config.arrival_rates
+        for rep in range(config.repetitions)
+        for name in config.techniques
+    ]
+    summaries = run_cells(
+        cells,
+        _run_main_mixed_cell,
+        init=_init_main_mixed_worker,
+        init_args=(assets, config),
+        parallel=parallel,
+        n_workers=n_workers,
+    )
+
+    # Aggregate in the cells' nested order — the same order the serial
+    # loop used, so means/stds/merges accumulate identically.
     result = MainMixedResult(config=config)
+    summary_iter = iter(summaries)
     for cooling in config.coolings:
         per_technique: Dict[str, Dict[str, list]] = {
             name: {"temps": [], "violations": [], "fracs": [],
@@ -160,25 +223,8 @@ def run_main_mixed(
         }
         for rate in config.arrival_rates:
             for rep in range(config.repetitions):
-                workload = mixed_workload(
-                    platform,
-                    n_apps=config.n_apps,
-                    arrival_rate_per_s=rate,
-                    seed=config.workload_seed + rep,
-                    instruction_scale=config.instruction_scale,
-                )
                 for name in config.techniques:
-                    technique = _make_technique(
-                        name, assets, rep, config.workload_seed + rep
-                    )
-                    run = run_workload(
-                        platform,
-                        technique,
-                        workload,
-                        cooling=cooling,
-                        seed=config.workload_seed + rep,
-                    )
-                    s = run.summary
+                    s = next(summary_iter)
                     bucket = per_technique[name]
                     bucket["temps"].append(s.mean_temp_c)
                     bucket["violations"].append(s.n_qos_violations)

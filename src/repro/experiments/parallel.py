@@ -1,0 +1,106 @@
+"""Seed-stable parallel fan-out for experiment grids.
+
+Experiment drivers (``main_mixed``, ``ablation``, ``robustness``) all share
+the same shape: a nested loop over a static grid of *cells* (cooling x rate
+x repetition x technique, or period x period, ...), each cell running one
+independent simulation whose result feeds an order-sensitive aggregation.
+
+:func:`run_cells` executes that grid, optionally fanning the cells out over
+a ``fork`` process pool, while guaranteeing **bitwise-identical results to
+the serial loop**:
+
+* every cell must be self-describing — it carries the seeds it needs, and
+  the worker derives any randomness from them (see :func:`cell_rng`), never
+  from process-global state, so a cell's result does not depend on which
+  worker runs it or in which order;
+* results are returned in cell order regardless of completion order;
+* heavyweight shared inputs (the :class:`~repro.experiments.assets.AssetStore`)
+  are shipped once per worker through the pool initializer, not once per
+  cell.
+
+Parallelism is off when ``REPRO_PARALLEL=0`` (or ``parallel=False``), when
+there is nothing to fan out, or when the platform lacks the ``fork`` start
+method; the serial fallback calls the same initializer + worker in-process,
+so both paths execute identical code.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.utils.rng import RandomSource
+
+#: Environment switch: set to ``"0"`` to force serial execution everywhere.
+PARALLEL_ENV_VAR = "REPRO_PARALLEL"
+
+
+def parallel_enabled(parallel: Optional[bool] = None) -> bool:
+    """Whether fan-out is allowed: explicit argument wins, then the env var."""
+    if parallel is not None:
+        return bool(parallel)
+    return os.environ.get(PARALLEL_ENV_VAR, "1") != "0"
+
+
+def default_workers() -> int:
+    """Default pool size: one worker per CPU."""
+    return max(1, os.cpu_count() or 1)
+
+
+def cell_rng(base_seed: int, *cell_key: Any) -> RandomSource:
+    """Deterministic per-cell random source.
+
+    Derives a child stream of ``RandomSource(base_seed)`` keyed by the
+    cell coordinates, so the stream depends only on ``(base_seed,
+    cell_key)`` — not on scheduling, worker identity, or how many other
+    cells ran before this one.
+    """
+    key = "cell/" + "/".join(str(part) for part in cell_key)
+    return RandomSource(base_seed).child(key)
+
+
+def run_cells(
+    cells: Sequence[Any],
+    worker: Callable[[Any], Any],
+    *,
+    init: Optional[Callable[..., None]] = None,
+    init_args: Tuple[Any, ...] = (),
+    n_workers: Optional[int] = None,
+    parallel: Optional[bool] = None,
+) -> List[Any]:
+    """Run ``worker(cell)`` for every cell; results in cell order.
+
+    ``worker`` (and ``init``) must be module-level functions so they can be
+    pickled by the pool.  ``init(*init_args)`` runs once per worker process
+    (and once in-process on the serial path) — use it to stash shared
+    read-only state in a module-level variable.
+
+    ``n_workers=None`` uses :func:`default_workers`; the pool never has
+    more workers than cells.  Falls back to serial when parallelism is
+    disabled, when there are fewer than two cells, or when the ``fork``
+    start method is unavailable.
+    """
+    cells = list(cells)
+    workers = default_workers() if n_workers is None else int(n_workers)
+    use_pool = parallel_enabled(parallel) and workers > 1 and len(cells) > 1
+    ctx = None
+    if use_pool:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:
+            use_pool = False
+
+    if not use_pool:
+        if init is not None:
+            init(*init_args)
+        return [worker(cell) for cell in cells]
+
+    with ctx.Pool(
+        processes=min(workers, len(cells)),
+        initializer=init,
+        initargs=init_args,
+    ) as pool:
+        # chunksize=1: cells are coarse (whole simulations), so dynamic
+        # dispatch beats pre-chunking when their durations differ.
+        return pool.map(worker, cells, chunksize=1)

@@ -12,9 +12,10 @@ experiment verifies both halves of that statement.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.assets import AssetStore
+from repro.experiments.parallel import run_cells
 from repro.il.technique import TopIL
 from repro.platform import hikey970
 from repro.thermal import FAN_COOLING
@@ -64,38 +65,60 @@ class AmbientResult:
         return max(rises) - min(rises)
 
 
+# Shared read-only state for the ambient-sweep workers (pool initializer).
+_AMBIENT_STATE: Dict[str, object] = {}
+
+
+def _init_ambient_worker(assets: AssetStore, config: AmbientConfig) -> None:
+    _AMBIENT_STATE["assets"] = assets
+    _AMBIENT_STATE["config"] = config
+
+
+def _run_ambient_cell(ambient: float) -> Tuple[float, float, float, int, int]:
+    """One ambient-temperature simulation -> result row."""
+    assets: AssetStore = _AMBIENT_STATE["assets"]  # type: ignore[assignment]
+    config: AmbientConfig = _AMBIENT_STATE["config"]  # type: ignore[assignment]
+    platform = hikey970(ambient_temp_c=ambient)
+    workload = mixed_workload(
+        platform,
+        n_apps=config.n_apps,
+        arrival_rate_per_s=1.0 / 8.0,
+        seed=config.seed,
+        instruction_scale=config.instruction_scale,
+    )
+    run = run_workload(
+        platform, TopIL(assets.models()[0]), workload, cooling=FAN_COOLING,
+        seed=config.seed,
+    )
+    return (
+        ambient,
+        run.summary.mean_temp_c,
+        run.summary.mean_temp_c - ambient,
+        run.summary.n_qos_violations,
+        run.summary.migrations,
+    )
+
+
 def run_ambient_robustness(
-    assets: AssetStore, config: AmbientConfig = AmbientConfig()
+    assets: AssetStore,
+    config: AmbientConfig = AmbientConfig(),
+    parallel: Optional[bool] = None,
+    n_workers: Optional[int] = None,
 ) -> AmbientResult:
     """Run the same workload under TOP-IL at several ambient temperatures.
 
     The model was trained from traces at 25 degC; it must keep QoS intact
     at every ambient, and the temperature rise above ambient should be
     nearly ambient-independent (the RC model is linear; only the
-    leakage feedback bends it slightly).
+    leakage feedback bends it slightly).  Ambients are independent cells
+    and fan out over :func:`repro.experiments.parallel.run_cells`.
     """
-    model = assets.models()[0]
-    result = AmbientResult()
-    for ambient in config.ambients_c:
-        platform = hikey970(ambient_temp_c=ambient)
-        workload = mixed_workload(
-            platform,
-            n_apps=config.n_apps,
-            arrival_rate_per_s=1.0 / 8.0,
-            seed=config.seed,
-            instruction_scale=config.instruction_scale,
-        )
-        run = run_workload(
-            platform, TopIL(model), workload, cooling=FAN_COOLING,
-            seed=config.seed,
-        )
-        result.rows.append(
-            (
-                ambient,
-                run.summary.mean_temp_c,
-                run.summary.mean_temp_c - ambient,
-                run.summary.n_qos_violations,
-                run.summary.migrations,
-            )
-        )
-    return result
+    rows = run_cells(
+        list(config.ambients_c),
+        _run_ambient_cell,
+        init=_init_ambient_worker,
+        init_args=(assets, config),
+        parallel=parallel,
+        n_workers=n_workers,
+    )
+    return AmbientResult(rows=list(rows))

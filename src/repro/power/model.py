@@ -20,9 +20,11 @@ Model structure (standard CMOS first-order model, e.g. HotSpot tooling):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping
+from typing import Dict, List, Mapping, Tuple
 
-from repro.platform import Platform, VFLevel
+import numpy as np
+
+from repro.platform import Cluster, Platform, VFLevel
 from repro.utils.validation import check_in_range, check_non_negative
 
 
@@ -75,6 +77,10 @@ class PowerModel:
         self.uncore_base_w = uncore_base_w
         self.uncore_activity_w = uncore_activity_w
         self.soc_rest_w = soc_rest_w
+        # Per-cluster core-id index arrays for the vectorized fast path.
+        self._cluster_core_idx: List[Tuple[Cluster, np.ndarray]] = [
+            (c, np.array(c.core_ids, dtype=np.intp)) for c in platform.clusters
+        ]
 
     # --- per-core components ----------------------------------------------------
     def core_dynamic_power(
@@ -145,3 +151,46 @@ class PowerModel:
 
         blocks["soc_rest"] = self.soc_rest_w
         return PowerBreakdown(per_block=blocks)
+
+    def compute_vector(
+        self,
+        vf_levels: Mapping[str, VFLevel],
+        core_activity: np.ndarray,
+        core_temps_c: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, float, float]:
+        """Array-native :meth:`compute` for the simulation hot path.
+
+        ``core_activity`` and ``core_temps_c`` are indexed by core id; the
+        caller is responsible for clamping activity to [0, 1].  Returns
+        ``(core_powers, uncore_powers, soc_rest_w, total_w)`` where
+        ``core_powers`` is indexed by core id and ``uncore_powers`` follows
+        ``platform.clusters`` order.  The per-block arithmetic is the same
+        expression sequence as :meth:`compute`, so the two paths agree to
+        the last bit per block.
+        """
+        core_powers = np.empty(self.platform.n_cores)
+        uncore_powers = np.empty(len(self._cluster_core_idx))
+        total = 0.0
+        for k, (cluster, idx) in enumerate(self._cluster_core_idx):
+            vf = vf_levels[cluster.name]
+            v2 = vf.voltage_v**2
+            full = cluster.dyn_power_coeff * v2 * vf.frequency_hz
+            idle = cluster.idle_power_fraction * full
+            activity = core_activity[idx]
+            temp_factor = 1.0 + self.leakage_temp_coeff * np.maximum(
+                0.0, core_temps_c[idx] - self.leakage_ref_c
+            )
+            power = (
+                idle
+                + (full - idle) * activity
+                + (cluster.static_power_coeff * v2) * temp_factor
+            )
+            core_powers[idx] = power
+            mean_activity = float(activity.sum()) / cluster.n_cores
+            v_scale = (vf.voltage_v / cluster.vf_table.max_level.voltage_v) ** 2
+            uncore_powers[k] = v_scale * (
+                self.uncore_base_w + self.uncore_activity_w * mean_activity
+            )
+            total += float(power.sum())
+        total += float(uncore_powers.sum()) + self.soc_rest_w
+        return core_powers, uncore_powers, self.soc_rest_w, total

@@ -22,8 +22,11 @@ gets from instrumented trace collection.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.apps.model import AppModel
 from repro.platform import Platform, VFLevel
@@ -94,6 +97,18 @@ def default_placement(sim: "Simulator", process: Process) -> int:
     return loads[0][1]
 
 
+def _insert_by_pid(procs: List[Process], process: Process) -> None:
+    """Insert keeping ascending-pid order (the legacy scan order)."""
+    lo, hi = 0, len(procs)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if procs[mid].pid < process.pid:
+            lo = mid + 1
+        else:
+            hi = mid
+    procs.insert(lo, process)
+
+
 class Simulator:
     """Couple platform, power, thermal, processes, and controllers."""
 
@@ -139,11 +154,28 @@ class Simulator:
         self.now_s = 0.0
         self._processes: Dict[int, Process] = {}
         self._next_pid = 0
-        self._pending: List[Process] = []
+        # Min-heap of (arrival_time_s, pid, process): O(log n) per submit.
+        self._pending: List[Tuple[float, int, Process]] = []
         self._vf: Dict[str, VFLevel] = platform.default_vf_levels()
         self._controllers: List[Controller] = []
         self.placement_policy: PlacementPolicy = default_placement
         self.trace = TraceRecorder(sample_period_s=self.config.trace_sample_period_s)
+
+        # Incrementally maintained process indices (updated on start /
+        # migrate / finish), both kept in ascending-pid order to preserve
+        # the scan order of the original O(cores x processes) queries.
+        self._running: List[Process] = []
+        self._by_core: List[List[Process]] = [[] for _ in range(platform.n_cores)]
+        # Static lookup caches for the hot path.
+        self._cluster_by_core = [
+            platform.cluster_of_core(c) for c in range(platform.n_cores)
+        ]
+        self._core_node_idx = self.thermal.indices_of(core_nodes)
+        self._uncore_node_idx = self.thermal.indices_of(
+            [f"uncore_{c.name}" for c in platform.clusters]
+        )
+        self._soc_rest_idx = self.thermal.node_index("soc_rest")
+        self._power_vec = np.zeros(self.thermal.n_nodes)
 
         # DTM throttling state: max allowed VF index per cluster.
         self._dtm_cap: Dict[str, int] = {
@@ -168,8 +200,7 @@ class Simulator:
         self._next_pid += 1
         process = Process(pid, app, qos_target_ips, arrival_time_s)
         self._processes[pid] = process
-        self._pending.append(process)
-        self._pending.sort(key=lambda p: (p.arrival_time_s, p.pid))
+        heapq.heappush(self._pending, (process.arrival_time_s, pid, process))
         return pid
 
     # ------------------------------------------------------------------ controllers
@@ -194,18 +225,18 @@ class Simulator:
         return list(self._processes.values())
 
     def running_processes(self) -> List[Process]:
-        return [p for p in self._processes.values() if p.is_running()]
+        return list(self._running)
 
     def processes_on_core(self, core_id: int) -> List[Process]:
-        return [p for p in self.running_processes() if p.core_id == core_id]
+        return list(self._by_core[core_id])
 
     def core_utilization(self, core_id: int) -> float:
         """1.0 when the core has runnable work, else 0.0 (busy benchmarks)."""
-        return 1.0 if self.processes_on_core(core_id) else 0.0
+        return 1.0 if self._by_core[core_id] else 0.0
 
     def free_cores(self) -> List[int]:
         return [
-            c for c in range(self.platform.n_cores) if not self.processes_on_core(c)
+            c for c in range(self.platform.n_cores) if not self._by_core[c]
         ]
 
     def vf_level(self, cluster_name: str) -> VFLevel:
@@ -260,6 +291,8 @@ class Simulator:
             return
         from_core = process.core_id
         process.migrate(core_id, self.now_s)
+        self._by_core[from_core].remove(process)
+        _insert_by_pid(self._by_core[core_id], process)
         self.trace.record_migration(
             MigrationEvent(self.now_s, pid, process.app.name, from_core, core_id)
         )
@@ -296,7 +329,7 @@ class Simulator:
         """Run until every submitted process finished (or ``timeout_s``)."""
         end = self.now_s + timeout_s
         while self.now_s < end:
-            if not self._pending and not self.running_processes():
+            if not self._pending and not self._running:
                 return
             self.step()
         raise TimeoutError(
@@ -305,37 +338,55 @@ class Simulator:
 
     # ------------------------------------------------------------------ internals
     def _admit_arrivals(self) -> None:
-        while self._pending and self._pending[0].arrival_time_s <= self.now_s + 1e-12:
-            process = self._pending.pop(0)
+        while self._pending and self._pending[0][0] <= self.now_s + 1e-12:
+            _, _, process = heapq.heappop(self._pending)
             core = self.placement_policy(self, process)
             process.start(core, self.now_s)
+            _insert_by_pid(self._running, process)
+            _insert_by_pid(self._by_core[core], process)
             self.trace.record_migration(
                 MigrationEvent(self.now_s, process.pid, process.app.name, None, core)
             )
 
-    def _cluster_mem_pressure(self) -> Dict[str, float]:
-        """Sum of co-runner memory-boundedness per cluster (contention)."""
+    def _resolve_step_params(
+        self,
+    ) -> Tuple[Dict[str, float], Dict[int, Tuple]]:
+        """Per-cluster mem pressure and per-process effective parameters.
+
+        One pass in pid order (the legacy accumulation order): resolves
+        ``params_at`` once per process per step and derives from it both the
+        cluster contention pressure and the quantities ``_execute_processes``
+        needs, so nothing is recomputed downstream.
+        """
         pressure = {c.name: 0.0 for c in self.platform.clusters}
-        for p in self.running_processes():
-            cluster = self.platform.cluster_of_core(p.core_id)
+        per_process: Dict[int, Tuple] = {}
+        for p in self._running:
+            cluster = self._cluster_by_core[p.core_id]
             f = self._vf[cluster.name].frequency_hz
-            params, _ = p.app.params_at(cluster.name, p.instructions_done)
+            params, l2d_rate = p.app.params_at(cluster.name, p.instructions_done)
             mem_time = params.effective_mem_time(f)
             t_inst = params.cpi / f + mem_time
             mem_frac = mem_time / t_inst if t_inst > 0 else 0.0
             pressure[cluster.name] += mem_frac
+            per_process[p.pid] = (params, l2d_rate, mem_time, mem_frac)
+        return pressure, per_process
+
+    def _cluster_mem_pressure(self) -> Dict[str, float]:
+        """Sum of co-runner memory-boundedness per cluster (contention)."""
+        pressure, _ = self._resolve_step_params()
         return pressure
 
-    def _execute_processes(self, dt: float) -> Dict[int, float]:
+    def _execute_processes(self, dt: float) -> np.ndarray:
         """Run every core for ``dt``; returns per-core activity for power."""
-        activity: Dict[int, float] = {}
-        pressure = self._cluster_mem_pressure()
+        activity = np.zeros(self.platform.n_cores)
+        pressure, per_process = self._resolve_step_params()
         smoothing = min(1.0, dt / self.config.perf_smoothing_tau_s)
         overhead_core = self.config.model_overhead_on_core
+        contention_coeff = self.config.contention_coeff
         finished: List[Process] = []
 
         for core_id in range(self.platform.n_cores):
-            procs = self.processes_on_core(core_id)
+            procs = self._by_core[core_id]
             core_activity = 0.0
             usable_dt = dt
             if overhead_core is not None and core_id == overhead_core:
@@ -344,34 +395,31 @@ class Simulator:
                 usable_dt = dt - stolen
                 core_activity += (stolen / dt) * 0.8  # manager is CPU-busy
             if procs:
-                cluster = self.platform.cluster_of_core(core_id)
-                f = self._vf[cluster.name].frequency_hz
+                cluster = self._cluster_by_core[core_id]
+                cluster_name = cluster.name
+                f = self._vf[cluster_name].frequency_hz
+                cluster_pressure = pressure[cluster_name]
                 share = usable_dt / len(procs)
                 for p in procs:
-                    params, l2d_rate = p.app.params_at(
-                        cluster.name, p.instructions_done
-                    )
-                    mem_time = params.effective_mem_time(f)
-                    t_inst = params.cpi / f + mem_time
-                    own_mem_frac = mem_time / t_inst if t_inst > 0 else 0.0
-                    others = max(0.0, pressure[cluster.name] - own_mem_frac)
-                    slowdown = 1.0 + self.config.contention_coeff * others
+                    params, l2d_rate, mem_time, own_mem_frac = per_process[p.pid]
+                    others = max(0.0, cluster_pressure - own_mem_frac)
+                    slowdown = 1.0 + contention_coeff * others
                     if (
                         p.last_migration_time_s is not None
                         and self.now_s - p.last_migration_time_s
                         < self.config.cold_cache_duration_s
                     ):
                         slowdown *= self.config.cold_cache_penalty
-                    ips = p.app.ips(
-                        cluster.name, f, p.instructions_done, mem_slowdown=slowdown
-                    )
+                    # Same expression AppModel.ips evaluates, minus the
+                    # (already-cached) params lookup.
+                    ips = 1.0 / (params.cpi / f + mem_time * slowdown)
                     instructions = min(ips * share, p.remaining_instructions)
                     actual_time = instructions / ips if ips > 0 else 0.0
                     p.account_execution(
                         actual_time,
                         instructions,
                         l2d_rate * instructions,
-                        cluster.name,
+                        cluster_name,
                         f,
                     )
                     core_activity += params.activity * (actual_time / dt)
@@ -380,10 +428,12 @@ class Simulator:
             activity[core_id] = min(1.0, core_activity)
 
         for p in finished:
+            self._by_core[p.core_id].remove(p)
+            self._running.remove(p)
             p.finish(self.now_s + dt)
 
         # Update smoothed counters and QoS accounting for running processes.
-        for p in self.running_processes():
+        for p in self._running:
             ips_now, l2d_now, _ = p.read_window(dt)
             p.smoothed_ips += smoothing * (ips_now - p.smoothed_ips)
             p.smoothed_l2d_rate += smoothing * (l2d_now - p.smoothed_l2d_rate)
@@ -392,15 +442,18 @@ class Simulator:
                 p.account_qos_observation(dt, self.qos_satisfied(p))
         return activity
 
-    def _advance_thermal(self, activity: Dict[int, float], dt: float) -> None:
-        temps = self.thermal.temperatures()
-        core_temps = {
-            c: temps[f"core{c}"] for c in range(self.platform.n_cores)
-        }
-        breakdown = self.power_model.compute(self._vf, activity, core_temps)
-        self._last_power_total_w = breakdown.total
-        power = dict(breakdown.per_block)
-        self.thermal.step(power, dt)
+    def _advance_thermal(self, activity: np.ndarray, dt: float) -> None:
+        thermal = self.thermal
+        core_temps = thermal.theta[self._core_node_idx] + thermal.ambient_temp_c
+        core_p, uncore_p, soc_p, total = self.power_model.compute_vector(
+            self._vf, activity, core_temps
+        )
+        p = self._power_vec
+        p[self._core_node_idx] = core_p
+        p[self._uncore_node_idx] = uncore_p
+        p[self._soc_rest_idx] = soc_p
+        self._last_power_total_w = total
+        thermal.step_vector(p, dt)
 
     def _check_dtm(self) -> None:
         dtm = self.platform.dtm
@@ -429,7 +482,13 @@ class Simulator:
         for controller in self._controllers:
             if self.now_s + 1e-12 >= controller.next_due_s:
                 controller.callback(self)
-                controller.next_due_s = self.now_s + controller.period_s
+                # Schedule from the previous due time, not from now_s:
+                # anchoring to now_s accumulates one-dt drift per firing
+                # whenever period_s is not a dt multiple.  If we fell more
+                # than a full period behind, rebase instead of bursting.
+                controller.next_due_s += controller.period_s
+                if controller.next_due_s <= self.now_s + 1e-12:
+                    controller.next_due_s = self.now_s + controller.period_s
 
     def _record_trace(self) -> None:
         if not self.trace.due(self.now_s):

@@ -12,11 +12,16 @@ augmented with the ambient conductances on the diagonal, and ``P`` is the
 per-node power injection.  For a step of length ``dt`` with power held
 constant the exact solution is
 
-    theta(t + dt) = A * theta(t) + (I - A) * theta_ss,
-    A = expm(-C^-1 G dt),      theta_ss = G^-1 P.
+    theta(t + dt) = A * theta(t) + B * P,
+    A = expm(-C^-1 G dt),      B = (I - A) * G^-1.
 
-``A`` is precomputed and cached per ``dt``, so stepping is two mat-vecs —
-fast enough to run hours of simulated time at a 50 ms resolution.
+Both ``A`` and the fused input operator ``B`` are precomputed and cached
+per ``dt``, so stepping is exactly two mat-vecs with no solve and no
+intermediate steady-state vector — fast enough to run hours of simulated
+time at a 10 ms resolution.  The simulation kernel uses the array-native
+surface (:meth:`step_vector`, :attr:`theta`, :meth:`indices_of`) to avoid
+rebuilding ``Dict[str, float]`` maps on the hot path; the name-keyed
+methods remain for construction-time and analysis use.
 
 Physical invariants (exercised by the property-test suite):
 
@@ -59,6 +64,9 @@ class RCThermalNetwork:
         self._g_inv: Optional[np.ndarray] = None
         self._theta: Optional[np.ndarray] = None
         self._expm_cache: Dict[float, np.ndarray] = {}
+        # Fused step operators (A, B) per dt and name->index array caches.
+        self._step_cache: Dict[float, Tuple[np.ndarray, np.ndarray]] = {}
+        self._indices_cache: Dict[Tuple[str, ...], np.ndarray] = {}
 
     # --- construction -------------------------------------------------------------
     def add_node(self, name: str, capacitance_j_per_k: float) -> None:
@@ -128,12 +136,50 @@ class RCThermalNetwork:
         return self._index[name]
 
     @property
+    def index_map(self) -> Dict[str, int]:
+        """Node name -> state-vector index (do not mutate)."""
+        return self._index
+
+    def indices_of(self, names: List[str]) -> np.ndarray:
+        """Cached index array for a node-name list (for fancy indexing).
+
+        The returned array is shared between calls with the same names —
+        treat it as read-only.
+        """
+        key = tuple(names)
+        cached = self._indices_cache.get(key)
+        if cached is None:
+            cached = np.array([self._index[n] for n in names], dtype=np.intp)
+            self._indices_cache[key] = cached
+        return cached
+
+    @property
     def conductance_matrix(self) -> np.ndarray:
         """The assembled conductance Laplacian (finalized networks only)."""
         self._require_finalized()
         return self._g_matrix.copy()
 
     # --- state access ----------------------------------------------------------------
+    @property
+    def theta(self) -> np.ndarray:
+        """No-copy view of the state vector (deg C above ambient).
+
+        Read-only by convention: mutate through :meth:`set_temperatures` /
+        :meth:`reset` so invariants hold.
+        """
+        self._require_finalized()
+        return self._theta
+
+    def temperatures_array(self) -> np.ndarray:
+        """Node temperatures (deg C) as an ndarray in node-index order."""
+        self._require_finalized()
+        return self._theta + self.ambient_temp_c
+
+    def max_temperature_at(self, indices: np.ndarray) -> float:
+        """Max temperature (deg C) over the given node indices."""
+        self._require_finalized()
+        return float(np.max(self._theta[indices]) + self.ambient_temp_c)
+
     def temperatures(self) -> Dict[str, float]:
         """Current temperature (deg C) of every node."""
         self._require_finalized()
@@ -151,8 +197,7 @@ class RCThermalNetwork:
         self._require_finalized()
         if nodes is None:
             return float(np.max(self._theta) + self.ambient_temp_c)
-        idx = [self._index[n] for n in nodes]
-        return float(np.max(self._theta[idx]) + self.ambient_temp_c)
+        return self.max_temperature_at(self.indices_of(nodes))
 
     def set_temperatures(self, temps_c: Mapping[str, float]) -> None:
         """Force node temperatures (used to start runs warm or cold)."""
@@ -181,11 +226,22 @@ class RCThermalNetwork:
         """Advance the network by ``dt_s`` with constant power, return temps."""
         self._require_finalized()
         check_positive("dt_s", dt_s)
-        p = self._power_vector(power_w)
-        a = self._propagator(dt_s)
-        theta_ss = self._g_inv @ p
-        self._theta = a @ self._theta + theta_ss - a @ theta_ss
+        self.step_vector(self._power_vector(power_w), dt_s)
         return self.temperatures()
+
+    def step_vector(self, power_w: np.ndarray, dt_s: float) -> np.ndarray:
+        """Array-native step: advance by ``dt_s`` with per-node power vector.
+
+        The hot-path variant of :meth:`step`: the caller supplies power in
+        node-index order (see :meth:`indices_of`) and gets back the updated
+        ``theta`` view.  No validation, no dict construction — two mat-vecs.
+        """
+        a, b = self._step_operators(dt_s)
+        out = a @ self._theta
+        out += b @ power_w
+        # Write in place so the `theta` view stays live across steps.
+        self._theta[:] = out
+        return self._theta
 
     def time_constants(self) -> np.ndarray:
         """Sorted thermal time constants (s) — eigenvalues of (C^-1 G)^-1."""
@@ -216,4 +272,14 @@ class RCThermalNetwork:
             m = -self._g_matrix / self._cap_vector[:, None]
             cached = expm(m * dt_s)
             self._expm_cache[dt_s] = cached
+        return cached
+
+    def _step_operators(self, dt_s: float) -> Tuple[np.ndarray, np.ndarray]:
+        """The fused (A, B) pair with theta' = A theta + B p for this dt."""
+        cached = self._step_cache.get(dt_s)
+        if cached is None:
+            a = self._propagator(dt_s)
+            b = (np.eye(self.n_nodes) - a) @ self._g_inv
+            cached = (a, b)
+            self._step_cache[dt_s] = cached
         return cached

@@ -1,0 +1,77 @@
+"""Tier-1 throughput gate for the simulation kernel.
+
+Runs the fast-path smoke scenario (same fixed-seed workload as the golden
+equivalence fixture) a few times and compares the best simulated-seconds
+per wall-second against the checked-in baseline
+``benchmarks/baseline_throughput.json``.  The gate fails when throughput
+regresses more than 30% below the baseline, catching accidental
+re-introduction of per-step dict rebuilding or O(cores x processes)
+scans.
+
+The baseline is deliberately recorded *below* the measured optimized
+throughput (see the JSON's ``note``) so that machine-to-machine variance
+does not trip the gate; a real fast-path regression (3-4x slowdown) still
+fails by a wide margin.  After an intentional performance change,
+re-measure with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_kernel_throughput.py \
+        --benchmark-json=/tmp/bench.json
+
+and update the baseline JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.governors.techniques import GTSOndemand
+from repro.platform import hikey970
+from repro.thermal import FAN_COOLING
+from repro.workloads.generator import mixed_workload
+from repro.workloads.runner import run_workload
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir,
+    "benchmarks", "baseline_throughput.json",
+)
+ALLOWED_REGRESSION = 0.30
+ROUNDS = 3
+
+SEED = 11
+N_APPS = 6
+ARRIVAL_RATE = 1.0 / 6.0
+INSTRUCTION_SCALE = 0.02
+
+
+def _measure_throughput() -> float:
+    platform = hikey970()
+    workload = mixed_workload(
+        platform,
+        n_apps=N_APPS,
+        arrival_rate_per_s=ARRIVAL_RATE,
+        seed=SEED,
+        instruction_scale=INSTRUCTION_SCALE,
+    )
+    start = time.perf_counter()
+    result = run_workload(
+        platform, GTSOndemand(), workload, cooling=FAN_COOLING, seed=SEED
+    )
+    wall_s = time.perf_counter() - start
+    return result.sim.now_s / wall_s
+
+
+def test_kernel_throughput_no_regression():
+    with open(BASELINE_PATH) as fh:
+        baseline = json.load(fh)
+    floor = baseline["sim_s_per_wall_s"] * (1.0 - ALLOWED_REGRESSION)
+    # Best of a few rounds: throughput gates must be robust to transient
+    # load on the test machine, and the scenario runs in ~0.1 s.
+    best = max(_measure_throughput() for _ in range(ROUNDS))
+    assert best >= floor, (
+        f"kernel throughput regressed: best of {ROUNDS} rounds was "
+        f"{best:.1f} sim-s/wall-s, below the allowed floor {floor:.1f} "
+        f"(baseline {baseline['sim_s_per_wall_s']:.1f} - "
+        f"{100 * ALLOWED_REGRESSION:.0f}%); see {BASELINE_PATH}"
+    )

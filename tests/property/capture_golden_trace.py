@@ -1,0 +1,94 @@
+"""Capture the golden kernel-trace fixture for the fast-path equivalence test.
+
+Run this against a *known-good* kernel (it was first run against the
+pre-optimization seed kernel) to regenerate
+``tests/property/fixtures/golden_kernel_trace.json``:
+
+    PYTHONPATH=src python tests/property/capture_golden_trace.py
+
+The fixture pins the full observable behaviour of one fixed-seed smoke
+run — temperatures, power, VF choices, migrations, and per-process QoS
+accounting — so any rework of the simulation hot path can be checked for
+numerical equivalence.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.governors.techniques import GTSOndemand
+from repro.platform import hikey970
+from repro.thermal import FAN_COOLING
+from repro.workloads.generator import mixed_workload
+from repro.workloads.runner import run_workload
+
+FIXTURE_PATH = os.path.join(
+    os.path.dirname(__file__), "fixtures", "golden_kernel_trace.json"
+)
+
+SEED = 11
+N_APPS = 6
+ARRIVAL_RATE = 1.0 / 6.0
+INSTRUCTION_SCALE = 0.02
+
+
+def run_golden_scenario():
+    """The fixed scenario both the capture and the regression test run."""
+    platform = hikey970()
+    workload = mixed_workload(
+        platform,
+        n_apps=N_APPS,
+        arrival_rate_per_s=ARRIVAL_RATE,
+        seed=SEED,
+        instruction_scale=INSTRUCTION_SCALE,
+    )
+    return run_workload(
+        platform, GTSOndemand(), workload, cooling=FAN_COOLING, seed=SEED
+    )
+
+
+def trace_to_dict(run) -> dict:
+    trace = run.trace
+    sim = run.sim
+    return {
+        "duration_s": sim.now_s,
+        "times": list(trace.times),
+        "sensor_temp_c": list(trace.sensor_temp_c),
+        "max_core_temp_c": list(trace.max_core_temp_c),
+        "total_power_w": list(trace.total_power_w),
+        "vf_levels": {k: list(v) for k, v in trace.vf_levels.items()},
+        "node_temps": {k: list(v) for k, v in trace.core_temps.items()},
+        "migrations": [
+            [m.time_s, m.pid, m.from_core if m.from_core is not None else -1,
+             m.to_core]
+            for m in trace.migrations
+        ],
+        "processes": [
+            {
+                "pid": p.pid,
+                "app": p.app.name,
+                "instructions_done": p.instructions_done,
+                "total_cpu_time_s": p.total_cpu_time_s,
+                "qos_met_time_s": p.qos_met_time_s,
+                "qos_observed_time_s": p.qos_observed_time_s,
+                "finish_time_s": p.finish_time_s,
+                "migration_count": p.migration_count,
+            }
+            for p in sorted(sim.all_processes(), key=lambda p: p.pid)
+        ],
+    }
+
+
+def main() -> None:
+    run = run_golden_scenario()
+    os.makedirs(os.path.dirname(FIXTURE_PATH), exist_ok=True)
+    with open(FIXTURE_PATH, "w") as fh:
+        json.dump(trace_to_dict(run), fh, indent=1)
+    print(f"wrote {FIXTURE_PATH}: {len(run.trace.times)} samples, "
+          f"{len(run.trace.migrations)} migrations, "
+          f"{run.sim.now_s:.1f} simulated seconds")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+"""Fast-path kernel equivalence against a golden trace fixture.
+
+``fixtures/golden_kernel_trace.json`` was captured from the seed (pre
+fast-path) kernel with ``capture_golden_trace.py``.  This test replays the
+same fixed-seed scenario on the current kernel and requires the full
+observable behaviour to match:
+
+* discrete decisions — VF levels, migrations, per-process lifecycle
+  counters — must be **exactly** identical;
+* sensor readings must be exactly identical (same number and order of RNG
+  draws, and the 0.1 degC quantization absorbs sub-noise fp differences);
+* continuous quantities (node temperatures, total power) must agree to
+  tight tolerances: the fused thermal operator ``B = (I - A) G^-1`` and
+  the vectorized power sums reorder float operations at the 1e-16
+  relative level, which accumulates to no more than ~1e-10 degC over the
+  run.
+
+If the kernel's semantics are ever changed *intentionally*, regenerate the
+fixture against a version whose behaviour was validated some other way:
+
+    PYTHONPATH=src python tests/property/capture_golden_trace.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from capture_golden_trace import FIXTURE_PATH, run_golden_scenario, trace_to_dict
+
+TEMP_ATOL_C = 1e-6
+POWER_RTOL = 1e-9
+TIME_ATOL_S = 1e-9
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    assert os.path.exists(FIXTURE_PATH), (
+        "golden fixture missing; run "
+        "PYTHONPATH=src python tests/property/capture_golden_trace.py "
+        "against a known-good kernel"
+    )
+    with open(FIXTURE_PATH) as fh:
+        return json.load(fh)
+
+
+@pytest.fixture(scope="module")
+def replay() -> dict:
+    return trace_to_dict(run_golden_scenario())
+
+
+class TestFastPathEquivalence:
+    def test_duration_and_sample_times(self, golden, replay):
+        assert replay["duration_s"] == pytest.approx(
+            golden["duration_s"], abs=TIME_ATOL_S
+        )
+        np.testing.assert_allclose(
+            replay["times"], golden["times"], atol=TIME_ATOL_S
+        )
+
+    def test_sensor_readings_exact(self, golden, replay):
+        # Same RNG draw sequence + quantization => bit-identical readings.
+        assert replay["sensor_temp_c"] == golden["sensor_temp_c"]
+
+    def test_node_temperatures(self, golden, replay):
+        assert set(replay["node_temps"]) == set(golden["node_temps"])
+        for node, temps in golden["node_temps"].items():
+            np.testing.assert_allclose(
+                replay["node_temps"][node], temps, atol=TEMP_ATOL_C,
+                err_msg=f"node {node}",
+            )
+        np.testing.assert_allclose(
+            replay["max_core_temp_c"], golden["max_core_temp_c"],
+            atol=TEMP_ATOL_C,
+        )
+
+    def test_total_power(self, golden, replay):
+        np.testing.assert_allclose(
+            replay["total_power_w"], golden["total_power_w"], rtol=POWER_RTOL
+        )
+
+    def test_vf_decisions_exact(self, golden, replay):
+        assert replay["vf_levels"] == golden["vf_levels"]
+
+    def test_migrations_exact(self, golden, replay):
+        assert replay["migrations"] == golden["migrations"]
+
+    def test_process_accounting(self, golden, replay):
+        assert len(replay["processes"]) == len(golden["processes"])
+        for got, want in zip(replay["processes"], golden["processes"]):
+            assert got["pid"] == want["pid"]
+            assert got["app"] == want["app"]
+            assert got["migration_count"] == want["migration_count"]
+            assert got["instructions_done"] == pytest.approx(
+                want["instructions_done"], rel=POWER_RTOL
+            )
+            assert got["total_cpu_time_s"] == pytest.approx(
+                want["total_cpu_time_s"], abs=TIME_ATOL_S
+            )
+            assert got["qos_met_time_s"] == pytest.approx(
+                want["qos_met_time_s"], abs=1e-6
+            )
+            assert got["qos_observed_time_s"] == pytest.approx(
+                want["qos_observed_time_s"], abs=TIME_ATOL_S
+            )
+            assert got["finish_time_s"] == pytest.approx(
+                want["finish_time_s"], abs=TIME_ATOL_S
+            )

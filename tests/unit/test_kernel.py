@@ -215,6 +215,69 @@ class TestControllers:
         sim.run_for(0.2)
         assert len(calls) == n
 
+    def test_period_not_dt_multiple_does_not_drift(self, platform):
+        # With dt=0.02 and period=0.03 the due times land between steps;
+        # re-anchoring to now_s would fire every other step (rate 1/0.04),
+        # losing a quarter of the invocations over time.
+        config = SimConfig(dt_s=0.02, model_overhead_on_core=None)
+        sim = Simulator(platform, FAN_COOLING, config=config,
+                        sensor_noise_std_c=0.0)
+        calls = []
+        sim.add_controller("probe", 0.03, lambda s: calls.append(s.now_s))
+        sim.run_for(0.6)
+        assert len(calls) == pytest.approx(20, abs=1)
+
+    def test_late_controller_rebases_without_burst(self, platform):
+        # A controller that falls several periods behind (period << dt)
+        # fires once per step, not once per missed period.
+        sim = _sim(platform)
+        calls = []
+        sim.add_controller("fast", 0.001, lambda s: calls.append(s.now_s))
+        sim.run_for(0.1)
+        assert len(calls) == pytest.approx(10, abs=1)
+        assert len(calls) == len(set(calls))
+
+
+class TestProcessIndices:
+    def test_late_submission_admitted_in_arrival_order(self, platform):
+        # The pending queue is a heap: submissions made mid-run with an
+        # earlier arrival than already-queued work must still admit first.
+        sim = _sim(platform)
+        late = sim.submit(_long("adi"), 1e8, arrival_time_s=0.5)
+        sim.run_for(0.1)
+        early = sim.submit(_long("syr2k"), 1e8, arrival_time_s=0.2)
+        sim.run_for(0.15)
+        assert sim.process(early).is_running()
+        assert not sim.process(late).is_running()
+        sim.run_for(0.3)
+        assert sim.process(late).is_running()
+
+    def test_indices_track_migrate_and_finish(self, platform):
+        sim = _sim(platform)
+        small_a = dataclasses.replace(get_app("adi"), total_instructions=1e7)
+        small_b = dataclasses.replace(get_app("syr2k"), total_instructions=1e8)
+        pid_a = sim.submit(small_a, 1e8, 0.0)
+        pid_b = sim.submit(small_b, 1e8, 0.0)
+        sim.step()
+        core_b = sim.process(pid_b).core_id
+        sim.migrate(pid_b, 7 if core_b != 7 else 6)
+        moved = sim.process(pid_b).core_id
+        assert [p.pid for p in sim.processes_on_core(moved)] == [pid_b]
+        assert sim.processes_on_core(core_b) == []
+        sim.run_until_complete(timeout_s=60.0)
+        assert sim.process(pid_a).state.name == "FINISHED"
+        assert all(not sim.processes_on_core(c)
+                   for c in range(platform.n_cores))
+        assert sim.running_processes() == []
+
+    def test_running_list_is_pid_ordered(self, platform):
+        sim = _sim(platform)
+        pids = [sim.submit(_long("adi"), 1e8, 0.01 * (5 - i))
+                for i in range(5)]
+        sim.run_for(0.1)
+        running = [p.pid for p in sim.running_processes()]
+        assert running == sorted(pids)
+
 
 class TestThermalCoupling:
     def test_running_hot_app_raises_temperature(self, platform):

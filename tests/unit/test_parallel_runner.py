@@ -1,0 +1,133 @@
+"""Tests for the seed-stable parallel experiment runner."""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.experiments.main_mixed import MainMixedConfig, run_main_mixed
+from repro.experiments.parallel import (
+    PARALLEL_ENV_VAR,
+    cell_rng,
+    default_workers,
+    parallel_enabled,
+    run_cells,
+)
+
+_STATE = {}
+
+
+def _init_state(offset: int) -> None:
+    _STATE["offset"] = offset
+
+
+def _square_plus_offset(cell: int) -> int:
+    return cell * cell + _STATE["offset"]
+
+
+def _identify(cell: int):
+    return (cell, os.getpid())
+
+
+def _fork_available() -> bool:
+    try:
+        multiprocessing.get_context("fork")
+        return True
+    except ValueError:
+        return False
+
+
+class TestRunCells:
+    def test_serial_preserves_order_and_runs_init(self):
+        out = run_cells(
+            list(range(8)),
+            _square_plus_offset,
+            init=_init_state,
+            init_args=(100,),
+            parallel=False,
+        )
+        assert out == [c * c + 100 for c in range(8)]
+
+    @pytest.mark.skipif(not _fork_available(), reason="no fork start method")
+    def test_parallel_matches_serial(self):
+        cells = list(range(12))
+        serial = run_cells(
+            cells, _square_plus_offset, init=_init_state, init_args=(7,),
+            parallel=False,
+        )
+        fanned = run_cells(
+            cells, _square_plus_offset, init=_init_state, init_args=(7,),
+            parallel=True, n_workers=2,
+        )
+        assert fanned == serial
+
+    @pytest.mark.skipif(not _fork_available(), reason="no fork start method")
+    def test_parallel_results_in_cell_order(self):
+        cells = list(range(10))
+        out = run_cells(cells, _identify, parallel=True, n_workers=2)
+        assert [cell for cell, _ in out] == cells
+
+    def test_single_cell_runs_serial(self):
+        out = run_cells([3], _identify, parallel=True, n_workers=4)
+        assert out == [(3, os.getpid())]
+
+    def test_n_workers_one_runs_serial(self):
+        out = run_cells([1, 2], _identify, parallel=True, n_workers=1)
+        assert {pid for _, pid in out} == {os.getpid()}
+
+    def test_env_var_disables_parallel(self, monkeypatch):
+        monkeypatch.setenv(PARALLEL_ENV_VAR, "0")
+        assert not parallel_enabled()
+        out = run_cells(list(range(4)), _identify, n_workers=4)
+        assert {pid for _, pid in out} == {os.getpid()}
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv(PARALLEL_ENV_VAR, "0")
+        assert parallel_enabled(True)
+        monkeypatch.delenv(PARALLEL_ENV_VAR)
+        assert parallel_enabled()
+        assert not parallel_enabled(False)
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+
+class TestCellRng:
+    def test_deterministic_per_cell(self):
+        a = cell_rng(11, "fan", 0.5, 2).uniform(size=4)
+        b = cell_rng(11, "fan", 0.5, 2).uniform(size=4)
+        assert list(a) == list(b)
+
+    def test_distinct_cells_distinct_streams(self):
+        a = cell_rng(11, "fan", 0.5, 2).uniform(size=4)
+        b = cell_rng(11, "fan", 0.5, 3).uniform(size=4)
+        assert list(a) != list(b)
+
+
+class TestMainMixedParallel:
+    @pytest.mark.skipif(not _fork_available(), reason="no fork start method")
+    def test_parallel_identical_to_serial(self, assets):
+        config = MainMixedConfig(
+            n_apps=3,
+            arrival_rates=(1.0 / 4.0,),
+            repetitions=2,
+            coolings=MainMixedConfig.smoke().coolings,
+            instruction_scale=0.01,
+            techniques=("GTS/ondemand", "GTS/powersave"),
+        )
+        serial = run_main_mixed(assets, config, parallel=False)
+        fanned = run_main_mixed(assets, config, parallel=True, n_workers=2)
+        assert fanned.raw == serial.raw
+        assert len(fanned.aggregates) == len(serial.aggregates)
+        for got, want in zip(fanned.aggregates, serial.aggregates):
+            assert got.technique == want.technique
+            assert got.cooling == want.cooling
+            assert got.mean_temp_c == want.mean_temp_c
+            assert got.std_temp_c == want.std_temp_c
+            assert got.mean_violations == want.mean_violations
+            assert got.std_violations == want.std_violations
+            assert got.mean_violation_fraction == want.mean_violation_fraction
+            assert got.dtm_throttle_events == want.dtm_throttle_events
+            assert got.cpu_time_by_vf.seconds == want.cpu_time_by_vf.seconds

@@ -116,3 +116,33 @@ class TestComputeBreakdown:
         explicit = model.compute(_min_vf(platform), {c: 0.0 for c in range(8)}, {})
         implicit = model.compute(_min_vf(platform), {}, {})
         assert explicit.total == pytest.approx(implicit.total)
+
+
+class TestComputeVector:
+    def test_matches_compute_bitwise(self, platform, model):
+        import numpy as np
+
+        activity = np.array([0.0, 0.3, 1.0, 0.5, 0.9, 0.0, 0.7, 0.2])
+        temps = np.array([30.0, 45.0, 80.0, 20.0, 65.0, 25.0, 55.0, 40.0])
+        vf = _max_vf(platform)
+        bd = model.compute(
+            vf,
+            {c: float(activity[c]) for c in range(8)},
+            {c: float(temps[c]) for c in range(8)},
+        )
+        core_p, uncore_p, soc_p, total = model.compute_vector(vf, activity, temps)
+        for c in range(8):
+            assert core_p[c] == bd.per_block[f"core{c}"]
+        for k, cluster in enumerate(platform.clusters):
+            assert uncore_p[k] == bd.per_block[f"uncore_{cluster.name}"]
+        assert soc_p == bd.per_block["soc_rest"]
+        assert total == pytest.approx(bd.total, rel=1e-15)
+
+    def test_idle_vector(self, platform, model):
+        import numpy as np
+
+        zeros = np.zeros(8)
+        temps = np.full(8, platform.ambient_temp_c)
+        bd = model.compute(_min_vf(platform), {}, {})
+        _, _, _, total = model.compute_vector(_min_vf(platform), zeros, temps)
+        assert total == pytest.approx(bd.total, rel=1e-15)

@@ -158,3 +158,43 @@ class TestStateAccess:
         net = _two_node_network()
         g = net.conductance_matrix
         assert np.allclose(g, g.T)
+
+
+class TestArrayNativeSurface:
+    def test_step_vector_matches_dict_step(self):
+        a = _two_node_network()
+        b = _two_node_network()
+        p = np.zeros(b.n_nodes)
+        p[b.node_index("chip")] = 2.0
+        for _ in range(50):
+            a.step({"chip": 2.0}, 0.01)
+            b.step_vector(p, 0.01)
+        for name in a.node_names:
+            assert b.temperature_of(name) == a.temperature_of(name)
+
+    def test_theta_is_live_view(self):
+        net = _two_node_network()
+        view = net.theta
+        net.step({"chip": 2.0}, 1.0)
+        assert view is net.theta
+        assert view[net.node_index("chip")] > 0.0
+
+    def test_temperatures_array_matches_dict(self):
+        net = _two_node_network()
+        net.step({"chip": 2.0}, 5.0)
+        arr = net.temperatures_array()
+        temps = net.temperatures()
+        for name, idx in net.index_map.items():
+            assert arr[idx] == pytest.approx(temps[name])
+
+    def test_indices_of_cached_and_correct(self):
+        net = _two_node_network()
+        idx = net.indices_of(["board", "chip"])
+        assert list(idx) == [net.node_index("board"), net.node_index("chip")]
+        assert net.indices_of(["board", "chip"]) is idx
+
+    def test_max_temperature_at(self):
+        net = _two_node_network()
+        net.set_temperatures({"chip": 50.0, "board": 70.0})
+        chip_only = net.indices_of(["chip"])
+        assert net.max_temperature_at(chip_only) == pytest.approx(50.0)
