@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.platform.vf import VFLevel, VFTable
+from repro.utils.floatcmp import is_zero
 from repro.utils.validation import check_in_range, check_non_negative, check_positive
 
 
@@ -69,7 +70,7 @@ class ClusterPerfParams:
     def effective_mem_time(self, frequency_hz: float) -> float:
         """Memory stall seconds/instruction at ``frequency_hz``."""
         check_positive("frequency_hz", frequency_hz)
-        if self.mem_freq_coupling == 0.0 or self.mem_time_per_inst == 0.0:
+        if is_zero(self.mem_freq_coupling) or is_zero(self.mem_time_per_inst):
             return self.mem_time_per_inst
         return self.mem_time_per_inst * (
             self.mem_ref_freq_hz / frequency_hz

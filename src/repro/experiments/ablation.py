@@ -33,6 +33,7 @@ from repro.il.dataset import DatasetBuilder, LabelConfig
 from repro.il.pipeline import generate_scenarios
 from repro.il.technique import TopIL
 from repro.nn.training import TrainingConfig
+from repro.utils.floatcmp import is_exactly, is_zero
 from repro.utils.rng import RandomSource
 from repro.utils.tables import ascii_table
 from repro.workloads.generator import mixed_workload
@@ -212,7 +213,7 @@ def _init_period_worker(assets: AssetStore, config: AblationConfig) -> None:
 
 def _run_period_cell(cell: Tuple[float, float]) -> PeriodRow:
     """One (migration period, DVFS period) point of the sweep."""
-    mig_period, dvfs_period = cell
+    mig_period_s, dvfs_period_s = cell
     assets: AssetStore = _PERIOD_STATE["assets"]  # type: ignore[assignment]
     config: AblationConfig = _PERIOD_STATE["config"]  # type: ignore[assignment]
     platform = assets.platform
@@ -225,13 +226,13 @@ def _run_period_cell(cell: Tuple[float, float]) -> PeriodRow:
     )
     technique = TopIL(
         assets.models()[0],
-        migration_period_s=mig_period,
-        dvfs_period_s=dvfs_period,
+        migration_period_s=mig_period_s,
+        dvfs_period_s=dvfs_period_s,
     )
     run = run_workload(platform, technique, workload, seed=config.seed)
     return PeriodRow(
-        migration_period_s=mig_period,
-        dvfs_period_s=dvfs_period,
+        migration_period_s=mig_period_s,
+        dvfs_period_s=dvfs_period_s,
         mean_temp_c=run.summary.mean_temp_c,
         violations=run.summary.n_qos_violations,
         migrations=run.summary.migrations,
@@ -336,7 +337,9 @@ def _optimal_source_only(dataset):
     keep = []
     for i in range(len(dataset)):
         source = dataset.meta[i][1]
-        if dataset.labels[i].max() > 0 and dataset.labels[i][source] == 1.0:
+        if dataset.labels[i].max() > 0 and is_exactly(
+            float(dataset.labels[i][source]), 1.0
+        ):
             keep.append(i)
     return ILDataset(
         features=dataset.features[keep],
@@ -413,7 +416,7 @@ def run_noise_ablation(
     result = AblationResult(study="measurement-noise x alpha ablation")
 
     def _noisy(grids_in, std, rng):
-        if std == 0.0:
+        if is_zero(std):
             return list(grids_in)
         noisy = []
         for grid in grids_in:

@@ -154,9 +154,17 @@ def generate_report(
 
     def run(title, paper_claim, fn):
         say(f"[report] {title} ...")
-        start = time.time()
+        # Wall-clock section timings are reporting metadata, not results.
+        start = time.time()  # repro-lint: ignore[DET003]
         body = fn()
-        sections.append(_section(title, paper_claim, body, time.time() - start))
+        sections.append(
+            _section(
+                title,
+                paper_claim,
+                body,
+                time.time() - start,  # repro-lint: ignore[DET003]
+            )
+        )
 
     run(
         "Fig. 1 — Motivational example",
@@ -210,7 +218,7 @@ def generate_report(
     )
 
     say("[report] ablations ...")
-    start = time.time()
+    start = time.time()  # repro-lint: ignore[DET003]
     grids = _collect_grids(assets, scale.ablation)
     bodies = [
         run_label_ablation(assets, scale.ablation, grids).report(),
@@ -228,7 +236,7 @@ def generate_report(
             "one-migration-per-epoch rule, the exhaustive source coverage "
             "(no-DAgger claim), and the alpha-vs-noise trade-off.",
             "\n\n".join(bodies),
-            time.time() - start,
+            time.time() - start,  # repro-lint: ignore[DET003]
         )
     )
 

@@ -58,9 +58,9 @@ def _utilization_stats(sim: Simulator) -> tuple:
     duration); peak is the max concurrent busy-core fraction observed in
     the trace samples.
     """
-    duration = max(sim.now_s, 1e-9)
+    duration_s = max(sim.now_s, 1e-9)
     total_cpu = sum(p.total_cpu_time_s for p in sim.all_processes())
-    mean_util = total_cpu / (sim.platform.n_cores * duration)
+    mean_util = total_cpu / (sim.platform.n_cores * duration_s)
     peak = 0.0
     for i in range(len(sim.trace.times)):
         busy_cores = set()

@@ -25,6 +25,7 @@ from typing import Dict, List, Mapping, Tuple
 import numpy as np
 
 from repro.platform import Cluster, Platform, VFLevel
+from repro.utils.hotpath import hot_path
 from repro.utils.validation import check_in_range, check_non_negative
 
 
@@ -66,7 +67,7 @@ class PowerModel:
         uncore_base_w: float = 0.05,
         uncore_activity_w: float = 0.25,
         soc_rest_w: float = 0.55,
-    ):
+    ) -> None:
         check_non_negative("leakage_temp_coeff", leakage_temp_coeff)
         check_non_negative("uncore_base_w", uncore_base_w)
         check_non_negative("uncore_activity_w", uncore_activity_w)
@@ -152,6 +153,7 @@ class PowerModel:
         blocks["soc_rest"] = self.soc_rest_w
         return PowerBreakdown(per_block=blocks)
 
+    @hot_path
     def compute_vector(
         self,
         vf_levels: Mapping[str, VFLevel],

@@ -40,7 +40,14 @@ from repro.thermal import (
     TemperatureSensor,
     build_thermal_network,
 )
+from repro.utils.hotpath import hot_path
 from repro.utils.rng import RandomSource
+from repro.utils.sanitize import (
+    MAX_PLAUSIBLE_TEMP_C,
+    MIN_PLAUSIBLE_TEMP_C,
+    SanitizerError,
+    sanitizer_enabled,
+)
 from repro.utils.validation import check_non_negative, check_positive
 
 
@@ -176,6 +183,14 @@ class Simulator:
         )
         self._soc_rest_idx = self.thermal.node_index("soc_rest")
         self._power_vec = np.zeros(self.thermal.n_nodes)
+        # Reused per step by _resolve_step_params (hot path: no rebuilds).
+        self._pressure: Dict[str, float] = {
+            c.name: 0.0 for c in platform.clusters
+        }
+
+        # Sanitizer layer (REPRO_SANITIZE=1): per-step invariant checks.
+        self._sanitize_enabled = sanitizer_enabled()
+        self._sanitize_prev_now_s = float("-inf")
 
         # DTM throttling state: max allowed VF index per cluster.
         self._dtm_cap: Dict[str, int] = {
@@ -307,12 +322,15 @@ class Simulator:
             self._pending_overhead_s += cpu_seconds
 
     # ------------------------------------------------------------------ stepping
+    @hot_path
     def step(self) -> None:
         """Advance the simulation by one ``dt``."""
         dt = self.config.dt_s
         self._admit_arrivals()
         activity = self._execute_processes(dt)
         self._advance_thermal(activity, dt)
+        if self._sanitize_enabled:
+            self._sanitize_step()
         self._check_dtm()
         self._run_controllers()
         self._record_trace()
@@ -348,6 +366,7 @@ class Simulator:
                 MigrationEvent(self.now_s, process.pid, process.app.name, None, core)
             )
 
+    @hot_path
     def _resolve_step_params(
         self,
     ) -> Tuple[Dict[str, float], Dict[int, Tuple]]:
@@ -356,9 +375,12 @@ class Simulator:
         One pass in pid order (the legacy accumulation order): resolves
         ``params_at`` once per process per step and derives from it both the
         cluster contention pressure and the quantities ``_execute_processes``
-        needs, so nothing is recomputed downstream.
+        needs, so nothing is recomputed downstream.  The pressure dict is
+        reused across steps; callers must not hold it.
         """
-        pressure = {c.name: 0.0 for c in self.platform.clusters}
+        pressure = self._pressure
+        for name in pressure:
+            pressure[name] = 0.0
         per_process: Dict[int, Tuple] = {}
         for p in self._running:
             cluster = self._cluster_by_core[p.core_id]
@@ -374,8 +396,9 @@ class Simulator:
     def _cluster_mem_pressure(self) -> Dict[str, float]:
         """Sum of co-runner memory-boundedness per cluster (contention)."""
         pressure, _ = self._resolve_step_params()
-        return pressure
+        return dict(pressure)  # copy: _resolve_step_params reuses its dict
 
+    @hot_path
     def _execute_processes(self, dt: float) -> np.ndarray:
         """Run every core for ``dt``; returns per-core activity for power."""
         activity = np.zeros(self.platform.n_cores)
@@ -442,6 +465,7 @@ class Simulator:
                 p.account_qos_observation(dt, self.qos_satisfied(p))
         return activity
 
+    @hot_path
     def _advance_thermal(self, activity: np.ndarray, dt: float) -> None:
         thermal = self.thermal
         core_temps = thermal.theta[self._core_node_idx] + thermal.ambient_temp_c
@@ -489,6 +513,44 @@ class Simulator:
                 controller.next_due_s += controller.period_s
                 if controller.next_due_s <= self.now_s + 1e-12:
                     controller.next_due_s = self.now_s + controller.period_s
+
+    def _sanitize_step(self) -> None:
+        """Per-step invariant checks (only when ``REPRO_SANITIZE=1``).
+
+        Runs right after the thermal advance — before the DTM, controllers,
+        or trace consume the state — and raises
+        :class:`~repro.utils.sanitize.SanitizerError` on the first violated
+        invariant: NaN/inf in the thermal state, implausible node
+        temperatures, negative power injection, or non-advancing simulated
+        time.  Cheap (a handful of reductions over ~a dozen nodes), but
+        still gated so the default fast path pays nothing.
+        """
+        theta = self.thermal.theta
+        if not np.all(np.isfinite(theta)):
+            raise SanitizerError(
+                f"non-finite thermal state at t={self.now_s:.4f} s: "
+                f"theta={theta!r}"
+            )
+        ambient = self.thermal.ambient_temp_c
+        temp_min = float(theta.min()) + ambient
+        temp_max = float(theta.max()) + ambient
+        if temp_min < MIN_PLAUSIBLE_TEMP_C or temp_max > MAX_PLAUSIBLE_TEMP_C:
+            raise SanitizerError(
+                f"thermal node out of plausible bounds "
+                f"[{MIN_PLAUSIBLE_TEMP_C}, {MAX_PLAUSIBLE_TEMP_C}] degC at "
+                f"t={self.now_s:.4f} s: min={temp_min:.2f}, max={temp_max:.2f}"
+            )
+        if float(self._power_vec.min()) < 0.0:
+            raise SanitizerError(
+                f"negative power injection at t={self.now_s:.4f} s: "
+                f"min={float(self._power_vec.min()):.6f} W"
+            )
+        if not self.now_s > self._sanitize_prev_now_s:
+            raise SanitizerError(
+                f"simulated time did not advance: {self._sanitize_prev_now_s}"
+                f" -> {self.now_s}"
+            )
+        self._sanitize_prev_now_s = self.now_s
 
     def _record_trace(self) -> None:
         if not self.trace.due(self.now_s):

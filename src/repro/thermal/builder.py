@@ -44,7 +44,7 @@ class ThermalMaterials:
     vertical_w_per_k_m2: float = 5500.0
     volumetric_heat_capacity_j_per_m3k: float = 1.75e6
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         check_positive("effective_thickness_m", self.effective_thickness_m)
         check_positive("lateral_k_w_per_mk", self.lateral_k_w_per_mk)
         check_positive("vertical_w_per_k_m2", self.vertical_w_per_k_m2)

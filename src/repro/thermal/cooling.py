@@ -35,7 +35,7 @@ class CoolingConfig:
     board_to_ambient_w_per_k: float
     board_capacitance_j_per_k: float = 60.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         check_positive("board_to_ambient_w_per_k", self.board_to_ambient_w_per_k)
         check_positive("board_capacitance_j_per_k", self.board_capacitance_j_per_k)
 

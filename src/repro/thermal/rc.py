@@ -37,6 +37,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 import numpy as np
 from scipy.linalg import expm
 
+from repro.utils.hotpath import hot_path
 from repro.utils.validation import check_finite, check_positive
 
 
@@ -50,7 +51,7 @@ class RCThermalNetwork:
     since the model is linear in ``theta``).
     """
 
-    def __init__(self, ambient_temp_c: float = 25.0):
+    def __init__(self, ambient_temp_c: float = 25.0) -> None:
         self.ambient_temp_c = float(ambient_temp_c)
         self._names: List[str] = []
         self._index: Dict[str, int] = {}
@@ -58,11 +59,12 @@ class RCThermalNetwork:
         self._edges: List[Tuple[int, int, float]] = []
         self._ambient_conductance: Dict[int, float] = {}
         self._finalized = False
-        # Set by finalize():
-        self._cap_vector: Optional[np.ndarray] = None
-        self._g_matrix: Optional[np.ndarray] = None
-        self._g_inv: Optional[np.ndarray] = None
-        self._theta: Optional[np.ndarray] = None
+        # Assembled by finalize(); empty placeholders until then so the
+        # attributes are non-Optional (``_require_finalized`` is the guard).
+        self._cap_vector: np.ndarray = np.empty(0)
+        self._g_matrix: np.ndarray = np.empty((0, 0))
+        self._g_inv: np.ndarray = np.empty((0, 0))
+        self._theta: np.ndarray = np.empty(0)
         self._expm_cache: Dict[float, np.ndarray] = {}
         # Fused step operators (A, B) per dt and name->index array caches.
         self._step_cache: Dict[float, Tuple[np.ndarray, np.ndarray]] = {}
@@ -229,6 +231,7 @@ class RCThermalNetwork:
         self.step_vector(self._power_vector(power_w), dt_s)
         return self.temperatures()
 
+    @hot_path
     def step_vector(self, power_w: np.ndarray, dt_s: float) -> np.ndarray:
         """Array-native step: advance by ``dt_s`` with per-node power vector.
 

@@ -37,7 +37,7 @@ class ReducedThermalModel:
     which is what the thermal sensor observes anyway.
     """
 
-    def __init__(self, network: RCThermalNetwork, n_modes: int):
+    def __init__(self, network: RCThermalNetwork, n_modes: int) -> None:
         check_positive("n_modes", n_modes)
         g = network.conductance_matrix
         caps = network._cap_vector.copy()

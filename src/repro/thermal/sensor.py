@@ -44,7 +44,7 @@ class TemperatureSensor:
         quantization_c: float = 0.1,
         noise_std_c: float = 0.0,
         rng: Optional[RandomSource] = None,
-    ):
+    ) -> None:
         check_positive("sample_period_s", sample_period_s)
         check_non_negative("quantization_c", quantization_c)
         check_non_negative("noise_std_c", noise_std_c)

@@ -7,6 +7,8 @@ estimates the way the paper's implementation smooths perf readings.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.utils.validation import check_in_range
 
 
@@ -17,13 +19,13 @@ class ExponentialMovingAverage:
     Before the first observation the average is ``None``.
     """
 
-    def __init__(self, alpha: float = 0.5):
+    def __init__(self, alpha: float = 0.5) -> None:
         check_in_range("alpha", alpha, 0.0, 1.0)
         self.alpha = float(alpha)
-        self._value = None
+        self._value: Optional[float] = None
 
     @property
-    def value(self):
+    def value(self) -> Optional[float]:
         """The current smoothed value, or ``None`` if no samples were seen."""
         return self._value
 

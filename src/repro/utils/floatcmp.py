@@ -1,0 +1,44 @@
+"""Approved float-comparison helpers.
+
+Exact ``==``/``!=`` on floats is banned by ``repro-lint`` rule FLT001;
+these helpers are the sanctioned spellings.  ``approx_eq`` is a symmetric
+absolute+relative tolerance check (the same shape as ``math.isclose`` with
+explicit defaults chosen for this codebase's magnitudes: temperatures in
+tens of °C, powers in watts, times in seconds).  ``is_zero`` is the
+documented way to guard divisions: it is an *exact* zero test, because its
+callers short-circuit an algebraic identity (``x/0`` vs ``x`` untouched),
+not a numerical closeness question.
+"""
+
+from __future__ import annotations
+
+#: Default tolerances for approx_eq; loose enough for accumulated float
+#: error, tight enough to distinguish any two adjacent VF set points.
+DEFAULT_REL_TOL = 1e-9
+DEFAULT_ABS_TOL = 1e-12
+
+
+def approx_eq(
+    a: float,
+    b: float,
+    rel_tol: float = DEFAULT_REL_TOL,
+    abs_tol: float = DEFAULT_ABS_TOL,
+) -> bool:
+    """True when ``a`` and ``b`` agree within relative/absolute tolerance."""
+    diff = abs(a - b)
+    return diff <= abs_tol or diff <= rel_tol * max(abs(a), abs(b))
+
+
+def is_zero(x: float) -> bool:
+    """Exact zero test, for algebraic short-circuits and division guards."""
+    return x == 0.0  # repro-lint: ignore[FLT001]
+
+
+def is_exactly(a: float, b: float) -> bool:
+    """Exact float equality, spelled loudly.
+
+    For sentinel/default comparisons where the value is propagated
+    bit-for-bit (e.g. "scale is exactly the 1.0 default, skip rescaling"),
+    not computed.  Prefer :func:`approx_eq` for anything arithmetic.
+    """
+    return a == b  # repro-lint: ignore[FLT001]

@@ -1,0 +1,30 @@
+"""The ``@hot_path`` marker for allocation-lean per-step functions.
+
+Functions that run every simulation step (10 ms of simulated time) are
+marked with :func:`hot_path`.  The decorator is a zero-overhead no-op at
+run time — it only sets an attribute — but it is load-bearing for tooling:
+``repro-lint`` (``tools/analysis``) enforces hot-path hygiene rules
+(HOT001/HOT002: no comprehension allocation, no name-keyed dict rebuilds)
+inside marked functions, so the PR 1 fast-path throughput cannot silently
+regress through an innocent-looking refactor.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+F = TypeVar("F", bound=Callable[..., object])
+
+#: Attribute set on marked functions (introspectable by tests and tooling).
+HOT_PATH_ATTR = "__repro_hot_path__"
+
+
+def hot_path(fn: F) -> F:
+    """Mark ``fn`` as being on the per-step simulation hot path."""
+    setattr(fn, HOT_PATH_ATTR, True)
+    return fn
+
+
+def is_hot_path(fn: Callable[..., object]) -> bool:
+    """True when ``fn`` (or the function under a method wrapper) is marked."""
+    return bool(getattr(fn, HOT_PATH_ATTR, False))

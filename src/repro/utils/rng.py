@@ -8,11 +8,14 @@ seed, and so that independent components can be given independent streams.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Any, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 SeedLike = Union[int, np.random.Generator, "RandomSource", None]
+
+#: numpy-style ``size`` argument: scalar draw (None), 1-D count, or shape.
+SizeLike = Union[int, Tuple[int, ...], None]
 
 
 class RandomSource:
@@ -24,7 +27,7 @@ class RandomSource:
     unrelated component adds or removes draws.
     """
 
-    def __init__(self, seed: SeedLike = None):
+    def __init__(self, seed: SeedLike = None) -> None:
         if isinstance(seed, RandomSource):
             self._seed_seq = seed._seed_seq.spawn(1)[0]
         elif isinstance(seed, np.random.Generator):
@@ -50,25 +53,37 @@ class RandomSource:
         return source
 
     # Convenience passthroughs -------------------------------------------------
-    def uniform(self, low: float = 0.0, high: float = 1.0, size=None):
+    def uniform(
+        self, low: float = 0.0, high: float = 1.0, size: SizeLike = None
+    ) -> Any:
         return self.generator.uniform(low, high, size)
 
-    def normal(self, loc: float = 0.0, scale: float = 1.0, size=None):
+    def normal(
+        self, loc: float = 0.0, scale: float = 1.0, size: SizeLike = None
+    ) -> Any:
         return self.generator.normal(loc, scale, size)
 
-    def integers(self, low: int, high: Optional[int] = None, size=None):
+    def integers(
+        self, low: int, high: Optional[int] = None, size: SizeLike = None
+    ) -> Any:
         return self.generator.integers(low, high, size)
 
-    def choice(self, seq, size=None, replace: bool = True, p=None):
+    def choice(
+        self,
+        seq: Sequence[Any],
+        size: SizeLike = None,
+        replace: bool = True,
+        p: Optional[Sequence[float]] = None,
+    ) -> Any:
         return self.generator.choice(seq, size=size, replace=replace, p=p)
 
-    def exponential(self, scale: float = 1.0, size=None):
+    def exponential(self, scale: float = 1.0, size: SizeLike = None) -> Any:
         return self.generator.exponential(scale, size)
 
-    def shuffle(self, seq) -> None:
+    def shuffle(self, seq: Any) -> None:
         self.generator.shuffle(seq)
 
-    def permutation(self, x):
+    def permutation(self, x: Any) -> Any:
         return self.generator.permutation(x)
 
 

@@ -1,0 +1,46 @@
+"""The ``REPRO_SANITIZE`` runtime sanitizer switch.
+
+Setting ``REPRO_SANITIZE=1`` in the environment turns on per-step invariant
+checks inside the simulation kernel (NaN-freedom of the thermal state,
+thermal-node bounds, non-negative power injection, strictly monotone
+simulated time).  The checks are cheap enough to leave on for the whole CI
+suite but are **off by default**: the golden-trace equivalence guarantees
+are about the unsanitized fast path, and production-scale runs should not
+pay even the cheap price.
+
+The flag is read through :func:`sanitizer_enabled` at ``Simulator``
+construction time, so a test can flip the environment per-instance.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "SANITIZE_ENV",
+    "SanitizerError",
+    "sanitizer_enabled",
+    "MIN_PLAUSIBLE_TEMP_C",
+    "MAX_PLAUSIBLE_TEMP_C",
+]
+
+#: Environment variable that enables the kernel sanitizer layer.
+SANITIZE_ENV = "REPRO_SANITIZE"
+
+_FALSEY = {"", "0", "false", "no", "off"}
+
+#: Plausibility bounds for any thermal node (°C).  Violations indicate a
+#: corrupted state vector or wildly wrong power injection, not physics: the
+#: DTM throttles far below the upper bound and the ambient sits far above
+#: the lower one.
+MIN_PLAUSIBLE_TEMP_C = -40.0
+MAX_PLAUSIBLE_TEMP_C = 150.0
+
+
+class SanitizerError(AssertionError):
+    """A kernel invariant failed while ``REPRO_SANITIZE`` was enabled."""
+
+
+def sanitizer_enabled() -> bool:
+    """True when ``REPRO_SANITIZE`` is set to a truthy value."""
+    return os.environ.get(SANITIZE_ENV, "").strip().lower() not in _FALSEY

@@ -9,7 +9,7 @@ from __future__ import annotations
 from typing import Iterable, List, Sequence
 
 
-def _render(value) -> str:
+def _render(value: object) -> str:
     if isinstance(value, float):
         return f"{value:.3f}"
     return str(value)

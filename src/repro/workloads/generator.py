@@ -11,6 +11,7 @@ from repro.apps.model import AppModel
 from repro.apps.qos import default_qos_target
 from repro.platform import Platform
 from repro.platform.hikey import LITTLE
+from repro.utils.floatcmp import is_exactly
 from repro.utils.rng import RandomSource
 from repro.utils.validation import check_positive
 
@@ -71,7 +72,7 @@ class Workload:
     def resolve_app(self, item: WorkloadItem) -> AppModel:
         """The (possibly scaled) application model for one item."""
         app = get_app(item.app_name)
-        if self.instruction_scale == 1.0:
+        if is_exactly(self.instruction_scale, 1.0):
             return app
         return dataclasses.replace(
             app, total_instructions=app.total_instructions * self.instruction_scale

@@ -1,0 +1,51 @@
+"""Tier-1 gate: ``python -m tools.analysis src/`` must be clean.
+
+Shells out exactly the way CI and developers invoke the linter, so this
+also covers the CLI entry point, exit codes, and the JSON report.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _run_lint(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "tools.analysis", *args],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+def test_src_tree_is_clean(tmp_path):
+    report = tmp_path / "report.json"
+    result = _run_lint("src", "--json", str(report))
+    assert result.returncode == 0, (
+        f"repro-lint found violations:\n{result.stdout}{result.stderr}"
+    )
+    payload = json.loads(report.read_text())
+    assert payload["tool"] == "repro-lint"
+    assert payload["total"] == 0
+    assert len(payload["rules"]) >= 4
+
+
+def test_violations_fail_with_exit_code_1(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\nx = random.random()\n")
+    result = _run_lint(str(bad))
+    assert result.returncode == 1
+    assert "DET001" in result.stdout
+
+
+def test_list_rules():
+    result = _run_lint("--list-rules")
+    assert result.returncode == 0
+    for rule_id in ("DET001", "UNIT001", "FLT001", "HOT001"):
+        assert rule_id in result.stdout

@@ -1,0 +1,72 @@
+"""Golden-trace equivalence with the runtime sanitizer enabled.
+
+``REPRO_SANITIZE=1`` must be purely observational: the per-step invariant
+checks may abort a broken run, but on a healthy kernel they must not
+perturb a single RNG draw, VF decision, or temperature.  This replays the
+same fixed-seed scenario as ``test_kernel_fastpath_equivalence`` with the
+sanitizer on and holds it to the same golden fixture.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from capture_golden_trace import FIXTURE_PATH, run_golden_scenario, trace_to_dict
+from repro.utils.sanitize import SANITIZE_ENV
+
+TEMP_ATOL_C = 1e-6
+POWER_RTOL = 1e-9
+TIME_ATOL_S = 1e-9
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    assert os.path.exists(FIXTURE_PATH), "golden fixture missing"
+    with open(FIXTURE_PATH) as fh:
+        return json.load(fh)
+
+
+@pytest.fixture(scope="module")
+def sanitized_replay() -> dict:
+    # module-scoped, so set/restore the env var by hand (monkeypatch is
+    # function-scoped) around the one simulation run.
+    prior = os.environ.get(SANITIZE_ENV)
+    os.environ[SANITIZE_ENV] = "1"
+    try:
+        return trace_to_dict(run_golden_scenario())
+    finally:
+        if prior is None:
+            del os.environ[SANITIZE_ENV]
+        else:
+            os.environ[SANITIZE_ENV] = prior
+
+
+class TestSanitizedEquivalence:
+    def test_sensor_readings_exact(self, golden, sanitized_replay):
+        assert sanitized_replay["sensor_temp_c"] == golden["sensor_temp_c"]
+
+    def test_node_temperatures(self, golden, sanitized_replay):
+        for node, temps in golden["node_temps"].items():
+            np.testing.assert_allclose(
+                sanitized_replay["node_temps"][node], temps,
+                atol=TEMP_ATOL_C, err_msg=f"node {node}",
+            )
+
+    def test_total_power(self, golden, sanitized_replay):
+        np.testing.assert_allclose(
+            sanitized_replay["total_power_w"], golden["total_power_w"],
+            rtol=POWER_RTOL,
+        )
+
+    def test_discrete_decisions_exact(self, golden, sanitized_replay):
+        assert sanitized_replay["vf_levels"] == golden["vf_levels"]
+        assert sanitized_replay["migrations"] == golden["migrations"]
+
+    def test_duration(self, golden, sanitized_replay):
+        assert sanitized_replay["duration_s"] == pytest.approx(
+            golden["duration_s"], abs=TIME_ATOL_S
+        )

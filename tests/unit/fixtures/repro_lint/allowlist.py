@@ -1,0 +1,11 @@
+"""Fixture: justified violations suppressed by the inline allowlist."""
+
+import time
+
+
+def profile(fn):
+    # Wall-clock profiling of the report generator is reporting metadata.
+    start = time.time()  # repro-lint: ignore[DET003]
+    result = fn()
+    elapsed = time.time() - start  # repro-lint: ignore[DET003, FLT001]
+    return result, elapsed

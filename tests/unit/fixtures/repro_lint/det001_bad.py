@@ -1,0 +1,9 @@
+"""Fixture: stdlib random use (DET001 hits)."""
+
+import random  # expect: DET001
+from random import choice  # expect: DET001
+
+
+def pick(items):
+    random.shuffle(items)
+    return choice(items)

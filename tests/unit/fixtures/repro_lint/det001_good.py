@@ -1,0 +1,9 @@
+"""Fixture: sanctioned randomness (no DET001 hits)."""
+
+from repro.utils.rng import RandomSource
+
+
+def pick(items, seed):
+    rng = RandomSource(seed).child("pick")
+    rng.shuffle(items)
+    return items[0]

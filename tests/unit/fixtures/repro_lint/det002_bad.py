@@ -1,0 +1,11 @@
+"""Fixture: numpy global RNG state (DET002 hits)."""
+
+import numpy as np
+from numpy.random import rand  # expect: DET002
+
+
+def noisy(shape):
+    np.random.seed(0)  # expect: DET002
+    base = np.random.rand(*shape)  # expect: DET002
+    rng = np.random.default_rng()  # expect: DET002
+    return base + rng.normal(size=shape) + rand()

@@ -1,0 +1,8 @@
+"""Fixture: seed-explicit numpy construction types (no DET002 hits)."""
+
+import numpy as np
+
+
+def make_generator(seed: int) -> np.random.Generator:
+    seq = np.random.SeedSequence(seed)
+    return np.random.Generator(np.random.PCG64(seq))

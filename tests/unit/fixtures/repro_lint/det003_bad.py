@@ -1,0 +1,11 @@
+"""Fixture: wall-clock reads (DET003 hits)."""
+
+import datetime
+import time
+
+
+def stamp():
+    started = time.time()  # expect: DET003
+    tick = time.perf_counter()  # expect: DET003
+    today = datetime.datetime.now()  # expect: DET003
+    return started, tick, today

@@ -1,0 +1,5 @@
+"""Fixture: simulated time only (no DET003 hits)."""
+
+
+def elapsed(sim, start_s: float) -> float:
+    return sim.now_s - start_s

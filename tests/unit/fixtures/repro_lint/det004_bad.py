@@ -1,0 +1,11 @@
+"""Fixture: unseeded RandomSource construction (DET004 hits)."""
+
+from repro.utils import rng
+from repro.utils.rng import RandomSource
+
+
+def fresh_streams():
+    a = RandomSource()  # expect: DET004
+    b = RandomSource(seed=None)  # expect: DET004
+    c = rng.RandomSource()  # expect: DET004
+    return a, b, c

@@ -1,0 +1,10 @@
+"""Fixture: seeded RandomSource construction (no DET004 hits)."""
+
+from repro.utils.rng import RandomSource
+
+
+def streams(config):
+    a = RandomSource(0)
+    b = RandomSource(seed=42)
+    c = RandomSource(config.seed).child("component")
+    return a, b, c

@@ -1,0 +1,9 @@
+"""Fixture: exact float equality (FLT001 hits)."""
+
+
+def judge(x, y, total, count):
+    at_limit = x == 1.0  # expect: FLT001
+    not_cool = y != 0.0  # expect: FLT001
+    mean_match = total / count == x  # expect: FLT001
+    cast_match = float(y) == x  # expect: FLT001
+    return at_limit, not_cool, mean_match, cast_match

@@ -1,0 +1,11 @@
+"""Fixture: tolerance helpers and int comparisons (no FLT001 hits)."""
+
+from repro.utils.floatcmp import approx_eq, is_zero
+
+
+def judge(x, y, n, m):
+    at_limit = approx_eq(x, 1.0)
+    not_cool = not is_zero(y)
+    count_match = n == 3  # int literal: exact equality is well-defined
+    name_match = n == m  # no type info; not flagged
+    return at_limit, not_cool, count_match, name_match

@@ -1,0 +1,10 @@
+"""Fixture: comprehension allocation on the hot path (HOT001 hits)."""
+
+from repro.utils.hotpath import hot_path
+
+
+@hot_path
+def step_states(processes):
+    states = [p.state for p in processes]  # expect: HOT001
+    by_pid = {p.pid: p for p in processes}  # expect: HOT001
+    return states, by_pid

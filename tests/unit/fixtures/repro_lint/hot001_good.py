@@ -1,0 +1,15 @@
+"""Fixture: comprehensions off the hot path, loops on it (no HOT001 hits)."""
+
+from repro.utils.hotpath import hot_path
+
+
+def build_index(processes):
+    # Not marked: construction-time comprehensions are fine.
+    return {p.pid: p for p in processes}
+
+
+@hot_path
+def step_states(processes, out):
+    for i, p in enumerate(processes):
+        out[i] = p.state
+    return out

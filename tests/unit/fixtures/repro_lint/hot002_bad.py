@@ -1,0 +1,10 @@
+"""Fixture: name-keyed dict rebuilds on the hot path (HOT002 hits)."""
+
+from repro.utils.hotpath import hot_path
+
+
+@hot_path
+def read_temps(net):
+    snapshot = {"core0": net.theta[0], "core1": net.theta[1]}  # expect: HOT002
+    merged = dict(snapshot)  # expect: HOT002
+    return merged

@@ -1,0 +1,10 @@
+"""Fixture: preallocated arrays on the hot path (no HOT002 hits)."""
+
+from repro.utils.hotpath import hot_path
+
+
+@hot_path
+def read_temps(net, core_idx, out):
+    scratch = {}  # empty-dict init is allowed
+    out[:] = net.theta[core_idx]
+    return out, scratch

@@ -1,0 +1,14 @@
+"""Fixture: ambiguous time-valued names (UNIT001 hits)."""
+
+
+class Controller:
+    def __init__(self):
+        self.interval = 0.05  # expect: UNIT001
+
+    def configure(
+        self,
+        period,  # expect: UNIT001
+        timeout,  # expect: UNIT001
+    ):
+        duration = period * 10  # expect: UNIT001
+        return duration + timeout

@@ -1,0 +1,11 @@
+"""Fixture: unit-suffixed time names (no UNIT001 hits)."""
+
+
+class Controller:
+    def __init__(self):
+        self.interval_s = 0.05
+        self.warmup = 3  # not a time word
+
+    def configure(self, period_s, timeout_ms, duration_steps):
+        duration_s = period_s * 10
+        return duration_s + timeout_ms * 1e-3 + duration_steps

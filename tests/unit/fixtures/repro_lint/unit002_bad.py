@@ -1,0 +1,8 @@
+"""Fixture: mixed time-unit arithmetic and bare literals (UNIT002 hits)."""
+
+
+def schedule(controller, start_s, offset_ms, deadline_s, budget_ms):
+    total = start_s + offset_ms  # expect: UNIT002
+    late = deadline_s < budget_ms  # expect: UNIT002
+    controller.configure(period=0.5)  # expect: UNIT002
+    return total, late

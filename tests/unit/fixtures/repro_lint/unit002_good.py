@@ -1,0 +1,8 @@
+"""Fixture: explicit unit conversion before combining (no UNIT002 hits)."""
+
+
+def schedule(controller, start_s, offset_ms, deadline_s, budget_ms):
+    total_s = start_s + offset_ms * 1e-3
+    late = deadline_s < budget_ms * 1e-3
+    controller.configure(period_s=0.5)
+    return total_s, late

@@ -1,0 +1,37 @@
+"""The @hot_path marker: runtime no-op, introspectable, applied to the kernel."""
+
+from repro.power import PowerModel
+from repro.sim.kernel import Simulator
+from repro.thermal import RCThermalNetwork
+from repro.utils.hotpath import HOT_PATH_ATTR, hot_path, is_hot_path
+
+
+def test_decorator_is_identity():
+    def f(x):
+        return x + 1
+
+    g = hot_path(f)
+    assert g is f
+    assert g(1) == 2
+
+
+def test_marker_attribute_set():
+    @hot_path
+    def f():
+        pass
+
+    assert getattr(f, HOT_PATH_ATTR) is True
+    assert is_hot_path(f)
+    assert not is_hot_path(test_decorator_is_identity)
+
+
+def test_kernel_hot_functions_marked():
+    assert is_hot_path(RCThermalNetwork.step_vector)
+    assert is_hot_path(PowerModel.compute_vector)
+    assert is_hot_path(Simulator.step)
+    assert is_hot_path(Simulator._execute_processes)
+    assert is_hot_path(Simulator._resolve_step_params)
+    assert is_hot_path(Simulator._advance_thermal)
+    # The name-keyed construction/analysis surfaces stay unmarked.
+    assert not is_hot_path(RCThermalNetwork.step)
+    assert not is_hot_path(PowerModel.compute)

@@ -1,0 +1,94 @@
+"""mypy wiring: config shape always, a real strict run when mypy is present."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+try:
+    import tomllib
+except ImportError:  # Python < 3.11
+    tomllib = None  # type: ignore[assignment]
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+STRICT_PACKAGES = ["repro.utils.*", "repro.thermal.*", "repro.power.*"]
+
+
+@pytest.fixture(scope="module")
+def pyproject() -> dict:
+    if tomllib is None:
+        pytest.skip("tomllib unavailable")
+    with open(REPO_ROOT / "pyproject.toml", "rb") as fh:
+        return tomllib.load(fh)
+
+
+def test_lint_extra_declared(pyproject):
+    extras = pyproject["project"]["optional-dependencies"]
+    assert any(dep.startswith("mypy") for dep in extras["lint"])
+    assert any(dep.startswith("ruff") for dep in extras["lint"])
+
+
+def test_mypy_base_config(pyproject):
+    cfg = pyproject["tool"]["mypy"]
+    assert cfg["mypy_path"] == "src"
+    assert cfg["no_implicit_optional"] is True
+    assert cfg["check_untyped_defs"] is True
+
+
+def test_strict_overrides_cover_core_packages(pyproject):
+    overrides = pyproject["tool"]["mypy"]["overrides"]
+    strict = [o for o in overrides if o.get("disallow_untyped_defs")]
+    assert strict, "no strict override block"
+    covered = set()
+    for block in strict:
+        covered.update(block["module"])
+        assert block["disallow_incomplete_defs"] is True
+    assert covered >= set(STRICT_PACKAGES)
+
+
+def test_strict_packages_fully_annotated():
+    """AST-level stand-in for the strict mypy gate (mypy may be absent).
+
+    Every function in the strict packages must have a return annotation and
+    annotations on all non-self/cls parameters — the exact surface
+    ``disallow_untyped_defs``/``disallow_incomplete_defs`` police.
+    """
+    import ast
+
+    missing = []
+    for pkg in ("utils", "thermal", "power"):
+        for path in sorted((REPO_ROOT / "src" / "repro" / pkg).rglob("*.py")):
+            tree = ast.parse(path.read_text())
+            for node in ast.walk(tree):
+                if not isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                args = (
+                    node.args.posonlyargs
+                    + node.args.args
+                    + node.args.kwonlyargs
+                )
+                unannotated = [
+                    a.arg
+                    for a in args
+                    if a.annotation is None and a.arg not in ("self", "cls")
+                ]
+                if node.returns is None or unannotated:
+                    missing.append(f"{path.name}:{node.lineno} {node.name}")
+    assert not missing, "untyped defs in strict packages:\n" + "\n".join(missing)
+
+
+def test_mypy_runs_clean_when_available():
+    pytest.importorskip("mypy")
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", "--no-error-summary"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

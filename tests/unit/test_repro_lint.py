@@ -1,0 +1,124 @@
+"""repro-lint: every rule checked against known-good/known-bad fixtures.
+
+Bad fixtures mark each violating line with a trailing ``# expect: RULE-ID``
+comment (comma-separated for multiple ids); the harness asserts the exact
+(line, rule-id) hit set.  Good fixtures must produce zero violations under
+the *full* rule set, so a rule that over-triggers on innocent code fails
+here too.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.analysis import REGISTRY, analyze_paths, analyze_source, default_rules
+from tools.analysis.core import Violation, report_json
+
+FIXTURE_DIR = Path(__file__).parent / "fixtures" / "repro_lint"
+
+_EXPECT_RE = re.compile(r"#\s*expect:\s*([A-Z0-9_,\s]+)")
+
+RULE_IDS = [cls.rule_id for cls in REGISTRY.rule_classes]
+
+BAD_FIXTURES = sorted(FIXTURE_DIR.glob("*_bad.py"))
+GOOD_FIXTURES = sorted(FIXTURE_DIR.glob("*_good.py"))
+
+
+def _expected_hits(source: str):
+    hits = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _EXPECT_RE.search(line)
+        if match:
+            for rule_id in match.group(1).split(","):
+                hits.append((lineno, rule_id.strip()))
+    return sorted(hits)
+
+
+def _actual_hits(source: str):
+    violations = analyze_source(source, default_rules())
+    return sorted((v.line, v.rule_id) for v in violations)
+
+
+class TestRegistry:
+    def test_at_least_four_distinct_rule_ids(self):
+        assert len(set(RULE_IDS)) == len(RULE_IDS)
+        assert len(RULE_IDS) >= 4
+
+    def test_every_rule_documented(self):
+        for cls in REGISTRY.rule_classes:
+            assert cls.summary, cls.__name__
+            assert (cls.__doc__ or "").strip(), cls.__name__
+
+    def test_unknown_rule_id_rejected(self):
+        with pytest.raises(KeyError):
+            default_rules(["NOPE999"])
+
+    def test_every_rule_has_fixture_pair(self):
+        names = {p.name for p in BAD_FIXTURES} | {p.name for p in GOOD_FIXTURES}
+        for rule_id in RULE_IDS:
+            stem = rule_id.lower()
+            assert f"{stem}_bad.py" in names, f"missing bad fixture for {rule_id}"
+            assert f"{stem}_good.py" in names, f"missing good fixture for {rule_id}"
+
+
+class TestFixtures:
+    @pytest.mark.parametrize("path", BAD_FIXTURES, ids=lambda p: p.stem)
+    def test_bad_fixture_hits_exactly(self, path):
+        source = path.read_text()
+        expected = _expected_hits(source)
+        assert expected, f"{path.name} has no # expect: markers"
+        assert _actual_hits(source) == expected
+
+    @pytest.mark.parametrize("path", GOOD_FIXTURES, ids=lambda p: p.stem)
+    def test_good_fixture_clean(self, path):
+        assert _actual_hits(path.read_text()) == []
+
+    def test_allowlist_suppresses(self):
+        source = (FIXTURE_DIR / "allowlist.py").read_text()
+        assert _actual_hits(source) == []
+        # Without the allowlist the same code must be flagged.
+        stripped = re.sub(r"#\s*repro-lint:[^\n]*", "", source)
+        assert (
+            sorted({rule for _, rule in _actual_hits(stripped)}) == ["DET003"]
+        )
+
+
+class TestDriver:
+    def test_analyze_paths_walks_directories(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "mod.py").write_text("import random\n")
+        (tmp_path / "pkg" / "data.txt").write_text("import random\n")
+        violations = analyze_paths([tmp_path], default_rules())
+        assert [v.rule_id for v in violations] == ["DET001"]
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        violations = analyze_paths([bad], default_rules())
+        assert [v.rule_id for v in violations] == ["PARSE"]
+
+    def test_render_format(self):
+        violation = Violation("src/x.py", 3, "DET001", "boom")
+        assert violation.render() == "src/x.py:3 DET001 boom"
+
+    def test_json_report_shape(self):
+        import json
+
+        rules = default_rules()
+        violations = analyze_source("import random\n", rules)
+        payload = json.loads(report_json(violations, rules))
+        assert payload["tool"] == "repro-lint"
+        assert payload["total"] == 1
+        assert payload["counts"] == {"DET001": 1}
+        assert {r["id"] for r in payload["rules"]} == set(RULE_IDS)
+        entry = payload["violations"][0]
+        assert entry["rule_id"] == "DET001"
+        assert entry["line"] == 1

@@ -1,0 +1,92 @@
+"""The REPRO_SANITIZE=1 kernel sanitizer layer."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.apps import get_app
+from repro.sim import SimConfig, Simulator
+from repro.thermal import FAN_COOLING
+from repro.utils.sanitize import SANITIZE_ENV, SanitizerError, sanitizer_enabled
+
+
+def _sim(platform):
+    config = SimConfig(dt_s=0.01, model_overhead_on_core=None)
+    return Simulator(platform, FAN_COOLING, config=config, sensor_noise_std_c=0.0)
+
+
+def _submit_long(sim):
+    app = dataclasses.replace(get_app("adi"), total_instructions=1e15)
+    sim.submit(app, 1e8, 0.0)
+
+
+class TestSwitch:
+    @pytest.mark.parametrize("value", ["1", "true", "yes", "on", "2"])
+    def test_truthy_values_enable(self, monkeypatch, value):
+        monkeypatch.setenv(SANITIZE_ENV, value)
+        assert sanitizer_enabled()
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "no", "off", " 0 "])
+    def test_falsey_values_disable(self, monkeypatch, value):
+        monkeypatch.setenv(SANITIZE_ENV, value)
+        assert not sanitizer_enabled()
+
+    def test_unset_disables(self, monkeypatch):
+        monkeypatch.delenv(SANITIZE_ENV, raising=False)
+        assert not sanitizer_enabled()
+
+    def test_read_at_construction_time(self, monkeypatch, platform):
+        monkeypatch.delenv(SANITIZE_ENV, raising=False)
+        assert not _sim(platform)._sanitize_enabled
+        monkeypatch.setenv(SANITIZE_ENV, "1")
+        assert _sim(platform)._sanitize_enabled
+
+
+class TestChecks:
+    @pytest.fixture()
+    def sanitized_sim(self, monkeypatch, platform):
+        monkeypatch.setenv(SANITIZE_ENV, "1")
+        sim = _sim(platform)
+        _submit_long(sim)
+        return sim
+
+    def test_clean_run_passes(self, sanitized_sim):
+        sanitized_sim.run_for(1.0)
+        assert sanitized_sim.now_s > 0.99
+
+    def test_injected_nan_caught(self, sanitized_sim):
+        sanitized_sim.run_for(0.1)
+        sanitized_sim.thermal.theta[0] = np.nan
+        with pytest.raises(SanitizerError, match="non-finite"):
+            sanitized_sim.run_for(0.1)
+
+    def test_thermal_bounds_caught(self, sanitized_sim):
+        sanitized_sim.run_for(0.1)
+        node = sanitized_sim.thermal.node_names[0]
+        sanitized_sim.thermal.set_temperatures({node: 500.0})
+        with pytest.raises(SanitizerError, match="plausible bounds"):
+            sanitized_sim.step()
+
+    def test_non_monotone_time_caught(self, sanitized_sim):
+        sanitized_sim.step()
+        # Repeated checks without advancing now_s must trip the monotone guard.
+        sanitized_sim._sanitize_step()
+        with pytest.raises(SanitizerError, match="did not advance"):
+            sanitized_sim._sanitize_step()
+
+    def test_negative_power_caught(self, sanitized_sim):
+        sanitized_sim.step()
+        sanitized_sim._power_vec[0] = -1.0
+        with pytest.raises(SanitizerError, match="negative power"):
+            sanitized_sim._sanitize_step()
+
+    def test_disabled_by_default_skips_checks(self, monkeypatch, platform):
+        monkeypatch.delenv(SANITIZE_ENV, raising=False)
+        sim = _sim(platform)
+        _submit_long(sim)
+        sim.run_for(0.1)
+        node = sim.thermal.node_names[0]
+        sim.thermal.set_temperatures({node: 500.0})
+        sim.step()  # no sanitizer: the implausible state goes undetected
+        assert sim.thermal.temperatures()[node] > 100.0

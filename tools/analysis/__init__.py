@@ -1,0 +1,40 @@
+"""``repro-lint``: repo-specific static analysis.
+
+Run as ``python -m tools.analysis src/`` from the repository root; see
+:mod:`tools.analysis.core` for the framework and ``tools/analysis/rules/``
+for the rule set.  ``docs/architecture.md`` documents every rule id, the
+inline allowlist syntax, and how to add a rule.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from tools.analysis.core import (
+    FileContext,
+    Rule,
+    RuleRegistry,
+    Violation,
+    analyze_paths,
+    analyze_source,
+    report_json,
+)
+from tools.analysis.registry import REGISTRY
+import tools.analysis.rules  # noqa: F401  (registers the rule set)
+
+__all__ = [
+    "FileContext",
+    "Rule",
+    "RuleRegistry",
+    "Violation",
+    "REGISTRY",
+    "analyze_paths",
+    "analyze_source",
+    "report_json",
+    "default_rules",
+]
+
+
+def default_rules(only: Optional[List[str]] = None) -> List[Rule]:
+    """Instantiate the full registered rule set (optionally a subset)."""
+    return REGISTRY.instantiate(only)

@@ -1,0 +1,96 @@
+"""CLI entry point: ``python -m tools.analysis [paths...]``.
+
+Exit status 0 when clean, 1 when violations were found, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from tools.analysis import default_rules, analyze_paths, report_json
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.analysis",
+        description="repro-lint: determinism / unit-safety / float-equality / "
+        "hot-path static analysis for this repository",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        help="also write a machine-readable JSON report ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table (id, summary, doc) and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    only = (
+        [r.strip() for r in args.rules.split(",") if r.strip()]
+        if args.rules
+        else None
+    )
+    try:
+        rules = default_rules(only)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.rule_id}  {rule.summary}")
+            doc = (rule.__class__.__doc__ or "").strip()
+            for line in doc.splitlines():
+                print(f"    {line.strip()}")
+            print()
+        return 0
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path(s): {missing}", file=sys.stderr)
+        return 2
+
+    violations = analyze_paths(paths, rules, repo_root=Path.cwd())
+    for violation in violations:
+        print(violation.render())
+
+    if args.json:
+        payload = report_json(violations, rules)
+        if args.json == "-":
+            print(payload)
+        else:
+            Path(args.json).write_text(payload + "\n", encoding="utf-8")
+
+    if violations:
+        print(
+            f"repro-lint: {len(violations)} violation(s) in "
+            f"{len({v.path for v in violations})} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

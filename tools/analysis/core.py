@@ -1,0 +1,258 @@
+"""The ``repro-lint`` checker framework.
+
+``repro-lint`` is an AST-based static analyzer with repo-specific rules that
+mechanically enforce the invariants the reproduction's headline claims rest
+on: deterministic randomness, unambiguous time units, tolerance-based float
+comparison, and allocation-lean hot paths.
+
+Architecture
+------------
+* A **rule** is a small class (subclass of :class:`Rule`) with a stable
+  ``rule_id``, a one-line ``summary``, and a ``check(ctx)`` generator that
+  yields :class:`Violation` objects for one parsed file.
+* A :class:`FileContext` bundles everything a rule may want: the path, the
+  source text, the parsed ``ast`` tree, per-line comment text, and the
+  repo-relative posix path used for scoping decisions.
+* The driver (:func:`analyze_paths`) parses each file once, runs every
+  registered rule, and filters violations through the **inline allowlist**:
+  a ``# repro-lint: ignore[rule-id]`` (or ``ignore[id1,id2]``) comment on
+  the flagged line suppresses those rule ids for that line only.
+
+Output is ``file:line rule-id message`` per violation plus an optional
+machine-readable JSON report (see :func:`report_json`).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Type
+
+__all__ = [
+    "Violation",
+    "FileContext",
+    "Rule",
+    "RuleRegistry",
+    "analyze_source",
+    "analyze_paths",
+    "report_json",
+    "iter_python_files",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: ``path:line rule-id message``."""
+
+    path: str
+    line: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line} {self.rule_id} {self.message}"
+
+
+_IGNORE_RE = re.compile(r"#\s*repro-lint:\s*ignore\[([A-Za-z0-9_,\s-]+)\]")
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to check one parsed file."""
+
+    path: Path
+    source: str
+    tree: ast.AST
+    #: Repo-relative posix-style path ("src/repro/sim/kernel.py"); rules use
+    #: it for scoping (e.g. hot-path rules only fire on marked functions, the
+    #: determinism rules exempt ``repro/utils/rng.py``).
+    rel_path: str
+    #: line number -> comment text (trailing or full-line), via tokenize.
+    comments: Dict[int, str] = field(default_factory=dict)
+
+    def ignored_rules_on_line(self, line: int) -> Set[str]:
+        """Rule ids suppressed on ``line`` by an inline allowlist comment."""
+        comment = self.comments.get(line)
+        if not comment:
+            return set()
+        match = _IGNORE_RE.search(comment)
+        if not match:
+            return set()
+        return {part.strip() for part in match.group(1).split(",") if part.strip()}
+
+
+class Rule:
+    """Base class for repro-lint rules.
+
+    Subclasses set ``rule_id`` (stable, referenced by allowlist comments and
+    fixtures) and ``summary`` (one line, shown by ``--list-rules``), and
+    implement :meth:`check`.  The class docstring is the long-form
+    documentation surfaced by the CLI.
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(self, ctx: FileContext, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            path=str(ctx.path),
+            line=getattr(node, "lineno", 1),
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+class RuleRegistry:
+    """An ordered collection of rule classes, instantiable as a checker set."""
+
+    def __init__(self) -> None:
+        self._rules: List[Type[Rule]] = []
+
+    def register(self, rule_cls: Type[Rule]) -> Type[Rule]:
+        """Class decorator: add ``rule_cls`` to the registry."""
+        if not rule_cls.rule_id:
+            raise ValueError(f"{rule_cls.__name__} has no rule_id")
+        if any(r.rule_id == rule_cls.rule_id for r in self._rules):
+            raise ValueError(f"duplicate rule id {rule_cls.rule_id}")
+        self._rules.append(rule_cls)
+        return rule_cls
+
+    def instantiate(
+        self, only: Optional[Iterable[str]] = None
+    ) -> List[Rule]:
+        wanted = set(only) if only is not None else None
+        rules = [cls() for cls in self._rules]
+        if wanted is None:
+            return rules
+        unknown = wanted - {r.rule_id for r in rules}
+        if unknown:
+            raise KeyError(f"unknown rule id(s): {sorted(unknown)}")
+        return [r for r in rules if r.rule_id in wanted]
+
+    @property
+    def rule_classes(self) -> List[Type[Rule]]:
+        return list(self._rules)
+
+
+def _collect_comments(source: str) -> Dict[int, str]:
+    """Map line number -> comment text using tokenize (string-literal safe)."""
+    comments: Dict[int, str] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                comments[tok.start[0]] = tok.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # The AST parse will report the real problem; comments are best-effort.
+        pass
+    return comments
+
+
+def make_context(path: Path, source: str, repo_root: Optional[Path] = None) -> FileContext:
+    """Parse ``source`` into a :class:`FileContext` (raises ``SyntaxError``)."""
+    tree = ast.parse(source, filename=str(path))
+    try:
+        rel = path.resolve().relative_to((repo_root or Path.cwd()).resolve())
+        rel_path = rel.as_posix()
+    except ValueError:
+        rel_path = path.as_posix()
+    return FileContext(
+        path=path,
+        source=source,
+        tree=tree,
+        rel_path=rel_path,
+        comments=_collect_comments(source),
+    )
+
+
+def analyze_source(
+    source: str,
+    rules: Sequence[Rule],
+    path: Path = Path("<string>"),
+    repo_root: Optional[Path] = None,
+    honor_allowlist: bool = True,
+) -> List[Violation]:
+    """Run ``rules`` over one source string (the unit-test entry point)."""
+    ctx = make_context(path, source, repo_root)
+    found: List[Violation] = []
+    for rule in rules:
+        for violation in rule.check(ctx):
+            if honor_allowlist and violation.rule_id in ctx.ignored_rules_on_line(
+                violation.line
+            ):
+                continue
+            found.append(violation)
+    found.sort(key=lambda v: (v.path, v.line, v.rule_id))
+    return found
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Yield ``.py`` files under each path (files pass through directly)."""
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+        else:
+            yield from sorted(p for p in path.rglob("*.py") if p.is_file())
+
+
+def analyze_paths(
+    paths: Sequence[Path],
+    rules: Sequence[Rule],
+    repo_root: Optional[Path] = None,
+) -> List[Violation]:
+    """Analyze every python file under ``paths`` with ``rules``."""
+    violations: List[Violation] = []
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        try:
+            violations.extend(
+                analyze_source(source, rules, path=file_path, repo_root=repo_root)
+            )
+        except SyntaxError as exc:
+            violations.append(
+                Violation(
+                    path=str(file_path),
+                    line=exc.lineno or 1,
+                    rule_id="PARSE",
+                    message=f"could not parse: {exc.msg}",
+                )
+            )
+    return violations
+
+
+def report_json(violations: Sequence[Violation], rules: Sequence[Rule]) -> str:
+    """Machine-readable report: rule table + violation list + totals."""
+    payload = {
+        "tool": "repro-lint",
+        "rules": [
+            {"id": r.rule_id, "summary": r.summary} for r in rules
+        ],
+        "violations": [
+            {
+                "path": v.path,
+                "line": v.line,
+                "rule_id": v.rule_id,
+                "message": v.message,
+            }
+            for v in violations
+        ],
+        "counts": _count_by_rule(violations),
+        "total": len(violations),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _count_by_rule(violations: Sequence[Violation]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for v in violations:
+        counts[v.rule_id] = counts.get(v.rule_id, 0) + 1
+    return counts

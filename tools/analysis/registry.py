@@ -1,0 +1,13 @@
+"""The global rule registry shared by all rule modules.
+
+Kept in its own module so ``core`` stays import-cycle-free: rule modules do
+``from tools.analysis.registry import REGISTRY`` and decorate their rule
+classes with ``@REGISTRY.register``; importing :mod:`tools.analysis.rules`
+populates the registry.
+"""
+
+from __future__ import annotations
+
+from tools.analysis.core import RuleRegistry
+
+REGISTRY = RuleRegistry()

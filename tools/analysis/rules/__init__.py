@@ -1,0 +1,3 @@
+"""Rule modules — importing this package populates the registry."""
+
+from tools.analysis.rules import determinism, floats, hotpath, units  # noqa: F401

@@ -1,0 +1,197 @@
+"""Determinism rules (DET0xx).
+
+The reproduction's claims (bit-identical controller decisions, seed-stable
+parallel fan-out) require every random draw to flow through
+``repro.utils.rng.RandomSource`` and no code to consult wall clocks inside
+the simulation/learning stack.  These rules make that mechanical.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from tools.analysis.core import FileContext, Rule, Violation
+from tools.analysis.registry import REGISTRY
+
+#: The one module allowed to touch numpy's RNG construction machinery.
+_RNG_MODULE = "repro/utils/rng.py"
+
+#: np.random attributes that are seed-explicit construction types, not
+#: global-state draws.  Everything else on np.random is flagged.
+_APPROVED_NP_RANDOM = {"Generator", "BitGenerator", "PCG64", "SeedSequence"}
+
+#: (module, attribute) pairs that read a wall clock.
+_WALL_CLOCK_CALLS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "process_time"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+}
+
+
+def _dotted_parts(node: ast.AST) -> tuple:
+    """``a.b.c`` -> ("a", "b", "c"); empty tuple when not a plain dotted name."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+@REGISTRY.register
+class StdlibRandomRule(Rule):
+    """Ban the stdlib ``random`` module.
+
+    ``random`` holds hidden global state that is not captured by the
+    experiment seed, so any use breaks run-to-run reproducibility.  Draw
+    from ``repro.utils.rng.RandomSource`` (or a ``.child(key)`` stream)
+    instead.
+    """
+
+    rule_id = "DET001"
+    summary = "stdlib `random` is banned; use repro.utils.rng.RandomSource"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.violation(
+                            ctx, node, "import of stdlib `random` (unseeded global state)"
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self.violation(
+                        ctx, node, "import from stdlib `random` (unseeded global state)"
+                    )
+
+
+@REGISTRY.register
+class NumpyGlobalRandomRule(Rule):
+    """Ban ``np.random`` module-level state outside ``repro.utils.rng``.
+
+    ``np.random.seed`` / ``np.random.rand`` / ``np.random.default_rng`` et
+    al. either mutate or depend on process-global state (or draw fresh OS
+    entropy), which silently decouples results from the experiment seed.
+    The explicit construction types (``Generator``, ``PCG64``,
+    ``SeedSequence``) are allowed because they force a seed decision, and
+    ``repro/utils/rng.py`` is exempt as the one sanctioned wrapper.
+    """
+
+    rule_id = "DET002"
+    summary = "np.random global-state use outside repro.utils.rng"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.rel_path.endswith(_RNG_MODULE):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute):
+                parts = _dotted_parts(node)
+                if (
+                    len(parts) >= 3
+                    and parts[0] in ("np", "numpy")
+                    and parts[1] == "random"
+                    and parts[2] not in _APPROVED_NP_RANDOM
+                ):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"np.random.{parts[2]} uses module-level RNG state; "
+                        "use repro.utils.rng.RandomSource",
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module in (
+                "numpy.random",
+                "np.random",
+            ):
+                for alias in node.names:
+                    if alias.name not in _APPROVED_NP_RANDOM:
+                        yield self.violation(
+                            ctx,
+                            node,
+                            f"from numpy.random import {alias.name} bypasses "
+                            "repro.utils.rng.RandomSource",
+                        )
+
+
+@REGISTRY.register
+class WallClockRule(Rule):
+    """Ban wall-clock reads in simulation/learning code.
+
+    Simulated time is ``Simulator.now_s``; real time leaking into ``sim/``,
+    ``il/``, ``rl/`` (or anywhere in the library) makes results depend on
+    host speed.  Justified profiling sites (e.g. section timings in
+    ``experiments/report.py``) carry an explicit
+    ``# repro-lint: ignore[DET003]`` allowlist comment.
+    """
+
+    rule_id = "DET003"
+    summary = "wall-clock call (time.time & friends); sim time is now_s"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            parts = _dotted_parts(node.func)
+            if len(parts) < 2:
+                continue
+            # Match on the trailing (module, attr) pair so both
+            # `time.time()` and `datetime.datetime.now()` are caught.
+            if (parts[-2], parts[-1]) in _WALL_CLOCK_CALLS:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"wall-clock call {'.'.join(parts)}(); "
+                    "use simulated time or allowlist a profiling site",
+                )
+
+
+@REGISTRY.register
+class UnseededRandomSourceRule(Rule):
+    """Require an explicit seed when constructing ``RandomSource``.
+
+    ``RandomSource()`` (or ``seed=None``) pulls fresh OS entropy, so two
+    runs of the "same" experiment diverge.  Pass the experiment seed or
+    derive a child stream: ``RandomSource(seed).child("component")``.
+    """
+
+    rule_id = "DET004"
+    summary = "RandomSource() constructed without an explicit seed"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            parts = _dotted_parts(node.func)
+            if not parts or parts[-1] != "RandomSource":
+                continue
+            if self._is_unseeded(node):
+                yield self.violation(
+                    ctx,
+                    node,
+                    "RandomSource constructed without a seed draws OS entropy; "
+                    "pass the experiment seed",
+                )
+
+    @staticmethod
+    def _is_unseeded(call: ast.Call) -> bool:
+        if call.args:
+            return _is_none(call.args[0])
+        for kw in call.keywords:
+            if kw.arg == "seed":
+                return _is_none(kw.value)
+        return True  # no positional, no seed= keyword
+
+
+def _is_none(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None

@@ -1,0 +1,70 @@
+"""Float-comparison rules (FLT0xx).
+
+Temperatures, powers, and times are floats produced by matrix exponentials
+and accumulations; exact ``==`` on them is either a latent bug or an
+undocumented exact-sentinel check.  The approved spellings live in
+``repro.utils.floatcmp`` (``approx_eq``, ``is_zero``); genuinely exact
+checks carry a ``# repro-lint: ignore[FLT001]`` allowlist comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.analysis.core import FileContext, Rule, Violation
+from tools.analysis.registry import REGISTRY
+
+
+def _is_floatish(node: ast.AST) -> bool:
+    """Conservatively true when an expression is float-valued.
+
+    Matches float literals, unary +/- on them, arithmetic that contains a
+    float literal or a true division, and ``float(...)`` casts.  Name-only
+    comparisons are deliberately not flagged (no type information at the
+    AST level; exact equality of two table-sourced set points is legal).
+    """
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.UAdd, ast.USub)):
+        return _is_floatish(node.operand)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        return _is_floatish(node.left) or _is_floatish(node.right)
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id == "float"
+    return False
+
+
+@REGISTRY.register
+class FloatEqualityRule(Rule):
+    """No ``==``/``!=`` against float expressions.
+
+    Flags equality comparisons where an operand is a float literal, a true
+    division, or a ``float(...)`` cast.  Use
+    ``repro.utils.floatcmp.approx_eq`` for tolerance comparison or
+    ``repro.utils.floatcmp.is_zero`` for zero guards; allowlist the rare
+    justified exact check.
+    """
+
+    rule_id = "FLT001"
+    summary = "==/!= on a float expression; use repro.utils.floatcmp"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_floatish(left) or _is_floatish(right):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        "exact ==/!= on a float expression; use "
+                        "repro.utils.floatcmp.approx_eq / is_zero "
+                        "(or allowlist a justified exact check)",
+                    )
+                    break

@@ -1,0 +1,120 @@
+"""Hot-path hygiene rules (HOT0xx).
+
+The PR 1 fast-path rewrite holds only while the per-step functions stay
+allocation-lean: no fresh containers, no name-keyed dict rebuilds — those
+are exactly the costs the array-native thermal/power surface removed.
+Functions on the hot path are marked with the no-op decorator
+``repro.utils.hotpath.hot_path``; these rules fire only inside marked
+functions, so the rest of the codebase can use comprehensions freely.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Union
+
+from tools.analysis.core import FileContext, Rule, Violation
+from tools.analysis.registry import REGISTRY
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+_COMP_KIND = {
+    ast.ListComp: "list comprehension",
+    ast.SetComp: "set comprehension",
+    ast.DictComp: "dict comprehension",
+    ast.GeneratorExp: "generator expression",
+}
+
+
+def _is_hot_path_marked(node: FunctionNode) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        if isinstance(target, ast.Name) and target.id == "hot_path":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "hot_path":
+            return True
+    return False
+
+
+def iter_hot_functions(tree: ast.AST) -> Iterator[FunctionNode]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if _is_hot_path_marked(node):
+                yield node
+
+
+def _walk_function_body(fn: FunctionNode) -> Iterator[ast.AST]:
+    """Walk a function's body without descending into nested functions."""
+    stack: List[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@REGISTRY.register
+class HotPathComprehensionRule(Rule):
+    """No comprehension allocation inside ``@hot_path`` functions.
+
+    List/set/dict comprehensions and generator expressions allocate a fresh
+    container (or frame) per step; inside a function that runs every 10 ms
+    of simulated time that shows up directly in throughput.  Hoist the
+    container to construction time and refill it, or switch to preallocated
+    arrays (see ``RCThermalNetwork.step_vector`` for the pattern).
+    """
+
+    rule_id = "HOT001"
+    summary = "comprehension allocation inside a @hot_path function"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for fn in iter_hot_functions(ctx.tree):
+            for node in _walk_function_body(fn):
+                if isinstance(node, _COMPREHENSIONS):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"{_COMP_KIND[type(node)]} allocates per call in "
+                        f"@hot_path function {fn.name!r}; hoist or prefill",
+                    )
+
+
+@REGISTRY.register
+class HotPathDictRebuildRule(Rule):
+    """No name-keyed dict rebuilds inside ``@hot_path`` functions.
+
+    Building ``{name: value, ...}`` maps (dict displays with keys, or
+    ``dict(...)`` with arguments) per step is the pattern the array-native
+    kernel surface exists to avoid: use index arrays from
+    ``RCThermalNetwork.indices_of`` and write into preallocated vectors.
+    Empty-dict initialisation (``{}``) is allowed.
+    """
+
+    rule_id = "HOT002"
+    summary = "name-keyed dict rebuild inside a @hot_path function"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for fn in iter_hot_functions(ctx.tree):
+            for node in _walk_function_body(fn):
+                if isinstance(node, ast.Dict) and node.keys:
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"dict literal rebuilt per call in @hot_path function "
+                        f"{fn.name!r}; use preallocated arrays/index maps",
+                    )
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "dict"
+                    and (node.args or node.keywords)
+                ):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"dict(...) rebuilt per call in @hot_path function "
+                        f"{fn.name!r}; use preallocated arrays/index maps",
+                    )

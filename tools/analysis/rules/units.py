@@ -1,0 +1,193 @@
+"""Unit-safety rules (UNIT0xx).
+
+The kernel steps at 10 ms, the DVFS loop fires every 50 ms, and migration
+every 500 ms — mixing seconds and milliseconds is exactly the silent-error
+class that corrupts figure-level results.  The repo convention (see
+``repro/utils/units.py``) is: time values are floats in seconds with a
+``_s`` suffix (``_ms``/``_us``/``_ns`` where another unit is deliberate).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from tools.analysis.core import FileContext, Rule, Violation
+from tools.analysis.registry import REGISTRY
+
+#: Final name segments that denote a time quantity.
+_TIME_WORDS = {
+    "period",
+    "periods",
+    "interval",
+    "intervals",
+    "timeout",
+    "duration",
+    "durations",
+    "delay",
+    "delays",
+    "latency",
+    "latencies",
+    "deadline",
+    "deadlines",
+}
+
+#: Unit suffixes that make a time-valued name unambiguous.  Count-like
+#: suffixes (steps/cycles/iters) are included: "duration_steps" is a count,
+#: not an ambiguous time.
+_UNIT_SUFFIXES = (
+    "_s",
+    "_ms",
+    "_us",
+    "_ns",
+    "_min",
+    "_h",
+    "_hz",
+    "_steps",
+    "_cycles",
+    "_iters",
+    "_epochs",
+)
+
+_TIME_UNIT_SUFFIXES = ("_ns", "_us", "_ms", "_s")
+
+
+def _has_unit_suffix(name: str) -> bool:
+    return name.endswith(_UNIT_SUFFIXES)
+
+
+def _is_ambiguous_time_name(name: str) -> bool:
+    """True for names like ``period``/``dvfs_period`` (no unit suffix)."""
+    if _has_unit_suffix(name):
+        return False
+    segment = name.lower().strip("_").rsplit("_", 1)[-1]
+    return segment in _TIME_WORDS
+
+
+def _time_suffix_of(node: ast.AST) -> Optional[str]:
+    """The time-unit suffix of a Name/Attribute terminal identifier."""
+    if isinstance(node, ast.Attribute):
+        name = node.attr
+    elif isinstance(node, ast.Name):
+        name = node.id
+    else:
+        return None
+    for suffix in _TIME_UNIT_SUFFIXES:
+        if name.endswith(suffix):
+            return suffix
+    return None
+
+
+@REGISTRY.register
+class AmbiguousTimeNameRule(Rule):
+    """Time-valued names must carry a unit suffix.
+
+    Flags function parameters, assignment targets (incl. ``self.x`` and
+    annotated dataclass fields), and loop variables whose final name segment
+    is a time word (``period``, ``interval``, ``timeout``, ``duration``,
+    ``delay``, ``latency``, ``deadline``) without a unit suffix (``_s``,
+    ``_ms``, ``_us``, ``_ns``, or a count suffix like ``_steps``).
+    Rename ``period`` -> ``period_s`` (or the unit actually stored).
+    """
+
+    rule_id = "UNIT001"
+    summary = "time-valued name without _s/_ms unit suffix"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = node.args
+                for arg in [
+                    *args.posonlyargs,
+                    *args.args,
+                    *args.kwonlyargs,
+                    *filter(None, [args.vararg, args.kwarg]),
+                ]:
+                    if _is_ambiguous_time_name(arg.arg):
+                        yield self.violation(
+                            ctx,
+                            arg,
+                            f"parameter {arg.arg!r} is time-valued but has no "
+                            f"unit suffix (rename e.g. to {arg.arg}_s)",
+                        )
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign, ast.For)):
+                targets: list
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                elif isinstance(node, ast.For):
+                    targets = [node.target]
+                else:
+                    targets = [node.target]
+                for target in targets:
+                    yield from self._check_target(ctx, target)
+
+    def _check_target(self, ctx: FileContext, target: ast.AST) -> Iterator[Violation]:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                yield from self._check_target(ctx, elt)
+        elif isinstance(target, ast.Starred):
+            yield from self._check_target(ctx, target.value)
+        elif isinstance(target, (ast.Name, ast.Attribute)):
+            name = target.id if isinstance(target, ast.Name) else target.attr
+            if _is_ambiguous_time_name(name):
+                yield self.violation(
+                    ctx,
+                    target,
+                    f"name {name!r} is time-valued but has no unit suffix "
+                    f"(rename e.g. to {name}_s)",
+                )
+
+
+@REGISTRY.register
+class MixedUnitArithmeticRule(Rule):
+    """No arithmetic/comparison across different time-unit suffixes.
+
+    ``a_s + b_ms`` (or ``a_s < b_ms``) is a unit error: convert explicitly
+    first (``b_ms * 1e-3`` or via ``repro.utils.units.MS``).  Additive
+    operators and comparisons are checked; multiplication/division are unit
+    transformations and therefore exempt.  Also flags bare numeric literals
+    passed to a suffix-less time keyword (``period=0.5``): the callee's
+    parameter is ambiguous, so the call site cannot be audited.
+    """
+
+    rule_id = "UNIT002"
+    summary = "arithmetic mixing _s/_ms names, or literal to bare time kwarg"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                yield from self._check_pair(ctx, node, node.left, node.right)
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                for left, right in zip(operands, operands[1:]):
+                    yield from self._check_pair(ctx, node, left, right)
+            elif isinstance(node, ast.Call):
+                for kw in node.keywords:
+                    if (
+                        kw.arg
+                        and _is_ambiguous_time_name(kw.arg)
+                        and isinstance(kw.value, ast.Constant)
+                        and isinstance(kw.value.value, (int, float))
+                        and not isinstance(kw.value.value, bool)
+                    ):
+                        yield self.violation(
+                            ctx,
+                            kw.value,
+                            f"bare numeric literal passed to ambiguous time "
+                            f"parameter {kw.arg!r}; the parameter needs a "
+                            "unit suffix",
+                        )
+
+    def _check_pair(
+        self, ctx: FileContext, node: ast.AST, left: ast.AST, right: ast.AST
+    ) -> Iterator[Violation]:
+        ls, rs = _time_suffix_of(left), _time_suffix_of(right)
+        if ls and rs and ls != rs:
+            yield self.violation(
+                ctx,
+                node,
+                f"mixing time units: operand with {ls!r} combined with "
+                f"{rs!r}; convert explicitly first",
+            )
