@@ -4,25 +4,35 @@ Usage::
 
     python -m repro.cli list
     python -m repro.cli run fig8 [--scale smoke|medium|paper] [--cache DIR]
+                                 [--trace] [--trace-dir DIR]
     python -m repro.cli report [--scale medium] [--out EXPERIMENTS.md]
+                               [--trace] [--trace-dir DIR]
 
 ``run`` executes one experiment and prints its figure rows; ``report``
 runs the whole evaluation and writes the paper-vs-measured markdown.
+
+``--trace`` turns on the observability layer (equivalent to setting
+``REPRO_TRACE=1``): every simulation writes a JSONL event log, a Chrome
+trace (load it in ``chrome://tracing``), and a run manifest under
+``--trace-dir`` (default ``.repro_obs``).  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from repro.experiments.assets import AssetConfig, AssetStore
 from repro.experiments.report import ReportScale, generate_report
+from repro.obs.config import TRACE_DIR_ENV, TRACE_ENV
 
 DEFAULT_CACHE = ".repro_cache"
 
 
 def _scale(name: str) -> ReportScale:
+    """Resolve a ``--scale`` name to a :class:`ReportScale`, or exit."""
     factory = {
         "smoke": ReportScale.smoke,
         "medium": ReportScale.medium,
@@ -34,6 +44,7 @@ def _scale(name: str) -> ReportScale:
 
 
 def _assets(cache_dir: str, scale_name: str) -> AssetStore:
+    """Build (or load from ``cache_dir``) the assets for one scale."""
     if scale_name == "paper":
         config = AssetConfig.paper(cache_dir=cache_dir)
     elif scale_name == "medium":
@@ -49,7 +60,22 @@ def _assets(cache_dir: str, scale_name: str) -> AssetStore:
     return AssetStore(config=config)
 
 
+def _apply_trace_flags(trace: bool, trace_dir: Optional[str]) -> None:
+    """Translate ``--trace``/``--trace-dir`` into the observability env.
+
+    The environment (not a config object) is the carrier on purpose: the
+    experiment drivers fan out over a ``fork`` pool, and forked workers
+    inherit the parent's environment, so every cell's ``Simulator`` sees
+    the same observability switch without any extra plumbing.
+    """
+    if trace:
+        os.environ[TRACE_ENV] = "1"
+    if trace_dir is not None:
+        os.environ[TRACE_DIR_ENV] = trace_dir
+
+
 def _experiments(scale: ReportScale, assets: AssetStore) -> Dict[str, Callable[[], str]]:
+    """Map experiment names (``fig8``, ...) to zero-argument runners."""
     from repro.experiments.illustrative import run_illustrative
     from repro.experiments.main_mixed import run_main_mixed
     from repro.experiments.migration import run_migration_overhead
@@ -79,6 +105,15 @@ def _experiments(scale: ReportScale, assets: AssetStore) -> Dict[str, Callable[[
 
 
 def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code.
+
+    Args:
+        argv: Argument list without the program name; ``None`` uses
+            ``sys.argv[1:]``.
+
+    Returns:
+        ``0`` on success, ``2`` on unknown experiment or command.
+    """
     parser = argparse.ArgumentParser(prog="repro.cli", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -94,6 +129,18 @@ def main(argv=None) -> int:
     report_p.add_argument("--out", default="EXPERIMENTS.md")
     report_p.add_argument("--cache", default=DEFAULT_CACHE)
 
+    for cmd_p in (run_p, report_p):
+        cmd_p.add_argument(
+            "--trace",
+            action="store_true",
+            help="enable observability (trace + metrics + run manifests)",
+        )
+        cmd_p.add_argument(
+            "--trace-dir",
+            default=None,
+            help="directory for trace artifacts (default .repro_obs)",
+        )
+
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -103,6 +150,7 @@ def main(argv=None) -> int:
         return 0
 
     if args.command == "run":
+        _apply_trace_flags(args.trace, args.trace_dir)
         scale = _scale(args.scale)
         assets = _assets(args.cache, args.scale)
         experiments = _experiments(scale, assets)
@@ -118,6 +166,7 @@ def main(argv=None) -> int:
         return 0
 
     if args.command == "report":
+        _apply_trace_flags(args.trace, args.trace_dir)
         scale = _scale(args.scale)
         assets = _assets(args.cache, args.scale)
         report = generate_report(assets, scale)

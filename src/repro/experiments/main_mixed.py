@@ -22,12 +22,15 @@ from repro.governors.base import Technique
 from repro.governors.techniques import GTSOndemand, GTSPowersave
 from repro.il.technique import TopIL
 from repro.metrics.cputime import CpuTimeByVF
+from repro.obs.config import Observability
 from repro.rl.technique import TopRL
 from repro.thermal import CoolingConfig, FAN_COOLING, PASSIVE_COOLING
 from repro.utils.rng import RandomSource
 from repro.utils.tables import ascii_table
 from repro.workloads.generator import mixed_workload
-from repro.workloads.runner import run_workload
+from repro.workloads.runner import run_slug, run_workload
+
+EXPERIMENT_NAME = "main_mixed"
 
 TECHNIQUE_NAMES = ("TOP-IL", "TOP-RL", "GTS/ondemand", "GTS/powersave")
 
@@ -172,12 +175,21 @@ def _run_main_mixed_cell(cell: Tuple[CoolingConfig, float, int, str]):
         instruction_scale=config.instruction_scale,
     )
     technique = _make_technique(name, assets, rep, config.workload_seed + rep)
+    # Traced runs put their per-cell artifacts (events, Chrome trace,
+    # manifest) under <out_dir>/main_mixed/; the parent merges the cell
+    # manifests into one grid manifest after run_cells returns.
+    run_label = None
+    if Observability.from_env().enabled:
+        run_label = EXPERIMENT_NAME + "/" + run_slug(
+            f"{cooling.name}-rate{rate:.4f}-rep{rep}-{name}"
+        )
     run = run_workload(
         assets.platform,
         technique,
         workload,
         cooling=cooling,
         seed=config.workload_seed + rep,
+        run_label=run_label,
     )
     return run.summary
 
@@ -193,6 +205,22 @@ def run_main_mixed(
     Cells fan out over a process pool (see
     :mod:`repro.experiments.parallel`); each cell is seed-stable, so the
     aggregates are identical to the serial nested loop.
+
+    Args:
+        assets: Trained models / Q-tables plus the platform, shipped once
+            per worker through the pool initializer.
+        config: Grid definition; ``MainMixedConfig.smoke()`` is the small
+            CI-sized grid, ``MainMixedConfig.paper()`` the full Fig. 8 grid.
+        parallel: Force the fork pool on/off; ``None`` follows
+            ``REPRO_PARALLEL``.
+        n_workers: Pool size; ``None`` means one worker per CPU.
+
+    Returns:
+        A :class:`MainMixedResult` with per-(technique, cooling) aggregates
+        and the raw per-cell rows.  When tracing is on (``REPRO_TRACE=1``),
+        each cell additionally writes its trace artifacts and manifest under
+        ``<out_dir>/main_mixed/``, merged into
+        ``<out_dir>/main_mixed.manifest.json``.
     """
     cells = [
         (cooling, rate, rep, name)
@@ -208,6 +236,7 @@ def run_main_mixed(
         init_args=(assets, config),
         parallel=parallel,
         n_workers=n_workers,
+        experiment=EXPERIMENT_NAME,
     )
 
     # Aggregate in the cells' nested order — the same order the serial

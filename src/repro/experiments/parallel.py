@@ -22,14 +22,25 @@ Parallelism is off when ``REPRO_PARALLEL=0`` (or ``parallel=False``), when
 there is nothing to fan out, or when the platform lacks the ``fork`` start
 method; the serial fallback calls the same initializer + worker in-process,
 so both paths execute identical code.
+
+Observability composes with the fan-out through files, not shared memory:
+each worker's traced run writes its own per-cell manifest under
+``<out_dir>/<experiment>/``, and after the grid completes the parent folds
+those fragments into ``<out_dir>/<experiment>.manifest.json`` via
+:func:`~repro.obs.manifest.merge_manifests` (pass ``experiment=`` to
+:func:`run_cells` to opt in).  Because the merge sorts by cell label, the
+grid manifest is identical whether the cells ran serially or forked.
 """
 
 from __future__ import annotations
 
+import glob
 import multiprocessing
 import os
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from repro.obs.config import Observability
+from repro.obs.manifest import RunManifest, merge_manifests
 from repro.utils.rng import RandomSource
 
 #: Environment switch: set to ``"0"`` to force serial execution everywhere.
@@ -60,6 +71,29 @@ def cell_rng(base_seed: int, *cell_key: Any) -> RandomSource:
     return RandomSource(base_seed).child(key)
 
 
+def merge_cell_manifests(
+    experiment: str, observability: Optional[Observability] = None
+) -> Optional[str]:
+    """Fold ``<out_dir>/<experiment>/*.manifest.json`` into one grid manifest.
+
+    Returns the path of the merged ``<out_dir>/<experiment>.manifest.json``,
+    or ``None`` when observability is disabled or no per-cell fragments
+    exist yet.  Safe to call from the parent after any fan-out: workers
+    communicate through the manifest files alone, so the merge does not
+    depend on the pool's scheduling.
+    """
+    config = observability if observability is not None else Observability.from_env()
+    if not config.enabled:
+        return None
+    cell_dir = os.path.join(config.out_dir, experiment)
+    paths = sorted(glob.glob(os.path.join(cell_dir, "*.manifest.json")))
+    if not paths:
+        return None
+    fragments = [RunManifest.load(path) for path in paths]
+    merged = merge_manifests(fragments, experiment=experiment)
+    return merged.write(os.path.join(config.out_dir, f"{experiment}.manifest.json"))
+
+
 def run_cells(
     cells: Sequence[Any],
     worker: Callable[[Any], Any],
@@ -68,6 +102,8 @@ def run_cells(
     init_args: Tuple[Any, ...] = (),
     n_workers: Optional[int] = None,
     parallel: Optional[bool] = None,
+    experiment: Optional[str] = None,
+    observability: Optional[Observability] = None,
 ) -> List[Any]:
     """Run ``worker(cell)`` for every cell; results in cell order.
 
@@ -80,6 +116,12 @@ def run_cells(
     more workers than cells.  Falls back to serial when parallelism is
     disabled, when there are fewer than two cells, or when the ``fork``
     start method is unavailable.
+
+    When ``experiment`` is given and observability is enabled (explicitly
+    via ``observability=`` or through ``REPRO_TRACE``), the parent merges
+    the per-cell manifests the workers wrote under
+    ``<out_dir>/<experiment>/`` into ``<out_dir>/<experiment>.manifest.json``
+    after all cells complete (see :func:`merge_cell_manifests`).
     """
     cells = list(cells)
     workers = default_workers() if n_workers is None else int(n_workers)
@@ -94,13 +136,17 @@ def run_cells(
     if not use_pool:
         if init is not None:
             init(*init_args)
-        return [worker(cell) for cell in cells]
+        results = [worker(cell) for cell in cells]
+    else:
+        with ctx.Pool(
+            processes=min(workers, len(cells)),
+            initializer=init,
+            initargs=init_args,
+        ) as pool:
+            # chunksize=1: cells are coarse (whole simulations), so dynamic
+            # dispatch beats pre-chunking when their durations differ.
+            results = pool.map(worker, cells, chunksize=1)
 
-    with ctx.Pool(
-        processes=min(workers, len(cells)),
-        initializer=init,
-        initargs=init_args,
-    ) as pool:
-        # chunksize=1: cells are coarse (whole simulations), so dynamic
-        # dispatch beats pre-chunking when their durations differ.
-        return pool.map(worker, cells, chunksize=1)
+    if experiment is not None:
+        merge_cell_manifests(experiment, observability)
+    return results

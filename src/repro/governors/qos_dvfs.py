@@ -79,6 +79,11 @@ class QoSDVFSControlLoop:
         if self._skips_remaining > 0:
             self._skips_remaining -= 1
             self.skipped += 1
+            # Observability: post-migration skips are exactly the intervals
+            # an operator needs to see when diagnosing QoS dips around
+            # migrations (docs/observability.md).
+            if sim.obs is not None:
+                sim.obs.on_dvfs_skip(sim)
             return
         for cluster in sim.platform.clusters:
             procs = [
@@ -102,4 +107,10 @@ class QoSDVFSControlLoop:
             )
 
     def attach(self, sim: Simulator, name: str = "qos-dvfs") -> None:
+        """Register the loop as the periodic controller ``name``.
+
+        The controller name is also the label under which the kernel's
+        observability layer records this loop's invocation counts, latency
+        histogram, and Chrome-trace spans.
+        """
         sim.add_controller(name, self.period_s, self)

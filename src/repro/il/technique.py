@@ -51,7 +51,17 @@ class TopIL(Technique):
         self._overhead = self.migration.overhead_model
 
     def attach(self, sim: Simulator) -> None:
+        """Install the migration policy + DVFS loop on ``sim``.
+
+        Registers two periodic controllers — ``top-il-migration`` (500 ms)
+        and ``qos-dvfs`` (50 ms) — whose names label the observability
+        layer's controller spans and latency histograms when tracing is
+        enabled (``REPRO_TRACE=1``), and replaces the arrival placement
+        policy with least-loaded-core.
+        """
         sim.placement_policy = _least_loaded_placement
+        if sim.obs is not None:
+            sim.obs.meta["technique"] = self.name
         self.dvfs_loop.attach(sim)
         self.migration.attach(sim)
         # Charge the DVFS loop's counter-reading cost each invocation.

@@ -4,6 +4,12 @@ Collects exactly the quantities the paper's figures report: time-averaged
 and peak sensor temperature, the number and fraction of applications
 violating their QoS targets, CPU time per VF level, migration counts,
 system utilization, and the management overhead.
+
+The summary is also the canonical source of the ``run_*`` gauges in the
+observability metrics registry (:mod:`repro.obs.metrics`):
+:func:`summary_metrics` maps a :class:`RunSummary` onto declared metric
+names, and :func:`publish_summary` writes them into a registry — which is
+how run manifests end up carrying exactly the numbers this module reports.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from typing import Dict, List
 import numpy as np
 
 from repro.metrics.cputime import CpuTimeByVF, aggregate_cpu_time
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.kernel import Simulator
 from repro.sim.process import ProcessState
 
@@ -104,3 +111,30 @@ def summarize_run(sim: Simulator, technique_name: str, workload_name: str) -> Ru
         overhead_cpu_s=dict(sim.overhead_cpu_s),
         violating_apps=[p.app.name for p in violators],
     )
+
+
+def summary_metrics(summary: RunSummary) -> Dict[str, float]:
+    """The summary's headline numbers under their registry metric names.
+
+    Every key is declared in :data:`repro.obs.metrics.METRIC_SPECS`; run
+    manifests embed exactly this mapping, so a manifest's ``summary``
+    section always agrees with what this module reports.
+    """
+    return {
+        "run_mean_temp_c": summary.mean_temp_c,
+        "run_peak_temp_c": summary.peak_temp_c,
+        "run_qos_violations": float(summary.n_qos_violations),
+        "run_violation_fraction": summary.violation_fraction,
+        "run_migrations": float(summary.migrations),
+        "run_mean_utilization": summary.mean_utilization,
+    }
+
+
+def publish_summary(
+    summary: RunSummary, registry: MetricsRegistry
+) -> Dict[str, float]:
+    """Set the ``run_*`` gauges in ``registry``; returns the values set."""
+    values = summary_metrics(summary)
+    for name, value in values.items():
+        registry.gauge(name).set(value)
+    return values

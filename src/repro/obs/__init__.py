@@ -1,0 +1,83 @@
+"""Observability: structured tracing, metrics, and run manifests.
+
+The subsystem the operator's guide (``docs/observability.md``) documents:
+
+* :mod:`repro.obs.config` — the ``REPRO_TRACE`` gate and the
+  :class:`Observability` config object (off by default; zero hot-path cost
+  when disabled);
+* :mod:`repro.obs.tracer` — ring-buffer structured event/span tracer;
+* :mod:`repro.obs.metrics` — counters/gauges/histograms registry with the
+  canonical :data:`~repro.obs.metrics.METRIC_SPECS` glossary;
+* :mod:`repro.obs.manifest` — per-run provenance manifests;
+* :mod:`repro.obs.export` — JSONL and Chrome ``chrome://tracing`` export;
+* :mod:`repro.obs.instrument` — the :class:`SimObserver` hook surface the
+  kernel drives.
+"""
+
+from repro.obs.config import (
+    DEFAULT_TRACE_DIR,
+    Observability,
+    TRACE_DIR_ENV,
+    TRACE_ENV,
+    tracing_enabled,
+)
+from repro.obs.export import (
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.instrument import SimObserver
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    RunManifest,
+    config_hash,
+    git_revision,
+    host_fingerprint,
+    merge_manifests,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    METRIC_SPECS,
+    MetricSpec,
+    MetricsRegistry,
+    metric_names,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    RingTracer,
+    TraceEvent,
+    TracerStats,
+)
+
+__all__ = [
+    "DEFAULT_TRACE_DIR",
+    "TRACE_DIR_ENV",
+    "TRACE_ENV",
+    "Observability",
+    "tracing_enabled",
+    "TraceEvent",
+    "TracerStats",
+    "RingTracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "MetricSpec",
+    "METRIC_SPECS",
+    "metric_names",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MANIFEST_SCHEMA_VERSION",
+    "RunManifest",
+    "config_hash",
+    "git_revision",
+    "host_fingerprint",
+    "merge_manifests",
+    "SimObserver",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,91 @@
+"""The ``REPRO_TRACE`` observability switch and its config object.
+
+Observability is **off by default**: an unconfigured :class:`Simulator`
+pays exactly one ``is None`` test per step, which is what keeps the PR 1
+throughput floor (``tests/perf/test_throughput_smoke.py``) intact.  Two
+equivalent ways to turn it on:
+
+* set ``REPRO_TRACE=1`` in the environment (optionally ``REPRO_TRACE_DIR``
+  for the artifact directory) — the zero-code operator path, read once per
+  :class:`Simulator` construction via :meth:`Observability.from_env`; or
+* pass an explicit ``Observability(enabled=True, ...)`` to the simulator /
+  run engine — the programmatic path, which wins over the environment.
+
+Enabling observability never changes simulation results: the observer only
+*reads* simulator state (and deliberately never touches the temperature
+sensor, whose noise stream the DTM consumes), so a traced run is
+bit-identical to an untraced one.  See ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "TRACE_ENV",
+    "TRACE_DIR_ENV",
+    "DEFAULT_TRACE_DIR",
+    "Observability",
+    "tracing_enabled",
+]
+
+#: Environment variable that enables run-time tracing and metrics.
+TRACE_ENV = "REPRO_TRACE"
+
+#: Environment variable overriding where trace artifacts are written.
+TRACE_DIR_ENV = "REPRO_TRACE_DIR"
+
+#: Default artifact directory (relative to the working directory).
+DEFAULT_TRACE_DIR = ".repro_obs"
+
+_FALSEY = {"", "0", "false", "no", "off"}
+
+
+def tracing_enabled() -> bool:
+    """True when ``REPRO_TRACE`` is set to a truthy value."""
+    return os.environ.get(TRACE_ENV, "").strip().lower() not in _FALSEY
+
+
+@dataclass(frozen=True)
+class Observability:
+    """Observability configuration for one simulator / experiment run.
+
+    ``enabled``
+        Master switch.  When False every hook is skipped (the simulator
+        holds no observer at all).
+    ``out_dir``
+        Directory for exported artifacts (Chrome trace JSON, JSONL event
+        log, run manifests).  Created on demand by the exporters.
+    ``trace_capacity``
+        Ring-buffer size of the structured tracer, in events.  When the
+        buffer wraps, the oldest events are overwritten and counted as
+        dropped — tracing never grows without bound and never raises.
+    ``qos_events`` / ``thermal_events``
+        Per-feature switches for the per-step QoS-crossing and
+        thermal-threshold detectors (both cheap; both on by default).
+    """
+
+    enabled: bool = False
+    out_dir: str = DEFAULT_TRACE_DIR
+    trace_capacity: int = 65536
+    qos_events: bool = True
+    thermal_events: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive("trace_capacity", self.trace_capacity)
+
+    @classmethod
+    def from_env(cls) -> "Observability":
+        """The operator path: ``REPRO_TRACE`` / ``REPRO_TRACE_DIR``."""
+        return cls(
+            enabled=tracing_enabled(),
+            out_dir=os.environ.get(TRACE_DIR_ENV, DEFAULT_TRACE_DIR),
+        )
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """An explicit off-switch (wins over the environment)."""
+        return cls(enabled=False)

@@ -1,0 +1,136 @@
+"""Trace exporters: JSONL event logs and Chrome trace-event JSON.
+
+Two formats from the same :class:`~repro.obs.tracer.TraceEvent` stream:
+
+* **JSONL** (one JSON object per line) — grep/jq-friendly, append-safe,
+  the format to post-process programmatically;
+* **Chrome trace-event JSON** — load in ``chrome://tracing`` (or
+  https://ui.perfetto.dev) to see spans and instants on a zoomable
+  timeline.  Timestamps are *simulated* microseconds; span durations are
+  the *wall-clock* cost of the span scaled to microseconds, so "wide"
+  controller invocations are literally the slow ones.
+
+Both writers create the parent directory on demand and return the path
+they wrote, so callers can log artifact locations.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.obs.tracer import TraceEvent
+
+__all__ = [
+    "event_to_dict",
+    "write_jsonl",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]
+
+#: Chrome trace category -> synthetic thread id (one row per category).
+_CATEGORY_TIDS: Dict[str, int] = {
+    "sim": 0,
+    "controller": 1,
+    "migration": 2,
+    "qos": 3,
+    "thermal": 4,
+}
+_DEFAULT_TID = 9
+
+
+def event_to_dict(event: TraceEvent) -> Dict[str, object]:
+    """A stable JSON-serialisable view of one event (JSONL row)."""
+    row: Dict[str, object] = {
+        "name": event.name,
+        "cat": event.cat,
+        "ph": event.ph,
+        "ts_s": event.ts_s,
+    }
+    if event.ph == "X":
+        row["dur_s"] = event.dur_s
+    if event.args:
+        row["args"] = event.args
+    return row
+
+
+def _ensure_parent(path: str) -> None:
+    parent = os.path.dirname(os.path.abspath(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+
+
+def write_jsonl(events: Iterable[TraceEvent], path: str) -> str:
+    """Write one JSON object per event; returns ``path``."""
+    _ensure_parent(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event_to_dict(event), sort_keys=True))
+            handle.write("\n")
+    return path
+
+
+def _chrome_event(event: TraceEvent) -> Dict[str, object]:
+    entry: Dict[str, object] = {
+        "name": event.name,
+        "cat": event.cat,
+        "ph": event.ph,
+        # Chrome expects microseconds; the simulated clock is the x-axis.
+        "ts": event.ts_s * 1e6,
+        "pid": 0,
+        "tid": _CATEGORY_TIDS.get(event.cat, _DEFAULT_TID),
+    }
+    if event.ph == "X":
+        entry["dur"] = event.dur_s * 1e6
+    if event.ph == "i":
+        entry["s"] = "t"  # instant scope: thread
+    if event.args:
+        entry["args"] = event.args
+    return entry
+
+
+def to_chrome_trace(
+    events: Sequence[TraceEvent],
+    meta: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Build the ``chrome://tracing`` document for ``events``."""
+    trace_events: List[Dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "args": {"name": "repro simulator"},
+        }
+    ]
+    for cat, tid in sorted(_CATEGORY_TIDS.items(), key=lambda item: item[1]):
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": cat},
+            }
+        )
+    trace_events.extend(_chrome_event(e) for e in events)
+    doc: Dict[str, object] = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+    }
+    if meta:
+        doc["metadata"] = meta
+    return doc
+
+
+def write_chrome_trace(
+    events: Sequence[TraceEvent],
+    path: str,
+    meta: Optional[Dict[str, object]] = None,
+) -> str:
+    """Write the Chrome trace JSON document; returns ``path``."""
+    _ensure_parent(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_chrome_trace(events, meta), handle)
+        handle.write("\n")
+    return path

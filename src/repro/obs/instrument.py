@@ -1,0 +1,223 @@
+"""Simulator instrumentation: the :class:`SimObserver` hook surface.
+
+The kernel owns at most one ``SimObserver`` (``Simulator.obs``); every
+hook site is guarded by ``if self._obs is not None`` so the disabled path
+costs a single attribute test.  The observer only **reads** simulator
+state — and deliberately never reads the temperature *sensor*, whose
+noise stream the DTM consumes — so enabling observability never changes
+simulation results (asserted by the integration tests).
+
+Hook sites and what they record:
+
+========================  ====================================================
+``on_step``               step counter, sim-time gauge, per-cluster VF
+                          residency, QoS-crossing events + violation time,
+                          thermal-threshold crossings (vs. the DTM trigger)
+``on_controller``         per-controller invocation counter, wall-clock
+                          latency histogram, and one ``ph="X"`` span
+``on_migration``          arrival/migration/completion counters and one
+                          instant event per decision
+``on_dtm``                throttle/release counters + instant events
+``on_dvfs_skip``          the QoS-DVFS loop's post-migration skips
+``on_overhead``           management CPU time by component
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.obs.config import Observability
+from repro.obs.export import write_chrome_trace, write_jsonl
+from repro.obs.metrics import Counter, MetricsRegistry
+from repro.obs.tracer import RingTracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Simulator
+    from repro.sim.process import Process
+    from repro.sim.trace import MigrationEvent
+
+__all__ = ["SimObserver"]
+
+
+class SimObserver:
+    """One run's tracer + metrics registry, attached to a simulator."""
+
+    def __init__(
+        self,
+        config: Optional[Observability] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[RingTracer] = None,
+    ):
+        self.config = config or Observability(enabled=True)
+        self.registry = registry or MetricsRegistry()
+        self.tracer = tracer or RingTracer(self.config.trace_capacity)
+        self.meta: Dict[str, object] = {}
+        # Hot counters resolved once (dict lookups off the per-step path).
+        self._c_steps: Counter = self.registry.counter("sim_steps_total")
+        self._c_qos_time: Counter = self.registry.counter("qos_violation_time_s")
+        self._g_sim_time = self.registry.gauge("sim_time_s")
+        # Per-run detector state.
+        self._qos_ok: Dict[int, bool] = {}
+        self._above_trigger = False
+        self._trigger_temp_c: Optional[float] = None
+
+    # ------------------------------------------------------------------ hooks
+    def on_step(self, sim: "Simulator", dt_s: float) -> None:
+        """Step-boundary bookkeeping; called once per ``Simulator.step``."""
+        self._c_steps.inc()
+        self._g_sim_time.set(sim.now_s)
+        registry = self.registry
+        for cluster_name, level in sim.vf_levels().items():
+            registry.counter(
+                "vf_residency_s",
+                cluster=cluster_name,
+                freq_mhz=round(level.frequency_hz / 1e6),
+            ).inc(dt_s)
+        if self.config.qos_events:
+            self._detect_qos_crossings(sim, dt_s)
+        if self.config.thermal_events:
+            self._detect_thermal_crossing(sim)
+
+    def _detect_qos_crossings(self, sim: "Simulator", dt_s: float) -> None:
+        qos_ok = self._qos_ok
+        for process in sim.running_processes():
+            ok = sim.qos_satisfied(process)
+            previous = qos_ok.get(process.pid)
+            if previous is not None and ok is not previous:
+                direction = "recovered" if ok else "violated"
+                self.registry.counter(
+                    "qos_crossings_total", direction=direction
+                ).inc()
+                self.tracer.emit(
+                    f"qos.{direction}",
+                    ts_s=sim.now_s,
+                    cat="qos",
+                    args={
+                        "pid": process.pid,
+                        "app": process.app.name,
+                        "smoothed_ips": process.smoothed_ips,
+                        "target_ips": process.qos_target_ips,
+                    },
+                )
+            qos_ok[process.pid] = ok
+            if not ok:
+                self._c_qos_time.inc(dt_s)
+
+    def _detect_thermal_crossing(self, sim: "Simulator") -> None:
+        # Ground-truth zone temperature: reading the *sensor* here would
+        # consume its noise stream and perturb the DTM — never do that.
+        trigger = self._trigger_temp_c
+        if trigger is None:
+            trigger = self._trigger_temp_c = sim.platform.dtm.trigger_temp_c
+        above = sim.zone_temp_c() >= trigger
+        if above is not self._above_trigger:
+            direction = "above" if above else "below"
+            self.registry.counter(
+                "thermal_threshold_crossings_total", direction=direction
+            ).inc()
+            self.tracer.emit(
+                f"thermal.{direction}_trigger",
+                ts_s=sim.now_s,
+                cat="thermal",
+                args={"zone_temp_c": sim.zone_temp_c(), "trigger_c": trigger},
+            )
+            self._above_trigger = above
+
+    def on_controller(
+        self, sim: "Simulator", name: str, wall_latency_s: float
+    ) -> None:
+        """One controller callback completed (wall latency measured)."""
+        self.registry.counter(
+            "controller_invocations_total", controller=name
+        ).inc()
+        self.registry.histogram(
+            "controller_latency_s", controller=name
+        ).observe(wall_latency_s)
+        self.tracer.emit(
+            name,
+            ts_s=sim.now_s,
+            ph="X",
+            cat="controller",
+            dur_s=wall_latency_s,
+            args={"wall_us": wall_latency_s * 1e6},
+        )
+
+    def on_migration(self, sim: "Simulator", event: "MigrationEvent") -> None:
+        """An arrival (``from_core is None``) or an executed migration."""
+        if event.from_core is None:
+            self.registry.counter("arrivals_total").inc()
+            name = "arrival"
+        else:
+            self.registry.counter("migrations_total").inc()
+            name = "migration"
+        self.tracer.emit(
+            name,
+            ts_s=event.time_s,
+            cat="migration",
+            args={
+                "pid": event.pid,
+                "app": event.app_name,
+                "from_core": event.from_core,
+                "to_core": event.to_core,
+            },
+        )
+
+    def on_completion(self, sim: "Simulator", process: "Process") -> None:
+        self.registry.counter("completions_total").inc()
+        self.tracer.emit(
+            "completion",
+            ts_s=sim.now_s,
+            cat="migration",
+            args={"pid": process.pid, "app": process.app.name},
+        )
+
+    def on_dtm(self, sim: "Simulator", throttled: bool) -> None:
+        name = (
+            "dtm_throttle_events_total" if throttled
+            else "dtm_release_events_total"
+        )
+        self.registry.counter(name).inc()
+        self.tracer.emit(
+            "dtm.throttle" if throttled else "dtm.release",
+            ts_s=sim.now_s,
+            cat="thermal",
+        )
+
+    def on_dvfs_skip(self, sim: "Simulator") -> None:
+        self.registry.counter("dvfs_skips_total").inc()
+        self.tracer.emit("dvfs.skip", ts_s=sim.now_s, cat="controller")
+
+    def on_overhead(self, component: str, cpu_seconds: float) -> None:
+        self.registry.counter("overhead_cpu_s", component=component).inc(
+            cpu_seconds
+        )
+
+    # ------------------------------------------------------------------ export
+    def finalize(self, sim: "Simulator", wall_time_s: float = 0.0) -> None:
+        """Record end-of-run gauges (sim time, wall time, tracer stats)."""
+        self._g_sim_time.set(sim.now_s)
+        self.registry.gauge("wall_time_s").set(wall_time_s)
+        stats = self.tracer.stats()
+        trace_recorded = self.registry.counter("trace_events_recorded_total")
+        trace_recorded.inc(max(0.0, stats.recorded - trace_recorded.value))
+        trace_dropped = self.registry.counter("trace_events_dropped_total")
+        trace_dropped.inc(max(0.0, stats.dropped - trace_dropped.value))
+
+    def export(self, out_dir: str, label: str) -> Dict[str, str]:
+        """Write ``<label>.events.jsonl`` + ``<label>.trace.json``.
+
+        Returns a map of artifact kind to written path.
+        """
+        events = self.tracer.events()
+        meta = dict(self.meta)
+        meta["tracer"] = self.tracer.stats().as_dict()
+        return {
+            "events_jsonl": write_jsonl(
+                events, os.path.join(out_dir, f"{label}.events.jsonl")
+            ),
+            "chrome_trace": write_chrome_trace(
+                events, os.path.join(out_dir, f"{label}.trace.json"), meta=meta
+            ),
+        }

@@ -1,0 +1,206 @@
+"""Run manifests: the provenance record written next to experiment output.
+
+A :class:`RunManifest` answers "what exactly produced this result?": the
+experiment and run label, the seed, a stable hash of the configuration,
+the host fingerprint (python/numpy/OS), the git revision, wall and
+simulated time, tracer bookkeeping, the run-summary metrics (the same
+numbers :mod:`repro.metrics.summary` reports), and a scalar snapshot of
+the metrics registry.
+
+Manifests are plain JSON (one file per run, ``*.manifest.json``) and
+round-trip losslessly through :meth:`RunManifest.write` /
+:meth:`RunManifest.load`.  Experiment grids that fan out over the fork
+pool (:mod:`repro.experiments.parallel`) have each worker write its own
+per-cell manifest; :func:`merge_manifests` folds those fragments into one
+grid-level manifest in the parent, so the merge is scheduling-independent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import platform as host_platform
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "RunManifest",
+    "config_hash",
+    "git_revision",
+    "host_fingerprint",
+    "merge_manifests",
+]
+
+#: Bump when the manifest layout changes incompatibly.
+MANIFEST_SCHEMA_VERSION = 1
+
+_GIT_TIMEOUT_S = 5.0
+
+
+def _jsonable(obj: object) -> object:
+    """Best-effort canonical JSON view of a config object."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: _jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return repr(obj)
+
+
+def config_hash(config: object) -> str:
+    """Stable short hash of a configuration (dataclass, dict, ...)."""
+    canonical = json.dumps(_jsonable(config), sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def git_revision(cwd: Optional[str] = None) -> str:
+    """The current git commit hash, or ``"unknown"`` outside a checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=_GIT_TIMEOUT_S,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    if proc.returncode != 0:
+        return "unknown"
+    return proc.stdout.strip() or "unknown"
+
+
+def host_fingerprint() -> Dict[str, str]:
+    """Python / numpy / OS identification for the manifest."""
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = "unavailable"
+    return {
+        "python": sys.version.split()[0],
+        "numpy": numpy_version,
+        "os": host_platform.platform(),
+    }
+
+
+@dataclass
+class RunManifest:
+    """Provenance + headline metrics of one run (or one merged grid)."""
+
+    experiment: str
+    label: str
+    seed: Optional[int] = None
+    config_hash: str = ""
+    git_rev: str = ""
+    host: Dict[str, str] = field(default_factory=dict)
+    created_unix_s: float = 0.0
+    wall_time_s: float = 0.0
+    sim_time_s: float = 0.0
+    tracer: Dict[str, int] = field(default_factory=dict)
+    #: Run-summary metrics — matches :func:`repro.metrics.summary.summary_metrics`.
+    summary: Dict[str, float] = field(default_factory=dict)
+    #: Scalar snapshot of the metrics registry (counters + gauges).
+    metrics: Dict[str, float] = field(default_factory=dict)
+    #: Free-form extras (cell coordinates, technique, workload name, ...).
+    extra: Dict[str, object] = field(default_factory=dict)
+    schema_version: int = MANIFEST_SCHEMA_VERSION
+
+    @classmethod
+    def create(
+        cls,
+        experiment: str,
+        label: str,
+        seed: Optional[int] = None,
+        config: Optional[object] = None,
+        **kwargs: object,
+    ) -> "RunManifest":
+        """Build a manifest with provenance fields filled in."""
+        return cls(
+            experiment=experiment,
+            label=label,
+            seed=seed,
+            config_hash=config_hash(config) if config is not None else "",
+            git_rev=git_revision(),
+            host=host_fingerprint(),
+            # Manifest creation time is provenance metadata, not a result.
+            created_unix_s=time.time(),  # repro-lint: ignore[DET003]
+            **kwargs,  # type: ignore[arg-type]
+        )
+
+    # ------------------------------------------------------------------ io
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RunManifest":
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+    def write(self, path: str) -> str:
+        """Write the manifest as pretty JSON; returns ``path``."""
+        parent = os.path.dirname(os.path.abspath(path))
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "RunManifest":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+
+def merge_manifests(
+    fragments: Sequence[RunManifest], experiment: str, label: str = "grid"
+) -> RunManifest:
+    """Fold per-cell manifests into one grid-level manifest.
+
+    Wall time, simulated time, and tracer counts are summed; summary and
+    registry metrics are kept per cell under ``extra["cells"]`` (averaging
+    across heterogeneous cells would hide exactly the per-cell variation
+    the manifests exist to expose).  Fragments are ordered by label so the
+    merge is independent of worker scheduling.
+    """
+    ordered = sorted(fragments, key=lambda m: m.label)
+    merged = RunManifest.create(experiment=experiment, label=label)
+    tracer_totals: Dict[str, int] = {}
+    cells: List[Dict[str, object]] = []
+    for fragment in ordered:
+        merged.wall_time_s += fragment.wall_time_s
+        merged.sim_time_s += fragment.sim_time_s
+        for key, value in fragment.tracer.items():
+            tracer_totals[key] = tracer_totals.get(key, 0) + int(value)
+        cells.append(
+            {
+                "label": fragment.label,
+                "seed": fragment.seed,
+                "config_hash": fragment.config_hash,
+                "wall_time_s": fragment.wall_time_s,
+                "sim_time_s": fragment.sim_time_s,
+                "summary": fragment.summary,
+                "extra": fragment.extra,
+            }
+        )
+    merged.tracer = tracer_totals
+    merged.extra = {"n_cells": len(ordered), "cells": cells}
+    if ordered:
+        hashes = {f.config_hash for f in ordered if f.config_hash}
+        if len(hashes) == 1:
+            merged.config_hash = hashes.pop()
+    return merged

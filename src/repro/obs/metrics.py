@@ -1,0 +1,356 @@
+"""The counters / gauges / histograms metrics registry.
+
+Every metric this repository emits is declared **once**, in
+:data:`METRIC_SPECS` — name, kind, unit, description, and the paper figure
+it supports.  A :class:`MetricsRegistry` only instantiates declared names
+(unknown names raise ``KeyError``), which keeps the glossary in
+``docs/observability.md`` honest: the docs-consistency test asserts that
+every metric named there exists here, and vice versa.
+
+Naming convention (prometheus-flavoured, unit-suffixed per the repro-lint
+UNIT rules): monotonic counts end in ``_total``, time accumulators in
+``_s``, temperatures in ``_c``.  Instruments may carry **labels**
+(``counter("migrations_total")`` vs
+``counter("vf_residency_s", cluster="big", freq_mhz=2362)``); each distinct
+label set is its own instrument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "MetricSpec",
+    "METRIC_SPECS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "metric_names",
+]
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """Declaration of one metric family."""
+
+    name: str
+    kind: str  # "counter" | "gauge" | "histogram"
+    unit: str
+    description: str
+    #: Paper figure / section this metric feeds ("" when repo-internal).
+    figure: str = ""
+
+
+_SPECS: Tuple[MetricSpec, ...] = (
+    # --- kernel ---------------------------------------------------------
+    MetricSpec(
+        "sim_steps_total", "counter", "steps",
+        "Simulation steps executed (one per dt).", "overhead baseline",
+    ),
+    MetricSpec(
+        "sim_time_s", "gauge", "s",
+        "Simulated time at the last observation.", "",
+    ),
+    MetricSpec(
+        "wall_time_s", "gauge", "s",
+        "Wall-clock time of the run (set by the run engine).", "",
+    ),
+    MetricSpec(
+        "arrivals_total", "counter", "events",
+        "Application arrivals admitted to a core.", "Fig. 8",
+    ),
+    MetricSpec(
+        "completions_total", "counter", "events",
+        "Applications that finished their work.", "Fig. 8",
+    ),
+    MetricSpec(
+        "migrations_total", "counter", "events",
+        "Executed inter-core migrations (arrivals excluded).", "Fig. 5",
+    ),
+    # --- controllers ----------------------------------------------------
+    MetricSpec(
+        "controller_invocations_total", "counter", "events",
+        "Periodic controller callbacks fired, labelled by controller.",
+        "Fig. 12",
+    ),
+    MetricSpec(
+        "controller_latency_s", "histogram", "s",
+        "Wall-clock latency of one controller callback, by controller.",
+        "Fig. 12",
+    ),
+    MetricSpec(
+        "dvfs_skips_total", "counter", "events",
+        "QoS-DVFS iterations skipped after a migration (cold caches).",
+        "Sec. 5.2",
+    ),
+    MetricSpec(
+        "overhead_cpu_s", "counter", "s",
+        "Management CPU time charged on the manager core, by component.",
+        "Fig. 12",
+    ),
+    # --- QoS ------------------------------------------------------------
+    MetricSpec(
+        "qos_violation_time_s", "counter", "s",
+        "Summed per-process time spent below the QoS threshold.", "Fig. 8",
+    ),
+    MetricSpec(
+        "qos_crossings_total", "counter", "events",
+        "QoS-threshold crossings (either direction), by direction.",
+        "Fig. 8",
+    ),
+    # --- thermal / DVFS -------------------------------------------------
+    MetricSpec(
+        "vf_residency_s", "counter", "s",
+        "Simulated time each cluster spent at each VF level.", "Fig. 10",
+    ),
+    MetricSpec(
+        "thermal_threshold_crossings_total", "counter", "events",
+        "Zone temperature crossings of the DTM trigger, by direction.",
+        "Figs. 1/7",
+    ),
+    MetricSpec(
+        "dtm_throttle_events_total", "counter", "events",
+        "DTM frequency-cap tightenings.", "Fig. 8",
+    ),
+    MetricSpec(
+        "dtm_release_events_total", "counter", "events",
+        "DTM frequency-cap relaxations.", "",
+    ),
+    # --- run summary (published from metrics.summary) -------------------
+    MetricSpec(
+        "run_mean_temp_c", "gauge", "degC",
+        "Time-averaged sensor temperature of the run.", "Fig. 8",
+    ),
+    MetricSpec(
+        "run_peak_temp_c", "gauge", "degC",
+        "Peak sensor temperature of the run.", "Fig. 8",
+    ),
+    MetricSpec(
+        "run_qos_violations", "gauge", "apps",
+        "Applications judged QoS-violating over the whole run.", "Fig. 8",
+    ),
+    MetricSpec(
+        "run_violation_fraction", "gauge", "ratio",
+        "Fraction of applications violating their QoS target.", "Fig. 8",
+    ),
+    MetricSpec(
+        "run_migrations", "gauge", "events",
+        "Migrations counted by the run summary (cross-check of "
+        "migrations_total).", "Fig. 5",
+    ),
+    MetricSpec(
+        "run_mean_utilization", "gauge", "ratio",
+        "Mean busy-core fraction over the run.", "",
+    ),
+    # --- tracer / tooling ----------------------------------------------
+    MetricSpec(
+        "trace_events_recorded_total", "counter", "events",
+        "Events emitted into the ring tracer.", "",
+    ),
+    MetricSpec(
+        "trace_events_dropped_total", "counter", "events",
+        "Events overwritten after the ring buffer wrapped.", "",
+    ),
+    MetricSpec(
+        "report_section_wall_s", "gauge", "s",
+        "Wall-clock time of one report section, by section.", "",
+    ),
+)
+
+#: The canonical catalog: metric name -> spec.
+METRIC_SPECS: Dict[str, MetricSpec] = {spec.name: spec for spec in _SPECS}
+
+
+def metric_names() -> List[str]:
+    """All declared metric names, sorted."""
+    return sorted(METRIC_SPECS)
+
+
+LabelItems = Tuple[Tuple[str, object], ...]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+#: Default histogram bucket upper bounds: controller latencies live in the
+#: microsecond-to-second range; a final +inf bucket is implicit.
+DEFAULT_BUCKET_BOUNDS_S: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0,
+)
+
+
+class Histogram:
+    """Running count/sum/min/max plus fixed cumulative-style buckets."""
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKET_BOUNDS_S):
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError("histogram bounds must be ascending")
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+        }
+
+
+def _label_key(labels: Dict[str, object]) -> LabelItems:
+    return tuple(sorted(labels.items()))
+
+
+def format_metric(name: str, labels: LabelItems) -> str:
+    """Render ``name{k=v,...}`` (stable order) for snapshots and manifests."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+@dataclass
+class MetricsRegistry:
+    """One run's instruments, keyed by (declared name, label set)."""
+
+    strict: bool = True
+    _counters: Dict[Tuple[str, LabelItems], Counter] = field(default_factory=dict)
+    _gauges: Dict[Tuple[str, LabelItems], Gauge] = field(default_factory=dict)
+    _histograms: Dict[Tuple[str, LabelItems], Histogram] = field(
+        default_factory=dict
+    )
+
+    def _check(self, name: str, kind: str) -> None:
+        if not self.strict:
+            return
+        spec = METRIC_SPECS.get(name)
+        if spec is None:
+            raise KeyError(
+                f"metric {name!r} is not declared in METRIC_SPECS; add it to "
+                "repro/obs/metrics.py (and to docs/observability.md)"
+            )
+        if spec.kind != kind:
+            raise KeyError(
+                f"metric {name!r} is declared as a {spec.kind}, not a {kind}"
+            )
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = (name, _label_key(labels))
+        inst = self._counters.get(key)
+        if inst is None:
+            self._check(name, "counter")
+            inst = self._counters[key] = Counter()
+        return inst
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = (name, _label_key(labels))
+        inst = self._gauges.get(key)
+        if inst is None:
+            self._check(name, "gauge")
+            inst = self._gauges[key] = Gauge()
+        return inst
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Sequence[float] = DEFAULT_BUCKET_BOUNDS_S,
+        **labels: object,
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        inst = self._histograms.get(key)
+        if inst is None:
+            self._check(name, "histogram")
+            inst = self._histograms[key] = Histogram(bounds)
+        return inst
+
+    # ------------------------------------------------------------------ export
+    def snapshot(self) -> Dict[str, object]:
+        """Flat ``rendered-name -> value`` map (histograms as dicts)."""
+        out: Dict[str, object] = {}
+        for (name, labels), counter in sorted(self._counters.items()):
+            out[format_metric(name, labels)] = counter.value
+        for (name, labels), gauge in sorted(self._gauges.items()):
+            out[format_metric(name, labels)] = gauge.value
+        for (name, labels), histogram in sorted(self._histograms.items()):
+            out[format_metric(name, labels)] = histogram.as_dict()
+        return out
+
+    def scalar_snapshot(self) -> Dict[str, float]:
+        """Counters and gauges only — the manifest-friendly subset."""
+        out: Dict[str, float] = {}
+        for (name, labels), counter in sorted(self._counters.items()):
+            out[format_metric(name, labels)] = counter.value
+        for (name, labels), gauge in sorted(self._gauges.items()):
+            out[format_metric(name, labels)] = gauge.value
+        return out
+
+    def histogram_items(
+        self, name: Optional[str] = None
+    ) -> List[Tuple[str, Dict[str, object], Histogram]]:
+        """``(family name, labels, histogram)`` triples, optionally filtered."""
+        return [
+            (family, dict(labels), histogram)
+            for (family, labels), histogram in sorted(self._histograms.items())
+            if name is None or family == name
+        ]
+
+    def names_in_use(self) -> List[str]:
+        """Distinct metric family names with at least one instrument."""
+        seen = {name for name, _ in self._counters}
+        seen.update(name for name, _ in self._gauges)
+        seen.update(name for name, _ in self._histograms)
+        return sorted(seen)

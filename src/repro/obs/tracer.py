@@ -1,0 +1,160 @@
+"""Low-overhead structured event/span tracer with ring-buffer storage.
+
+The tracer stores :class:`TraceEvent` records in a fixed-size ring buffer:
+``emit`` is an O(1) slot write, so instrumentation cost is flat no matter
+how long a run is, and memory is bounded by ``capacity``.  When the buffer
+wraps, the oldest events are overwritten and counted in ``dropped`` — the
+tracer never raises and never grows.
+
+Event model (a deliberate subset of the Chrome trace-event phases, see
+``repro.obs.export``):
+
+* ``ph="i"`` — **instant** events (a migration, a QoS crossing, a
+  DTM throttle);
+* ``ph="X"`` — **complete spans** with a duration (a controller
+  invocation); timestamps are *simulated* time, durations are the
+  *wall-clock* cost of the span (the interesting quantity for "where does
+  wall time go" questions — simulated durations of controller calls are
+  zero by construction);
+* ``ph="C"`` — **counter** samples (optional; most counters live in the
+  metrics registry instead).
+
+:data:`NULL_TRACER` is a shared no-op sink with the same surface, used
+when code wants to trace unconditionally and let configuration decide
+whether anything is recorded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "TraceEvent",
+    "TracerStats",
+    "RingTracer",
+    "NullTracer",
+    "NULL_TRACER",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One structured event on the simulated timeline."""
+
+    name: str
+    cat: str
+    ph: str
+    #: Simulated-time timestamp of the event.
+    ts_s: float
+    #: Span duration; **wall-clock** seconds for ``ph="X"`` spans, 0 else.
+    dur_s: float = 0.0
+    args: Optional[Dict[str, object]] = None
+
+
+@dataclass(frozen=True)
+class TracerStats:
+    """Bookkeeping snapshot of one tracer."""
+
+    capacity: int
+    recorded: int
+    dropped: int
+
+    @property
+    def stored(self) -> int:
+        """Events currently held in the buffer."""
+        return min(self.recorded, self.capacity)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "capacity": self.capacity,
+            "recorded": self.recorded,
+            "dropped": self.dropped,
+            "stored": self.stored,
+        }
+
+
+class RingTracer:
+    """Fixed-capacity event sink; oldest events drop when full."""
+
+    enabled = True
+
+    def __init__(self, capacity: int = 65536):
+        check_positive("capacity", capacity)
+        self.capacity = int(capacity)
+        self._buf: List[Optional[TraceEvent]] = [None] * self.capacity
+        self._next = 0
+        self.recorded = 0
+        self.dropped = 0
+
+    def emit(
+        self,
+        name: str,
+        ts_s: float,
+        ph: str = "i",
+        cat: str = "sim",
+        dur_s: float = 0.0,
+        args: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Record one event (O(1); overwrites the oldest slot when full)."""
+        if self._buf[self._next] is not None:
+            self.dropped += 1
+        self._buf[self._next] = TraceEvent(
+            name=name, cat=cat, ph=ph, ts_s=ts_s, dur_s=dur_s, args=args
+        )
+        self._next = (self._next + 1) % self.capacity
+        self.recorded += 1
+
+    def events(self) -> List[TraceEvent]:
+        """Stored events, oldest first."""
+        if self.recorded < self.capacity:
+            head = self._buf[: self._next]
+            return [e for e in head if e is not None]
+        ordered = self._buf[self._next :] + self._buf[: self._next]
+        return [e for e in ordered if e is not None]
+
+    def stats(self) -> TracerStats:
+        return TracerStats(
+            capacity=self.capacity, recorded=self.recorded, dropped=self.dropped
+        )
+
+    def clear(self) -> None:
+        self._buf = [None] * self.capacity
+        self._next = 0
+        self.recorded = 0
+        self.dropped = 0
+
+
+class NullTracer:
+    """A no-op tracer with the :class:`RingTracer` surface."""
+
+    enabled = False
+    capacity = 0
+    recorded = 0
+    dropped = 0
+
+    def emit(
+        self,
+        name: str,
+        ts_s: float,
+        ph: str = "i",
+        cat: str = "sim",
+        dur_s: float = 0.0,
+        args: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Discard the event."""
+
+    def events(self) -> List[TraceEvent]:
+        return []
+
+    def stats(self) -> TracerStats:
+        return TracerStats(capacity=0, recorded=0, dropped=0)
+
+    def clear(self) -> None:
+        """Nothing to clear."""
+
+
+#: Shared no-op sink — safe to emit into unconditionally.
+NULL_TRACER = NullTracer()

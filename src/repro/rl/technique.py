@@ -55,7 +55,16 @@ class TopRL(Technique):
         return self.migration.qtable
 
     def attach(self, sim: Simulator) -> None:
+        """Install the RL migration policy + shared DVFS loop on ``sim``.
+
+        Controller names (``top-rl-migration``, ``qos-dvfs``) label the
+        observability layer's spans and latency histograms when tracing is
+        enabled, exactly as for TOP-IL — so IL-vs-RL decision timelines
+        line up in ``chrome://tracing``.
+        """
         sim.placement_policy = _least_loaded_placement
+        if sim.obs is not None:
+            sim.obs.meta["technique"] = self.name
         self.dvfs_loop.attach(sim)
         self.migration.attach(sim)
         original = self.dvfs_loop.__call__

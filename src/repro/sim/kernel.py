@@ -23,12 +23,15 @@ gets from instrumented trace collection.
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.apps.model import AppModel
+from repro.obs.config import Observability
+from repro.obs.instrument import SimObserver
 from repro.platform import Platform, VFLevel
 from repro.power import PowerModel
 from repro.sim.process import Process, ProcessState
@@ -128,6 +131,7 @@ class Simulator:
         rng: Optional[RandomSource] = None,
         thermal: Optional[RCThermalNetwork] = None,
         sensor_noise_std_c: float = 0.05,
+        observability: Optional[Observability] = None,
     ):
         self.platform = platform
         self.cooling = cooling
@@ -191,6 +195,20 @@ class Simulator:
         # Sanitizer layer (REPRO_SANITIZE=1): per-step invariant checks.
         self._sanitize_enabled = sanitizer_enabled()
         self._sanitize_prev_now_s = float("-inf")
+
+        # Observability layer (REPRO_TRACE=1 or an explicit Observability):
+        # off by default — the hot path then pays one `is None` test per
+        # hook site.  The observer only reads state, so enabling it never
+        # changes simulation results.
+        self.observability = (
+            observability if observability is not None
+            else Observability.from_env()
+        )
+        self.obs: Optional[SimObserver] = (
+            SimObserver(self.observability) if self.observability.enabled
+            else None
+        )
+        self._obs = self.obs
 
         # DTM throttling state: max allowed VF index per cluster.
         self._dtm_cap: Dict[str, int] = {
@@ -308,9 +326,12 @@ class Simulator:
         process.migrate(core_id, self.now_s)
         self._by_core[from_core].remove(process)
         _insert_by_pid(self._by_core[core_id], process)
-        self.trace.record_migration(
-            MigrationEvent(self.now_s, pid, process.app.name, from_core, core_id)
+        event = MigrationEvent(
+            self.now_s, pid, process.app.name, from_core, core_id
         )
+        self.trace.record_migration(event)
+        if self._obs is not None:
+            self._obs.on_migration(self, event)
 
     def account_overhead(self, component: str, cpu_seconds: float) -> None:
         """Charge management CPU time; it steals cycles on the manager core."""
@@ -318,13 +339,21 @@ class Simulator:
         self.overhead_cpu_s[component] = (
             self.overhead_cpu_s.get(component, 0.0) + cpu_seconds
         )
+        if self._obs is not None:
+            self._obs.on_overhead(component, cpu_seconds)
         if self.config.model_overhead_on_core is not None:
             self._pending_overhead_s += cpu_seconds
 
     # ------------------------------------------------------------------ stepping
     @hot_path
     def step(self) -> None:
-        """Advance the simulation by one ``dt``."""
+        """Advance the simulation by one ``dt``.
+
+        Observability note: this is a ``@hot_path`` function, so the only
+        instrumentation allowed here is the guarded ``on_step`` call at the
+        step boundary (a single ``is None`` test when tracing is off); the
+        repro-lint HOT rules keep anything heavier out.
+        """
         dt = self.config.dt_s
         self._admit_arrivals()
         activity = self._execute_processes(dt)
@@ -335,16 +364,44 @@ class Simulator:
         self._run_controllers()
         self._record_trace()
         self.now_s += dt
+        if self._obs is not None:
+            self._obs.on_step(self, dt)
 
     def run_for(self, duration_s: float) -> None:
-        """Run for a fixed amount of simulated time."""
+        """Run for a fixed amount of simulated time.
+
+        Args:
+            duration_s: Simulated seconds to advance (must be > 0; the
+                ``_s`` suffix marks seconds throughout this codebase).  The
+                run executes ``ceil(duration_s / config.dt_s)`` steps, so
+                the clock lands on the first step boundary at or past
+                ``now_s + duration_s``.
+
+        Returns:
+            None.  Progress is observable through ``now_s``, the trace
+            recorder, and (when enabled) ``obs``.
+        """
         check_positive("duration_s", duration_s)
         end = self.now_s + duration_s
         while self.now_s < end - 1e-9:
             self.step()
 
     def run_until_complete(self, timeout_s: float = 36000.0) -> None:
-        """Run until every submitted process finished (or ``timeout_s``)."""
+        """Run until every submitted process has finished.
+
+        Args:
+            timeout_s: Upper bound in *simulated* seconds (not wall time).
+                The default (36000 s = 10 simulated hours) is far beyond
+                any workload in the paper's evaluation.
+
+        Returns:
+            None — returns as soon as no process is pending or running.
+
+        Raises:
+            TimeoutError: if work remains after ``timeout_s`` simulated
+                seconds; partial state (trace, metrics) is preserved for
+                inspection.
+        """
         end = self.now_s + timeout_s
         while self.now_s < end:
             if not self._pending and not self._running:
@@ -362,9 +419,12 @@ class Simulator:
             process.start(core, self.now_s)
             _insert_by_pid(self._running, process)
             _insert_by_pid(self._by_core[core], process)
-            self.trace.record_migration(
-                MigrationEvent(self.now_s, process.pid, process.app.name, None, core)
+            event = MigrationEvent(
+                self.now_s, process.pid, process.app.name, None, core
             )
+            self.trace.record_migration(event)
+            if self._obs is not None:
+                self._obs.on_migration(self, event)
 
     @hot_path
     def _resolve_step_params(
@@ -454,6 +514,8 @@ class Simulator:
             self._by_core[p.core_id].remove(p)
             self._running.remove(p)
             p.finish(self.now_s + dt)
+            if self._obs is not None:
+                self._obs.on_completion(self, p)
 
         # Update smoothed counters and QoS accounting for running processes.
         for p in self._running:
@@ -496,16 +558,34 @@ class Simulator:
                 for cluster in self.platform.clusters:
                     # Re-apply the current request so the cap takes effect.
                     self.set_vf_level(cluster.name, self._vf[cluster.name])
+                if self._obs is not None:
+                    self._obs.on_dtm(self, throttled=True)
         elif temp <= dtm.release_temp_c:
+            released = False
             for cluster in self.platform.clusters:
                 top = len(cluster.vf_table) - 1
                 if self._dtm_cap[cluster.name] < top:
                     self._dtm_cap[cluster.name] += 1
+                    released = True
+            if released and self._obs is not None:
+                self._obs.on_dtm(self, throttled=False)
 
     def _run_controllers(self) -> None:
+        obs = self._obs
         for controller in self._controllers:
             if self.now_s + 1e-12 >= controller.next_due_s:
-                controller.callback(self)
+                if obs is not None:
+                    # Wall-clock latency of the callback is observability
+                    # metadata (where does wall time go), not a result.
+                    start_wall = time.perf_counter()  # repro-lint: ignore[DET003]
+                    controller.callback(self)
+                    obs.on_controller(
+                        self,
+                        controller.name,
+                        time.perf_counter() - start_wall,  # repro-lint: ignore[DET003]
+                    )
+                else:
+                    controller.callback(self)
                 # Schedule from the previous due time, not from now_s:
                 # anchoring to now_s accumulates one-dt drift per firing
                 # whenever period_s is not a dt multiple.  If we fell more

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.obs.tracer import TraceEvent
 from repro.utils.validation import check_positive
 
 
@@ -96,6 +97,35 @@ class TraceRecorder:
 
     def record_migration(self, event: MigrationEvent) -> None:
         self.migrations.append(event)
+
+    def migration_trace_events(self) -> List[TraceEvent]:
+        """The recorded migrations as observability trace events.
+
+        Bridges the always-on figure recorder into the opt-in tracing
+        layer: converts every :class:`MigrationEvent` (true migrations and
+        arrivals alike) into the same instant-event shape
+        :class:`~repro.obs.instrument.SimObserver` emits, so a run traced
+        after the fact (or a loaded pickle) can still be exported with
+        :func:`repro.obs.export.write_chrome_trace`.
+        """
+        events: List[TraceEvent] = []
+        for m in self.migrations:
+            name = "sched.arrival" if m.from_core is None else "sched.migration"
+            events.append(
+                TraceEvent(
+                    name=name,
+                    cat="migration",
+                    ph="i",
+                    ts_s=m.time_s,
+                    args={
+                        "pid": m.pid,
+                        "app": m.app_name,
+                        "from_core": m.from_core,
+                        "to_core": m.to_core,
+                    },
+                )
+            )
+        return events
 
     # --- post-processing ---------------------------------------------------------
     def mean_sensor_temp(self) -> float:

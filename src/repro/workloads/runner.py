@@ -1,12 +1,25 @@
-"""The experiment run engine: execute one workload under one technique."""
+"""The experiment run engine: execute one workload under one technique.
+
+When observability is enabled (``REPRO_TRACE=1`` or an explicit
+:class:`~repro.obs.config.Observability` argument), :func:`run_workload`
+additionally exports the run's trace (JSONL + Chrome trace-event JSON) and
+writes a :class:`~repro.obs.manifest.RunManifest` next to those artifacts,
+carrying the same headline numbers as the returned
+:class:`~repro.metrics.summary.RunSummary`.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+import os
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
 
 from repro.governors.base import Technique
-from repro.metrics.summary import RunSummary, summarize_run
+from repro.metrics.summary import RunSummary, publish_summary, summarize_run
+from repro.obs.config import Observability
+from repro.obs.manifest import RunManifest
 from repro.platform import Platform
 from repro.sim.kernel import SimConfig, Simulator
 from repro.sim.trace import TraceRecorder
@@ -17,11 +30,65 @@ from repro.workloads.generator import Workload
 
 @dataclass
 class RunResult:
-    """Summary plus the full trace of one run."""
+    """Summary plus the full trace of one run.
+
+    ``manifest`` and ``artifacts`` are populated only when observability is
+    enabled for the run: ``manifest`` is the written
+    :class:`~repro.obs.manifest.RunManifest` and ``artifacts`` maps artifact
+    kinds (``events_jsonl``, ``chrome_trace``, ``manifest``) to file paths.
+    """
 
     summary: RunSummary
     trace: TraceRecorder
     sim: Simulator
+    manifest: Optional[RunManifest] = None
+    artifacts: Dict[str, str] = field(default_factory=dict)
+
+
+def run_slug(text: str) -> str:
+    """Filesystem-safe label fragment: lowercase, ``[a-z0-9._-]`` only."""
+    slug = re.sub(r"[^a-z0-9._-]+", "-", text.lower()).strip("-")
+    return slug or "run"
+
+
+def _export_observability(
+    sim: Simulator,
+    summary: RunSummary,
+    seed: int,
+    wall_time_s: float,
+    run_label: Optional[str],
+) -> tuple:
+    """Write trace artifacts + manifest for a traced run."""
+    obs = sim.obs
+    assert obs is not None
+    summary_values = publish_summary(summary, obs.registry)
+    obs.finalize(sim, wall_time_s=wall_time_s)
+    label_tail = run_label if run_label is not None else run_slug(
+        f"{summary.technique}-{summary.workload}-seed{seed}"
+    )
+    out_dir = sim.observability.out_dir
+    artifacts = obs.export(out_dir, label_tail)
+    manifest = RunManifest.create(
+        experiment=obs.meta.get("experiment", "run"),
+        label=label_tail,
+        seed=seed,
+        config={
+            "technique": summary.technique,
+            "workload": summary.workload,
+            "sim": sim.config,
+            "observability": sim.observability,
+        },
+        wall_time_s=wall_time_s,
+        sim_time_s=sim.now_s,
+        tracer=obs.tracer.stats().as_dict(),
+        summary={k: float(v) for k, v in summary_values.items()},
+        metrics=obs.registry.scalar_snapshot(),
+        extra={"meta": dict(obs.meta)},
+    )
+    manifest_path = os.path.join(out_dir, f"{label_tail}.manifest.json")
+    manifest.write(manifest_path)
+    artifacts["manifest"] = manifest_path
+    return manifest, artifacts
 
 
 def run_workload(
@@ -33,6 +100,8 @@ def run_workload(
     sim_config: Optional[SimConfig] = None,
     max_duration_s: float = 7200.0,
     settle_s: float = 2.0,
+    observability: Optional[Observability] = None,
+    run_label: Optional[str] = None,
 ) -> RunResult:
     """Execute ``workload`` under ``technique`` and summarize the run.
 
@@ -40,12 +109,34 @@ def run_workload(
     each run here starts from ambient, which is what that cool-down
     converges to.  ``settle_s`` runs the empty system briefly before the
     first arrival so the governors reach their idle operating point.
+
+    Args:
+        platform: Hardware model to simulate on.
+        technique: Resource manager to attach (e.g. ``TopIL``, ``GTS``).
+        workload: Arrival list; items are admitted ``settle_s`` after start.
+        cooling: Cooling configuration (fan or passive).
+        seed: Base seed for the run's random streams.
+        sim_config: Kernel configuration; defaults to ``SimConfig()``.
+        max_duration_s: Abort threshold for ``run_until_complete``.
+        settle_s: Idle warm-up before the first arrival.
+        observability: Explicit observability config; ``None`` reads the
+            ``REPRO_TRACE`` / ``REPRO_TRACE_DIR`` environment (off by
+            default).  When enabled, trace artifacts and a run manifest
+            are written under its ``out_dir``.
+        run_label: Artifact basename (may contain ``/`` subdirectories);
+            defaults to a slug of technique, workload, and seed.
+
+    Returns:
+        A :class:`RunResult`; ``manifest``/``artifacts`` are set only for
+        traced runs.
     """
+    start_wall = time.perf_counter()  # repro-lint: ignore[DET003]
     sim = Simulator(
         platform,
         cooling,
         config=sim_config or SimConfig(),
         rng=RandomSource(seed).child("run"),
+        observability=observability,
     )
     technique.attach(sim)
     for item in workload.items:
@@ -56,4 +147,17 @@ def run_workload(
         )
     sim.run_until_complete(timeout_s=max_duration_s)
     summary = summarize_run(sim, technique.name, workload.name)
-    return RunResult(summary=summary, trace=sim.trace, sim=sim)
+    manifest: Optional[RunManifest] = None
+    artifacts: Dict[str, str] = {}
+    if sim.obs is not None:
+        wall_s = time.perf_counter() - start_wall  # repro-lint: ignore[DET003]
+        manifest, artifacts = _export_observability(
+            sim, summary, seed, wall_s, run_label
+        )
+    return RunResult(
+        summary=summary,
+        trace=sim.trace,
+        sim=sim,
+        manifest=manifest,
+        artifacts=artifacts,
+    )

@@ -1,0 +1,85 @@
+"""Docs-consistency gate: the observability guide and the code agree.
+
+The metrics glossary in ``docs/observability.md`` must list **exactly**
+the metric families declared in ``repro.obs.metrics.METRIC_SPECS`` —
+no undocumented metrics, no documented ghosts.  The glossary rows are
+parsed from the markdown table in the "## Metrics glossary" section
+(first cell, backticked).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.obs.config import DEFAULT_TRACE_DIR, TRACE_DIR_ENV, TRACE_ENV
+from repro.obs.metrics import METRIC_SPECS
+
+DOC_PATH = Path(__file__).resolve().parents[2] / "docs" / "observability.md"
+
+
+def _glossary_section(text: str) -> str:
+    match = re.search(
+        r"^## Metrics glossary\n(.*?)(?=^## )", text, re.M | re.S
+    )
+    assert match, "docs/observability.md lost its '## Metrics glossary' section"
+    return match.group(1)
+
+
+def _documented_metric_names(text: str) -> set:
+    section = _glossary_section(text)
+    return set(re.findall(r"^\| `([a-z0-9_]+)` \|", section, re.M))
+
+
+def test_glossary_matches_metric_specs():
+    text = DOC_PATH.read_text(encoding="utf-8")
+    documented = _documented_metric_names(text)
+    declared = set(METRIC_SPECS)
+    missing = declared - documented
+    ghosts = documented - declared
+    assert not missing, (
+        f"metrics declared in METRIC_SPECS but absent from the glossary in "
+        f"docs/observability.md: {sorted(missing)}"
+    )
+    assert not ghosts, (
+        f"metrics documented in docs/observability.md but not declared in "
+        f"METRIC_SPECS: {sorted(ghosts)}"
+    )
+
+
+def test_glossary_rows_state_kind_and_unit():
+    """Each glossary row's kind column matches the declared spec."""
+    text = DOC_PATH.read_text(encoding="utf-8")
+    section = _glossary_section(text)
+    rows = re.findall(
+        r"^\| `([a-z0-9_]+)` \| (\w+) \| ([^|]+) \|", section, re.M
+    )
+    assert rows, "glossary table rows not parseable"
+    for name, kind, unit in rows:
+        spec = METRIC_SPECS[name]
+        assert kind == spec.kind, f"{name}: doc says {kind}, code {spec.kind}"
+        assert unit.strip() == spec.unit, (
+            f"{name}: doc says unit {unit.strip()!r}, code {spec.unit!r}"
+        )
+
+
+def test_doc_names_the_env_switches():
+    text = DOC_PATH.read_text(encoding="utf-8")
+    for token in (TRACE_ENV, TRACE_DIR_ENV, DEFAULT_TRACE_DIR):
+        assert token in text, f"docs/observability.md does not mention {token}"
+
+
+def test_readme_points_at_tier1_and_examples():
+    repo_root = DOC_PATH.parents[1]
+    readme = (repo_root / "README.md").read_text(encoding="utf-8")
+    assert "PYTHONPATH=src python -m pytest -x -q" in readme
+    assert "examples/README.md" in readme
+    assert "docs/observability.md" in readme
+
+
+def test_examples_readme_lists_trace_explorer():
+    repo_root = DOC_PATH.parents[1]
+    examples_readme = (repo_root / "examples" / "README.md").read_text(
+        encoding="utf-8"
+    )
+    assert "trace_explorer.py" in examples_readme

@@ -47,6 +47,17 @@ class TestFastExamples:
         assert "prime" in out
         assert "QoS" in out
 
+    def test_trace_explorer(self, tmp_path):
+        out = _run("trace_explorer.py", "--out-dir", str(tmp_path))
+        assert "top-5 hottest controller intervals" in out
+        assert "events recorded" in out
+        for artifact in (
+            "trace_explorer.trace.json",
+            "trace_explorer.events.jsonl",
+            "trace_explorer.manifest.json",
+        ):
+            assert (tmp_path / artifact).exists()
+
     @pytest.mark.parametrize(
         "script",
         [

@@ -36,6 +36,20 @@ def test_src_tree_is_clean(tmp_path):
     assert len(payload["rules"]) >= 4
 
 
+def test_obs_package_is_clean(tmp_path):
+    """The observability layer is explicitly lint-gated: its hook sites sit
+    on the kernel hot path, so a HOT/DET/UNIT violation there is exactly
+    the regression this gate exists to catch."""
+    report = tmp_path / "obs_report.json"
+    result = _run_lint("src/repro/obs", "--json", str(report))
+    assert result.returncode == 0, (
+        f"repro-lint found violations in repro/obs:\n"
+        f"{result.stdout}{result.stderr}"
+    )
+    payload = json.loads(report.read_text())
+    assert payload["total"] == 0
+
+
 def test_violations_fail_with_exit_code_1(tmp_path):
     bad = tmp_path / "bad.py"
     bad.write_text("import random\nx = random.random()\n")

@@ -1,0 +1,182 @@
+"""End-to-end observability: traced runs match untraced runs and the
+exported artifacts (Chrome trace, JSONL, manifests) are loadable and
+consistent with the run summary."""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro.experiments.main_mixed import MainMixedConfig, run_main_mixed
+from repro.il.technique import TopIL
+from repro.governors.techniques import GTSOndemand
+from repro.metrics.summary import summary_metrics, summarize_run
+from repro.obs.config import Observability
+from repro.obs.manifest import RunManifest
+from repro.workloads.generator import mixed_workload
+from repro.workloads.runner import run_workload
+
+
+def _small_workload(platform, seed=11):
+    return mixed_workload(
+        platform,
+        n_apps=5,
+        arrival_rate_per_s=1.0 / 6.0,
+        seed=seed,
+        instruction_scale=0.02,
+    )
+
+
+class TestTracedRunIsFaithful:
+    def test_tracing_does_not_change_results(self, platform, tmp_path):
+        workload = _small_workload(platform)
+        baseline = run_workload(
+            platform, GTSOndemand(), workload, seed=11,
+            observability=Observability.disabled(),
+        )
+        traced = run_workload(
+            platform, GTSOndemand(), workload, seed=11,
+            observability=Observability(enabled=True, out_dir=str(tmp_path)),
+            run_label=None,
+        )
+        # Bit-identical run summary: the observer reads state but never
+        # consumes any RNG stream (in particular not the sensor noise).
+        assert traced.summary == baseline.summary
+        assert traced.sim.now_s == baseline.sim.now_s
+
+    def test_migration_events_match_recorder(self, platform, assets, tmp_path):
+        workload = _small_workload(platform)
+        run = run_workload(
+            platform,
+            TopIL(assets.models()[0]),
+            workload,
+            seed=11,
+            observability=Observability(enabled=True, out_dir=str(tmp_path)),
+            run_label="il-traced",
+        )
+        obs = run.sim.obs
+        events = obs.tracer.events()
+        migration_events = [e for e in events if e.name == "migration"]
+        recorded = [m for m in run.trace.migrations if m.from_core is not None]
+        assert len(migration_events) == len(recorded)
+        for event, migration in zip(migration_events, recorded):
+            assert event.args["pid"] == migration.pid
+            assert event.args["from_core"] == migration.from_core
+            assert event.args["to_core"] == migration.to_core
+            assert event.ts_s == pytest.approx(migration.time_s)
+        arrival_events = [e for e in events if e.name == "arrival"]
+        arrivals = [m for m in run.trace.migrations if m.from_core is None]
+        assert len(arrival_events) == len(arrivals)
+
+    def test_dvfs_spans_match_loop_invocations(self, platform, assets, tmp_path):
+        workload = _small_workload(platform)
+        technique = TopIL(assets.models()[0])
+        run = run_workload(
+            platform,
+            technique,
+            workload,
+            seed=11,
+            observability=Observability(enabled=True, out_dir=str(tmp_path)),
+            run_label="il-dvfs",
+        )
+        obs = run.sim.obs
+        spans = [
+            e for e in obs.tracer.events()
+            if e.cat == "controller" and e.ph == "X" and e.name == "qos-dvfs"
+        ]
+        assert technique.dvfs_loop.invocations > 0
+        assert len(spans) == technique.dvfs_loop.invocations
+        counter = obs.registry.counter(
+            "controller_invocations_total", controller="qos-dvfs"
+        )
+        assert counter.value == technique.dvfs_loop.invocations
+        skips = obs.registry.counter("dvfs_skips_total")
+        assert skips.value == technique.dvfs_loop.skipped
+        # Every span carries a non-negative wall-clock duration.
+        assert all(e.dur_s >= 0.0 for e in spans)
+
+    def test_recorder_bridge_matches_observer(self, platform, tmp_path):
+        workload = _small_workload(platform)
+        run = run_workload(
+            platform, GTSOndemand(), workload, seed=11,
+            observability=Observability(enabled=True, out_dir=str(tmp_path)),
+            run_label="bridge",
+        )
+        bridged = run.trace.migration_trace_events()
+        assert len(bridged) == len(run.trace.migrations)
+        assert all(e.cat == "migration" for e in bridged)
+
+
+class TestArtifacts:
+    def test_run_artifacts_are_loadable(self, platform, tmp_path):
+        workload = _small_workload(platform)
+        run = run_workload(
+            platform, GTSOndemand(), workload, seed=11,
+            observability=Observability(enabled=True, out_dir=str(tmp_path)),
+            run_label="artifacts",
+        )
+        assert set(run.artifacts) == {
+            "events_jsonl", "chrome_trace", "manifest",
+        }
+        # JSONL: one JSON object per line, as many as the tracer stored.
+        with open(run.artifacts["events_jsonl"]) as handle:
+            lines = [json.loads(line) for line in handle]
+        assert len(lines) == run.sim.obs.tracer.stats().stored
+        # Chrome trace: loadable document with the required shape.
+        with open(run.artifacts["chrome_trace"]) as handle:
+            doc = json.load(handle)
+        assert doc["displayTimeUnit"] == "ms"
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert "M" in phases  # metadata (process / thread names)
+        assert "X" in phases  # controller spans
+        assert "i" in phases  # instants
+
+    def test_manifest_summary_matches_summarize_run(self, platform, tmp_path):
+        workload = _small_workload(platform)
+        run = run_workload(
+            platform, GTSOndemand(), workload, seed=11,
+            observability=Observability(enabled=True, out_dir=str(tmp_path)),
+            run_label="manifest-check",
+        )
+        manifest = RunManifest.load(run.artifacts["manifest"])
+        expected = summary_metrics(
+            summarize_run(run.sim, "GTS/ondemand", workload.name)
+        )
+        assert manifest.summary == pytest.approx(expected)
+        assert manifest.seed == 11
+        assert manifest.sim_time_s == pytest.approx(run.sim.now_s)
+        assert manifest.tracer["recorded"] > 0
+        # The registry snapshot carries the same run_* gauges.
+        for name, value in expected.items():
+            assert manifest.metrics[name] == pytest.approx(value)
+
+
+class TestGridManifests:
+    def test_main_mixed_merges_cell_manifests(
+        self, assets, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path))
+        config = MainMixedConfig.smoke()
+        config.techniques = ("GTS/ondemand",)
+        config.repetitions = 2
+        result = run_main_mixed(assets, config, parallel=True, n_workers=2)
+        assert len(result.raw) == 2
+        cell_manifests = sorted(
+            glob.glob(os.path.join(str(tmp_path), "main_mixed", "*.manifest.json"))
+        )
+        assert len(cell_manifests) == 2
+        merged_path = os.path.join(str(tmp_path), "main_mixed.manifest.json")
+        merged = RunManifest.load(merged_path)
+        assert merged.experiment == "main_mixed"
+        assert merged.extra["n_cells"] == 2
+        fragments = [RunManifest.load(p) for p in cell_manifests]
+        assert merged.sim_time_s == pytest.approx(
+            sum(f.sim_time_s for f in fragments)
+        )
+        # Cells are keyed by label in sorted order, scheduling-independent.
+        labels = [c["label"] for c in merged.extra["cells"]]
+        assert labels == sorted(labels)

@@ -1,0 +1,137 @@
+"""Run-manifest round-trips, config hashing, and grid merging."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    RunManifest,
+    config_hash,
+    git_revision,
+    host_fingerprint,
+    merge_manifests,
+)
+from repro.sim.kernel import SimConfig
+
+
+class TestConfigHash:
+    def test_stable_across_calls(self):
+        config = SimConfig()
+        assert config_hash(config) == config_hash(SimConfig())
+
+    def test_dict_key_order_irrelevant(self):
+        assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+
+    def test_sensitive_to_values(self):
+        assert config_hash({"a": 1}) != config_hash({"a": 2})
+
+    def test_handles_nested_dataclasses(self):
+        payload = {"sim": SimConfig(), "label": "x", "seq": (1, 2)}
+        assert len(config_hash(payload)) == 16
+
+
+class TestProvenance:
+    def test_git_revision_in_checkout(self):
+        rev = git_revision()
+        assert rev == "unknown" or len(rev) == 40
+
+    def test_git_revision_outside_checkout(self, tmp_path):
+        assert git_revision(cwd=str(tmp_path)) == "unknown"
+
+    def test_host_fingerprint_fields(self):
+        host = host_fingerprint()
+        assert set(host) == {"python", "numpy", "os"}
+        assert all(isinstance(v, str) and v for v in host.values())
+
+
+class TestRoundTrip:
+    def test_write_load_equality(self, tmp_path):
+        manifest = RunManifest.create(
+            experiment="main_mixed",
+            label="cell-0",
+            seed=11,
+            config={"x": 1},
+            wall_time_s=1.5,
+            sim_time_s=30.0,
+            tracer={"capacity": 16, "recorded": 3, "dropped": 0, "stored": 3},
+            summary={"run_mean_temp_c": 31.0},
+            metrics={"sim_steps_total": 100.0},
+            extra={"meta": {"technique": "GTS/ondemand"}},
+        )
+        path = manifest.write(str(tmp_path / "cell-0.manifest.json"))
+        loaded = RunManifest.load(path)
+        assert loaded == manifest
+        assert loaded.schema_version == MANIFEST_SCHEMA_VERSION
+
+    def test_write_creates_parent_dirs(self, tmp_path):
+        manifest = RunManifest.create(experiment="e", label="a/b/c")
+        path = manifest.write(str(tmp_path / "deep" / "nested" / "m.json"))
+        assert RunManifest.load(path).label == "a/b/c"
+
+    def test_from_dict_ignores_unknown_keys(self):
+        payload = RunManifest.create(experiment="e", label="l").to_dict()
+        payload["future_field"] = "whatever"
+        loaded = RunManifest.from_dict(payload)
+        assert loaded.experiment == "e"
+
+    def test_written_file_is_plain_json(self, tmp_path):
+        manifest = RunManifest.create(experiment="e", label="l")
+        path = manifest.write(str(tmp_path / "m.json"))
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["experiment"] == "e"
+
+
+def _fragment(label, seed, wall_s, sim_s, dropped=0):
+    return RunManifest.create(
+        experiment="grid",
+        label=label,
+        seed=seed,
+        config={"shared": True},
+        wall_time_s=wall_s,
+        sim_time_s=sim_s,
+        tracer={"recorded": 10, "dropped": dropped},
+        summary={"run_mean_temp_c": 30.0 + seed},
+    )
+
+
+class TestMerge:
+    def test_merge_sums_times_and_tracer(self):
+        merged = merge_manifests(
+            [_fragment("b", 1, 1.0, 10.0, dropped=2),
+             _fragment("a", 0, 2.0, 20.0)],
+            experiment="grid",
+        )
+        assert merged.wall_time_s == 3.0
+        assert merged.sim_time_s == 30.0
+        assert merged.tracer == {"recorded": 20, "dropped": 2}
+        assert merged.extra["n_cells"] == 2
+
+    def test_merge_is_order_independent(self):
+        frags = [_fragment("b", 1, 1.0, 10.0), _fragment("a", 0, 2.0, 20.0)]
+        forward = merge_manifests(frags, experiment="grid")
+        backward = merge_manifests(list(reversed(frags)), experiment="grid")
+        # Identical apart from the creation timestamp.
+        fwd = dataclasses.replace(forward, created_unix_s=0.0)
+        bwd = dataclasses.replace(backward, created_unix_s=0.0)
+        assert fwd == bwd
+        labels = [c["label"] for c in forward.extra["cells"]]
+        assert labels == sorted(labels)
+
+    def test_uniform_config_hash_propagates(self):
+        frags = [_fragment("a", 0, 1.0, 1.0), _fragment("b", 1, 1.0, 1.0)]
+        merged = merge_manifests(frags, experiment="grid")
+        assert merged.config_hash == frags[0].config_hash
+
+    def test_differing_config_hash_does_not_propagate(self):
+        frags = [_fragment("a", 0, 1.0, 1.0), _fragment("b", 1, 1.0, 1.0)]
+        frags[1] = dataclasses.replace(frags[1], config_hash="deadbeefdeadbeef")
+        merged = merge_manifests(frags, experiment="grid")
+        assert merged.config_hash == ""
+
+    def test_empty_merge(self):
+        merged = merge_manifests([], experiment="grid")
+        assert merged.extra == {"n_cells": 0, "cells": []}
+        assert merged.wall_time_s == 0.0

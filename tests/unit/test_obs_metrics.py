@@ -1,0 +1,152 @@
+"""Metrics registry arithmetic, labelling, strictness, and snapshots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (
+    METRIC_SPECS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_metric,
+    metric_names,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1.0)
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge()
+        g.set(3.0)
+        g.set(1.5)
+        assert g.value == pytest.approx(1.5)
+        g.inc(0.5)
+        assert g.value == pytest.approx(2.0)
+
+    def test_histogram_stats(self):
+        h = Histogram(bounds=(0.1, 1.0))
+        for value in (0.05, 0.5, 2.0):
+            h.observe(value)
+        assert h.count == 3
+        assert h.total == pytest.approx(2.55)
+        assert h.mean == pytest.approx(0.85)
+        assert h.min == pytest.approx(0.05)
+        assert h.max == pytest.approx(2.0)
+        # One observation per bucket: <=0.1, <=1.0, +inf overflow.
+        assert h.bucket_counts == [1, 1, 1]
+
+    def test_histogram_empty_mean_is_zero(self):
+        assert Histogram().mean == 0.0
+
+    def test_histogram_bounds_must_ascend(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0, 0.1))
+
+    def test_histogram_as_dict(self):
+        h = Histogram(bounds=(1.0,))
+        h.observe(0.5)
+        payload = h.as_dict()
+        assert payload["count"] == 1
+        assert payload["bucket_counts"] == [1, 0]
+
+
+class TestRegistry:
+    def test_same_name_and_labels_memoizes(self):
+        registry = MetricsRegistry()
+        a = registry.counter("migrations_total")
+        b = registry.counter("migrations_total")
+        assert a is b
+
+    def test_distinct_labels_are_distinct_instruments(self):
+        registry = MetricsRegistry()
+        big = registry.counter("vf_residency_s", cluster="big", freq_mhz=2362)
+        little = registry.counter(
+            "vf_residency_s", cluster="LITTLE", freq_mhz=1844
+        )
+        assert big is not little
+        big.inc(1.0)
+        assert little.value == 0.0
+
+    def test_strict_rejects_undeclared_names(self):
+        registry = MetricsRegistry()
+        with pytest.raises(KeyError):
+            registry.counter("not_a_declared_metric_total")
+
+    def test_strict_rejects_kind_mismatch(self):
+        registry = MetricsRegistry()
+        with pytest.raises(KeyError):
+            # Declared as a counter, requested as a gauge.
+            registry.gauge("migrations_total")
+
+    def test_non_strict_allows_anything(self):
+        registry = MetricsRegistry(strict=False)
+        registry.counter("adhoc_total").inc()
+        assert registry.scalar_snapshot()["adhoc_total"] == 1.0
+
+    def test_scalar_snapshot_renders_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("qos_crossings_total", direction="violated").inc(3)
+        registry.gauge("sim_time_s").set(12.5)
+        snap = registry.scalar_snapshot()
+        assert snap["qos_crossings_total{direction=violated}"] == 3.0
+        assert snap["sim_time_s"] == 12.5
+
+    def test_snapshot_includes_histograms(self):
+        registry = MetricsRegistry()
+        registry.histogram("controller_latency_s", controller="qos-dvfs").observe(
+            1e-4
+        )
+        snap = registry.snapshot()
+        payload = snap["controller_latency_s{controller=qos-dvfs}"]
+        assert payload["count"] == 1
+
+    def test_histogram_items_filter(self):
+        registry = MetricsRegistry()
+        registry.histogram("controller_latency_s", controller="gts").observe(0.1)
+        items = registry.histogram_items("controller_latency_s")
+        assert len(items) == 1
+        name, labels, histogram = items[0]
+        assert name == "controller_latency_s"
+        assert labels == {"controller": "gts"}
+        assert histogram.count == 1
+
+    def test_names_in_use(self):
+        registry = MetricsRegistry()
+        registry.counter("sim_steps_total").inc()
+        registry.gauge("sim_time_s").set(1.0)
+        assert registry.names_in_use() == ["sim_steps_total", "sim_time_s"]
+
+
+class TestCatalog:
+    def test_format_metric(self):
+        assert format_metric("x", ()) == "x"
+        assert format_metric("x", (("a", 1), ("b", "y"))) == "x{a=1,b=y}"
+
+    def test_metric_names_sorted_and_complete(self):
+        names = metric_names()
+        assert names == sorted(names)
+        assert set(names) == set(METRIC_SPECS)
+
+    def test_every_spec_has_kind_and_unit(self):
+        for spec in METRIC_SPECS.values():
+            assert spec.kind in {"counter", "gauge", "histogram"}
+            assert spec.unit
+            assert spec.description
+
+    def test_naming_convention(self):
+        """Counters end in _total or a unit suffix; everything lowercase."""
+        for name, spec in METRIC_SPECS.items():
+            assert name == name.lower()
+            if spec.kind == "counter":
+                assert name.endswith(("_total", "_s")), name

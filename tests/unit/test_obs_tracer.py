@@ -1,0 +1,123 @@
+"""Ring tracer semantics: capacity, drop counting, ordering, no-op paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.config import Observability, tracing_enabled
+from repro.obs.tracer import NULL_TRACER, NullTracer, RingTracer
+from repro.sim.kernel import Simulator
+from repro.thermal import FAN_COOLING
+
+
+class TestRingTracer:
+    def test_emit_below_capacity_keeps_everything(self):
+        tracer = RingTracer(capacity=8)
+        for i in range(5):
+            tracer.emit(f"e{i}", ts_s=float(i))
+        events = tracer.events()
+        assert [e.name for e in events] == ["e0", "e1", "e2", "e3", "e4"]
+        stats = tracer.stats()
+        assert stats.recorded == 5
+        assert stats.dropped == 0
+        assert stats.stored == 5
+
+    def test_wrap_drops_oldest_and_counts(self):
+        tracer = RingTracer(capacity=4)
+        for i in range(6):
+            tracer.emit(f"e{i}", ts_s=float(i))
+        events = tracer.events()
+        # Oldest two (e0, e1) were overwritten; order stays oldest-first.
+        assert [e.name for e in events] == ["e2", "e3", "e4", "e5"]
+        stats = tracer.stats()
+        assert stats.recorded == 6
+        assert stats.dropped == 2
+        assert stats.stored == 4
+
+    def test_exact_capacity_boundary(self):
+        tracer = RingTracer(capacity=3)
+        for i in range(3):
+            tracer.emit(f"e{i}", ts_s=float(i))
+        assert tracer.stats().dropped == 0
+        assert [e.name for e in tracer.events()] == ["e0", "e1", "e2"]
+        tracer.emit("e3", ts_s=3.0)
+        assert tracer.stats().dropped == 1
+        assert [e.name for e in tracer.events()] == ["e1", "e2", "e3"]
+
+    def test_event_fields_round_trip(self):
+        tracer = RingTracer(capacity=4)
+        tracer.emit(
+            "span", ts_s=1.5, ph="X", cat="controller", dur_s=0.25,
+            args={"k": 1},
+        )
+        (event,) = tracer.events()
+        assert event.name == "span"
+        assert event.ph == "X"
+        assert event.cat == "controller"
+        assert event.ts_s == pytest.approx(1.5)
+        assert event.dur_s == pytest.approx(0.25)
+        assert event.args == {"k": 1}
+
+    def test_clear_resets_everything(self):
+        tracer = RingTracer(capacity=2)
+        for i in range(5):
+            tracer.emit(f"e{i}", ts_s=float(i))
+        tracer.clear()
+        assert tracer.events() == []
+        stats = tracer.stats()
+        assert (stats.recorded, stats.dropped, stats.stored) == (0, 0, 0)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RingTracer(capacity=0)
+
+    def test_stats_as_dict(self):
+        tracer = RingTracer(capacity=4)
+        tracer.emit("e", ts_s=0.0)
+        assert tracer.stats().as_dict() == {
+            "capacity": 4, "recorded": 1, "dropped": 0, "stored": 1,
+        }
+
+
+class TestNullTracer:
+    def test_null_tracer_discards(self):
+        tracer = NullTracer()
+        tracer.emit("e", ts_s=0.0)
+        assert tracer.events() == []
+        assert tracer.stats().recorded == 0
+
+    def test_shared_singleton_is_disabled(self):
+        assert NULL_TRACER.enabled is False
+        NULL_TRACER.emit("e", ts_s=0.0)
+        assert NULL_TRACER.events() == []
+
+
+class TestOffByDefault:
+    def test_unconfigured_simulator_has_no_observer(self, platform, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        sim = Simulator(platform, FAN_COOLING)
+        assert sim.obs is None
+        assert sim.observability.enabled is False
+
+    def test_env_flag_attaches_observer(self, platform, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        sim = Simulator(platform, FAN_COOLING)
+        assert sim.obs is not None
+        assert sim.obs.tracer.capacity == sim.observability.trace_capacity
+
+    def test_explicit_config_beats_env(self, platform, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        sim = Simulator(
+            platform, FAN_COOLING, observability=Observability.disabled()
+        )
+        assert sim.obs is None
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "no", "off", "OFF"])
+    def test_falsey_env_values(self, value, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", value)
+        assert tracing_enabled() is False
+
+    @pytest.mark.parametrize("value", ["1", "true", "yes", "on"])
+    def test_truthy_env_values(self, value, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", value)
+        assert tracing_enabled() is True
