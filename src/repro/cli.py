@@ -5,6 +5,7 @@ Usage::
     python -m repro.cli list
     python -m repro.cli run fig8 [--scale smoke|medium|paper] [--cache DIR]
                                  [--trace] [--trace-dir DIR]
+                                 [--faults PLAN] [--fault-seed N]
     python -m repro.cli report [--scale medium] [--out EXPERIMENTS.md]
                                [--trace] [--trace-dir DIR]
 
@@ -15,6 +16,11 @@ runs the whole evaluation and writes the paper-vs-measured markdown.
 ``REPRO_TRACE=1``): every simulation writes a JSONL event log, a Chrome
 trace (load it in ``chrome://tracing``), and a run manifest under
 ``--trace-dir`` (default ``.repro_obs``).  See ``docs/observability.md``.
+
+``--faults`` attaches the deterministic fault-injection layer (equivalent
+to setting ``REPRO_FAULTS``) using the compact plan form
+``kind:rate[,kind:rate...]``, e.g. ``sensor_dropout:0.05,npu_failure:0.02``;
+``--fault-seed`` seeds the injector streams.  See ``docs/resilience.md``.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ from typing import Callable, Dict, Optional
 
 from repro.experiments.assets import AssetConfig, AssetStore
 from repro.experiments.report import ReportScale, generate_report
+from repro.faults import FAULT_SEED_ENV, FAULTS_ENV, FaultPlan
 from repro.obs.config import TRACE_DIR_ENV, TRACE_ENV
 
 DEFAULT_CACHE = ".repro_cache"
@@ -74,6 +81,24 @@ def _apply_trace_flags(trace: bool, trace_dir: Optional[str]) -> None:
         os.environ[TRACE_DIR_ENV] = trace_dir
 
 
+def _apply_fault_flags(faults: Optional[str], fault_seed: int) -> None:
+    """Translate ``--faults``/``--fault-seed`` into the fault-plan env.
+
+    Same fork-safe carrier pattern as the trace flags: forked experiment
+    workers inherit ``REPRO_FAULTS``/``REPRO_FAULT_SEED``, so every cell's
+    run engine resolves the identical plan.  The plan text is validated
+    here so a typo fails fast instead of inside a worker.
+    """
+    if faults is None:
+        return
+    try:
+        FaultPlan.parse(faults, seed=fault_seed)
+    except ValueError as exc:
+        raise SystemExit(f"bad --faults value: {exc}") from exc
+    os.environ[FAULTS_ENV] = faults
+    os.environ[FAULT_SEED_ENV] = str(fault_seed)
+
+
 def _experiments(scale: ReportScale, assets: AssetStore) -> Dict[str, Callable[[], str]]:
     """Map experiment names (``fig8``, ...) to zero-argument runners."""
     from repro.experiments.illustrative import run_illustrative
@@ -83,6 +108,7 @@ def _experiments(scale: ReportScale, assets: AssetStore) -> Dict[str, Callable[[
     from repro.experiments.motivation import run_motivation
     from repro.experiments.nas import run_nas
     from repro.experiments.overhead import run_overhead
+    from repro.experiments.resilience import run_resilience
     from repro.experiments.single_app import run_single_app
 
     return {
@@ -101,6 +127,7 @@ def _experiments(scale: ReportScale, assets: AssetStore) -> Dict[str, Callable[[
         "fig11": lambda: run_single_app(assets, scale.single_app).report(),
         "model-eval": lambda: run_model_eval(assets, scale.model_eval).report(),
         "fig12": lambda: run_overhead(assets, scale.overhead).report(),
+        "resilience": lambda: run_resilience(assets, scale.resilience).report(),
     }
 
 
@@ -140,6 +167,19 @@ def main(argv=None) -> int:
             default=None,
             help="directory for trace artifacts (default .repro_obs)",
         )
+        cmd_p.add_argument(
+            "--faults",
+            default=None,
+            metavar="PLAN",
+            help="fault plan as kind:rate[,kind:rate...] "
+            "(e.g. sensor_dropout:0.05,npu_failure:0.02)",
+        )
+        cmd_p.add_argument(
+            "--fault-seed",
+            type=int,
+            default=0,
+            help="seed for the fault injector's RNG streams (default 0)",
+        )
 
     args = parser.parse_args(argv)
 
@@ -151,6 +191,7 @@ def main(argv=None) -> int:
 
     if args.command == "run":
         _apply_trace_flags(args.trace, args.trace_dir)
+        _apply_fault_flags(args.faults, args.fault_seed)
         scale = _scale(args.scale)
         assets = _assets(args.cache, args.scale)
         experiments = _experiments(scale, assets)
@@ -167,6 +208,7 @@ def main(argv=None) -> int:
 
     if args.command == "report":
         _apply_trace_flags(args.trace, args.trace_dir)
+        _apply_fault_flags(args.faults, args.fault_seed)
         scale = _scale(args.scale)
         assets = _assets(args.cache, args.scale)
         report = generate_report(assets, scale)

@@ -1,27 +1,45 @@
-"""Seed-stable parallel fan-out for experiment grids.
+"""Seed-stable, self-healing parallel fan-out for experiment grids.
 
-Experiment drivers (``main_mixed``, ``ablation``, ``robustness``) all share
-the same shape: a nested loop over a static grid of *cells* (cooling x rate
-x repetition x technique, or period x period, ...), each cell running one
-independent simulation whose result feeds an order-sensitive aggregation.
+Experiment drivers (``main_mixed``, ``ablation``, ``robustness``,
+``resilience``) all share the same shape: a nested loop over a static grid
+of *cells* (cooling x rate x repetition x technique, or period x period,
+...), each cell running one independent simulation whose result feeds an
+order-sensitive aggregation.
 
-:func:`run_cells` executes that grid, optionally fanning the cells out over
-a ``fork`` process pool, while guaranteeing **bitwise-identical results to
-the serial loop**:
+:func:`run_cells` executes that grid, optionally fanning the cells out
+over a **supervised** ``fork`` worker pool, while guaranteeing
+**bitwise-identical results to the serial loop**:
 
 * every cell must be self-describing — it carries the seeds it needs, and
   the worker derives any randomness from them (see :func:`cell_rng`), never
   from process-global state, so a cell's result does not depend on which
-  worker runs it or in which order;
+  worker runs it, in which order, or on which attempt;
 * results are returned in cell order regardless of completion order;
 * heavyweight shared inputs (the :class:`~repro.experiments.assets.AssetStore`)
   are shipped once per worker through the pool initializer, not once per
   cell.
 
+Unlike a bare ``Pool.map``, the supervisor survives misbehaving cells
+instead of poisoning the whole grid:
+
+* a worker that **crashes** (segfault, OOM-kill, ``SIGKILL``) is detected
+  through its broken pipe; its cell is requeued with bounded retries and
+  exponential backoff, and a fresh worker replaces the dead one;
+* a cell that **hangs** past ``cell_timeout_s`` (wall clock) has its
+  worker killed and is requeued the same way;
+* a cell that raises a clean Python **exception** is *not* retried (the
+  failure is deterministic — retrying reproduces it) and is reported;
+* when retries are exhausted, :func:`run_cells` raises
+  :class:`GridCellError`, while :func:`run_cells_report` returns a
+  :class:`GridReport` carrying the salvaged results plus an explicit
+  ``failed_cells`` list — partial-result salvage for long sweeps.
+
 Parallelism is off when ``REPRO_PARALLEL=0`` (or ``parallel=False``), when
 there is nothing to fan out, or when the platform lacks the ``fork`` start
-method; the serial fallback calls the same initializer + worker in-process,
-so both paths execute identical code.
+method; the serial fallback calls the same initializer + worker
+in-process, so both paths execute identical code (supervision — timeouts,
+retries — requires the pool; serially an exception surfaces directly, or
+becomes a ``failed_cells`` entry under :func:`run_cells_report`).
 
 Observability composes with the fan-out through files, not shared memory:
 each worker's traced run writes its own per-cell manifest under
@@ -30,21 +48,48 @@ those fragments into ``<out_dir>/<experiment>.manifest.json`` via
 :func:`~repro.obs.manifest.merge_manifests` (pass ``experiment=`` to
 :func:`run_cells` to opt in).  Because the merge sorts by cell label, the
 grid manifest is identical whether the cells ran serially or forked.
+Supervisor events (retries, failures, pool clamping) are counted into an
+optional :class:`~repro.obs.metrics.MetricsRegistry` (``registry=``).
 """
 
 from __future__ import annotations
 
 import glob
+import logging
 import multiprocessing
 import os
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.obs.config import Observability
 from repro.obs.manifest import RunManifest, merge_manifests
+from repro.obs.metrics import MetricsRegistry
 from repro.utils.rng import RandomSource
 
 #: Environment switch: set to ``"0"`` to force serial execution everywhere.
 PARALLEL_ENV_VAR = "REPRO_PARALLEL"
+
+#: Default retry budget: a crashed/hung cell is re-attempted this many
+#: times before it is reported as failed.
+DEFAULT_MAX_RETRIES = 2
+
+#: First retry backoff (wall seconds); doubles per subsequent attempt.
+DEFAULT_RETRY_BACKOFF_S = 0.25
+
+_LOG = logging.getLogger("repro.experiments.parallel")
 
 
 def parallel_enabled(parallel: Optional[bool] = None) -> bool:
@@ -94,7 +139,337 @@ def merge_cell_manifests(
     return merged.write(os.path.join(config.out_dir, f"{experiment}.manifest.json"))
 
 
-def run_cells(
+# ---------------------------------------------------------------------- results
+@dataclass
+class FailedCell:
+    """One cell the supervisor could not complete."""
+
+    index: int
+    cell: Any
+    attempts: int
+    reason: str  # "error" (deterministic exception) | "crash" | "timeout"
+    detail: str = ""
+
+
+class GridCellError(RuntimeError):
+    """Raised by :func:`run_cells` when cells remain failed after retries."""
+
+    def __init__(self, failed: List[FailedCell]):
+        self.failed = failed
+        lines = [
+            f"  cell[{f.index}] {f.reason} after {f.attempts} attempt(s): "
+            f"{f.detail.splitlines()[-1] if f.detail else ''}"
+            for f in failed
+        ]
+        super().__init__(
+            f"{len(failed)} grid cell(s) failed:\n" + "\n".join(lines)
+        )
+
+
+@dataclass
+class GridReport:
+    """Salvage-mode outcome of one grid: results plus explicit failures.
+
+    ``results[i]`` is ``None`` for every index listed in ``failed_cells``;
+    completed cells keep their results, so a single dead cell no longer
+    poisons a long sweep.
+    """
+
+    results: List[Any]
+    failed_cells: List[FailedCell] = field(default_factory=list)
+    retries_total: int = 0
+    n_workers: int = 1
+    used_pool: bool = False
+
+    def ok(self) -> bool:
+        return not self.failed_cells
+
+    def raise_if_failed(self) -> None:
+        if self.failed_cells:
+            raise GridCellError(self.failed_cells)
+
+
+def _describe_error(exc: BaseException) -> str:
+    return "".join(
+        traceback.format_exception_only(type(exc), exc)
+    ).strip()
+
+
+# ---------------------------------------------------------------------- worker side
+def _worker_loop(
+    conn: Any,
+    worker: Callable[[Any], Any],
+    init: Optional[Callable[..., None]],
+    init_args: Tuple[Any, ...],
+) -> None:
+    """Long-lived worker: recv ``(index, cell)``, send a tagged reply.
+
+    Runs in the forked child.  A clean exception from ``worker`` becomes
+    an ``("error", index, detail)`` reply; a crash (signal, interpreter
+    death) simply breaks the pipe, which the supervisor detects.
+    """
+    try:
+        if init is not None:
+            init(*init_args)
+    except BaseException as exc:  # noqa: BLE001 - forwarded to the parent
+        try:
+            conn.send(("init_error", -1, _describe_error(exc)))
+        except OSError:
+            pass
+        return
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message is None:
+            return
+        index, cell = message
+        try:
+            payload = ("ok", index, worker(cell))
+        except BaseException as exc:  # noqa: BLE001 - reported, not retried
+            payload = ("error", index, _describe_error(exc))
+        try:
+            conn.send(payload)
+        except (ValueError, OSError):
+            # Unpicklable result or closed pipe: die; the supervisor sees
+            # the broken pipe and handles it as a crash.
+            return
+
+
+# ---------------------------------------------------------------------- parent side
+@dataclass
+class _Task:
+    index: int
+    attempt: int = 1
+    ready_wall_s: float = 0.0  # monotonic timestamp when dispatchable
+
+
+class _Worker:
+    """One supervised child process plus its duplex pipe."""
+
+    def __init__(
+        self,
+        ctx: Any,
+        worker: Callable[[Any], Any],
+        init: Optional[Callable[..., None]],
+        init_args: Tuple[Any, ...],
+    ) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.conn = parent_conn
+        self.process = ctx.Process(
+            target=_worker_loop,
+            args=(child_conn, worker, init, init_args),
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self.task: Optional[_Task] = None
+        self.deadline_wall_s: Optional[float] = None
+
+    def kill(self) -> None:
+        try:
+            self.process.terminate()
+            grace_s = 0.5
+            self.process.join(grace_s)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(grace_s)
+        finally:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+
+    def shutdown(self) -> None:
+        """Polite stop: sentinel, short join, then force-kill stragglers."""
+        try:
+            self.conn.send(None)
+        except (ValueError, OSError):
+            pass
+        grace_s = 1.0
+        self.process.join(grace_s)
+        if self.process.is_alive():
+            self.kill()
+        else:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+
+
+def _now_wall_s() -> float:
+    # Wall time is pool orchestration metadata (timeouts, backoff); cell
+    # *results* never depend on it.
+    return time.monotonic()  # repro-lint: ignore[DET003]
+
+
+def _pop_ready(queue: "Deque[_Task]", now_wall_s: float) -> Optional[_Task]:
+    """First task whose backoff has elapsed (stable order otherwise)."""
+    for _ in range(len(queue)):
+        task = queue.popleft()
+        if task.ready_wall_s <= now_wall_s:
+            return task
+        queue.append(task)
+    return None
+
+
+def _supervise(
+    cells: List[Any],
+    worker: Callable[[Any], Any],
+    init: Optional[Callable[..., None]],
+    init_args: Tuple[Any, ...],
+    ctx: Any,
+    n_workers: int,
+    cell_timeout_s: Optional[float],
+    max_retries: int,
+    retry_backoff_s: float,
+    registry: Optional[MetricsRegistry],
+) -> Tuple[List[Any], List[FailedCell], int]:
+    """Run the grid on a supervised fork pool; see module docstring."""
+    n = len(cells)
+    results: List[Any] = [None] * n
+    done = [False] * n
+    failed: Dict[int, FailedCell] = {}
+    queue: Deque[_Task] = deque(_Task(index=i) for i in range(n))
+    retries_total = 0
+
+    def spawn() -> _Worker:
+        return _Worker(ctx, worker, init, init_args)
+
+    workers = [spawn() for _ in range(n_workers)]
+
+    def record_failure(entry: _Worker, reason: str, detail: str) -> None:
+        nonlocal retries_total
+        task = entry.task
+        entry.task = None
+        entry.deadline_wall_s = None
+        entry.kill()
+        workers[workers.index(entry)] = spawn()
+        if task is None:
+            return
+        if task.attempt <= max_retries:
+            retries_total += 1
+            if registry is not None:
+                registry.counter("worker_retries_total", reason=reason).inc()
+            backoff_s = retry_backoff_s * (2.0 ** (task.attempt - 1))
+            _LOG.info(
+                "cell %d %s (attempt %d); retrying in %.2f s",
+                task.index, reason, task.attempt, backoff_s,
+            )
+            queue.append(
+                _Task(
+                    index=task.index,
+                    attempt=task.attempt + 1,
+                    ready_wall_s=_now_wall_s() + backoff_s,
+                )
+            )
+        else:
+            if registry is not None:
+                registry.counter("worker_failures_total", reason=reason).inc()
+            _LOG.warning(
+                "cell %d %s; retries exhausted after %d attempt(s)",
+                task.index, reason, task.attempt,
+            )
+            failed[task.index] = FailedCell(
+                task.index, cells[task.index], task.attempt, reason, detail
+            )
+
+    try:
+        while (sum(done) + len(failed)) < n:
+            now_wall_s = _now_wall_s()
+            # Dispatch ready tasks onto idle workers.
+            for entry in workers:
+                if entry.task is not None:
+                    continue
+                task = _pop_ready(queue, now_wall_s)
+                if task is None:
+                    break
+                try:
+                    entry.conn.send((task.index, cells[task.index]))
+                except (ValueError, OSError):
+                    # Worker died while idle: requeue (no attempt burned,
+                    # the cell never started) and replace the worker.
+                    queue.appendleft(task)
+                    entry.kill()
+                    workers[workers.index(entry)] = spawn()
+                    continue
+                entry.task = task
+                entry.deadline_wall_s = (
+                    now_wall_s + cell_timeout_s
+                    if cell_timeout_s is not None
+                    else None
+                )
+
+            busy = [w for w in workers if w.task is not None]
+            if not busy:
+                if not queue:
+                    break  # everything done or failed
+                # All remaining tasks are backing off: sleep to the nearest.
+                wake_wall_s = min(t.ready_wall_s for t in queue)
+                pause_s = min(0.25, max(0.0, wake_wall_s - now_wall_s))
+                time.sleep(pause_s)
+                continue
+
+            wait_s = 0.25
+            deadlines_s = [
+                w.deadline_wall_s for w in busy if w.deadline_wall_s is not None
+            ]
+            if deadlines_s:
+                wait_s = min(wait_s, max(0.0, min(deadlines_s) - now_wall_s))
+            by_conn = {w.conn: w for w in busy}
+            ready = mp_connection.wait(list(by_conn), timeout=wait_s)
+
+            for conn in ready:
+                entry = by_conn[conn]
+                try:
+                    payload = entry.conn.recv()
+                except (EOFError, OSError):
+                    record_failure(entry, "crash", "worker process died")
+                    continue
+                tag, index, value = payload
+                if tag == "ok":
+                    results[index] = value
+                    done[index] = True
+                elif tag == "init_error":
+                    raise RuntimeError(
+                        f"worker initializer failed: {value}"
+                    )
+                else:  # "error": deterministic exception — do not retry.
+                    task = entry.task
+                    attempts = task.attempt if task is not None else 1
+                    if registry is not None:
+                        registry.counter(
+                            "worker_failures_total", reason="error"
+                        ).inc()
+                    failed[index] = FailedCell(
+                        index, cells[index], attempts, "error", str(value)
+                    )
+                entry.task = None
+                entry.deadline_wall_s = None
+
+            # Deadline sweep: kill and requeue hung cells.
+            now_wall_s = _now_wall_s()
+            for entry in list(workers):
+                if (
+                    entry.task is not None
+                    and entry.deadline_wall_s is not None
+                    and now_wall_s >= entry.deadline_wall_s
+                ):
+                    record_failure(
+                        entry,
+                        "timeout",
+                        f"cell exceeded cell_timeout_s={cell_timeout_s}",
+                    )
+    finally:
+        for entry in workers:
+            entry.shutdown()
+
+    return results, [failed[i] for i in sorted(failed)], retries_total
+
+
+# ---------------------------------------------------------------------- entry points
+def run_cells_report(
     cells: Sequence[Any],
     worker: Callable[[Any], Any],
     *,
@@ -104,28 +479,41 @@ def run_cells(
     parallel: Optional[bool] = None,
     experiment: Optional[str] = None,
     observability: Optional[Observability] = None,
-) -> List[Any]:
-    """Run ``worker(cell)`` for every cell; results in cell order.
+    cell_timeout_s: Optional[float] = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
+    registry: Optional[MetricsRegistry] = None,
+) -> GridReport:
+    """Run the grid with partial-result salvage; never raises for cells.
 
-    ``worker`` (and ``init``) must be module-level functions so they can be
-    pickled by the pool.  ``init(*init_args)`` runs once per worker process
-    (and once in-process on the serial path) — use it to stash shared
-    read-only state in a module-level variable.
+    Same contract as :func:`run_cells` (identical worker code on both
+    paths, results in cell order) but failures are *reported*, not
+    raised: the returned :class:`GridReport` carries completed results,
+    the ``failed_cells`` list, and the retry count.  Crashed or hung
+    cells (pool path) are retried up to ``max_retries`` times with
+    exponential backoff starting at ``retry_backoff_s``; cells that raise
+    ordinary exceptions are recorded without retry on both paths.
 
-    ``n_workers=None`` uses :func:`default_workers`; the pool never has
-    more workers than cells.  Falls back to serial when parallelism is
-    disabled, when there are fewer than two cells, or when the ``fork``
-    start method is unavailable.
-
-    When ``experiment`` is given and observability is enabled (explicitly
-    via ``observability=`` or through ``REPRO_TRACE``), the parent merges
-    the per-cell manifests the workers wrote under
-    ``<out_dir>/<experiment>/`` into ``<out_dir>/<experiment>.manifest.json``
-    after all cells complete (see :func:`merge_cell_manifests`).
+    ``cell_timeout_s`` (wall-clock, pool path only — a hung cell cannot
+    be interrupted in-process) bounds each attempt.  ``registry`` counts
+    supervisor events (``worker_retries_total``, ``worker_failures_total``,
+    ``worker_pool_clamped_total``).
     """
     cells = list(cells)
-    workers = default_workers() if n_workers is None else int(n_workers)
-    use_pool = parallel_enabled(parallel) and workers > 1 and len(cells) > 1
+    if not cells:
+        return GridReport(results=[])
+    requested = default_workers() if n_workers is None else int(n_workers)
+    effective = max(1, min(requested, len(cells)))
+    if effective < requested:
+        # Over-subscription clamp: spawning more forks than cells would
+        # only create idle workers that still pay fork + teardown.
+        _LOG.info(
+            "clamping worker pool: %d requested, %d cell(s) -> %d worker(s)",
+            requested, len(cells), effective,
+        )
+        if registry is not None:
+            registry.counter("worker_pool_clamped_total").inc()
+    use_pool = parallel_enabled(parallel) and effective > 1 and len(cells) > 1
     ctx = None
     if use_pool:
         try:
@@ -136,17 +524,116 @@ def run_cells(
     if not use_pool:
         if init is not None:
             init(*init_args)
-        results = [worker(cell) for cell in cells]
+        results: List[Any] = [None] * len(cells)
+        failed: List[FailedCell] = []
+        for index, cell in enumerate(cells):
+            try:
+                results[index] = worker(cell)
+            except Exception as exc:  # deterministic: no retry serially
+                if registry is not None:
+                    registry.counter(
+                        "worker_failures_total", reason="error"
+                    ).inc()
+                failed.append(
+                    FailedCell(index, cell, 1, "error", _describe_error(exc))
+                )
+        report = GridReport(
+            results=results, failed_cells=failed, n_workers=1, used_pool=False
+        )
     else:
-        with ctx.Pool(
-            processes=min(workers, len(cells)),
-            initializer=init,
-            initargs=init_args,
-        ) as pool:
-            # chunksize=1: cells are coarse (whole simulations), so dynamic
-            # dispatch beats pre-chunking when their durations differ.
-            results = pool.map(worker, cells, chunksize=1)
+        results, failed, retries_total = _supervise(
+            cells,
+            worker,
+            init,
+            init_args,
+            ctx,
+            effective,
+            cell_timeout_s,
+            max_retries,
+            retry_backoff_s,
+            registry,
+        )
+        report = GridReport(
+            results=results,
+            failed_cells=failed,
+            retries_total=retries_total,
+            n_workers=effective,
+            used_pool=True,
+        )
 
     if experiment is not None:
         merge_cell_manifests(experiment, observability)
-    return results
+    return report
+
+
+def run_cells(
+    cells: Sequence[Any],
+    worker: Callable[[Any], Any],
+    *,
+    init: Optional[Callable[..., None]] = None,
+    init_args: Tuple[Any, ...] = (),
+    n_workers: Optional[int] = None,
+    parallel: Optional[bool] = None,
+    experiment: Optional[str] = None,
+    observability: Optional[Observability] = None,
+    cell_timeout_s: Optional[float] = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
+    registry: Optional[MetricsRegistry] = None,
+) -> List[Any]:
+    """Run ``worker(cell)`` for every cell; results in cell order.
+
+    ``worker`` (and ``init``) must be module-level functions so the
+    forked children can resolve them.  ``init(*init_args)`` runs once per
+    worker process (and once in-process on the serial path) — use it to
+    stash shared read-only state in a module-level variable.
+
+    ``n_workers=None`` uses :func:`default_workers`; the pool is clamped
+    to the cell count (see ``worker_pool_clamped_total``).  Falls back to
+    serial when parallelism is disabled, when there are fewer than two
+    cells, or when the ``fork`` start method is unavailable.
+
+    On the pool path, crashed or hung workers (``cell_timeout_s``) are
+    respawned and their cells retried with bounded exponential backoff;
+    this call raises :class:`GridCellError` only when a cell stays failed
+    after ``max_retries`` retries (or raised a deterministic exception).
+    On the serial path a worker exception propagates unchanged.  Use
+    :func:`run_cells_report` to salvage partial results instead of
+    raising.
+
+    When ``experiment`` is given and observability is enabled (explicitly
+    via ``observability=`` or through ``REPRO_TRACE``), the parent merges
+    the per-cell manifests the workers wrote under
+    ``<out_dir>/<experiment>/`` into ``<out_dir>/<experiment>.manifest.json``
+    after all cells complete (see :func:`merge_cell_manifests`).
+    """
+    cells = list(cells)
+    requested = default_workers() if n_workers is None else int(n_workers)
+    effective = max(1, min(requested, len(cells) or 1))
+    use_pool = parallel_enabled(parallel) and effective > 1 and len(cells) > 1
+    if not use_pool:
+        # Preserve the exact legacy serial contract: exceptions propagate.
+        if effective < requested and registry is not None:
+            registry.counter("worker_pool_clamped_total").inc()
+        if init is not None:
+            init(*init_args)
+        results = [worker(cell) for cell in cells]
+        if experiment is not None:
+            merge_cell_manifests(experiment, observability)
+        return results
+    report = run_cells_report(
+        cells,
+        worker,
+        init=init,
+        init_args=init_args,
+        n_workers=n_workers,
+        parallel=parallel,
+        experiment=experiment,
+        observability=observability,
+        cell_timeout_s=cell_timeout_s,
+        max_retries=max_retries,
+        retry_backoff_s=retry_backoff_s,
+        registry=registry,
+    )
+    report.raise_if_failed()
+    return report.results

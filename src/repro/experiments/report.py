@@ -33,6 +33,7 @@ from repro.experiments.model_eval import ModelEvalConfig, run_model_eval
 from repro.experiments.motivation import MotivationConfig, run_motivation
 from repro.experiments.nas import NASConfig, run_nas
 from repro.experiments.overhead import OverheadConfig, run_overhead
+from repro.experiments.resilience import ResilienceConfig, run_resilience
 from repro.experiments.single_app import SingleAppConfig, run_single_app
 from repro.nn.training import TrainingConfig
 from repro.obs.metrics import MetricsRegistry
@@ -53,6 +54,7 @@ class ReportScale:
     model_eval: ModelEvalConfig
     overhead: OverheadConfig
     ablation: AblationConfig
+    resilience: ResilienceConfig
 
     @classmethod
     def smoke(cls) -> "ReportScale":
@@ -67,6 +69,7 @@ class ReportScale:
             model_eval=ModelEvalConfig.smoke(),
             overhead=OverheadConfig.smoke(),
             ablation=AblationConfig.smoke(),
+            resilience=ResilienceConfig.smoke(),
         )
 
     @classmethod
@@ -95,6 +98,7 @@ class ReportScale:
                 app_counts=(1, 2, 4, 6, 8), instruction_scale=0.03
             ),
             ablation=AblationConfig(n_train_scenarios=16, n_test_scenarios=6),
+            resilience=ResilienceConfig(),
         )
 
     @classmethod
@@ -110,6 +114,7 @@ class ReportScale:
             model_eval=ModelEvalConfig.paper(),
             overhead=OverheadConfig.paper(),
             ablation=AblationConfig.paper(),
+            resilience=ResilienceConfig.paper(),
         )
 
 
@@ -299,6 +304,16 @@ def generate_report(
                 AmbientConfig.smoke()
                 if scale.name == "smoke"
                 else AmbientConfig(),
+            ).report(),
+        ),
+        (
+            "Extension — fault-injection resilience",
+            "graceful degradation under sensor, NPU, and deadline faults: "
+            "temperature and QoS degrade smoothly with the fault rate while "
+            "the CPU-fallback, safe-mode, and DTM fail-safe paths absorb "
+            "the failures.",
+            lambda: run_resilience(
+                assets, scale.resilience, registry=registry
             ).report(),
         ),
         (

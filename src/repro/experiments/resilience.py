@@ -1,0 +1,258 @@
+"""Fault-rate resilience sweep (extension beyond the paper).
+
+The paper evaluates TOP-IL on healthy hardware.  This experiment asks how
+*gracefully* the manager degrades when the platform misbehaves: the same
+mixed workload runs under TOP-IL at increasing fault rates (sensor
+dropout / stuck-at / spike, NPU failure / timeout, controller-deadline
+overruns, all driven by one deterministic :class:`~repro.faults.FaultPlan`
+per cell), and the report shows the degradation curve — temperature, QoS
+violations, and migration count versus fault rate — alongside how often
+each graceful-degradation path fired (CPU inference fallback, DVFS-only
+safe mode, DTM fail-safe throttle, EMA hold-through).
+
+The rate-0 row doubles as a built-in control: it attaches the full fault
+layer with a zero plan, which must reproduce the fault-free baseline
+bit-for-bit (also asserted by the property tests).
+
+Cells fan out over the **supervised** pool
+(:func:`repro.experiments.parallel.run_cells_report`): a crashed or hung
+cell is retried with backoff, and whatever still fails lands in
+``failed_cells`` instead of poisoning the sweep — the resilience
+experiment is itself resilient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.assets import AssetStore
+from repro.experiments.parallel import FailedCell, run_cells_report
+from repro.faults import FaultPlan, FaultSpec
+from repro.il.technique import TopIL
+from repro.obs.metrics import MetricsRegistry
+from repro.platform import hikey970
+from repro.sim.kernel import SimulationTimeout
+from repro.thermal import FAN_COOLING
+from repro.utils.floatcmp import is_zero
+from repro.utils.tables import ascii_table
+from repro.workloads.generator import mixed_workload
+from repro.workloads.runner import run_workload
+
+#: Relative weights of the fault kinds inside one sweep plan: ``rate`` is
+#: the sensor-dropout / NPU-failure probability per opportunity; the other
+#: kinds scale from it so a single knob drives the whole sweep.
+_KIND_WEIGHTS: Tuple[Tuple[str, float], ...] = (
+    ("sensor_dropout", 1.0),
+    ("sensor_stuck", 0.25),
+    ("sensor_spike", 0.5),
+    ("npu_failure", 1.0),
+    ("npu_timeout", 0.5),
+    # Deadline overruns are over-weighted: safe mode requires *consecutive*
+    # misses, so a modest base rate would almost never reach it in a short
+    # sweep cell, leaving the safe-mode path untested.
+    ("deadline_overrun", 5.0),
+)
+
+
+def fault_plan_for_rate(rate: float, seed: int = 0) -> FaultPlan:
+    """The sweep's composite plan at one base ``rate`` (0 -> zero plan).
+
+    Every kind is present even at rate 0, so each injector stream draws
+    at the same opportunities across the whole sweep — rows differ only
+    in trigger probability, never in draw pattern.
+    """
+    specs = tuple(
+        FaultSpec(kind=kind, rate=min(1.0, rate * weight))
+        for kind, weight in _KIND_WEIGHTS
+    )
+    return FaultPlan(specs=specs, seed=seed)
+
+
+@dataclass
+class ResilienceConfig:
+    #: Base per-opportunity trigger rates, one sweep cell per entry.
+    fault_rates: Sequence[float] = (0.0, 0.02, 0.05, 0.1)
+    n_apps: int = 6
+    arrival_rate_per_s: float = 1.0 / 6.0
+    instruction_scale: float = 0.02
+    seed: int = 11
+    fault_seed: int = 1
+    #: Wall-clock bound per cell on the pool path (None = unbounded).
+    cell_timeout_s: Optional[float] = 600.0
+    max_retries: int = 2
+
+    @classmethod
+    def smoke(cls) -> "ResilienceConfig":
+        return cls(fault_rates=(0.0, 0.1))
+
+    @classmethod
+    def paper(cls) -> "ResilienceConfig":
+        return cls(
+            fault_rates=(0.0, 0.01, 0.02, 0.05, 0.1, 0.2),
+            n_apps=10,
+            instruction_scale=0.1,
+        )
+
+
+@dataclass(frozen=True)
+class ResilienceRow:
+    """Degradation-curve point: one run at one fault rate."""
+
+    rate: float
+    mean_temp_c: float
+    peak_temp_c: float
+    qos_violations: int
+    migrations: int
+    #: Flat fault-layer counter snapshot (see FaultRuntime.counters).
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    def paths_exercised(self) -> List[str]:
+        """Degradation paths that actually fired in this run."""
+        paths = []
+        if self.counters.get("cpu_fallback_invocations", 0.0) > 0:
+            paths.append("cpu_fallback")
+        if self.counters.get("safe_mode_time_s", 0.0) > 0:
+            paths.append("safe_mode")
+        if self.counters.get("event.dtm.failsafe", 0.0) > 0:
+            paths.append("dtm_failsafe")
+        if self.counters.get("event.qos_dvfs.hold", 0.0) > 0:
+            paths.append("dvfs_hold")
+        return paths
+
+
+@dataclass
+class ResilienceResult:
+    rows: List[ResilienceRow] = field(default_factory=list)
+    failed_cells: List[FailedCell] = field(default_factory=list)
+    retries_total: int = 0
+
+    def report(self) -> str:
+        table = ascii_table(
+            [
+                "fault rate", "avg temp", "peak temp", "violations",
+                "migrations", "cpu fallbacks", "safe mode", "held reads",
+            ],
+            [
+                (
+                    f"{row.rate:.2f}",
+                    f"{row.mean_temp_c:.1f} C",
+                    f"{row.peak_temp_c:.1f} C",
+                    row.qos_violations,
+                    row.migrations,
+                    int(row.counters.get("cpu_fallback_invocations", 0.0)),
+                    f"{row.counters.get('safe_mode_time_s', 0.0):.1f} s",
+                    int(row.counters.get("sensor.held_reads", 0.0)),
+                )
+                for row in self.rows
+            ],
+        )
+        lines = [table]
+        for row in self.rows:
+            paths = ", ".join(row.paths_exercised()) or "none"
+            lines.append(f"rate {row.rate:.2f}: degradation paths: {paths}")
+        if self.failed_cells:
+            for failure in self.failed_cells:
+                lines.append(
+                    f"FAILED cell[{failure.index}] rate={failure.cell}: "
+                    f"{failure.reason} after {failure.attempts} attempt(s)"
+                )
+        else:
+            lines.append(f"failed cells: none (retries: {self.retries_total})")
+        return "\n".join(lines)
+
+    def baseline_row(self) -> Optional[ResilienceRow]:
+        for row in self.rows:
+            if is_zero(row.rate):
+                return row
+        return None
+
+    def all_paths_exercised(self) -> bool:
+        """Whether the sweep hit every degradation path at least once."""
+        seen = set()
+        for row in self.rows:
+            seen.update(row.paths_exercised())
+        return {"cpu_fallback", "safe_mode", "dtm_failsafe"} <= seen
+
+
+# Shared read-only state for the resilience workers (pool initializer).
+_RESILIENCE_STATE: Dict[str, object] = {}
+
+
+def _init_resilience_worker(assets: AssetStore, config: ResilienceConfig) -> None:
+    _RESILIENCE_STATE["assets"] = assets
+    _RESILIENCE_STATE["config"] = config
+
+
+def _run_resilience_cell(rate: float) -> ResilienceRow:
+    """One fault-rate simulation -> degradation-curve row."""
+    assets: AssetStore = _RESILIENCE_STATE["assets"]  # type: ignore[assignment]
+    config: ResilienceConfig = _RESILIENCE_STATE["config"]  # type: ignore[assignment]
+    platform = hikey970()
+    workload = mixed_workload(
+        platform,
+        n_apps=config.n_apps,
+        arrival_rate_per_s=config.arrival_rate_per_s,
+        seed=config.seed,
+        instruction_scale=config.instruction_scale,
+    )
+    plan = fault_plan_for_rate(rate, seed=config.fault_seed)
+    try:
+        run = run_workload(
+            platform,
+            TopIL(assets.models()[0]),
+            workload,
+            cooling=FAN_COOLING,
+            seed=config.seed,
+            fault_plan=plan,
+        )
+    except SimulationTimeout as exc:
+        # A pathological fault rate can stall progress; surface the stuck
+        # cell explicitly instead of hanging the sweep (the supervisor
+        # reports it in failed_cells).
+        raise RuntimeError(
+            f"resilience cell rate={rate} timed out: {exc}"
+        ) from exc
+    sim = run.sim
+    assert sim.faults is not None
+    return ResilienceRow(
+        rate=rate,
+        mean_temp_c=run.summary.mean_temp_c,
+        peak_temp_c=run.summary.peak_temp_c,
+        qos_violations=run.summary.n_qos_violations,
+        migrations=run.summary.migrations,
+        counters=sim.faults.counters(sim.now_s),
+    )
+
+
+def run_resilience(
+    assets: AssetStore,
+    config: ResilienceConfig = ResilienceConfig(),
+    parallel: Optional[bool] = None,
+    n_workers: Optional[int] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> ResilienceResult:
+    """Sweep fault rates under TOP-IL; salvage whatever completes.
+
+    Each rate is one independent cell (same workload, same run seed, same
+    fault seed — only trigger probabilities differ), fanned out over the
+    supervised pool with per-cell timeout and bounded retries.  Failures
+    are reported in ``ResilienceResult.failed_cells``, never raised.
+    """
+    report = run_cells_report(
+        list(config.fault_rates),
+        _run_resilience_cell,
+        init=_init_resilience_worker,
+        init_args=(assets, config),
+        parallel=parallel,
+        n_workers=n_workers,
+        cell_timeout_s=config.cell_timeout_s,
+        max_retries=config.max_retries,
+        registry=registry,
+    )
+    rows = [row for row in report.results if row is not None]
+    return ResilienceResult(
+        rows=rows,
+        failed_cells=report.failed_cells,
+        retries_total=report.retries_total,
+    )

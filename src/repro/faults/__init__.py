@@ -1,0 +1,35 @@
+"""Deterministic fault injection and graceful degradation.
+
+See ``docs/resilience.md`` for the operator's guide: fault-plan schema
+(``--faults`` / ``REPRO_FAULTS``), the degradation state machines, and
+how the supervised experiment pool retries crashed cells.
+"""
+
+from repro.faults.degrade import (
+    BackoffState,
+    DegradationEvent,
+    DegradationManager,
+)
+from repro.faults.injectors import FaultInjector, FaultTolerantSensor
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FAULT_SEED_ENV,
+    FAULTS_ENV,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.faults.runtime import FaultRuntime
+
+__all__ = [
+    "BackoffState",
+    "DegradationEvent",
+    "DegradationManager",
+    "FAULT_KINDS",
+    "FAULT_SEED_ENV",
+    "FAULTS_ENV",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultRuntime",
+    "FaultTolerantSensor",
+]

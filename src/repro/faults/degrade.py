@@ -1,0 +1,176 @@
+"""Graceful-degradation state machines (self-healing, in simulated time).
+
+Two independent paths, both owned by :class:`DegradationManager`:
+
+* **NPU path** — ``npu`` ⇄ ``cpu_fallback``.  On an inference failure or
+  timeout the manager drops to CPU inference and arms an exponential
+  backoff before *re-probing* the NPU; each consecutive failure doubles
+  the backoff (capped), the first success resets it.  The policy keeps
+  producing migration decisions throughout — only their cost changes.
+* **Safe-mode path** — ``normal`` ⇄ ``safe_mode``.  After
+  ``deadline_miss_threshold`` consecutive controller-deadline misses the
+  manager disables migration entirely (DVFS-only operation) for an
+  exponentially growing hold, then re-enables and observes again.
+
+All clocks are **simulated** seconds, so the state machines are exactly
+as deterministic as the fault plan driving them.  Every transition is
+recorded as a :class:`DegradationEvent` for the tracer and counted per
+``(path, state)`` for the metrics registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One state-machine transition, for the trace and diagnostics."""
+
+    now_s: float
+    path: str  # "npu" | "safe_mode"
+    state: str  # entered state, e.g. "cpu_fallback", "normal"
+    detail: str = ""
+
+
+class BackoffState:
+    """Exponential backoff in simulated time: double per failure, capped."""
+
+    def __init__(self, initial_s: float, max_s: float) -> None:
+        check_positive("initial_s", initial_s)
+        check_positive("max_s", max_s)
+        self.initial_s = initial_s
+        self.max_s = max_s
+        self._current_s = initial_s
+
+    def next_hold_s(self) -> float:
+        """Consume one hold interval; the next one is twice as long."""
+        hold = self._current_s
+        self._current_s = min(self.max_s, self._current_s * 2.0)
+        return hold
+
+    def reset(self) -> None:
+        self._current_s = self.initial_s
+
+    @property
+    def current_s(self) -> float:
+        return self._current_s
+
+
+@dataclass
+class DegradationManager:
+    """Tracks NPU availability and safe-mode state for one run."""
+
+    npu_backoff_initial_s: float = 1.0
+    npu_backoff_max_s: float = 30.0
+    deadline_miss_threshold: int = 3
+    safe_mode_hold_initial_s: float = 2.0
+    safe_mode_hold_max_s: float = 60.0
+
+    events: List[DegradationEvent] = field(default_factory=list)
+    transition_counts: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    cpu_fallback_invocations: int = 0
+
+    def __post_init__(self) -> None:
+        if self.deadline_miss_threshold < 1:
+            raise ValueError("deadline_miss_threshold must be >= 1")
+        self._npu_ok = True
+        self._npu_reprobe_at_s = 0.0
+        self._npu_backoff = BackoffState(
+            self.npu_backoff_initial_s, self.npu_backoff_max_s
+        )
+        self._consecutive_misses = 0
+        self._safe_mode = False
+        self._safe_mode_until_s = 0.0
+        self._safe_mode_entered_s = 0.0
+        self._safe_mode_accum_s = 0.0
+        self._safe_backoff = BackoffState(
+            self.safe_mode_hold_initial_s, self.safe_mode_hold_max_s
+        )
+
+    def _transition(self, now_s: float, path: str, state: str, detail: str = "") -> None:
+        self.events.append(DegradationEvent(now_s, path, state, detail))
+        key = (path, state)
+        self.transition_counts[key] = self.transition_counts.get(key, 0) + 1
+
+    # ------------------------------------------------------------------ NPU path
+    def npu_mode(self, now_s: float) -> str:
+        """``"npu"`` when the NPU should be used (or re-probed), else
+        ``"cpu"`` while the fallback backoff still holds."""
+        if self._npu_ok or now_s >= self._npu_reprobe_at_s:
+            return "npu"
+        return "cpu"
+
+    def record_npu_failure(self, now_s: float, kind: str = "npu_failure") -> None:
+        """An NPU call failed/timed out: (re)enter CPU fallback."""
+        hold_s = self._npu_backoff.next_hold_s()
+        self._npu_reprobe_at_s = now_s + hold_s
+        if self._npu_ok:
+            self._npu_ok = False
+            self._transition(now_s, "npu", "cpu_fallback", kind)
+        else:
+            # Failed re-probe: stay degraded, but record the longer hold.
+            self._transition(now_s, "npu", "reprobe_failed", kind)
+
+    def record_npu_success(self, now_s: float) -> None:
+        """An NPU call (first or re-probe) succeeded: self-heal."""
+        if not self._npu_ok:
+            self._npu_ok = True
+            self._npu_backoff.reset()
+            self._transition(now_s, "npu", "recovered")
+
+    @property
+    def npu_available(self) -> bool:
+        return self._npu_ok
+
+    # ------------------------------------------------------------------ safe mode
+    def record_deadline_miss(self, now_s: float) -> None:
+        """A controller invocation overran its deadline."""
+        self._consecutive_misses += 1
+        if (
+            not self._safe_mode
+            and self._consecutive_misses >= self.deadline_miss_threshold
+        ):
+            self._safe_mode = True
+            self._safe_mode_entered_s = now_s
+            self._safe_mode_until_s = now_s + self._safe_backoff.next_hold_s()
+            self._consecutive_misses = 0
+            self._transition(
+                now_s, "safe_mode", "entered",
+                f"{self.deadline_miss_threshold} consecutive misses",
+            )
+
+    def record_deadline_ok(self, now_s: float) -> None:
+        """A controller invocation met its deadline."""
+        self._consecutive_misses = 0
+
+    def in_safe_mode(self, now_s: float) -> bool:
+        """Whether migration must stay disabled (DVFS-only operation).
+
+        Self-healing: when the exponential hold expires the manager exits
+        safe mode, accumulates the time spent there, and resumes normal
+        operation — a renewed miss streak re-enters with a longer hold.
+        """
+        if self._safe_mode and now_s >= self._safe_mode_until_s:
+            self._safe_mode = False
+            self._safe_mode_accum_s += now_s - self._safe_mode_entered_s
+            self._transition(now_s, "safe_mode", "exited")
+        return self._safe_mode
+
+    def safe_mode_time_s(self, now_s: float) -> float:
+        """Total simulated time spent in safe mode (including ongoing)."""
+        total = self._safe_mode_accum_s
+        if self._safe_mode:
+            total += max(0.0, now_s - self._safe_mode_entered_s)
+        return total
+
+    # ------------------------------------------------------------------ reporting
+    def transitions_total(self) -> int:
+        return sum(self.transition_counts.values())
+
+    def paths_exercised(self) -> List[str]:
+        """Distinct degradation paths that transitioned at least once."""
+        return sorted({path for path, _ in self.transition_counts})

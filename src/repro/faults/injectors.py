@@ -1,0 +1,210 @@
+"""Deterministic fault injectors and the fault-tolerant sensor.
+
+The :class:`FaultInjector` owns the *only* randomness in the fault layer:
+one child stream of ``RandomSource(plan.seed)`` **per fault kind**
+(``faults/<kind>``), so
+
+* the simulation's own streams (sensor noise, workload generation) are
+  never consumed by fault decisions — a zero-fault plan is bit-identical
+  to a run with no fault layer at all, and
+* changing the rate of one kind never perturbs the trigger pattern of
+  another (each kind draws from its private stream at its own
+  opportunities).
+
+:class:`FaultTolerantSensor` extends the thermal sensor with the sensor-
+side fault model (dropout / stuck-at / spike) *and* the first graceful-
+degradation path: through a dropout it serves the last-valid EMA-smoothed
+reading instead of garbage, and while stuck it self-reports ill health
+(``stuck_active``) so the DTM can escalate to its fail-safe throttle
+instead of trusting a frozen register.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.thermal.rc import RCThermalNetwork
+from repro.thermal.sensor import TemperatureSensor
+from repro.utils.ema import ExponentialMovingAverage
+from repro.utils.rng import RandomSource
+
+
+class FaultInjector:
+    """Seed-driven trigger decisions, one private RNG stream per kind."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        base = RandomSource(plan.seed)
+        self._streams: Dict[str, RandomSource] = {
+            spec.kind: base.child(f"faults/{spec.kind}")
+            for spec in plan.specs
+        }
+        #: Trigger events per kind (an ongoing stuck window counts once).
+        self.injected_counts: Dict[str, int] = {}
+
+    def _roll(self, spec: FaultSpec, now_s: float) -> bool:
+        """One trigger decision for ``spec``; draws from its own stream.
+
+        The draw happens whenever the window is open — even at rate 0 —
+        so a rate change never shifts *later* decisions of the same kind.
+        """
+        if not spec.active_at(now_s):
+            return False
+        hit = float(self._streams[spec.kind].uniform()) < spec.rate
+        if hit:
+            self.injected_counts[spec.kind] = (
+                self.injected_counts.get(spec.kind, 0) + 1
+            )
+        return hit
+
+    def _first_triggered(
+        self, specs: Tuple[FaultSpec, ...], now_s: float
+    ) -> Optional[FaultSpec]:
+        """Roll every spec (stable draw pattern), return the first hit."""
+        triggered: Optional[FaultSpec] = None
+        for spec in specs:
+            if self._roll(spec, now_s) and triggered is None:
+                triggered = spec
+        return triggered
+
+    # ------------------------------------------------------------------ decisions
+    def sensor_fault(self, now_s: float) -> Optional[FaultSpec]:
+        """Decide at one fresh sensor sample; at most one fault applies."""
+        return self._first_triggered(self.plan.sensor_specs(), now_s)
+
+    def npu_fault(self, now_s: float) -> Optional[FaultSpec]:
+        """Decide at one NPU inference call (failure beats timeout)."""
+        return self._first_triggered(self.plan.npu_specs(), now_s)
+
+    def deadline_overrun(self, now_s: float) -> bool:
+        """Decide at one controller invocation: injected stall?"""
+        return self._first_triggered(self.plan.deadline_specs(), now_s) is not None
+
+    def total_injected(self) -> int:
+        return sum(self.injected_counts.values())
+
+
+class FaultTolerantSensor(TemperatureSensor):
+    """Thermal sensor with injectable faults and EMA hold-through.
+
+    Behaviour per fresh 20 Hz sample (the injector decides once per
+    sample, never on held reads):
+
+    * **healthy** — measure exactly as the base class (same noise draw),
+      and fold the reading into the EMA;
+    * **dropout** — the reading is lost; serve the last-valid EMA value
+      for ``duration_s`` and count the held reads.  Downstream consumers
+      (QoS-DVFS, DTM) see a sane stale value instead of garbage;
+    * **stuck** — the previously reported value freezes for
+      ``duration_s``; :meth:`stuck_active` reports ill health so the DTM
+      escalates to its fail-safe throttle rather than trusting the frozen
+      register (a blind "same value twice" detector would false-trigger
+      at quantized steady state);
+    * **spike** — a fresh measurement plus ``magnitude_c`` (an EMI/driver
+      glitch): visible to the DTM, excluded from the EMA so one glitch
+      does not poison the hold-through value.
+
+    With an empty plan no injector stream is ever consulted with a spec,
+    and the read path reduces to the base class — bit-identical readings.
+    """
+
+    def __init__(
+        self,
+        network: RCThermalNetwork,
+        injector: FaultInjector,
+        nodes: Optional[List[str]] = None,
+        sample_period_s: float = 0.05,
+        quantization_c: float = 0.1,
+        noise_std_c: float = 0.0,
+        rng: Optional[RandomSource] = None,
+        ema_alpha: float = 0.3,
+    ) -> None:
+        super().__init__(
+            network,
+            nodes=nodes,
+            sample_period_s=sample_period_s,
+            quantization_c=quantization_c,
+            noise_std_c=noise_std_c,
+            rng=rng,
+        )
+        self.injector = injector
+        self._ema = ExponentialMovingAverage(ema_alpha)
+        self._dropout_until_s = float("-inf")
+        self._stuck_until_s = float("-inf")
+        self._stuck_value: Optional[float] = None
+        #: Reads served from the EMA hold instead of a live measurement.
+        self.held_reads = 0
+        #: Trigger events seen, by kind (sensor kinds only).
+        self.fault_events: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ health
+    def stuck_active(self, now_s: float) -> bool:
+        """Self-reported health: a stuck-at fault currently holds."""
+        return now_s < self._stuck_until_s
+
+    def dropout_active(self, now_s: float) -> bool:
+        """Self-reported health: a dropout window currently holds."""
+        return now_s < self._dropout_until_s
+
+    def healthy(self, now_s: float) -> bool:
+        return not (self.stuck_active(now_s) or self.dropout_active(now_s))
+
+    # ------------------------------------------------------------------ reading
+    def _held_value(self) -> float:
+        """Best stale value available: EMA, then last sample, then ambient."""
+        if self._ema.value is not None:
+            return float(self._ema.value)
+        if self._last_value is not None:
+            return float(self._last_value)
+        return float(self.network.ambient_temp_c)
+
+    def read(self, now_s: float) -> float:
+        if not self._due(now_s):
+            return float(self._last_value)
+        if self.stuck_active(now_s):
+            # Frozen register: re-report the stuck value, no measurement.
+            stuck = self._stuck_value
+            self._record(
+                now_s, stuck if stuck is not None else self._held_value()
+            )
+            return float(self._last_value)
+        if self.dropout_active(now_s):
+            self.held_reads += 1
+            self._record(now_s, self._held_value())
+            return float(self._last_value)
+        spec = self.injector.sensor_fault(now_s)
+        if spec is None:
+            value = self._measure()
+            self._ema.update(value)
+            self._record(now_s, value)
+            return float(self._last_value)
+        self.fault_events[spec.kind] = self.fault_events.get(spec.kind, 0) + 1
+        if spec.kind == "sensor_dropout":
+            self._dropout_until_s = now_s + spec.hold_duration_s()
+            self.held_reads += 1
+            self._record(now_s, self._held_value())
+        elif spec.kind == "sensor_stuck":
+            stuck = (
+                float(self._last_value)
+                if self._last_value is not None
+                else self._measure()
+            )
+            self._stuck_value = stuck
+            self._stuck_until_s = now_s + spec.hold_duration_s()
+            self._record(now_s, stuck)
+        else:  # sensor_spike
+            value = self._measure() + spec.magnitude_c
+            # Deliberately not folded into the EMA: a one-sample glitch
+            # must not poison the dropout hold-through value.
+            self._record(now_s, value)
+        return float(self._last_value)
+
+    def reset(self) -> None:
+        super().reset()
+        self._ema.reset()
+        self._dropout_until_s = float("-inf")
+        self._stuck_until_s = float("-inf")
+        self._stuck_value = None
+        self.held_reads = 0
+        self.fault_events = {}

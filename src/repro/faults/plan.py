@@ -1,0 +1,175 @@
+"""Fault plans: *what* can fail, how often, and in which time window.
+
+A :class:`FaultPlan` is a frozen, fully declarative description of the
+faults one run may experience — it carries **no state**, so the same plan
+object can parameterize any number of runs.  Randomness lives entirely in
+:class:`~repro.faults.injectors.FaultInjector`, which derives its streams
+from ``plan.seed`` — never from the simulator's RNG — so a zero-fault
+plan leaves every simulation stream untouched and the run is bit-identical
+to one with no fault layer at all.
+
+Plans have a compact textual form for the CLI (``--faults``)::
+
+    sensor_dropout:0.05,npu_failure:0.02
+
+i.e. comma-separated ``kind:rate`` pairs, where ``rate`` is the per-
+opportunity trigger probability (per fresh 20 Hz sensor sample for sensor
+faults, per inference call for NPU faults, per controller invocation for
+deadline overruns).  The same string travels to forked experiment workers
+through the ``REPRO_FAULTS`` / ``REPRO_FAULT_SEED`` environment variables,
+mirroring how ``--trace`` rides on ``REPRO_TRACE``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from repro.utils.floatcmp import is_zero
+
+#: Environment carriers for fork-pool workers (see repro.cli).
+FAULTS_ENV = "REPRO_FAULTS"
+FAULT_SEED_ENV = "REPRO_FAULT_SEED"
+
+#: Every fault kind the injector understands, with the opportunity each
+#: rate is measured against.
+FAULT_KINDS: Tuple[str, ...] = (
+    "sensor_dropout",  # per fresh sensor sample: reading lost, hold EMA
+    "sensor_stuck",  # per fresh sensor sample: value freezes for duration_s
+    "sensor_spike",  # per fresh sensor sample: +magnitude_c transient
+    "npu_failure",  # per inference call: NPU call errors out immediately
+    "npu_timeout",  # per inference call: NPU call hangs until the budget
+    "deadline_overrun",  # per controller invocation: injected stall
+)
+
+_SENSOR_KINDS = ("sensor_dropout", "sensor_stuck", "sensor_spike")
+_NPU_KINDS = ("npu_failure", "npu_timeout")
+
+#: Default stuck-at window and spike amplitude (overridable per spec).
+DEFAULT_STUCK_DURATION_S = 1.0
+DEFAULT_DROPOUT_DURATION_S = 0.05
+DEFAULT_SPIKE_MAGNITUDE_C = 25.0
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault family: kind, trigger rate, optional window and shape.
+
+    ``rate`` is the probability of triggering at each opportunity.
+    ``start_s``/``end_s`` bound the injection window in simulated time
+    (``end_s=None`` means "until the end of the run").  ``duration_s``
+    is how long a triggered stuck/dropout fault persists; ``magnitude_c``
+    the amplitude of a spike.
+    """
+
+    kind: str
+    rate: float
+    start_s: float = 0.0
+    end_s: Optional[float] = None
+    duration_s: Optional[float] = None
+    magnitude_c: float = DEFAULT_SPIKE_MAGNITUDE_C
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.start_s < 0.0:
+            raise ValueError("start_s must be >= 0")
+        if self.end_s is not None and self.end_s <= self.start_s:
+            raise ValueError("end_s must be > start_s")
+        if self.duration_s is not None and self.duration_s <= 0.0:
+            raise ValueError("duration_s must be > 0")
+
+    def active_at(self, now_s: float) -> bool:
+        """Whether the injection window covers simulated time ``now_s``."""
+        if now_s < self.start_s:
+            return False
+        return self.end_s is None or now_s < self.end_s
+
+    def hold_duration_s(self) -> float:
+        """How long a triggered fault persists (kind-specific default)."""
+        if self.duration_s is not None:
+            return self.duration_s
+        if self.kind == "sensor_stuck":
+            return DEFAULT_STUCK_DURATION_S
+        return DEFAULT_DROPOUT_DURATION_S
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable set of :class:`FaultSpec` plus the injector seed."""
+
+    specs: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def is_zero(self) -> bool:
+        """True when the plan can never trigger anything."""
+        return all(is_zero(spec.rate) for spec in self.specs)
+
+    def sensor_specs(self) -> Tuple[FaultSpec, ...]:
+        return tuple(s for s in self.specs if s.kind in _SENSOR_KINDS)
+
+    def npu_specs(self) -> Tuple[FaultSpec, ...]:
+        return tuple(s for s in self.specs if s.kind in _NPU_KINDS)
+
+    def deadline_specs(self) -> Tuple[FaultSpec, ...]:
+        return tuple(s for s in self.specs if s.kind == "deadline_overrun")
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        return replace(self, seed=seed)
+
+    def describe(self) -> str:
+        """The compact ``kind:rate,...`` form (round-trips via parse)."""
+        return ",".join(f"{s.kind}:{s.rate:g}" for s in self.specs)
+
+    @classmethod
+    def parse(cls, text: str, seed: int = 0) -> "FaultPlan":
+        """Parse the CLI form ``kind:rate[,kind:rate...]``.
+
+        An empty / whitespace-only string yields an empty (zero-fault)
+        plan, which still installs the fault layer — useful for the
+        bit-identity test and for baseline rows of a resilience sweep.
+        """
+        specs = []
+        for token in text.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            if ":" not in token:
+                raise ValueError(
+                    f"bad fault token {token!r}; expected kind:rate"
+                )
+            kind, rate_text = token.split(":", 1)
+            try:
+                rate = float(rate_text)
+            except ValueError as exc:
+                raise ValueError(
+                    f"bad fault rate in {token!r}: {rate_text!r}"
+                ) from exc
+            specs.append(FaultSpec(kind=kind.strip(), rate=rate))
+        return cls(specs=tuple(specs), seed=seed)
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultPlan"]:
+        """Read ``REPRO_FAULTS`` / ``REPRO_FAULT_SEED``; None when unset.
+
+        This is the fork-safe carrier: the CLI writes the env vars once in
+        the parent and every forked experiment worker inherits them, so
+        each cell's simulator sees the same plan without extra plumbing.
+        """
+        text = os.environ.get(FAULTS_ENV)
+        if text is None:
+            return None
+        seed = int(os.environ.get(FAULT_SEED_ENV, "0"))
+        return cls.parse(text, seed=seed)
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        """Number of specs per kind (diagnostics / manifest metadata)."""
+        out: Dict[str, int] = {}
+        for spec in self.specs:
+            out[spec.kind] = out.get(spec.kind, 0) + 1
+        return out

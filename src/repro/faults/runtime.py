@@ -1,0 +1,82 @@
+"""The per-run fault runtime: plan + injector + degradation + sensor.
+
+One :class:`FaultRuntime` is attached to a :class:`~repro.sim.kernel.Simulator`
+as ``sim.faults`` when the run carries a fault plan (even a zero-fault
+one).  Techniques and controllers consult it through small, read-mostly
+methods so none of them needs constructor plumbing:
+
+* the QoS-DVFS loop asks :meth:`sensor_dropout_active` to decide whether
+  to hold its last-valid actuation,
+* the TOP-IL migration policy asks :attr:`degradation` for NPU
+  availability and safe-mode state,
+* the DTM asks :meth:`sensor_stuck_active` to escalate to its fail-safe
+  throttle,
+* the observer reads :meth:`counters` once at finalize to publish the
+  fault/recovery metrics (zero hot-path cost).
+
+``sim.faults is None`` (the default) means "no fault layer": every
+consultation site guards on that, the same single ``is None`` test
+discipline the observability layer uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.faults.degrade import DegradationManager
+from repro.faults.injectors import FaultInjector, FaultTolerantSensor
+from repro.faults.plan import FaultPlan
+
+
+class FaultRuntime:
+    """Mutable per-run fault state, coordinated behind one handle."""
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        degradation: Optional[DegradationManager] = None,
+    ) -> None:
+        self.plan = plan
+        self.injector = FaultInjector(plan)
+        self.degradation = degradation or DegradationManager()
+        self.sensor: Optional[FaultTolerantSensor] = None
+        #: Free-form event counters from consultation sites
+        #: (``qos_dvfs.hold``, ``dtm.failsafe``, ``npu.cpu_fallback``...).
+        self.event_counts: Dict[str, int] = {}
+
+    @classmethod
+    def from_plan(cls, plan: FaultPlan) -> "FaultRuntime":
+        return cls(plan)
+
+    def attach_sensor(self, sensor: FaultTolerantSensor) -> None:
+        """Called by the kernel after building the fault-tolerant sensor."""
+        self.sensor = sensor
+
+    # ------------------------------------------------------------------ health
+    def sensor_dropout_active(self, now_s: float) -> bool:
+        return self.sensor is not None and self.sensor.dropout_active(now_s)
+
+    def sensor_stuck_active(self, now_s: float) -> bool:
+        return self.sensor is not None and self.sensor.stuck_active(now_s)
+
+    # ------------------------------------------------------------------ counters
+    def count(self, name: str, n: int = 1) -> None:
+        """Count one named degradation event (cheap dict bump)."""
+        self.event_counts[name] = self.event_counts.get(name, 0) + n
+
+    def counters(self, now_s: float) -> Dict[str, float]:
+        """One flat snapshot for metrics publication / summaries."""
+        out: Dict[str, float] = {}
+        for kind, count in self.injector.injected_counts.items():
+            out[f"injected.{kind}"] = float(count)
+        if self.sensor is not None:
+            out["sensor.held_reads"] = float(self.sensor.held_reads)
+        for (path, state), count in self.degradation.transition_counts.items():
+            out[f"transition.{path}.{state}"] = float(count)
+        out["safe_mode_time_s"] = self.degradation.safe_mode_time_s(now_s)
+        out["cpu_fallback_invocations"] = float(
+            self.degradation.cpu_fallback_invocations
+        )
+        for name, count in self.event_counts.items():
+            out[f"event.{name}"] = float(count)
+        return out

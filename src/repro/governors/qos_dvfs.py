@@ -55,6 +55,7 @@ class QoSDVFSControlLoop:
         self._skips_remaining = 0
         self.invocations = 0
         self.skipped = 0
+        self.dropout_holds = 0
 
     def notify_migration(self) -> None:
         """Called by the migration policy when it executes a migration."""
@@ -84,6 +85,17 @@ class QoSDVFSControlLoop:
             # migrations (docs/observability.md).
             if sim.obs is not None:
                 sim.obs.on_dvfs_skip(sim)
+            return
+        if sim.faults is not None and sim.faults.sensor_dropout_active(
+            sim.now_s
+        ):
+            # Graceful degradation: during a sensor dropout the loop's
+            # thermal context is stale (the sensor serves its last-valid
+            # EMA reading), so hold the previous VF decision instead of
+            # re-actuating on the held value — exactly what the board's
+            # manager does when a hwmon read fails.
+            self.dropout_holds += 1
+            sim.faults.count("qos_dvfs.hold")
             return
         for cluster in sim.platform.clusters:
             procs = [

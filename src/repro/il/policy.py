@@ -55,6 +55,11 @@ class TopILMigrationPolicy:
         self._extractor: Optional[FeatureExtractor] = None
         self.invocations = 0
         self.migrations_executed = 0
+        # Controller deadline: the migration epoch must complete within
+        # one DVFS period, or it delays the next actuation.  Repeated
+        # misses drive the safe-mode degradation path (faults layer).
+        self.deadline_s = 0.05
+        self.safe_mode_skips = 0
 
     # ------------------------------------------------------------------ inference
     def rate_mappings(
@@ -88,14 +93,79 @@ class TopILMigrationPolicy:
                     best = (process.pid, core, improvement)
         return best
 
+    # ------------------------------------------------------------------ faults
+    def _degraded_invocation_s(self, sim: Simulator, n_apps: int) -> float:
+        """Invocation cost under the fault layer (NPU may be down).
+
+        Rolls the NPU fault dice when the NPU is in use (or due a
+        re-probe), charges the CPU-fallback inference cost while
+        degraded, adds any injected deadline stall, and feeds the
+        deadline-miss state machine.  Called only when ``sim.faults``
+        is attached.
+        """
+        faults = sim.faults
+        assert faults is not None
+        deg = faults.degradation
+        now_s = sim.now_s
+        if n_apps == 0:
+            # No inference call happens, so no NPU fault opportunity.
+            cost_s = self.overhead_model.migration_invocation_s(0, self.model)
+        elif deg.npu_mode(now_s) == "npu":
+            fault = faults.injector.npu_fault(now_s)
+            if fault is None:
+                deg.record_npu_success(now_s)
+                cost_s = self.overhead_model.migration_invocation_s(
+                    n_apps, self.model
+                )
+            else:
+                # The failed/hung call's time is wasted, then the epoch
+                # completes on the CPU fallback path.
+                deg.record_npu_failure(now_s, fault.kind)
+                npu = self.overhead_model.inference
+                wasted_s = (
+                    npu.timed_out_call_s()
+                    if fault.kind == "npu_timeout"
+                    else npu.failed_call_s()
+                )
+                deg.cpu_fallback_invocations += 1
+                faults.count("npu.cpu_fallback")
+                cost_s = wasted_s + self.overhead_model.migration_invocation_cpu_s(
+                    n_apps, self.model
+                )
+        else:
+            deg.cpu_fallback_invocations += 1
+            faults.count("npu.cpu_fallback")
+            cost_s = self.overhead_model.migration_invocation_cpu_s(
+                n_apps, self.model
+            )
+        if faults.injector.deadline_overrun(now_s):
+            cost_s += self.deadline_s
+        if cost_s > self.deadline_s:
+            deg.record_deadline_miss(now_s)
+        else:
+            deg.record_deadline_ok(now_s)
+        return cost_s
+
     # ------------------------------------------------------------------ epoch
     def __call__(self, sim: Simulator) -> None:
         self.invocations += 1
         processes = sim.running_processes()
-        sim.account_overhead(
-            "migration",
-            self.overhead_model.migration_invocation_s(len(processes), self.model),
-        )
+        if sim.faults is None:
+            sim.account_overhead(
+                "migration",
+                self.overhead_model.migration_invocation_s(
+                    len(processes), self.model
+                ),
+            )
+        else:
+            sim.account_overhead(
+                "migration", self._degraded_invocation_s(sim, len(processes))
+            )
+            if sim.faults.degradation.in_safe_mode(sim.now_s):
+                # DVFS-only safe mode: no inference, no migration, until
+                # the exponential hold expires (self-healing).
+                self.safe_mode_skips += 1
+                return
         if not processes:
             return
         ratings = self.rate_mappings(sim, processes)

@@ -41,13 +41,16 @@ class NPUInferenceLatency:
         setup_s: float = 1.7e-3,
         per_wave_s: float = 0.3e-3,
         wave_size: int = 16,
+        timeout_budget_s: float = 25e-3,
     ):
         check_non_negative("setup_s", setup_s)
         check_non_negative("per_wave_s", per_wave_s)
         check_positive("wave_size", wave_size)
+        check_positive("timeout_budget_s", timeout_budget_s)
         self.setup_s = setup_s
         self.per_wave_s = per_wave_s
         self.wave_size = wave_size
+        self.timeout_budget_s = timeout_budget_s
 
     def latency_s(self, batch_size: int, model: Sequential) -> float:
         """Latency of one batched inference call."""
@@ -55,6 +58,16 @@ class NPUInferenceLatency:
             return 0.0
         waves = -(-batch_size // self.wave_size)  # ceil division
         return self.setup_s + waves * self.per_wave_s
+
+    def failed_call_s(self) -> float:
+        """Wasted time of a call the driver rejects immediately: the
+        round trip happens, the compute does not."""
+        return self.setup_s
+
+    def timed_out_call_s(self) -> float:
+        """Wasted time of a hung call: the manager waits out the full
+        watchdog budget before declaring the NPU unavailable."""
+        return self.timeout_budget_s
 
 
 class CPUInferenceLatency:

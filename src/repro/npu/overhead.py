@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.nn.layers import Sequential
-from repro.npu.latency import NPUInferenceLatency
+from repro.npu.latency import CPUInferenceLatency, NPUInferenceLatency
 from repro.utils.validation import check_non_negative
 
 
@@ -30,6 +30,7 @@ class ManagementOverheadModel:
         migration_base_s: float = 1.4e-3,
         migration_per_app_s: float = 0.15e-3,
         inference: Optional[object] = None,
+        cpu_inference: Optional[object] = None,
     ):
         check_non_negative("dvfs_base_s", dvfs_base_s)
         check_non_negative("dvfs_per_app_s", dvfs_per_app_s)
@@ -40,6 +41,9 @@ class ManagementOverheadModel:
         self.migration_base_s = migration_base_s
         self.migration_per_app_s = migration_per_app_s
         self.inference = inference or NPUInferenceLatency()
+        # Fallback surface for the degradation path: same model, run on
+        # the manager's CPU core when the NPU is unavailable.
+        self.cpu_inference = cpu_inference or CPUInferenceLatency()
 
     def dvfs_invocation_s(self, n_apps: int) -> float:
         """Cost of one DVFS-loop invocation with ``n_apps`` running."""
@@ -57,4 +61,21 @@ class ManagementOverheadModel:
             self.migration_base_s
             + self.migration_per_app_s * n_apps
             + self.inference.latency_s(n_apps, model)
+        )
+
+    def migration_invocation_cpu_s(self, n_apps: int, model: Sequential) -> float:
+        """Cost of one migration-policy invocation with CPU inference.
+
+        The graceful-degradation path: when the NPU is unavailable the
+        manager runs the same batched inference serially on its own core,
+        paying the per-sample CPU latency instead of the ~flat NPU call.
+        """
+        if n_apps < 0:
+            raise ValueError("n_apps must be >= 0")
+        if n_apps == 0:
+            return self.migration_base_s
+        return (
+            self.migration_base_s
+            + self.migration_per_app_s * n_apps
+            + self.cpu_inference.latency_s(n_apps, model)
         )

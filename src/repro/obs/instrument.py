@@ -204,6 +204,54 @@ class SimObserver:
         trace_recorded.inc(max(0.0, stats.recorded - trace_recorded.value))
         trace_dropped = self.registry.counter("trace_events_dropped_total")
         trace_dropped.inc(max(0.0, stats.dropped - trace_dropped.value))
+        self._publish_faults(sim)
+
+    def _publish_faults(self, sim: "Simulator") -> None:
+        """Publish fault-layer counters, if a fault runtime is attached.
+
+        Duck-typed through ``sim.faults`` (no import of the faults package:
+        the kernel already depends on it, the observer need not).  Called
+        from :meth:`finalize`, so the counters reflect the whole run.
+        """
+        faults = getattr(sim, "faults", None)
+        if faults is None:
+            return
+        registry = self.registry
+        for kind, count in sorted(faults.injector.injected_counts.items()):
+            if count:
+                registry.counter("faults_injected_total", kind=kind).inc(count)
+        sensor = faults.sensor
+        if sensor is not None and sensor.held_reads:
+            registry.counter("sensor_dropout_held_reads_total").inc(
+                sensor.held_reads
+            )
+        degradation = faults.degradation
+        for (path, state), count in sorted(
+            degradation.transition_counts.items()
+        ):
+            registry.counter(
+                "degradation_transitions_total", path=path, state=state
+            ).inc(count)
+        registry.gauge("safe_mode_time_s").set(
+            degradation.safe_mode_time_s(sim.now_s)
+        )
+        if degradation.cpu_fallback_invocations:
+            registry.counter("npu_cpu_fallback_invocations_total").inc(
+                degradation.cpu_fallback_invocations
+            )
+        holds = faults.event_counts.get("qos_dvfs.hold", 0)
+        if holds:
+            registry.counter("dvfs_dropout_holds_total").inc(holds)
+        failsafes = faults.event_counts.get("dtm.failsafe", 0)
+        if failsafes:
+            registry.counter("dtm_failsafe_events_total").inc(failsafes)
+        for event in degradation.events:
+            self.tracer.emit(
+                f"degrade.{event.path}.{event.state}",
+                ts_s=event.now_s,
+                cat="faults",
+                args={"detail": event.detail},
+            )
 
     def export(self, out_dir: str, label: str) -> Dict[str, str]:
         """Write ``<label>.events.jsonl`` + ``<label>.trace.json``.

@@ -144,6 +144,55 @@ _SPECS: Tuple[MetricSpec, ...] = (
         "run_mean_utilization", "gauge", "ratio",
         "Mean busy-core fraction over the run.", "",
     ),
+    # --- faults / degradation -------------------------------------------
+    MetricSpec(
+        "faults_injected_total", "counter", "events",
+        "Fault activations drawn by the injector, by fault kind.",
+        "robustness",
+    ),
+    MetricSpec(
+        "sensor_dropout_held_reads_total", "counter", "events",
+        "Sensor reads answered from the held EMA during dropouts.",
+        "robustness",
+    ),
+    MetricSpec(
+        "degradation_transitions_total", "counter", "events",
+        "Degradation state-machine transitions, by path and state.",
+        "robustness",
+    ),
+    MetricSpec(
+        "safe_mode_time_s", "gauge", "s",
+        "Simulated time spent in DVFS-only safe mode.", "robustness",
+    ),
+    MetricSpec(
+        "npu_cpu_fallback_invocations_total", "counter", "events",
+        "Migration-policy invocations served by CPU inference fallback.",
+        "robustness",
+    ),
+    MetricSpec(
+        "dvfs_dropout_holds_total", "counter", "events",
+        "QoS-DVFS iterations holding actuation through a sensor dropout.",
+        "robustness",
+    ),
+    MetricSpec(
+        "dtm_failsafe_events_total", "counter", "events",
+        "DTM fail-safe throttles engaged on a stuck thermal sensor.",
+        "robustness",
+    ),
+    # --- experiment worker pool -----------------------------------------
+    MetricSpec(
+        "worker_retries_total", "counter", "events",
+        "Grid cells requeued after a worker crash or hang, by reason.", "",
+    ),
+    MetricSpec(
+        "worker_failures_total", "counter", "events",
+        "Grid cells abandoned after exhausting retries, by reason.", "",
+    ),
+    MetricSpec(
+        "worker_pool_clamped_total", "counter", "events",
+        "Worker-pool launches clamped because cells < requested workers.",
+        "",
+    ),
     # --- tracer / tooling ----------------------------------------------
     MetricSpec(
         "trace_events_recorded_total", "counter", "events",

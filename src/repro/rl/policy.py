@@ -72,6 +72,10 @@ class TopRLMigrationPolicy:
         self._last_executed: Optional[Tuple[int, int, int]] = None
         self.invocations = 0
         self.migrations_executed = 0
+        # Same controller deadline as TOP-IL: the epoch must complete
+        # within one DVFS period (see repro.faults.degrade).
+        self.deadline_s = 0.05
+        self.safe_mode_skips = 0
 
     # ------------------------------------------------------------------ reward
     def reward(self, sim: Simulator) -> float:
@@ -86,11 +90,25 @@ class TopRLMigrationPolicy:
         self.invocations += 1
         processes = sim.running_processes()
         # RL inference is a table lookup (CPU); charge per-app counter reads.
-        sim.account_overhead(
-            "migration",
+        cost_s = (
             self.overhead_model.migration_base_s
-            + self.overhead_model.migration_per_app_s * len(processes),
+            + self.overhead_model.migration_per_app_s * len(processes)
         )
+        if sim.faults is not None:
+            # No NPU involved, but injected deadline overruns still apply
+            # and drive the shared safe-mode path (DVFS-only operation).
+            deg = sim.faults.degradation
+            if sim.faults.injector.deadline_overrun(sim.now_s):
+                cost_s += self.deadline_s
+            if cost_s > self.deadline_s:
+                deg.record_deadline_miss(sim.now_s)
+            else:
+                deg.record_deadline_ok(sim.now_s)
+            if deg.in_safe_mode(sim.now_s):
+                sim.account_overhead("migration", cost_s)
+                self.safe_mode_skips += 1
+                return
+        sim.account_overhead("migration", cost_s)
         if self._quantizer is None:
             self._quantizer = StateQuantizer(sim.platform)
 

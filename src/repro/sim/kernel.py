@@ -30,6 +30,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.apps.model import AppModel
+from repro.faults.injectors import FaultTolerantSensor
+from repro.faults.runtime import FaultRuntime
 from repro.obs.config import Observability
 from repro.obs.instrument import SimObserver
 from repro.platform import Platform, VFLevel
@@ -97,6 +99,25 @@ class Controller:
         check_positive("period_s", self.period_s)
 
 
+class SimulationTimeout(TimeoutError):
+    """``run_until_complete`` hit its simulated-time budget with work left.
+
+    Carries enough context for the experiment drivers to salvage or
+    report the run: the budget, the simulated time reached, and the pids
+    that were still pending or running when the budget expired.
+    """
+
+    def __init__(self, timeout_s: float, now_s: float, stuck_pids: List[int]):
+        self.timeout_s = timeout_s
+        self.now_s = now_s
+        self.stuck_pids = stuck_pids
+        super().__init__(
+            f"workload not complete after {timeout_s} s of simulated time "
+            f"(now={now_s:.1f} s, {len(stuck_pids)} unfinished pids: "
+            f"{stuck_pids[:8]}{'...' if len(stuck_pids) > 8 else ''})"
+        )
+
+
 PlacementPolicy = Callable[["Simulator", Process], int]
 
 
@@ -132,6 +153,7 @@ class Simulator:
         thermal: Optional[RCThermalNetwork] = None,
         sensor_noise_std_c: float = 0.05,
         observability: Optional[Observability] = None,
+        faults: Optional[FaultRuntime] = None,
     ):
         self.platform = platform
         self.cooling = cooling
@@ -152,14 +174,33 @@ class Simulator:
         if not zone_nodes:
             zone_nodes = [n for n in self.thermal.node_names if n != "board"]
         self._zone_nodes = zone_nodes
-        self.sensor = TemperatureSensor(
-            self.thermal,
-            nodes=zone_nodes,
-            sample_period_s=0.05,
-            quantization_c=0.1,
-            noise_std_c=sensor_noise_std_c,
-            rng=self.rng.child("sensor"),
-        )
+        # Fault layer (off by default): when a FaultRuntime is attached,
+        # the sensor is the fault-tolerant subclass driven by the plan's
+        # own RNG streams.  The sensor noise stream is identical either
+        # way, so a zero-fault runtime is bit-identical to faults=None.
+        self.faults = faults
+        if faults is not None:
+            ft_sensor = FaultTolerantSensor(
+                self.thermal,
+                injector=faults.injector,
+                nodes=zone_nodes,
+                sample_period_s=0.05,
+                quantization_c=0.1,
+                noise_std_c=sensor_noise_std_c,
+                rng=self.rng.child("sensor"),
+            )
+            faults.attach_sensor(ft_sensor)
+            sensor: TemperatureSensor = ft_sensor
+        else:
+            sensor = TemperatureSensor(
+                self.thermal,
+                nodes=zone_nodes,
+                sample_period_s=0.05,
+                quantization_c=0.1,
+                noise_std_c=sensor_noise_std_c,
+                rng=self.rng.child("sensor"),
+            )
+        self.sensor = sensor
         self._core_nodes = core_nodes
 
         self.now_s = 0.0
@@ -216,6 +257,11 @@ class Simulator:
         }
         self._dtm_next_check_s = 0.0
         self.dtm_throttle_events = 0
+        # Fail-safe throttle: engaged while the (fault-injected) sensor
+        # self-reports a stuck-at fault — the only thermal observable is
+        # frozen, so the DTM assumes the worst and caps every cluster.
+        self._dtm_failsafe_active = False
+        self.dtm_failsafe_events = 0
 
         # Run-time overhead ledger (management CPU time, by component).
         self.overhead_cpu_s: Dict[str, float] = {}
@@ -398,18 +444,21 @@ class Simulator:
             None — returns as soon as no process is pending or running.
 
         Raises:
-            TimeoutError: if work remains after ``timeout_s`` simulated
-                seconds; partial state (trace, metrics) is preserved for
-                inspection.
+            SimulationTimeout: (a ``TimeoutError`` subclass) if work
+                remains after ``timeout_s`` simulated seconds, carrying
+                the stuck pids and the simulated time reached; partial
+                state (trace, metrics) is preserved for inspection.
         """
         end = self.now_s + timeout_s
         while self.now_s < end:
             if not self._pending and not self._running:
                 return
             self.step()
-        raise TimeoutError(
-            f"workload not complete after {timeout_s} s of simulated time"
+        stuck = sorted(
+            [p.pid for p in self._running]
+            + [pid for _, pid, _ in self._pending]
         )
+        raise SimulationTimeout(timeout_s, self.now_s, stuck)
 
     # ------------------------------------------------------------------ internals
     def _admit_arrivals(self) -> None:
@@ -547,6 +596,28 @@ class Simulator:
             return
         self._dtm_next_check_s = self.now_s + dtm.check_period_s
         temp = self.sensor_temp_c()
+        faults = self.faults
+        if faults is not None and faults.sensor_stuck_active(self.now_s):
+            # Fail-safe throttle: the only temperature observable is a
+            # frozen register, so hysteresis on it is meaningless — cap
+            # every cluster to its lowest VF level until the sensor
+            # self-reports healthy again.
+            if not self._dtm_failsafe_active:
+                self._dtm_failsafe_active = True
+                self.dtm_failsafe_events += 1
+                faults.count("dtm.failsafe")
+                for cluster in self.platform.clusters:
+                    self._dtm_cap[cluster.name] = 0
+                    self.set_vf_level(cluster.name, self._vf[cluster.name])
+                if self._obs is not None:
+                    self._obs.on_dtm(self, throttled=True)
+            return
+        if self._dtm_failsafe_active:
+            # Sensor healthy again: leave fail-safe; the caps recover
+            # step-by-step through the normal release hysteresis below.
+            self._dtm_failsafe_active = False
+            if faults is not None:
+                faults.count("dtm.failsafe_release")
         if temp >= dtm.trigger_temp_c:
             throttled = False
             for cluster in self.platform.clusters:

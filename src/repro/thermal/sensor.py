@@ -63,6 +63,34 @@ class TemperatureSensor:
         self._last_sample_time: Optional[float] = None
         self._last_value: Optional[float] = None
 
+    def _due(self, now_s: float) -> bool:
+        """Whether a fresh sample is due at ``now_s`` (20 Hz cadence)."""
+        return (
+            self._last_sample_time is None
+            or now_s - self._last_sample_time >= self.sample_period_s - 1e-12
+        )
+
+    def _measure(self) -> float:
+        """Take one measurement: max over nodes, plus noise, quantized.
+
+        Consumes exactly one draw of the sensor noise stream when
+        ``noise_std_c > 0`` — subclasses that suppress or alter a
+        measurement must keep their draw pattern explicit, because the
+        stream is shared with nothing else and golden-trace equivalence
+        depends on it.
+        """
+        value = self.network.max_temperature(self.nodes)
+        if self.noise_std_c > 0.0:
+            value += float(self._rng.normal(0.0, self.noise_std_c))
+        if self.quantization_c > 0.0:
+            value = round(value / self.quantization_c) * self.quantization_c
+        return value
+
+    def _record(self, now_s: float, value: float) -> None:
+        """Hold ``value`` as the sample taken at ``now_s``."""
+        self._last_value = value
+        self._last_sample_time = now_s
+
     def read(self, now_s: float) -> float:
         """Return the sensor value at simulation time ``now_s``.
 
@@ -70,18 +98,8 @@ class TemperatureSensor:
         elapsed since the previous one; otherwise the held value is
         returned, reproducing the 20 Hz zero-order-hold behaviour.
         """
-        due = (
-            self._last_sample_time is None
-            or now_s - self._last_sample_time >= self.sample_period_s - 1e-12
-        )
-        if due:
-            value = self.network.max_temperature(self.nodes)
-            if self.noise_std_c > 0.0:
-                value += float(self._rng.normal(0.0, self.noise_std_c))
-            if self.quantization_c > 0.0:
-                value = round(value / self.quantization_c) * self.quantization_c
-            self._last_value = value
-            self._last_sample_time = now_s
+        if self._due(now_s):
+            self._record(now_s, self._measure())
         return float(self._last_value)
 
     def reset(self) -> None:

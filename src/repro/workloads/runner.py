@@ -16,6 +16,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.faults import FaultPlan, FaultRuntime
 from repro.governors.base import Technique
 from repro.metrics.summary import RunSummary, publish_summary, summarize_run
 from repro.obs.config import Observability
@@ -102,6 +103,7 @@ def run_workload(
     settle_s: float = 2.0,
     observability: Optional[Observability] = None,
     run_label: Optional[str] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> RunResult:
     """Execute ``workload`` under ``technique`` and summarize the run.
 
@@ -125,18 +127,27 @@ def run_workload(
             are written under its ``out_dir``.
         run_label: Artifact basename (may contain ``/`` subdirectories);
             defaults to a slug of technique, workload, and seed.
+        fault_plan: Deterministic fault-injection plan; ``None`` reads the
+            ``REPRO_FAULTS`` / ``REPRO_FAULT_SEED`` environment (off by
+            default).  When set, a :class:`~repro.faults.FaultRuntime`
+            is attached to the simulator — a **zero-fault plan is
+            bit-identical to no plan at all** (the fault layer draws from
+            its own seed streams, never the sensor's).
 
     Returns:
         A :class:`RunResult`; ``manifest``/``artifacts`` are set only for
         traced runs.
     """
     start_wall = time.perf_counter()  # repro-lint: ignore[DET003]
+    plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
+    faults = FaultRuntime.from_plan(plan) if plan is not None else None
     sim = Simulator(
         platform,
         cooling,
         config=sim_config or SimConfig(),
         rng=RandomSource(seed).child("run"),
         observability=observability,
+        faults=faults,
     )
     technique.attach(sim)
     for item in workload.items:

@@ -50,6 +50,20 @@ def test_obs_package_is_clean(tmp_path):
     assert payload["total"] == 0
 
 
+def test_faults_package_is_clean(tmp_path):
+    """The fault-injection layer is lint-gated alongside obs: its injector
+    runs inside the kernel step and its RNG discipline (private child
+    streams only) is precisely what DET rules guard."""
+    report = tmp_path / "faults_report.json"
+    result = _run_lint("src/repro/faults", "--json", str(report))
+    assert result.returncode == 0, (
+        f"repro-lint found violations in repro/faults:\n"
+        f"{result.stdout}{result.stderr}"
+    )
+    payload = json.loads(report.read_text())
+    assert payload["total"] == 0
+
+
 def test_violations_fail_with_exit_code_1(tmp_path):
     bad = tmp_path / "bad.py"
     bad.write_text("import random\nx = random.random()\n")

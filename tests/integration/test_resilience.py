@@ -1,0 +1,104 @@
+"""End-to-end resilience sweep: degradation paths, salvage, determinism."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.resilience import (
+    ResilienceConfig,
+    fault_plan_for_rate,
+    run_resilience,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.utils.floatcmp import is_zero
+
+
+@pytest.fixture(scope="module")
+def smoke_result(assets):
+    """One serial smoke sweep shared by the assertions below."""
+    return run_resilience(assets, ResilienceConfig.smoke(), parallel=False)
+
+
+class TestFaultPlanForRate:
+    def test_rate_zero_is_zero_plan(self):
+        plan = fault_plan_for_rate(0.0)
+        assert plan.is_zero()
+        # All kinds stay present so the draw pattern matches faulty rows.
+        assert len(plan.specs) == 6
+
+    def test_rates_scale_and_clamp(self):
+        plan = fault_plan_for_rate(0.3)
+        rates = {spec.kind: spec.rate for spec in plan.specs}
+        assert rates["sensor_dropout"] == pytest.approx(0.3)
+        assert rates["sensor_stuck"] == pytest.approx(0.075)
+        assert rates["deadline_overrun"] == 1.0  # clamped
+
+
+class TestResilienceSweep:
+    def test_completes_without_failed_cells(self, smoke_result):
+        assert smoke_result.failed_cells == []
+        assert len(smoke_result.rows) == 2
+
+    def test_baseline_row_is_clean(self, smoke_result):
+        baseline = smoke_result.baseline_row()
+        assert baseline is not None
+        assert is_zero(baseline.rate)
+        assert baseline.paths_exercised() == []
+        assert not any(
+            value
+            for key, value in baseline.counters.items()
+            if key.startswith("injected.")
+        )
+
+    def test_faulty_row_degrades_gracefully(self, smoke_result):
+        faulty = [r for r in smoke_result.rows if not is_zero(r.rate)]
+        assert faulty, "smoke sweep must include a non-zero rate"
+        row = faulty[0]
+        injected = sum(
+            value
+            for key, value in row.counters.items()
+            if key.startswith("injected.")
+        )
+        assert injected > 0
+        # The run completed despite faults: that IS graceful degradation.
+        assert row.peak_temp_c > 0
+
+    def test_all_degradation_paths_exercised(self, smoke_result):
+        """Acceptance: one smoke sweep hits CPU fallback, safe-mode DVFS,
+        and the DTM fail-safe throttle."""
+        assert smoke_result.all_paths_exercised(), (
+            "missing paths; exercised per row: "
+            + "; ".join(
+                f"rate {row.rate:.2f}: {row.paths_exercised()}"
+                for row in smoke_result.rows
+            )
+        )
+
+    def test_report_renders(self, smoke_result):
+        text = smoke_result.report()
+        assert "fault rate" in text
+        assert "failed cells: none" in text
+
+
+class TestDeterminism:
+    def test_serial_rerun_is_identical(self, assets, smoke_result):
+        again = run_resilience(assets, ResilienceConfig.smoke(), parallel=False)
+        assert [dataclasses.astuple(r) for r in again.rows] == [
+            dataclasses.astuple(r) for r in smoke_result.rows
+        ]
+
+    def test_parallel_matches_serial(self, assets, smoke_result):
+        registry = MetricsRegistry()
+        pooled = run_resilience(
+            assets,
+            ResilienceConfig.smoke(),
+            parallel=True,
+            n_workers=2,
+            registry=registry,
+        )
+        assert pooled.failed_cells == []
+        assert [dataclasses.astuple(r) for r in pooled.rows] == [
+            dataclasses.astuple(r) for r in smoke_result.rows
+        ]

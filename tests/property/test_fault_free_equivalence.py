@@ -1,0 +1,136 @@
+"""Zero-fault injection must be bit-identical to the uninstrumented run.
+
+The fault layer's core determinism claim: its injector draws only from
+private ``faults/<kind>`` child streams of ``RandomSource(plan.seed)`` and
+a plan with **no specs** never consults any stream at all, so attaching
+the full fault runtime (fault-tolerant sensor included) with an empty
+:class:`~repro.faults.FaultPlan` reproduces the golden kernel-trace
+fixture bit-for-bit — same sensor readings, same VF decisions, same
+migrations, same process accounting.
+
+This is the same fixture and tolerance discipline as
+``test_kernel_fastpath_equivalence.py``; only the run carries
+``fault_plan=FaultPlan()`` here.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from capture_golden_trace import (
+    ARRIVAL_RATE,
+    FIXTURE_PATH,
+    INSTRUCTION_SCALE,
+    N_APPS,
+    SEED,
+    trace_to_dict,
+)
+
+from repro.faults import FaultPlan
+from repro.governors.techniques import GTSOndemand
+from repro.platform import hikey970
+from repro.thermal import FAN_COOLING
+from repro.workloads.generator import mixed_workload
+from repro.workloads.runner import run_workload
+
+TEMP_ATOL_C = 1e-6
+POWER_RTOL = 1e-9
+TIME_ATOL_S = 1e-9
+
+
+def run_zero_fault_scenario():
+    """The golden scenario with the fault layer attached but empty."""
+    platform = hikey970()
+    workload = mixed_workload(
+        platform,
+        n_apps=N_APPS,
+        arrival_rate_per_s=ARRIVAL_RATE,
+        seed=SEED,
+        instruction_scale=INSTRUCTION_SCALE,
+    )
+    return run_workload(
+        platform,
+        GTSOndemand(),
+        workload,
+        cooling=FAN_COOLING,
+        seed=SEED,
+        fault_plan=FaultPlan(),
+    )
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    assert os.path.exists(FIXTURE_PATH), (
+        "golden fixture missing; run "
+        "PYTHONPATH=src python tests/property/capture_golden_trace.py "
+        "against a known-good kernel"
+    )
+    with open(FIXTURE_PATH) as fh:
+        return json.load(fh)
+
+
+@pytest.fixture(scope="module")
+def replay():
+    return run_zero_fault_scenario()
+
+
+@pytest.fixture(scope="module")
+def replay_dict(replay) -> dict:
+    return trace_to_dict(replay)
+
+
+class TestZeroFaultBitIdentity:
+    def test_fault_layer_is_attached_but_idle(self, replay):
+        sim = replay.sim
+        assert sim.faults is not None
+        assert sim.faults.plan.is_zero()
+        assert sim.faults.injector.total_injected() == 0
+        assert sim.faults.sensor is not None
+        assert sim.faults.sensor.held_reads == 0
+        assert not sim.faults.degradation.events
+
+    def test_sensor_readings_exact(self, golden, replay_dict):
+        # The FaultTolerantSensor's healthy path performs exactly the base
+        # class's noise draw, so readings are bit-identical.
+        assert replay_dict["sensor_temp_c"] == golden["sensor_temp_c"]
+
+    def test_vf_decisions_exact(self, golden, replay_dict):
+        assert replay_dict["vf_levels"] == golden["vf_levels"]
+
+    def test_migrations_exact(self, golden, replay_dict):
+        assert replay_dict["migrations"] == golden["migrations"]
+
+    def test_duration_and_sample_times(self, golden, replay_dict):
+        assert replay_dict["duration_s"] == pytest.approx(
+            golden["duration_s"], abs=TIME_ATOL_S
+        )
+        np.testing.assert_allclose(
+            replay_dict["times"], golden["times"], atol=TIME_ATOL_S
+        )
+
+    def test_node_temperatures(self, golden, replay_dict):
+        for node, temps in golden["node_temps"].items():
+            np.testing.assert_allclose(
+                replay_dict["node_temps"][node], temps, atol=TEMP_ATOL_C,
+                err_msg=f"node {node}",
+            )
+
+    def test_total_power(self, golden, replay_dict):
+        np.testing.assert_allclose(
+            replay_dict["total_power_w"], golden["total_power_w"],
+            rtol=POWER_RTOL,
+        )
+
+    def test_process_accounting(self, golden, replay_dict):
+        assert len(replay_dict["processes"]) == len(golden["processes"])
+        for got, want in zip(replay_dict["processes"], golden["processes"]):
+            assert got["pid"] == want["pid"]
+            assert got["app"] == want["app"]
+            assert got["migration_count"] == want["migration_count"]
+            assert got["instructions_done"] == pytest.approx(
+                want["instructions_done"], rel=POWER_RTOL
+            )

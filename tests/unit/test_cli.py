@@ -1,8 +1,11 @@
 """Command-line interface."""
 
+import os
+
 import pytest
 
 from repro import cli
+from repro.faults import FAULT_SEED_ENV, FAULTS_ENV
 
 
 class TestList:
@@ -10,7 +13,7 @@ class TestList:
         assert cli.main(["list"]) == 0
         out = capsys.readouterr().out
         for name in ("fig1", "fig3", "fig5", "fig7", "fig8", "fig10",
-                     "fig11", "fig12", "model-eval"):
+                     "fig11", "fig12", "model-eval", "resilience"):
             assert name in out
 
 
@@ -46,3 +49,44 @@ class TestRun:
         assert code == 0
         out = capsys.readouterr().out
         assert "adi" in out and "seidel-2d" in out
+
+
+class TestFaultFlags:
+    def test_flags_export_env(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        monkeypatch.delenv(FAULT_SEED_ENV, raising=False)
+        cli._apply_fault_flags("sensor_dropout:0.1,npu_failure:0.05", 7)
+        assert os.environ[FAULTS_ENV] == "sensor_dropout:0.1,npu_failure:0.05"
+        assert os.environ[FAULT_SEED_ENV] == "7"
+
+    def test_no_flags_leave_env_untouched(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        monkeypatch.delenv(FAULT_SEED_ENV, raising=False)
+        cli._apply_fault_flags(None, 0)
+        assert FAULTS_ENV not in os.environ
+        assert FAULT_SEED_ENV not in os.environ
+
+    def test_bad_plan_rejected(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        with pytest.raises(SystemExit):
+            cli._apply_fault_flags("warp_core_breach:0.5", 0)
+        assert FAULTS_ENV not in os.environ
+
+    def test_run_accepts_fault_flags(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        monkeypatch.delenv(FAULT_SEED_ENV, raising=False)
+        from repro.experiments.motivation import MotivationConfig
+
+        monkeypatch.setattr(
+            "repro.experiments.report.MotivationConfig.smoke",
+            classmethod(lambda cls: MotivationConfig(observe_s=5.0)),
+        )
+        code = cli.main(
+            [
+                "run", "fig1", "--scale", "smoke", "--cache", str(tmp_path),
+                "--faults", "sensor_dropout:0.0", "--fault-seed", "3",
+            ]
+        )
+        assert code == 0
+        assert os.environ[FAULTS_ENV] == "sensor_dropout:0.0"
+        assert os.environ[FAULT_SEED_ENV] == "3"

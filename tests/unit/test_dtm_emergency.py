@@ -1,0 +1,136 @@
+"""DTM under forced thermal emergencies (fault-injected sensor).
+
+Satellite coverage for ``Simulator._check_dtm``: a sensor *spike* must
+drive the normal throttle/release hysteresis (reading crosses the trigger,
+caps tighten, then recover step-by-step once the reading falls below the
+release threshold), and a *stuck* sensor must engage the fail-safe
+throttle — every cluster capped to its lowest VF level while the sensor
+self-reports ill health — followed by hysteresis-driven recovery.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan, FaultRuntime, FaultSpec
+from repro.platform import hikey970
+from repro.sim.kernel import SimConfig, Simulator
+from repro.thermal import FAN_COOLING
+
+
+def _sim(plan: FaultPlan, **platform_kwargs) -> Simulator:
+    platform = hikey970(**platform_kwargs)
+    return Simulator(
+        platform,
+        FAN_COOLING,
+        config=SimConfig(dt_s=0.01),
+        sensor_noise_std_c=0.0,
+        faults=FaultRuntime.from_plan(plan),
+    )
+
+
+def _max_everywhere(sim: Simulator) -> bool:
+    return all(
+        sim.vf_level(c.name).frequency_hz == c.vf_table.max_level.frequency_hz
+        for c in sim.platform.clusters
+    )
+
+
+class TestSpikeEmergency:
+    def test_spike_throttles_then_hysteresis_recovers(self):
+        # Idle board at ~25 C ambient; trigger far above the real
+        # temperature so only the injected spike can cross it.
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    "sensor_spike", 1.0, start_s=1.0, end_s=1.5,
+                    magnitude_c=60.0,
+                ),
+            ),
+            seed=0,
+        )
+        sim = _sim(plan, dtm_trigger_c=60.0, dtm_release_c=55.0)
+        for cluster in sim.platform.clusters:
+            sim.set_vf_level(cluster.name, cluster.vf_table.max_level)
+        sim.run_for(1.0)
+        assert sim.dtm_throttle_events == 0
+        assert _max_everywhere(sim)
+        # Spike window: every fresh sample reads ~85 C >= trigger.
+        sim.run_for(0.6)
+        assert sim.dtm_throttle_events > 0
+        assert not _max_everywhere(sim)
+        assert sim.dtm_failsafe_events == 0  # spike is NOT the stuck path
+        # Past the window the reading returns to ~25 C <= release, and the
+        # caps recover one step per DTM check period.
+        sim.run_for(2.0)
+        for cluster in sim.platform.clusters:
+            applied = sim.set_vf_level(cluster.name, cluster.vf_table.max_level)
+            assert applied.frequency_hz == cluster.vf_table.max_level.frequency_hz
+
+    def test_recovery_is_gradual_not_instant(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    "sensor_spike", 1.0, start_s=0.5, end_s=1.2,
+                    magnitude_c=60.0,
+                ),
+            ),
+            seed=0,
+        )
+        sim = _sim(plan, dtm_trigger_c=60.0, dtm_release_c=55.0)
+        for cluster in sim.platform.clusters:
+            sim.set_vf_level(cluster.name, cluster.vf_table.max_level)
+        sim.run_for(1.3)  # several throttle checks inside the window
+        assert sim.dtm_throttle_events >= 2
+        # One check period after the spike ends: at most one release step,
+        # so the caps must not be fully restored yet.
+        sim.run_for(0.1)
+        assert not _max_everywhere(sim)
+
+
+class TestStuckFailSafe:
+    def test_stuck_sensor_engages_failsafe_then_recovers(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    "sensor_stuck", 1.0, start_s=0.5, end_s=0.54,
+                    duration_s=1.0,
+                ),
+            ),
+            seed=0,
+        )
+        sim = _sim(plan)
+        for cluster in sim.platform.clusters:
+            sim.set_vf_level(cluster.name, cluster.vf_table.max_level)
+        sim.run_for(0.4)
+        assert sim.dtm_failsafe_events == 0
+        sim.run_for(0.4)
+        # Fail-safe: engaged exactly once per stuck window, every cluster
+        # capped to its lowest level.
+        assert sim.dtm_failsafe_events == 1
+        assert sim.faults.event_counts.get("dtm.failsafe") == 1
+        for cluster in sim.platform.clusters:
+            lowest = cluster.vf_table.levels[0]
+            assert (
+                sim.vf_level(cluster.name).frequency_hz == lowest.frequency_hz
+            )
+            # Requests are capped while the fail-safe holds.
+            applied = sim.set_vf_level(cluster.name, cluster.vf_table.max_level)
+            assert applied.frequency_hz == lowest.frequency_hz
+        # Sensor heals at ~1.5 s; the caps then recover step-by-step via
+        # the release hysteresis (idle board is far below release temp).
+        sim.run_for(2.5)
+        assert sim.faults.event_counts.get("dtm.failsafe_release") == 1
+        for cluster in sim.platform.clusters:
+            applied = sim.set_vf_level(cluster.name, cluster.vf_table.max_level)
+            assert applied.frequency_hz == cluster.vf_table.max_level.frequency_hz
+
+    def test_quantized_steady_state_never_false_triggers(self):
+        """A zero-fault runtime at steady state must not trip the fail-safe.
+
+        The DTM keys on the sensor's *self-reported* stuck flag, not on
+        "same reading twice" — a quantized idle board reports the same
+        0.1 C bucket for long stretches while being perfectly healthy.
+        """
+        sim = _sim(FaultPlan())
+        sim.run_for(3.0)
+        assert sim.dtm_failsafe_events == 0
+        assert sim.faults.event_counts == {}

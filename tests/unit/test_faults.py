@@ -1,0 +1,326 @@
+"""Fault layer: plans, injectors, fault-tolerant sensor, degradation."""
+
+import pytest
+
+from repro.faults import (
+    BackoffState,
+    DegradationManager,
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultRuntime,
+    FaultSpec,
+    FaultTolerantSensor,
+)
+from repro.thermal.rc import RCThermalNetwork
+from repro.utils.rng import RandomSource
+
+
+def _network(temp_c: float = 50.0) -> RCThermalNetwork:
+    net = RCThermalNetwork(ambient_temp_c=25.0)
+    net.add_node("a", 0.1)
+    net.connect_to_ambient("a", 1.0)
+    net.finalize()
+    net.set_temperatures({"a": temp_c})
+    return net
+
+
+def _sensor(plan: FaultPlan, **kwargs) -> FaultTolerantSensor:
+    return FaultTolerantSensor(
+        _network(),
+        injector=FaultInjector(plan),
+        sample_period_s=0.05,
+        quantization_c=0.0,
+        **kwargs,
+    )
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("cosmic_ray", 0.1)
+
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError, match="rate"):
+            FaultSpec("sensor_dropout", 1.5)
+        with pytest.raises(ValueError, match="rate"):
+            FaultSpec("sensor_dropout", -0.1)
+
+    def test_window(self):
+        spec = FaultSpec("npu_failure", 0.5, start_s=10.0, end_s=20.0)
+        assert not spec.active_at(9.9)
+        assert spec.active_at(10.0)
+        assert spec.active_at(19.9)
+        assert not spec.active_at(20.0)
+
+    def test_default_durations(self):
+        assert FaultSpec("sensor_stuck", 0.1).hold_duration_s() == 1.0
+        assert FaultSpec("sensor_dropout", 0.1).hold_duration_s() == 0.05
+        assert FaultSpec(
+            "sensor_stuck", 0.1, duration_s=3.0
+        ).hold_duration_s() == 3.0
+
+
+class TestFaultPlan:
+    def test_parse_round_trips(self):
+        plan = FaultPlan.parse("sensor_dropout:0.05,npu_failure:0.02", seed=7)
+        assert plan.seed == 7
+        assert plan.describe() == "sensor_dropout:0.05,npu_failure:0.02"
+        again = FaultPlan.parse(plan.describe(), seed=7)
+        assert again == plan
+
+    def test_parse_empty_is_zero_plan(self):
+        plan = FaultPlan.parse("")
+        assert plan.specs == ()
+        assert plan.is_zero()
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError, match="kind:rate"):
+            FaultPlan.parse("sensor_dropout")
+        with pytest.raises(ValueError, match="rate"):
+            FaultPlan.parse("sensor_dropout:lots")
+
+    def test_zero_rate_plan_is_zero(self):
+        plan = FaultPlan(specs=(FaultSpec("npu_failure", 0.0),))
+        assert plan.is_zero()
+        assert not FaultPlan(specs=(FaultSpec("npu_failure", 0.1),)).is_zero()
+
+    def test_spec_partitions(self):
+        plan = FaultPlan.parse(
+            "sensor_dropout:0.1,sensor_stuck:0.1,npu_failure:0.1,"
+            "npu_timeout:0.1,deadline_overrun:0.1"
+        )
+        assert {s.kind for s in plan.sensor_specs()} == {
+            "sensor_dropout", "sensor_stuck"
+        }
+        assert {s.kind for s in plan.npu_specs()} == {
+            "npu_failure", "npu_timeout"
+        }
+        assert [s.kind for s in plan.deadline_specs()] == ["deadline_overrun"]
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        assert FaultPlan.from_env() is None
+        monkeypatch.setenv("REPRO_FAULTS", "sensor_spike:0.2")
+        monkeypatch.setenv("REPRO_FAULT_SEED", "9")
+        plan = FaultPlan.from_env()
+        assert plan is not None
+        assert plan.seed == 9
+        assert plan.specs[0].kind == "sensor_spike"
+
+
+class TestFaultInjector:
+    def test_deterministic_across_instances(self):
+        plan = FaultPlan.parse("npu_failure:0.3", seed=5)
+        draws_a = [
+            FaultInjector(plan).npu_fault(0.5 * i) is not None
+            for i in range(50)
+        ]
+        # Fresh injector, same plan: identical trigger pattern.
+        injector = FaultInjector(plan)
+        draws_b = [injector.npu_fault(0.5 * i) is not None for i in range(50)]
+        assert draws_a != [False] * 50  # rate 0.3 over 50 rolls: some hits
+        # First comprehension rebuilt the injector each roll, so compare
+        # against a single-instance replay of the same stream:
+        replay = FaultInjector(plan)
+        assert draws_b == [
+            replay.npu_fault(0.5 * i) is not None for i in range(50)
+        ]
+
+    def test_per_kind_streams_independent(self):
+        """Changing one kind's rate never shifts another kind's pattern."""
+        base = FaultPlan.parse("npu_failure:0.3,deadline_overrun:0.3", seed=5)
+        bumped = FaultPlan.parse("npu_failure:0.9,deadline_overrun:0.3", seed=5)
+        a = FaultInjector(base)
+        b = FaultInjector(bumped)
+        pattern_a = []
+        pattern_b = []
+        for i in range(100):
+            now_s = 0.5 * i
+            a.npu_fault(now_s)
+            b.npu_fault(now_s)
+            pattern_a.append(a.deadline_overrun(now_s))
+            pattern_b.append(b.deadline_overrun(now_s))
+        assert pattern_a == pattern_b
+
+    def test_rate_zero_never_triggers_but_still_draws(self):
+        plan = FaultPlan.parse("npu_failure:0.0,npu_timeout:0.5", seed=1)
+        injector = FaultInjector(plan)
+        kinds = [
+            f.kind for f in
+            (injector.npu_fault(0.5 * i) for i in range(100)) if f is not None
+        ]
+        assert kinds and set(kinds) == {"npu_timeout"}
+        assert injector.injected_counts.get("npu_failure", 0) == 0
+
+    def test_window_respected(self):
+        plan = FaultPlan(
+            specs=(FaultSpec("deadline_overrun", 1.0, start_s=5.0, end_s=6.0),),
+            seed=0,
+        )
+        injector = FaultInjector(plan)
+        assert not injector.deadline_overrun(4.9)
+        assert injector.deadline_overrun(5.5)
+        assert not injector.deadline_overrun(6.0)
+
+
+class TestFaultTolerantSensor:
+    def test_dropout_holds_ema(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec("sensor_dropout", 1.0, start_s=0.2, duration_s=0.2),
+            ),
+            seed=0,
+        )
+        sensor = _sensor(plan)
+        healthy = sensor.read(0.0)
+        assert healthy == pytest.approx(50.0)
+        sensor.read(0.05)
+        sensor.read(0.1)
+        # Inside the dropout window the EMA of past readings is served.
+        held = sensor.read(0.2)
+        assert held == pytest.approx(50.0)
+        assert sensor.dropout_active(0.21)
+        assert sensor.held_reads >= 1
+
+    def test_stuck_freezes_and_self_reports(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec("sensor_stuck", 1.0, end_s=0.04, duration_s=0.3),
+            ),
+            seed=0,
+        )
+        sensor = _sensor(plan)
+        frozen = sensor.read(0.0)
+        assert sensor.stuck_active(0.1)
+        # The network heats up but the frozen register does not move.
+        sensor.network.set_temperatures({"a": 90.0})
+        assert sensor.read(0.05) == pytest.approx(frozen)
+        assert sensor.read(0.25) == pytest.approx(frozen)
+        # After the window the sensor heals and tracks again.
+        assert not sensor.stuck_active(0.4)
+        assert sensor.read(0.4) == pytest.approx(90.0)
+
+    def test_spike_visible_but_not_in_ema(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    "sensor_spike", 1.0, start_s=0.1, end_s=0.14,
+                    magnitude_c=25.0,
+                ),
+                FaultSpec("sensor_dropout", 1.0, start_s=0.2, duration_s=0.2),
+            ),
+            seed=0,
+        )
+        sensor = _sensor(plan)
+        assert sensor.read(0.0) == pytest.approx(50.0)
+        assert sensor.read(0.1) == pytest.approx(75.0)  # spiked reading
+        # The spike is excluded from the EMA, so the dropout hold serves
+        # the unpoisoned value.
+        sensor.read(0.15)
+        assert sensor.read(0.2) == pytest.approx(50.0)
+
+    def test_zero_plan_matches_base_class(self):
+        from repro.thermal.sensor import TemperatureSensor
+
+        base = TemperatureSensor(
+            _network(), sample_period_s=0.05, quantization_c=0.1,
+            noise_std_c=0.3, rng=RandomSource(4).child("sensor"),
+        )
+        ft = FaultTolerantSensor(
+            _network(), injector=FaultInjector(FaultPlan()),
+            sample_period_s=0.05, quantization_c=0.1,
+            noise_std_c=0.3, rng=RandomSource(4).child("sensor"),
+        )
+        for i in range(40):
+            now_s = 0.05 * i
+            assert ft.read(now_s) == base.read(now_s)
+
+    def test_reset_clears_fault_state(self):
+        plan = FaultPlan(
+            specs=(FaultSpec("sensor_stuck", 1.0, duration_s=10.0),), seed=0
+        )
+        sensor = _sensor(plan)
+        sensor.read(0.0)
+        assert sensor.stuck_active(1.0)
+        sensor.reset()
+        assert not sensor.stuck_active(1.0)
+        assert sensor.held_reads == 0
+        assert sensor.fault_events == {}
+
+
+class TestBackoff:
+    def test_doubles_and_caps(self):
+        backoff = BackoffState(1.0, 5.0)
+        assert backoff.next_hold_s() == 1.0
+        assert backoff.next_hold_s() == 2.0
+        assert backoff.next_hold_s() == 4.0
+        assert backoff.next_hold_s() == 5.0
+        assert backoff.next_hold_s() == 5.0
+        backoff.reset()
+        assert backoff.next_hold_s() == 1.0
+
+
+class TestDegradationManager:
+    def test_npu_fallback_and_reprobe(self):
+        deg = DegradationManager(npu_backoff_initial_s=1.0)
+        assert deg.npu_mode(0.0) == "npu"
+        deg.record_npu_failure(0.0, "npu_failure")
+        assert not deg.npu_available
+        assert deg.npu_mode(0.5) == "cpu"
+        # Backoff elapsed: the policy re-probes the NPU.
+        assert deg.npu_mode(1.0) == "npu"
+        deg.record_npu_failure(1.0, "npu_timeout")  # re-probe fails: 2 s hold
+        assert deg.npu_mode(2.5) == "cpu"
+        assert deg.npu_mode(3.0) == "npu"
+        deg.record_npu_success(3.0)
+        assert deg.npu_available
+        states = [e.state for e in deg.events]
+        assert states == ["cpu_fallback", "reprobe_failed", "recovered"]
+
+    def test_safe_mode_needs_consecutive_misses(self):
+        deg = DegradationManager(deadline_miss_threshold=3)
+        deg.record_deadline_miss(0.0)
+        deg.record_deadline_miss(0.5)
+        deg.record_deadline_ok(1.0)  # streak broken
+        deg.record_deadline_miss(1.5)
+        deg.record_deadline_miss(2.0)
+        assert not deg.in_safe_mode(2.0)
+        deg.record_deadline_miss(2.5)
+        assert deg.in_safe_mode(2.5)
+
+    def test_safe_mode_self_heals_with_growing_hold(self):
+        deg = DegradationManager(
+            deadline_miss_threshold=1, safe_mode_hold_initial_s=2.0,
+            safe_mode_hold_max_s=60.0,
+        )
+        deg.record_deadline_miss(10.0)
+        assert deg.in_safe_mode(11.0)
+        assert not deg.in_safe_mode(12.0)  # 2 s hold expired
+        assert deg.safe_mode_time_s(12.0) == pytest.approx(2.0)
+        deg.record_deadline_miss(13.0)
+        assert deg.in_safe_mode(16.0)  # second hold is 4 s
+        assert not deg.in_safe_mode(17.0)
+        states = [e.state for e in deg.events]
+        assert states == ["entered", "exited", "entered", "exited"]
+
+
+class TestFaultRuntime:
+    def test_counters_snapshot(self):
+        runtime = FaultRuntime.from_plan(
+            FaultPlan.parse("deadline_overrun:1.0", seed=0)
+        )
+        runtime.injector.deadline_overrun(0.0)
+        runtime.degradation.record_deadline_miss(0.0)
+        runtime.count("qos_dvfs.hold")
+        counters = runtime.counters(0.0)
+        assert counters["injected.deadline_overrun"] == 1.0
+        assert counters["event.qos_dvfs.hold"] == 1.0
+        assert "safe_mode_time_s" in counters
+
+    def test_all_kinds_have_a_stream(self):
+        plan = FaultPlan(
+            specs=tuple(FaultSpec(kind, 0.0) for kind in FAULT_KINDS)
+        )
+        injector = FaultInjector(plan)
+        assert set(injector._streams) == set(FAULT_KINDS)

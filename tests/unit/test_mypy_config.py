@@ -14,7 +14,12 @@ except ImportError:  # Python < 3.11
     tomllib = None  # type: ignore[assignment]
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
-STRICT_PACKAGES = ["repro.utils.*", "repro.thermal.*", "repro.power.*"]
+STRICT_PACKAGES = [
+    "repro.utils.*",
+    "repro.thermal.*",
+    "repro.power.*",
+    "repro.faults.*",
+]
 
 
 @pytest.fixture(scope="module")
@@ -59,7 +64,7 @@ def test_strict_packages_fully_annotated():
     import ast
 
     missing = []
-    for pkg in ("utils", "thermal", "power"):
+    for pkg in ("utils", "thermal", "power", "faults"):
         for path in sorted((REPO_ROOT / "src" / "repro" / pkg).rglob("*.py")):
             tree = ast.parse(path.read_text())
             for node in ast.walk(tree):

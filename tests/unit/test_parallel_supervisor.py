@@ -1,0 +1,180 @@
+"""Supervised worker pool: crash/hang recovery, salvage, clamping."""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.experiments.parallel import (
+    GridCellError,
+    run_cells,
+    run_cells_report,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _square(cell):
+    return cell * cell
+
+
+def _fail_odd(cell):
+    if cell % 2:
+        raise ValueError(f"odd cell {cell}")
+    return cell
+
+
+def _crash_once(cell):
+    """SIGKILL the worker on the first attempt at each cell; succeed after."""
+    sentinel_dir, value = cell
+    marker = os.path.join(sentinel_dir, f"crashed-{value}")
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("x")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value * 10
+
+
+def _crash_always(cell):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _hang_once(cell):
+    """Hang far past the cell timeout on the first attempt; then succeed."""
+    sentinel_dir, value = cell
+    marker = os.path.join(sentinel_dir, f"hung-{value}")
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("x")
+        time.sleep(120.0)
+    return value + 100
+
+
+class TestSerialContract:
+    def test_results_in_cell_order(self):
+        assert run_cells([3, 1, 2], _square, parallel=False) == [9, 1, 4]
+
+    def test_serial_exception_propagates(self):
+        with pytest.raises(ValueError, match="odd cell 1"):
+            run_cells([0, 1, 2], _fail_odd, parallel=False)
+
+    def test_serial_report_salvages(self):
+        report = run_cells_report([0, 1, 2, 3], _fail_odd, parallel=False)
+        assert report.results == [0, None, 2, None]
+        assert [f.index for f in report.failed_cells] == [1, 3]
+        assert all(f.reason == "error" for f in report.failed_cells)
+        assert not report.used_pool
+
+    def test_serial_equals_parallel(self):
+        cells = list(range(6))
+        serial = run_cells(cells, _square, parallel=False)
+        forked = run_cells(cells, _square, parallel=True, n_workers=3)
+        assert serial == forked
+
+
+class TestClamp:
+    def test_pool_clamped_to_cell_count(self):
+        registry = MetricsRegistry()
+        report = run_cells_report(
+            [1, 2], _square, parallel=True, n_workers=8, registry=registry
+        )
+        assert report.results == [1, 4]
+        assert report.n_workers == 2
+        assert registry.counter("worker_pool_clamped_total").value == 1
+
+    def test_no_clamp_when_workers_fit(self):
+        registry = MetricsRegistry()
+        run_cells_report(
+            [1, 2, 3], _square, parallel=True, n_workers=2, registry=registry
+        )
+        assert registry.counter("worker_pool_clamped_total").value == 0
+
+
+class TestCrashRecovery:
+    def test_killed_cell_is_retried_and_merged(self, tmp_path):
+        registry = MetricsRegistry()
+        cells = [(str(tmp_path), v) for v in range(4)]
+        report = run_cells_report(
+            cells,
+            _crash_once,
+            parallel=True,
+            n_workers=2,
+            max_retries=2,
+            retry_backoff_s=0.05,
+            registry=registry,
+        )
+        assert report.failed_cells == []
+        assert report.results == [0, 10, 20, 30]
+        assert report.retries_total == 4  # every cell crashed exactly once
+        assert registry.counter(
+            "worker_retries_total", reason="crash"
+        ).value == 4
+
+    def test_retries_exhausted_reports_crash(self, tmp_path):
+        # Two cells so the pool path engages (a single cell always runs
+        # serially — it would execute the SIGKILL in this process).
+        report = run_cells_report(
+            [(str(tmp_path), 0), (str(tmp_path), 1)],
+            _crash_always,
+            parallel=True,
+            n_workers=2,
+            max_retries=1,
+            retry_backoff_s=0.05,
+        )
+        assert report.results == [None, None]
+        assert len(report.failed_cells) == 2
+        for failure in report.failed_cells:
+            assert failure.reason == "crash"
+            assert failure.attempts == 2  # first try + one retry
+
+    def test_run_cells_raises_grid_cell_error(self, tmp_path):
+        with pytest.raises(GridCellError, match="crash"):
+            run_cells(
+                [(str(tmp_path), 0), (str(tmp_path), 1)],
+                _crash_always,
+                parallel=True,
+                n_workers=2,
+                max_retries=0,
+                retry_backoff_s=0.05,
+            )
+
+
+class TestHangRecovery:
+    def test_hung_cell_is_killed_and_retried(self, tmp_path):
+        registry = MetricsRegistry()
+        cells = [(str(tmp_path), v) for v in range(2)]
+        report = run_cells_report(
+            cells,
+            _hang_once,
+            parallel=True,
+            n_workers=2,
+            cell_timeout_s=1.0,
+            max_retries=2,
+            retry_backoff_s=0.05,
+            registry=registry,
+        )
+        assert report.failed_cells == []
+        assert report.results == [100, 101]
+        assert report.retries_total == 2
+        assert registry.counter(
+            "worker_retries_total", reason="timeout"
+        ).value == 2
+
+
+class TestDeterministicErrors:
+    def test_exception_not_retried_on_pool_path(self):
+        report = run_cells_report(
+            [0, 1, 2, 3],
+            _fail_odd,
+            parallel=True,
+            n_workers=2,
+            max_retries=3,
+            retry_backoff_s=0.05,
+        )
+        assert report.results == [0, None, 2, None]
+        assert report.retries_total == 0  # deterministic: no retry burned
+        assert [f.index for f in report.failed_cells] == [1, 3]
+        for failure in report.failed_cells:
+            assert failure.reason == "error"
+            assert failure.attempts == 1
+            assert "odd cell" in failure.detail
