@@ -1,16 +1,33 @@
-"""Command-line interface: run experiments and generate reports.
+"""Command-line interface: run experiments, generate reports, manage the cache.
 
 Usage::
 
     python -m repro.cli list
-    python -m repro.cli run fig8 [--scale smoke|medium|paper] [--cache DIR]
+    python -m repro.cli run fig8 [--scale smoke|medium|paper]
+                                 [--cache-dir DIR | --no-cache]
                                  [--trace] [--trace-dir DIR]
                                  [--faults PLAN] [--fault-seed N]
     python -m repro.cli report [--scale medium] [--out EXPERIMENTS.md]
+                               [--cache-dir DIR | --no-cache]
                                [--trace] [--trace-dir DIR]
+    python -m repro.cli cache stats [--cache-dir DIR]
+    python -m repro.cli cache gc [--cache-dir DIR] [--max-age-s SECONDS]
+    python -m repro.cli cache clear [--cache-dir DIR]
 
-``run`` executes one experiment and prints its figure rows; ``report``
-runs the whole evaluation and writes the paper-vs-measured markdown.
+``run`` executes one experiment from the registry
+(:data:`repro.experiments.EXPERIMENTS`) and prints its figure rows;
+``report`` runs the whole evaluation and writes the paper-vs-measured
+markdown.  Both consult the content-addressed artifact store under
+``--cache-dir`` (default ``.repro_cache``): datasets, models, Q-tables,
+trace grids, and experiment-grid cells are reused across invocations when
+their keys match, so a warm re-run recomputes only what changed.
+``--no-cache`` disables the store entirely.  ``--cache`` is accepted as an
+alias of ``--cache-dir``.  See ``docs/caching.md``.
+
+``cache`` inspects or prunes the store: ``stats`` prints the per-kind
+entry count and byte footprint, ``gc`` reaps temp files from killed
+writers (plus entries older than ``--max-age-s``, when given), and
+``clear`` deletes everything.
 
 ``--trace`` turns on the observability layer (equivalent to setting
 ``REPRO_TRACE=1``): every simulation writes a JSONL event log, a Chrome
@@ -20,7 +37,9 @@ trace (load it in ``chrome://tracing``), and a run manifest under
 ``--faults`` attaches the deterministic fault-injection layer (equivalent
 to setting ``REPRO_FAULTS``) using the compact plan form
 ``kind:rate[,kind:rate...]``, e.g. ``sensor_dropout:0.05,npu_failure:0.02``;
-``--fault-seed`` seeds the injector streams.  See ``docs/resilience.md``.
+``--fault-seed`` seeds the injector streams.  Fault plans fold into the
+artifact-store keys, so faulted and fault-free runs never share cache
+entries.  See ``docs/resilience.md``.
 """
 
 from __future__ import annotations
@@ -28,12 +47,15 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import Callable, Dict, Optional
+from typing import Optional
 
+from repro.experiments import EXPERIMENTS
 from repro.experiments.assets import AssetConfig, AssetStore
 from repro.experiments.report import ReportScale, generate_report
 from repro.faults import FAULT_SEED_ENV, FAULTS_ENV, FaultPlan
 from repro.obs.config import TRACE_DIR_ENV, TRACE_ENV
+from repro.store import ArtifactStore
+from repro.utils.tables import ascii_table
 
 DEFAULT_CACHE = ".repro_cache"
 
@@ -50,8 +72,12 @@ def _scale(name: str) -> ReportScale:
     return factory()
 
 
-def _assets(cache_dir: str, scale_name: str) -> AssetStore:
-    """Build (or load from ``cache_dir``) the assets for one scale."""
+def _assets(cache_dir: Optional[str], scale_name: str) -> AssetStore:
+    """Build (or load from the store at ``cache_dir``) one scale's assets.
+
+    ``cache_dir=None`` disables the artifact store: everything is built
+    in-process and nothing is persisted.
+    """
     if scale_name == "paper":
         config = AssetConfig.paper(cache_dir=cache_dir)
     elif scale_name == "medium":
@@ -65,6 +91,13 @@ def _assets(cache_dir: str, scale_name: str) -> AssetStore:
     else:
         config = AssetConfig.smoke(cache_dir=cache_dir)
     return AssetStore(config=config)
+
+
+def _resolve_cache_dir(args: argparse.Namespace) -> Optional[str]:
+    """``--cache-dir`` unless ``--no-cache`` turns the store off."""
+    if getattr(args, "no_cache", False):
+        return None
+    return str(args.cache_dir)
 
 
 def _apply_trace_flags(trace: bool, trace_dir: Optional[str]) -> None:
@@ -99,36 +132,46 @@ def _apply_fault_flags(faults: Optional[str], fault_seed: int) -> None:
     os.environ[FAULT_SEED_ENV] = str(fault_seed)
 
 
-def _experiments(scale: ReportScale, assets: AssetStore) -> Dict[str, Callable[[], str]]:
-    """Map experiment names (``fig8``, ...) to zero-argument runners."""
-    from repro.experiments.illustrative import run_illustrative
-    from repro.experiments.main_mixed import run_main_mixed
-    from repro.experiments.migration import run_migration_overhead
-    from repro.experiments.model_eval import run_model_eval
-    from repro.experiments.motivation import run_motivation
-    from repro.experiments.nas import run_nas
-    from repro.experiments.overhead import run_overhead
-    from repro.experiments.resilience import run_resilience
-    from repro.experiments.single_app import run_single_app
+def _format_bytes(n: int) -> str:
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024.0 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024.0
+    return f"{int(n)} B"
 
-    return {
-        "fig1": lambda: run_motivation(scale.motivation, assets.platform).report(),
-        "fig3": lambda: run_nas(assets, scale.nas).report(),
-        "fig5": lambda: run_migration_overhead(
-            scale.migration, assets.platform
-        ).report(),
-        "fig7": lambda: run_illustrative(assets, scale.illustrative).report(),
-        "fig8": lambda: run_main_mixed(assets, scale.main_mixed).report(),
-        "fig10": lambda: run_main_mixed(
-            assets, scale.main_mixed
-        ).frequency_usage_report(
-            cooling=scale.main_mixed.coolings[-1].name
-        ),
-        "fig11": lambda: run_single_app(assets, scale.single_app).report(),
-        "model-eval": lambda: run_model_eval(assets, scale.model_eval).report(),
-        "fig12": lambda: run_overhead(assets, scale.overhead).report(),
-        "resilience": lambda: run_resilience(assets, scale.resilience).report(),
-    }
+
+def _cache_command(args: argparse.Namespace) -> int:
+    """``cache stats|gc|clear`` against the store at ``--cache-dir``."""
+    store = ArtifactStore(str(args.cache_dir))
+    if args.cache_command == "stats":
+        per_kind = store.disk_stats()
+        if not per_kind:
+            print(f"artifact store at {store.root}: empty")
+            return 0
+        rows = [
+            (stats.kind, stats.entries, _format_bytes(stats.bytes))
+            for stats in per_kind
+        ]
+        rows.append(
+            (
+                "TOTAL",
+                sum(s.entries for s in per_kind),
+                _format_bytes(sum(s.bytes for s in per_kind)),
+            )
+        )
+        print(f"artifact store at {store.root}:")
+        print(ascii_table(["kind", "entries", "size"], rows))
+        return 0
+    if args.cache_command == "gc":
+        removed = store.gc(max_age_s=args.max_age_s)
+        print(f"removed {removed} file(s) from {store.root}")
+        return 0
+    if args.cache_command == "clear":
+        removed = store.clear()
+        print(f"removed {removed} file(s) from {store.root}")
+        return 0
+    return 2
 
 
 def main(argv=None) -> int:
@@ -149,14 +192,41 @@ def main(argv=None) -> int:
     run_p = sub.add_parser("run", help="run one experiment")
     run_p.add_argument("experiment")
     run_p.add_argument("--scale", default="smoke")
-    run_p.add_argument("--cache", default=DEFAULT_CACHE)
 
     report_p = sub.add_parser("report", help="run the whole evaluation")
     report_p.add_argument("--scale", default="medium")
     report_p.add_argument("--out", default="EXPERIMENTS.md")
-    report_p.add_argument("--cache", default=DEFAULT_CACHE)
 
+    cache_p = sub.add_parser("cache", help="inspect or manage the artifact store")
+    cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
+    cache_stats_p = cache_sub.add_parser(
+        "stats", help="per-kind entry count and byte footprint"
+    )
+    cache_gc_p = cache_sub.add_parser(
+        "gc", help="reap temp files (and entries older than --max-age-s)"
+    )
+    cache_gc_p.add_argument(
+        "--max-age-s",
+        type=float,
+        default=None,
+        help="also remove entries older than this many seconds",
+    )
+    cache_clear_p = cache_sub.add_parser("clear", help="delete every entry")
+
+    for cmd_p in (run_p, report_p, cache_stats_p, cache_gc_p, cache_clear_p):
+        cmd_p.add_argument(
+            "--cache-dir",
+            "--cache",
+            dest="cache_dir",
+            default=DEFAULT_CACHE,
+            help=f"artifact store root (default {DEFAULT_CACHE})",
+        )
     for cmd_p in (run_p, report_p):
+        cmd_p.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="disable the artifact store for this invocation",
+        )
         cmd_p.add_argument(
             "--trace",
             action="store_true",
@@ -184,33 +254,33 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.command == "list":
-        scale = ReportScale.smoke()
-        names = _experiments(scale, _assets(DEFAULT_CACHE, "smoke"))
-        print("\n".join(sorted(names)))
+        print("\n".join(sorted(EXPERIMENTS)))
         return 0
+
+    if args.command == "cache":
+        return _cache_command(args)
 
     if args.command == "run":
         _apply_trace_flags(args.trace, args.trace_dir)
         _apply_fault_flags(args.faults, args.fault_seed)
         scale = _scale(args.scale)
-        assets = _assets(args.cache, args.scale)
-        experiments = _experiments(scale, assets)
-        fn = experiments.get(args.experiment)
-        if fn is None:
+        assets = _assets(_resolve_cache_dir(args), args.scale)
+        spec = EXPERIMENTS.get(args.experiment)
+        if spec is None:
             print(
                 f"unknown experiment {args.experiment!r}; "
-                f"known: {sorted(experiments)}",
+                f"known: {sorted(EXPERIMENTS)}",
                 file=sys.stderr,
             )
             return 2
-        print(fn())
+        print(spec.body(assets, scale, None))
         return 0
 
     if args.command == "report":
         _apply_trace_flags(args.trace, args.trace_dir)
         _apply_fault_flags(args.faults, args.fault_seed)
         scale = _scale(args.scale)
-        assets = _assets(args.cache, args.scale)
+        assets = _assets(_resolve_cache_dir(args), args.scale)
         report = generate_report(assets, scale)
         with open(args.out, "w") as handle:
             handle.write(report)

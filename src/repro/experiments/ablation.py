@@ -33,6 +33,7 @@ from repro.il.dataset import DatasetBuilder, LabelConfig
 from repro.il.pipeline import generate_scenarios
 from repro.il.technique import TopIL
 from repro.nn.training import TrainingConfig
+from repro.store import ArtifactKey, cell_artifact_key
 from repro.utils.floatcmp import is_exactly, is_zero
 from repro.utils.rng import RandomSource
 from repro.utils.tables import ascii_table
@@ -255,6 +256,20 @@ def run_period_ablation(
         for mig_period in config.migration_periods_s
         for dvfs_period in config.dvfs_periods_s
     ]
+
+    def cell_key(cell: Tuple[float, float]) -> ArtifactKey:
+        return cell_artifact_key(
+            "period_ablation",
+            cell,
+            config={
+                "workload_apps": config.workload_apps,
+                "instruction_scale": config.instruction_scale,
+            },
+            assets_config=assets.config.signature(),
+            platform=assets.platform,
+            seed=config.seed,
+        )
+
     rows = run_cells(
         cells,
         _run_period_cell,
@@ -262,6 +277,8 @@ def run_period_ablation(
         init_args=(assets, config),
         parallel=parallel,
         n_workers=n_workers,
+        store=assets.artifacts,
+        cell_key=cell_key,
     )
     return PeriodAblationResult(rows=list(rows))
 

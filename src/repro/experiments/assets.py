@@ -2,25 +2,76 @@
 
 Several experiments need the same design-time artifacts (the paper trains
 three IL models and three RL policies once and reuses them everywhere).
-:class:`AssetStore` builds them on first use and caches the expensive parts
-(the IL dataset, the Q-tables) on disk so repeated benchmark invocations
-are fast.
+:class:`AssetStore` builds them on first use and, when a cache directory
+is configured, persists them through the content-addressed artifact store
+(:mod:`repro.store`): the IL dataset, each trained model, and each
+Q-table is cached under a key derived from everything that produced it,
+so repeated benchmark invocations rebuild nothing and a config change
+invalidates exactly the artifacts it affects.
+
+``AssetConfig.cache_dir`` doubles as the store root.  Cache files written
+by pre-store versions of this repository (flat ``il-dataset-*.npz`` /
+``qtable-*.npz`` names) are neither read nor deleted; a one-time warning
+points at them so operators can remove the dead bytes.
 """
 
 from __future__ import annotations
 
+import glob
+import logging
 import os
 from dataclasses import dataclass, field, replace
-from typing import List, Optional
+from typing import Dict, List, Optional, Set
 
 from repro.il.dataset import ILDataset
-from repro.il.pipeline import ILPipeline, PipelineConfig
+from repro.il.pipeline import ILPipeline, PipelineConfig, generate_scenarios
 from repro.nn.layers import Sequential
 from repro.nn.training import TrainingConfig
 from repro.platform import Platform, hikey970
 from repro.rl.pretrain import pretrain_qtable
 from repro.rl.qtable import QTable
+from repro.store import (
+    ArtifactKey,
+    ArtifactStore,
+    ILDatasetHandle,
+    ModelHandle,
+    QTableHandle,
+)
+from repro.utils.rng import RandomSource
 from repro.utils.validation import check_positive
+
+_LOG = logging.getLogger("repro.experiments.assets")
+
+#: Cache roots already checked for pre-store legacy files (per process).
+_LEGACY_CHECKED: Set[str] = set()
+
+
+def _warn_legacy_cache_files(root: str) -> None:
+    """One-time warning for cache files from the pre-store naming scheme.
+
+    Legacy entries are ignored, never silently shadowed: the store only
+    reads entries it wrote (digest-named payload + meta pairs), so stale
+    flat ``.npz`` files cannot leak into results — they just waste disk.
+    """
+    root = os.path.abspath(root)
+    if root in _LEGACY_CHECKED:
+        return
+    _LEGACY_CHECKED.add(root)
+    legacy = sorted(
+        path
+        for pattern in ("il-dataset-*.npz", "qtable-*.npz")
+        for path in glob.glob(os.path.join(root, pattern))
+    )
+    if legacy:
+        _LOG.warning(
+            "cache dir %s contains %d file(s) from the pre-store cache "
+            "layout (%s%s); they are ignored by the artifact store — delete "
+            "them or run `python -m repro.cli cache clear` to reclaim disk",
+            root,
+            len(legacy),
+            ", ".join(os.path.basename(p) for p in legacy[:3]),
+            ", ..." if len(legacy) > 3 else "",
+        )
 
 
 @dataclass
@@ -35,10 +86,25 @@ class AssetConfig:
     rl_episodes: int = 3
     rl_instruction_scale: float = 0.05
     seed: int = 42
+    #: Artifact-store root; ``None`` disables on-disk caching entirely.
     cache_dir: Optional[str] = None
 
     def __post_init__(self):
         check_positive("n_scenarios", self.n_scenarios)
+
+    def signature(self) -> Dict[str, object]:
+        """The cache-key view of this config: everything except where
+        the cache lives (the same artifacts are valid under any root)."""
+        return {
+            "n_scenarios": self.n_scenarios,
+            "vf_levels_per_cluster": self.vf_levels_per_cluster,
+            "max_aoi_candidates": self.max_aoi_candidates,
+            "n_models": self.n_models,
+            "training": self.training,
+            "rl_episodes": self.rl_episodes,
+            "rl_instruction_scale": self.rl_instruction_scale,
+            "seed": self.seed,
+        }
 
     @classmethod
     def smoke(cls, cache_dir: Optional[str] = None) -> "AssetConfig":
@@ -72,6 +138,7 @@ class AssetStore:
         self,
         platform: Optional[Platform] = None,
         config: Optional[AssetConfig] = None,
+        artifacts: Optional[ArtifactStore] = None,
     ):
         self.platform = platform or hikey970()
         self.config = config or AssetConfig()
@@ -79,17 +146,69 @@ class AssetStore:
         self._models: Optional[List[Sequential]] = None
         self._qtables: Optional[List[QTable]] = None
         self._pipeline: Optional[ILPipeline] = None
+        #: Explicit store wins; else one is opened on ``config.cache_dir``.
+        self._artifacts = artifacts
+        self._artifacts_resolved = artifacts is not None
 
-    # ------------------------------------------------------------------ paths
-    def _cache_path(self, name: str) -> Optional[str]:
-        if self.config.cache_dir is None:
-            return None
-        os.makedirs(self.config.cache_dir, exist_ok=True)
-        tag = (
-            f"s{self.config.n_scenarios}-v{self.config.vf_levels_per_cluster}"
-            f"-c{self.config.max_aoi_candidates}-seed{self.config.seed}"
+    # ------------------------------------------------------------------ store
+    @property
+    def artifacts(self) -> Optional[ArtifactStore]:
+        """The artifact store backing this asset set (None = no caching)."""
+        if not self._artifacts_resolved:
+            self._artifacts_resolved = True
+            if self.config.cache_dir is not None:
+                _warn_legacy_cache_files(self.config.cache_dir)
+                self._artifacts = ArtifactStore(self.config.cache_dir)
+        return self._artifacts
+
+    # ------------------------------------------------------------------ keys
+    def dataset_key(self) -> ArtifactKey:
+        """Content address of the IL dataset these assets train on."""
+        cfg = self.pipeline().config
+        return ArtifactKey.create(
+            "il-dataset",
+            config={
+                "n_scenarios": cfg.n_scenarios,
+                "apps": list(cfg.apps),
+                "vf_levels_per_cluster": cfg.vf_levels_per_cluster,
+                "qos_fractions": list(cfg.qos_fractions),
+                "max_background_apps": cfg.max_background_apps,
+                "max_aoi_candidates": cfg.max_aoi_candidates,
+                "label_config": cfg.label_config,
+                "cooling": self.pipeline().cooling,
+            },
+            platform=self.platform,
+            seed=cfg.seed,
         )
-        return os.path.join(self.config.cache_dir, f"{name}-{tag}.npz")
+
+    def model_key(self, index: int) -> ArtifactKey:
+        """Content address of the ``index``-th trained IL model."""
+        cfg = self.pipeline().config
+        return ArtifactKey.create(
+            "model",
+            config={
+                "dataset": self.dataset_key().digest,
+                "hidden_layers": cfg.hidden_layers,
+                "hidden_width": cfg.hidden_width,
+                "training": cfg.training,
+                "index": index,
+            },
+            platform=self.platform,
+            seed=cfg.seed,
+        )
+
+    def qtable_key(self, index: int) -> ArtifactKey:
+        """Content address of the ``index``-th pre-trained Q-table."""
+        return ArtifactKey.create(
+            "qtable",
+            config={
+                "episodes": self.config.rl_episodes,
+                "instruction_scale": self.config.rl_instruction_scale,
+                "index": index,
+            },
+            platform=self.platform,
+            seed=self.config.seed + index,
+        )
 
     # ------------------------------------------------------------------ pipeline
     def pipeline(self) -> ILPipeline:
@@ -101,60 +220,80 @@ class AssetStore:
                 n_models=self.config.n_models,
                 training=self.config.training,
                 seed=self.config.seed,
-                cache_path=self._cache_path("il-dataset"),
             )
-            self._pipeline = ILPipeline(self.platform, config=cfg)
+            self._pipeline = ILPipeline(
+                self.platform, config=cfg, artifacts=self.artifacts
+            )
         return self._pipeline
 
-    def dataset(self) -> ILDataset:
-        """The IL training dataset (built or loaded from cache)."""
-        if self._dataset is None:
-            pipeline = self.pipeline()
-            cache = pipeline.config.cache_path
-            if cache is not None and os.path.exists(cache):
-                self._dataset = ILDataset.load(cache)
-            else:
-                from repro.il.pipeline import generate_scenarios
-                from repro.utils.rng import RandomSource
+    def _build_dataset(self) -> ILDataset:
+        """Scenarios -> (per-scenario cached) traces -> dataset."""
+        pipeline = self.pipeline()
+        scenarios = generate_scenarios(
+            self.platform,
+            pipeline.config.apps,
+            pipeline.config.n_scenarios,
+            RandomSource(pipeline.config.seed).child("scenarios"),
+            pipeline.config.max_background_apps,
+        )
+        grids = pipeline.collect_traces(scenarios)
+        return pipeline.build_dataset(grids)
 
-                scenarios = generate_scenarios(
-                    self.platform,
-                    pipeline.config.apps,
-                    pipeline.config.n_scenarios,
-                    RandomSource(pipeline.config.seed).child("scenarios"),
-                    pipeline.config.max_background_apps,
+    def dataset(self) -> ILDataset:
+        """The IL training dataset (built or loaded from the store)."""
+        if self._dataset is None:
+            store = self.artifacts
+            if store is None:
+                self._dataset = self._build_dataset()
+            else:
+                self._dataset = store.get_or_create(
+                    self.dataset_key(), ILDatasetHandle(), self._build_dataset
                 )
-                grids = pipeline.collect_traces(scenarios)
-                self._dataset = pipeline.build_dataset(grids)
-                if cache is not None:
-                    self._dataset.save(cache)
         return self._dataset
 
     def models(self) -> List[Sequential]:
-        """The trained IL models (one per random seed)."""
+        """The trained IL models (one per random seed, cached per model)."""
         if self._models is None:
-            result = self.pipeline().train_models(self.dataset())
-            self._models = result.models
+            store = self.artifacts
+            models: List[Sequential] = []
+            for i in range(self.config.n_models):
+                if store is None:
+                    models.append(self.pipeline().train_single(self.dataset(), i)[0])
+                else:
+                    models.append(
+                        store.get_or_create(
+                            self.model_key(i),
+                            ModelHandle(),
+                            lambda index=i: self.pipeline().train_single(
+                                self.dataset(), index
+                            )[0],
+                        )
+                    )
+            self._models = models
         return self._models
 
     def qtables(self) -> List[QTable]:
         """Pre-trained RL Q-tables (one per random seed)."""
         if self._qtables is None:
+            store = self.artifacts
             tables: List[QTable] = []
             for i in range(self.config.n_models):
-                path = self._cache_path(f"qtable-{i}")
-                if path is not None and os.path.exists(path):
-                    tables.append(QTable.load(path))
-                    continue
-                table = pretrain_qtable(
-                    self.platform,
-                    seed=self.config.seed + i,
-                    episodes=self.config.rl_episodes,
-                    instruction_scale=self.config.rl_instruction_scale,
-                )
-                if path is not None:
-                    table.save(path)
-                tables.append(table)
+                def build(index: int = i) -> QTable:
+                    return pretrain_qtable(
+                        self.platform,
+                        seed=self.config.seed + index,
+                        episodes=self.config.rl_episodes,
+                        instruction_scale=self.config.rl_instruction_scale,
+                    )
+
+                if store is None:
+                    tables.append(build())
+                else:
+                    tables.append(
+                        store.get_or_create(
+                            self.qtable_key(i), QTableHandle(), build
+                        )
+                    )
             self._qtables = tables
         return self._qtables
 

@@ -24,6 +24,7 @@ from repro.il.technique import TopIL
 from repro.metrics.cputime import CpuTimeByVF
 from repro.obs.config import Observability
 from repro.rl.technique import TopRL
+from repro.store import ArtifactKey, cell_artifact_key
 from repro.thermal import CoolingConfig, FAN_COOLING, PASSIVE_COOLING
 from repro.utils.rng import RandomSource
 from repro.utils.tables import ascii_table
@@ -229,6 +230,24 @@ def run_main_mixed(
         for rep in range(config.repetitions)
         for name in config.techniques
     ]
+
+    def cell_key(cell: Tuple[CoolingConfig, float, int, str]) -> ArtifactKey:
+        # The cell tuple (cooling config, rate, repetition, technique) plus
+        # the non-grid config knobs cover everything a summary depends on;
+        # grid *shape* (which rates, how many reps) stays out of the key so
+        # extending the grid reuses already-computed cells.
+        return cell_artifact_key(
+            EXPERIMENT_NAME,
+            cell,
+            config={
+                "n_apps": config.n_apps,
+                "instruction_scale": config.instruction_scale,
+            },
+            assets_config=assets.config.signature(),
+            platform=assets.platform,
+            seed=config.workload_seed,
+        )
+
     summaries = run_cells(
         cells,
         _run_main_mixed_cell,
@@ -237,6 +256,8 @@ def run_main_mixed(
         parallel=parallel,
         n_workers=n_workers,
         experiment=EXPERIMENT_NAME,
+        store=assets.artifacts,
+        cell_key=cell_key,
     )
 
     # Aggregate in the cells' nested order — the same order the serial

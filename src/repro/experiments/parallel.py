@@ -41,6 +41,15 @@ in-process, so both paths execute identical code (supervision — timeouts,
 retries — requires the pool; serially an exception surfaces directly, or
 becomes a ``failed_cells`` entry under :func:`run_cells_report`).
 
+Grids can additionally be **incremental**: pass ``store=`` (a
+:class:`~repro.store.ArtifactStore`) plus ``cell_key=`` and the supervisor
+probes the store before scheduling — verified hits are returned without
+running any worker, misses are computed and published back, so a warm
+re-run recomputes only invalidated cells and a killed grid resumes where
+it died.  Cell keys fold in every result ingredient (config, platform,
+seed, fault environment), which is sound precisely because cells are
+seed-stable.
+
 Observability composes with the fan-out through files, not shared memory:
 each worker's traced run writes its own per-cell manifest under
 ``<out_dir>/<experiment>/``, and after the grid completes the parent folds
@@ -77,6 +86,7 @@ from typing import (
 from repro.obs.config import Observability
 from repro.obs.manifest import RunManifest, merge_manifests
 from repro.obs.metrics import MetricsRegistry
+from repro.store import ArtifactHandle, ArtifactKey, ArtifactStore, CellResultHandle
 from repro.utils.rng import RandomSource
 
 #: Environment switch: set to ``"0"`` to force serial execution everywhere.
@@ -469,6 +479,32 @@ def _supervise(
 
 
 # ---------------------------------------------------------------------- entry points
+def _publishing_worker(
+    worker: Callable[[Any], Any],
+    store: ArtifactStore,
+    cell_key: Callable[[Any], Optional[ArtifactKey]],
+    handle: ArtifactHandle,
+) -> Callable[[Any], Any]:
+    """Wrap ``worker`` so every completed cell is published to the store.
+
+    The wrapper re-derives the cell's key worker-side (keys are pure
+    functions of the cell, so parent and worker agree on the digest) and
+    publishes *before* the result travels back over the pipe: if the grid
+    is killed afterwards, a warm re-run finds the finished cells and
+    resumes where the grid died.  Works on both execution paths — the
+    fork pool inherits the closure, the serial path calls it directly.
+    """
+
+    def publish(cell: Any) -> Any:
+        value = worker(cell)
+        key = cell_key(cell)
+        if key is not None:
+            store.put(key, value, handle)
+        return value
+
+    return publish
+
+
 def run_cells_report(
     cells: Sequence[Any],
     worker: Callable[[Any], Any],
@@ -483,6 +519,9 @@ def run_cells_report(
     max_retries: int = DEFAULT_MAX_RETRIES,
     retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
     registry: Optional[MetricsRegistry] = None,
+    store: Optional[ArtifactStore] = None,
+    cell_key: Optional[Callable[[Any], Optional[ArtifactKey]]] = None,
+    cell_handle: Optional[ArtifactHandle] = None,
 ) -> GridReport:
     """Run the grid with partial-result salvage; never raises for cells.
 
@@ -498,10 +537,73 @@ def run_cells_report(
     be interrupted in-process) bounds each attempt.  ``registry`` counts
     supervisor events (``worker_retries_total``, ``worker_failures_total``,
     ``worker_pool_clamped_total``).
+
+    With ``store`` + ``cell_key`` the grid becomes **incremental**: before
+    any scheduling, every cell's key is probed against the artifact store
+    and verified hits are filled in directly (counted in
+    ``store_hits_total`` / ``store_misses_total`` when the store carries a
+    registry); only misses are scheduled, and each completed cell is
+    published back so an interrupted grid resumes where it died.  Cells
+    are seed-stable by contract, so a cached result is bit-identical to a
+    recomputed one.  ``cell_key`` may return ``None`` to opt a cell out;
+    ``cell_handle`` defaults to :class:`~repro.store.CellResultHandle`.
+    Note cached cells run no worker code, so they write no per-cell
+    manifests and emit no run traces — see ``docs/caching.md``.
     """
     cells = list(cells)
     if not cells:
         return GridReport(results=[])
+
+    if store is not None and cell_key is not None:
+        handle = cell_handle if cell_handle is not None else CellResultHandle()
+        results: List[Any] = [None] * len(cells)
+        pending: List[int] = []
+        for index, cell in enumerate(cells):
+            key = cell_key(cell)
+            found, value = (False, None)
+            if key is not None:
+                found, value = store.lookup(key, handle)
+            if found:
+                results[index] = value
+            else:
+                pending.append(index)
+        if not pending:
+            if experiment is not None:
+                merge_cell_manifests(experiment, observability)
+            return GridReport(results=results)
+        sub = run_cells_report(
+            [cells[i] for i in pending],
+            _publishing_worker(worker, store, cell_key, handle),
+            init=init,
+            init_args=init_args,
+            n_workers=n_workers,
+            parallel=parallel,
+            experiment=experiment,
+            observability=observability,
+            cell_timeout_s=cell_timeout_s,
+            max_retries=max_retries,
+            retry_backoff_s=retry_backoff_s,
+            registry=registry,
+        )
+        for sub_index, index in enumerate(pending):
+            results[index] = sub.results[sub_index]
+        failed = [
+            FailedCell(
+                index=pending[f.index],
+                cell=f.cell,
+                attempts=f.attempts,
+                reason=f.reason,
+                detail=f.detail,
+            )
+            for f in sub.failed_cells
+        ]
+        return GridReport(
+            results=results,
+            failed_cells=failed,
+            retries_total=sub.retries_total,
+            n_workers=sub.n_workers,
+            used_pool=sub.used_pool,
+        )
     requested = default_workers() if n_workers is None else int(n_workers)
     effective = max(1, min(requested, len(cells)))
     if effective < requested:
@@ -580,6 +682,9 @@ def run_cells(
     max_retries: int = DEFAULT_MAX_RETRIES,
     retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
     registry: Optional[MetricsRegistry] = None,
+    store: Optional[ArtifactStore] = None,
+    cell_key: Optional[Callable[[Any], Optional[ArtifactKey]]] = None,
+    cell_handle: Optional[ArtifactHandle] = None,
 ) -> List[Any]:
     """Run ``worker(cell)`` for every cell; results in cell order.
 
@@ -611,7 +716,8 @@ def run_cells(
     requested = default_workers() if n_workers is None else int(n_workers)
     effective = max(1, min(requested, len(cells) or 1))
     use_pool = parallel_enabled(parallel) and effective > 1 and len(cells) > 1
-    if not use_pool:
+    use_store = store is not None and cell_key is not None
+    if not use_pool and not use_store:
         # Preserve the exact legacy serial contract: exceptions propagate.
         if effective < requested and registry is not None:
             registry.counter("worker_pool_clamped_total").inc()
@@ -634,6 +740,9 @@ def run_cells(
         max_retries=max_retries,
         retry_backoff_s=retry_backoff_s,
         registry=registry,
+        store=store,
+        cell_key=cell_key,
+        cell_handle=cell_handle,
     )
     report.raise_if_failed()
     return report.results

@@ -4,6 +4,13 @@
 section at a configurable scale and renders one markdown document with the
 measured numbers next to the paper's, which is how ``EXPERIMENTS.md`` is
 produced (``python -m repro.cli report``).
+
+The sections come from the experiment registry
+(:data:`repro.experiments.EXPERIMENT_SPECS`): every spec with
+``in_report=True`` contributes one section, in registry order, with the
+spec's title and paper claim.  Adding an experiment to the registry adds
+it to ``list``, ``run``, *and* this report — there is no second list to
+keep in sync.
 """
 
 from __future__ import annotations
@@ -12,29 +19,18 @@ import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
-from repro.experiments.ablation import (
-    AblationConfig,
-    _collect_grids,
-    run_feature_ablation,
-    run_label_ablation,
-    run_migration_granularity_ablation,
-    run_noise_ablation,
-    run_period_ablation,
-    run_source_coverage_ablation,
-)
+from repro.experiments import EXPERIMENT_SPECS
+from repro.experiments.ablation import AblationConfig
 from repro.experiments.assets import AssetStore
-from repro.experiments.illustrative import IllustrativeConfig, run_illustrative
-from repro.experiments.main_mixed import MainMixedConfig, run_main_mixed
-from repro.experiments.migration import (
-    MigrationOverheadConfig,
-    run_migration_overhead,
-)
-from repro.experiments.model_eval import ModelEvalConfig, run_model_eval
-from repro.experiments.motivation import MotivationConfig, run_motivation
-from repro.experiments.nas import NASConfig, run_nas
-from repro.experiments.overhead import OverheadConfig, run_overhead
-from repro.experiments.resilience import ResilienceConfig, run_resilience
-from repro.experiments.single_app import SingleAppConfig, run_single_app
+from repro.experiments.illustrative import IllustrativeConfig
+from repro.experiments.main_mixed import MainMixedConfig
+from repro.experiments.migration import MigrationOverheadConfig
+from repro.experiments.model_eval import ModelEvalConfig
+from repro.experiments.motivation import MotivationConfig
+from repro.experiments.nas import NASConfig
+from repro.experiments.overhead import OverheadConfig
+from repro.experiments.resilience import ResilienceConfig
+from repro.experiments.single_app import SingleAppConfig
 from repro.nn.training import TrainingConfig
 from repro.obs.metrics import MetricsRegistry
 from repro.thermal import FAN_COOLING, PASSIVE_COOLING
@@ -118,18 +114,6 @@ class ReportScale:
         )
 
 
-def _main_and_usage(assets: AssetStore, scale: ReportScale) -> str:
-    result = run_main_mixed(assets, scale.main_mixed)
-    coolings = [c.name for c in scale.main_mixed.coolings]
-    usage_cooling = "no_fan" if "no_fan" in coolings else coolings[0]
-    return (
-        result.report()
-        + "\n\nCPU time per cluster and VF level "
-        + f"({usage_cooling}):\n"
-        + result.frequency_usage_report(cooling=usage_cooling)
-    )
-
-
 def _section(title: str, paper_claim: str, body: str, elapsed_s: float) -> str:
     return (
         f"## {title}\n\n"
@@ -147,17 +131,18 @@ def generate_report(
     progress: Optional[Callable[[str], None]] = print,
     registry: Optional[MetricsRegistry] = None,
 ) -> str:
-    """Run every experiment and render the markdown report.
+    """Run every registered experiment and render the markdown report.
 
     Args:
         assets: Trained models, Q-tables, and the platform (built or loaded
-            from the asset cache).
+            from the artifact store).
         scale: Experiment sizes; defaults to :meth:`ReportScale.medium`.
         progress: Called with a one-line status before each section;
             ``None`` silences progress output.
         registry: Optional observability metrics registry; when given,
             each section's wall-clock duration is recorded as the
-            ``report_section_wall_s{section=...}`` gauge.
+            ``report_section_wall_s{section=...}`` gauge (and the
+            resilience sweep counts its retries into it).
 
     Returns:
         The full markdown report (the content of ``EXPERIMENTS.md``).
@@ -173,161 +158,17 @@ def generate_report(
         "the paper's *shapes* (who wins, by roughly what factor, where\n"
         "crossovers fall).\n"
     )
-
-    def record_section_wall(title: str, elapsed_s: float) -> None:
-        if registry is not None:
-            registry.gauge("report_section_wall_s", section=title).set(elapsed_s)
-
-    def run(title, paper_claim, fn):
-        say(f"[report] {title} ...")
+    for spec in EXPERIMENT_SPECS:
+        if not spec.in_report:
+            continue
+        say(f"[report] {spec.title} ...")
         # Wall-clock section timings are reporting metadata, not results.
         start = time.time()  # repro-lint: ignore[DET003]
-        body = fn()
+        body = spec.body(assets, scale, registry)
         elapsed_s = time.time() - start  # repro-lint: ignore[DET003]
-        record_section_wall(title, elapsed_s)
-        sections.append(_section(title, paper_claim, body, elapsed_s))
-
-    run(
-        "Fig. 1 — Motivational example",
-        "adi is coolest on the big cluster, seidel-2d (slightly) on LITTLE; "
-        "with a heavy background the preference changes (per-cluster DVFS).",
-        lambda: run_motivation(scale.motivation, assets.platform).report(),
-    )
-    run(
-        "Fig. 3 — NAS grid search",
-        "best topology: 4 hidden layers x 64 neurons.",
-        lambda: run_nas(assets, scale.nas).report(),
-    )
-    run(
-        "Fig. 5 — Worst-case migration overhead",
-        "max < 4 %, average 0.1 %; dedup/facesim can go negative.",
-        lambda: run_migration_overhead(scale.migration, assets.platform).report(),
-    )
-    run(
-        "Fig. 7 — Illustrative example (IL vs RL)",
-        "TOP-IL consistently selects the optimal cluster; TOP-RL "
-        "oscillates, raising temperature during suboptimal intervals.",
-        lambda: run_illustrative(assets, scale.illustrative).report(),
-    )
-    run(
-        "Fig. 8 — Main experiment (mixed workloads, fan and no fan) "
-        "and Fig. 10 — CPU time per VF level",
-        "TOP-IL reduces avg temperature by up to 17 degC vs GTS/ondemand at "
-        "slightly more violations; powersave is coolest but violates most; "
-        "TOP-RL matches TOP-IL's temperature with 63-89 % more violations; "
-        "independent of cooling.  GTS/ondemand concentrates CPU time at the "
-        "top big VF level; powersave at the lowest levels on both clusters.",
-        lambda: _main_and_usage(assets, scale),
-    )
-    run(
-        "Fig. 11 — Single-application workloads (unseen apps)",
-        "only TOP-IL reaches zero violations at low temperature; powersave "
-        "violates everything except canneal; TOP-RL violates ~33 % of runs.",
-        lambda: run_single_app(assets, scale.single_app).report(),
-    )
-    run(
-        "Sec. 7.4 — Model evaluation (held-out AoIs)",
-        "mapping within 1 degC of the optimum in 82 +/- 5 % of cases; "
-        "mean excess 0.5 +/- 0.2 degC.",
-        lambda: run_model_eval(assets, scale.model_eval).report(),
-    )
-    run(
-        "Fig. 12 — Run-time overhead",
-        "DVFS loop scales with the app count (8.7 ms/s worst case); the "
-        "NPU-batched migration policy stays flat (8.6 ms/s); total <= 1.7 %.",
-        lambda: run_overhead(assets, scale.overhead).report(),
-    )
-
-    say("[report] ablations ...")
-    start = time.time()  # repro-lint: ignore[DET003]
-    grids = _collect_grids(assets, scale.ablation)
-    bodies = [
-        run_label_ablation(assets, scale.ablation, grids).report(),
-        run_feature_ablation(assets, scale.ablation, grids).report(),
-        run_period_ablation(assets, scale.ablation).report(),
-        run_migration_granularity_ablation(assets, scale.ablation).report(),
-        run_source_coverage_ablation(assets, scale.ablation, grids).report(),
-        run_noise_ablation(assets, scale.ablation, grids).report(),
-    ]
-    ablations_elapsed_s = time.time() - start  # repro-lint: ignore[DET003]
-    record_section_wall("Ablations — design choices", ablations_elapsed_s)
-    sections.append(
-        _section(
-            "Ablations — design choices",
-            "not in the paper; quantify the soft labels (Eq. 4), the "
-            "aspect-c features, the 500 ms / 50 ms periods, the "
-            "one-migration-per-epoch rule, the exhaustive source coverage "
-            "(no-DAgger claim), and the alpha-vs-noise trade-off.",
-            "\n\n".join(bodies),
-            ablations_elapsed_s,
-        )
-    )
-
-    from repro.experiments.ablation import (
-        run_rl_reward_ablation,
-        run_rl_variant_ablation,
-    )
-    from repro.experiments.optimality import OptimalityConfig, run_optimality_gap
-    from repro.experiments.robustness import AmbientConfig, run_ambient_robustness
-    from repro.experiments.stability import StabilityConfig, run_stability
-
-    extension_runs = [
-        (
-            "Extension — optimality gap vs. privileged oracle",
-            "the run-time analogue of Sec. 7.4: TOP-IL should track an "
-            "oracle that sees the true models and solves the thermal "
-            "steady state.",
-            lambda: run_optimality_gap(
-                assets,
-                OptimalityConfig.smoke()
-                if scale.name == "smoke"
-                else OptimalityConfig(),
-            ).report(),
-        ),
-        (
-            "Extension — policy stability metrics",
-            "quantifies the paper's stability claim: IL migrates less, "
-            "oscillates less, and dips QoS less than online-learning RL.",
-            lambda: run_stability(
-                assets,
-                StabilityConfig.smoke()
-                if scale.name == "smoke"
-                else StabilityConfig(),
-            ).report(),
-        ),
-        (
-            "Extension — ambient-temperature robustness",
-            "the policy's features contain no temperature, so decisions "
-            "are ambient-independent and QoS holds at any ambient.",
-            lambda: run_ambient_robustness(
-                assets,
-                AmbientConfig.smoke()
-                if scale.name == "smoke"
-                else AmbientConfig(),
-            ).report(),
-        ),
-        (
-            "Extension — fault-injection resilience",
-            "graceful degradation under sensor, NPU, and deadline faults: "
-            "temperature and QoS degrade smoothly with the fault rate while "
-            "the CPU-fallback, safe-mode, and DTM fail-safe paths absorb "
-            "the failures.",
-            lambda: run_resilience(
-                assets, scale.resilience, registry=registry
-            ).report(),
-        ),
-        (
-            "Extension — RL reward and learner variants",
-            "the -200 penalty's trade-off, and Double Q-learning as a "
-            "stronger learner that still does not fix the structural "
-            "instability.",
-            lambda: (
-                run_rl_reward_ablation(assets, scale.ablation).report()
-                + "\n\n"
-                + run_rl_variant_ablation(assets, scale.ablation).report()
-            ),
-        ),
-    ]
-    for title, claim, fn in extension_runs:
-        run(title, claim, fn)
+        if registry is not None:
+            registry.gauge(
+                "report_section_wall_s", section=spec.title
+            ).set(elapsed_s)
+        sections.append(_section(spec.title, spec.paper_claim, body, elapsed_s))
     return header + "\n" + "\n".join(sections)

@@ -33,6 +33,7 @@ from repro.il.technique import TopIL
 from repro.obs.metrics import MetricsRegistry
 from repro.platform import hikey970
 from repro.sim.kernel import SimulationTimeout
+from repro.store import ArtifactKey, cell_artifact_key
 from repro.thermal import FAN_COOLING
 from repro.utils.floatcmp import is_zero
 from repro.utils.tables import ascii_table
@@ -239,6 +240,23 @@ def run_resilience(
     supervised pool with per-cell timeout and bounded retries.  Failures
     are reported in ``ResilienceResult.failed_cells``, never raised.
     """
+    def cell_key(rate: float) -> ArtifactKey:
+        # Orchestration knobs (cell_timeout_s, max_retries) stay out of the
+        # key: they bound how the cell runs, never what it computes.
+        return cell_artifact_key(
+            "resilience",
+            rate,
+            config={
+                "n_apps": config.n_apps,
+                "arrival_rate_per_s": config.arrival_rate_per_s,
+                "instruction_scale": config.instruction_scale,
+                "fault_seed": config.fault_seed,
+            },
+            assets_config=assets.config.signature(),
+            platform=hikey970(),
+            seed=config.seed,
+        )
+
     report = run_cells_report(
         list(config.fault_rates),
         _run_resilience_cell,
@@ -249,6 +267,8 @@ def run_resilience(
         cell_timeout_s=config.cell_timeout_s,
         max_retries=config.max_retries,
         registry=registry,
+        store=assets.artifacts,
+        cell_key=cell_key,
     )
     rows = [row for row in report.results if row is not None]
     return ResilienceResult(

@@ -18,6 +18,7 @@ from repro.experiments.assets import AssetStore
 from repro.experiments.parallel import run_cells
 from repro.il.technique import TopIL
 from repro.platform import hikey970
+from repro.store import ArtifactKey, cell_artifact_key
 from repro.thermal import FAN_COOLING
 from repro.utils.tables import ascii_table
 from repro.workloads.generator import mixed_workload
@@ -113,6 +114,19 @@ def run_ambient_robustness(
     leakage feedback bends it slightly).  Ambients are independent cells
     and fan out over :func:`repro.experiments.parallel.run_cells`.
     """
+    def cell_key(ambient: float) -> ArtifactKey:
+        return cell_artifact_key(
+            "ambient",
+            ambient,
+            config={
+                "n_apps": config.n_apps,
+                "instruction_scale": config.instruction_scale,
+            },
+            assets_config=assets.config.signature(),
+            platform=assets.platform,
+            seed=config.seed,
+        )
+
     rows = run_cells(
         list(config.ambients_c),
         _run_ambient_cell,
@@ -120,5 +134,7 @@ def run_ambient_robustness(
         init_args=(assets, config),
         parallel=parallel,
         n_workers=n_workers,
+        store=assets.artifacts,
+        cell_key=cell_key,
     )
     return AmbientResult(rows=list(rows))

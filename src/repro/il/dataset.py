@@ -29,7 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.il.features import FeatureExtractor
+from repro.il.features import FEATURE_COUNT, FeatureExtractor
 from repro.il.traces import TraceGrid, TracePoint
 from repro.platform import Platform
 from repro.utils.validation import check_positive
@@ -108,12 +108,31 @@ class ILDataset:
         )
 
     @classmethod
-    def load(cls, path: str) -> "ILDataset":
+    def load(
+        cls, path: str, expected_features: Optional[int] = None
+    ) -> "ILDataset":
+        """Load a saved dataset, validating its feature width.
+
+        A dataset written for a different platform (or by an older feature
+        extractor) would otherwise surface as an opaque shape error deep
+        inside training; validating here names the offending file.
+        ``expected_features`` defaults to :data:`~repro.il.features.FEATURE_COUNT`.
+        """
         data = np.load(path, allow_pickle=False)
+        features = np.asarray(data["features"], dtype=float)
+        if expected_features is None:
+            expected_features = FEATURE_COUNT
+        if features.ndim != 2 or features.shape[1] != expected_features:
+            raise ValueError(
+                f"dataset file {path!r} has feature shape {features.shape}, "
+                f"expected (*, {expected_features}); it was written for a "
+                "different platform or feature-extractor version — delete or "
+                "regenerate it"
+            )
         meta = [
             (str(a), int(c)) for a, c in zip(data["apps"], data["cores"])
         ]
-        return cls(features=data["features"], labels=data["labels"], meta=meta)
+        return cls(features=features, labels=data["labels"], meta=meta)
 
 
 @dataclass(frozen=True)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.apps.catalog import TRAINING_APPS
 from repro.il.dataset import (
@@ -27,6 +27,9 @@ from repro.platform import Platform
 from repro.thermal import CoolingConfig, FAN_COOLING
 from repro.utils.rng import RandomSource
 from repro.utils.validation import check_positive
+
+if TYPE_CHECKING:  # runtime imports stay lazy (repro.il must not need store)
+    from repro.store import ArtifactKey, ArtifactStore
 
 
 @dataclass
@@ -100,10 +103,13 @@ class ILPipeline:
         platform: Platform,
         cooling: CoolingConfig = FAN_COOLING,
         config: PipelineConfig = None,
+        artifacts: Optional["ArtifactStore"] = None,
     ):
         self.platform = platform
         self.cooling = cooling
         self.config = config or PipelineConfig()
+        #: Optional content-addressed cache for per-scenario trace grids.
+        self.artifacts = artifacts
         self.collector = TraceCollector(
             platform,
             cooling,
@@ -116,10 +122,20 @@ class ILPipeline:
         )
 
     # ------------------------------------------------------------------ stages
-    def collect_traces(self, scenarios: Sequence[TraceScenario]) -> List[TraceGrid]:
-        """Collect trace grids, bounding AoI candidates per scenario."""
+    def plan_candidates(
+        self, scenarios: Sequence[TraceScenario]
+    ) -> List[Tuple[TraceScenario, List[int]]]:
+        """Resolve the AoI candidate cores for every scenario, in order.
+
+        Candidate sampling consumes one sequential RNG stream across the
+        whole scenario list, so it must run for *every* scenario before
+        any cache decisions — a cache hit must not skip the draws that
+        later scenarios' candidates depend on.  This planning pass is
+        cheap (no simulation); it also makes the candidate list part of
+        each scenario's cache key.
+        """
         rng = RandomSource(self.config.seed).child("aoi-candidates")
-        grids: List[TraceGrid] = []
+        planned: List[Tuple[TraceScenario, List[int]]] = []
         for scenario in scenarios:
             free = scenario.free_cores(self.platform)
             if not free:
@@ -140,37 +156,108 @@ class ILPipeline:
                 candidates = sorted(picks)
             else:
                 candidates = free
-            grids.append(self.collector.collect(scenario, aoi_cores=candidates))
+            planned.append((scenario, candidates))
+        return planned
+
+    def trace_grid_key(
+        self, scenario: TraceScenario, candidates: Sequence[int]
+    ) -> "ArtifactKey":
+        """Content address of one scenario's trace grid.
+
+        Keyed on everything the collected grid depends on: the scenario,
+        the resolved candidate cores, the collector's sampling parameters,
+        the cooling configuration, and the platform fingerprint.
+        """
+        from repro.store import ArtifactKey as _ArtifactKey
+
+        return _ArtifactKey.create(
+            "trace-grid",
+            config={
+                "scenario": scenario,
+                "candidates": list(candidates),
+                "collector": {
+                    "vf_levels_per_cluster": self.config.vf_levels_per_cluster,
+                    "aoi_instructions": self.collector.aoi_instructions,
+                    "max_window_s": self.collector.max_window_s,
+                    "min_window_s": self.collector.min_window_s,
+                    "dt_s": self.collector.dt_s,
+                },
+                "cooling": self.cooling,
+            },
+            platform=self.platform,
+        )
+
+    def collect_traces(self, scenarios: Sequence[TraceScenario]) -> List[TraceGrid]:
+        """Collect trace grids, bounding AoI candidates per scenario.
+
+        With an artifact store attached, each scenario's grid is cached
+        individually — a partially collected run resumes at the first
+        uncollected scenario instead of starting over.
+        """
+        planned = self.plan_candidates(scenarios)
+        if self.artifacts is None:
+            return [
+                self.collector.collect(scenario, aoi_cores=candidates)
+                for scenario, candidates in planned
+            ]
+        from repro.store import TraceGridHandle
+
+        handle = TraceGridHandle()
+        grids: List[TraceGrid] = []
+        for scenario, candidates in planned:
+            key = self.trace_grid_key(scenario, candidates)
+            grids.append(
+                self.artifacts.get_or_create(
+                    key,
+                    handle,
+                    lambda s=scenario, c=candidates: self.collector.collect(
+                        s, aoi_cores=c
+                    ),
+                )
+            )
         return grids
 
     def build_dataset(self, grids: Sequence[TraceGrid]) -> ILDataset:
         return self.builder.build(grids)
 
-    def train_models(self, dataset: ILDataset) -> PipelineResult:
-        """Train ``n_models`` models with different random seeds."""
+    def train_single(
+        self, dataset: ILDataset, index: int
+    ) -> Tuple[Sequential, TrainingResult]:
+        """Train the ``index``-th model (its own init and shuffle seeds).
+
+        Each model's randomness is derived from ``(seed, index)`` alone,
+        so a single model can be (re)trained — or cached — independently
+        of its siblings.
+        """
         if len(dataset) == 0:
             raise ValueError("cannot train on an empty dataset")
+        rng = RandomSource(self.config.seed).child(f"model-{index}")
+        model = build_mlp(
+            input_dim=dataset.features.shape[1],
+            output_dim=dataset.labels.shape[1],
+            hidden_layers=self.config.hidden_layers,
+            hidden_width=self.config.hidden_width,
+            rng=rng,
+        )
+        cfg = TrainingConfig(
+            initial_lr=self.config.training.initial_lr,
+            lr_decay=self.config.training.lr_decay,
+            batch_size=self.config.training.batch_size,
+            max_epochs=self.config.training.max_epochs,
+            patience=self.config.training.patience,
+            val_fraction=self.config.training.val_fraction,
+            seed=self.config.seed + index,
+        )
+        result = train_model(model, dataset.features, dataset.labels, cfg)
+        return model, result
+
+    def train_models(self, dataset: ILDataset) -> PipelineResult:
+        """Train ``n_models`` models with different random seeds."""
         models: List[Sequential] = []
         results: List[TrainingResult] = []
         for i in range(self.config.n_models):
-            rng = RandomSource(self.config.seed).child(f"model-{i}")
-            model = build_mlp(
-                input_dim=dataset.features.shape[1],
-                output_dim=dataset.labels.shape[1],
-                hidden_layers=self.config.hidden_layers,
-                hidden_width=self.config.hidden_width,
-                rng=rng,
-            )
-            cfg = TrainingConfig(
-                initial_lr=self.config.training.initial_lr,
-                lr_decay=self.config.training.lr_decay,
-                batch_size=self.config.training.batch_size,
-                max_epochs=self.config.training.max_epochs,
-                patience=self.config.training.patience,
-                val_fraction=self.config.training.val_fraction,
-                seed=self.config.seed + i,
-            )
-            results.append(train_model(model, dataset.features, dataset.labels, cfg))
+            model, result = self.train_single(dataset, i)
+            results.append(result)
             models.append(model)
         return PipelineResult(
             dataset=dataset, models=models, training_results=results, scenarios=[]

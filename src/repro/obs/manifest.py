@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence
 __all__ = [
     "MANIFEST_SCHEMA_VERSION",
     "RunManifest",
+    "canonical_json",
     "config_hash",
     "git_revision",
     "host_fingerprint",
@@ -59,9 +60,19 @@ def _jsonable(obj: object) -> object:
     return repr(obj)
 
 
+def canonical_json(config: object) -> str:
+    """Canonical (sorted-key) JSON serialization of a config object.
+
+    The single definition of "canonical" shared by manifest config hashes
+    and the content-addressed artifact store (:mod:`repro.store`): two
+    configs with the same canonical JSON are the same config.
+    """
+    return json.dumps(_jsonable(config), sort_keys=True)
+
+
 def config_hash(config: object) -> str:
     """Stable short hash of a configuration (dataclass, dict, ...)."""
-    canonical = json.dumps(_jsonable(config), sort_keys=True)
+    canonical = canonical_json(config)
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 

@@ -193,6 +193,25 @@ _SPECS: Tuple[MetricSpec, ...] = (
         "Worker-pool launches clamped because cells < requested workers.",
         "",
     ),
+    # --- artifact store -------------------------------------------------
+    MetricSpec(
+        "store_hits_total", "counter", "events",
+        "Artifact-store lookups answered from a verified entry, by kind.",
+        "",
+    ),
+    MetricSpec(
+        "store_misses_total", "counter", "events",
+        "Artifact-store lookups that required recomputation, by kind.", "",
+    ),
+    MetricSpec(
+        "store_evicted_corrupt_total", "counter", "events",
+        "Store entries evicted on failed verification, by reason "
+        "(meta/schema/checksum/load).", "",
+    ),
+    MetricSpec(
+        "store_bytes", "gauge", "bytes",
+        "Payload bytes written to the artifact store this run.", "",
+    ),
     # --- tracer / tooling ----------------------------------------------
     MetricSpec(
         "trace_events_recorded_total", "counter", "events",

@@ -1,0 +1,51 @@
+"""Content-addressed artifact store (design-time caching substrate).
+
+The expensive design-time pipeline — oracle trace collection, the QoS
+sweep, IL training — produces artifacts every evaluation section reuses.
+This package caches them *by what produced them*: keys
+(:mod:`repro.store.keys`) hash the producing config + platform + seed +
+code version through the manifest's canonical-JSON machinery, handles
+(:mod:`repro.store.handles`) define per-kind formats, and the store
+(:mod:`repro.store.store`) persists entries atomically and verifies them
+on read.  There is no in-place invalidation: a changed ingredient changes
+the key, and stale entries simply stop being addressed.
+
+Operator surface: ``python -m repro.cli cache stats|gc|clear`` and the
+``--cache-dir`` / ``--no-cache`` flags; see ``docs/caching.md``.
+"""
+
+from repro.store.handles import (
+    ArtifactHandle,
+    CellResultHandle,
+    ILDatasetHandle,
+    ModelHandle,
+    QTableHandle,
+    TraceGridHandle,
+    handle_for_kind,
+)
+from repro.store.keys import (
+    STORE_CODE_VERSION,
+    ArtifactKey,
+    cell_artifact_key,
+    fault_env_signature,
+    platform_fingerprint,
+)
+from repro.store.store import ArtifactStore, KindStats, StoreStats
+
+__all__ = [
+    "ArtifactHandle",
+    "ArtifactKey",
+    "ArtifactStore",
+    "CellResultHandle",
+    "ILDatasetHandle",
+    "KindStats",
+    "ModelHandle",
+    "QTableHandle",
+    "STORE_CODE_VERSION",
+    "StoreStats",
+    "TraceGridHandle",
+    "cell_artifact_key",
+    "fault_env_signature",
+    "handle_for_kind",
+    "platform_fingerprint",
+]

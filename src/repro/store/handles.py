@@ -1,0 +1,204 @@
+"""Typed artifact handles: how each artifact class is (de)serialized.
+
+A handle pairs a *kind* with a file format and a schema version.  The
+store itself (:mod:`repro.store.store`) only moves opaque bytes around;
+handles are the typed boundary on top: :class:`TraceGridHandle` for oracle
+trace grids, :class:`ILDatasetHandle` for IL training datasets,
+:class:`ModelHandle` for trained MLPs, :class:`QTableHandle` for RL
+Q-tables, and :class:`CellResultHandle` for per-cell experiment results.
+
+Bumping a handle's ``schema_version`` invalidates every stored entry of
+that kind (the version is checked against the entry's ``meta.json`` on
+read), which is the upgrade path when a format changes: old entries are
+evicted and recomputed, never mis-parsed.
+
+Trace grids are stored as canonical JSON rather than pickle: Python's
+``float`` repr round-trips exactly through JSON, so the handle is
+bit-exact, and the file stays greppable for operators inspecting a cache.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from typing import Any, Dict
+
+from repro.il.dataset import ILDataset
+from repro.il.traces import TraceGrid, TracePoint, TraceScenario
+from repro.nn.layers import Sequential
+from repro.nn.serialize import load_model, save_model
+from repro.rl.qtable import QTable
+
+__all__ = [
+    "ArtifactHandle",
+    "CellResultHandle",
+    "ILDatasetHandle",
+    "ModelHandle",
+    "QTableHandle",
+    "TraceGridHandle",
+    "handle_for_kind",
+]
+
+
+class ArtifactHandle:
+    """Serialization contract for one artifact kind.
+
+    Subclasses set ``kind`` (default directory / key namespace),
+    ``schema_version`` (bump on format change), and ``suffix`` (payload
+    file extension — the store's temp files preserve it, which matters
+    because ``np.savez`` appends ``.npz`` to alien extensions), and
+    implement :meth:`dump` / :meth:`load`.
+    """
+
+    kind: str = "artifact"
+    schema_version: int = 1
+    suffix: str = ".bin"
+
+    def dump(self, obj: Any, path: str) -> None:
+        raise NotImplementedError
+
+    def load(self, path: str) -> Any:
+        raise NotImplementedError
+
+
+class TraceGridHandle(ArtifactHandle):
+    """Oracle trace grid as canonical JSON (exact float round-trip)."""
+
+    kind = "trace-grid"
+    schema_version = 1
+    suffix = ".json"
+
+    def dump(self, obj: Any, path: str) -> None:
+        grid: TraceGrid = obj
+        payload: Dict[str, Any] = {
+            "scenario": {
+                "aoi_app": grid.scenario.aoi_app,
+                "background": [
+                    [core, app] for core, app in grid.scenario.background
+                ],
+            },
+            "vf_grid": {
+                name: list(freqs) for name, freqs in sorted(grid.vf_grid.items())
+            },
+            "points": [
+                {
+                    "aoi_core": p.aoi_core,
+                    "f_hz": [[name, f] for name, f in p.f_hz],
+                    "aoi_ips": p.aoi_ips,
+                    "aoi_l2d_rate": p.aoi_l2d_rate,
+                    "peak_temp_c": p.peak_temp_c,
+                }
+                for _, p in sorted(grid.points.items())
+            ],
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+
+    def load(self, path: str) -> TraceGrid:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        scenario = TraceScenario(
+            aoi_app=str(payload["scenario"]["aoi_app"]),
+            background=tuple(
+                (int(core), str(app))
+                for core, app in payload["scenario"]["background"]
+            ),
+        )
+        grid = TraceGrid(
+            scenario=scenario,
+            vf_grid={
+                str(name): [float(f) for f in freqs]
+                for name, freqs in payload["vf_grid"].items()
+            },
+        )
+        for raw in payload["points"]:
+            grid.add(
+                TracePoint(
+                    aoi_core=int(raw["aoi_core"]),
+                    f_hz=tuple(
+                        (str(name), float(f)) for name, f in raw["f_hz"]
+                    ),
+                    aoi_ips=float(raw["aoi_ips"]),
+                    aoi_l2d_rate=float(raw["aoi_l2d_rate"]),
+                    peak_temp_c=float(raw["peak_temp_c"]),
+                )
+            )
+        return grid
+
+
+class ILDatasetHandle(ArtifactHandle):
+    """IL training dataset via :meth:`ILDataset.save` / ``load``."""
+
+    kind = "il-dataset"
+    schema_version = 1
+    suffix = ".npz"
+
+    def dump(self, obj: Any, path: str) -> None:
+        dataset: ILDataset = obj
+        dataset.save(path)
+
+    def load(self, path: str) -> ILDataset:
+        return ILDataset.load(path)
+
+
+class ModelHandle(ArtifactHandle):
+    """Trained MLP via :mod:`repro.nn.serialize`."""
+
+    kind = "model"
+    schema_version = 1
+    suffix = ".npz"
+
+    def dump(self, obj: Any, path: str) -> None:
+        model: Sequential = obj
+        save_model(model, path)
+
+    def load(self, path: str) -> Sequential:
+        return load_model(path)
+
+
+class QTableHandle(ArtifactHandle):
+    """RL Q-table via :meth:`QTable.save` / ``load``."""
+
+    kind = "qtable"
+    schema_version = 1
+    suffix = ".npz"
+
+    def dump(self, obj: Any, path: str) -> None:
+        table: QTable = obj
+        table.save(path)
+
+    def load(self, path: str) -> QTable:
+        return QTable.load(path)
+
+
+class CellResultHandle(ArtifactHandle):
+    """Per-cell experiment result (any picklable value).
+
+    Cell results are arbitrary driver-defined dataclasses
+    (:class:`~repro.metrics.summary.RunSummary`,
+    :class:`~repro.experiments.resilience.ResilienceRow`, ...), so the
+    payload is a pickle.  The store's checksum guards the bytes; the
+    producing code version in the key guards the schema.
+    """
+
+    kind = "cell"
+    schema_version = 1
+    suffix = ".pkl"
+
+    def dump(self, obj: Any, path: str) -> None:
+        with open(path, "wb") as handle:
+            pickle.dump(obj, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def load(self, path: str) -> Any:
+        with open(path, "rb") as handle:
+            return pickle.load(handle)
+
+
+def handle_for_kind(kind: str) -> ArtifactHandle:
+    """The default handle for a kind string (``cell/*`` maps to cells)."""
+    if kind.startswith("cell"):
+        return CellResultHandle()
+    for cls in (TraceGridHandle, ILDatasetHandle, ModelHandle, QTableHandle):
+        if cls.kind == kind:
+            return cls()
+    raise KeyError(f"no artifact handle registered for kind {kind!r}")

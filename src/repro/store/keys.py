@@ -1,0 +1,165 @@
+"""Content-addressed artifact keys.
+
+An :class:`ArtifactKey` names one artifact by **what produced it**, not by
+where it lives: the key digest is SHA-256 over a canonical serialization
+(:func:`repro.obs.manifest.canonical_json` — the same machinery the run
+manifests hash configs with) of
+
+* the artifact *kind* (``il-dataset``, ``trace-grid``, ``cell/main_mixed``,
+  ...),
+* the producing configuration (any dataclass / dict / scalar tree),
+* the platform fingerprint (the full static hardware description),
+* the producing seed,
+* a *code version* string, bumped when the producing code changes
+  semantics without changing its config shape.
+
+Two runs that would compute the same artifact therefore derive the same
+digest, and any change to any ingredient — one more scenario, a different
+QoS fraction, a new platform, a code bump — derives a different one, which
+is the entire invalidation story of :mod:`repro.store`: nothing is ever
+updated in place, stale entries are simply never looked up again.
+
+Grid-cell keys additionally fold in the fault-injection environment
+(``REPRO_FAULTS`` / ``REPRO_FAULT_SEED``): a cell simulated under a fault
+plan is a *different* artifact from the fault-free one, so warm caches can
+never leak results across plans (:func:`cell_artifact_key`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.obs.manifest import canonical_json
+
+__all__ = [
+    "STORE_CODE_VERSION",
+    "ArtifactKey",
+    "cell_artifact_key",
+    "fault_env_signature",
+    "platform_fingerprint",
+]
+
+#: Global code-version stamp folded into every key.  Bump when artifact
+#: *semantics* change without a config-shape change (e.g. a bugfix in the
+#: trace collector): every existing entry becomes unreachable, never stale.
+STORE_CODE_VERSION = "1"
+
+
+def platform_fingerprint(platform: object) -> str:
+    """Short stable hash of the full static platform description."""
+    digest = hashlib.sha256(
+        canonical_json(platform).encode("utf-8")
+    ).hexdigest()
+    return digest[:16]
+
+
+@dataclass(frozen=True)
+class ArtifactKey:
+    """One content-addressed artifact name: ``kind`` plus a SHA-256 digest.
+
+    ``payload`` is the exact dict the digest was computed over — persisted
+    into the entry's ``meta.json`` so an operator can always answer "what
+    produced this file?" without reverse-engineering the hash.
+    """
+
+    kind: str
+    digest: str
+    payload: Dict[str, object] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.kind or self.kind.startswith("/") or ".." in self.kind:
+            raise ValueError(f"bad artifact kind {self.kind!r}")
+
+    @classmethod
+    def create(
+        cls,
+        kind: str,
+        *,
+        config: object,
+        platform: object = None,
+        seed: Optional[int] = None,
+        code_version: str = STORE_CODE_VERSION,
+        extra: Optional[Dict[str, object]] = None,
+    ) -> "ArtifactKey":
+        """Derive the key for ``kind`` from its producing ingredients.
+
+        Args:
+            kind: Artifact class name; may contain ``/`` to namespace
+                (``cell/main_mixed``).
+            config: The producing configuration; anything
+                :func:`~repro.obs.manifest.canonical_json` can serialize.
+            platform: The platform description the artifact was computed
+                on; folded in as :func:`platform_fingerprint`.
+            seed: The producing seed (``None`` when the artifact is
+                seed-free).
+            code_version: Override of :data:`STORE_CODE_VERSION`.
+            extra: Additional key ingredients (e.g. the fault environment).
+        """
+        payload: Dict[str, object] = {
+            "kind": kind,
+            "code_version": code_version,
+            "config": config,
+            "platform": (
+                platform_fingerprint(platform) if platform is not None else None
+            ),
+            "seed": seed,
+        }
+        if extra:
+            payload["extra"] = dict(extra)
+        canonical = canonical_json(payload)
+        digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        # Keep the pure-JSON view (dataclasses flattened) so meta.json
+        # records exactly the bytes the digest was computed over.
+        view: Dict[str, object] = json.loads(canonical)
+        return cls(kind=kind, digest=digest, payload=view)
+
+
+def fault_env_signature() -> Dict[str, str]:
+    """The fault-injection environment as a key ingredient.
+
+    Reads the same ``REPRO_FAULTS`` / ``REPRO_FAULT_SEED`` carrier the run
+    engine resolves plans from, so a cached cell result can never be served
+    into a run with a different fault plan.
+    """
+    # Imported lazily: keys must stay importable without the faults package
+    # having been initialized (and vice versa).
+    from repro.faults import FAULT_SEED_ENV, FAULTS_ENV
+
+    return {
+        "faults": os.environ.get(FAULTS_ENV, ""),
+        "fault_seed": os.environ.get(FAULT_SEED_ENV, ""),
+    }
+
+
+def cell_artifact_key(
+    experiment: str,
+    cell: object,
+    *,
+    config: object = None,
+    assets_config: object = None,
+    platform: object = None,
+    seed: Optional[int] = None,
+) -> ArtifactKey:
+    """Key for one grid cell's result (kind ``cell/<experiment>``).
+
+    Folds the cell coordinates, the experiment config, the asset (training)
+    config the cell's technique was built from, the platform, the seed, and
+    the fault-injection environment — every ingredient a cell result can
+    depend on.  Drivers call this once per cell; the fork-pool supervisor
+    calls it again worker-side when publishing, deriving the identical
+    digest.
+    """
+    return ArtifactKey.create(
+        f"cell/{experiment}",
+        config={"cell": cell, "experiment": config},
+        platform=platform,
+        seed=seed,
+        extra={
+            "assets": assets_config,
+            "env": fault_env_signature(),
+        },
+    )

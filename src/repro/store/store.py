@@ -1,0 +1,352 @@
+"""The content-addressed artifact store.
+
+Layout — one directory per kind, two files per entry::
+
+    <root>/
+      il-dataset/
+        <digest>.npz            payload (handle-defined format)
+        <digest>.meta.json      entry metadata, written LAST
+      cell/main_mixed/
+        <digest>.pkl
+        <digest>.meta.json
+
+The meta file records the payload checksum (SHA-256 of the bytes on
+disk), the handle schema version, the payload size, and the full key
+payload (so ``meta.json`` answers "what produced this?").  Because the
+meta is renamed into place *after* the payload, its presence implies a
+complete payload: a writer killed mid-``put`` leaves at most a
+``tmp-*`` file (reaped by :meth:`ArtifactStore.gc`) and never a
+half-entry that a reader could trust.
+
+Reads verify before trusting: a missing/unparsable meta, a schema-version
+mismatch, a checksum mismatch, or a handle that fails to deserialize all
+**evict** the entry (both files deleted, ``store_evicted_corrupt_total``
+incremented by reason) and report a miss — corrupted or stale entries are
+recomputed, never returned.
+
+Concurrent writers of the same digest are benign: both compute identical
+bytes (keys are content addresses), and ``os.replace`` is atomic, so the
+loser simply overwrites the winner with the same content.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, NullTracer, RingTracer
+from repro.store.handles import ArtifactHandle
+from repro.store.keys import ArtifactKey
+
+__all__ = ["ArtifactStore", "KindStats", "StoreStats"]
+
+_META_SUFFIX = ".meta.json"
+_TMP_PREFIX = "tmp-"
+
+#: Schema of the ``meta.json`` envelope itself (not the payloads).
+META_SCHEMA_VERSION = 1
+
+
+@dataclass
+class StoreStats:
+    """Per-process lookup statistics (reset with the store instance)."""
+
+    hits: int = 0
+    misses: int = 0
+    evicted_corrupt: int = 0
+    bytes_written: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evicted_corrupt": self.evicted_corrupt,
+            "bytes_written": self.bytes_written,
+        }
+
+
+@dataclass(frozen=True)
+class KindStats:
+    """On-disk footprint of one artifact kind (for ``cache stats``)."""
+
+    kind: str
+    entries: int
+    bytes: int
+
+
+def _sha256_file(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+class ArtifactStore:
+    """Content-addressed artifact cache rooted at one directory.
+
+    Thread-unsafe by design (one store per process); *process*-safe for
+    concurrent writers because every mutation is a same-directory atomic
+    rename and entries are immutable once written.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Union[RingTracer, NullTracer]] = None,
+    ) -> None:
+        self.root = os.path.abspath(root)
+        self.registry = registry
+        self.tracer: Union[RingTracer, NullTracer] = (
+            tracer if tracer is not None else NULL_TRACER
+        )
+        self.run_stats = StoreStats()
+        # Relative timestamps for store trace events; elapsed wall time is
+        # observability metadata, never a simulation result.
+        self._t0_s = time.monotonic()  # repro-lint: ignore[DET003]
+
+    # ---------------------------------------------------------------- paths
+    def kind_dir(self, kind: str) -> str:
+        return os.path.join(self.root, *kind.split("/"))
+
+    def payload_path(self, key: ArtifactKey, handle: ArtifactHandle) -> str:
+        return os.path.join(self.kind_dir(key.kind), key.digest + handle.suffix)
+
+    def meta_path(self, key: ArtifactKey) -> str:
+        return os.path.join(self.kind_dir(key.kind), key.digest + _META_SUFFIX)
+
+    # -------------------------------------------------------------- metrics
+    def _now_s(self) -> float:
+        return time.monotonic() - self._t0_s  # repro-lint: ignore[DET003]
+
+    def _count_hit(self, key: ArtifactKey) -> None:
+        self.run_stats.hits += 1
+        if self.registry is not None:
+            self.registry.counter("store_hits_total", kind=key.kind).inc()
+        self.tracer.emit(
+            "store.hit", ts_s=self._now_s(), cat="store",
+            args={"kind": key.kind, "digest": key.digest[:12]},
+        )
+
+    def _count_miss(self, key: ArtifactKey) -> None:
+        self.run_stats.misses += 1
+        if self.registry is not None:
+            self.registry.counter("store_misses_total", kind=key.kind).inc()
+        self.tracer.emit(
+            "store.miss", ts_s=self._now_s(), cat="store",
+            args={"kind": key.kind, "digest": key.digest[:12]},
+        )
+
+    def _evict(self, key: ArtifactKey, handle: ArtifactHandle, reason: str) -> None:
+        """Delete a bad entry and account for it; never raises."""
+        self.run_stats.evicted_corrupt += 1
+        if self.registry is not None:
+            self.registry.counter(
+                "store_evicted_corrupt_total", reason=reason
+            ).inc()
+        self.tracer.emit(
+            "store.evict", ts_s=self._now_s(), cat="store",
+            args={"kind": key.kind, "digest": key.digest[:12], "reason": reason},
+        )
+        for path in (self.meta_path(key), self.payload_path(key, handle)):
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+
+    # ---------------------------------------------------------------- reads
+    def lookup(
+        self, key: ArtifactKey, handle: ArtifactHandle
+    ) -> Tuple[bool, Any]:
+        """``(found, value)`` — distinguishes a miss from a stored ``None``.
+
+        Verifies meta parse, schema version, and payload checksum before
+        deserializing; any failure evicts the entry and reports a miss.
+        """
+        meta_path = self.meta_path(key)
+        payload_path = self.payload_path(key, handle)
+        if not os.path.exists(meta_path):
+            self._count_miss(key)
+            return (False, None)
+        try:
+            with open(meta_path, "r", encoding="utf-8") as fh:
+                meta = json.load(fh)
+        except (OSError, ValueError):
+            self._evict(key, handle, reason="meta")
+            self._count_miss(key)
+            return (False, None)
+        if (
+            meta.get("meta_schema_version") != META_SCHEMA_VERSION
+            or meta.get("schema_version") != handle.schema_version
+        ):
+            self._evict(key, handle, reason="schema")
+            self._count_miss(key)
+            return (False, None)
+        if (
+            not os.path.exists(payload_path)
+            or _sha256_file(payload_path) != meta.get("checksum")
+        ):
+            self._evict(key, handle, reason="checksum")
+            self._count_miss(key)
+            return (False, None)
+        try:
+            value = handle.load(payload_path)
+        except Exception:
+            # A checksum-valid payload the handle cannot parse is stale
+            # (e.g. written by newer code) or corrupt-at-birth; recompute.
+            self._evict(key, handle, reason="load")
+            self._count_miss(key)
+            return (False, None)
+        self._count_hit(key)
+        return (True, value)
+
+    def get(self, key: ArtifactKey, handle: ArtifactHandle) -> Any:
+        """The stored value, or raise ``KeyError`` on a miss."""
+        found, value = self.lookup(key, handle)
+        if not found:
+            raise KeyError(f"no {key.kind} entry for digest {key.digest}")
+        return value
+
+    def contains(self, key: ArtifactKey, handle: ArtifactHandle) -> bool:
+        """Verified membership (counts as a hit or miss like ``lookup``)."""
+        found, _ = self.lookup(key, handle)
+        return found
+
+    # --------------------------------------------------------------- writes
+    def put(self, key: ArtifactKey, value: Any, handle: ArtifactHandle) -> str:
+        """Persist ``value`` under ``key``; returns the payload path.
+
+        Write protocol: dump to a temp file in the entry's own directory
+        (same filesystem, and suffix-preserving because ``np.savez``
+        appends ``.npz`` to alien extensions), checksum the temp bytes,
+        rename payload into place, then rename meta into place.  Meta
+        last: its presence certifies a complete payload.
+        """
+        directory = self.kind_dir(key.kind)
+        os.makedirs(directory, exist_ok=True)
+        tmp_payload = os.path.join(
+            directory, f"{_TMP_PREFIX}{os.getpid()}-{key.digest}{handle.suffix}"
+        )
+        tmp_meta = os.path.join(
+            directory, f"{_TMP_PREFIX}{os.getpid()}-{key.digest}{_META_SUFFIX}"
+        )
+        try:
+            handle.dump(value, tmp_payload)
+            checksum = _sha256_file(tmp_payload)
+            size = os.path.getsize(tmp_payload)
+            meta = {
+                "meta_schema_version": META_SCHEMA_VERSION,
+                "schema_version": handle.schema_version,
+                "checksum": checksum,
+                "size_bytes": size,
+                "kind": key.kind,
+                "digest": key.digest,
+                "key_payload": key.payload,
+            }
+            with open(tmp_meta, "w", encoding="utf-8") as fh:
+                json.dump(meta, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp_payload, self.payload_path(key, handle))
+            os.replace(tmp_meta, self.meta_path(key))
+        finally:
+            for leftover in (tmp_payload, tmp_meta):
+                try:
+                    os.remove(leftover)
+                except OSError:
+                    pass
+        self.run_stats.bytes_written += size
+        if self.registry is not None:
+            self.registry.gauge("store_bytes").inc(float(size))
+        self.tracer.emit(
+            "store.put", ts_s=self._now_s(), cat="store",
+            args={"kind": key.kind, "digest": key.digest[:12], "bytes": size},
+        )
+        return self.payload_path(key, handle)
+
+    def get_or_create(
+        self,
+        key: ArtifactKey,
+        handle: ArtifactHandle,
+        build: Callable[[], Any],
+    ) -> Any:
+        """Verified read, else ``build()`` + publish + return."""
+        found, value = self.lookup(key, handle)
+        if found:
+            return value
+        value = build()
+        self.put(key, value, handle)
+        return value
+
+    # ----------------------------------------------------------- operations
+    def stats(self) -> StoreStats:
+        return self.run_stats
+
+    def disk_stats(self) -> List[KindStats]:
+        """Entry count and byte footprint per kind, sorted by kind."""
+        per_kind: Dict[str, List[int]] = {}
+        for directory, _, filenames in os.walk(self.root):
+            kind = os.path.relpath(directory, self.root).replace(os.sep, "/")
+            for name in filenames:
+                if name.startswith(_TMP_PREFIX):
+                    continue
+                size = os.path.getsize(os.path.join(directory, name))
+                bucket = per_kind.setdefault(kind, [0, 0])
+                if name.endswith(_META_SUFFIX):
+                    bucket[0] += 1
+                bucket[1] += size
+        return [
+            KindStats(kind=kind, entries=counts[0], bytes=counts[1])
+            for kind, counts in sorted(per_kind.items())
+            if counts[1] > 0
+        ]
+
+    def gc(self, max_age_s: Optional[float] = None) -> int:
+        """Reap temp droppings (always) and old entries (opt-in).
+
+        ``max_age_s`` measures wall-clock file age; ageing out cache
+        entries is an operator policy, not a correctness mechanism —
+        correctness comes from content addressing.  Returns the number of
+        files removed.
+        """
+        removed = 0
+        now_s = time.time()  # repro-lint: ignore[DET003]
+        for directory, _, filenames in os.walk(self.root):
+            for name in filenames:
+                path = os.path.join(directory, name)
+                if name.startswith(_TMP_PREFIX):
+                    removed += self._try_remove(path)
+                elif max_age_s is not None:
+                    try:
+                        age_s = now_s - os.path.getmtime(path)
+                    except OSError:
+                        continue
+                    if age_s > max_age_s:
+                        removed += self._try_remove(path)
+        return removed
+
+    def clear(self) -> int:
+        """Delete every entry (and temp file); returns files removed."""
+        removed = 0
+        for directory, _, filenames in os.walk(self.root, topdown=False):
+            for name in filenames:
+                removed += self._try_remove(os.path.join(directory, name))
+            if directory != self.root:
+                try:
+                    os.rmdir(directory)
+                except OSError:
+                    pass
+        return removed
+
+    @staticmethod
+    def _try_remove(path: str) -> int:
+        try:
+            os.remove(path)
+        except OSError:
+            return 0
+        return 1

@@ -64,6 +64,20 @@ def test_faults_package_is_clean(tmp_path):
     assert payload["total"] == 0
 
 
+def test_store_package_is_clean(tmp_path):
+    """The artifact store is lint-gated like obs/faults: it sits under
+    every cached experiment, and its only wall-clock reads (trace
+    timestamps, gc ages) must stay behind explicit DET003 waivers."""
+    report = tmp_path / "store_report.json"
+    result = _run_lint("src/repro/store", "--json", str(report))
+    assert result.returncode == 0, (
+        f"repro-lint found violations in repro/store:\n"
+        f"{result.stdout}{result.stderr}"
+    )
+    payload = json.loads(report.read_text())
+    assert payload["total"] == 0
+
+
 def test_violations_fail_with_exit_code_1(tmp_path):
     bad = tmp_path / "bad.py"
     bad.write_text("import random\nx = random.random()\n")

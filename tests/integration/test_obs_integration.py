@@ -10,6 +10,7 @@ import os
 
 import pytest
 
+from repro.experiments.assets import AssetConfig, AssetStore
 from repro.experiments.main_mixed import MainMixedConfig, run_main_mixed
 from repro.il.technique import TopIL
 from repro.governors.techniques import GTSOndemand
@@ -156,10 +157,16 @@ class TestArtifacts:
 
 class TestGridManifests:
     def test_main_mixed_merges_cell_manifests(
-        self, assets, tmp_path, monkeypatch
+        self, platform, tmp_path, monkeypatch
     ):
         monkeypatch.setenv("REPRO_TRACE", "1")
         monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path))
+        # A cold artifact store: warm cells are served without running any
+        # worker code and therefore write no per-cell trace artifacts
+        # (see docs/caching.md), so the merge needs every cell to execute.
+        assets = AssetStore(
+            platform, AssetConfig.smoke(cache_dir=str(tmp_path / "cache"))
+        )
         config = MainMixedConfig.smoke()
         config.techniques = ("GTS/ondemand",)
         config.repetitions = 2

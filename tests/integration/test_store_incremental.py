@@ -1,0 +1,111 @@
+"""Incremental experiment scheduling through the artifact store.
+
+The acceptance contract of the store redesign: a second run of the same
+grid against a warm store recomputes **zero** unchanged cells (verified
+through the store's hit/miss counters) and reproduces the cold run's
+numbers byte-for-byte, and a deliberately corrupted entry is evicted and
+transparently recomputed, never trusted.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments.assets import AssetConfig, AssetStore
+from repro.experiments.main_mixed import MainMixedConfig, run_main_mixed
+from repro.thermal import FAN_COOLING
+
+#: GTS-only techniques: the grid needs no trained models, so the test
+#: isolates the *cell* store path from the asset store path.
+_CONFIG = MainMixedConfig(
+    n_apps=3,
+    arrival_rates=(1.0 / 6.0,),
+    repetitions=1,
+    coolings=(FAN_COOLING,),
+    instruction_scale=0.01,
+    techniques=("GTS/ondemand", "GTS/powersave"),
+)
+_N_CELLS = 2
+
+
+def _fresh_assets(cache_dir):
+    # A new AssetStore per run: the ArtifactStore instance (and its
+    # hit/miss counters) starts cold even though the directory is warm.
+    return AssetStore(config=AssetConfig.smoke(cache_dir=str(cache_dir)))
+
+
+def _render(result):
+    return result.report() + "\n" + result.frequency_usage_report(
+        cooling="fan"
+    )
+
+
+class TestWarmGridResume:
+    def test_warm_rerun_recomputes_zero_cells_bit_identical(self, tmp_path):
+        cold_assets = _fresh_assets(tmp_path)
+        cold = run_main_mixed(cold_assets, _CONFIG, parallel=False)
+        cold_stats = cold_assets.artifacts.stats()
+        assert cold_stats.misses == _N_CELLS
+        assert cold_stats.hits == 0
+
+        warm_assets = _fresh_assets(tmp_path)
+        warm = run_main_mixed(warm_assets, _CONFIG, parallel=False)
+        warm_stats = warm_assets.artifacts.stats()
+        assert warm_stats.hits == _N_CELLS  # every cell answered from disk
+        assert warm_stats.misses == 0  # zero recomputed
+        assert warm_stats.evicted_corrupt == 0
+
+        assert _render(warm) == _render(cold)  # byte-identical summary
+        assert warm.raw == cold.raw  # exact floats, not approx
+
+    def test_corrupted_cell_evicted_and_recomputed(self, tmp_path):
+        cold = run_main_mixed(_fresh_assets(tmp_path), _CONFIG, parallel=False)
+
+        cell_dir = tmp_path / "cell" / "main_mixed"
+        payloads = sorted(cell_dir.glob("*.pkl"))
+        assert len(payloads) == _N_CELLS
+        with open(payloads[0], "ab") as fh:
+            fh.write(b"BITROT")
+
+        assets = _fresh_assets(tmp_path)
+        again = run_main_mixed(assets, _CONFIG, parallel=False)
+        stats = assets.artifacts.stats()
+        assert stats.evicted_corrupt == 1
+        assert stats.misses == 1  # only the corrupted cell recomputed
+        assert stats.hits == _N_CELLS - 1
+        assert _render(again) == _render(cold)
+
+        # The rebuilt entry is trusted on the next pass.
+        healed_assets = _fresh_assets(tmp_path)
+        run_main_mixed(healed_assets, _CONFIG, parallel=False)
+        assert healed_assets.artifacts.stats().hits == _N_CELLS
+
+    def test_grid_extension_reuses_existing_cells(self, tmp_path):
+        """Grid shape stays out of the key: adding a repetition only
+        computes the new cells."""
+        run_main_mixed(_fresh_assets(tmp_path), _CONFIG, parallel=False)
+
+        import dataclasses
+
+        extended = dataclasses.replace(_CONFIG, repetitions=2)
+        assets = _fresh_assets(tmp_path)
+        run_main_mixed(assets, extended, parallel=False)
+        stats = assets.artifacts.stats()
+        assert stats.hits == _N_CELLS  # rep-0 cells reused
+        assert stats.misses == _N_CELLS  # rep-1 cells are new
+
+
+class TestFaultEnvIsolation:
+    def test_faulted_run_never_reads_clean_cells(self, tmp_path, monkeypatch):
+        from repro.faults import FAULTS_ENV
+
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        run_main_mixed(_fresh_assets(tmp_path), _CONFIG, parallel=False)
+
+        monkeypatch.setenv(FAULTS_ENV, "sensor_dropout:0.0")
+        assets = _fresh_assets(tmp_path)
+        run_main_mixed(assets, _CONFIG, parallel=False)
+        stats = assets.artifacts.stats()
+        assert stats.hits == 0  # different fault env -> different keys
+        assert stats.misses == _N_CELLS
+        assert os.path.isdir(tmp_path / "cell" / "main_mixed")

@@ -1,11 +1,13 @@
-"""The AssetStore: caching, laziness, config overrides."""
+"""The AssetStore: store-backed caching, laziness, config overrides."""
 
+import logging
 import os
 
 import pytest
 
 from repro.experiments.assets import AssetConfig, AssetStore
 from repro.nn.training import TrainingConfig
+from repro.store import ILDatasetHandle, ModelHandle, QTableHandle
 
 
 def _tiny_config(cache_dir=None):
@@ -31,39 +33,60 @@ class TestAssetStore:
         config = _tiny_config(str(tmp_path))
         a = AssetStore(platform, config)
         ds_a = a.dataset()
-        cache_files = os.listdir(str(tmp_path))
-        assert any(f.startswith("il-dataset") for f in cache_files)
+        assert os.path.isdir(os.path.join(str(tmp_path), "il-dataset"))
         b = AssetStore(platform, config)
         ds_b = b.dataset()
+        assert b.artifacts.stats().hits >= 1
         assert len(ds_a) == len(ds_b)
         assert (ds_a.features == ds_b.features).all()
 
-    def test_cache_tag_separates_configs(self, platform, tmp_path):
+    def test_cache_key_separates_configs(self, platform, tmp_path):
         a = AssetStore(platform, _tiny_config(str(tmp_path)))
         a.dataset()
         bigger = _tiny_config(str(tmp_path))
         bigger.n_scenarios = 3
         b = AssetStore(platform, bigger)
+        assert a.dataset_key().digest != b.dataset_key().digest
         b.dataset()
-        files = [f for f in os.listdir(str(tmp_path)) if f.startswith("il-dataset")]
-        assert len(files) == 2
+        entries = [
+            f
+            for f in os.listdir(os.path.join(str(tmp_path), "il-dataset"))
+            if f.endswith(".meta.json")
+        ]
+        assert len(entries) == 2
 
     def test_models_match_config_count(self, platform, tmp_path):
         store = AssetStore(platform, _tiny_config(str(tmp_path)))
         assert len(store.models()) == 1
 
+    def test_models_cached_on_disk(self, platform, tmp_path):
+        store = AssetStore(platform, _tiny_config(str(tmp_path)))
+        models = store.models()
+        found, _ = store.artifacts.lookup(store.model_key(0), ModelHandle())
+        assert found
+        # A warm store serves the model without building the dataset.
+        again = AssetStore(platform, _tiny_config(str(tmp_path)))
+        cached = again.models()
+        assert again._dataset is None
+        import numpy as np
+
+        x = np.zeros((1, models[0].layers[0].weight.shape[0]))
+        assert np.allclose(models[0].forward(x), cached[0].forward(x))
+
     def test_qtables_cached_on_disk(self, platform, tmp_path):
         store = AssetStore(platform, _tiny_config(str(tmp_path)))
         store.qtables()
-        files = os.listdir(str(tmp_path))
-        assert any(f.startswith("qtable-") for f in files)
-        # Re-load path: a second store reads the file rather than training.
+        found, _ = store.artifacts.lookup(store.qtable_key(0), QTableHandle())
+        assert found
+        # Re-load path: a second store reads the entry rather than training.
         again = AssetStore(platform, _tiny_config(str(tmp_path)))
         tables = again.qtables()
         assert len(tables) == 1
+        assert again.artifacts.stats().hits >= 1
 
     def test_no_cache_dir_works(self, platform):
         store = AssetStore(platform, _tiny_config(None))
+        assert store.artifacts is None
         assert store.dataset() is not None
 
     def test_with_config_overrides(self, platform, tmp_path):
@@ -72,3 +95,27 @@ class TestAssetStore:
         assert derived.config.n_scenarios == 5
         assert derived.platform is store.platform
         assert store.config.n_scenarios == 2  # original untouched
+
+    def test_cache_dir_not_in_key(self, platform, tmp_path):
+        a = AssetStore(platform, _tiny_config(str(tmp_path / "a")))
+        b = AssetStore(platform, _tiny_config(str(tmp_path / "b")))
+        assert a.dataset_key().digest == b.dataset_key().digest
+        assert a.qtable_key(0).digest == b.qtable_key(0).digest
+
+    def test_legacy_cache_files_warn_once(self, platform, tmp_path, caplog):
+        import repro.experiments.assets as assets_mod
+
+        (tmp_path / "il-dataset-s2-v2-c2-seed42.npz").write_bytes(b"junk")
+        assets_mod._LEGACY_CHECKED.discard(os.path.abspath(str(tmp_path)))
+        with caplog.at_level(logging.WARNING, logger="repro.experiments.assets"):
+            store = AssetStore(platform, _tiny_config(str(tmp_path)))
+            assert store.artifacts is not None
+            again = AssetStore(platform, _tiny_config(str(tmp_path)))
+            assert again.artifacts is not None
+        warnings = [
+            r for r in caplog.records if "pre-store cache" in r.getMessage()
+        ]
+        assert len(warnings) == 1
+        # The legacy file is ignored, not loaded: building still works and
+        # the junk bytes stay untouched on disk.
+        assert (tmp_path / "il-dataset-s2-v2-c2-seed42.npz").read_bytes() == b"junk"

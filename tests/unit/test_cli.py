@@ -90,3 +90,80 @@ class TestFaultFlags:
         assert code == 0
         assert os.environ[FAULTS_ENV] == "sensor_dropout:0.0"
         assert os.environ[FAULT_SEED_ENV] == "3"
+
+
+class TestCacheFlags:
+    def test_cache_dir_alias(self, tmp_path, monkeypatch):
+        from repro.experiments.motivation import MotivationConfig
+
+        monkeypatch.setattr(
+            "repro.experiments.report.MotivationConfig.smoke",
+            classmethod(lambda cls: MotivationConfig(observe_s=5.0)),
+        )
+        code = cli.main(
+            ["run", "fig1", "--scale", "smoke", "--cache-dir", str(tmp_path)]
+        )
+        assert code == 0
+
+    def test_no_cache_disables_store(self, tmp_path, monkeypatch):
+        from repro.experiments.motivation import MotivationConfig
+
+        monkeypatch.setattr(
+            "repro.experiments.report.MotivationConfig.smoke",
+            classmethod(lambda cls: MotivationConfig(observe_s=5.0)),
+        )
+        code = cli.main(
+            [
+                "run", "fig1", "--scale", "smoke",
+                "--cache-dir", str(tmp_path), "--no-cache",
+            ]
+        )
+        assert code == 0
+        assert not (tmp_path / "il-dataset").exists()
+
+    def test_resolve_cache_dir(self):
+        import argparse
+
+        args = argparse.Namespace(cache_dir="/tmp/x", no_cache=False)
+        assert cli._resolve_cache_dir(args) == "/tmp/x"
+        args.no_cache = True
+        assert cli._resolve_cache_dir(args) is None
+
+
+class TestCacheCommand:
+    def _seed(self, tmp_path):
+        from repro.store import ArtifactKey, ArtifactStore, CellResultHandle
+
+        store = ArtifactStore(str(tmp_path))
+        key = ArtifactKey.create("cell/smoketest", config={"n": 1})
+        store.put(key, {"row": 1}, CellResultHandle())
+        return store
+
+    def test_stats_empty(self, tmp_path, capsys):
+        assert cli.main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_stats_lists_kinds_and_total(self, tmp_path, capsys):
+        self._seed(tmp_path)
+        assert cli.main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cell/smoketest" in out
+        assert "TOTAL" in out
+
+    def test_gc_reports_removals(self, tmp_path, capsys):
+        self._seed(tmp_path)
+        (tmp_path / "cell" / "smoketest" / "tmp-999-deadbeef.pkl").write_bytes(
+            b"dropping"
+        )
+        assert cli.main(["cache", "gc", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 1 file(s)" in capsys.readouterr().out
+
+    def test_clear_empties_store(self, tmp_path, capsys):
+        store = self._seed(tmp_path)
+        assert cli.main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 2 file(s)" in capsys.readouterr().out
+        assert store.disk_stats() == []
+
+    def test_cache_alias_accepted(self, tmp_path, capsys):
+        assert cli.main(["cache", "stats", "--cache", str(tmp_path)]) == 0
+        assert "empty" in capsys.readouterr().out

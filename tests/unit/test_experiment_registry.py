@@ -1,0 +1,81 @@
+"""The experiment registry: the single source for list/run/report."""
+
+from repro.experiments import EXPERIMENT_SPECS, EXPERIMENTS, ExperimentSpec
+
+
+class TestRegistryShape:
+    def test_names_unique_and_indexed(self):
+        names = [spec.name for spec in EXPERIMENT_SPECS]
+        assert len(names) == len(set(names))
+        assert set(EXPERIMENTS) == set(names)
+        for name, spec in EXPERIMENTS.items():
+            assert spec.name == name
+
+    def test_every_spec_is_complete(self):
+        for spec in EXPERIMENT_SPECS:
+            assert spec.title, spec.name
+            assert spec.paper_claim, spec.name
+            assert callable(spec.body), spec.name
+
+    def test_paper_figures_present(self):
+        for name in ("fig1", "fig3", "fig5", "fig7", "fig8", "fig10",
+                     "fig11", "fig12", "model-eval"):
+            assert name in EXPERIMENTS
+
+    def test_extensions_present(self):
+        for name in ("ablations", "optimality", "stability", "ambient",
+                     "resilience", "rl-variants"):
+            assert name in EXPERIMENTS
+
+    def test_fig10_is_run_only(self):
+        # Its data is folded into the fig8 section; the report must not
+        # run the main grid twice.
+        assert EXPERIMENTS["fig10"].in_report is False
+        in_report = [s.name for s in EXPERIMENT_SPECS if s.in_report]
+        assert "fig8" in in_report and "fig10" not in in_report
+
+    def test_store_participation_flags(self):
+        for name in ("fig8", "fig10", "ablations", "ambient", "resilience"):
+            assert EXPERIMENTS[name].uses_store, name
+        for name in ("fig1", "fig5"):
+            assert not EXPERIMENTS[name].uses_store, name
+
+
+class TestReportIterationContract:
+    def test_generate_report_renders_registry_in_order(self, monkeypatch):
+        import repro.experiments.report as report_mod
+
+        calls = []
+
+        def make_body(tag):
+            def body(assets, scale, registry):
+                calls.append(tag)
+                return f"body-{tag}"
+
+            return body
+
+        fake = (
+            ExperimentSpec(
+                name="a", title="Section A", paper_claim="claim A",
+                body=make_body("a"),
+            ),
+            ExperimentSpec(
+                name="b", title="Section B", paper_claim="claim B",
+                body=make_body("b"), in_report=False,
+            ),
+            ExperimentSpec(
+                name="c", title="Section C", paper_claim="claim C",
+                body=make_body("c"),
+            ),
+        )
+        monkeypatch.setattr(report_mod, "EXPERIMENT_SPECS", fake)
+        text = report_mod.generate_report(
+            assets=None,
+            scale=report_mod.ReportScale.smoke(),
+            progress=None,
+        )
+        assert calls == ["a", "c"]  # registry order, in_report only
+        assert text.index("## Section A") < text.index("## Section C")
+        assert "Section B" not in text
+        assert "**Paper:** claim A" in text
+        assert "body-c" in text

@@ -188,7 +188,13 @@ class TestILDataset:
         path = str(tmp_path / "ds.npz")
         ds = self._dataset()
         ds.save(path)
-        loaded = ILDataset.load(path)
+        loaded = ILDataset.load(path, expected_features=4)
         assert np.allclose(loaded.features, ds.features)
         assert np.allclose(loaded.labels, ds.labels)
         assert loaded.meta == ds.meta
+
+    def test_load_rejects_wrong_feature_width(self, tmp_path):
+        path = str(tmp_path / "ds.npz")
+        self._dataset().save(path)  # 4 features, not FEATURE_COUNT
+        with pytest.raises(ValueError, match="ds.npz"):
+            ILDataset.load(path)

@@ -19,6 +19,7 @@ STRICT_PACKAGES = [
     "repro.thermal.*",
     "repro.power.*",
     "repro.faults.*",
+    "repro.store.*",
 ]
 
 
@@ -64,7 +65,7 @@ def test_strict_packages_fully_annotated():
     import ast
 
     missing = []
-    for pkg in ("utils", "thermal", "power", "faults"):
+    for pkg in ("utils", "thermal", "power", "faults", "store"):
         for path in sorted((REPO_ROOT / "src" / "repro" / pkg).rglob("*.py")):
             tree = ast.parse(path.read_text())
             for node in ast.walk(tree):

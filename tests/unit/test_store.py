@@ -1,0 +1,319 @@
+"""The content-addressed artifact store: keys, handles, verify-on-read."""
+
+import json
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.store import (
+    ArtifactKey,
+    ArtifactStore,
+    CellResultHandle,
+    ILDatasetHandle,
+    TraceGridHandle,
+    cell_artifact_key,
+    handle_for_kind,
+    platform_fingerprint,
+)
+
+
+def _key(**overrides):
+    base = dict(config={"x": 1, "y": [1, 2]}, seed=7)
+    base.update(overrides)
+    return ArtifactKey.create("cell/test", **base)
+
+
+class TestArtifactKey:
+    def test_same_ingredients_same_digest(self):
+        assert _key().digest == _key().digest
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"config": {"x": 2, "y": [1, 2]}},
+            {"seed": 8},
+            {"code_version": "2"},
+            {"extra": {"env": "faulted"}},
+        ],
+    )
+    def test_any_ingredient_changes_digest(self, override):
+        assert _key().digest != _key(**override).digest
+
+    def test_platform_changes_digest(self, platform):
+        with_platform = _key(platform=platform)
+        assert _key().digest != with_platform.digest
+        assert with_platform.payload["platform"] == platform_fingerprint(
+            platform
+        )
+
+    def test_payload_is_pure_json(self):
+        key = _key(config={"nested": {"z": 3.5}})
+        assert json.loads(json.dumps(key.payload)) == key.payload
+
+    def test_bad_kind_rejected(self):
+        for kind in ("", "/abs", "a/../b"):
+            with pytest.raises(ValueError):
+                ArtifactKey(kind=kind, digest="0" * 64)
+
+    def test_fault_env_folds_into_cell_keys(self, monkeypatch):
+        from repro.faults import FAULT_SEED_ENV, FAULTS_ENV
+
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        monkeypatch.delenv(FAULT_SEED_ENV, raising=False)
+        clean = cell_artifact_key("exp", (1.0, "a"), seed=3)
+        monkeypatch.setenv(FAULTS_ENV, "sensor_dropout:0.1")
+        faulted = cell_artifact_key("exp", (1.0, "a"), seed=3)
+        assert clean.digest != faulted.digest
+        assert clean.kind == "cell/exp"
+
+    def test_handle_for_kind(self):
+        assert isinstance(handle_for_kind("cell/main_mixed"), CellResultHandle)
+        assert isinstance(handle_for_kind("il-dataset"), ILDatasetHandle)
+        assert isinstance(handle_for_kind("trace-grid"), TraceGridHandle)
+        with pytest.raises(KeyError):
+            handle_for_kind("hologram")
+
+
+class TestLookupAndPut:
+    def test_miss_then_hit(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        key, handle = _key(), CellResultHandle()
+        found, _ = store.lookup(key, handle)
+        assert not found
+        store.put(key, {"rows": [1, 2, 3]}, handle)
+        found, value = store.lookup(key, handle)
+        assert found and value == {"rows": [1, 2, 3]}
+        assert store.stats().hits == 1
+        assert store.stats().misses == 1
+
+    def test_stored_none_is_a_hit(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        key, handle = _key(), CellResultHandle()
+        store.put(key, None, handle)
+        found, value = store.lookup(key, handle)
+        assert found and value is None
+
+    def test_get_raises_on_miss(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        with pytest.raises(KeyError):
+            store.get(_key(), CellResultHandle())
+
+    def test_get_or_create_builds_once(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        key, handle = _key(), CellResultHandle()
+        calls = []
+
+        def build():
+            calls.append(1)
+            return "expensive"
+
+        assert store.get_or_create(key, handle, build) == "expensive"
+        assert store.get_or_create(key, handle, build) == "expensive"
+        assert len(calls) == 1
+
+    def test_different_digests_do_not_collide(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        handle = CellResultHandle()
+        store.put(_key(), "a", handle)
+        store.put(_key(seed=8), "b", handle)
+        assert store.get(_key(), handle) == "a"
+        assert store.get(_key(seed=8), handle) == "b"
+
+    def test_metrics_registry_counts(self, tmp_path):
+        registry = MetricsRegistry()
+        store = ArtifactStore(str(tmp_path), registry=registry)
+        key, handle = _key(), CellResultHandle()
+        store.lookup(key, handle)
+        store.put(key, 1, handle)
+        store.lookup(key, handle)
+        assert registry.counter("store_misses_total", kind=key.kind).value == 1
+        assert registry.counter("store_hits_total", kind=key.kind).value == 1
+        assert registry.gauge("store_bytes").value > 0
+
+
+class TestVerifyOnRead:
+    def _seeded(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        key, handle = _key(), CellResultHandle()
+        store.put(key, {"payload": True}, handle)
+        return store, key, handle
+
+    def test_corrupted_payload_evicted_and_recomputed(self, tmp_path):
+        store, key, handle = self._seeded(tmp_path)
+        with open(store.payload_path(key, handle), "ab") as fh:
+            fh.write(b"CORRUPTION")
+        value = store.get_or_create(key, handle, lambda: {"payload": "fresh"})
+        assert value == {"payload": "fresh"}
+        assert store.stats().evicted_corrupt == 1
+        # The rebuilt entry is trusted again.
+        found, value = store.lookup(key, handle)
+        assert found and value == {"payload": "fresh"}
+
+    def test_unparsable_meta_evicted(self, tmp_path):
+        store, key, handle = self._seeded(tmp_path)
+        with open(store.meta_path(key), "w") as fh:
+            fh.write("{not json")
+        found, _ = store.lookup(key, handle)
+        assert not found
+        assert not os.path.exists(store.payload_path(key, handle))
+
+    def test_schema_version_mismatch_evicted(self, tmp_path):
+        store, key, handle = self._seeded(tmp_path)
+
+        class V2(CellResultHandle):
+            schema_version = 2
+
+        found, _ = store.lookup(key, V2())
+        assert not found
+        assert store.stats().evicted_corrupt == 1
+
+    def test_missing_payload_evicted(self, tmp_path):
+        store, key, handle = self._seeded(tmp_path)
+        os.remove(store.payload_path(key, handle))
+        found, _ = store.lookup(key, handle)
+        assert not found
+        assert not os.path.exists(store.meta_path(key))
+
+    def test_eviction_reasons_labelled(self, tmp_path):
+        registry = MetricsRegistry()
+        store = ArtifactStore(str(tmp_path), registry=registry)
+        key, handle = _key(), CellResultHandle()
+        store.put(key, 1, handle)
+        with open(store.payload_path(key, handle), "ab") as fh:
+            fh.write(b"X")
+        store.lookup(key, handle)
+        assert (
+            registry.counter(
+                "store_evicted_corrupt_total", reason="checksum"
+            ).value
+            == 1
+        )
+
+
+def _die_mid_put(root: str) -> None:
+    """Child-process body: start a put, die before any rename lands."""
+
+    class DieDuringDump(CellResultHandle):
+        def dump(self, obj, path):
+            with open(path, "wb") as fh:
+                fh.write(b"half-written")
+            os._exit(1)
+
+    store = ArtifactStore(root)
+    store.put(_key(), "never-lands", DieDuringDump())
+
+
+class TestAtomicity:
+    def test_killed_writer_leaves_no_trusted_entry(self, tmp_path):
+        ctx = multiprocessing.get_context("fork")
+        proc = ctx.Process(target=_die_mid_put, args=(str(tmp_path),))
+        proc.start()
+        proc.join(timeout=30)
+        assert proc.exitcode == 1
+        store = ArtifactStore(str(tmp_path))
+        key, handle = _key(), CellResultHandle()
+        # The half-written temp file is never visible as an entry ...
+        found, _ = store.lookup(key, handle)
+        assert not found
+        leftovers = [
+            name
+            for _, _, names in os.walk(str(tmp_path))
+            for name in names
+            if name.startswith("tmp-")
+        ]
+        assert leftovers  # the dropping exists ...
+        assert store.gc() == len(leftovers)  # ... and gc reaps it.
+        # A later writer succeeds normally.
+        store.put(key, "landed", handle)
+        assert store.get(key, handle) == "landed"
+
+    def test_put_is_meta_last(self, tmp_path):
+        """A payload without meta (kill between the two renames) is a miss."""
+        store = ArtifactStore(str(tmp_path))
+        key, handle = _key(), CellResultHandle()
+        store.put(key, "v", handle)
+        os.remove(store.meta_path(key))
+        found, _ = store.lookup(key, handle)
+        assert not found
+
+
+class TestOperations:
+    def test_disk_stats_per_kind(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.put(_key(), "a", CellResultHandle())
+        store.put(
+            ArtifactKey.create("cell/other", config=1), "b", CellResultHandle()
+        )
+        kinds = {s.kind: s for s in store.disk_stats()}
+        assert kinds["cell/test"].entries == 1
+        assert kinds["cell/other"].entries == 1
+        assert all(s.bytes > 0 for s in kinds.values())
+
+    def test_gc_age_based_eviction(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        key, handle = _key(), CellResultHandle()
+        store.put(key, "old", handle)
+        assert store.gc(max_age_s=1e9) == 0  # everything is fresh
+        old = 12345.0
+        for path in (store.payload_path(key, handle), store.meta_path(key)):
+            os.utime(path, (old, old))
+        assert store.gc(max_age_s=3600.0) == 2
+
+    def test_clear_removes_everything(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.put(_key(), "a", CellResultHandle())
+        assert store.clear() == 2
+        assert store.disk_stats() == []
+
+
+class TestTypedHandles:
+    def test_il_dataset_roundtrip(self, tmp_path):
+        from repro.il.dataset import ILDataset
+        from repro.il.features import FEATURE_COUNT
+
+        dataset = ILDataset(
+            features=np.arange(2 * FEATURE_COUNT, dtype=float).reshape(
+                2, FEATURE_COUNT
+            ),
+            labels=np.ones((2, 8)),
+            meta=[("adi", 0), ("seidel-2d", 4)],
+        )
+        store = ArtifactStore(str(tmp_path))
+        key = ArtifactKey.create("il-dataset", config={"n": 2})
+        store.put(key, dataset, ILDatasetHandle())
+        loaded = store.get(key, ILDatasetHandle())
+        assert (loaded.features == dataset.features).all()
+        assert loaded.meta == dataset.meta
+
+    def test_trace_grid_roundtrip_bit_exact(self, tmp_path):
+        from repro.il.traces import TraceGrid, TracePoint, TraceScenario
+
+        scenario = TraceScenario(
+            aoi_app="adi", background=((1, "seidel-2d"),)
+        )
+        grid = TraceGrid(
+            scenario=scenario,
+            vf_grid={"big": [0.5e9, 2.36e9], "little": [0.5e9]},
+        )
+        grid.add(
+            TracePoint(
+                aoi_core=4,
+                f_hz=(("big", 2.36e9), ("little", 0.5e9)),
+                aoi_ips=1.234567890123e9,
+                aoi_l2d_rate=0.07654321,
+                peak_temp_c=71.00000000000003,
+            )
+        )
+        store = ArtifactStore(str(tmp_path))
+        key = ArtifactKey.create("trace-grid", config={"s": 1})
+        store.put(key, grid, TraceGridHandle())
+        loaded = store.get(key, TraceGridHandle())
+        assert loaded.scenario == scenario
+        freqs = {"big": 2.36e9, "little": 0.5e9}
+        point = loaded.lookup(4, freqs)
+        original = grid.lookup(4, freqs)
+        assert point.aoi_ips == original.aoi_ips  # exact, not approx
+        assert point.peak_temp_c == original.peak_temp_c
