@@ -1,0 +1,96 @@
+"""Grid throughput: the batched lockstep backend vs the fork pool.
+
+Runs one replication grid — the same fixed-seed smoke workload swept
+over simulator seeds, the lockstep backend's sweet-spot shape (every
+cell has identical length, so the batch fill ratio stays ~1.0) — once
+through the supervised fork pool and once through
+``backend="batched"``, and reports both throughputs plus their ratio in
+``benchmark.extra_info``:
+
+* ``pool_cells_per_wall_s`` — fork-pool grid throughput
+* ``batched_cells_per_wall_s`` — batched-backend grid throughput
+* ``batched_speedup_over_pool`` — the headline ratio
+
+Both legs include workload construction, cell preparation, and summary
+finalization, so the ratio is end-to-end.  The batched leg must also
+return results equal to the pool's — the backend's bit-identity
+contract, asserted here on top of the property suite.  The CI gate in
+``tests/perf`` enforces a floor on the batched leg only.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import run_once
+
+from repro.experiments.parallel import BatchCellPlan, run_cells_report
+from repro.governors.techniques import GTSOndemand
+from repro.thermal import FAN_COOLING
+from repro.workloads.generator import mixed_workload
+from repro.workloads.runner import finalize_run, prepare_run, run_workload
+
+WORKLOAD_SEED = 11
+N_APPS = 6
+ARRIVAL_RATE = 1.0 / 6.0
+INSTRUCTION_SCALE = 0.02
+N_CELLS = 64
+POOL_WORKERS = 4
+
+
+def _workload(platform):
+    return mixed_workload(
+        platform,
+        n_apps=N_APPS,
+        arrival_rate_per_s=ARRIVAL_RATE,
+        seed=WORKLOAD_SEED,
+        instruction_scale=INSTRUCTION_SCALE,
+    )
+
+
+def test_bench_grid_throughput(benchmark, platform):
+    cells = list(range(100, 100 + N_CELLS))
+
+    def worker(seed):
+        return run_workload(
+            platform, GTSOndemand(), _workload(platform), FAN_COOLING,
+            seed=seed,
+        ).summary
+
+    def batch_plan(seed):
+        def prepare():
+            return prepare_run(
+                platform, GTSOndemand(), _workload(platform), FAN_COOLING,
+                seed=seed,
+            )
+
+        def finalize(sim):
+            return finalize_run(
+                sim, GTSOndemand(), _workload(platform), seed=seed
+            ).summary
+
+        return BatchCellPlan(prepare=prepare, finalize=finalize)
+
+    def run():
+        start = time.perf_counter()
+        pool = run_cells_report(
+            cells, worker, parallel=True, n_workers=POOL_WORKERS
+        )
+        pool_s = time.perf_counter() - start
+        start = time.perf_counter()
+        batched = run_cells_report(
+            cells, worker, backend="batched", batch_plan=batch_plan
+        )
+        batched_s = time.perf_counter() - start
+        return pool, pool_s, batched, batched_s
+
+    pool, pool_s, batched, batched_s = run_once(benchmark, run)
+    assert pool.ok() and batched.ok()
+    assert pool.results == batched.results
+    pool_tp = N_CELLS / pool_s
+    batched_tp = N_CELLS / batched_s
+    benchmark.extra_info["n_cells"] = N_CELLS
+    benchmark.extra_info["pool_cells_per_wall_s"] = pool_tp
+    benchmark.extra_info["batched_cells_per_wall_s"] = batched_tp
+    benchmark.extra_info["batched_speedup_over_pool"] = batched_tp / pool_tp
+    assert batched_tp > pool_tp

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.experiments.assets import AssetStore
-from repro.experiments.parallel import run_cells
+from repro.experiments.parallel import BatchCellPlan, run_cells
 from repro.governors.base import Technique
 from repro.governors.techniques import GTSOndemand, GTSPowersave
 from repro.il.technique import TopIL
@@ -29,7 +29,12 @@ from repro.thermal import CoolingConfig, FAN_COOLING, PASSIVE_COOLING
 from repro.utils.rng import RandomSource
 from repro.utils.tables import ascii_table
 from repro.workloads.generator import mixed_workload
-from repro.workloads.runner import run_slug, run_workload
+from repro.workloads.runner import (
+    finalize_run,
+    prepare_run,
+    run_slug,
+    run_workload,
+)
 
 EXPERIMENT_NAME = "main_mixed"
 
@@ -195,11 +200,51 @@ def _run_main_mixed_cell(cell: Tuple[CoolingConfig, float, int, str]):
     return run.summary
 
 
+def _batch_plan_main_mixed_cell(
+    cell: Tuple[CoolingConfig, float, int, str]
+) -> Optional[BatchCellPlan]:
+    """Lockstep plan for one grid cell (``backend="batched"``).
+
+    Builds the same workload and technique as :func:`_run_main_mixed_cell`
+    but splits the run into ``prepare_run`` (armed simulator for the
+    batch) and ``finalize_run`` (summary extraction afterwards).  Traced
+    cells return ``None`` — they must write per-cell artifacts, which only
+    the scalar worker does.  Learned techniques (TOP-IL / TOP-RL) attach
+    controllers the lockstep kernel does not recognize; they are rejected
+    by the backend's eligibility probe and fall back per-cell.
+    """
+    if Observability.from_env().enabled:
+        return None
+    cooling, rate, rep, name = cell
+    assets: AssetStore = _WORKER_STATE["assets"]  # type: ignore[assignment]
+    config: MainMixedConfig = _WORKER_STATE["config"]  # type: ignore[assignment]
+    seed = config.workload_seed + rep
+    workload = mixed_workload(
+        assets.platform,
+        n_apps=config.n_apps,
+        arrival_rate_per_s=rate,
+        seed=seed,
+        instruction_scale=config.instruction_scale,
+    )
+    technique = _make_technique(name, assets, rep, seed)
+
+    def prepare():
+        return prepare_run(
+            assets.platform, technique, workload, cooling=cooling, seed=seed
+        )
+
+    def finalize(sim):
+        return finalize_run(sim, technique, workload, seed=seed).summary
+
+    return BatchCellPlan(prepare=prepare, finalize=finalize, timeout_s=7200.0)
+
+
 def run_main_mixed(
     assets: AssetStore,
     config: MainMixedConfig = MainMixedConfig(),
     parallel: Optional[bool] = None,
     n_workers: Optional[int] = None,
+    backend: str = "auto",
 ) -> MainMixedResult:
     """Run the full technique x rate x repetition x cooling grid.
 
@@ -215,6 +260,11 @@ def run_main_mixed(
         parallel: Force the fork pool on/off; ``None`` follows
             ``REPRO_PARALLEL``.
         n_workers: Pool size; ``None`` means one worker per CPU.
+        backend: ``"auto"`` (serial / fork pool) or ``"batched"`` — the
+            lockstep NumPy backend that advances all GTS cells of the grid
+            in one :class:`~repro.sim.batch.BatchSimulator`, bit-identical
+            to serial; learned-technique and traced cells fall back to the
+            scalar path automatically.
 
     Returns:
         A :class:`MainMixedResult` with per-(technique, cooling) aggregates
@@ -258,6 +308,8 @@ def run_main_mixed(
         experiment=EXPERIMENT_NAME,
         store=assets.artifacts,
         cell_key=cell_key,
+        backend=backend,
+        batch_plan=_batch_plan_main_mixed_cell,
     )
 
     # Aggregate in the cells' nested order — the same order the serial

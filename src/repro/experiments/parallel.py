@@ -86,7 +86,14 @@ from typing import (
 from repro.obs.config import Observability
 from repro.obs.manifest import RunManifest, merge_manifests
 from repro.obs.metrics import MetricsRegistry
+from repro.sim.batch import (
+    BatchSimulator,
+    batch_compatibility,
+    batch_ineligibility,
+)
+from repro.sim.kernel import Simulator
 from repro.store import ArtifactHandle, ArtifactKey, ArtifactStore, CellResultHandle
+from repro.utils.floatcmp import is_exactly
 from repro.utils.rng import RandomSource
 
 #: Environment switch: set to ``"0"`` to force serial execution everywhere.
@@ -197,6 +204,26 @@ class GridReport:
     def raise_if_failed(self) -> None:
         if self.failed_cells:
             raise GridCellError(self.failed_cells)
+
+
+@dataclass
+class BatchCellPlan:
+    """How the batched backend executes one grid cell.
+
+    ``prepare`` builds the cell's fully-armed (but not yet advanced)
+    :class:`~repro.sim.kernel.Simulator` — typically a thin wrapper around
+    :func:`~repro.workloads.runner.prepare_run` with the cell's own
+    technique, workload, and seed.  After the lockstep run completes the
+    cell, ``finalize`` turns the simulator into the cell's result value —
+    the same value ``worker(cell)`` would have produced, since the batched
+    kernel is bit-identical to the scalar one.  ``timeout_s`` mirrors the
+    scalar path's ``max_duration_s``; cells with different timeouts never
+    share a batch.
+    """
+
+    prepare: Callable[[], Simulator]
+    finalize: Callable[[Simulator], Any]
+    timeout_s: float = 7200.0
 
 
 def _describe_error(exc: BaseException) -> str:
@@ -505,6 +532,200 @@ def _publishing_worker(
     return publish
 
 
+def _count_fallback(registry: Optional[MetricsRegistry], reason: str) -> None:
+    if registry is not None:
+        registry.counter(
+            "batch_fallback_cells_total", reason="-".join(reason.split())
+        ).inc()
+
+
+def _run_cells_batched(
+    cells: List[Any],
+    worker: Callable[[Any], Any],
+    batch_plan: Callable[[Any], Optional[BatchCellPlan]],
+    *,
+    init: Optional[Callable[..., None]],
+    init_args: Tuple[Any, ...],
+    n_workers: Optional[int],
+    parallel: Optional[bool],
+    experiment: Optional[str],
+    observability: Optional[Observability],
+    cell_timeout_s: Optional[float],
+    max_retries: int,
+    retry_backoff_s: float,
+    registry: Optional[MetricsRegistry],
+    store: Optional[ArtifactStore],
+    cell_key: Optional[Callable[[Any], Optional[ArtifactKey]]],
+    cell_handle: Optional[ArtifactHandle],
+) -> GridReport:
+    """``backend="batched"`` execution; see :func:`run_cells_report`."""
+    n = len(cells)
+    results: List[Any] = [None] * n
+    failed: List[FailedCell] = []
+    handle = cell_handle if cell_handle is not None else CellResultHandle()
+    use_store = store is not None and cell_key is not None
+
+    # Store probe first: verified hits never build a simulator at all.
+    pending: List[int] = []
+    if use_store:
+        assert store is not None and cell_key is not None
+        for index, cell in enumerate(cells):
+            key = cell_key(cell)
+            found, value = (False, None)
+            if key is not None:
+                found, value = store.lookup(key, handle)
+            if found:
+                results[index] = value
+            else:
+                pending.append(index)
+    else:
+        pending = list(range(n))
+
+    if pending and init is not None:
+        # The planner usually closes over state the initializer stashes
+        # (asset stores, platform singletons), so run it in-parent first —
+        # exactly what the serial path does.
+        init(*init_args)
+
+    # Partition: plan + per-cell eligibility.  Cells without a plan or
+    # with a configuration the lockstep kernel cannot replicate exactly
+    # fall back to the scalar path below.
+    eligible: List[Tuple[int, Simulator, BatchCellPlan]] = []
+    fallback: List[int] = []
+    for index in pending:
+        plan = batch_plan(cells[index])
+        if plan is None:
+            _count_fallback(registry, "no plan")
+            fallback.append(index)
+            continue
+        sim = plan.prepare()
+        reason = batch_ineligibility(sim)
+        if reason is not None:
+            _count_fallback(registry, reason)
+            fallback.append(index)
+            continue
+        eligible.append((index, sim, plan))
+
+    # Greedy grouping into maximal mutually-compatible batches.  The
+    # BatchSimulator constructor validates each cell against the group's
+    # first, which is exactly the reference used here.
+    groups: List[List[Tuple[int, Simulator, BatchCellPlan]]] = []
+    for item in eligible:
+        for group in groups:
+            _, ref_sim, ref_plan = group[0]
+            if is_exactly(item[2].timeout_s, ref_plan.timeout_s) and (
+                batch_compatibility(ref_sim, item[1]) is None
+            ):
+                group.append(item)
+                break
+        else:
+            groups.append([item])
+
+    for group in groups:
+        try:
+            batch = BatchSimulator([sim for _, sim, _ in group])
+            if registry is not None:
+                registry.gauge("batch_cells").set(float(batch.n_cells))
+            outcomes = batch.run(timeout_s=group[0][2].timeout_s)
+            if registry is not None:
+                registry.gauge("batch_fill_ratio").set(
+                    batch.lockstep_fill_ratio
+                )
+        except Exception as exc:  # defensive: recompute on the scalar path
+            _LOG.warning(
+                "batched group of %d cell(s) failed (%s); "
+                "falling back to the scalar kernel",
+                len(group), _describe_error(exc),
+            )
+            for index, _, _ in group:
+                _count_fallback(registry, "batch error")
+                fallback.append(index)
+            continue
+        for (index, sim, plan), outcome in zip(group, outcomes):
+            if outcome is not None:
+                # Mirror the scalar contract: a timeout raises out of the
+                # worker, a deterministic failure that is not retried.
+                if registry is not None:
+                    registry.counter(
+                        "worker_failures_total", reason="error"
+                    ).inc()
+                failed.append(
+                    FailedCell(
+                        index, cells[index], 1, "error",
+                        _describe_error(outcome),
+                    )
+                )
+                continue
+            try:
+                value = plan.finalize(sim)
+            except Exception as exc:
+                if registry is not None:
+                    registry.counter(
+                        "worker_failures_total", reason="error"
+                    ).inc()
+                failed.append(
+                    FailedCell(
+                        index, cells[index], 1, "error", _describe_error(exc)
+                    )
+                )
+                continue
+            if use_store:
+                assert store is not None and cell_key is not None
+                key = cell_key(cells[index])
+                if key is not None:
+                    store.put(key, value, handle)
+            results[index] = value
+
+    retries_total = 0
+    n_workers_used = 1
+    used_pool = False
+    if fallback:
+        fallback.sort()
+        sub_worker = worker
+        if use_store:
+            assert store is not None and cell_key is not None
+            sub_worker = _publishing_worker(worker, store, cell_key, handle)
+        sub = run_cells_report(
+            [cells[i] for i in fallback],
+            sub_worker,
+            init=init,
+            init_args=init_args,
+            n_workers=n_workers,
+            parallel=parallel,
+            observability=observability,
+            cell_timeout_s=cell_timeout_s,
+            max_retries=max_retries,
+            retry_backoff_s=retry_backoff_s,
+            registry=registry,
+        )
+        for sub_index, index in enumerate(fallback):
+            results[index] = sub.results[sub_index]
+        failed.extend(
+            FailedCell(
+                index=fallback[f.index],
+                cell=f.cell,
+                attempts=f.attempts,
+                reason=f.reason,
+                detail=f.detail,
+            )
+            for f in sub.failed_cells
+        )
+        retries_total = sub.retries_total
+        n_workers_used = sub.n_workers
+        used_pool = sub.used_pool
+
+    if experiment is not None:
+        merge_cell_manifests(experiment, observability)
+    failed.sort(key=lambda f: f.index)
+    return GridReport(
+        results=results,
+        failed_cells=failed,
+        retries_total=retries_total,
+        n_workers=n_workers_used,
+        used_pool=used_pool,
+    )
+
+
 def run_cells_report(
     cells: Sequence[Any],
     worker: Callable[[Any], Any],
@@ -522,6 +743,8 @@ def run_cells_report(
     store: Optional[ArtifactStore] = None,
     cell_key: Optional[Callable[[Any], Optional[ArtifactKey]]] = None,
     cell_handle: Optional[ArtifactHandle] = None,
+    backend: str = "auto",
+    batch_plan: Optional[Callable[[Any], Optional[BatchCellPlan]]] = None,
 ) -> GridReport:
     """Run the grid with partial-result salvage; never raises for cells.
 
@@ -549,10 +772,45 @@ def run_cells_report(
     ``cell_handle`` defaults to :class:`~repro.store.CellResultHandle`.
     Note cached cells run no worker code, so they write no per-cell
     manifests and emit no run traces — see ``docs/caching.md``.
+
+    ``backend`` selects the execution engine: ``"auto"`` (default) is the
+    serial loop or the supervised fork pool as decided by ``parallel``;
+    ``"batched"`` advances eligible cells in lockstep on one in-process
+    :class:`~repro.sim.batch.BatchSimulator` (bit-identical to serial)
+    and requires ``batch_plan`` — a callable mapping each cell to a
+    :class:`BatchCellPlan` (or ``None`` to opt the cell out).  Cells the
+    lockstep kernel cannot replicate (fault plans, observability, custom
+    controllers — see :func:`~repro.sim.batch.batch_ineligibility`) fall
+    back to the scalar path automatically, counted in
+    ``batch_fallback_cells_total``.
     """
+    if backend not in ("auto", "batched"):
+        raise ValueError(f"unknown backend {backend!r}")
+    if backend == "batched" and batch_plan is None:
+        raise ValueError('backend="batched" requires batch_plan')
     cells = list(cells)
     if not cells:
         return GridReport(results=[])
+    if backend == "batched":
+        assert batch_plan is not None
+        return _run_cells_batched(
+            cells,
+            worker,
+            batch_plan,
+            init=init,
+            init_args=init_args,
+            n_workers=n_workers,
+            parallel=parallel,
+            experiment=experiment,
+            observability=observability,
+            cell_timeout_s=cell_timeout_s,
+            max_retries=max_retries,
+            retry_backoff_s=retry_backoff_s,
+            registry=registry,
+            store=store,
+            cell_key=cell_key,
+            cell_handle=cell_handle,
+        )
 
     if store is not None and cell_key is not None:
         handle = cell_handle if cell_handle is not None else CellResultHandle()
@@ -685,6 +943,8 @@ def run_cells(
     store: Optional[ArtifactStore] = None,
     cell_key: Optional[Callable[[Any], Optional[ArtifactKey]]] = None,
     cell_handle: Optional[ArtifactHandle] = None,
+    backend: str = "auto",
+    batch_plan: Optional[Callable[[Any], Optional[BatchCellPlan]]] = None,
 ) -> List[Any]:
     """Run ``worker(cell)`` for every cell; results in cell order.
 
@@ -717,7 +977,7 @@ def run_cells(
     effective = max(1, min(requested, len(cells) or 1))
     use_pool = parallel_enabled(parallel) and effective > 1 and len(cells) > 1
     use_store = store is not None and cell_key is not None
-    if not use_pool and not use_store:
+    if not use_pool and not use_store and backend != "batched":
         # Preserve the exact legacy serial contract: exceptions propagate.
         if effective < requested and registry is not None:
             registry.counter("worker_pool_clamped_total").inc()
@@ -743,6 +1003,8 @@ def run_cells(
         store=store,
         cell_key=cell_key,
         cell_handle=cell_handle,
+        backend=backend,
+        batch_plan=batch_plan,
     )
     report.raise_if_failed()
     return report.results

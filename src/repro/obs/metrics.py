@@ -193,6 +193,20 @@ _SPECS: Tuple[MetricSpec, ...] = (
         "Worker-pool launches clamped because cells < requested workers.",
         "",
     ),
+    # --- batched lockstep backend ----------------------------------------
+    MetricSpec(
+        "batch_cells", "gauge", "cells",
+        "Cells advanced in lockstep by one batched-backend group.", "",
+    ),
+    MetricSpec(
+        "batch_fill_ratio", "gauge", "ratio",
+        "Active-cell occupancy of the batched backend's lockstep ticks.", "",
+    ),
+    MetricSpec(
+        "batch_fallback_cells_total", "counter", "events",
+        "Grid cells routed to the scalar kernel by the batched backend, "
+        "by reason.", "",
+    ),
     # --- artifact store -------------------------------------------------
     MetricSpec(
         "store_hits_total", "counter", "events",

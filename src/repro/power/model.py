@@ -196,3 +196,51 @@ class PowerModel:
             total += float(power.sum())
         total += float(uncore_powers.sum()) + self.soc_rest_w
         return core_powers, uncore_powers, self.soc_rest_w, total
+
+    @hot_path
+    def compute_batch(
+        self,
+        cluster_voltage_v: np.ndarray,
+        cluster_frequency_hz: np.ndarray,
+        core_activity: np.ndarray,
+        core_temps_c: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, float, np.ndarray]:
+        """Batched :meth:`compute_vector` over N cells sharing this platform.
+
+        ``cluster_voltage_v`` / ``cluster_frequency_hz`` are ``(clusters, N)``
+        arrays in ``platform.clusters`` order (each cell may sit at its own
+        VF level); ``core_activity`` / ``core_temps_c`` are ``(N, cores)``
+        indexed by core id.  Returns ``(core_powers, uncore_powers,
+        soc_rest_w, total_w)`` with per-cell leading axes.  Every row is
+        computed with the same elementwise expression sequence as
+        :meth:`compute_vector`, so row ``i`` is bitwise identical to the
+        scalar call for cell ``i`` — the contract the batched simulation
+        backend's golden-trace equivalence rests on.
+        """
+        n_cells = core_activity.shape[0]
+        core_powers = np.empty((n_cells, self.platform.n_cores))
+        uncore_powers = np.empty((n_cells, len(self._cluster_core_idx)))
+        total = np.zeros(n_cells)
+        for k, (cluster, idx) in enumerate(self._cluster_core_idx):
+            v = cluster_voltage_v[k]
+            v2 = v**2
+            full = cluster.dyn_power_coeff * v2 * cluster_frequency_hz[k]
+            idle = cluster.idle_power_fraction * full
+            activity = core_activity[:, idx]
+            temp_factor = 1.0 + self.leakage_temp_coeff * np.maximum(
+                0.0, core_temps_c[:, idx] - self.leakage_ref_c
+            )
+            power = (
+                idle[:, None]
+                + (full - idle)[:, None] * activity
+                + (cluster.static_power_coeff * v2)[:, None] * temp_factor
+            )
+            core_powers[:, idx] = power
+            mean_activity = activity.sum(axis=1) / cluster.n_cores
+            v_scale = (v / cluster.vf_table.max_level.voltage_v) ** 2
+            uncore_powers[:, k] = v_scale * (
+                self.uncore_base_w + self.uncore_activity_w * mean_activity
+            )
+            total += power.sum(axis=1)
+        total += uncore_powers.sum(axis=1) + self.soc_rest_w
+        return core_powers, uncore_powers, self.soc_rest_w, total

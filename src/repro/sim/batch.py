@@ -1,0 +1,1110 @@
+"""Batched lockstep execution of whole experiment grids.
+
+The paper's evaluation is grid-shaped: sweeps over techniques, coolings,
+arrival rates, and repetitions, where every cell runs the *same* simulator
+pipeline on the *same* platform with different workloads and seeds.  The
+scalar kernel advances one cell per process; this module advances N cells
+per tick with shared NumPy operators:
+
+* **Thermal**: the RC states of all cells live in one ``(N, nodes)`` array
+  advanced by :meth:`~repro.thermal.rc.RCThermalNetwork.step_batch` with
+  one shared fused matrix-exponential operator per ``(operator, dt)`` pair.
+* **Power**: :meth:`~repro.power.model.PowerModel.compute_batch` evaluates
+  every cell's per-block power in one broadcast expression sequence.
+* **Processes**: the running processes of all cells are flattened into
+  structure-of-arrays slot vectors (sorted by ``(cell, pid)``, the scalar
+  accumulation order) so execution, perf-counter EMA, and QoS accounting
+  are a handful of elementwise ops per tick.
+
+Bit-identity contract
+---------------------
+``BatchSimulator`` is not an approximation: for every eligible cell the
+results (trace series, process accounting, DTM/VF history, sensor noise
+stream) are **bitwise identical** to running the scalar
+:meth:`~repro.sim.kernel.Simulator.run_until_complete`.  This holds
+because every floating-point expression is evaluated with the same
+operand values, operation order, and element-wise kernels as the scalar
+path (see the PR 1 golden-trace harness and
+``tests/property/test_batch_equivalence.py``).
+
+Structural events — arrivals, finishes, GTS migrations — drop out of the
+lockstep back onto the real per-cell objects: admissions call the cell's
+own ``_admit_arrivals``, balance passes call the cell's own bound
+callback, and the slot arrays are rebuilt from the authoritative process
+objects on the next tick.  Cells whose configuration the batch cannot
+replicate exactly (fault plans, observability hooks, custom controllers)
+are rejected by :func:`batch_ineligibility` and must run on the scalar
+kernel — the experiment layer routes them there automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.apps.model import AppModel
+from repro.governors.gts import GTSScheduler
+from repro.governors.linux import (
+    OndemandGovernor,
+    PerformanceGovernor,
+    PowersaveGovernor,
+)
+from repro.platform import Platform, VFLevel
+from repro.platform.hikey import BIG, LITTLE
+from repro.sim.kernel import SimulationTimeout, Simulator, default_placement
+from repro.sim.process import Process
+from repro.thermal.sensor import TemperatureSensor
+from repro.utils.floatcmp import is_exactly, is_zero
+from repro.utils.hotpath import hot_path
+
+#: Controller kind codes (per (slot, cell) in ``_ctl_kinds``).
+_KIND_GTS = 0
+_KIND_ONDEMAND = 1
+_KIND_POWERSAVE = 2
+_KIND_PERFORMANCE = 3
+
+_NEG_INF = float("-inf")
+
+
+class BatchCompatibilityError(ValueError):
+    """The given cells cannot share one lockstep batch."""
+
+
+def _classify_controller(callback: Callable[[Simulator], None]) -> Optional[int]:
+    """Kind code for a recognized controller callback, else ``None``."""
+    if isinstance(callback, OndemandGovernor):
+        return _KIND_ONDEMAND
+    if isinstance(callback, PowersaveGovernor):
+        return _KIND_POWERSAVE
+    if isinstance(callback, PerformanceGovernor):
+        return _KIND_PERFORMANCE
+    func = getattr(callback, "__func__", None)
+    if func is GTSScheduler.balance:
+        return _KIND_GTS
+    return None
+
+
+def batch_ineligibility(sim: Simulator) -> Optional[str]:
+    """Why ``sim`` cannot run on the batched backend (``None`` = eligible).
+
+    The batched kernel replicates the scalar pipeline exactly for the
+    standard configuration: no fault runtime, no observability hooks, the
+    plain :class:`~repro.thermal.sensor.TemperatureSensor`, and only the
+    recognized placement policies and controllers (default placement or
+    GTS placement; ondemand / powersave / performance governors and the
+    GTS balance pass).  Anything else must run on the scalar kernel.
+    """
+    if sim.faults is not None:
+        return "fault plan attached"
+    if sim.obs is not None:
+        return "observability enabled"
+    if sim._sanitize_enabled:
+        return "sanitizer enabled"
+    if type(sim.sensor) is not TemperatureSensor:
+        return "non-standard temperature sensor"
+    if not is_zero(sim.now_s) or sim._running or sim.trace.times:
+        return "simulation already started"
+    if not is_zero(sim._pending_overhead_s):
+        return "pending management overhead"
+    placement = sim.placement_policy
+    placement_func = getattr(placement, "__func__", None)
+    if placement is not default_placement and placement_func is not GTSScheduler.place:
+        return "custom placement policy"
+    has_gts = placement_func is GTSScheduler.place
+    for controller in sim._controllers:
+        kind = _classify_controller(controller.callback)
+        if kind is None:
+            return f"unrecognized controller {controller.name!r}"
+        has_gts = has_gts or kind == _KIND_GTS
+    if has_gts:
+        try:
+            sim.platform.cluster(BIG)
+            sim.platform.cluster(LITTLE)
+        except KeyError:
+            return "GTS controller on a platform without big.LITTLE clusters"
+    return None
+
+
+def batch_compatibility(ref: Simulator, sim: Simulator) -> Optional[str]:
+    """Why ``sim`` cannot share a lockstep batch with ``ref`` (``None`` = can).
+
+    Both cells must already be individually eligible per
+    :func:`batch_ineligibility`; this checks the *pairwise* requirements —
+    shared platform object, identical kernel config, thermal layout,
+    power-model coefficients, sensor parameters, and controller / DTM
+    schedules.  Controller *kinds* may differ, so cells running different
+    governors still batch together.  Grid schedulers use this to group a
+    heterogeneous cell list into maximal compatible batches.
+    """
+    if sim.platform is not ref.platform:
+        return "different platform object"
+    if sim.config != ref.config:
+        return "different SimConfig"
+    if sim.thermal.node_names != ref.thermal.node_names:
+        return "different thermal node layout"
+    if not is_exactly(sim.thermal.ambient_temp_c, ref.thermal.ambient_temp_c):
+        return "different ambient temperature"
+    if not _power_models_equal(sim, ref):
+        return "different power model"
+    if not _sensors_equal(sim, ref):
+        return "different sensor parameters"
+    if len(sim._controllers) != len(ref._controllers):
+        return "different controller count"
+    for ctl, ref_ctl in zip(sim._controllers, ref._controllers):
+        if not is_exactly(ctl.period_s, ref_ctl.period_s) or not is_exactly(
+            ctl.next_due_s, ref_ctl.next_due_s
+        ):
+            return "different controller schedule"
+    if not is_exactly(sim._dtm_next_check_s, ref._dtm_next_check_s):
+        return "different DTM schedule"
+    return None
+
+
+def _power_models_equal(sim: Simulator, ref: Simulator) -> bool:
+    a, b = sim.power_model, ref.power_model
+    return (
+        a.platform is b.platform
+        and is_exactly(a.leakage_temp_coeff, b.leakage_temp_coeff)
+        and is_exactly(a.leakage_ref_c, b.leakage_ref_c)
+        and is_exactly(a.uncore_base_w, b.uncore_base_w)
+        and is_exactly(a.uncore_activity_w, b.uncore_activity_w)
+        and is_exactly(a.soc_rest_w, b.soc_rest_w)
+    )
+
+
+def _sensors_equal(sim: Simulator, ref: Simulator) -> bool:
+    a, b = sim.sensor, ref.sensor
+    return (
+        a.nodes == b.nodes
+        and is_exactly(a.sample_period_s, b.sample_period_s)
+        and is_exactly(a.quantization_c, b.quantization_c)
+        and is_exactly(a.noise_std_c, b.noise_std_c)
+    )
+
+
+@dataclass
+class _AppTable:
+    """Per-application phase/parameter tables (platform-cluster order).
+
+    Row ``l`` of each 2-D array holds the per-phase effective parameters on
+    cluster ``l``, computed with the exact expressions
+    :meth:`~repro.apps.model.AppModel.params_at` uses, so gathered values
+    match the scalar lookups bit-for-bit.
+    """
+
+    app: AppModel
+    n_phases: int
+    cycle_instructions: float
+    total_instructions: float
+    thresholds: np.ndarray  # (n_phases - 1,) cumulative fractions - 1e-12
+    cpi: np.ndarray  # (clusters, n_phases)
+    mem: np.ndarray
+    act: np.ndarray
+    l2d: np.ndarray
+    coupling: np.ndarray
+    ref_hz: np.ndarray
+    zero_mem: np.ndarray  # bool: effective_mem_time short-circuits
+
+
+def _build_app_table(app: AppModel, platform: Platform) -> _AppTable:
+    phases = app.phases.phases
+    n_ph = len(phases)
+    n_cl = len(platform.clusters)
+    thresholds = np.empty(max(0, n_ph - 1))
+    acc = 0.0
+    for i in range(n_ph - 1):
+        acc += phases[i].instruction_fraction
+        thresholds[i] = acc - 1e-12
+    cpi = np.empty((n_cl, n_ph))
+    mem = np.empty((n_cl, n_ph))
+    act = np.empty((n_cl, n_ph))
+    l2d = np.empty((n_cl, n_ph))
+    coupling = np.empty((n_cl, n_ph))
+    ref_hz = np.empty((n_cl, n_ph))
+    zero_mem = np.empty((n_cl, n_ph), dtype=bool)
+    for l, cluster in enumerate(platform.clusters):
+        base = app.perf[cluster.name]
+        for i, phase in enumerate(phases):
+            # The exact construction params_at caches per (cluster, index).
+            cpi[l, i] = base.cpi * phase.cpi_scale
+            mem[l, i] = base.mem_time_per_inst * phase.mem_scale
+            act[l, i] = min(1.0, base.activity * phase.activity_scale)
+            l2d[l, i] = app.l2d_per_inst * phase.l2d_scale
+            coupling[l, i] = base.mem_freq_coupling
+            ref_hz[l, i] = base.mem_ref_freq_hz
+            zero_mem[l, i] = is_zero(base.mem_freq_coupling) or is_zero(
+                float(mem[l, i])
+            )
+    return _AppTable(
+        app=app,
+        n_phases=n_ph,
+        cycle_instructions=app.phase_cycle_instructions,
+        total_instructions=app.total_instructions,
+        thresholds=thresholds,
+        cpi=cpi,
+        mem=mem,
+        act=act,
+        l2d=l2d,
+        coupling=coupling,
+        ref_hz=ref_hz,
+        zero_mem=zero_mem,
+    )
+
+
+@dataclass
+class _TraceSample:
+    """One buffered trace tick, replayed per cell at finalization."""
+
+    now_s: float
+    sensor_c: np.ndarray  # (N,)
+    max_core_c: np.ndarray  # (N,)
+    total_w: np.ndarray  # (N,)
+    vf_idx: np.ndarray  # (N, clusters)
+    theta: np.ndarray  # (N, nodes)
+    slot_cell: np.ndarray  # (alive slots,)
+    slot_pid: np.ndarray
+    slot_core: np.ndarray
+    slot_ips: np.ndarray
+    active: np.ndarray  # (N,) bool
+
+
+@dataclass
+class _ThermalGroup:
+    """Cells sharing one fused thermal operator (same digest).
+
+    ``selector`` is ``None`` only while the group spans every cell of the
+    batch (the no-copy fast path); once any member finishes it becomes the
+    index array of the remaining active members.
+    """
+
+    cells: List[int]
+    rep: int
+    selector: Optional[np.ndarray]
+
+
+class BatchSimulator:
+    """Advance N compatible simulator cells in lockstep NumPy.
+
+    Cells must be freshly prepared (not yet stepped), individually
+    eligible per :func:`batch_ineligibility`, and mutually compatible:
+    same platform object, same :class:`~repro.sim.kernel.SimConfig`, same
+    thermal node layout, same power-model coefficients, same sensor
+    parameters, and the same controller period schedule (controller
+    *kinds* may differ per cell, so e.g. GTS/ondemand and GTS/powersave
+    cells batch together).  Construction raises
+    :class:`BatchCompatibilityError` otherwise.
+
+    :meth:`run` advances all cells until each completes or the shared
+    timeout expires, then syncs every cell's full state (thermal, VF, DTM,
+    sensor, processes, trace) back onto its ``Simulator`` so downstream
+    summarization cannot tell the cell was not run by the scalar kernel.
+    """
+
+    def __init__(self, sims: Sequence[Simulator]) -> None:
+        if not sims:
+            raise BatchCompatibilityError("batch needs at least one cell")
+        self._sims: List[Simulator] = list(sims)
+        for index, sim in enumerate(self._sims):
+            reason = batch_ineligibility(sim)
+            if reason is not None:
+                raise BatchCompatibilityError(f"cell {index}: {reason}")
+        self._check_compatibility()
+        self._setup_static()
+        self._setup_cells()
+        self._dirty = True
+        self._rebuild()
+        # Lockstep occupancy accounting for the backend metrics.
+        self.ticks = 0
+        self.active_cell_ticks = 0
+
+    # ------------------------------------------------------------------ setup
+    def _check_compatibility(self) -> None:
+        first = self._sims[0]
+        for index, sim in enumerate(self._sims[1:], start=1):
+            reason = batch_compatibility(first, sim)
+            if reason is not None:
+                raise BatchCompatibilityError(f"cell {index}: {reason}")
+
+    def _setup_static(self) -> None:
+        first = self._sims[0]
+        platform = first.platform
+        config = first.config
+        self._platform = platform
+        self._power_model = first.power_model
+        self._n = len(self._sims)
+        self._dt_s = config.dt_s
+        self._smoothing = min(1.0, config.dt_s / config.perf_smoothing_tau_s)
+        self._contention_coeff = config.contention_coeff
+        self._cold_penalty = config.cold_cache_penalty
+        self._cold_duration_s = config.cold_cache_duration_s
+        self._qos_grace_s = 2 * config.perf_smoothing_tau_s
+        self._qos_factor = 1.0 - config.qos_tolerance
+        self._trace_period_s = config.trace_sample_period_s
+
+        n_cores = platform.n_cores
+        clusters = platform.clusters
+        self._n_cores = n_cores
+        self._n_clusters = len(clusters)
+        self._cluster_names: List[str] = [c.name for c in clusters]
+        cluster_index = {c.name: l for l, c in enumerate(clusters)}
+        self._cluster_of_core = np.array(
+            [cluster_index[platform.cluster_of_core(c).name] for c in range(n_cores)],
+            dtype=np.intp,
+        )
+        self._cluster_cols: List[np.ndarray] = [
+            np.array(c.core_ids, dtype=np.intp) for c in clusters
+        ]
+
+        # Padded VF lookup tables: (clusters, max levels).
+        self._levels: List[List[VFLevel]] = [list(c.vf_table) for c in clusters]
+        max_levels = max(len(lv) for lv in self._levels)
+        self._freq_pad = np.zeros((self._n_clusters, max_levels))
+        self._volt_pad = np.zeros((self._n_clusters, max_levels))
+        self._dtm_top = np.zeros(self._n_clusters, dtype=np.int64)
+        key_off: List[int] = []
+        self._vf_keys: List[Tuple[str, float]] = []
+        for l, levels in enumerate(self._levels):
+            key_off.append(len(self._vf_keys))
+            for j, level in enumerate(levels):
+                self._freq_pad[l, j] = level.frequency_hz
+                self._volt_pad[l, j] = level.voltage_v
+                self._vf_keys.append((clusters[l].name, level.frequency_hz))
+            self._freq_pad[l, len(levels):] = levels[-1].frequency_hz
+            self._volt_pad[l, len(levels):] = levels[-1].voltage_v
+            self._dtm_top[l] = len(levels) - 1
+        self._key_off = np.array(key_off, dtype=np.intp)
+        self._n_vf_keys = len(self._vf_keys)
+
+        # Precomputed power tables: per-(cluster, level) coefficients built
+        # with the same expressions :meth:`PowerModel.compute_batch` would
+        # evaluate per tick (``full = dyn * v**2 * f``, ``idle = frac *
+        # full``, ``static * v**2``, ``(v / v_max)**2``), so the per-tick
+        # power path reduces to flat-table gathers plus the leakage /
+        # uncore elementwise tail — entry-wise bit-identical to calling
+        # ``compute_batch`` with the gathered voltage/frequency arrays.
+        pm = first.power_model
+        dyn = np.array([c.dyn_power_coeff for c in clusters])
+        idle_frac = np.array([c.idle_power_fraction for c in clusters])
+        static = np.array([c.static_power_coeff for c in clusters])
+        vmax = np.array([c.vf_table.max_level.voltage_v for c in clusters])
+        v2_pad = self._volt_pad**2
+        full_pad = dyn[:, None] * v2_pad * self._freq_pad
+        self._pw_full = full_pad.ravel()
+        self._pw_idle = (idle_frac[:, None] * full_pad).ravel()
+        self._pw_stat = (static[:, None] * v2_pad).ravel()
+        self._pw_vscale = ((self._volt_pad / vmax[:, None]) ** 2).ravel()
+        self._pw_levels = max_levels
+        self._core_flat_base = self._cluster_of_core * max_levels
+        self._pw_ltc = pm.leakage_temp_coeff
+        self._pw_lref = pm.leakage_ref_c
+        self._pw_ubase = pm.uncore_base_w
+        self._pw_uact = pm.uncore_activity_w
+        self._pw_soc = pm.soc_rest_w
+
+        # Thermal layout (identical across cells by the compat check).
+        net = first.thermal
+        self._n_nodes = net.n_nodes
+        self._node_names: List[str] = list(net.node_names)
+        self._ambient_c = net.ambient_temp_c
+        self._core_node_idx = first._core_node_idx
+        self._uncore_node_idx = first._uncore_node_idx
+        self._soc_idx = first._soc_rest_idx
+        # Column indexers for broadcast fancy indexing (avoids per-tick
+        # ``np.ix_`` mesh construction on the hot path).
+        self._core_cols = np.asarray(self._core_node_idx, dtype=np.intp)
+        self._uncore_cols = np.asarray(self._uncore_node_idx, dtype=np.intp)
+        self._zone_idx = net.indices_of(first._zone_nodes)
+
+        # DTM configuration.
+        dtm = platform.dtm
+        self._dtm_trigger_c = dtm.trigger_temp_c
+        self._dtm_release_c = dtm.release_temp_c
+        self._dtm_period_s = dtm.check_period_s
+        self._dtm_next_s = first._dtm_next_check_s
+
+        # Sensor configuration (shared cadence, per-cell noise streams).
+        sensor = first.sensor
+        self._sensor_period_s = sensor.sample_period_s
+        self._sensor_quant_c = sensor.quantization_c
+        self._sensor_noise_c = sensor.noise_std_c
+        self._sensor_last_s: Optional[float] = None
+        self._trace_last_s: Optional[float] = None
+
+        # GTS balance no-op detection needs the big/LITTLE core columns.
+        self._big_cols: Optional[np.ndarray] = None
+        self._little_cols: Optional[np.ndarray] = None
+        try:
+            self._big_cols = np.array(
+                platform.cores_in_cluster(BIG), dtype=np.intp
+            )
+            self._little_cols = np.array(
+                platform.cores_in_cluster(LITTLE), dtype=np.intp
+            )
+        except KeyError:
+            pass
+
+        # Controller schedule: shared periods/next-dues, per-cell kinds.
+        n_slots = len(first._controllers)
+        self._ctl_periods_s: List[float] = [
+            c.period_s for c in first._controllers
+        ]
+        self._ctl_next_s: List[float] = [
+            c.next_due_s for c in first._controllers
+        ]
+        self._ctl_kinds = np.zeros((n_slots, self._n), dtype=np.int8)
+        self._ctl_callbacks: List[List[Callable[[Simulator], None]]] = []
+        self._ctl_has_gts: List[bool] = []
+        for k in range(n_slots):
+            callbacks: List[Callable[[Simulator], None]] = []
+            has_gts = False
+            for i, sim in enumerate(self._sims):
+                callback = sim._controllers[k].callback
+                kind = _classify_controller(callback)
+                assert kind is not None  # guaranteed by eligibility
+                self._ctl_kinds[k, i] = kind
+                has_gts = has_gts or kind == _KIND_GTS
+                callbacks.append(callback)
+            self._ctl_callbacks.append(callbacks)
+            self._ctl_has_gts.append(has_gts)
+
+    def _setup_cells(self) -> None:
+        n, n_nodes = self._n, self._n_nodes
+        self._theta = np.zeros((n, n_nodes))
+        self._vf_idx = np.zeros((n, self._n_clusters), dtype=np.int64)
+        self._dtm_cap = np.zeros((n, self._n_clusters), dtype=np.int64)
+        self._throttle_events = np.zeros(n, dtype=np.int64)
+        self._last_ptot = np.zeros(n)
+        self._sensor_vals = np.zeros(n)
+        self._sensor_rngs = [sim.sensor._rng for sim in self._sims]
+        self._active = np.ones(n, dtype=bool)
+        self._active_idx: List[int] = list(range(n))
+        self._active_rows = np.arange(n, dtype=np.intp)
+        self._active_rows_col = self._active_rows[:, None]
+        self._next_arrival_s = np.full(n, np.inf)
+        for i, sim in enumerate(self._sims):
+            self._theta[i] = sim.thermal.theta
+            for l, name in enumerate(self._cluster_names):
+                table = self._platform.clusters[l].vf_table
+                self._vf_idx[i, l] = table.index_of(sim._vf[name].frequency_hz)
+                self._dtm_cap[i, l] = sim._dtm_cap[name]
+            self._throttle_events[i] = sim.dtm_throttle_events
+            self._last_ptot[i] = sim._last_power_total_w
+            if sim._pending:
+                self._next_arrival_s[i] = sim._pending[0][0]
+
+        # Preallocated per-tick buffers.
+        self._power_buf = np.zeros((n, n_nodes))
+        self._act_buf = np.zeros((n, self._n_cores))
+        self._act_clip = np.zeros((n, self._n_cores))
+        self._pressure_buf = np.zeros((n, self._n_clusters))
+        self._core_count = np.zeros((n, self._n_cores), dtype=np.int64)
+
+        # Thermal groups: cells sharing one fused operator (same digest).
+        groups: Dict[str, List[int]] = {}
+        for i, sim in enumerate(self._sims):
+            groups.setdefault(sim.thermal.operator_digest, []).append(i)
+        self._thermal_groups: List[_ThermalGroup] = []
+        for digest in groups:
+            rows = groups[digest]
+            selector = None if len(rows) == n else np.array(rows, dtype=np.intp)
+            self._thermal_groups.append(
+                _ThermalGroup(cells=rows, rep=rows[0], selector=selector)
+            )
+
+        # Trace buffer and per-tick event bookkeeping.
+        self._trace_samples: List[_TraceSample] = []
+        self._finish_candidates: Set[int] = set()
+        self._migrated_cells: Set[int] = set()
+
+        # App tables, filled lazily as applications appear.
+        self._app_tables: Dict[int, _AppTable] = {}
+
+    # ------------------------------------------------------------------ slots
+    def _app_table(self, app: AppModel) -> _AppTable:
+        table = self._app_tables.get(id(app))
+        if table is None:
+            table = _build_app_table(app, self._platform)
+            self._app_tables[id(app)] = table
+        return table
+
+    def _rebuild(self) -> None:
+        """Rebuild the flattened slot arrays from the per-cell objects.
+
+        Called at tick start after any structural event (arrival, finish,
+        migration).  Numeric per-slot state carries over from the previous
+        arrays by index mapping — the process objects are only written at
+        slot retirement — while topology (core, cluster, parameter tables)
+        is re-derived from the authoritative objects.
+        """
+        self._dirty = False
+        slots: List[Tuple[int, Process]] = []
+        for i, sim in enumerate(self._sims):
+            for process in sim._running:
+                slots.append((i, process))
+        n_slots = len(slots)
+        old_index = getattr(self, "_slot_index", {})
+        old_j = np.full(n_slots, -1, dtype=np.intp)
+        s_cell = np.empty(n_slots, dtype=np.intp)
+        s_pid = np.empty(n_slots, dtype=np.int64)
+        s_core = np.empty(n_slots, dtype=np.intp)
+        s_lm = np.empty(n_slots)
+        s_arrival = np.empty(n_slots)
+        s_total = np.empty(n_slots)
+        s_qtarget = np.empty(n_slots)
+        s_cycle = np.empty(n_slots)
+        procs: List[Process] = []
+        tables: List[_AppTable] = []
+        max_ph = 1
+        for t, (i, process) in enumerate(slots):
+            old_j[t] = old_index.get((i, process.pid), -1)
+            s_cell[t] = i
+            s_pid[t] = process.pid
+            core_id = process.core_id
+            assert core_id is not None
+            s_core[t] = core_id
+            lm = process.last_migration_time_s
+            s_lm[t] = _NEG_INF if lm is None else lm
+            s_arrival[t] = process.arrival_time_s
+            table = self._app_table(process.app)
+            s_total[t] = table.total_instructions
+            s_qtarget[t] = process.qos_target_ips
+            s_cycle[t] = table.cycle_instructions
+            procs.append(process)
+            tables.append(table)
+            max_ph = max(max_ph, table.n_phases)
+        s_cluster = self._cluster_of_core[s_core]
+        has_old = old_j >= 0
+        carry = old_j[has_old]
+
+        def _carry(old: Optional[np.ndarray], shape: Tuple[int, ...]) -> np.ndarray:
+            new = np.zeros(shape)
+            if old is not None and carry.size:
+                new[has_old] = old[carry]
+            return new
+
+        old_done = getattr(self, "_s_done", None)
+        self._s_done = _carry(old_done, (n_slots,))
+        self._s_win_i = _carry(getattr(self, "_s_win_i", None), (n_slots,))
+        self._s_win_l2d = _carry(getattr(self, "_s_win_l2d", None), (n_slots,))
+        self._s_win_cpu = _carry(getattr(self, "_s_win_cpu", None), (n_slots,))
+        self._s_tot_cpu = _carry(getattr(self, "_s_tot_cpu", None), (n_slots,))
+        self._s_sm_ips = _carry(getattr(self, "_s_sm_ips", None), (n_slots,))
+        self._s_sm_l2d = _carry(getattr(self, "_s_sm_l2d", None), (n_slots,))
+        self._s_qos_met = _carry(getattr(self, "_s_qos_met", None), (n_slots,))
+        self._s_qos_obs = _carry(getattr(self, "_s_qos_obs", None), (n_slots,))
+        old_cpuvf = getattr(self, "_s_cpuvf", None)
+        self._s_cpuvf = np.zeros((n_slots, self._n_vf_keys))
+        if old_cpuvf is not None and carry.size:
+            self._s_cpuvf[has_old] = old_cpuvf[carry]
+
+        # Per-slot parameter tables, padded to the widest phase schedule.
+        self._s_cpi = np.empty((n_slots, max_ph))
+        self._s_mem = np.empty((n_slots, max_ph))
+        self._s_act = np.empty((n_slots, max_ph))
+        self._s_l2d = np.empty((n_slots, max_ph))
+        self._s_coupling = np.zeros((n_slots, max_ph))
+        self._s_ref = np.ones((n_slots, max_ph))
+        self._s_zero_mem = np.ones((n_slots, max_ph), dtype=bool)
+        self._s_thr = np.full((n_slots, max(0, max_ph - 1)), np.inf)
+        for t in range(n_slots):
+            table = tables[t]
+            l = s_cluster[t]
+            n_ph = table.n_phases
+            self._s_cpi[t, :n_ph] = table.cpi[l]
+            self._s_mem[t, :n_ph] = table.mem[l]
+            self._s_act[t, :n_ph] = table.act[l]
+            self._s_l2d[t, :n_ph] = table.l2d[l]
+            self._s_coupling[t, :n_ph] = table.coupling[l]
+            self._s_ref[t, :n_ph] = table.ref_hz[l]
+            self._s_zero_mem[t, :n_ph] = table.zero_mem[l]
+            self._s_thr[t, : n_ph - 1] = table.thresholds
+
+        self._n_slots = n_slots
+        self._s_cell = s_cell
+        self._s_pid = s_pid
+        self._s_core = s_core
+        self._s_cluster = s_cluster
+        self._s_lm = s_lm
+        self._s_arrival = s_arrival
+        self._s_total = s_total
+        self._s_qthresh = s_qtarget * self._qos_factor
+        self._s_cycle = s_cycle
+        self._s_procs = procs
+        self._s_rows = np.arange(n_slots)
+        self._s_alive = np.ones(n_slots, dtype=bool)
+        self._slot_index = {
+            (int(s_cell[t]), int(s_pid[t])): t for t in range(n_slots)
+        }
+        self._core_count[:] = 0
+        np.add.at(self._core_count, (s_cell, s_core), 1)
+
+    def _sync_slot(self, t: int) -> None:
+        """Write one slot's numeric state back onto its process object."""
+        process = self._s_procs[t]
+        process.instructions_done = float(self._s_done[t])
+        process._window_instructions = float(self._s_win_i[t])
+        process._window_l2d = float(self._s_win_l2d[t])
+        process._window_cpu_time = float(self._s_win_cpu[t])
+        process.total_cpu_time_s = float(self._s_tot_cpu[t])
+        process.smoothed_ips = float(self._s_sm_ips[t])
+        process.smoothed_l2d_rate = float(self._s_sm_l2d[t])
+        process.qos_met_time_s = float(self._s_qos_met[t])
+        process.qos_observed_time_s = float(self._s_qos_obs[t])
+        row = self._s_cpuvf[t]
+        for k in np.nonzero(row)[0]:
+            process.cpu_time_by_vf[self._vf_keys[k]] = float(row[k])
+
+    # ------------------------------------------------------------------ tick
+    def _tick(self, now_s: float) -> None:
+        self.ticks += 1
+        self.active_cell_ticks += len(self._active_idx)
+        self._migrated_cells.clear()
+        arrivals = self._active & (self._next_arrival_s <= now_s + 1e-12)
+        if arrivals.any():
+            for i in np.nonzero(arrivals)[0]:
+                sim = self._sims[i]
+                sim.now_s = now_s
+                sim._admit_arrivals()
+                self._next_arrival_s[i] = (
+                    sim._pending[0][0] if sim._pending else np.inf
+                )
+                self._dirty = True
+        if self._dirty:
+            self._rebuild()
+        activity, finished_idx = self._execute(now_s)
+        if finished_idx.size:
+            self._handle_finishes(finished_idx, now_s)
+        self._post_execute(now_s)
+        self._advance_thermal(activity)
+        self._check_dtm(now_s)
+        self._run_controllers(now_s)
+        self._record_trace(now_s)
+
+    @hot_path
+    def _execute(self, now_s: float) -> Tuple[np.ndarray, np.ndarray]:
+        """One lockstep execution pass; returns (activity, finished slots).
+
+        Replicates ``Simulator._resolve_step_params`` +
+        ``_execute_processes`` (minus EMA/QoS, which run after finish
+        handling in :meth:`_post_execute`) with the same expression
+        sequence per slot and the same accumulation order (slots are
+        sorted by ``(cell, pid)``, matching the scalar pid-order scans).
+        """
+        act_buf = self._act_buf
+        act_buf[:] = 0.0
+        if self._n_slots == 0:
+            np.minimum(1.0, act_buf, out=self._act_clip)
+            return self._act_clip, np.empty(0, dtype=np.intp)
+        dt_s = self._dt_s
+        rows = self._s_rows
+        s_cell = self._s_cell
+        s_cluster = self._s_cluster
+        vf_i = self._vf_idx[s_cell, s_cluster]
+        freq = self._freq_pad[s_cluster, vf_i]
+        if self._s_thr.shape[1]:
+            progress = np.mod(self._s_done / self._s_cycle, 1.0)
+            phase_i = (progress[:, None] >= self._s_thr).sum(axis=1)
+        else:
+            phase_i = np.zeros(self._n_slots, dtype=np.int64)
+        cpi = self._s_cpi[rows, phase_i]
+        mem = self._s_mem[rows, phase_i]
+        act = self._s_act[rows, phase_i]
+        l2d = self._s_l2d[rows, phase_i]
+        coupling = self._s_coupling[rows, phase_i]
+        ref_hz = self._s_ref[rows, phase_i]
+        zero_mem = self._s_zero_mem[rows, phase_i]
+        mem_eff = np.where(
+            zero_mem, mem, mem * (ref_hz / freq) ** coupling
+        )
+        t_inst = cpi / freq + mem_eff
+        mem_frac = mem_eff / t_inst
+        pressure = self._pressure_buf
+        pressure[:] = 0.0
+        np.add.at(pressure, (s_cell, s_cluster), mem_frac)
+        others = np.maximum(0.0, pressure[s_cell, s_cluster] - mem_frac)
+        slowdown = 1.0 + self._contention_coeff * others
+        cold = (now_s - self._s_lm) < self._cold_duration_s
+        slowdown = np.where(cold, slowdown * self._cold_penalty, slowdown)
+        ips = 1.0 / (cpi / freq + mem_eff * slowdown)
+        share = dt_s / self._core_count[s_cell, self._s_core]
+        remaining = np.maximum(0.0, self._s_total - self._s_done)
+        instructions = np.minimum(ips * share, remaining)
+        actual_time = instructions / ips
+        self._s_done += instructions
+        self._s_win_i += instructions
+        self._s_win_l2d += l2d * instructions
+        self._s_win_cpu += actual_time
+        self._s_tot_cpu += actual_time
+        vf_key = self._key_off[s_cluster] + vf_i
+        self._s_cpuvf[rows, vf_key] += actual_time
+        np.add.at(act_buf, (s_cell, self._s_core), act * (actual_time / dt_s))
+        np.minimum(1.0, act_buf, out=self._act_clip)
+        finished = np.maximum(0.0, self._s_total - self._s_done) <= 0.0
+        return self._act_clip, np.nonzero(finished)[0]
+
+    def _handle_finishes(self, finished_idx: np.ndarray, now_s: float) -> None:
+        for t in finished_idx:
+            self._sync_slot(int(t))
+            process = self._s_procs[t]
+            i = int(self._s_cell[t])
+            sim = self._sims[i]
+            core_id = process.core_id
+            assert core_id is not None
+            sim._by_core[core_id].remove(process)
+            sim._running.remove(process)
+            process.finish(now_s + self._dt_s)
+            self._core_count[i, core_id] -= 1
+            self._s_alive[t] = False
+            self._dirty = True
+            self._finish_candidates.add(i)
+
+    @hot_path
+    def _post_execute(self, now_s: float) -> None:
+        """Perf-counter EMA + QoS accounting for still-running slots."""
+        if self._n_slots == 0:
+            return
+        alive = self._s_alive
+        dt_s = self._dt_s
+        ips_now = self._s_win_i / dt_s
+        l2d_now = self._s_win_l2d / dt_s
+        smoothing = self._smoothing
+        self._s_sm_ips = np.where(
+            alive, self._s_sm_ips + smoothing * (ips_now - self._s_sm_ips),
+            self._s_sm_ips,
+        )
+        self._s_sm_l2d = np.where(
+            alive, self._s_sm_l2d + smoothing * (l2d_now - self._s_sm_l2d),
+            self._s_sm_l2d,
+        )
+        self._s_win_i[alive] = 0.0
+        self._s_win_l2d[alive] = 0.0
+        self._s_win_cpu[alive] = 0.0
+        graced = alive & ((now_s - self._s_arrival) > self._qos_grace_s)
+        self._s_qos_obs[graced] += dt_s
+        met = graced & (self._s_sm_ips >= self._s_qthresh)
+        self._s_qos_met[met] += dt_s
+
+    @hot_path
+    def _advance_thermal(self, activity: np.ndarray) -> None:
+        """Power + RC step for every active cell.
+
+        Entry-wise bit-identical to ``PowerModel.compute_batch``: the
+        flattened per-(cluster, level) tables in ``_setup_static`` were
+        built with the very expressions ``compute_batch`` evaluates per
+        tick, and gathering a precomputed double returns it unchanged.
+        The cluster loop accumulates ``total`` in the same order, and the
+        slice-then-sum reductions depend only on slice length.
+        """
+        rows = self._active_rows
+        rows_col = self._active_rows_col
+        vf_act = self._vf_idx[rows]
+        flat = vf_act[:, self._cluster_of_core] + self._core_flat_base
+        full = self._pw_full[flat]
+        idle = self._pw_idle[flat]
+        static_v2 = self._pw_stat[flat]
+        act = activity[rows]
+        core_temps = self._theta[rows_col, self._core_cols]
+        core_temps += self._ambient_c
+        temp_factor = 1.0 + self._pw_ltc * np.maximum(
+            0.0, core_temps - self._pw_lref
+        )
+        core_p = idle + (full - idle) * act + static_v2 * temp_factor
+        uncore = np.empty((rows.size, self._n_clusters))
+        total = np.zeros(rows.size)
+        for k, cols in enumerate(self._cluster_cols):
+            mean_act = act[:, cols].sum(axis=1) / cols.size
+            v_scale = self._pw_vscale[vf_act[:, k] + k * self._pw_levels]
+            uncore[:, k] = v_scale * (self._pw_ubase + self._pw_uact * mean_act)
+            total += core_p[:, cols].sum(axis=1)
+        total += uncore.sum(axis=1) + self._pw_soc
+        power = self._power_buf
+        power[rows_col, self._core_cols] = core_p
+        power[rows_col, self._uncore_cols] = uncore
+        power[rows, self._soc_idx] = self._pw_soc
+        self._last_ptot[rows] = total
+        for group in self._thermal_groups:
+            net = self._sims[group.rep].thermal
+            if group.selector is None:
+                net.step_batch(self._theta, power, self._dt_s, out=self._theta)
+            else:
+                sel = group.selector
+                self._theta[sel] = net.step_batch(
+                    self._theta[sel], power[sel], self._dt_s
+                )
+
+    def _read_sensor(self, now_s: float) -> np.ndarray:
+        """Shared-cadence sensor read: fresh draws only for active cells."""
+        if (
+            self._sensor_last_s is not None
+            and now_s - self._sensor_last_s < self._sensor_period_s - 1e-12
+        ):
+            return self._sensor_vals
+        zone = self._theta[:, self._zone_idx].max(axis=1) + self._ambient_c
+        noise_c = self._sensor_noise_c
+        quant_c = self._sensor_quant_c
+        for i in self._active_idx:
+            value = float(zone[i])
+            if noise_c > 0.0:
+                value += float(self._sensor_rngs[i].normal(0.0, noise_c))
+            if quant_c > 0.0:
+                value = round(value / quant_c) * quant_c
+            self._sensor_vals[i] = value
+        self._sensor_last_s = now_s
+        return self._sensor_vals
+
+    def _check_dtm(self, now_s: float) -> None:
+        if now_s + 1e-12 < self._dtm_next_s:
+            return
+        self._dtm_next_s = now_s + self._dtm_period_s
+        vals = self._read_sensor(now_s)
+        active = self._active
+        trig = active & (vals >= self._dtm_trigger_c)
+        if trig.any():
+            caps = self._dtm_cap[trig]
+            throttled = (caps > 0).any(axis=1)
+            self._dtm_cap[trig] = np.maximum(caps - 1, 0)
+            self._throttle_events[trig] += throttled
+            # Re-applying the current request is a no-op for cells whose
+            # caps were already exhausted, so the unconditional min is
+            # exactly the scalar "if throttled: re-apply" branch.
+            self._vf_idx[trig] = np.minimum(
+                self._vf_idx[trig], self._dtm_cap[trig]
+            )
+        release = active & ~trig & (vals <= self._dtm_release_c)
+        if release.any():
+            self._dtm_cap[release] = np.minimum(
+                self._dtm_cap[release] + 1, self._dtm_top
+            )
+
+    def _gts_need(self) -> np.ndarray:
+        """Cells whose GTS balance pass could possibly migrate something."""
+        counts = self._core_count
+        assert self._big_cols is not None and self._little_cols is not None
+        free_big = (counts[:, self._big_cols] == 0).any(axis=1)
+        little_busy = (counts[:, self._little_cols] > 0).any(axis=1)
+        crowded = (counts > 1).any(axis=1)
+        free_any = (counts == 0).any(axis=1)
+        return (free_big & little_busy) | (crowded & free_any)
+
+    def _refresh_core_count(self, i: int) -> None:
+        sim = self._sims[i]
+        for core_id in range(self._n_cores):
+            self._core_count[i, core_id] = len(sim._by_core[core_id])
+
+    def _run_controllers(self, now_s: float) -> None:
+        active = self._active
+        for k, period_s in enumerate(self._ctl_periods_s):
+            if now_s + 1e-12 < self._ctl_next_s[k]:
+                continue
+            kinds = self._ctl_kinds[k]
+            if self._ctl_has_gts[k]:
+                need = self._gts_need()
+                callbacks = self._ctl_callbacks[k]
+                for i in self._active_idx:
+                    if kinds[i] == _KIND_GTS and need[i]:
+                        sim = self._sims[i]
+                        sim.now_s = now_s
+                        before = len(sim.trace.migrations)
+                        callbacks[i](sim)
+                        if len(sim.trace.migrations) != before:
+                            self._dirty = True
+                            self._migrated_cells.add(i)
+                            self._refresh_core_count(i)
+            mask = active & (kinds == _KIND_ONDEMAND)
+            if mask.any():
+                self._apply_ondemand(mask)
+            mask = active & (kinds == _KIND_POWERSAVE)
+            if mask.any():
+                # min-level index is 0 and caps are >= 0: applied index 0.
+                self._vf_idx[mask] = 0
+            mask = active & (kinds == _KIND_PERFORMANCE)
+            if mask.any():
+                self._vf_idx[mask] = np.minimum(
+                    self._dtm_top, self._dtm_cap[mask]
+                )
+            next_s = self._ctl_next_s[k] + period_s
+            if next_s <= now_s + 1e-12:
+                next_s = now_s + period_s
+            self._ctl_next_s[k] = next_s
+
+    def _apply_ondemand(self, mask: np.ndarray) -> None:
+        """Vectorized ondemand: core utilization is binary (0 or 1), so
+        any busy core drives the cluster to the top level and an idle
+        cluster steps down one level — for every valid threshold pair."""
+        for l in range(self._n_clusters):
+            cols = self._cluster_cols[l]
+            busy = (self._core_count[:, cols] > 0).any(axis=1)
+            current = self._vf_idx[:, l]
+            requested = np.where(
+                busy, self._dtm_top[l], np.maximum(current - 1, 0)
+            )
+            applied = np.minimum(requested, self._dtm_cap[:, l])
+            self._vf_idx[mask, l] = applied[mask]
+
+    def _record_trace(self, now_s: float) -> None:
+        if (
+            self._trace_last_s is not None
+            and now_s - self._trace_last_s < self._trace_period_s - 1e-12
+        ):
+            return
+        self._trace_last_s = now_s
+        vals = self._read_sensor(now_s)
+        max_core = self._theta[:, self._core_node_idx].max(axis=1) + self._ambient_c
+        alive_sel = np.nonzero(self._s_alive)[0] if self._n_slots else np.empty(
+            0, dtype=np.intp
+        )
+        cells = self._s_cell[alive_sel].copy()
+        cores = self._s_core[alive_sel].copy()
+        if self._migrated_cells:
+            # GTS migrations this tick changed cores after the rebuild;
+            # the objects are authoritative until the next rebuild.
+            for pos, t in enumerate(alive_sel):
+                if int(cells[pos]) in self._migrated_cells:
+                    core_id = self._s_procs[t].core_id
+                    assert core_id is not None
+                    cores[pos] = core_id
+        self._trace_samples.append(
+            _TraceSample(
+                now_s=now_s,
+                sensor_c=vals.copy(),
+                max_core_c=max_core,
+                total_w=self._last_ptot.copy(),
+                vf_idx=self._vf_idx.copy(),
+                theta=self._theta.copy(),
+                slot_cell=cells,
+                slot_pid=self._s_pid[alive_sel].copy(),
+                slot_core=cores,
+                slot_ips=self._s_sm_ips[alive_sel].copy(),
+                active=self._active.copy(),
+            )
+        )
+
+    # ------------------------------------------------------------------ lifecycle
+    def _finish_cell(self, i: int, now_s: float) -> None:
+        """Sync the full batch state of cell ``i`` back onto its simulator."""
+        sim = self._sims[i]
+        for t in range(self._n_slots):
+            if self._s_alive[t] and int(self._s_cell[t]) == i:
+                self._sync_slot(t)
+        sim.now_s = now_s
+        sim.thermal._theta[:] = self._theta[i]
+        for l, name in enumerate(self._cluster_names):
+            sim._vf[name] = self._levels[l][int(self._vf_idx[i, l])]
+            sim._dtm_cap[name] = int(self._dtm_cap[i, l])
+        sim.dtm_throttle_events = int(self._throttle_events[i])
+        sim._dtm_next_check_s = self._dtm_next_s
+        sim._last_power_total_w = float(self._last_ptot[i])
+        if self._sensor_last_s is not None:
+            sim.sensor._last_sample_time = self._sensor_last_s
+            sim.sensor._last_value = float(self._sensor_vals[i])
+        for k, controller in enumerate(sim._controllers):
+            controller.next_due_s = self._ctl_next_s[k]
+        self._replay_trace(i)
+        self._active[i] = False
+        self._active_idx.remove(i)
+        self._active_rows = np.array(self._active_idx, dtype=np.intp)
+        self._active_rows_col = self._active_rows[:, None]
+        for group in self._thermal_groups:
+            if i in group.cells:
+                group.cells.remove(i)
+                group.selector = np.array(group.cells, dtype=np.intp)
+                break
+        self._thermal_groups = [g for g in self._thermal_groups if g.cells]
+
+    def _replay_trace(self, i: int) -> None:
+        """Replay the buffered lockstep samples into the cell's recorder.
+
+        Appends exactly the values :meth:`TraceRecorder.record` would
+        have, but builds each parallel list in bulk: scalar series via
+        comprehensions, node temperatures via one stacked vectorized add
+        (elementwise identical to the scalar ``theta[j] + ambient``), and
+        per-slot process rows via ``searchsorted`` on the cell-sorted
+        slot arrays instead of per-sample boolean masks.  The incremental
+        known-pid loop mirrors ``record`` statement for statement so dict
+        insertion order matches the scalar recorder's.
+        """
+        sim = self._sims[i]
+        samples = [s for s in self._trace_samples if s.active[i]]
+        if not samples:
+            return
+        trace = sim.trace
+        trace.times.extend(s.now_s for s in samples)
+        trace.sensor_temp_c.extend(float(s.sensor_c[i]) for s in samples)
+        trace.max_core_temp_c.extend(float(s.max_core_c[i]) for s in samples)
+        trace.total_power_w.extend(float(s.total_w[i]) for s in samples)
+        for l, name in enumerate(self._cluster_names):
+            freqs = [level.frequency_hz for level in self._levels[l]]
+            trace.vf_levels.setdefault(name, []).extend(
+                freqs[int(s.vf_idx[i, l])] for s in samples
+            )
+        theta = np.stack([s.theta[i] for s in samples]) + self._ambient_c
+        for j, name in enumerate(self._node_names):
+            trace.core_temps.setdefault(name, []).extend(theta[:, j].tolist())
+        proc_cores = trace.process_cores
+        proc_ips = trace.process_ips
+        length = len(trace.times) - len(samples)
+        for sample in samples:
+            lo = int(np.searchsorted(sample.slot_cell, i, side="left"))
+            hi = int(np.searchsorted(sample.slot_cell, i, side="right"))
+            pids = sample.slot_pid[lo:hi].tolist()
+            current_core = dict(zip(pids, sample.slot_core[lo:hi].tolist()))
+            current_ips = dict(zip(pids, sample.slot_ips[lo:hi].tolist()))
+            for pid in set(proc_cores) | set(current_core):
+                series = proc_cores.setdefault(pid, [-1] * length)
+                while len(series) < length:
+                    series.append(-1)
+                series.append(current_core.get(pid, -1))
+            for pid in set(proc_ips) | set(current_ips):
+                series = proc_ips.setdefault(pid, [0.0] * length)
+                while len(series) < length:
+                    series.append(0.0)
+                series.append(current_ips.get(pid, 0.0))
+            length += 1
+        trace._last_sample_time = samples[-1].now_s
+
+    @property
+    def n_cells(self) -> int:
+        return self._n
+
+    @property
+    def lockstep_fill_ratio(self) -> float:
+        """Mean fraction of cells still active per executed tick."""
+        if self.ticks == 0:
+            return 1.0
+        return self.active_cell_ticks / (self.ticks * self._n)
+
+    def run(self, timeout_s: float = 36000.0) -> List[Optional[SimulationTimeout]]:
+        """Advance all cells to completion (or the shared timeout).
+
+        Returns one entry per cell: ``None`` on completion, or the
+        :class:`~repro.sim.kernel.SimulationTimeout` the scalar
+        ``run_until_complete`` would have raised.  Either way every cell's
+        simulator is fully synced and summarizable afterwards.
+        """
+        outcomes: List[Optional[SimulationTimeout]] = [None] * self._n
+        for i in list(self._active_idx):
+            sim = self._sims[i]
+            if not sim._pending and not sim._running:
+                self._finish_cell(i, 0.0)
+        end_s = timeout_s
+        now_s = 0.0
+        while now_s < end_s and self._active_idx:
+            self._finish_candidates.clear()
+            self._tick(now_s)
+            now_s += self._dt_s
+            if now_s < end_s:
+                for i in sorted(self._finish_candidates):
+                    sim = self._sims[i]
+                    if not sim._pending and not sim._running:
+                        self._finish_cell(i, now_s)
+        for i in list(self._active_idx):
+            sim = self._sims[i]
+            self._finish_cell(i, now_s)
+            stuck = sorted(
+                [p.pid for p in sim._running]
+                + [pid for _, pid, _ in sim._pending]
+            )
+            outcomes[i] = SimulationTimeout(timeout_s, now_s, stuck)
+        return outcomes

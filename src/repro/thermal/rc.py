@@ -15,13 +15,24 @@ constant the exact solution is
     theta(t + dt) = A * theta(t) + B * P,
     A = expm(-C^-1 G dt),      B = (I - A) * G^-1.
 
-Both ``A`` and the fused input operator ``B`` are precomputed and cached
-per ``dt``, so stepping is exactly two mat-vecs with no solve and no
-intermediate steady-state vector — fast enough to run hours of simulated
-time at a 10 ms resolution.  The simulation kernel uses the array-native
-surface (:meth:`step_vector`, :attr:`theta`, :meth:`indices_of`) to avoid
+Both operators are fused into a single ``(n, 2n)`` step matrix
+``M = [A | B]`` applied to the concatenated ``[theta; P]`` vector, so
+stepping is exactly one mat-vec with no solve and no intermediate
+steady-state vector — fast enough to run hours of simulated time at a
+10 ms resolution.  The simulation kernel uses the array-native surface
+(:meth:`step_vector`, :attr:`theta`, :meth:`indices_of`) to avoid
 rebuilding ``Dict[str, float]`` maps on the hot path; the name-keyed
 methods remain for construction-time and analysis use.
+
+The fused operator is evaluated with ``np.einsum`` rather than ``@``:
+einsum's contraction loop computes each output row identically whether it
+is applied to one state vector or to a stacked ``(N, nodes)`` batch, which
+is what makes the batched backend (:mod:`repro.sim.batch`) bit-identical
+to the scalar kernel.  Operators are cached per canonicalized ``dt`` in a
+bounded per-instance cache and shared across network *instances* through a
+module-level cache keyed by a digest of ``(G, C)`` — every cell of an
+experiment grid built from the same platform and cooling reuses one
+operator (see :meth:`fused_step_operator` / :attr:`operator_digest`).
 
 Physical invariants (exercised by the property-test suite):
 
@@ -32,6 +43,8 @@ Physical invariants (exercised by the property-test suite):
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
@@ -39,6 +52,29 @@ from scipy.linalg import expm
 
 from repro.utils.hotpath import hot_path
 from repro.utils.validation import check_finite, check_positive
+
+
+def canonical_dt(dt_s: float) -> float:
+    """Canonicalize a timestep for operator-cache keying.
+
+    Rounds to 12 significant digits so near-equal timesteps produced by
+    different drivers (e.g. ``0.01`` vs ``0.1 / 10``) collapse onto one
+    cache entry instead of silently growing duplicate operators.  Twelve
+    significant digits is far finer than any physically meaningful dt
+    difference while absorbing last-bit float noise.
+    """
+    return float(f"{float(dt_s):.12g}")
+
+
+#: Fused step operators shared across network instances, keyed by
+#: ``(operator_digest, canonical_dt)``.  Every grid cell built from the
+#: same platform + cooling has bitwise-identical ``(G, C)`` and therefore
+#: the same digest, so an entire experiment grid computes each matrix
+#: exponential exactly once per (platform, dt) pair.
+_SHARED_OPERATOR_CACHE: "OrderedDict[Tuple[str, float], np.ndarray]" = OrderedDict()
+_SHARED_OPERATOR_CACHE_MAX = 64
+#: Bound for the per-instance caches (propagators and fused operators).
+_INSTANCE_CACHE_MAX = 16
 
 
 class RCThermalNetwork:
@@ -65,9 +101,12 @@ class RCThermalNetwork:
         self._g_matrix: np.ndarray = np.empty((0, 0))
         self._g_inv: np.ndarray = np.empty((0, 0))
         self._theta: np.ndarray = np.empty(0)
-        self._expm_cache: Dict[float, np.ndarray] = {}
-        # Fused step operators (A, B) per dt and name->index array caches.
-        self._step_cache: Dict[float, Tuple[np.ndarray, np.ndarray]] = {}
+        self._x_buffer: np.ndarray = np.empty(0)
+        self._operator_digest = ""
+        # Bounded caches keyed by canonical dt (see ``canonical_dt``):
+        # raw propagators A = expm(-C^-1 G dt) and fused [A | B] operators.
+        self._expm_cache: "OrderedDict[float, np.ndarray]" = OrderedDict()
+        self._step_cache: "OrderedDict[float, np.ndarray]" = OrderedDict()
         self._indices_cache: Dict[Tuple[str, ...], np.ndarray] = {}
 
     # --- construction -------------------------------------------------------------
@@ -123,6 +162,10 @@ class RCThermalNetwork:
         self._g_matrix = g
         self._g_inv = np.linalg.inv(g)
         self._theta = np.zeros(n)
+        self._x_buffer = np.empty(2 * n)
+        self._operator_digest = hashlib.sha256(
+            g.tobytes() + self._cap_vector.tobytes()
+        ).hexdigest()
         self._finalized = True
 
     # --- introspection -------------------------------------------------------------
@@ -160,6 +203,17 @@ class RCThermalNetwork:
         """The assembled conductance Laplacian (finalized networks only)."""
         self._require_finalized()
         return self._g_matrix.copy()
+
+    @property
+    def operator_digest(self) -> str:
+        """Digest of ``(G, C)`` identifying this network's step operators.
+
+        Two finalized networks with equal digests produce bitwise-identical
+        step operators for any dt; the batched backend groups cells by this
+        digest to step them in lockstep with one shared operator.
+        """
+        self._require_finalized()
+        return self._operator_digest
 
     # --- state access ----------------------------------------------------------------
     @property
@@ -237,14 +291,39 @@ class RCThermalNetwork:
 
         The hot-path variant of :meth:`step`: the caller supplies power in
         node-index order (see :meth:`indices_of`) and gets back the updated
-        ``theta`` view.  No validation, no dict construction — two mat-vecs.
+        ``theta`` view.  No validation, no dict construction — one fused
+        einsum mat-vec over ``[theta; p]``, bit-identical per row to the
+        batched :meth:`step_batch` path.
         """
-        a, b = self._step_operators(dt_s)
-        out = a @ self._theta
-        out += b @ power_w
+        m = self.fused_step_operator(dt_s)
+        x = self._x_buffer
+        n = self._theta.shape[0]
+        x[:n] = self._theta
+        x[n:] = power_w
         # Write in place so the `theta` view stays live across steps.
-        self._theta[:] = out
+        np.einsum("ij,j->i", m, x, out=self._theta)
         return self._theta
+
+    @hot_path
+    def step_batch(
+        self,
+        theta: np.ndarray,
+        power_w: np.ndarray,
+        dt_s: float,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Advance a whole ``(N, nodes)`` batch of cell states by ``dt_s``.
+
+        ``theta`` and ``power_w`` are stacked per-cell state and power
+        arrays (row ``i`` is cell ``i``); the instance's own ``theta`` is
+        untouched.  Every row of the result is bitwise identical to what
+        :meth:`step_vector` would produce from that row alone — einsum's
+        contraction is batch-size-invariant — which is the contract the
+        batched backend's golden-trace equivalence rests on.
+        """
+        m = self.fused_step_operator(dt_s)
+        x = np.ascontiguousarray(np.concatenate((theta, power_w), axis=1))
+        return np.einsum("ij,nj->ni", m, x, out=out)
 
     def time_constants(self) -> np.ndarray:
         """Sorted thermal time constants (s) — eigenvalues of (C^-1 G)^-1."""
@@ -270,19 +349,49 @@ class RCThermalNetwork:
         return p
 
     def _propagator(self, dt_s: float) -> np.ndarray:
-        cached = self._expm_cache.get(dt_s)
+        """The propagator A = expm(-C^-1 G dt), cached per canonical dt."""
+        key = canonical_dt(dt_s)
+        cached = self._expm_cache.get(key)
         if cached is None:
             m = -self._g_matrix / self._cap_vector[:, None]
-            cached = expm(m * dt_s)
-            self._expm_cache[dt_s] = cached
+            cached = expm(m * key)
+            self._expm_cache[key] = cached
+            while len(self._expm_cache) > _INSTANCE_CACHE_MAX:
+                self._expm_cache.popitem(last=False)
         return cached
 
-    def _step_operators(self, dt_s: float) -> Tuple[np.ndarray, np.ndarray]:
-        """The fused (A, B) pair with theta' = A theta + B p for this dt."""
-        cached = self._step_cache.get(dt_s)
-        if cached is None:
+    def fused_step_operator(self, dt_s: float) -> np.ndarray:
+        """The fused ``(n, 2n)`` operator ``M = [A | B]`` for this dt.
+
+        ``theta' = M @ [theta; p]`` advances one step exactly.  Looked up
+        first in the bounded per-instance cache, then in the module-level
+        cache shared by every network with the same :attr:`operator_digest`
+        (so a grid of cells on one platform computes each expm once), and
+        computed on a miss.  The returned array is shared — treat it as
+        read-only.
+        """
+        self._require_finalized()
+        key = canonical_dt(dt_s)
+        cached = self._step_cache.get(key)
+        if cached is not None:
+            return cached
+        # Instances assembled by hand (tests poke privates) may lack a
+        # digest; they must not collide in the shared cache.
+        shared_key = (self._operator_digest, key)
+        shared = (
+            _SHARED_OPERATOR_CACHE.get(shared_key) if self._operator_digest else None
+        )
+        if shared is None:
             a = self._propagator(dt_s)
             b = (np.eye(self.n_nodes) - a) @ self._g_inv
-            cached = (a, b)
-            self._step_cache[dt_s] = cached
-        return cached
+            shared = np.ascontiguousarray(np.concatenate((a, b), axis=1))
+            if self._operator_digest:
+                _SHARED_OPERATOR_CACHE[shared_key] = shared
+                while len(_SHARED_OPERATOR_CACHE) > _SHARED_OPERATOR_CACHE_MAX:
+                    _SHARED_OPERATOR_CACHE.popitem(last=False)
+        else:
+            _SHARED_OPERATOR_CACHE.move_to_end(shared_key)
+        self._step_cache[key] = shared
+        while len(self._step_cache) > _INSTANCE_CACHE_MAX:
+            self._step_cache.popitem(last=False)
+        return shared

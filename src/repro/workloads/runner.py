@@ -139,6 +139,48 @@ def run_workload(
         traced runs.
     """
     start_wall = time.perf_counter()  # repro-lint: ignore[DET003]
+    sim = prepare_run(
+        platform,
+        technique,
+        workload,
+        cooling=cooling,
+        seed=seed,
+        sim_config=sim_config,
+        settle_s=settle_s,
+        observability=observability,
+        fault_plan=fault_plan,
+    )
+    sim.run_until_complete(timeout_s=max_duration_s)
+    return finalize_run(
+        sim,
+        technique,
+        workload,
+        seed=seed,
+        start_wall=start_wall,
+        run_label=run_label,
+    )
+
+
+def prepare_run(
+    platform: Platform,
+    technique: Technique,
+    workload: Workload,
+    cooling: CoolingConfig = FAN_COOLING,
+    seed: int = 0,
+    sim_config: Optional[SimConfig] = None,
+    settle_s: float = 2.0,
+    observability: Optional[Observability] = None,
+    fault_plan: Optional[FaultPlan] = None,
+) -> Simulator:
+    """Build the fully-armed simulator for one run without advancing it.
+
+    Performs everything :func:`run_workload` does up to (but excluding)
+    ``run_until_complete``: fault-plan resolution, simulator construction
+    with the run's seeded RNG, technique attachment, and arrival
+    submission.  The batched backend uses this to construct the exact
+    per-cell simulators the scalar path would run, then advances them in
+    lockstep; :func:`finalize_run` completes the other half.
+    """
     plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
     faults = FaultRuntime.from_plan(plan) if plan is not None else None
     sim = Simulator(
@@ -156,12 +198,36 @@ def run_workload(
             qos_target_ips=item.qos_target_ips,
             arrival_time_s=item.arrival_time_s + settle_s,
         )
-    sim.run_until_complete(timeout_s=max_duration_s)
+    return sim
+
+
+def finalize_run(
+    sim: Simulator,
+    technique: Technique,
+    workload: Workload,
+    seed: int = 0,
+    start_wall: Optional[float] = None,
+    run_label: Optional[str] = None,
+) -> RunResult:
+    """Summarize a completed simulator into a :class:`RunResult`.
+
+    The second half of :func:`run_workload`: computes the
+    :class:`~repro.metrics.summary.RunSummary` and, for traced runs,
+    exports trace artifacts and the run manifest exactly as the scalar
+    path does.  ``start_wall`` is the ``time.perf_counter()`` taken before
+    the run began (used for the manifest's wall-time; defaults to "now",
+    i.e. zero wall time).
+    """
     summary = summarize_run(sim, technique.name, workload.name)
     manifest: Optional[RunManifest] = None
     artifacts: Dict[str, str] = {}
     if sim.obs is not None:
-        wall_s = time.perf_counter() - start_wall  # repro-lint: ignore[DET003]
+        wall_start = (
+            start_wall
+            if start_wall is not None
+            else time.perf_counter()  # repro-lint: ignore[DET003]
+        )
+        wall_s = time.perf_counter() - wall_start  # repro-lint: ignore[DET003]
         manifest, artifacts = _export_observability(
             sim, summary, seed, wall_s, run_label
         )

@@ -78,6 +78,21 @@ def test_store_package_is_clean(tmp_path):
     assert payload["total"] == 0
 
 
+def test_batch_module_is_clean(tmp_path):
+    """The batched lockstep kernel is lint-gated explicitly: its tick loop
+    is the hottest code in the repo (HOT rules), its float comparisons
+    carry the bit-identity contract (FLT001), and its only randomness must
+    come from the cells' own seeded sensor streams (DET rules)."""
+    report = tmp_path / "batch_report.json"
+    result = _run_lint("src/repro/sim/batch.py", "--json", str(report))
+    assert result.returncode == 0, (
+        f"repro-lint found violations in repro/sim/batch.py:\n"
+        f"{result.stdout}{result.stderr}"
+    )
+    payload = json.loads(report.read_text())
+    assert payload["total"] == 0
+
+
 def test_violations_fail_with_exit_code_1(tmp_path):
     bad = tmp_path / "bad.py"
     bad.write_text("import random\nx = random.random()\n")

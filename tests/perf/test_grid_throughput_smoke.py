@@ -1,0 +1,103 @@
+"""Tier-1 throughput gate for the batched lockstep grid backend.
+
+Runs a 32-cell replication grid (the golden smoke workload swept over
+simulator seeds — identical cell lengths, so the lockstep fill ratio
+stays ~1.0) through ``run_cells_report(backend="batched")`` a few times
+and compares the best cells per wall-second against the checked-in
+baseline ``benchmarks/baseline_grid_throughput.json``.  The gate fails
+when throughput regresses more than 30% below the baseline, catching
+accidental re-introduction of per-sample masking in the trace replay or
+per-tick mesh construction in the power/thermal step.
+
+The baseline is deliberately recorded *below* the measured optimized
+throughput (see the JSON's ``note``) so machine-to-machine variance
+does not trip the gate; losing the lockstep advantage (a 10x+ slowdown
+back to per-cell speed) still fails by a wide margin.  After an
+intentional performance change, re-measure with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_grid_throughput.py \
+        --benchmark-json=/tmp/bench.json
+
+and update the baseline JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.experiments.parallel import BatchCellPlan, run_cells_report
+from repro.governors.techniques import GTSOndemand
+from repro.platform import hikey970
+from repro.thermal import FAN_COOLING
+from repro.workloads.generator import mixed_workload
+from repro.workloads.runner import finalize_run, prepare_run, run_workload
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir,
+    "benchmarks", "baseline_grid_throughput.json",
+)
+ALLOWED_REGRESSION = 0.30
+ROUNDS = 3
+
+WORKLOAD_SEED = 11
+N_APPS = 6
+ARRIVAL_RATE = 1.0 / 6.0
+INSTRUCTION_SCALE = 0.02
+N_CELLS = 32
+
+
+def _measure_throughput() -> float:
+    platform = hikey970()
+
+    def workload():
+        return mixed_workload(
+            platform,
+            n_apps=N_APPS,
+            arrival_rate_per_s=ARRIVAL_RATE,
+            seed=WORKLOAD_SEED,
+            instruction_scale=INSTRUCTION_SCALE,
+        )
+
+    def worker(seed):
+        return run_workload(
+            platform, GTSOndemand(), workload(), FAN_COOLING, seed=seed
+        ).summary
+
+    def batch_plan(seed):
+        def prepare():
+            return prepare_run(
+                platform, GTSOndemand(), workload(), FAN_COOLING, seed=seed
+            )
+
+        def finalize(sim):
+            return finalize_run(
+                sim, GTSOndemand(), workload(), seed=seed
+            ).summary
+
+        return BatchCellPlan(prepare=prepare, finalize=finalize)
+
+    cells = list(range(100, 100 + N_CELLS))
+    start = time.perf_counter()
+    report = run_cells_report(
+        cells, worker, backend="batched", batch_plan=batch_plan
+    )
+    wall_s = time.perf_counter() - start
+    assert report.ok(), report.failed_cells
+    return N_CELLS / wall_s
+
+
+def test_grid_throughput_no_regression():
+    with open(BASELINE_PATH) as fh:
+        baseline = json.load(fh)
+    floor = baseline["batched_cells_per_wall_s"] * (1.0 - ALLOWED_REGRESSION)
+    # Best of a few rounds: throughput gates must be robust to transient
+    # load on the test machine, and one grid runs in ~0.5 s.
+    best = max(_measure_throughput() for _ in range(ROUNDS))
+    assert best >= floor, (
+        f"batched grid throughput regressed: best of {ROUNDS} rounds was "
+        f"{best:.1f} cells/wall-s, below the allowed floor {floor:.1f} "
+        f"(baseline {baseline['batched_cells_per_wall_s']:.1f} - "
+        f"{100 * ALLOWED_REGRESSION:.0f}%); see {BASELINE_PATH}"
+    )

@@ -1,0 +1,197 @@
+"""Golden-trace equivalence: the batched lockstep kernel vs the scalar one.
+
+The batched backend's whole value proposition is that it is **not** an
+approximation — every eligible cell must reproduce the scalar kernel's
+results bit for bit: the trace series, the per-process accounting
+(including the sensor's seeded noise stream and the EMA perf counters),
+and the DTM / VF history.  These tests run the same cells through both
+kernels and compare exact equality, never ``isclose``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.parallel import BatchCellPlan, run_cells_report
+from repro.faults import FaultPlan
+from repro.governors.techniques import GTSOndemand, GTSPowersave
+from repro.platform.hikey import hikey970
+from repro.sim.batch import (
+    BatchSimulator,
+    batch_compatibility,
+    batch_ineligibility,
+)
+from repro.thermal import FAN_COOLING, PASSIVE_COOLING
+from repro.workloads.generator import mixed_workload
+from repro.workloads.runner import finalize_run, prepare_run, run_workload
+
+#: Small but non-trivial cells: arrivals, phase changes, completions, DTM
+#: checks, sensor samples, and (at these rates) a few GTS migrations all
+#: occur within a couple of simulated seconds.
+_SCALE = 0.004
+_N_APPS = 3
+
+_PROCESS_FIELDS = (
+    "state",
+    "core_id",
+    "instructions_done",
+    "total_cpu_time_s",
+    "smoothed_ips",
+    "smoothed_l2d_rate",
+    "qos_met_time_s",
+    "qos_observed_time_s",
+    "finish_time_s",
+    "migration_count",
+    "cpu_time_by_vf",
+)
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return hikey970()
+
+
+def _workload(platform, seed, rate=0.3):
+    return mixed_workload(
+        platform,
+        n_apps=_N_APPS,
+        arrival_rate_per_s=rate,
+        seed=seed,
+        instruction_scale=_SCALE,
+    )
+
+
+def _assert_identical(serial, batched):
+    """Bitwise equality of two RunResults for the same cell."""
+    st, bt = serial.trace, batched.trace
+    assert st.times == bt.times
+    assert st.sensor_temp_c == bt.sensor_temp_c
+    assert st.max_core_temp_c == bt.max_core_temp_c
+    assert st.total_power_w == bt.total_power_w
+    assert st.vf_levels == bt.vf_levels
+    assert st.core_temps == bt.core_temps
+    assert st.process_cores == bt.process_cores
+    assert st.process_ips == bt.process_ips
+    assert st.migrations == bt.migrations
+    ss, bs = serial.sim, batched.sim
+    assert ss.now_s == bs.now_s
+    assert ss.dtm_throttle_events == bs.dtm_throttle_events
+    assert np.array_equal(ss.thermal.theta, bs.thermal.theta)
+    for sp, bp in zip(ss.all_processes(), bs.all_processes()):
+        assert sp.pid == bp.pid
+        for name in _PROCESS_FIELDS:
+            assert getattr(sp, name) == getattr(bp, name), (sp.pid, name)
+    assert serial.summary == batched.summary
+
+
+def _run_both(platform, specs):
+    """Run each (technique_cls, cooling, seed) spec serially and batched."""
+    serial = [
+        run_workload(platform, tech(), _workload(platform, seed), cooling,
+                     seed=seed)
+        for tech, cooling, seed in specs
+    ]
+    prepared = [
+        (prepare_run(platform, tech(), _workload(platform, seed), cooling,
+                     seed=seed), tech(), seed)
+        for tech, cooling, seed in specs
+    ]
+    sims = [sim for sim, _, _ in prepared]
+    outcomes = BatchSimulator(sims).run(timeout_s=7200.0)
+    assert all(outcome is None for outcome in outcomes)
+    batched = [
+        finalize_run(sim, tech, _workload(platform, seed), seed=seed)
+        for sim, tech, seed in prepared
+    ]
+    return serial, batched
+
+
+class TestLockstepBitIdentity:
+    def test_single_cell_batch_equals_serial(self, platform):
+        """N=1 is the degenerate lockstep: same kernel, batch axis of one."""
+        serial, batched = _run_both(
+            platform, [(GTSOndemand, FAN_COOLING, 31)]
+        )
+        _assert_identical(serial[0], batched[0])
+
+    def test_mixed_grid_batch_equals_serial(self, platform):
+        """Different governors, coolings, and seeds share one batch.
+
+        Mixed coolings exercise the multi-operator thermal grouping
+        (fan / passive have different conductance matrices) and mixed
+        governors exercise per-cell controller kinds in one slot.
+        """
+        specs = [
+            (GTSOndemand, FAN_COOLING, 41),
+            (GTSPowersave, FAN_COOLING, 42),
+            (GTSOndemand, PASSIVE_COOLING, 43),
+            (GTSPowersave, PASSIVE_COOLING, 44),
+        ]
+        serial, batched = _run_both(platform, specs)
+        for one_serial, one_batched in zip(serial, batched):
+            _assert_identical(one_serial, one_batched)
+
+    def test_cells_with_different_seeds_are_compatible(self, platform):
+        a = prepare_run(platform, GTSOndemand(), _workload(platform, 51),
+                        FAN_COOLING, seed=51)
+        b = prepare_run(platform, GTSPowersave(), _workload(platform, 52),
+                        PASSIVE_COOLING, seed=52)
+        assert batch_ineligibility(a) is None
+        assert batch_ineligibility(b) is None
+        assert batch_compatibility(a, b) is None
+
+
+class TestEligibility:
+    def test_fault_plan_cell_is_ineligible(self, platform):
+        """Even a zero-fault plan routes the cell to the scalar kernel."""
+        sim = prepare_run(platform, GTSOndemand(), _workload(platform, 61),
+                          FAN_COOLING, seed=61, fault_plan=FaultPlan())
+        assert batch_ineligibility(sim) == "fault plan attached"
+
+    def test_started_cell_is_ineligible(self, platform):
+        sim = prepare_run(platform, GTSOndemand(), _workload(platform, 62),
+                          FAN_COOLING, seed=62)
+        sim.run_for(0.5)
+        assert batch_ineligibility(sim) == "simulation already started"
+
+
+class TestBatchedBackendFallback:
+    def test_grid_with_fallback_cell_matches_serial(self, platform):
+        """``backend="batched"`` routes a fault-plan cell to the scalar
+        kernel per-cell, and every result still equals the serial grid."""
+        cells = [("plain", 71), ("fault", 72), ("plain", 73)]
+
+        def _spec(cell):
+            kind, seed = cell
+            plan = FaultPlan() if kind == "fault" else None
+            return GTSOndemand(), _workload(platform, seed), seed, plan
+
+        def worker(cell):
+            technique, workload, seed, plan = _spec(cell)
+            return run_workload(platform, technique, workload, FAN_COOLING,
+                                seed=seed, fault_plan=plan).summary
+
+        def batch_plan(cell):
+            technique, workload, seed, plan = _spec(cell)
+
+            def prepare():
+                return prepare_run(platform, technique, workload,
+                                   FAN_COOLING, seed=seed, fault_plan=plan)
+
+            def finalize(sim):
+                return finalize_run(sim, technique, workload,
+                                    seed=seed).summary
+
+            return BatchCellPlan(prepare=prepare, finalize=finalize)
+
+        serial = run_cells_report(cells, worker, parallel=False)
+        batched = run_cells_report(
+            cells, worker, backend="batched", batch_plan=batch_plan
+        )
+        assert serial.ok() and batched.ok()
+        assert serial.results == batched.results
+
+    def test_batched_backend_requires_plan(self):
+        with pytest.raises(ValueError):
+            run_cells_report([1], lambda cell: cell, backend="batched")

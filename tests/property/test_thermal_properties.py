@@ -115,8 +115,11 @@ def _rebuild_like(net):
     clone._g_matrix = net._g_matrix.copy()
     clone._g_inv = net._g_inv.copy()
     clone._theta = net._theta.copy()
+    clone._x_buffer = np.empty(2 * len(clone._names))
+    clone._operator_digest = net._operator_digest
     clone._finalized = True
-    clone._expm_cache = {}
+    clone._expm_cache.clear()
+    clone._step_cache.clear()
     return clone
 
 

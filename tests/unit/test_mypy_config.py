@@ -20,6 +20,7 @@ STRICT_PACKAGES = [
     "repro.power.*",
     "repro.faults.*",
     "repro.store.*",
+    "repro.sim.batch",
 ]
 
 
@@ -64,27 +65,34 @@ def test_strict_packages_fully_annotated():
     """
     import ast
 
-    missing = []
+    strict_paths = []
     for pkg in ("utils", "thermal", "power", "faults", "store"):
-        for path in sorted((REPO_ROOT / "src" / "repro" / pkg).rglob("*.py")):
-            tree = ast.parse(path.read_text())
-            for node in ast.walk(tree):
-                if not isinstance(
-                    node, (ast.FunctionDef, ast.AsyncFunctionDef)
-                ):
-                    continue
-                args = (
-                    node.args.posonlyargs
-                    + node.args.args
-                    + node.args.kwonlyargs
-                )
-                unannotated = [
-                    a.arg
-                    for a in args
-                    if a.annotation is None and a.arg not in ("self", "cls")
-                ]
-                if node.returns is None or unannotated:
-                    missing.append(f"{path.name}:{node.lineno} {node.name}")
+        strict_paths.extend(
+            sorted((REPO_ROOT / "src" / "repro" / pkg).rglob("*.py"))
+        )
+    # Strict single modules (non-wildcard entries in STRICT_PACKAGES).
+    strict_paths.append(REPO_ROOT / "src" / "repro" / "sim" / "batch.py")
+
+    missing = []
+    for path in strict_paths:
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            args = (
+                node.args.posonlyargs
+                + node.args.args
+                + node.args.kwonlyargs
+            )
+            unannotated = [
+                a.arg
+                for a in args
+                if a.annotation is None and a.arg not in ("self", "cls")
+            ]
+            if node.returns is None or unannotated:
+                missing.append(f"{path.name}:{node.lineno} {node.name}")
     assert not missing, "untyped defs in strict packages:\n" + "\n".join(missing)
 
 

@@ -146,3 +146,49 @@ class TestComputeVector:
         bd = model.compute(_min_vf(platform), {}, {})
         _, _, _, total = model.compute_vector(_min_vf(platform), zeros, temps)
         assert total == pytest.approx(bd.total, rel=1e-15)
+
+
+class TestComputeBatch:
+    def test_rows_match_compute_vector_bitwise(self, platform, model):
+        """Row i of a batch equals the scalar vector call for cell i,
+        bit for bit — the batched backend's equivalence contract."""
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        cells = []
+        for _ in range(5):
+            vf = {
+                cluster.name: cluster.vf_table.levels[
+                    int(rng.integers(len(cluster.vf_table.levels)))
+                ]
+                for cluster in platform.clusters
+            }
+            activity = rng.uniform(0.0, 1.0, platform.n_cores)
+            temps = rng.uniform(20.0, 90.0, platform.n_cores)
+            cells.append((vf, activity, temps))
+
+        volt = np.array(
+            [
+                [vf[cluster.name].voltage_v for vf, _, _ in cells]
+                for cluster in platform.clusters
+            ]
+        )
+        freq = np.array(
+            [
+                [vf[cluster.name].frequency_hz for vf, _, _ in cells]
+                for cluster in platform.clusters
+            ]
+        )
+        activity = np.stack([a for _, a, _ in cells])
+        temps = np.stack([t for _, _, t in cells])
+        core_b, uncore_b, soc_b, total_b = model.compute_batch(
+            volt, freq, activity, temps
+        )
+        for i, (vf, act, temp) in enumerate(cells):
+            core_v, uncore_v, soc_v, total_v = model.compute_vector(
+                vf, act, temp
+            )
+            assert np.array_equal(core_b[i], core_v)
+            assert np.array_equal(uncore_b[i], uncore_v)
+            assert soc_b == soc_v
+            assert total_b[i] == total_v
