@@ -47,7 +47,8 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import Optional
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
 
 from repro.experiments import EXPERIMENTS
 from repro.experiments.assets import AssetConfig, AssetStore
@@ -100,36 +101,53 @@ def _resolve_cache_dir(args: argparse.Namespace) -> Optional[str]:
     return str(args.cache_dir)
 
 
-def _apply_trace_flags(trace: bool, trace_dir: Optional[str]) -> None:
-    """Translate ``--trace``/``--trace-dir`` into the observability env.
+def _command_env(args: argparse.Namespace) -> Dict[str, str]:
+    """Build the fork-inherited env carriers for one run/report command.
 
     The environment (not a config object) is the carrier on purpose: the
     experiment drivers fan out over a ``fork`` pool, and forked workers
     inherit the parent's environment, so every cell's ``Simulator`` sees
-    the same observability switch without any extra plumbing.
+    the same observability switch and fault plan without extra plumbing.
+    The ``--faults`` plan text is validated here so a typo fails fast
+    instead of inside a worker.
     """
-    if trace:
-        os.environ[TRACE_ENV] = "1"
-    if trace_dir is not None:
-        os.environ[TRACE_DIR_ENV] = trace_dir
+    updates: Dict[str, str] = {}
+    if args.trace:
+        updates[TRACE_ENV] = "1"
+    if args.trace_dir is not None:
+        updates[TRACE_DIR_ENV] = args.trace_dir
+    if args.faults is not None:
+        try:
+            FaultPlan.parse(args.faults, seed=args.fault_seed)
+        except ValueError as exc:
+            raise SystemExit(f"bad --faults value: {exc}") from exc
+        updates[FAULTS_ENV] = args.faults
+        updates[FAULT_SEED_ENV] = str(args.fault_seed)
+    return updates
 
 
-def _apply_fault_flags(faults: Optional[str], fault_seed: int) -> None:
-    """Translate ``--faults``/``--fault-seed`` into the fault-plan env.
+@contextmanager
+def _carrier_env(updates: Dict[str, str]) -> Iterator[None]:
+    """Install env carriers for the duration of one command, symmetrically.
 
-    Same fork-safe carrier pattern as the trace flags: forked experiment
-    workers inherit ``REPRO_FAULTS``/``REPRO_FAULT_SEED``, so every cell's
-    run engine resolves the identical plan.  The plan text is validated
-    here so a typo fails fast instead of inside a worker.
+    Every key is restored to its prior value (or removed, if previously
+    unset) on exit — including on error.  Without this, a ``--faults``
+    run would leave ``REPRO_FAULTS`` behind in the process, and any later
+    in-process run (tests, notebooks, library callers invoking
+    :func:`main` twice) would silently inherit the stale plan *and* fold
+    it into every ``ArtifactKey``, caching results under the wrong key.
     """
-    if faults is None:
-        return
+    saved = {key: os.environ.get(key) for key in updates}
     try:
-        FaultPlan.parse(faults, seed=fault_seed)
-    except ValueError as exc:
-        raise SystemExit(f"bad --faults value: {exc}") from exc
-    os.environ[FAULTS_ENV] = faults
-    os.environ[FAULT_SEED_ENV] = str(fault_seed)
+        for key, value in updates.items():
+            os.environ[key] = value
+        yield
+    finally:
+        for key, prior in saved.items():
+            if prior is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = prior
 
 
 def _format_bytes(n: int) -> str:
@@ -261,30 +279,28 @@ def main(argv=None) -> int:
         return _cache_command(args)
 
     if args.command == "run":
-        _apply_trace_flags(args.trace, args.trace_dir)
-        _apply_fault_flags(args.faults, args.fault_seed)
-        scale = _scale(args.scale)
-        assets = _assets(_resolve_cache_dir(args), args.scale)
-        spec = EXPERIMENTS.get(args.experiment)
-        if spec is None:
-            print(
-                f"unknown experiment {args.experiment!r}; "
-                f"known: {sorted(EXPERIMENTS)}",
-                file=sys.stderr,
-            )
-            return 2
-        print(spec.body(assets, scale, None))
+        with _carrier_env(_command_env(args)):
+            scale = _scale(args.scale)
+            assets = _assets(_resolve_cache_dir(args), args.scale)
+            spec = EXPERIMENTS.get(args.experiment)
+            if spec is None:
+                print(
+                    f"unknown experiment {args.experiment!r}; "
+                    f"known: {sorted(EXPERIMENTS)}",
+                    file=sys.stderr,
+                )
+                return 2
+            print(spec.body(assets, scale, None))
         return 0
 
     if args.command == "report":
-        _apply_trace_flags(args.trace, args.trace_dir)
-        _apply_fault_flags(args.faults, args.fault_seed)
-        scale = _scale(args.scale)
-        assets = _assets(_resolve_cache_dir(args), args.scale)
-        report = generate_report(assets, scale)
-        with open(args.out, "w") as handle:
-            handle.write(report)
-        print(f"wrote {args.out}")
+        with _carrier_env(_command_env(args)):
+            scale = _scale(args.scale)
+            assets = _assets(_resolve_cache_dir(args), args.scale)
+            report = generate_report(assets, scale)
+            with open(args.out, "w") as handle:
+                handle.write(report)
+            print(f"wrote {args.out}")
         return 0
 
     return 2

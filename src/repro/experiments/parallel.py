@@ -171,7 +171,7 @@ class FailedCell:
 class GridCellError(RuntimeError):
     """Raised by :func:`run_cells` when cells remain failed after retries."""
 
-    def __init__(self, failed: List[FailedCell]):
+    def __init__(self, failed: List[FailedCell]) -> None:
         self.failed = failed
         lines = [
             f"  cell[{f.index}] {f.reason} after {f.attempts} attempt(s): "

@@ -386,9 +386,13 @@ class RCThermalNetwork:
             b = (np.eye(self.n_nodes) - a) @ self._g_inv
             shared = np.ascontiguousarray(np.concatenate((a, b), axis=1))
             if self._operator_digest:
-                _SHARED_OPERATOR_CACHE[shared_key] = shared
+                # Pure memoization: the stored operator is a deterministic
+                # function of (digest, dt), so post-fork writes stay private
+                # to each child and can never make a result depend on cell
+                # scheduling order.
+                _SHARED_OPERATOR_CACHE[shared_key] = shared  # repro-lint: ignore[FORK001]
                 while len(_SHARED_OPERATOR_CACHE) > _SHARED_OPERATOR_CACHE_MAX:
-                    _SHARED_OPERATOR_CACHE.popitem(last=False)
+                    _SHARED_OPERATOR_CACHE.popitem(last=False)  # repro-lint: ignore[FORK001]
         else:
             _SHARED_OPERATOR_CACHE.move_to_end(shared_key)
         self._step_cache[key] = shared

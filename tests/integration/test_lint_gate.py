@@ -93,6 +93,79 @@ def test_batch_module_is_clean(tmp_path):
     assert payload["total"] == 0
 
 
+def test_interprocedural_pass_is_clean(tmp_path):
+    """The tier-1 interprocedural gate: FORK/KEY/PAR over the full call
+    graph of src/, judged against the committed baseline.  A new finding
+    must be fixed, inline-waived with a justification, or reviewed into
+    tools/analysis/baseline.json — never silently ignored."""
+    report = tmp_path / "interproc_report.json"
+    result = _run_lint("--interprocedural", "src", "--json", str(report))
+    assert result.returncode == 0, (
+        f"interprocedural pass found violations:\n"
+        f"{result.stdout}{result.stderr}"
+    )
+    payload = json.loads(report.read_text())
+    assert payload["total"] == 0
+    rule_ids = {r["id"] for r in payload["rules"]}
+    assert {"FORK001", "FORK002", "FORK003", "KEY001", "KEY002",
+            "PAR001"} <= rule_ids
+
+
+def test_tools_tree_self_analysis_is_clean():
+    """The linter lints itself (and the rest of tools/): the analysis
+    layer must satisfy its own per-file rule set."""
+    result = _run_lint("--interprocedural", "src", "tools")
+    assert result.returncode == 0, (
+        f"self-analysis found violations:\n{result.stdout}{result.stderr}"
+    )
+
+
+def test_baseline_has_no_stale_entries():
+    """Every baseline entry must still match a live finding; the CLI
+    reports stale ones on stderr without failing the run."""
+    result = _run_lint("--interprocedural", "src")
+    assert result.returncode == 0
+    assert "stale baseline entr" not in result.stderr
+
+
+def test_sarif_output(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\nx = random.random()\n")
+    sarif_path = tmp_path / "report.sarif"
+    result = _run_lint(str(bad), "--sarif", str(sarif_path))
+    assert result.returncode == 1
+    payload = json.loads(sarif_path.read_text())
+    assert payload["version"] == "2.1.0"
+    [sarif_run] = payload["runs"]
+    assert sarif_run["tool"]["driver"]["name"] == "repro-lint"
+    assert any(
+        r["ruleId"] == "DET001" for r in sarif_run["results"]
+    )
+
+
+def test_json_paths_are_repo_relative(tmp_path):
+    """--json reports repo-relative paths so reports are stable across
+    checkouts (and usable as baseline keys)."""
+    report = tmp_path / "report.json"
+    result = _run_lint("src/repro/cli.py", "--json", str(report))
+    assert result.returncode == 0
+    payload = json.loads(report.read_text())
+    # Even with no violations the schema carries rules + counts; seed one
+    # violation in-repo? No: assert on a tree we know carries waived
+    # sites instead — run without honoring the allowlist is not exposed
+    # via CLI, so check a deliberately bad file under the repo root.
+    scratch = REPO_ROOT / "tools" / "__lint_scratch__.py"
+    scratch.write_text("import random\n")
+    try:
+        result = _run_lint(str(scratch), "--json", str(report))
+        payload = json.loads(report.read_text())
+        [violation] = payload["violations"]
+        assert violation["path"] == "tools/__lint_scratch__.py"
+    finally:
+        scratch.unlink()
+    assert result.returncode == 1
+
+
 def test_violations_fail_with_exit_code_1(tmp_path):
     bad = tmp_path / "bad.py"
     bad.write_text("import random\nx = random.random()\n")

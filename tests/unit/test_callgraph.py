@@ -1,0 +1,284 @@
+"""Call-graph layer: symbol resolution, type inference, CHA, reachability.
+
+Every test builds a tiny fixture project in ``tmp_path`` and asserts on
+the resulting edges/qualnames — the same surface the FORK/KEY/PAR rules
+consume, so a regression here is a regression in every project rule.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.analysis.callgraph import build_project
+from tools.analysis.interproc import (
+    grid_call_sites,
+    sim_entry_seeds,
+    worker_init_functions,
+    worker_seeds,
+)
+
+
+def build(tmp_path: Path, files: dict):
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return build_project([tmp_path], repo_root=tmp_path)
+
+
+class TestResolution:
+    def test_resolve_global_follows_reexport(self, tmp_path):
+        project = build(tmp_path, {
+            "pkg/__init__.py": "from pkg.core import Engine\n",
+            "pkg/core.py": "class Engine:\n    def step(self):\n        return 1\n",
+        })
+        assert project.resolve_global("pkg.Engine") == "pkg.core.Engine"
+        assert project.resolve_global("pkg.core.Engine") == "pkg.core.Engine"
+        assert project.resolve_global("json.dumps") is None
+
+    def test_module_level_import_makes_call_edge(self, tmp_path):
+        project = build(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/a.py": "def helper():\n    return 1\n",
+            "pkg/b.py": (
+                "from pkg.a import helper\n\n"
+                "def entry():\n"
+                "    return helper()\n"
+            ),
+        })
+        assert "pkg.a.helper" in project.edges["pkg.b.entry"]
+
+    def test_function_level_import_resolves_call(self, tmp_path):
+        project = build(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/a.py": "def helper():\n    return 1\n",
+            "pkg/b.py": (
+                "def entry():\n"
+                "    from pkg.a import helper\n"
+                "    return helper()\n"
+            ),
+        })
+        assert "pkg.a.helper" in project.edges["pkg.b.entry"]
+
+    def test_relative_import_resolves(self, tmp_path):
+        project = build(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/a.py": "def helper():\n    return 1\n",
+            "pkg/b.py": (
+                "from .a import helper\n\n"
+                "def entry():\n"
+                "    return helper()\n"
+            ),
+        })
+        assert "pkg.a.helper" in project.edges["pkg.b.entry"]
+
+    def test_callable_passed_as_argument_is_an_edge(self, tmp_path):
+        # A function handed to another function (worker=...) counts as
+        # reachable from the caller even though it is never called there.
+        project = build(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/a.py": (
+                "def _cell(c):\n    return c\n\n"
+                "def dispatch(fn, c):\n    return fn(c)\n\n"
+                "def entry(c):\n"
+                "    return dispatch(_cell, c)\n"
+            ),
+        })
+        assert "pkg.a._cell" in project.edges["pkg.a.entry"]
+
+
+class TestTypeInference:
+    ENGINE = "class Engine:\n    def step(self):\n        return 1\n"
+
+    def test_annotated_param_method_call(self, tmp_path):
+        project = build(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/core.py": self.ENGINE,
+            "pkg/use.py": (
+                "from pkg.core import Engine\n\n"
+                "def drive(engine: Engine):\n"
+                "    return engine.step()\n"
+            ),
+        })
+        assert "pkg.core.Engine.step" in project.edges["pkg.use.drive"]
+
+    def test_optional_annotation_unwrapped(self, tmp_path):
+        project = build(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/core.py": self.ENGINE,
+            "pkg/use.py": (
+                "from typing import Optional\n"
+                "from pkg.core import Engine\n\n"
+                "def drive(engine: Optional[Engine]):\n"
+                "    return engine.step()\n"
+            ),
+        })
+        assert "pkg.core.Engine.step" in project.edges["pkg.use.drive"]
+
+    def test_constructor_local_binding(self, tmp_path):
+        project = build(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/core.py": self.ENGINE,
+            "pkg/use.py": (
+                "from pkg.core import Engine\n\n"
+                "def drive():\n"
+                "    engine = Engine()\n"
+                "    return engine.step()\n"
+            ),
+        })
+        assert "pkg.core.Engine.step" in project.edges["pkg.use.drive"]
+
+    def test_self_attr_type_from_init(self, tmp_path):
+        project = build(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/core.py": self.ENGINE,
+            "pkg/use.py": (
+                "from pkg.core import Engine\n\n"
+                "class Driver:\n"
+                "    def __init__(self):\n"
+                "        self.engine = Engine()\n"
+                "    def run(self):\n"
+                "        return self.engine.step()\n"
+            ),
+        })
+        assert "pkg.core.Engine.step" in project.edges["pkg.use.Driver.run"]
+
+
+class TestClassHierarchy:
+    def test_call_through_base_links_overrides(self, tmp_path):
+        project = build(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/core.py": (
+                "class Base:\n"
+                "    def tick(self):\n        return 0\n\n"
+                "class Fast(Base):\n"
+                "    def tick(self):\n        return 1\n"
+            ),
+            "pkg/use.py": (
+                "from pkg.core import Base\n\n"
+                "def drive(b: Base):\n"
+                "    return b.tick()\n"
+            ),
+        })
+        edges = project.edges["pkg.use.drive"]
+        assert "pkg.core.Base.tick" in edges
+        assert "pkg.core.Fast.tick" in edges
+
+    def test_inherited_method_resolves_to_base(self, tmp_path):
+        project = build(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/core.py": (
+                "class Base:\n"
+                "    def tick(self):\n        return 0\n\n"
+                "class Child(Base):\n"
+                "    pass\n"
+            ),
+            "pkg/use.py": (
+                "from pkg.core import Child\n\n"
+                "def drive(c: Child):\n"
+                "    return c.tick()\n"
+            ),
+        })
+        assert "pkg.core.Base.tick" in project.edges["pkg.use.drive"]
+
+
+class TestReachability:
+    def test_transitive_including_nested_defs(self, tmp_path):
+        project = build(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/a.py": (
+                "def leaf():\n    return 1\n\n"
+                "def outer():\n"
+                "    def inner():\n"
+                "        return leaf()\n"
+                "    return inner()\n\n"
+                "def unrelated():\n    return 2\n"
+            ),
+        })
+        reach = project.reachable(["pkg.a.outer"])
+        assert "pkg.a.leaf" in reach
+        assert "pkg.a.unrelated" not in reach
+
+    def test_functions_matching_is_suffix_based(self, tmp_path):
+        project = build(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/kernel.py": (
+                "class Simulator:\n"
+                "    def step(self):\n        return 1\n"
+                "    def stepper(self):\n        return 2\n"
+            ),
+        })
+        hits = project.functions_matching(".Simulator.step")
+        assert [f.qualname for f in hits] == ["pkg.kernel.Simulator.step"]
+
+
+GRID_FILES = {
+    "pkg/__init__.py": "",
+    "pkg/parallel.py": (
+        "def run_cells(grid, worker, init=None, batch_plan=None,"
+        " cell_key=None):\n"
+        "    return [worker(c) for c in grid]\n"
+    ),
+    "pkg/exp.py": (
+        "from pkg.parallel import run_cells\n\n"
+        "def _cell(cell):\n    return cell\n\n"
+        "def _init():\n    return None\n\n"
+        "def run_experiment(grid):\n"
+        "    def _key(cell):\n"
+        "        return cell\n"
+        "    return run_cells(grid, _cell, init=_init, cell_key=_key)\n"
+    ),
+}
+
+
+class TestGridSites:
+    def test_positional_worker_and_kwargs_resolved(self, tmp_path):
+        project = build(tmp_path, dict(GRID_FILES))
+        [site] = grid_call_sites(project)
+        assert site.worker == "pkg.exp._cell"
+        assert site.init == "pkg.exp._init"
+        assert site.batch_plan is None
+        # cell_key bound to a closure nested in the calling function.
+        assert site.cell_key == "pkg.exp.run_experiment._key"
+
+    def test_worker_seeds_and_init_set(self, tmp_path):
+        files = dict(GRID_FILES)
+        files["pkg/kernel.py"] = (
+            "class Simulator:\n"
+            "    def step(self):\n        return 1\n"
+        )
+        files["pkg/hot.py"] = (
+            "from pkg.util import hot_path\n\n"
+            "@hot_path\n"
+            "def inner_loop(x):\n    return x\n"
+        )
+        files["pkg/util.py"] = "def hot_path(fn):\n    return fn\n"
+        project = build(tmp_path, files)
+        seeds = worker_seeds(project)
+        assert "pkg.exp._cell" in seeds
+        assert "pkg.exp._init" in seeds
+        assert "pkg.kernel.Simulator.step" in seeds
+        assert "pkg.hot.inner_loop" in seeds
+        assert worker_init_functions(project) == {"pkg.exp._init"}
+
+    def test_sim_entry_seeds(self, tmp_path):
+        project = build(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/kernel.py": (
+                "class Simulator:\n"
+                "    def __init__(self):\n        self.t = 0\n"
+                "    def step(self):\n        return 1\n"
+            ),
+            "pkg/workload.py": "def run_workload(cfg):\n    return cfg\n",
+        })
+        seeds = sim_entry_seeds(project)
+        assert "pkg.kernel.Simulator.__init__" in seeds
+        assert "pkg.kernel.Simulator.step" in seeds
+        assert "pkg.workload.run_workload" in seeds

@@ -51,32 +51,67 @@ class TestRun:
         assert "adi" in out and "seidel-2d" in out
 
 
-class TestFaultFlags:
-    def test_flags_export_env(self, monkeypatch):
-        monkeypatch.delenv(FAULTS_ENV, raising=False)
-        monkeypatch.delenv(FAULT_SEED_ENV, raising=False)
-        cli._apply_fault_flags("sensor_dropout:0.1,npu_failure:0.05", 7)
-        assert os.environ[FAULTS_ENV] == "sensor_dropout:0.1,npu_failure:0.05"
-        assert os.environ[FAULT_SEED_ENV] == "7"
+class TestCarrierEnv:
+    """The env carriers must be set/unset symmetrically around a command:
+    a ``--faults`` run that leaked ``REPRO_FAULTS`` would poison every
+    later in-process run *and* its ``ArtifactKey`` fault-env folding."""
 
-    def test_no_flags_leave_env_untouched(self, monkeypatch):
+    def _args(self, **overrides):
+        import argparse
+
+        base = dict(trace=False, trace_dir=None, faults=None, fault_seed=0)
+        base.update(overrides)
+        return argparse.Namespace(**base)
+
+    def test_flags_export_env_inside_context(self, monkeypatch):
         monkeypatch.delenv(FAULTS_ENV, raising=False)
         monkeypatch.delenv(FAULT_SEED_ENV, raising=False)
-        cli._apply_fault_flags(None, 0)
+        updates = cli._command_env(
+            self._args(faults="sensor_dropout:0.1,npu_failure:0.05", fault_seed=7)
+        )
+        with cli._carrier_env(updates):
+            assert os.environ[FAULTS_ENV] == "sensor_dropout:0.1,npu_failure:0.05"
+            assert os.environ[FAULT_SEED_ENV] == "7"
         assert FAULTS_ENV not in os.environ
         assert FAULT_SEED_ENV not in os.environ
+
+    def test_no_flags_touch_nothing(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        monkeypatch.delenv(FAULT_SEED_ENV, raising=False)
+        assert cli._command_env(self._args()) == {}
 
     def test_bad_plan_rejected(self, monkeypatch):
         monkeypatch.delenv(FAULTS_ENV, raising=False)
         with pytest.raises(SystemExit):
-            cli._apply_fault_flags("warp_core_breach:0.5", 0)
+            cli._command_env(self._args(faults="warp_core_breach:0.5"))
         assert FAULTS_ENV not in os.environ
 
-    def test_run_accepts_fault_flags(self, tmp_path, monkeypatch, capsys):
+    def test_prior_values_restored(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "sensor_dropout:0.25")
+        monkeypatch.setenv(FAULT_SEED_ENV, "11")
+        with cli._carrier_env({FAULTS_ENV: "npu_failure:0.1",
+                               FAULT_SEED_ENV: "3"}):
+            assert os.environ[FAULTS_ENV] == "npu_failure:0.1"
+            assert os.environ[FAULT_SEED_ENV] == "3"
+        assert os.environ[FAULTS_ENV] == "sensor_dropout:0.25"
+        assert os.environ[FAULT_SEED_ENV] == "11"
+
+    def test_restored_on_error(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        with pytest.raises(RuntimeError):
+            with cli._carrier_env({FAULTS_ENV: "sensor_dropout:0.5"}):
+                raise RuntimeError("boom")
+        assert FAULTS_ENV not in os.environ
+
+    def test_run_does_not_leak_carriers(self, tmp_path, monkeypatch, capsys):
+        """Regression: a faulted run used to leave REPRO_FAULTS behind, so
+        a later in-process run folded a stale plan into its cache keys."""
+        from repro.experiments.motivation import MotivationConfig
+        from repro.store.keys import fault_env_signature
+
         monkeypatch.delenv(FAULTS_ENV, raising=False)
         monkeypatch.delenv(FAULT_SEED_ENV, raising=False)
-        from repro.experiments.motivation import MotivationConfig
-
+        signature_before = fault_env_signature()
         monkeypatch.setattr(
             "repro.experiments.report.MotivationConfig.smoke",
             classmethod(lambda cls: MotivationConfig(observe_s=5.0)),
@@ -88,8 +123,30 @@ class TestFaultFlags:
             ]
         )
         assert code == 0
-        assert os.environ[FAULTS_ENV] == "sensor_dropout:0.0"
-        assert os.environ[FAULT_SEED_ENV] == "3"
+        assert FAULTS_ENV not in os.environ
+        assert FAULT_SEED_ENV not in os.environ
+        assert fault_env_signature() == signature_before
+
+    def test_empty_faults_does_not_leak(self, tmp_path, monkeypatch, capsys):
+        """`--faults ""` (explicit zero-fault plan) installs the carrier
+        only for the command's duration — later runs see pristine env."""
+        from repro.experiments.motivation import MotivationConfig
+
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        monkeypatch.delenv(FAULT_SEED_ENV, raising=False)
+        monkeypatch.setattr(
+            "repro.experiments.report.MotivationConfig.smoke",
+            classmethod(lambda cls: MotivationConfig(observe_s=5.0)),
+        )
+        code = cli.main(
+            [
+                "run", "fig1", "--scale", "smoke", "--cache", str(tmp_path),
+                "--faults", "",
+            ]
+        )
+        assert code == 0
+        assert FAULTS_ENV not in os.environ
+        assert FAULT_SEED_ENV not in os.environ
 
 
 class TestCacheFlags:

@@ -1,0 +1,509 @@
+"""Interprocedural rule families (FORK/KEY/PAR) against fixture projects.
+
+Each family gets a seeded-violation fixture (the rule must fire, at the
+right symbol) and a clean fixture (the rule must stay silent) — plus the
+rule-specific escape hatches: ``init=`` exemption and inline waivers for
+FORK001, the result-neutral allowlist and fold-surface reachability for
+KEY001, whole-object folding for KEY002, and ``--update-parity`` /
+``scalar_only`` for PAR001.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.analysis.callgraph import build_project
+from tools.analysis.interproc import analyze_project
+from tools.analysis.rules.cachekeys import (
+    CellKeyFieldOmittedRule,
+    EnvReadNotFoldedRule,
+)
+from tools.analysis.rules.forksafety import (
+    ForkEnvironMutationRule,
+    ForkGlobalRngRule,
+    ForkModuleStateRule,
+)
+from tools.analysis.rules.parity import (
+    ParityGroup,
+    ParityRegistry,
+    ScalarBatchParityRule,
+    update_parity,
+)
+
+RUN_CELLS = (
+    "def run_cells(grid, worker, init=None, batch_plan=None, cell_key=None):\n"
+    "    return [worker(c) for c in grid]\n"
+)
+
+
+def write(tmp_path: Path, files: dict) -> Path:
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return tmp_path
+
+
+def run(tmp_path: Path, files: dict, rule, honor_allowlist: bool = True):
+    root = write(tmp_path, files)
+    return analyze_project(
+        [root], [rule], repo_root=root, honor_allowlist=honor_allowlist
+    )
+
+
+def base(files: dict) -> dict:
+    out = {"pkg/__init__.py": "", "pkg/parallel.py": RUN_CELLS}
+    out.update(files)
+    return out
+
+
+class TestFork001ModuleState:
+    def test_worker_writing_module_dict_fires(self, tmp_path):
+        files = base({"pkg/exp.py": (
+            "from pkg.parallel import run_cells\n\n"
+            "_CACHE = {}\n\n"
+            "def _cell(cell):\n"
+            "    _CACHE[cell] = 1\n"
+            "    return cell\n\n"
+            "def run(grid):\n"
+            "    return run_cells(grid, _cell)\n"
+        )})
+        [v] = run(tmp_path, files, ForkModuleStateRule())
+        assert v.rule_id == "FORK001"
+        assert "_CACHE" in v.message
+        assert v.symbol.endswith("._cell")
+
+    def test_transitive_helper_also_flagged(self, tmp_path):
+        files = base({"pkg/exp.py": (
+            "from pkg.parallel import run_cells\n\n"
+            "_CACHE = {}\n\n"
+            "def _stash(cell):\n"
+            "    _CACHE.setdefault(cell, 1)\n\n"
+            "def _cell(cell):\n"
+            "    _stash(cell)\n"
+            "    return cell\n\n"
+            "def run(grid):\n"
+            "    return run_cells(grid, _cell)\n"
+        )})
+        [v] = run(tmp_path, files, ForkModuleStateRule())
+        assert v.symbol.endswith("._stash")
+
+    def test_init_bound_function_exempt(self, tmp_path):
+        files = base({"pkg/exp.py": (
+            "from pkg.parallel import run_cells\n\n"
+            "_STASH = {}\n\n"
+            "def _init():\n"
+            "    _STASH['cfg'] = 1\n\n"
+            "def _cell(cell):\n"
+            "    return _STASH['cfg'] + cell\n\n"
+            "def run(grid):\n"
+            "    return run_cells(grid, _cell, init=_init)\n"
+        )})
+        assert run(tmp_path, files, ForkModuleStateRule()) == []
+
+    def test_init_exemption_does_not_cover_callees(self, tmp_path):
+        files = base({"pkg/exp.py": (
+            "from pkg.parallel import run_cells\n\n"
+            "_STASH = {}\n\n"
+            "def _store():\n"
+            "    _STASH['cfg'] = 1\n\n"
+            "def _init():\n"
+            "    _store()\n\n"
+            "def _cell(cell):\n"
+            "    return cell\n\n"
+            "def run(grid):\n"
+            "    return run_cells(grid, _cell, init=_init)\n"
+        )})
+        [v] = run(tmp_path, files, ForkModuleStateRule())
+        assert v.symbol.endswith("._store")
+
+    def test_inline_waiver_honored(self, tmp_path):
+        files = base({"pkg/exp.py": (
+            "from pkg.parallel import run_cells\n\n"
+            "_CACHE = {}\n\n"
+            "def _cell(cell):\n"
+            "    _CACHE[cell] = 1  # repro-lint: ignore[FORK001]\n"
+            "    return cell\n\n"
+            "def run(grid):\n"
+            "    return run_cells(grid, _cell)\n"
+        )})
+        assert run(tmp_path, files, ForkModuleStateRule()) == []
+        flagged = run(
+            tmp_path, files, ForkModuleStateRule(), honor_allowlist=False
+        )
+        assert [v.rule_id for v in flagged] == ["FORK001"]
+
+    def test_local_shadow_is_clean(self, tmp_path):
+        files = base({"pkg/exp.py": (
+            "from pkg.parallel import run_cells\n\n"
+            "def _cell(cell):\n"
+            "    cache = {}\n"
+            "    cache[cell] = 1\n"
+            "    cache.update({cell: 2})\n"
+            "    return cache[cell]\n\n"
+            "def run(grid):\n"
+            "    return run_cells(grid, _cell)\n"
+        )})
+        assert run(tmp_path, files, ForkModuleStateRule()) == []
+
+
+class TestFork002Environ:
+    def test_environ_store_fires(self, tmp_path):
+        files = base({"pkg/exp.py": (
+            "import os\n"
+            "from pkg.parallel import run_cells\n\n"
+            "def _cell(cell):\n"
+            "    os.environ['REPRO_FAULTS'] = 'x'\n"
+            "    return cell\n\n"
+            "def run(grid):\n"
+            "    return run_cells(grid, _cell)\n"
+        )})
+        [v] = run(tmp_path, files, ForkEnvironMutationRule())
+        assert v.rule_id == "FORK002"
+
+    def test_environ_pop_fires(self, tmp_path):
+        files = base({"pkg/exp.py": (
+            "import os\n"
+            "from pkg.parallel import run_cells\n\n"
+            "def _cell(cell):\n"
+            "    os.environ.pop('REPRO_FAULTS', None)\n"
+            "    return cell\n\n"
+            "def run(grid):\n"
+            "    return run_cells(grid, _cell)\n"
+        )})
+        [v] = run(tmp_path, files, ForkEnvironMutationRule())
+        assert "pop" in v.message
+
+    def test_read_only_access_is_clean(self, tmp_path):
+        files = base({"pkg/exp.py": (
+            "import os\n"
+            "from pkg.parallel import run_cells\n\n"
+            "def _cell(cell):\n"
+            "    return os.environ.get('REPRO_FAULTS'), cell\n\n"
+            "def run(grid):\n"
+            "    return run_cells(grid, _cell)\n"
+        )})
+        assert run(tmp_path, files, ForkEnvironMutationRule()) == []
+
+    def test_mutation_outside_worker_is_clean(self, tmp_path):
+        # The parent process may set carriers pre-fork: only
+        # worker-reachable mutation is flagged.
+        files = base({"pkg/exp.py": (
+            "import os\n"
+            "from pkg.parallel import run_cells\n\n"
+            "def _cell(cell):\n"
+            "    return cell\n\n"
+            "def run(grid):\n"
+            "    os.environ['REPRO_FAULTS'] = 'x'\n"
+            "    return run_cells(grid, _cell)\n"
+        )})
+        assert run(tmp_path, files, ForkEnvironMutationRule()) == []
+
+
+class TestFork003GlobalRng:
+    def test_np_random_module_call_fires(self, tmp_path):
+        files = base({"pkg/exp.py": (
+            "import numpy as np\n"
+            "from pkg.parallel import run_cells\n\n"
+            "def _cell(cell):\n"
+            "    return np.random.rand(3)\n\n"
+            "def run(grid):\n"
+            "    return run_cells(grid, _cell)\n"
+        )})
+        [v] = run(tmp_path, files, ForkGlobalRngRule())
+        assert "np.random.rand" in v.message
+
+    def test_stdlib_random_fires(self, tmp_path):
+        files = base({"pkg/exp.py": (
+            "import random\n"
+            "from pkg.parallel import run_cells\n\n"
+            "def _cell(cell):\n"
+            "    return random.random()\n\n"
+            "def run(grid):\n"
+            "    return run_cells(grid, _cell)\n"
+        )})
+        [v] = run(tmp_path, files, ForkGlobalRngRule())
+        assert "stdlib" in v.message
+
+    def test_explicit_generator_is_clean(self, tmp_path):
+        files = base({"pkg/exp.py": (
+            "import numpy as np\n"
+            "from pkg.parallel import run_cells\n\n"
+            "def _cell(cell):\n"
+            "    rng = np.random.Generator(np.random.PCG64(cell))\n"
+            "    return rng.random()\n\n"
+            "def run(grid):\n"
+            "    return run_cells(grid, _cell)\n"
+        )})
+        assert run(tmp_path, files, ForkGlobalRngRule()) == []
+
+    def test_sanctioned_rng_module_exempt(self, tmp_path):
+        files = base({
+            "repro/__init__.py": "",
+            "repro/utils/__init__.py": "",
+            "repro/utils/rng.py": (
+                "import numpy as np\n\n"
+                "def make(seed):\n"
+                "    return np.random.default_rng(seed)\n"
+            ),
+            "pkg/exp.py": (
+                "from pkg.parallel import run_cells\n"
+                "from repro.utils.rng import make\n\n"
+                "def _cell(cell):\n"
+                "    return make(cell).random()\n\n"
+                "def run(grid):\n"
+                "    return run_cells(grid, _cell)\n"
+            ),
+        })
+        assert run(tmp_path, files, ForkGlobalRngRule()) == []
+
+
+STORE_FOLDING = (
+    "import os\n\n"
+    "FAULTS_ENV = 'REPRO_FAULTS'\n\n"
+    "class ArtifactKey:\n"
+    "    @classmethod\n"
+    "    def create(cls, kind, config):\n"
+    "        return (kind, config, os.environ.get(FAULTS_ENV))\n"
+)
+
+
+class TestKey001EnvFolding:
+    def test_unfolded_repro_env_read_fires(self, tmp_path):
+        files = base({
+            "pkg/store.py": STORE_FOLDING,
+            "pkg/run.py": (
+                "import os\n\n"
+                "def run_workload(cfg):\n"
+                "    knob = os.environ.get('REPRO_KNOB')\n"
+                "    faults = os.environ.get('REPRO_FAULTS')\n"
+                "    trace = os.environ.get('REPRO_TRACE')\n"
+                "    return cfg, knob, faults, trace\n"
+            ),
+        })
+        [v] = run(tmp_path, files, EnvReadNotFoldedRule())
+        assert v.rule_id == "KEY001"
+        assert "REPRO_KNOB" in v.message
+
+    def test_folded_and_neutral_reads_are_clean(self, tmp_path):
+        files = base({
+            "pkg/store.py": STORE_FOLDING,
+            "pkg/run.py": (
+                "import os\n"
+                "from pkg.store import FAULTS_ENV\n\n"
+                "def run_workload(cfg):\n"
+                "    faults = os.environ.get(FAULTS_ENV)\n"
+                "    trace = os.environ.get('REPRO_TRACE')\n"
+                "    return cfg, faults, trace\n"
+            ),
+        })
+        assert run(tmp_path, files, EnvReadNotFoldedRule()) == []
+
+    def test_non_repro_env_ignored(self, tmp_path):
+        files = base({"pkg/run.py": (
+            "import os\n\n"
+            "def run_workload(cfg):\n"
+            "    return cfg, os.environ.get('HOME')\n"
+        )})
+        assert run(tmp_path, files, EnvReadNotFoldedRule()) == []
+
+    def test_unresolvable_env_name_fires(self, tmp_path):
+        files = base({"pkg/run.py": (
+            "import os\n\n"
+            "def run_workload(cfg, name):\n"
+            "    return cfg, os.environ.get(name)\n"
+        )})
+        [v] = run(tmp_path, files, EnvReadNotFoldedRule())
+        assert "could not be resolved" in v.message
+
+    def test_read_outside_sim_reachable_code_ignored(self, tmp_path):
+        files = base({"pkg/cli.py": (
+            "import os\n\n"
+            "def main():\n"
+            "    return os.environ.get('REPRO_KNOB')\n"
+        )})
+        assert run(tmp_path, files, EnvReadNotFoldedRule()) == []
+
+
+def key2_files(create_args: str) -> dict:
+    return base({
+        "pkg/store.py": (
+            "class ArtifactKey:\n"
+            "    @classmethod\n"
+            "    def create(cls, kind, config):\n"
+            "        return (kind, config)\n"
+        ),
+        "pkg/exp.py": (
+            "from dataclasses import dataclass\n"
+            "from pkg.parallel import run_cells\n"
+            "from pkg.store import ArtifactKey\n\n"
+            "@dataclass\n"
+            "class Config:\n"
+            "    alpha: int = 0\n"
+            "    beta: int = 0\n\n"
+            "def _cell(cell):\n"
+            "    cfg: Config = cell\n"
+            "    return cfg.alpha + cfg.beta\n\n"
+            "def _key(cell):\n"
+            "    cfg: Config = cell\n"
+            f"    return ArtifactKey.create('cell/x', {create_args})\n\n"
+            "def run(grid):\n"
+            "    return run_cells(grid, _cell, cell_key=_key)\n"
+        ),
+    })
+
+
+class TestKey002FieldCoverage:
+    def test_omitted_field_fires(self, tmp_path):
+        files = key2_files("{'alpha': cfg.alpha}")
+        [v] = run(tmp_path, files, CellKeyFieldOmittedRule())
+        assert v.rule_id == "KEY002"
+        assert "beta" in v.message
+        assert v.symbol.endswith("._key")
+
+    def test_all_fields_folded_is_clean(self, tmp_path):
+        files = key2_files("{'alpha': cfg.alpha, 'beta': cfg.beta}")
+        assert run(tmp_path, files, CellKeyFieldOmittedRule()) == []
+
+    def test_whole_object_fold_is_clean(self, tmp_path):
+        files = key2_files("cfg")
+        assert run(tmp_path, files, CellKeyFieldOmittedRule()) == []
+
+
+KERNEL_V1 = (
+    "class Simulator:\n"
+    "    def step(self):\n"
+    "        return self._tick_helper()\n"
+    "    def _tick_helper(self):\n"
+    "        return 1\n"
+)
+BATCH_V1 = (
+    "class BatchSimulator:\n"
+    "    def _tick(self):\n"
+    "        return 1\n"
+)
+
+
+def parity_registry(tmp_path: Path, scalar_only=None) -> Path:
+    registry = ParityRegistry(
+        kernel_root="pkg.kernel.Simulator.step",
+        groups=[ParityGroup(
+            name="step",
+            scalar=["pkg.kernel.Simulator.step"],
+            batch=["pkg.batch.BatchSimulator._tick"],
+        )],
+        scalar_only=(
+            scalar_only
+            if scalar_only is not None
+            else {"pkg.kernel.Simulator._tick_helper": "no batch twin"}
+        ),
+    )
+    path = tmp_path / "parity.json"
+    path.write_text(registry.to_json())
+    return path
+
+
+def parity_rule(path: Path) -> ScalarBatchParityRule:
+    rule = ScalarBatchParityRule()
+    rule.registry_path = path
+    return rule
+
+
+def parity_project(tmp_path: Path, kernel: str = KERNEL_V1,
+                   batch: str = BATCH_V1):
+    root = write(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/kernel.py": kernel,
+        "pkg/batch.py": batch,
+    })
+    return build_project([root], repo_root=root)
+
+
+class TestPar001Parity:
+    def test_unrecorded_hashes_fire(self, tmp_path):
+        path = parity_registry(tmp_path)
+        project = parity_project(tmp_path)
+        [v] = list(parity_rule(path).check_project(project))
+        assert "no recorded hash" in v.message
+
+    def test_update_parity_then_clean(self, tmp_path):
+        path = parity_registry(tmp_path)
+        project = parity_project(tmp_path)
+        assert update_parity(project, path) == ["step"]
+        assert list(parity_rule(path).check_project(project)) == []
+        # Idempotent: a second update refreshes nothing.
+        assert update_parity(project, path) == []
+
+    def test_scalar_edit_without_batch_twin_fires(self, tmp_path):
+        path = parity_registry(tmp_path)
+        update_parity(parity_project(tmp_path), path)
+        edited = parity_project(
+            tmp_path,
+            kernel=KERNEL_V1.replace(
+                "return self._tick_helper()", "return self._tick_helper() + 1"
+            ),
+        )
+        [v] = list(parity_rule(path).check_project(edited))
+        assert "scalar side" in v.message and "batch twin did not" in v.message
+        assert v.symbol == "pkg.kernel.Simulator.step"
+
+    def test_batch_edit_without_scalar_twin_fires(self, tmp_path):
+        path = parity_registry(tmp_path)
+        update_parity(parity_project(tmp_path), path)
+        edited = parity_project(
+            tmp_path, batch=BATCH_V1.replace("return 1", "return 2")
+        )
+        [v] = list(parity_rule(path).check_project(edited))
+        assert "batch side" in v.message
+
+    def test_both_sides_changed_requires_refresh(self, tmp_path):
+        path = parity_registry(tmp_path)
+        update_parity(parity_project(tmp_path), path)
+        edited = parity_project(
+            tmp_path,
+            kernel=KERNEL_V1.replace(
+                "return self._tick_helper()", "return self._tick_helper() + 1"
+            ),
+            batch=BATCH_V1.replace("return 1", "return 2"),
+        )
+        [v] = list(parity_rule(path).check_project(edited))
+        assert "--update-parity" in v.message
+
+    def test_docstring_and_comment_edits_do_not_fire(self, tmp_path):
+        path = parity_registry(tmp_path)
+        update_parity(parity_project(tmp_path), path)
+        reformatted = KERNEL_V1.replace(
+            "    def step(self):\n",
+            "    def step(self):\n"
+            '        """Advance one slot."""  # a comment\n',
+        )
+        edited = parity_project(tmp_path, kernel=reformatted)
+        assert list(parity_rule(path).check_project(edited)) == []
+
+    def test_missing_listed_function_fires(self, tmp_path):
+        path = parity_registry(tmp_path)
+        update_parity(parity_project(tmp_path), path)
+        edited = parity_project(
+            tmp_path, batch="class BatchSimulator:\n    pass\n"
+        )
+        violations = list(parity_rule(path).check_project(edited))
+        assert any("no longer exists" in v.message for v in violations)
+
+    def test_unmapped_private_kernel_method_fires(self, tmp_path):
+        path = parity_registry(tmp_path, scalar_only={})
+        update_parity(parity_project(tmp_path), path)
+        [v] = list(parity_rule(path).check_project(parity_project(tmp_path)))
+        assert "unmapped" in v.message
+        assert v.symbol == "pkg.kernel.Simulator._tick_helper"
+
+    def test_missing_registry_file_is_silent(self, tmp_path):
+        project = parity_project(tmp_path)
+        rule = parity_rule(tmp_path / "absent.json")
+        assert list(rule.check_project(project)) == []

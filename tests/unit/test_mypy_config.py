@@ -21,6 +21,7 @@ STRICT_PACKAGES = [
     "repro.faults.*",
     "repro.store.*",
     "repro.sim.batch",
+    "repro.experiments.parallel",
 ]
 
 
@@ -72,6 +73,9 @@ def test_strict_packages_fully_annotated():
         )
     # Strict single modules (non-wildcard entries in STRICT_PACKAGES).
     strict_paths.append(REPO_ROOT / "src" / "repro" / "sim" / "batch.py")
+    strict_paths.append(
+        REPO_ROOT / "src" / "repro" / "experiments" / "parallel.py"
+    )
 
     missing = []
     for path in strict_paths:
@@ -94,6 +98,21 @@ def test_strict_packages_fully_annotated():
             if node.returns is None or unannotated:
                 missing.append(f"{path.name}:{node.lineno} {node.name}")
     assert not missing, "untyped defs in strict packages:\n" + "\n".join(missing)
+
+
+def test_pre_commit_config_runs_full_lint():
+    yaml = pytest.importorskip("yaml")
+    cfg = yaml.safe_load(
+        (REPO_ROOT / ".pre-commit-config.yaml").read_text()
+    )
+    [local] = cfg["repos"]
+    assert local["repo"] == "local"
+    hooks = {h["id"]: h for h in local["hooks"]}
+    lint = hooks["repro-lint"]
+    assert "--interprocedural" in lint["entry"]
+    assert "src/" in lint["entry"] and "tools/" in lint["entry"]
+    assert lint["pass_filenames"] is False
+    assert hooks["mypy-strict-core"]["entry"].startswith("python -m mypy")
 
 
 def test_mypy_runs_clean_when_available():

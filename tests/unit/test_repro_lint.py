@@ -91,6 +91,90 @@ class TestFixtures:
         )
 
 
+class TestAllowlistEdgeCases:
+    """`# repro-lint: ignore[...]` semantics beyond the one-line happy path."""
+
+    def test_multiple_ids_one_comment(self):
+        source = (
+            "import time\n"
+            "from repro.utils.rng import RandomSource\n"
+            "x = RandomSource(), time.time()"
+            "  # repro-lint: ignore[DET003, DET004]\n"
+        )
+        assert _actual_hits(source) == []
+
+    def test_partial_suppression_leaves_other_rule(self):
+        source = (
+            "import time\n"
+            "from repro.utils.rng import RandomSource\n"
+            "x = RandomSource(), time.time()  # repro-lint: ignore[DET003]\n"
+        )
+        assert _actual_hits(source) == [(3, "DET004")]
+
+    def test_comment_on_decorator_covers_def_header(self):
+        source = (
+            "import functools\n"
+            "from repro.utils.rng import RandomSource\n"
+            "\n"
+            "\n"
+            "@functools.lru_cache  # repro-lint: ignore[DET004]\n"
+            "def f(rng=RandomSource()):\n"
+            "    return rng\n"
+        )
+        assert _actual_hits(source) == []
+
+    def test_comment_on_def_line_covers_decorator(self):
+        source = (
+            "import time\n"
+            "\n"
+            "\n"
+            "@deadline(time.time() + 5)\n"
+            "def f():  # repro-lint: ignore[DET003]\n"
+            "    return 1\n"
+        )
+        assert _actual_hits(source) == []
+
+    def test_header_comment_does_not_blanket_body(self):
+        # A waiver on the def header must NOT cover violations inside
+        # the function body.
+        source = (
+            "import time\n"
+            "\n"
+            "\n"
+            "@deadline(5)\n"
+            "def f():  # repro-lint: ignore[DET003]\n"
+            "    return time.time()\n"
+        )
+        assert _actual_hits(source) == [(6, "DET003")]
+
+    def test_comment_on_last_line_covers_multiline_statement(self):
+        source = (
+            "import time\n"
+            "value = max(\n"
+            "    time.time(),\n"
+            "    0.0,\n"
+            ")  # repro-lint: ignore[DET003]\n"
+        )
+        assert _actual_hits(source) == []
+
+    def test_unknown_id_emits_ignore_warning(self):
+        source = "x = 1  # repro-lint: ignore[DET999]\n"
+        assert _actual_hits(source) == [(1, "IGNORE")]
+
+    def test_known_project_rule_id_accepted_in_waiver(self):
+        # Interprocedural ids (FORK/KEY/PAR) are "known" even in a
+        # per-file pass, so their waivers never warn.
+        source = "CACHE = {}\nCACHE['k'] = 1  # repro-lint: ignore[FORK001]\n"
+        assert _actual_hits(source) == []
+
+    def test_mixed_known_unknown_warns_only_on_unknown(self):
+        source = (
+            "import time\n"
+            "t = time.time()  # repro-lint: ignore[DET003, BOGUS42]\n"
+        )
+        assert _actual_hits(source) == [(2, "IGNORE")]
+
+
 class TestDriver:
     def test_analyze_paths_walks_directories(self, tmp_path):
         (tmp_path / "pkg").mkdir()

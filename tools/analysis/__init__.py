@@ -1,9 +1,13 @@
 """``repro-lint``: repo-specific static analysis.
 
-Run as ``python -m tools.analysis src/`` from the repository root; see
-:mod:`tools.analysis.core` for the framework and ``tools/analysis/rules/``
-for the rule set.  ``docs/architecture.md`` documents every rule id, the
-inline allowlist syntax, and how to add a rule.
+Run as ``python -m tools.analysis src/`` from the repository root; add
+``--interprocedural`` to also build the call graph and run the
+FORK/KEY/PAR project rules.  See :mod:`tools.analysis.core` for the
+per-file framework, :mod:`tools.analysis.callgraph` +
+:mod:`tools.analysis.interproc` for the project layer, and
+``tools/analysis/rules/`` for the rule set.  ``docs/architecture.md``
+documents every rule id, the inline allowlist syntax, the suppression
+baseline workflow, and how to add a rule.
 """
 
 from __future__ import annotations
@@ -19,22 +23,34 @@ from tools.analysis.core import (
     analyze_source,
     report_json,
 )
-from tools.analysis.registry import REGISTRY
+from tools.analysis.registry import PROJECT_REGISTRY, REGISTRY
 import tools.analysis.rules  # noqa: F401  (registers the rule set)
+from tools.analysis.callgraph import Project, build_project
+from tools.analysis.interproc import (
+    ProjectRule,
+    analyze_project,
+    default_project_rules,
+)
 
 __all__ = [
     "FileContext",
+    "Project",
+    "ProjectRule",
     "Rule",
     "RuleRegistry",
     "Violation",
     "REGISTRY",
+    "PROJECT_REGISTRY",
     "analyze_paths",
+    "analyze_project",
     "analyze_source",
+    "build_project",
     "report_json",
     "default_rules",
+    "default_project_rules",
 ]
 
 
 def default_rules(only: Optional[List[str]] = None) -> List[Rule]:
-    """Instantiate the full registered rule set (optionally a subset)."""
+    """Instantiate the per-file rule set (optionally a subset)."""
     return REGISTRY.instantiate(only)

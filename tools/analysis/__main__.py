@@ -1,6 +1,11 @@
 """CLI entry point: ``python -m tools.analysis [paths...]``.
 
-Exit status 0 when clean, 1 when violations were found, 2 on usage errors.
+Exit status 0 when clean, 1 when violations were found, 2 on usage
+errors.  ``--interprocedural`` additionally builds the project call
+graph and runs the FORK/KEY/PAR rule families; findings are filtered
+through the committed suppression baseline (``--baseline`` /
+``--no-baseline``), and ``--json`` / ``--sarif`` emit machine-readable
+reports for CI.
 """
 
 from __future__ import annotations
@@ -10,14 +15,31 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from tools.analysis import default_rules, analyze_paths, report_json
+from tools.analysis import (
+    analyze_paths,
+    analyze_project,
+    default_project_rules,
+    default_rules,
+    report_json,
+)
+from tools.analysis.baseline import (
+    DEFAULT_BASELINE_PATH,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from tools.analysis.callgraph import build_project
+from tools.analysis.registry import PROJECT_REGISTRY, REGISTRY
+from tools.analysis.rules.parity import DEFAULT_REGISTRY_PATH, update_parity
+from tools.analysis.sarif import report_sarif
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m tools.analysis",
         description="repro-lint: determinism / unit-safety / float-equality / "
-        "hot-path static analysis for this repository",
+        "hot-path static analysis, plus interprocedural fork-safety, "
+        "cache-key-integrity, and scalar/batch parity checks",
     )
     parser.add_argument(
         "paths",
@@ -31,6 +53,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write a machine-readable JSON report ('-' for stdout)",
     )
     parser.add_argument(
+        "--sarif",
+        metavar="FILE",
+        help="also write a SARIF 2.1.0 report ('-' for stdout)",
+    )
+    parser.add_argument(
         "--rules",
         metavar="IDS",
         help="comma-separated rule ids to run (default: all)",
@@ -40,25 +67,81 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule table (id, summary, doc) and exit",
     )
+    parser.add_argument(
+        "--interprocedural",
+        action="store_true",
+        help="build the call graph and run the FORK/KEY/PAR project rules",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=str(DEFAULT_BASELINE_PATH),
+        help="suppression baseline to apply (default: tools/analysis/"
+        "baseline.json)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the suppression baseline",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--update-parity",
+        action="store_true",
+        help="recompute the scalar/batch parity registry hashes and exit",
+    )
     return parser
+
+
+def _split_rule_ids(spec: Optional[str]) -> Optional[List[str]]:
+    if not spec:
+        return None
+    return [r.strip() for r in spec.split(",") if r.strip()]
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
-    only = (
-        [r.strip() for r in args.rules.split(",") if r.strip()]
-        if args.rules
-        else None
-    )
+    only = _split_rule_ids(args.rules)
+    file_rule_ids = {cls.rule_id for cls in REGISTRY.rule_classes}
+    project_rule_ids = {cls.rule_id for cls in PROJECT_REGISTRY.rule_classes}
+    if only is not None:
+        unknown = set(only) - file_rule_ids - project_rule_ids
+        if unknown:
+            print(
+                f"error: unknown rule id(s): {sorted(unknown)}",
+                file=sys.stderr,
+            )
+            return 2
     try:
-        rules = default_rules(only)
-    except KeyError as exc:
+        rules = default_rules(
+            None
+            if only is None
+            else [r for r in only if r in file_rule_ids] or None
+        )
+        project_rules = default_project_rules(
+            None
+            if only is None
+            else [r for r in only if r in project_rule_ids] or None
+        )
+    except KeyError as exc:  # pragma: no cover - guarded above
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
+    if only is not None:
+        rules = [r for r in rules if r.rule_id in only]
+        project_rules = [r for r in project_rules if r.rule_id in only]
 
     if args.list_rules:
-        for rule in rules:
-            print(f"{rule.rule_id}  {rule.summary}")
+        for rule in [*rules, *project_rules]:
+            scope = (
+                " (interprocedural)"
+                if rule.rule_id in project_rule_ids
+                else ""
+            )
+            print(f"{rule.rule_id}  {rule.summary}{scope}")
             doc = (rule.__class__.__doc__ or "").strip()
             for line in doc.splitlines():
                 print(f"    {line.strip()}")
@@ -71,16 +154,61 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: no such path(s): {missing}", file=sys.stderr)
         return 2
 
+    if args.update_parity:
+        project = build_project(paths, repo_root=Path.cwd())
+        refreshed = update_parity(project, DEFAULT_REGISTRY_PATH)
+        if refreshed:
+            print(f"parity registry refreshed: {', '.join(sorted(refreshed))}")
+        else:
+            print("parity registry already up to date")
+        return 0
+
     violations = analyze_paths(paths, rules, repo_root=Path.cwd())
+    if args.interprocedural:
+        violations.extend(
+            analyze_project(paths, project_rules, repo_root=Path.cwd())
+        )
+        violations.sort(key=lambda v: (v.path, v.line, v.rule_id))
+
+    if args.write_baseline:
+        count = write_baseline(violations, Path(args.baseline))
+        print(f"baseline written: {count} entr(y/ies) -> {args.baseline}")
+        return 0
+
+    baseline_path = Path(args.baseline)
+    if not args.no_baseline and baseline_path.exists():
+        entries = load_baseline(baseline_path)
+        violations, suppressed, stale = apply_baseline(violations, entries)
+        if suppressed:
+            print(
+                f"repro-lint: {len(suppressed)} finding(s) suppressed by "
+                f"baseline {baseline_path}",
+                file=sys.stderr,
+            )
+        for entry in stale:
+            print(
+                f"repro-lint: stale baseline entry "
+                f"{entry.rule_id} {entry.path} {entry.symbol!r} "
+                f"(no longer fires; remove it)",
+                file=sys.stderr,
+            )
+
     for violation in violations:
         print(violation.render())
 
+    all_rules = [*rules, *project_rules] if args.interprocedural else rules
     if args.json:
-        payload = report_json(violations, rules)
+        payload = report_json(violations, all_rules)
         if args.json == "-":
             print(payload)
         else:
             Path(args.json).write_text(payload + "\n", encoding="utf-8")
+    if args.sarif:
+        payload = report_sarif(violations, all_rules)
+        if args.sarif == "-":
+            print(payload)
+        else:
+            Path(args.sarif).write_text(payload + "\n", encoding="utf-8")
 
     if violations:
         print(

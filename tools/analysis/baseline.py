@@ -1,0 +1,114 @@
+"""Suppression baseline: accepted findings that must not block the gate.
+
+The baseline (``tools/analysis/baseline.json``, committed) records
+findings that were reviewed and deliberately accepted — typically
+pre-existing debt discovered when a new rule lands.  Entries match on
+``(rule_id, path, symbol)`` (never on line numbers), so unrelated edits
+to the same file don't detach them; ``path`` is repo-relative, so the
+file is identical across machines.
+
+Workflow (see docs/architecture.md "Reviewing the baseline"):
+
+* a rule fires on pre-existing code → fix it, or if the finding is
+  accepted debt, add it with ``--write-baseline`` and justify in review;
+* entries whose finding no longer fires are *stale* — the CLI reports
+  them so the file burns down instead of accreting;
+* new code never gets baselined: the gate compares against the committed
+  file, so any new finding fails CI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Set, Tuple
+
+from tools.analysis.core import Violation
+
+DEFAULT_BASELINE_PATH = Path(__file__).resolve().parent / "baseline.json"
+
+__all__ = [
+    "DEFAULT_BASELINE_PATH",
+    "BaselineEntry",
+    "load_baseline",
+    "apply_baseline",
+    "write_baseline",
+]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule_id: str
+    path: str
+    symbol: str = ""
+    reason: str = ""
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule_id, self.path, self.symbol)
+
+
+def load_baseline(path: Path) -> List[BaselineEntry]:
+    raw = json.loads(path.read_text(encoding="utf-8"))
+    return [
+        BaselineEntry(
+            rule_id=e["rule_id"],
+            path=e["path"],
+            symbol=e.get("symbol", ""),
+            reason=e.get("reason", ""),
+        )
+        for e in raw.get("findings", [])
+    ]
+
+
+def apply_baseline(
+    violations: Sequence[Violation], entries: Sequence[BaselineEntry]
+) -> Tuple[List[Violation], List[Violation], List[BaselineEntry]]:
+    """Split into (kept, suppressed) and report stale baseline entries."""
+    by_key: Dict[Tuple[str, str, str], BaselineEntry] = {
+        e.key: e for e in entries
+    }
+    kept: List[Violation] = []
+    suppressed: List[Violation] = []
+    hit: Set[Tuple[str, str, str]] = set()
+    for violation in violations:
+        key = (violation.rule_id, violation.path, violation.symbol)
+        if key in by_key:
+            suppressed.append(violation)
+            hit.add(key)
+        else:
+            kept.append(violation)
+    stale = [e for e in entries if e.key not in hit]
+    return kept, suppressed, stale
+
+
+def write_baseline(violations: Sequence[Violation], path: Path) -> int:
+    """Write the current findings as the new baseline; returns entry count."""
+    seen: Set[Tuple[str, str, str]] = set()
+    findings: List[Dict[str, str]] = []
+    for violation in sorted(
+        violations, key=lambda v: (v.rule_id, v.path, v.symbol)
+    ):
+        key = (violation.rule_id, violation.path, violation.symbol)
+        if key in seen:
+            continue
+        seen.add(key)
+        findings.append(
+            {
+                "rule_id": violation.rule_id,
+                "path": violation.path,
+                "symbol": violation.symbol,
+                "reason": "",
+            }
+        )
+    payload = {
+        "comment": (
+            "Reviewed-and-accepted findings; matched on (rule_id, path, "
+            "symbol). Fill in 'reason' when adding an entry. Stale entries "
+            "are reported by the CLI — remove them."
+        ),
+        "findings": findings,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(findings)

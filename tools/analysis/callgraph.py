@@ -1,0 +1,854 @@
+"""Interprocedural project model for repro-lint: symbols + call graph.
+
+This module turns a set of python trees into a queryable *project*:
+
+* **Symbol table** — every module, class, and function (including methods
+  and nested ``def``\\ s) gets a dotted qualname (``repro.sim.kernel.
+  Simulator.step``); imports are resolved across modules, following
+  ``__init__`` re-exports and function-level imports, so a name used in
+  one file links to its definition in another.
+* **Call graph** — caller→callee edges for direct calls, constructor
+  calls (``Simulator(...)`` links to ``Simulator.__init__``), and method
+  calls resolved by receiver class.  Receiver types come from a light
+  type inference: parameter annotations (``Optional``/``| None``
+  unwrapped), annotated assignments, local ``x = ClassName(...)``
+  constructor bindings, annotated return types of called functions, and
+  ``self.attr`` types harvested from class bodies and ``__init__``.
+  Method calls on a typed receiver also link to subclass overrides
+  (class-hierarchy analysis), so dispatching through a base class does
+  not lose reachability.  Function *references* (``worker=fn``) create
+  edges too — passing a callable counts as potentially calling it.
+* **Reachability** — BFS over the edges from any seed set; the FORK/KEY
+  rule families in :mod:`tools.analysis.rules` seed it from worker entry
+  points, ``@hot_path`` functions, and simulation step roots.
+
+Everything is name-based and best-effort: unresolved externals (numpy,
+stdlib) simply contribute no edges.  The model deliberately
+over-approximates (a referenced function counts as called, a nested
+``def`` is reachable from its definer) — for safety rules a false edge
+is cheap, a missed edge is a silent contract violation.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from tools.analysis.core import FileContext, iter_python_files, make_context
+
+__all__ = [
+    "FunctionInfo",
+    "ClassInfo",
+    "ModuleInfo",
+    "CallSite",
+    "Project",
+    "build_project",
+    "dotted_parts",
+    "call_keywords",
+]
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+#: Typing containers whose subscripts do not name a concrete class.
+_GENERIC_CONTAINERS = {
+    "List", "Dict", "Set", "Tuple", "Sequence", "Iterable", "Iterator",
+    "Mapping", "MutableMapping", "FrozenSet", "Deque", "Callable", "Type",
+    "list", "dict", "set", "tuple", "frozenset", "type",
+}
+
+
+def dotted_parts(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """``a.b.c`` expression -> ("a", "b", "c"), or None if not a pure chain."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def call_keywords(call: ast.Call) -> Dict[str, ast.expr]:
+    """Keyword arguments of a call as name -> value expression (no **kwargs)."""
+    return {kw.arg: kw.value for kw in call.keywords if kw.arg is not None}
+
+
+def _decorator_names(node: FunctionNode) -> Set[str]:
+    names: Set[str] = set()
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        parts = dotted_parts(target)
+        if parts:
+            names.add(parts[-1])
+    return names
+
+
+def walk_body(fn: FunctionNode) -> Iterator[ast.AST]:
+    """Walk a function's own body, not descending into nested defs/lambdas."""
+    stack: List[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (*_FUNCTION_NODES, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@dataclass
+class CallSite:
+    """One resolved ``ast.Call`` inside a function."""
+
+    caller: str
+    node: ast.Call
+    callees: Tuple[str, ...]
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the project."""
+
+    qualname: str
+    module: str
+    rel_path: str
+    node: FunctionNode
+    class_qualname: Optional[str] = None
+    parent: Optional[str] = None  # enclosing function qualname (nested def)
+    decorators: Set[str] = field(default_factory=set)
+    imports: Dict[str, str] = field(default_factory=dict)  # function-level
+    local_names: Set[str] = field(default_factory=set)
+    _local_types: Optional[Dict[str, str]] = field(default=None, repr=False)
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def line(self) -> int:
+        return self.node.lineno
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: methods, resolved bases, attribute types."""
+
+    qualname: str
+    module: str
+    node: ast.ClassDef
+    base_exprs: List[ast.expr] = field(default_factory=list)
+    bases: List[str] = field(default_factory=list)  # resolved project classes
+    methods: Dict[str, str] = field(default_factory=dict)
+    #: annotated class-body fields, in declaration order (dataclass fields)
+    fields: List[str] = field(default_factory=list)
+    #: attribute name -> class qualname (annotations + __init__ inference)
+    attr_types: Dict[str, str] = field(default_factory=dict)
+    is_dataclass: bool = False
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module: imports, module-level names, file context."""
+
+    name: str
+    path: Path
+    rel_path: str
+    tree: ast.Module
+    ctx: FileContext
+    imports: Dict[str, str] = field(default_factory=dict)
+    #: names bound at module level by assignment (constants and state)
+    module_names: Set[str] = field(default_factory=set)
+    #: module-level simple assignments: name -> value expression
+    constants: Dict[str, ast.expr] = field(default_factory=dict)
+    #: aliases bound by ``import x[.y]`` (module objects, not symbols)
+    module_aliases: Set[str] = field(default_factory=set)
+
+
+def _module_name(file_path: Path) -> str:
+    """Dotted module name by walking up while ``__init__.py`` exists."""
+    parts: List[str] = [] if file_path.stem == "__init__" else [file_path.stem]
+    directory = file_path.parent
+    while (directory / "__init__.py").exists() and directory.name:
+        parts.insert(0, directory.name)
+        parent = directory.parent
+        if parent == directory:
+            break
+        directory = parent
+    return ".".join(parts) or file_path.stem
+
+
+class Project:
+    """Symbol tables + call graph over a set of parsed modules."""
+
+    def __init__(self, repo_root: Path) -> None:
+        self.repo_root = repo_root
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.edges: Dict[str, Set[str]] = {}
+        self.call_sites: List[CallSite] = []
+        #: method name -> class qualnames defining it
+        self.method_index: Dict[str, List[str]] = {}
+        #: class qualname -> direct subclasses
+        self.subclasses: Dict[str, List[str]] = {}
+        #: parent function qualname -> {name: nested function qualname}
+        self.nested: Dict[str, Dict[str, str]] = {}
+
+    # ------------------------------------------------------------------
+    # symbol resolution
+    # ------------------------------------------------------------------
+
+    def resolve_global(
+        self, dotted: str, _visited: Optional[Set[str]] = None
+    ) -> Optional[str]:
+        """Resolve an absolute dotted name to a project qualname.
+
+        Follows re-exports: if ``repro.faults`` does ``from .plan import
+        FaultPlan``, then ``repro.faults.FaultPlan`` resolves to
+        ``repro.faults.plan.FaultPlan``.  Returns None for externals.
+        """
+        visited = _visited if _visited is not None else set()
+        if dotted in visited:
+            return None
+        visited.add(dotted)
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            prefix = ".".join(parts[:cut])
+            module = self.modules.get(prefix)
+            if module is None:
+                continue
+            rest = parts[cut:]
+            if not rest:
+                return prefix
+            return self._resolve_in_module(module, tuple(rest), visited)
+        return None
+
+    def _resolve_in_module(
+        self,
+        module: ModuleInfo,
+        parts: Tuple[str, ...],
+        visited: Set[str],
+    ) -> Optional[str]:
+        head, rest = parts[0], parts[1:]
+        local = f"{module.name}.{head}"
+        if local in self.classes:
+            if rest:
+                method = self.classes[local].methods.get(rest[0])
+                if method is not None and not rest[1:]:
+                    return method
+                return f"{local}." + ".".join(rest)
+            return local
+        if local in self.functions:
+            return local if not rest else f"{local}." + ".".join(rest)
+        if head in module.module_names:
+            return local if not rest else f"{local}." + ".".join(rest)
+        target = module.imports.get(head)
+        if target is not None:
+            dotted = target if not rest else target + "." + ".".join(rest)
+            resolved = self.resolve_global(dotted, visited)
+            return resolved
+        return None
+
+    def resolve_name(
+        self, fn: Optional[FunctionInfo], module: ModuleInfo, parts: Tuple[str, ...]
+    ) -> Optional[str]:
+        """Resolve a (possibly dotted) name as seen from inside ``fn``.
+
+        Checks nested functions of the enclosing chain (closures), then
+        function-level imports, then the module's own symbols/imports.
+        """
+        head = parts[0]
+        scope = fn
+        while scope is not None:
+            nested = self.nested.get(scope.qualname, {})
+            if head in nested and len(parts) == 1:
+                return nested[head]
+            target = scope.imports.get(head)
+            if target is not None:
+                dotted = target
+                if len(parts) > 1:
+                    dotted += "." + ".".join(parts[1:])
+                return self.resolve_global(dotted)
+            scope = self.functions.get(scope.parent) if scope.parent else None
+        return self._resolve_in_module(module, parts, set())
+
+    def resolve_constant_str(
+        self,
+        module: ModuleInfo,
+        name: str,
+        fn: Optional[FunctionInfo] = None,
+        _visited: Optional[Set[str]] = None,
+    ) -> Optional[str]:
+        """Resolve ``name`` to a module-level string constant, if possible.
+
+        Follows imports (including function-level ones), so ``FAULTS_ENV``
+        used in ``store/keys.py`` resolves to the literal defined in
+        ``repro/faults/plan.py`` even through the package re-export.
+        """
+        visited = _visited if _visited is not None else set()
+        key = f"{module.name}:{name}"
+        if key in visited:
+            return None
+        visited.add(key)
+        value = module.constants.get(name)
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            return value.value
+        target: Optional[str] = None
+        scope = fn
+        while scope is not None and target is None:
+            target = scope.imports.get(name)
+            scope = self.functions.get(scope.parent) if scope.parent else None
+        if target is None:
+            target = module.imports.get(name)
+        if target is None:
+            return None
+        if "." not in target:
+            return None
+        owner_dotted, attr = target.rsplit(".", 1)
+        owner = self._find_module(owner_dotted)
+        if owner is not None:
+            return self.resolve_constant_str(owner, attr, _visited=visited)
+        return None
+
+    def _find_module(self, dotted: str) -> Optional[ModuleInfo]:
+        module = self.modules.get(dotted)
+        if module is not None:
+            return module
+        # The dotted path may route through a re-export chain.
+        resolved = self.resolve_global(dotted)
+        if resolved is not None:
+            return self.modules.get(resolved)
+        return None
+
+    def resolve_ref(
+        self, fn: FunctionInfo, expr: ast.expr
+    ) -> Optional[str]:
+        """Resolve an expression to a project *function* qualname, if it
+        names one (covers ``worker=fn`` style references)."""
+        parts = dotted_parts(expr)
+        if parts is None:
+            return None
+        module = self.modules.get(fn.module)
+        if module is None:
+            return None
+        resolved = self.resolve_name(fn, module, parts)
+        if resolved is not None and resolved in self.functions:
+            return resolved
+        return None
+
+    # ------------------------------------------------------------------
+    # type inference
+    # ------------------------------------------------------------------
+
+    def annotation_class(
+        self, module: ModuleInfo, expr: Optional[ast.expr],
+        fn: Optional[FunctionInfo] = None,
+    ) -> Optional[str]:
+        """Class qualname named by a type annotation, or None."""
+        if expr is None:
+            return None
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+            try:
+                expr = ast.parse(expr.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(expr, ast.Subscript):
+            parts = dotted_parts(expr.value)
+            if parts and parts[-1] == "Optional":
+                return self.annotation_class(module, expr.slice, fn)
+            if parts and parts[-1] in _GENERIC_CONTAINERS:
+                return None
+            return None
+        if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.BitOr):
+            return (
+                self.annotation_class(module, expr.left, fn)
+                or self.annotation_class(module, expr.right, fn)
+            )
+        parts = dotted_parts(expr)
+        if parts is None:
+            return None
+        if len(parts) == 1 and parts[0] in ("None", "Any"):
+            return None
+        resolved = self.resolve_name(fn, module, parts)
+        if resolved is not None and resolved in self.classes:
+            return resolved
+        return None
+
+    def _local_types(self, fn: FunctionInfo) -> Dict[str, str]:
+        if fn._local_types is not None:
+            return fn._local_types
+        module = self.modules[fn.module]
+        types: Dict[str, str] = {}
+        args = fn.node.args
+        all_params = [
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+        ]
+        for param in all_params:
+            cls = self.annotation_class(module, param.annotation, fn)
+            if cls is not None:
+                types[param.arg] = cls
+        if fn.class_qualname is not None and all_params:
+            first = all_params[0].arg
+            if first in ("self", "cls") and "staticmethod" not in fn.decorators:
+                types[first] = fn.class_qualname
+        for node in walk_body(fn.node):
+            if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                cls = self.annotation_class(module, node.annotation, fn)
+                if cls is not None:
+                    types[node.target.id] = cls
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and isinstance(node.value, ast.Call):
+                    cls = self._call_result_class(fn, module, node.value)
+                    if cls is not None:
+                        types.setdefault(target.id, cls)
+        fn._local_types = types
+        return types
+
+    def _call_result_class(
+        self, fn: Optional[FunctionInfo], module: ModuleInfo, call: ast.Call
+    ) -> Optional[str]:
+        parts = dotted_parts(call.func)
+        if parts is None:
+            return None
+        resolved = self.resolve_name(fn, module, parts)
+        if resolved is None:
+            return None
+        if resolved in self.classes:
+            return resolved
+        callee = self.functions.get(resolved)
+        if callee is not None:
+            owner = self.modules[callee.module]
+            return self.annotation_class(owner, callee.node.returns, callee)
+        return None
+
+    def infer_type(self, fn: FunctionInfo, expr: ast.expr) -> Optional[str]:
+        """Best-effort class qualname of ``expr`` evaluated inside ``fn``."""
+        module = self.modules[fn.module]
+        if isinstance(expr, ast.Name):
+            scope: Optional[FunctionInfo] = fn
+            while scope is not None:
+                found = self._local_types(scope).get(expr.id)
+                if found is not None:
+                    return found
+                scope = self.functions.get(scope.parent) if scope.parent else None
+            return None
+        if isinstance(expr, ast.Attribute):
+            base_cls = self.infer_type(fn, expr.value)
+            if base_cls is not None:
+                for cls_qual in self._mro(base_cls):
+                    info = self.classes.get(cls_qual)
+                    if info is not None and expr.attr in info.attr_types:
+                        return info.attr_types[expr.attr]
+            return None
+        if isinstance(expr, ast.Call):
+            return self._call_result_class(fn, module, expr)
+        return None
+
+    def _mro(self, cls_qual: str) -> List[str]:
+        """Ancestor chain (self first), cycles guarded."""
+        order: List[str] = []
+        stack = [cls_qual]
+        seen: Set[str] = set()
+        while stack:
+            current = stack.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            order.append(current)
+            info = self.classes.get(current)
+            if info is not None:
+                stack.extend(info.bases)
+        return order
+
+    def _descendants(self, cls_qual: str) -> List[str]:
+        out: List[str] = []
+        stack = list(self.subclasses.get(cls_qual, []))
+        seen: Set[str] = set()
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            out.append(current)
+            stack.extend(self.subclasses.get(current, []))
+        return out
+
+    def resolve_method(self, cls_qual: str, method: str) -> List[str]:
+        """Implementations ``obj.method()`` may dispatch to for ``obj: cls``.
+
+        The defining class (or nearest ancestor) plus any subclass
+        overrides — class-hierarchy analysis without instantiation facts.
+        """
+        targets: List[str] = []
+        for ancestor in self._mro(cls_qual):
+            info = self.classes.get(ancestor)
+            if info is not None and method in info.methods:
+                targets.append(info.methods[method])
+                break
+        for descendant in self._descendants(cls_qual):
+            info = self.classes.get(descendant)
+            if info is not None and method in info.methods:
+                targets.append(info.methods[method])
+        return targets
+
+    # ------------------------------------------------------------------
+    # graph queries
+    # ------------------------------------------------------------------
+
+    def reachable(self, seeds: Iterable[str]) -> Set[str]:
+        """All function qualnames reachable from ``seeds`` (inclusive)."""
+        seen: Set[str] = set()
+        stack = [s for s in seeds if s in self.functions]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            for callee in self.edges.get(current, ()):
+                if callee not in seen and callee in self.functions:
+                    stack.append(callee)
+        return seen
+
+    def functions_matching(self, *suffixes: str) -> List[FunctionInfo]:
+        """Functions whose qualname ends with any of ``suffixes``.
+
+        Matching is suffix-based so rules written against the real repo
+        layout (``.Simulator.step``) also bind inside fixture projects.
+        """
+        out: List[FunctionInfo] = []
+        for qualname, info in self.functions.items():
+            for suffix in suffixes:
+                if qualname == suffix.lstrip(".") or qualname.endswith(suffix):
+                    out.append(info)
+                    break
+        return out
+
+    def call_sites_of(self, *suffixes: str) -> Iterator[CallSite]:
+        """Call sites whose resolved callee matches any qualname suffix."""
+        for site in self.call_sites:
+            for callee in site.callees:
+                if any(
+                    callee == s.lstrip(".") or callee.endswith(s)
+                    for s in suffixes
+                ):
+                    yield site
+                    break
+
+
+# ----------------------------------------------------------------------
+# project construction
+# ----------------------------------------------------------------------
+
+
+def build_project(
+    paths: Sequence[Path], repo_root: Optional[Path] = None
+) -> Project:
+    """Parse every python file under ``paths`` into a linked project."""
+    root = (repo_root or Path.cwd()).resolve()
+    project = Project(root)
+    builder = _Builder(project)
+    for file_path in iter_python_files(list(paths)):
+        builder.add_file(file_path)
+    builder.link()
+    return project
+
+
+class _Builder:
+    def __init__(self, project: Project) -> None:
+        self.project = project
+
+    # -- pass 1: symbols ------------------------------------------------
+
+    def add_file(self, file_path: Path) -> None:
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            ctx = make_context(file_path, source, self.project.repo_root)
+        except (OSError, SyntaxError):
+            return  # per-file pass reports PARSE; the graph just skips it
+        name = _module_name(file_path)
+        module = ModuleInfo(
+            name=name,
+            path=file_path,
+            rel_path=ctx.rel_path,
+            tree=ctx.tree,  # type: ignore[arg-type]
+            ctx=ctx,
+        )
+        self.project.modules[name] = module
+        self._collect_imports(module, module.tree, module.imports)
+        self._collect_module_level(module)
+        for stmt in module.tree.body:
+            if isinstance(stmt, _FUNCTION_NODES):
+                self._add_function(module, stmt, parent=None, cls=None)
+            elif isinstance(stmt, ast.ClassDef):
+                self._add_class(module, stmt)
+
+    def _collect_imports(
+        self, module: ModuleInfo, tree: ast.AST, out: Dict[str, str]
+    ) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    out[bound] = target
+                    module.module_aliases.add(bound)
+                    if alias.asname is None and "." in alias.name:
+                        # ``import a.b.c`` binds ``a`` but usage is dotted;
+                        # remember the full path for prefix resolution.
+                        out.setdefault(alias.name, alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                base = self._import_base(module, node)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    out[bound] = f"{base}.{alias.name}" if base else alias.name
+
+    def _import_base(self, module: ModuleInfo, node: ast.ImportFrom) -> str:
+        if node.level == 0:
+            return node.module or ""
+        if module.path.stem == "__init__":
+            package = module.name
+            ups = node.level - 1
+        else:
+            package = module.name.rsplit(".", 1)[0] if "." in module.name else ""
+            ups = node.level - 1
+        for _ in range(ups):
+            package = package.rsplit(".", 1)[0] if "." in package else ""
+        if node.module:
+            return f"{package}.{node.module}" if package else node.module
+        return package
+
+    def _collect_module_level(self, module: ModuleInfo) -> None:
+        for stmt in module.tree.body:
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                targets = [stmt.target]
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    module.module_names.add(target.id)
+                    if value is not None:
+                        module.constants[target.id] = value
+
+    def _add_class(self, module: ModuleInfo, node: ast.ClassDef) -> None:
+        qualname = f"{module.name}.{node.name}"
+        deco_names = {
+            (dotted_parts(d.func if isinstance(d, ast.Call) else d) or ("",))[-1]
+            for d in node.decorator_list
+        }
+        info = ClassInfo(
+            qualname=qualname,
+            module=module.name,
+            node=node,
+            base_exprs=list(node.bases),
+            is_dataclass="dataclass" in deco_names,
+        )
+        self.project.classes[qualname] = info
+        for stmt in node.body:
+            if isinstance(stmt, _FUNCTION_NODES):
+                fn = self._add_function(module, stmt, parent=None, cls=qualname)
+                info.methods[stmt.name] = fn.qualname
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                info.fields.append(stmt.target.id)
+
+    def _add_function(
+        self,
+        module: ModuleInfo,
+        node: FunctionNode,
+        parent: Optional[str],
+        cls: Optional[str],
+    ) -> FunctionInfo:
+        if cls is not None:
+            qualname = f"{cls}.{node.name}"
+        elif parent is not None:
+            qualname = f"{parent}.{node.name}"
+        else:
+            qualname = f"{module.name}.{node.name}"
+        info = FunctionInfo(
+            qualname=qualname,
+            module=module.name,
+            rel_path=module.rel_path,
+            node=node,
+            class_qualname=cls,
+            parent=parent,
+            decorators=_decorator_names(node),
+        )
+        self.project.functions[qualname] = info
+        if cls is not None:
+            self.project.method_index.setdefault(node.name, []).append(cls)
+        if parent is not None:
+            self.project.nested.setdefault(parent, {})[node.name] = qualname
+        # function-level imports and locally bound names
+        for child in walk_body(node):
+            if isinstance(child, (ast.Import, ast.ImportFrom)):
+                self._collect_imports(module, child, info.imports)
+            elif isinstance(child, ast.Name) and isinstance(
+                child.ctx, (ast.Store, ast.Del)
+            ):
+                info.local_names.add(child.id)
+        for arg in [
+            *node.args.posonlyargs, *node.args.args, *node.args.kwonlyargs,
+            *( [node.args.vararg] if node.args.vararg else [] ),
+            *( [node.args.kwarg] if node.args.kwarg else [] ),
+        ]:
+            info.local_names.add(arg.arg)
+        # nested defs
+        for child in walk_body(node):
+            if isinstance(child, _FUNCTION_NODES):
+                self._add_function(module, child, parent=qualname, cls=None)
+        return info
+
+    # -- pass 2: linking ------------------------------------------------
+
+    def link(self) -> None:
+        project = self.project
+        for cls in project.classes.values():
+            module = project.modules[cls.module]
+            for base_expr in cls.base_exprs:
+                parts = dotted_parts(base_expr)
+                if parts is None:
+                    continue
+                resolved = project.resolve_name(None, module, parts)
+                if resolved is not None and resolved in project.classes:
+                    cls.bases.append(resolved)
+                    project.subclasses.setdefault(resolved, []).append(
+                        cls.qualname
+                    )
+        for cls in project.classes.values():
+            self._collect_attr_types(cls)
+        for fn in list(project.functions.values()):
+            self._link_function(fn)
+
+    def _collect_attr_types(self, cls: ClassInfo) -> None:
+        project = self.project
+        module = project.modules[cls.module]
+        for stmt in cls.node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                annotated = project.annotation_class(module, stmt.annotation)
+                if annotated is not None:
+                    cls.attr_types[stmt.target.id] = annotated
+        init_qual = cls.methods.get("__init__")
+        init = project.functions.get(init_qual) if init_qual else None
+        if init is None:
+            return
+        param_types: Dict[str, str] = {}
+        for param in [*init.node.args.posonlyargs, *init.node.args.args,
+                      *init.node.args.kwonlyargs]:
+            annotated = project.annotation_class(module, param.annotation, init)
+            if annotated is not None:
+                param_types[param.arg] = annotated
+        for node in walk_body(init.node):
+            target: Optional[ast.expr] = None
+            value: Optional[ast.expr] = None
+            annotation: Optional[ast.expr] = None
+            if isinstance(node, ast.AnnAssign):
+                target, value, annotation = node.target, node.value, node.annotation
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            attr = target.attr
+            if annotation is not None:
+                annotated = project.annotation_class(module, annotation, init)
+                if annotated is not None:
+                    cls.attr_types.setdefault(attr, annotated)
+                    continue
+            if isinstance(value, ast.Name) and value.id in param_types:
+                cls.attr_types.setdefault(attr, param_types[value.id])
+            elif isinstance(value, ast.Call):
+                result = project._call_result_class(init, module, value)
+                if result is not None:
+                    cls.attr_types.setdefault(attr, result)
+
+    def _link_function(self, fn: FunctionInfo) -> None:
+        project = self.project
+        module = project.modules[fn.module]
+        edges = project.edges.setdefault(fn.qualname, set())
+        # A nested def is conservatively reachable from its definer.
+        for nested_qual in project.nested.get(fn.qualname, {}).values():
+            edges.add(nested_qual)
+        for node in walk_body(fn.node):
+            if isinstance(node, ast.Call):
+                callees = self._resolve_call(fn, module, node)
+                if callees:
+                    edges.update(callees)
+                project.call_sites.append(
+                    CallSite(caller=fn.qualname, node=node, callees=tuple(callees))
+                )
+                # function references in arguments count as potential calls
+                for arg in [*node.args, *[k.value for k in node.keywords]]:
+                    ref = self._resolve_function_ref(fn, module, arg)
+                    if ref is not None:
+                        edges.add(ref)
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                ref = self._resolve_function_ref(fn, module, node)
+                if ref is not None:
+                    edges.add(ref)
+
+    def _resolve_function_ref(
+        self, fn: FunctionInfo, module: ModuleInfo, expr: ast.expr
+    ) -> Optional[str]:
+        parts = dotted_parts(expr)
+        if parts is None:
+            return None
+        resolved = self.project.resolve_name(fn, module, parts)
+        if resolved is not None and resolved in self.project.functions:
+            return resolved
+        return None
+
+    def _resolve_call(
+        self, fn: FunctionInfo, module: ModuleInfo, call: ast.Call
+    ) -> Set[str]:
+        project = self.project
+        out: Set[str] = set()
+        func = call.func
+        parts = dotted_parts(func)
+        if parts is not None:
+            resolved = project.resolve_name(fn, module, parts)
+            if resolved is not None:
+                if resolved in project.functions:
+                    out.add(resolved)
+                    return out
+                if resolved in project.classes:
+                    init = project.classes[resolved].methods.get("__init__")
+                    if init is not None:
+                        out.add(init)
+                    out.add(resolved)  # marker edge to the class qualname
+                    return out
+        if isinstance(func, ast.Attribute):
+            receiver_cls = project.infer_type(fn, func.value)
+            if receiver_cls is not None:
+                out.update(project.resolve_method(receiver_cls, func.attr))
+                if out:
+                    return out
+            # unique-name fallback: one project class defines this method
+            owners = project.method_index.get(func.attr, [])
+            if len(owners) == 1:
+                out.update(project.resolve_method(owners[0], func.attr))
+        return out

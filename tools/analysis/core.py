@@ -16,10 +16,17 @@ Architecture
 * The driver (:func:`analyze_paths`) parses each file once, runs every
   registered rule, and filters violations through the **inline allowlist**:
   a ``# repro-lint: ignore[rule-id]`` (or ``ignore[id1,id2]``) comment on
-  the flagged line suppresses those rule ids for that line only.
+  the flagged line suppresses those rule ids for that line.  The allowlist
+  is statement-aware: a comment anywhere on a multi-line simple statement,
+  or on the decorator/signature lines of a ``def``/``class``, covers the
+  whole span, so black-style reformatting cannot silently detach a waiver.
+  Ignore comments naming a rule id that does not exist are themselves
+  reported (pseudo-rule ``IGNORE``) so stale waivers get cleaned up.
 
 Output is ``file:line rule-id message`` per violation plus an optional
-machine-readable JSON report (see :func:`report_json`).
+machine-readable JSON report (see :func:`report_json`).  Violation paths
+are repo-relative posix paths so reports and the suppression baseline are
+stable across machines.
 """
 
 from __future__ import annotations
@@ -42,23 +49,45 @@ __all__ = [
     "analyze_paths",
     "report_json",
     "iter_python_files",
+    "relative_path",
+    "parse_ignore_ids",
+    "known_rule_ids",
+    "unknown_ignore_warnings",
+    "PSEUDO_RULE_IDS",
 ]
 
 
 @dataclass(frozen=True)
 class Violation:
-    """One finding: ``path:line rule-id message``."""
+    """One finding: ``path:line rule-id message``.
+
+    ``path`` is repo-relative (posix separators) whenever the analyzed file
+    sits under the repo root, so JSON reports and the suppression baseline
+    are identical across checkouts.  ``symbol`` is the dotted name of the
+    enclosing function for interprocedural findings (empty for per-file
+    rules); the baseline matches on ``(rule_id, path, symbol)`` so entries
+    survive unrelated line churn.
+    """
 
     path: str
     line: int
     rule_id: str
     message: str
+    symbol: str = ""
 
     def render(self) -> str:
         return f"{self.path}:{self.line} {self.rule_id} {self.message}"
 
 
 _IGNORE_RE = re.compile(r"#\s*repro-lint:\s*ignore\[([A-Za-z0-9_,\s-]+)\]")
+
+
+def parse_ignore_ids(comment: str) -> Set[str]:
+    """Rule ids named by a ``# repro-lint: ignore[...]`` comment (or empty)."""
+    match = _IGNORE_RE.search(comment)
+    if not match:
+        return set()
+    return {part.strip() for part in match.group(1).split(",") if part.strip()}
 
 
 @dataclass
@@ -74,16 +103,90 @@ class FileContext:
     rel_path: str
     #: line number -> comment text (trailing or full-line), via tokenize.
     comments: Dict[int, str] = field(default_factory=dict)
+    #: Lazily built line -> suppressed-ids map with statement spans expanded.
+    _expanded_ignores: Optional[Dict[int, Set[str]]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def ignored_rules_on_line(self, line: int) -> Set[str]:
-        """Rule ids suppressed on ``line`` by an inline allowlist comment."""
+        """Rule ids suppressed on exactly ``line`` by an allowlist comment."""
         comment = self.comments.get(line)
         if not comment:
             return set()
-        match = _IGNORE_RE.search(comment)
-        if not match:
-            return set()
-        return {part.strip() for part in match.group(1).split(",") if part.strip()}
+        return parse_ignore_ids(comment)
+
+    def ignored_rules_for(self, line: int) -> Set[str]:
+        """Rule ids suppressed at ``line``, honoring statement spans.
+
+        An ignore comment on any line of a multi-line *simple* statement
+        (e.g. a call split across lines) covers the whole statement, and a
+        comment on the decorator/signature lines of a ``def``/``class``
+        covers that header — but never a compound statement's body, so a
+        waiver on an ``if`` cannot blanket everything under it.
+        """
+        if self._expanded_ignores is None:
+            self._expanded_ignores = _expand_ignores(self.tree, self.comments)
+        return self._expanded_ignores.get(line, set())
+
+    def ignore_comment_lines(self) -> Dict[int, Set[str]]:
+        """Every allowlist comment in the file: line -> ids it names."""
+        out: Dict[int, Set[str]] = {}
+        for line, comment in self.comments.items():
+            ids = parse_ignore_ids(comment)
+            if ids:
+                out[line] = ids
+        return out
+
+
+def _statement_spans(tree: ast.AST) -> List[tuple]:
+    """(start, end) line spans over which an ignore comment is shared.
+
+    Simple statements span their full source range; ``def``/``class`` and
+    compound statements (``if``/``for``/``with``/``try``...) span only their
+    header — decorators through the line before the first body statement.
+    """
+    spans: List[tuple] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        end = getattr(node, "end_lineno", None) or start
+        body = getattr(node, "body", None)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if node.decorator_list:
+                start = min(start, min(d.lineno for d in node.decorator_list))
+            first = node.body[0].lineno if node.body else node.lineno
+            end = first - 1 if first > node.lineno else node.lineno
+        elif isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+            # Compound statement: cover the header only, not the body.
+            first = body[0].lineno
+            end = first - 1 if first > node.lineno else node.lineno
+        if end > start:
+            spans.append((start, end))
+    return spans
+
+
+def _expand_ignores(
+    tree: ast.AST, comments: Dict[int, str]
+) -> Dict[int, Set[str]]:
+    per_line: Dict[int, Set[str]] = {}
+    for line, comment in comments.items():
+        ids = parse_ignore_ids(comment)
+        if ids:
+            per_line[line] = ids
+    expanded: Dict[int, Set[str]] = {
+        line: set(ids) for line, ids in per_line.items()
+    }
+    if not per_line:
+        return expanded
+    for start, end in _statement_spans(tree):
+        ids: Set[str] = set()
+        for line in range(start, end + 1):
+            ids |= per_line.get(line, set())
+        if ids:
+            for line in range(start, end + 1):
+                expanded.setdefault(line, set()).update(ids)
+    return expanded
 
 
 class Rule:
@@ -103,7 +206,7 @@ class Rule:
 
     def violation(self, ctx: FileContext, node: ast.AST, message: str) -> Violation:
         return Violation(
-            path=str(ctx.path),
+            path=ctx.rel_path,
             line=getattr(node, "lineno", 1),
             rule_id=self.rule_id,
             message=message,
@@ -156,14 +259,19 @@ def _collect_comments(source: str) -> Dict[int, str]:
     return comments
 
 
+def relative_path(path: Path, repo_root: Optional[Path] = None) -> str:
+    """Repo-relative posix path, falling back to ``path`` as-is outside."""
+    try:
+        rel = path.resolve().relative_to((repo_root or Path.cwd()).resolve())
+        return rel.as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
 def make_context(path: Path, source: str, repo_root: Optional[Path] = None) -> FileContext:
     """Parse ``source`` into a :class:`FileContext` (raises ``SyntaxError``)."""
     tree = ast.parse(source, filename=str(path))
-    try:
-        rel = path.resolve().relative_to((repo_root or Path.cwd()).resolve())
-        rel_path = rel.as_posix()
-    except ValueError:
-        rel_path = path.as_posix()
+    rel_path = relative_path(path, repo_root)
     return FileContext(
         path=path,
         source=source,
@@ -171,6 +279,43 @@ def make_context(path: Path, source: str, repo_root: Optional[Path] = None) -> F
         rel_path=rel_path,
         comments=_collect_comments(source),
     )
+
+
+#: Pseudo-rule ids emitted by the driver itself (not in any registry).
+PSEUDO_RULE_IDS = frozenset({"PARSE", "IGNORE"})
+
+
+def known_rule_ids() -> Set[str]:
+    """Every registered rule id (per-file and project) plus pseudo-rules."""
+    # Imported lazily: the registries are populated by the rule modules,
+    # which themselves import this module.
+    from tools.analysis.registry import PROJECT_REGISTRY, REGISTRY
+
+    ids = {cls.rule_id for cls in REGISTRY.rule_classes}
+    ids |= {cls.rule_id for cls in PROJECT_REGISTRY.rule_classes}
+    return ids | set(PSEUDO_RULE_IDS)
+
+
+def unknown_ignore_warnings(
+    ctx: FileContext, known: Optional[Set[str]] = None
+) -> List[Violation]:
+    """``IGNORE`` findings for allowlist comments naming nonexistent rules."""
+    known_ids = known if known is not None else known_rule_ids()
+    warnings: List[Violation] = []
+    for line, ids in sorted(ctx.ignore_comment_lines().items()):
+        for rule_id in sorted(ids - known_ids):
+            warnings.append(
+                Violation(
+                    path=ctx.rel_path,
+                    line=line,
+                    rule_id="IGNORE",
+                    message=(
+                        f"allowlist comment names unknown rule id "
+                        f"{rule_id!r}; remove or fix the stale waiver"
+                    ),
+                )
+            )
+    return warnings
 
 
 def analyze_source(
@@ -185,11 +330,13 @@ def analyze_source(
     found: List[Violation] = []
     for rule in rules:
         for violation in rule.check(ctx):
-            if honor_allowlist and violation.rule_id in ctx.ignored_rules_on_line(
+            if honor_allowlist and violation.rule_id in ctx.ignored_rules_for(
                 violation.line
             ):
                 continue
             found.append(violation)
+    if honor_allowlist:
+        found.extend(unknown_ignore_warnings(ctx))
     found.sort(key=lambda v: (v.path, v.line, v.rule_id))
     return found
 
@@ -220,7 +367,7 @@ def analyze_paths(
         except SyntaxError as exc:
             violations.append(
                 Violation(
-                    path=str(file_path),
+                    path=relative_path(file_path, repo_root),
                     line=exc.lineno or 1,
                     rule_id="PARSE",
                     message=f"could not parse: {exc.msg}",
@@ -242,6 +389,7 @@ def report_json(violations: Sequence[Violation], rules: Sequence[Rule]) -> str:
                 "line": v.line,
                 "rule_id": v.rule_id,
                 "message": v.message,
+                "symbol": v.symbol,
             }
             for v in violations
         ],

@@ -1,0 +1,229 @@
+"""Interprocedural rule driver: seeds, grid call sites, project analysis.
+
+Per-file rules (:class:`tools.analysis.core.Rule`) see one parsed file;
+*project rules* (:class:`ProjectRule`) see the whole call graph built by
+:mod:`tools.analysis.callgraph` and enforce cross-function contracts:
+fork safety (FORK), cache-key integrity (KEY), and scalar/batch parity
+(PAR).  They run only with ``python -m tools.analysis --interprocedural``
+because building the graph costs a full second pass over the tree.
+
+This module also centralises the *seed* conventions the rule families
+share, so "worker-reachable" means the same thing everywhere:
+
+* ``worker_seeds`` — every function bound to ``worker=`` / ``init=`` /
+  ``batch_plan=`` at a ``run_cells`` / ``run_cells_report`` call site,
+  the fork-pool ``_worker_loop`` itself, every ``@hot_path``-marked
+  function, and the simulation step roots (``Simulator.step`` /
+  ``run_for`` / ``run_until_complete``, ``BatchSimulator.run``).
+* ``sim_entry_seeds`` — the run construction/finalisation surface
+  (``run_workload`` / ``prepare_run`` / ``finalize_run``), simulator
+  constructors, and the step roots: everything whose behaviour feeds a
+  cached result and therefore must be folded into the
+  :class:`~repro.store.keys.ArtifactKey` fingerprint.
+
+Matching is qualname-*suffix* based (``.Simulator.step``) so the same
+rules bind inside the small fixture projects the unit tests build.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set
+
+from tools.analysis.callgraph import (
+    CallSite,
+    FunctionInfo,
+    Project,
+    build_project,
+    call_keywords,
+)
+from tools.analysis.core import Rule, Violation
+from tools.analysis.registry import PROJECT_REGISTRY
+
+__all__ = [
+    "ProjectRule",
+    "GridSite",
+    "grid_call_sites",
+    "worker_seeds",
+    "sim_entry_seeds",
+    "step_root_suffixes",
+    "analyze_project",
+    "default_project_rules",
+]
+
+#: Step roots: the functions that advance simulated time.
+STEP_ROOT_SUFFIXES = (
+    ".Simulator.step",
+    ".Simulator.run_for",
+    ".Simulator.run_until_complete",
+    ".BatchSimulator.run",
+)
+
+#: Entry points that construct/consume a run whose result gets cached.
+SIM_ENTRY_SUFFIXES = (
+    ".run_workload",
+    ".prepare_run",
+    ".finalize_run",
+    ".Simulator.__init__",
+    ".BatchSimulator.__init__",
+    *STEP_ROOT_SUFFIXES,
+)
+
+#: Callees whose call sites fan work out to forked workers.
+GRID_CALL_SUFFIXES = (".run_cells", ".run_cells_report")
+
+
+def step_root_suffixes() -> Sequence[str]:
+    return STEP_ROOT_SUFFIXES
+
+
+class ProjectRule(Rule):
+    """Base class for interprocedural rules (FORK/KEY/PAR families).
+
+    Subclasses implement :meth:`check_project`; the per-file
+    :meth:`check` is inert so project rules can share the registry
+    plumbing (ids, summaries, ``--list-rules``) with per-file rules.
+    """
+
+    def check(self, ctx: object) -> Iterator[Violation]:  # pragma: no cover
+        return iter(())
+
+    def check_project(self, project: Project) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def project_violation(
+        self,
+        fn: FunctionInfo,
+        node: ast.AST,
+        message: str,
+        symbol: Optional[str] = None,
+    ) -> Violation:
+        return Violation(
+            path=fn.rel_path,
+            line=getattr(node, "lineno", fn.line),
+            rule_id=self.rule_id,
+            message=message,
+            symbol=symbol if symbol is not None else fn.qualname,
+        )
+
+
+@dataclass
+class GridSite:
+    """One ``run_cells(_report)`` call site with its bound callables."""
+
+    site: CallSite
+    caller: FunctionInfo
+    worker: Optional[str] = None
+    init: Optional[str] = None
+    batch_plan: Optional[str] = None
+    cell_key: Optional[str] = None
+
+    def bound_functions(self) -> List[str]:
+        return [
+            q for q in (self.worker, self.init, self.batch_plan) if q is not None
+        ]
+
+
+def grid_call_sites(project: Project) -> List[GridSite]:
+    """Every fan-out call site with worker/init/batch_plan/cell_key resolved."""
+    sites: List[GridSite] = []
+    for call_site in project.call_sites_of(*GRID_CALL_SUFFIXES):
+        caller = project.functions.get(call_site.caller)
+        if caller is None:
+            continue
+        kwargs = call_keywords(call_site.node)
+        grid = GridSite(site=call_site, caller=caller)
+        worker_expr = kwargs.get("worker")
+        if worker_expr is None and len(call_site.node.args) >= 2:
+            worker_expr = call_site.node.args[1]
+        for attr, expr in (
+            ("worker", worker_expr),
+            ("init", kwargs.get("init")),
+            ("batch_plan", kwargs.get("batch_plan")),
+            ("cell_key", kwargs.get("cell_key")),
+        ):
+            if expr is None:
+                continue
+            resolved = project.resolve_ref(caller, expr)
+            if resolved is not None:
+                setattr(grid, attr, resolved)
+        sites.append(grid)
+    return sites
+
+
+def worker_seeds(project: Project) -> Set[str]:
+    """Functions that execute inside a forked worker (or the hot loop)."""
+    seeds: Set[str] = set()
+    for grid in grid_call_sites(project):
+        seeds.update(grid.bound_functions())
+    seeds.update(
+        f.qualname for f in project.functions_matching("._worker_loop")
+    )
+    seeds.update(
+        f.qualname
+        for f in project.functions.values()
+        if "hot_path" in f.decorators
+    )
+    seeds.update(
+        f.qualname for f in project.functions_matching(*STEP_ROOT_SUFFIXES)
+    )
+    return seeds
+
+
+def worker_init_functions(project: Project) -> Set[str]:
+    """Functions bound directly to ``init=``: the sanctioned per-worker
+    stash writers (they run once after fork, before any cell)."""
+    return {
+        grid.init for grid in grid_call_sites(project) if grid.init is not None
+    }
+
+
+def sim_entry_seeds(project: Project) -> Set[str]:
+    """Functions whose behaviour determines a cached simulation result."""
+    seeds = {
+        f.qualname for f in project.functions_matching(*SIM_ENTRY_SUFFIXES)
+    }
+    seeds.update(
+        f.qualname
+        for f in project.functions.values()
+        if "hot_path" in f.decorators
+    )
+    return seeds
+
+
+def analyze_project(
+    paths: Sequence[Path],
+    rules: Sequence[ProjectRule],
+    repo_root: Optional[Path] = None,
+    honor_allowlist: bool = True,
+    project: Optional[Project] = None,
+) -> List[Violation]:
+    """Build the project over ``paths`` and run every project rule."""
+    if project is None:
+        project = build_project(paths, repo_root)
+    by_rel_path = {m.rel_path: m for m in project.modules.values()}
+    found: List[Violation] = []
+    for rule in rules:
+        for violation in rule.check_project(project):
+            module = by_rel_path.get(violation.path)
+            if (
+                honor_allowlist
+                and module is not None
+                and violation.rule_id
+                in module.ctx.ignored_rules_for(violation.line)
+            ):
+                continue
+            found.append(violation)
+    found.sort(key=lambda v: (v.path, v.line, v.rule_id))
+    return found
+
+
+def default_project_rules(
+    only: Optional[List[str]] = None,
+) -> List[ProjectRule]:
+    """Instantiate the registered project rule set (optionally a subset)."""
+    import tools.analysis.rules  # noqa: F401  (registers the rule set)
+
+    return PROJECT_REGISTRY.instantiate(only)  # type: ignore[return-value]

@@ -10,4 +10,10 @@ from __future__ import annotations
 
 from tools.analysis.core import RuleRegistry
 
+#: Per-file AST rules (DET/UNIT/FLT/HOT): one parsed file at a time.
 REGISTRY = RuleRegistry()
+
+#: Interprocedural project rules (FORK/KEY/PAR): run over the whole
+#: call graph built by :mod:`tools.analysis.callgraph`; only active with
+#: ``python -m tools.analysis --interprocedural``.
+PROJECT_REGISTRY = RuleRegistry()

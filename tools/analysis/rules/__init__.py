@@ -1,3 +1,11 @@
-"""Rule modules — importing this package populates the registry."""
+"""Rule modules — importing this package populates both registries."""
 
-from tools.analysis.rules import determinism, floats, hotpath, units  # noqa: F401
+from tools.analysis.rules import (  # noqa: F401
+    cachekeys,
+    determinism,
+    floats,
+    forksafety,
+    hotpath,
+    parity,
+    units,
+)

@@ -1,0 +1,320 @@
+"""Cache-key integrity rules (KEY0xx) — interprocedural.
+
+The artifact store serves a cached result whenever the
+:class:`~repro.store.keys.ArtifactKey` fingerprint matches; anything
+that changes a simulation's output but is *not* folded into the key
+makes the store serve stale science.  Two rule families guard the two
+fold surfaces:
+
+* **KEY001** — every ``REPRO_*`` environment variable read anywhere in
+  simulation-reachable code must either be folded into the key (it is
+  read by code reachable from ``ArtifactKey.create`` /
+  ``cell_artifact_key``, like the fault carriers) or appear on the
+  documented *result-neutral* allowlist — variables whose bit-identity
+  is proven by an equivalence test (traced==untraced, sanitized==plain,
+  serial==parallel).
+* **KEY002** — at every ``run_cells`` fan-out that passes both
+  ``cell_key=`` and ``worker=``, the config-dataclass attributes the
+  worker (and ``init=``/``batch_plan=``) actually reads must be a
+  subset of the attributes the cell-key function folds into
+  ``ArtifactKey.create``.  Passing the whole config object folds every
+  field; folding a dict of attributes folds exactly those named.
+
+Both rules compare *reachable read-sets* against *folded sets* over the
+call graph — per-file analysis cannot see either side.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from tools.analysis.callgraph import (
+    FunctionInfo,
+    ModuleInfo,
+    Project,
+    dotted_parts,
+    walk_body,
+)
+from tools.analysis.core import Violation
+from tools.analysis.interproc import (
+    GridSite,
+    ProjectRule,
+    grid_call_sites,
+    sim_entry_seeds,
+)
+from tools.analysis.registry import PROJECT_REGISTRY
+
+#: Qualname suffixes of the key-construction surface: env vars read from
+#: here are folded into every artifact fingerprint.
+KEY_FOLD_SUFFIXES = (".ArtifactKey.create", ".cell_artifact_key")
+
+#: Env vars proven result-neutral by an equivalence test, in the order
+#: they were admitted:
+#: * ``REPRO_TRACE``/``REPRO_TRACE_DIR`` — traced==untraced bit-identity
+#:   (the observer never reads the sensor RNG).
+#: * ``REPRO_SANITIZE`` — sanitized==plain golden-trace equivalence.
+#: * ``REPRO_PARALLEL`` — serial==parallel grid determinism tests.
+RESULT_NEUTRAL_ENV = frozenset(
+    {"REPRO_TRACE", "REPRO_TRACE_DIR", "REPRO_SANITIZE", "REPRO_PARALLEL"}
+)
+
+
+class _EnvRead:
+    __slots__ = ("node", "name", "resolvable")
+
+    def __init__(self, node: ast.AST, name: Optional[str], resolvable: bool):
+        self.node = node
+        self.name = name
+        self.resolvable = resolvable
+
+
+def _iter_env_reads(
+    project: Project, module: ModuleInfo, fn: FunctionInfo
+) -> Iterator[_EnvRead]:
+    """``os.environ.get/[]`` and ``os.getenv`` reads with resolved names."""
+    for node in walk_body(fn.node):
+        arg: Optional[ast.expr] = None
+        if isinstance(node, ast.Call):
+            parts = dotted_parts(node.func)
+            if parts is None:
+                continue
+            if parts[-1] == "get" and len(parts) >= 2 and parts[-2] == "environ":
+                arg = node.args[0] if node.args else None
+            elif parts[-1] == "getenv":
+                arg = node.args[0] if node.args else None
+            else:
+                continue
+        elif isinstance(node, ast.Subscript) and isinstance(
+            node.ctx, ast.Load
+        ):
+            parts = dotted_parts(node.value)
+            if parts is None or parts[-1] != "environ":
+                continue
+            arg = node.slice
+        else:
+            continue
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            yield _EnvRead(node, arg.value, True)
+        elif isinstance(arg, ast.Name):
+            resolved = project.resolve_constant_str(module, arg.id, fn)
+            yield _EnvRead(node, resolved, resolved is not None)
+        # dynamic expressions (f-strings, calls) are out of scope
+
+
+def _env_reads_in(
+    project: Project, quals: Set[str]
+) -> List[Tuple[FunctionInfo, _EnvRead]]:
+    out: List[Tuple[FunctionInfo, _EnvRead]] = []
+    for qual in sorted(quals):
+        fn = project.functions.get(qual)
+        if fn is None:
+            continue
+        module = project.modules[fn.module]
+        for read in _iter_env_reads(project, module, fn):
+            out.append((fn, read))
+    return out
+
+
+@PROJECT_REGISTRY.register
+class EnvReadNotFoldedRule(ProjectRule):
+    """``REPRO_*`` env read in sim-reachable code, not folded into the key.
+
+    A ``REPRO_*`` variable read while constructing or stepping a
+    simulation changes the result; unless the key-construction surface
+    reads the same variable (folding it into every fingerprint) or an
+    equivalence test proves it result-neutral, a cache hit under a
+    different env silently serves the wrong run.
+    """
+
+    rule_id = "KEY001"
+    summary = "REPRO_* env read reachable from a sim entry, not key-folded"
+
+    def check_project(self, project: Project) -> Iterator[Violation]:
+        fold_roots = {
+            f.qualname for f in project.functions_matching(*KEY_FOLD_SUFFIXES)
+        }
+        folded: Set[str] = set()
+        for _fn, read in _env_reads_in(project, project.reachable(fold_roots)):
+            if read.name is not None:
+                folded.add(read.name)
+        sim_reachable = project.reachable(sim_entry_seeds(project))
+        for fn, read in _env_reads_in(project, sim_reachable):
+            if read.name is None:
+                yield self.project_violation(
+                    fn,
+                    read.node,
+                    f"sim-reachable function {fn.name!r} reads an env var "
+                    f"whose name could not be resolved to a constant; use a "
+                    f"literal or module-level constant so key folding is "
+                    f"checkable",
+                )
+                continue
+            if not read.name.startswith("REPRO_"):
+                continue
+            if read.name in folded or read.name in RESULT_NEUTRAL_ENV:
+                continue
+            yield self.project_violation(
+                fn,
+                read.node,
+                f"sim-reachable function {fn.name!r} reads {read.name!r} "
+                f"but the ArtifactKey surface never folds it; fold it into "
+                f"the key or prove it result-neutral and allowlist it",
+            )
+
+
+def _attr_reads_by_class(
+    project: Project,
+    quals: Set[str],
+    restrict_to: Optional[Set[str]] = None,
+) -> Dict[str, Dict[str, int]]:
+    """``{class_qual: {field: line}}`` for dataclass-field attribute reads
+    inside ``quals`` (method calls excluded — calling ``cfg.copy()`` is
+    not a field read)."""
+    reads: Dict[str, Dict[str, int]] = {}
+    for qual in sorted(quals):
+        fn = project.functions.get(qual)
+        if fn is None:
+            continue
+        call_funcs = {
+            id(n.func) for n in walk_body(fn.node) if isinstance(n, ast.Call)
+        }
+        for node in walk_body(fn.node):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if not isinstance(node.ctx, ast.Load) or id(node) in call_funcs:
+                continue
+            owner = project.infer_type(fn, node.value)
+            if owner is None:
+                continue
+            if restrict_to is not None and owner not in restrict_to:
+                continue
+            info = project.classes.get(owner)
+            if info is None or node.attr not in info.fields:
+                continue
+            reads.setdefault(owner, {}).setdefault(node.attr, node.lineno)
+    return reads
+
+
+def _folded_attrs(
+    project: Project, ck_fn: FunctionInfo, create_call: ast.Call
+) -> Tuple[Dict[str, Set[str]], Set[str]]:
+    """Attributes folded by a key-construction call inside ``ck_fn``.
+
+    Returns ``(per-class folded attr names, classes folded whole)``; a
+    bare name of a config type anywhere in the arguments folds the whole
+    object (``config=config`` serialises every field).
+    """
+    folded: Dict[str, Set[str]] = {}
+    whole: Set[str] = set()
+    exprs: List[ast.expr] = list(create_call.args) + [
+        kw.value for kw in create_call.keywords if kw.value is not None
+    ]
+    for expr in exprs:
+        # Names that only appear as the receiver of an attribute access
+        # (`cfg` in `cfg.alpha`) fold that one field, not the object.
+        receiver_names: Set[int] = set()
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Attribute):
+                for sub in ast.walk(node.value):
+                    if isinstance(sub, ast.Name):
+                        receiver_names.add(id(sub))
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Attribute) and isinstance(
+                node.ctx, ast.Load
+            ):
+                owner = project.infer_type(ck_fn, node.value)
+                if owner is not None and owner in project.classes:
+                    if node.attr in project.classes[owner].fields:
+                        folded.setdefault(owner, set()).add(node.attr)
+            elif (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and id(node) not in receiver_names
+            ):
+                owner = project.infer_type(ck_fn, node)
+                if owner is not None and owner in project.classes:
+                    whole.add(owner)
+    return folded, whole
+
+
+@PROJECT_REGISTRY.register
+class CellKeyFieldOmittedRule(ProjectRule):
+    """Worker-read config field missing from the cell-key fingerprint.
+
+    For every fan-out passing both ``cell_key=`` and ``worker=``: the
+    set of config-dataclass fields read by the worker/init/batch_plan
+    functions (and everything they call) must be covered by the fields
+    the cell-key folds into ``ArtifactKey.create``.  An omitted field
+    means two configs differing only in that field share a cache key —
+    the second run silently reuses the first run's results.
+    """
+
+    rule_id = "KEY002"
+    summary = "config field read by worker but not folded into cell_key"
+
+    def check_project(self, project: Project) -> Iterator[Violation]:
+        for grid in grid_call_sites(project):
+            if grid.cell_key is None or grid.worker is None:
+                continue
+            yield from self._check_site(project, grid)
+
+    def _check_site(
+        self, project: Project, grid: GridSite
+    ) -> Iterator[Violation]:
+        ck_fn = project.functions.get(grid.cell_key or "")
+        if ck_fn is None:
+            return
+        create_calls = [
+            node
+            for node in walk_body(ck_fn.node)
+            if isinstance(node, ast.Call)
+            and self._is_create_call(project, ck_fn, node)
+        ]
+        if not create_calls:
+            return
+        folded: Dict[str, Set[str]] = {}
+        whole: Set[str] = set()
+        for call in create_calls:
+            call_folded, call_whole = _folded_attrs(project, ck_fn, call)
+            for owner, attrs in call_folded.items():
+                folded.setdefault(owner, set()).update(attrs)
+            whole |= call_whole
+        # Only classes the key actually touches are comparable: a class
+        # never mentioned in the create call is derived data, not config.
+        comparable = set(folded) | whole
+        if not comparable:
+            return
+        worker_quals = project.reachable(grid.bound_functions())
+        reads = _attr_reads_by_class(project, worker_quals, comparable)
+        for owner in sorted(reads):
+            if owner in whole:
+                continue
+            missing = sorted(set(reads[owner]) - folded.get(owner, set()))
+            if not missing:
+                continue
+            cls_name = owner.rsplit(".", 1)[-1]
+            yield self.project_violation(
+                ck_fn,
+                create_calls[0],
+                f"cell_key {ck_fn.name!r} folds only "
+                f"{sorted(folded.get(owner, set()))} of {cls_name} but the "
+                f"worker also reads {missing}; fold the missing field(s) "
+                f"or pass the whole config",
+                symbol=ck_fn.qualname,
+            )
+
+    def _is_create_call(
+        self, project: Project, ck_fn: FunctionInfo, call: ast.Call
+    ) -> bool:
+        parts = dotted_parts(call.func)
+        if parts is None:
+            return False
+        module = project.modules[ck_fn.module]
+        resolved = project.resolve_name(ck_fn, module, parts)
+        if resolved is None:
+            return False
+        return any(
+            resolved == s.lstrip(".") or resolved.endswith(s)
+            for s in KEY_FOLD_SUFFIXES
+        )

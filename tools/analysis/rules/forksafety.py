@@ -1,0 +1,351 @@
+"""Fork-safety rules (FORK0xx) — interprocedural.
+
+The fork pool in ``repro/experiments/parallel.py`` relies on workers
+being pure functions of (stash, cell): a forked child that mutates
+module-level state, the process environment, or the global RNG can make
+a grid's result depend on cell scheduling order — exactly the
+nondeterminism the serial==parallel bit-identity tests exist to rule
+out.  These rules walk the call graph from every worker entry point
+(``worker=``/``init=``/``batch_plan=`` bindings at ``run_cells`` call
+sites, ``_worker_loop``, ``@hot_path`` functions, and the simulation
+step roots) and flag the three mutation classes inside that reachable
+set.
+
+The one sanctioned exception: functions bound directly to ``init=`` are
+the per-worker stash writers (``_WORKER_STATE["config"] = ...``).  They
+run exactly once per child, after fork and before any cell, so their
+module-state writes are private to the child and scheduling-invariant;
+FORK001 exempts the bound function itself but not its callees.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from tools.analysis.callgraph import (
+    FunctionInfo,
+    ModuleInfo,
+    Project,
+    dotted_parts,
+    walk_body,
+)
+from tools.analysis.core import Violation
+from tools.analysis.interproc import (
+    ProjectRule,
+    worker_init_functions,
+    worker_seeds,
+)
+from tools.analysis.registry import PROJECT_REGISTRY
+
+#: Methods that mutate their receiver in place.
+_MUTATOR_METHODS = {
+    "append", "extend", "insert", "add", "update", "setdefault", "pop",
+    "popitem", "clear", "remove", "discard", "sort", "reverse",
+    "appendleft", "popleft",
+}
+
+#: ``np.random`` attributes that are explicit-Generator machinery, not
+#: the shared global stream (mirrors DET002).
+_APPROVED_NP_RANDOM = {"Generator", "BitGenerator", "PCG64", "SeedSequence"}
+
+#: The sanctioned RNG wrapper module: it is *allowed* to touch numpy's
+#: Generator construction surface.
+_RNG_MODULE_SUFFIX = "repro/utils/rng.py"
+
+
+def _root_name(expr: ast.expr) -> Optional[str]:
+    """Peel ``x[...].attr[...]`` down to the root ``Name``, if any."""
+    while isinstance(expr, (ast.Subscript, ast.Attribute)):
+        expr = expr.value
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return None
+
+
+def _scope_local_names(project: Project, fn: FunctionInfo) -> Set[str]:
+    """Names bound locally in ``fn`` or any enclosing function (closures)."""
+    names: Set[str] = set()
+    scope: Optional[FunctionInfo] = fn
+    while scope is not None:
+        names |= scope.local_names
+        names |= set(scope.imports)
+        scope = project.functions.get(scope.parent) if scope.parent else None
+    return names
+
+
+def _module_state_target(
+    project: Project, module: ModuleInfo, fn: FunctionInfo, expr: ast.expr
+) -> Optional[str]:
+    """If storing through ``expr`` mutates module-level state, name it."""
+    if not isinstance(expr, (ast.Subscript, ast.Attribute)):
+        return None
+    root = _root_name(expr)
+    if root is None or root in _scope_local_names(project, fn):
+        return None
+    if root in module.module_names:
+        return root
+    if isinstance(expr, ast.Attribute) and root in module.module_aliases:
+        return root  # ``mod.attr = ...`` on an imported module
+    return None
+
+
+def _reachable_workers(
+    project: Project,
+) -> Tuple[Dict[str, FunctionInfo], Set[str]]:
+    reachable = {
+        qual: project.functions[qual]
+        for qual in project.reachable(worker_seeds(project))
+    }
+    return reachable, worker_init_functions(project)
+
+
+@PROJECT_REGISTRY.register
+class ForkModuleStateRule(ProjectRule):
+    """No module-level state writes in worker-reachable code.
+
+    A forked worker that assigns a module global, stores into a
+    module-level container, or mutates it in place (``append``/
+    ``update``/...) couples cells through scheduling order.  Stash
+    per-worker state via the ``init=`` hook instead — functions bound
+    directly to ``init=`` are exempt because they run once per child
+    before any cell.
+    """
+
+    rule_id = "FORK001"
+    summary = "module-level state write in worker-reachable code"
+
+    def check_project(self, project: Project) -> Iterator[Violation]:
+        reachable, init_fns = _reachable_workers(project)
+        for qual in sorted(reachable):
+            if qual in init_fns:
+                continue
+            fn = reachable[qual]
+            module = project.modules[fn.module]
+            yield from self._check_function(project, module, fn)
+
+    def _check_function(
+        self, project: Project, module: ModuleInfo, fn: FunctionInfo
+    ) -> Iterator[Violation]:
+        global_names: Set[str] = set()
+        for node in walk_body(fn.node):
+            if isinstance(node, ast.Global):
+                global_names.update(node.names)
+        for node in walk_body(fn.node):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = list(node.targets)
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id in global_names:
+                    yield self.project_violation(
+                        fn,
+                        node,
+                        f"worker-reachable function {fn.name!r} assigns "
+                        f"module global {target.id!r}; stash per-worker "
+                        f"state via the init= hook instead",
+                    )
+                    continue
+                name = _module_state_target(project, module, fn, target)
+                if name is not None:
+                    yield self.project_violation(
+                        fn,
+                        node,
+                        f"worker-reachable function {fn.name!r} writes "
+                        f"module-level state {name!r}; forked cells must "
+                        f"not share mutable module state",
+                    )
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATOR_METHODS
+            ):
+                root = _root_name(node.func.value)
+                if (
+                    root is not None
+                    and root not in _scope_local_names(project, fn)
+                    and root in module.module_names
+                ):
+                    yield self.project_violation(
+                        fn,
+                        node,
+                        f"worker-reachable function {fn.name!r} calls "
+                        f".{node.func.attr}() on module-level "
+                        f"{root!r}; forked cells must not mutate shared "
+                        f"containers",
+                    )
+
+
+@PROJECT_REGISTRY.register
+class ForkEnvironMutationRule(ProjectRule):
+    """No ``os.environ`` mutation in worker-reachable code.
+
+    The env carriers (``REPRO_FAULTS``, ``REPRO_TRACE``...) are set by
+    the parent *before* fork so children inherit them read-only; a
+    worker that writes the environment desynchronises siblings and
+    poisons ``ArtifactKey`` fault-env folding for every later cell in
+    the same process.
+    """
+
+    rule_id = "FORK002"
+    summary = "os.environ mutation in worker-reachable code"
+
+    def check_project(self, project: Project) -> Iterator[Violation]:
+        reachable, _ = _reachable_workers(project)
+        for qual in sorted(reachable):
+            fn = reachable[qual]
+            yield from self._check_function(fn)
+
+    def _is_environ(self, expr: ast.expr) -> bool:
+        parts = dotted_parts(expr)
+        return parts is not None and parts[-1] == "environ"
+
+    def _check_function(self, fn: FunctionInfo) -> Iterator[Violation]:
+        for node in walk_body(fn.node):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+                targets = (
+                    node.targets
+                    if isinstance(node, (ast.Assign, ast.Delete))
+                    else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Subscript) and self._is_environ(
+                        target.value
+                    ):
+                        yield self.project_violation(
+                            fn,
+                            node,
+                            f"worker-reachable function {fn.name!r} mutates "
+                            f"os.environ; carriers must be set pre-fork by "
+                            f"the parent only",
+                        )
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                parts = dotted_parts(node.func)
+                if parts is None:
+                    continue
+                if (
+                    len(parts) >= 2
+                    and parts[-2] == "environ"
+                    and parts[-1] in _MUTATOR_METHODS
+                ):
+                    yield self.project_violation(
+                        fn,
+                        node,
+                        f"worker-reachable function {fn.name!r} calls "
+                        f"os.environ.{parts[-1]}(); carriers must be set "
+                        f"pre-fork by the parent only",
+                    )
+                elif parts[-1] in ("putenv", "unsetenv"):
+                    yield self.project_violation(
+                        fn,
+                        node,
+                        f"worker-reachable function {fn.name!r} calls "
+                        f"os.{parts[-1]}(); carriers must be set pre-fork "
+                        f"by the parent only",
+                    )
+
+
+@PROJECT_REGISTRY.register
+class ForkGlobalRngRule(ProjectRule):
+    """No global-RNG use in worker-reachable code.
+
+    ``np.random.*`` module functions and stdlib ``random`` share hidden
+    global state; after fork every child inherits the same stream, so
+    draws depend on how many cells each worker has already run.  All
+    worker randomness must come from explicitly seeded
+    ``np.random.Generator`` streams (see ``repro/utils/rng.py``).
+    """
+
+    rule_id = "FORK003"
+    summary = "global RNG (np.random.*/random.*) in worker-reachable code"
+
+    def check_project(self, project: Project) -> Iterator[Violation]:
+        reachable, _ = _reachable_workers(project)
+        for qual in sorted(reachable):
+            fn = reachable[qual]
+            if fn.rel_path.endswith(_RNG_MODULE_SUFFIX):
+                continue
+            module = project.modules[fn.module]
+            yield from self._check_function(project, module, fn)
+
+    def _normalized(
+        self,
+        project: Project,
+        module: ModuleInfo,
+        fn: FunctionInfo,
+        parts: Tuple[str, ...],
+    ) -> Tuple[str, ...]:
+        """Rewrite the leading alias through the import table
+        (``np`` -> ``numpy``, ``from random import random`` -> dotted)."""
+        head = parts[0]
+        target: Optional[str] = None
+        scope: Optional[FunctionInfo] = fn
+        while scope is not None and target is None:
+            target = scope.imports.get(head)
+            scope = project.functions.get(scope.parent) if scope.parent else None
+        if target is None:
+            target = module.imports.get(head)
+        if target is None:
+            return parts
+        return tuple(target.split(".")) + parts[1:]
+
+    def _check_function(
+        self, project: Project, module: ModuleInfo, fn: FunctionInfo
+    ) -> Iterator[Violation]:
+        reported: Set[int] = set()
+        for node in walk_body(fn.node):
+            parts = dotted_parts(node) if isinstance(node, ast.Attribute) else None
+            if parts is not None and len(parts) >= 3:
+                full = self._normalized(project, module, fn, parts)
+                if (
+                    len(full) >= 3
+                    and full[0] == "numpy"
+                    and full[1] == "random"
+                    and full[2] not in _APPROVED_NP_RANDOM
+                    and node.lineno not in reported
+                ):
+                    reported.add(node.lineno)
+                    yield self.project_violation(
+                        fn,
+                        node,
+                        f"worker-reachable function {fn.name!r} uses global "
+                        f"numpy RNG np.random.{full[2]}; draw from an "
+                        f"explicit seeded Generator instead",
+                    )
+            if isinstance(node, ast.Call):
+                call_parts = dotted_parts(node.func)
+                if call_parts is None:
+                    continue
+                head = call_parts[0]
+                target: Optional[str] = None
+                scope: Optional[FunctionInfo] = fn
+                while scope is not None and target is None:
+                    target = scope.imports.get(head)
+                    scope = (
+                        project.functions.get(scope.parent)
+                        if scope.parent
+                        else None
+                    )
+                if target is None:
+                    target = module.imports.get(head)
+                if target is None:
+                    continue
+                full = tuple(target.split(".")) + call_parts[1:]
+                if (
+                    full[0] == "random"
+                    and len(full) >= 2
+                    and node.lineno not in reported
+                ):
+                    reported.add(node.lineno)
+                    yield self.project_violation(
+                        fn,
+                        node,
+                        f"worker-reachable function {fn.name!r} calls stdlib "
+                        f"random.{full[-1]}(); its hidden global state is "
+                        f"shared across forked cells",
+                    )

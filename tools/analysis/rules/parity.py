@@ -1,0 +1,318 @@
+"""Scalar/batch parity rule (PAR001) — interprocedural.
+
+``repro/sim/batch.py`` re-implements the scalar kernel's per-step
+pipeline as lockstep tensor operations, and the repo's headline claim
+is that the two are *bit-identical*.  That claim is enforced by the
+equivalence property tests — but only for behaviours the tests cover.
+The parity registry (``tools/analysis/parity.json``) makes the pairing
+itself a checked artifact: every scalar kernel function is mapped to
+its batch twin (grouped, because the batch side often splits one scalar
+method across several phases), and a normalized body hash of each side
+is recorded.
+
+PAR001 fires when:
+
+* one side of a group changed since the recorded hash but the other did
+  not — the classic "fixed the scalar kernel, forgot the batch twin";
+* both sides changed without refreshing the registry — the edit may be
+  fine, but the hashes must be re-recorded (``--update-parity``) *after*
+  re-running the equivalence suite, making that verification step
+  visible in the diff;
+* a registry entry names a function that no longer exists; or
+* a new private method becomes reachable from ``Simulator.step`` without
+  being mapped in any group or listed in ``scalar_only`` (batch-
+  ineligible behaviours, with the reason recorded).
+
+Hashes are over ``ast.dump`` with docstrings stripped, so comments and
+formatting never trigger the rule — only structural edits do.
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from tools.analysis.callgraph import FunctionNode, Project
+from tools.analysis.core import Violation
+from tools.analysis.interproc import ProjectRule
+from tools.analysis.registry import PROJECT_REGISTRY
+
+DEFAULT_REGISTRY_PATH = Path(__file__).resolve().parents[1] / "parity.json"
+
+__all__ = [
+    "DEFAULT_REGISTRY_PATH",
+    "ParityGroup",
+    "ParityRegistry",
+    "load_registry",
+    "function_hash",
+    "group_hash",
+    "update_parity",
+]
+
+
+def function_hash(node: FunctionNode) -> str:
+    """Normalized structural hash of one function body (+signature).
+
+    Docstrings are stripped and the hash is over ``ast.dump`` (no line
+    numbers), so reformatting and comment edits never change it.
+    """
+    clone = copy.deepcopy(node)
+    if (
+        clone.body
+        and isinstance(clone.body[0], ast.Expr)
+        and isinstance(clone.body[0].value, ast.Constant)
+        and isinstance(clone.body[0].value.value, str)
+    ):
+        clone.body = clone.body[1:] or [ast.Pass()]
+    return hashlib.sha256(ast.dump(clone).encode("utf-8")).hexdigest()[:16]
+
+
+def group_hash(pairs: Sequence[Tuple[str, FunctionNode]]) -> str:
+    payload = "\n".join(f"{qual}={function_hash(node)}" for qual, node in pairs)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class ParityGroup:
+    name: str
+    scalar: List[str]
+    batch: List[str]
+    scalar_hash: str = ""
+    batch_hash: str = ""
+
+
+@dataclass
+class ParityRegistry:
+    kernel_root: str
+    groups: List[ParityGroup] = field(default_factory=list)
+    #: scalar-only kernel functions: qualname -> reason they have no twin
+    scalar_only: Dict[str, str] = field(default_factory=dict)
+    description: str = ""
+
+    def mapped_scalar(self) -> Set[str]:
+        mapped: Set[str] = set(self.scalar_only)
+        for group in self.groups:
+            mapped.update(group.scalar)
+        return mapped
+
+    def to_json(self) -> str:
+        payload = {
+            "description": self.description,
+            "kernel_root": self.kernel_root,
+            "groups": [
+                {
+                    "name": g.name,
+                    "scalar": g.scalar,
+                    "batch": g.batch,
+                    "scalar_hash": g.scalar_hash,
+                    "batch_hash": g.batch_hash,
+                }
+                for g in self.groups
+            ],
+            "scalar_only": self.scalar_only,
+        }
+        return json.dumps(payload, indent=2) + "\n"
+
+
+def load_registry(path: Path) -> ParityRegistry:
+    raw = json.loads(path.read_text(encoding="utf-8"))
+    return ParityRegistry(
+        kernel_root=raw["kernel_root"],
+        groups=[
+            ParityGroup(
+                name=g["name"],
+                scalar=list(g["scalar"]),
+                batch=list(g["batch"]),
+                scalar_hash=g.get("scalar_hash", ""),
+                batch_hash=g.get("batch_hash", ""),
+            )
+            for g in raw.get("groups", [])
+        ],
+        scalar_only=dict(raw.get("scalar_only", {})),
+        description=raw.get("description", ""),
+    )
+
+
+def _module_present(project: Project, qualname: str) -> bool:
+    parts = qualname.split(".")
+    return any(
+        ".".join(parts[:cut]) in project.modules
+        for cut in range(len(parts) - 1, 0, -1)
+    )
+
+
+def _side_nodes(
+    project: Project, quals: Sequence[str]
+) -> Tuple[Optional[List[Tuple[str, FunctionNode]]], List[str]]:
+    """(resolved (qual, node) pairs or None if module absent, missing quals)."""
+    pairs: List[Tuple[str, FunctionNode]] = []
+    missing: List[str] = []
+    any_module = False
+    for qual in quals:
+        if not _module_present(project, qual):
+            continue
+        any_module = True
+        fn = project.functions.get(qual)
+        if fn is None:
+            missing.append(qual)
+        else:
+            pairs.append((qual, fn.node))
+    if not any_module:
+        return None, []
+    return pairs, missing
+
+
+@PROJECT_REGISTRY.register
+class ScalarBatchParityRule(ProjectRule):
+    """Scalar kernel and ``BatchSimulator`` twin drifted apart.
+
+    The parity registry pins a normalized body hash for each side of
+    every scalar↔batch function group; editing one side without the
+    other (or without refreshing the registry after re-running the
+    equivalence tests via ``--update-parity``) breaks the gate.  New
+    private methods reachable from ``Simulator.step`` must be mapped or
+    explicitly recorded as batch-ineligible in ``scalar_only``.
+    """
+
+    rule_id = "PAR001"
+    summary = "scalar kernel / batch twin drift (parity registry mismatch)"
+
+    #: Overridable for fixture tests.
+    registry_path: Path = DEFAULT_REGISTRY_PATH
+
+    def check_project(self, project: Project) -> Iterator[Violation]:
+        if not self.registry_path.exists():
+            return
+        registry = load_registry(self.registry_path)
+        for group in registry.groups:
+            yield from self._check_group(project, group)
+        yield from self._check_unmapped(project, registry)
+
+    def _violation_at(
+        self, project: Project, qual: str, message: str
+    ) -> Violation:
+        fn = project.functions.get(qual)
+        if fn is not None:
+            return Violation(
+                path=fn.rel_path,
+                line=fn.line,
+                rule_id=self.rule_id,
+                message=message,
+                symbol=qual,
+            )
+        return Violation(
+            path=str(self.registry_path),
+            line=1,
+            rule_id=self.rule_id,
+            message=message,
+            symbol=qual,
+        )
+
+    def _check_group(
+        self, project: Project, group: ParityGroup
+    ) -> Iterator[Violation]:
+        scalar_pairs, scalar_missing = _side_nodes(project, group.scalar)
+        batch_pairs, batch_missing = _side_nodes(project, group.batch)
+        for qual in [*scalar_missing, *batch_missing]:
+            yield self._violation_at(
+                project,
+                qual,
+                f"parity group {group.name!r} lists {qual} but it no longer "
+                f"exists; update tools/analysis/parity.json",
+            )
+        if scalar_missing or batch_missing:
+            return
+        if scalar_pairs is None or batch_pairs is None:
+            return  # that side's module isn't part of this analysis run
+        scalar_now = group_hash(scalar_pairs)
+        batch_now = group_hash(batch_pairs)
+        scalar_changed = scalar_now != group.scalar_hash
+        batch_changed = batch_now != group.batch_hash
+        anchor_scalar = group.scalar[0]
+        anchor_batch = group.batch[0]
+        if not group.scalar_hash or not group.batch_hash:
+            yield self._violation_at(
+                project,
+                anchor_scalar,
+                f"parity group {group.name!r} has no recorded hash; run "
+                f"python -m tools.analysis --update-parity after verifying "
+                f"equivalence",
+            )
+        elif scalar_changed and not batch_changed:
+            yield self._violation_at(
+                project,
+                anchor_scalar,
+                f"scalar side of parity group {group.name!r} changed but its "
+                f"batch twin did not; port the change to "
+                f"{', '.join(group.batch)} (or re-verify bit-identity and "
+                f"run --update-parity)",
+            )
+        elif batch_changed and not scalar_changed:
+            yield self._violation_at(
+                project,
+                anchor_batch,
+                f"batch side of parity group {group.name!r} changed but its "
+                f"scalar twin did not; port the change to "
+                f"{', '.join(group.scalar)} (or re-verify bit-identity and "
+                f"run --update-parity)",
+            )
+        elif scalar_changed and batch_changed:
+            yield self._violation_at(
+                project,
+                anchor_scalar,
+                f"both sides of parity group {group.name!r} changed; re-run "
+                f"the batch equivalence suite and refresh the registry with "
+                f"--update-parity",
+            )
+
+    def _check_unmapped(
+        self, project: Project, registry: ParityRegistry
+    ) -> Iterator[Violation]:
+        root = project.functions.get(registry.kernel_root)
+        if root is None or root.class_qualname is None:
+            return
+        mapped = registry.mapped_scalar()
+        for qual in sorted(project.reachable([registry.kernel_root])):
+            fn = project.functions[qual]
+            if fn.class_qualname != root.class_qualname:
+                continue
+            if not fn.name.startswith("_"):
+                continue
+            if qual in mapped:
+                continue
+            yield self._violation_at(
+                project,
+                qual,
+                f"kernel function {fn.name!r} is reachable from "
+                f"{registry.kernel_root} but unmapped in the parity "
+                f"registry; pair it with its batch twin or record it in "
+                f"scalar_only with a reason",
+            )
+
+
+def update_parity(
+    project: Project, path: Path = DEFAULT_REGISTRY_PATH
+) -> List[str]:
+    """Recompute and write registry hashes; returns refreshed group names."""
+    registry = load_registry(path)
+    refreshed: List[str] = []
+    for group in registry.groups:
+        scalar_pairs, scalar_missing = _side_nodes(project, group.scalar)
+        batch_pairs, batch_missing = _side_nodes(project, group.batch)
+        if scalar_missing or batch_missing:
+            continue
+        if scalar_pairs is None or batch_pairs is None:
+            continue
+        scalar_now = group_hash(scalar_pairs)
+        batch_now = group_hash(batch_pairs)
+        if scalar_now != group.scalar_hash or batch_now != group.batch_hash:
+            refreshed.append(group.name)
+        group.scalar_hash = scalar_now
+        group.batch_hash = batch_now
+    path.write_text(registry.to_json(), encoding="utf-8")
+    return refreshed

@@ -1,0 +1,71 @@
+"""SARIF 2.1.0 output for CI code-scanning integration.
+
+One run, one driver ("repro-lint"), one result per violation.  Paths
+are repo-relative URIs (guaranteed by the core driver), so uploads from
+any checkout produce identical artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from tools.analysis.core import Rule, Violation
+
+__all__ = ["report_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def report_sarif(
+    violations: Sequence[Violation], rules: Sequence[Rule]
+) -> str:
+    rule_descriptors = [
+        {
+            "id": rule.rule_id,
+            "shortDescription": {"text": rule.summary},
+            "fullDescription": {
+                "text": " ".join((rule.__class__.__doc__ or "").split())
+            },
+        }
+        for rule in rules
+    ]
+    results = []
+    for violation in violations:
+        result = {
+            "ruleId": violation.rule_id,
+            "level": "warning" if violation.rule_id == "IGNORE" else "error",
+            "message": {"text": violation.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": violation.path},
+                        "region": {"startLine": max(1, violation.line)},
+                    }
+                }
+            ],
+        }
+        if violation.symbol:
+            result["properties"] = {"symbol": violation.symbol}
+        results.append(result)
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "docs/architecture.md",
+                        "rules": rule_descriptors,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
