@@ -1,0 +1,83 @@
+"""Adapt catalog applications to platforms beyond big.LITTLE.
+
+The application catalog carries measured per-cluster parameters for the
+HiKey 970's ``LITTLE`` and ``big`` clusters only.  Other registry
+platforms may have clusters the catalog never measured (a ``prime`` core,
+a homogeneous ``grid``); their :class:`~repro.platform.spec.ClusterSpec`
+declares a derivation hint — ``perf_like`` names the measured cluster to
+inherit from and ``perf_scale`` the dimensionless speedup to apply.
+
+:func:`adapt_app_for_platform` applies those hints.  It is called once
+per submission by :meth:`repro.sim.kernel.Simulator.submit`, which makes
+it the single choke point every execution path (workload runner, trace
+collector, batch backend) goes through.  For applications that already
+cover every cluster — every catalog app on the HiKey 970 — the input
+object is returned unchanged, so existing behavior (including object
+identity and the per-app parameter memoization) is untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List
+
+from repro.apps.model import AppModel, ClusterPerfParams
+from repro.platform.description import Platform
+from repro.platform.registry import spec_for_platform
+
+
+def derived_perf_params(
+    base: ClusterPerfParams, perf_scale: float
+) -> ClusterPerfParams:
+    """Scale measured cluster parameters by a dimensionless speedup.
+
+    A ``perf_scale`` of s makes the derived cluster retire instructions
+    s times faster at equal frequency: CPI and the memory stall time per
+    instruction divide by s, while the activity factor and the
+    memory/frequency coupling are microarchitecture-portable and carry
+    over unchanged.
+    """
+    return ClusterPerfParams(
+        cpi=base.cpi / perf_scale,
+        mem_time_per_inst=base.mem_time_per_inst / perf_scale,
+        activity=base.activity,
+        mem_freq_coupling=base.mem_freq_coupling,
+        mem_ref_freq_hz=base.mem_ref_freq_hz,
+    )
+
+
+def adapt_app_for_platform(app: AppModel, platform: Platform) -> AppModel:
+    """Fill in per-cluster parameters ``app`` is missing on ``platform``.
+
+    Returns ``app`` itself when it already has parameters for every
+    cluster (the big.LITTLE fast path), or a copy extended with derived
+    :class:`ClusterPerfParams` for clusters whose registry spec carries a
+    ``perf_like`` hint that references parameters the app has.  Clusters
+    that cannot be derived (no registry spec, no hint, unknown base) are
+    left missing, preserving the legacy behavior of failing loudly at
+    first use.
+    """
+    missing: List[str] = [
+        c.name for c in platform.clusters if c.name not in app.perf
+    ]
+    if not missing:
+        return app
+    spec = spec_for_platform(platform)
+    if spec is None:
+        return app
+    perf: Dict[str, ClusterPerfParams] = dict(app.perf)
+    derived_any = False
+    for cluster_name in missing:
+        cluster_spec = spec.cluster(cluster_name)
+        if cluster_spec.perf_like is None:
+            continue
+        base = perf.get(cluster_spec.perf_like)
+        if base is None:
+            continue
+        perf[cluster_name] = derived_perf_params(
+            base, cluster_spec.perf_scale
+        )
+        derived_any = True
+    if not derived_any:
+        return app
+    return replace(app, perf=perf)

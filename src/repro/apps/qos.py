@@ -4,39 +4,83 @@ The paper expresses QoS targets in IPS.  Two selection rules appear in the
 evaluation:
 
 * the motivational example and illustrative runs set the target to a
-  fraction (30 %) of the IPS reached at the highest VF level on the big
-  cluster;
-* the single-application experiments set targets "such that they can be met
-  at the highest VF level on the LITTLE cluster".
+  fraction (30 %) of the IPS reached at the highest VF level on the
+  fastest cluster (big, on the HiKey 970);
+* the single-application experiments set targets "such that they can be
+  met at the highest VF level on the LITTLE cluster" — i.e. on the
+  platform's *reference* (slowest) cluster.
 
 Both helpers live here so every experiment selects targets identically.
+On big.LITTLE the reference cluster is ``LITTLE`` and the fastest is
+``big``; the cluster selectors generalize the same rules to any registry
+platform (a single-cluster grid is its own reference *and* fastest
+cluster).
 """
 
 from __future__ import annotations
 
+from repro.apps.adapt import adapt_app_for_platform
 from repro.apps.model import AppModel
-from repro.platform.description import Platform
-from repro.platform.hikey import BIG, LITTLE
+from repro.platform.description import Cluster, Platform
 from repro.utils.validation import check_in_range
+
+
+def reference_cluster(platform: Platform) -> Cluster:
+    """The cluster with the lowest peak frequency (``LITTLE`` on big.LITTLE).
+
+    QoS targets feasible at this cluster's top VF level are feasible on
+    every cluster in isolation, which is what makes it the reference for
+    target selection.  Ties resolve to declaration order.
+    """
+    best = platform.clusters[0]
+    for cluster in platform.clusters[1:]:
+        if (
+            cluster.vf_table.max_level.frequency_hz
+            < best.vf_table.max_level.frequency_hz
+        ):
+            best = cluster
+    return best
+
+
+def fastest_cluster(platform: Platform) -> Cluster:
+    """The cluster with the highest peak frequency (``big`` on big.LITTLE).
+
+    Ties resolve to declaration order.
+    """
+    best = platform.clusters[0]
+    for cluster in platform.clusters[1:]:
+        if (
+            cluster.vf_table.max_level.frequency_hz
+            > best.vf_table.max_level.frequency_hz
+        ):
+            best = cluster
+    return best
 
 
 def qos_fraction_of_big_max(
     app: AppModel, platform: Platform, fraction: float = 0.3
 ) -> float:
-    """QoS target as ``fraction`` of the app's big-cluster peak IPS."""
+    """QoS target as ``fraction`` of the app's fastest-cluster peak IPS."""
     check_in_range("fraction", fraction, 0.0, 1.0)
-    big = platform.cluster(BIG)
-    return fraction * app.max_ips(BIG, big.vf_table)
+    app = adapt_app_for_platform(app, platform)
+    fastest = fastest_cluster(platform)
+    return fraction * app.max_ips(fastest.name, fastest.vf_table)
 
 
 def default_qos_target(
     app: AppModel, platform: Platform, fraction_of_little_max: float = 0.75
 ) -> float:
-    """QoS target reachable at the top LITTLE level (single-app experiments).
+    """QoS target reachable at the top reference-cluster VF level.
 
-    A fraction of the LITTLE-cluster peak IPS guarantees feasibility on both
-    clusters while leaving DVFS headroom, mirroring Sec. 7.3.
+    A fraction of the reference (slowest) cluster's peak IPS guarantees
+    feasibility on every cluster while leaving DVFS headroom, mirroring
+    Sec. 7.3's LITTLE-feasible targets.
     """
-    check_in_range("fraction_of_little_max", fraction_of_little_max, 0.0, 1.0)
-    little = platform.cluster(LITTLE)
-    return fraction_of_little_max * app.max_ips(LITTLE, little.vf_table)
+    check_in_range(
+        "fraction_of_little_max", fraction_of_little_max, 0.0, 1.0
+    )
+    app = adapt_app_for_platform(app, platform)
+    reference = reference_cluster(platform)
+    return fraction_of_little_max * app.max_ips(
+        reference.name, reference.vf_table
+    )

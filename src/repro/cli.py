@@ -4,12 +4,16 @@ Usage::
 
     python -m repro.cli list
     python -m repro.cli run fig8 [--scale smoke|medium|paper]
+                                 [--platform NAME]
                                  [--cache-dir DIR | --no-cache]
                                  [--trace] [--trace-dir DIR]
                                  [--faults PLAN] [--fault-seed N]
     python -m repro.cli report [--scale medium] [--out EXPERIMENTS.md]
+                               [--platform NAME]
                                [--cache-dir DIR | --no-cache]
                                [--trace] [--trace-dir DIR]
+    python -m repro.cli platform list
+    python -m repro.cli platform show NAME
     python -m repro.cli cache stats [--cache-dir DIR]
     python -m repro.cli cache gc [--cache-dir DIR] [--max-age-s SECONDS]
     python -m repro.cli cache clear [--cache-dir DIR]
@@ -23,6 +27,12 @@ trace grids, and experiment-grid cells are reused across invocations when
 their keys match, so a warm re-run recomputes only what changed.
 ``--no-cache`` disables the store entirely.  ``--cache`` is accepted as an
 alias of ``--cache-dir``.  See ``docs/caching.md``.
+
+``--platform`` selects the simulated SoC from the platform registry
+(default ``hikey970``); ``platform list`` enumerates the registry and
+``platform show NAME`` prints one platform's declarative spec.  Artifact
+keys include the platform fingerprint, so per-platform results coexist in
+one cache.  See ``docs/platforms.md``.
 
 ``cache`` inspects or prunes the store: ``stats`` prints the per-kind
 entry count and byte footprint, ``gc`` reaps temp files from killed
@@ -55,10 +65,12 @@ from repro.experiments.assets import AssetConfig, AssetStore
 from repro.experiments.report import ReportScale, generate_report
 from repro.faults import FAULT_SEED_ENV, FAULTS_ENV, FaultPlan
 from repro.obs.config import TRACE_DIR_ENV, TRACE_ENV
+from repro.platform.registry import get_platform, get_spec, platform_names
 from repro.store import ArtifactStore
 from repro.utils.tables import ascii_table
 
 DEFAULT_CACHE = ".repro_cache"
+DEFAULT_PLATFORM = "hikey970"
 
 
 def _scale(name: str) -> ReportScale:
@@ -73,11 +85,16 @@ def _scale(name: str) -> ReportScale:
     return factory()
 
 
-def _assets(cache_dir: Optional[str], scale_name: str) -> AssetStore:
+def _assets(
+    cache_dir: Optional[str],
+    scale_name: str,
+    platform_name: str = DEFAULT_PLATFORM,
+) -> AssetStore:
     """Build (or load from the store at ``cache_dir``) one scale's assets.
 
     ``cache_dir=None`` disables the artifact store: everything is built
-    in-process and nothing is persisted.
+    in-process and nothing is persisted.  ``platform_name`` selects the
+    simulated SoC from the platform registry.
     """
     if scale_name == "paper":
         config = AssetConfig.paper(cache_dir=cache_dir)
@@ -91,7 +108,14 @@ def _assets(cache_dir: Optional[str], scale_name: str) -> AssetStore:
         )
     else:
         config = AssetConfig.smoke(cache_dir=cache_dir)
-    return AssetStore(config=config)
+    try:
+        platform = get_platform(platform_name)
+    except KeyError:
+        raise SystemExit(
+            f"unknown platform {platform_name!r}; "
+            f"known: {platform_names()}"
+        ) from None
+    return AssetStore(platform, config=config)
 
 
 def _resolve_cache_dir(args: argparse.Namespace) -> Optional[str]:
@@ -192,6 +216,47 @@ def _cache_command(args: argparse.Namespace) -> int:
     return 2
 
 
+def _platform_command(args: argparse.Namespace) -> int:
+    """``platform list|show`` against the platform registry."""
+    from repro.store.keys import platform_fingerprint
+
+    if args.platform_command == "list":
+        rows = []
+        for name in platform_names():
+            spec = get_spec(name)
+            rows.append(
+                (
+                    name,
+                    spec.n_cores,
+                    ", ".join(spec.cluster_names),
+                    "yes" if spec.npu.present else "no",
+                    platform_fingerprint(get_platform(name)),
+                )
+            )
+        print(
+            ascii_table(
+                ["platform", "cores", "clusters", "NPU", "fingerprint"], rows
+            )
+        )
+        return 0
+    if args.platform_command == "show":
+        try:
+            spec = get_spec(args.name)
+        except KeyError:
+            print(
+                f"unknown platform {args.name!r}; known: {platform_names()}",
+                file=sys.stderr,
+            )
+            return 2
+        import json
+
+        if spec.description:
+            print(f"# {spec.description}")
+        print(json.dumps(spec.to_dict(), indent=2))
+        return 0
+    return 2
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code.
 
@@ -214,6 +279,18 @@ def main(argv=None) -> int:
     report_p = sub.add_parser("report", help="run the whole evaluation")
     report_p.add_argument("--scale", default="medium")
     report_p.add_argument("--out", default="EXPERIMENTS.md")
+
+    platform_p = sub.add_parser(
+        "platform", help="inspect the platform registry"
+    )
+    platform_sub = platform_p.add_subparsers(
+        dest="platform_command", required=True
+    )
+    platform_sub.add_parser("list", help="list registered platforms")
+    platform_show_p = platform_sub.add_parser(
+        "show", help="print one platform's declarative spec"
+    )
+    platform_show_p.add_argument("name")
 
     cache_p = sub.add_parser("cache", help="inspect or manage the artifact store")
     cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
@@ -240,6 +317,12 @@ def main(argv=None) -> int:
             help=f"artifact store root (default {DEFAULT_CACHE})",
         )
     for cmd_p in (run_p, report_p):
+        cmd_p.add_argument(
+            "--platform",
+            default=DEFAULT_PLATFORM,
+            help=f"platform registry name (default {DEFAULT_PLATFORM}; "
+            "see `platform list`)",
+        )
         cmd_p.add_argument(
             "--no-cache",
             action="store_true",
@@ -278,10 +361,15 @@ def main(argv=None) -> int:
     if args.command == "cache":
         return _cache_command(args)
 
+    if args.command == "platform":
+        return _platform_command(args)
+
     if args.command == "run":
         with _carrier_env(_command_env(args)):
             scale = _scale(args.scale)
-            assets = _assets(_resolve_cache_dir(args), args.scale)
+            assets = _assets(
+                _resolve_cache_dir(args), args.scale, args.platform
+            )
             spec = EXPERIMENTS.get(args.experiment)
             if spec is None:
                 print(
@@ -296,7 +384,9 @@ def main(argv=None) -> int:
     if args.command == "report":
         with _carrier_env(_command_env(args)):
             scale = _scale(args.scale)
-            assets = _assets(_resolve_cache_dir(args), args.scale)
+            assets = _assets(
+                _resolve_cache_dir(args), args.scale, args.platform
+            )
             report = generate_report(assets, scale)
             with open(args.out, "w") as handle:
                 handle.write(report)

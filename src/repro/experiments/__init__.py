@@ -23,6 +23,7 @@ ablation        design-choice studies: labels, features, periods,
 stability       extension — IL-vs-RL stability metrics
 optimality      extension — gap to a privileged oracle static mapping
 robustness      extension — ambient-temperature robustness
+platforms       extension — cross-platform comparison (platform zoo)
 report          run everything, render EXPERIMENTS.md
 ==============  ===========================================================
 """
@@ -103,6 +104,13 @@ __all__ += ["run_rl_variant_ablation"]
 from repro.experiments.resilience import ResilienceConfig, run_resilience
 
 __all__ += ["ResilienceConfig", "run_resilience"]
+
+from repro.experiments.platforms import (
+    PlatformComparisonConfig,
+    run_platform_comparison,
+)
+
+__all__ += ["PlatformComparisonConfig", "run_platform_comparison"]
 
 
 # --------------------------------------------------------------------------
@@ -243,6 +251,10 @@ def _ambient_body(assets, scale, registry):
 
 def _resilience_body(assets, scale, registry):
     return run_resilience(assets, scale.resilience, registry=registry).report()
+
+
+def _platforms_body(assets, scale, registry):
+    return run_platform_comparison(assets, scale.platforms).report()
 
 
 def _rl_variants_body(assets, scale, registry):
@@ -394,6 +406,18 @@ EXPERIMENT_SPECS: _Tuple[ExperimentSpec, ...] = (
             "absorb the failures."
         ),
         body=_resilience_body,
+        uses_store=True,
+    ),
+    ExperimentSpec(
+        name="platforms",
+        title="Extension — cross-platform comparison (platform zoo)",
+        paper_claim=(
+            "not in the paper (single-board evaluation); checks that "
+            "nothing in TOP-IL is HiKey-specific by running the mixed "
+            "workload on every registered platform — big.LITTLE with NPU, "
+            "a tri-cluster phone SoC, and an NPU-less many-core grid."
+        ),
+        body=_platforms_body,
         uses_store=True,
     ),
     ExperimentSpec(

@@ -23,6 +23,8 @@ from repro.governors.techniques import GTSOndemand, GTSPowersave
 from repro.il.technique import TopIL
 from repro.metrics.cputime import CpuTimeByVF
 from repro.obs.config import Observability
+from repro.platform.description import Platform
+from repro.platform.registry import spec_for_platform
 from repro.rl.technique import TopRL
 from repro.store import ArtifactKey, cell_artifact_key
 from repro.thermal import CoolingConfig, FAN_COOLING, PASSIVE_COOLING
@@ -39,6 +41,26 @@ from repro.workloads.runner import (
 EXPERIMENT_NAME = "main_mixed"
 
 TECHNIQUE_NAMES = ("TOP-IL", "TOP-RL", "GTS/ondemand", "GTS/powersave")
+
+#: Techniques that require a big.LITTLE topology: GTS is the Arm
+#: big.LITTLE scheduler and the RL state quantizer encodes the two-cluster
+#: structure.  TOP-IL (and the QoS DVFS loop it builds on) is
+#: cluster-count-agnostic.
+_BIG_LITTLE_TECHNIQUES = ("TOP-RL", "GTS/ondemand", "GTS/powersave")
+
+
+def technique_supported(name: str, platform: Platform) -> bool:
+    """Whether technique ``name`` applies to ``platform``'s topology."""
+    if name in _BIG_LITTLE_TECHNIQUES:
+        return {"big", "LITTLE"} <= set(platform.cluster_names)
+    return True
+
+
+def supported_techniques(
+    platform: Platform, names: Sequence[str] = TECHNIQUE_NAMES
+) -> Tuple[str, ...]:
+    """The subset of ``names`` applicable to ``platform``, order kept."""
+    return tuple(n for n in names if technique_supported(n, platform))
 
 
 @dataclass
@@ -89,6 +111,9 @@ class MainMixedResult:
     aggregates: List[TechniqueAggregate] = field(default_factory=list)
     #: raw rows: (technique, cooling, rate, repetition, mean temp, violations)
     raw: List[Tuple[str, str, float, int, float, int]] = field(default_factory=list)
+    #: configured techniques that do not apply to the platform's topology
+    #: (e.g. GTS on a platform without big.LITTLE clusters)
+    skipped_techniques: Tuple[str, ...] = ()
 
     def aggregate(self, technique: str, cooling: str) -> TechniqueAggregate:
         for agg in self.aggregates:
@@ -108,11 +133,17 @@ class MainMixedResult:
             )
             for a in self.aggregates
         ]
-        return ascii_table(
+        table = ascii_table(
             ["technique", "cooling", "avg temp", "QoS violations", "violation %",
              "throttle events"],
             rows,
         )
+        if self.skipped_techniques:
+            table += (
+                "\nskipped (not applicable to this platform): "
+                + ", ".join(self.skipped_techniques)
+            )
+        return table
 
     def frequency_usage_report(self, cooling: str = "no_fan") -> str:
         """Fig. 10: CPU time per cluster and VF level per technique."""
@@ -137,10 +168,19 @@ class MainMixedResult:
 
 
 def _make_technique(name: str, assets: AssetStore, repetition: int, seed: int) -> Technique:
-    """Instantiate one technique; learned ones use the repetition's model."""
+    """Instantiate one technique; learned ones use the repetition's model.
+
+    On registry platforms without an NPU, TOP-IL runs its inference on a
+    CPU core (the spec's management-overhead model); everywhere else the
+    default NPU latency model applies unchanged.
+    """
     if name == "TOP-IL":
         models = assets.models()
-        return TopIL(models[repetition % len(models)])
+        spec = spec_for_platform(assets.platform)
+        overhead = None
+        if spec is not None and not spec.npu.present:
+            overhead = spec.management_overhead_model()
+        return TopIL(models[repetition % len(models)], overhead_model=overhead)
     if name == "TOP-RL":
         qtables = assets.qtables()
         return TopRL(
@@ -273,12 +313,21 @@ def run_main_mixed(
         ``<out_dir>/main_mixed/``, merged into
         ``<out_dir>/main_mixed.manifest.json``.
     """
+    # Restrict the grid to techniques the platform's topology supports
+    # (identity on big.LITTLE platforms, so HiKey grids are unchanged).
+    techniques = supported_techniques(assets.platform, config.techniques)
+    skipped = tuple(n for n in config.techniques if n not in techniques)
+    if not techniques:
+        raise ValueError(
+            f"none of the configured techniques {tuple(config.techniques)} "
+            f"apply to platform {assets.platform.name!r}"
+        )
     cells = [
         (cooling, rate, rep, name)
         for cooling in config.coolings
         for rate in config.arrival_rates
         for rep in range(config.repetitions)
-        for name in config.techniques
+        for name in techniques
     ]
 
     def cell_key(cell: Tuple[CoolingConfig, float, int, str]) -> ArtifactKey:
@@ -314,18 +363,18 @@ def run_main_mixed(
 
     # Aggregate in the cells' nested order — the same order the serial
     # loop used, so means/stds/merges accumulate identically.
-    result = MainMixedResult(config=config)
+    result = MainMixedResult(config=config, skipped_techniques=skipped)
     summary_iter = iter(summaries)
     for cooling in config.coolings:
         per_technique: Dict[str, Dict[str, list]] = {
             name: {"temps": [], "violations": [], "fracs": [],
                    "usage": CpuTimeByVF(), "throttles": 0,
                    "utils": [], "peaks": []}
-            for name in config.techniques
+            for name in techniques
         }
         for rate in config.arrival_rates:
             for rep in range(config.repetitions):
-                for name in config.techniques:
+                for name in techniques:
                     s = next(summary_iter)
                     bucket = per_technique[name]
                     bucket["temps"].append(s.mean_temp_c)
@@ -339,7 +388,7 @@ def run_main_mixed(
                         (name, cooling.name, rate, rep, s.mean_temp_c,
                          s.n_qos_violations)
                     )
-        for name in config.techniques:
+        for name in techniques:
             bucket = per_technique[name]
             result.aggregates.append(
                 TechniqueAggregate(

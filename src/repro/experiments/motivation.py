@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.apps.catalog import get_app
-from repro.apps.qos import qos_fraction_of_big_max
+from repro.apps.qos import fastest_cluster, qos_fraction_of_big_max, reference_cluster
 from repro.platform import Platform, VFLevel, hikey970
 from repro.platform.hikey import BIG, LITTLE
 from repro.sim.kernel import SimConfig, Simulator
@@ -55,7 +55,11 @@ class MotivationConfig:
 
 @dataclass
 class MappingOutcome:
-    """Result of running one AoI mapping at its minimum feasible VF levels."""
+    """Result of running one AoI mapping at its minimum feasible VF levels.
+
+    ``f_l_hz``/``f_b_hz`` are the operating frequencies of the slow and
+    fast mapping clusters (``LITTLE``/``big`` on the HiKey 970).
+    """
 
     app: str
     scenario: int
@@ -82,7 +86,7 @@ class MotivationResult:
         return min(candidates, key=lambda o: o.temp_c).mapped_cluster
 
     def temperature_gap(self, app: str, scenario: int) -> float:
-        """|T_little - T_big| for one (app, scenario)."""
+        """|T_slow - T_fast| between the two mappings of one (app, scenario)."""
         temps = {
             o.mapped_cluster: o.temp_c
             for o in self.outcomes
@@ -90,7 +94,8 @@ class MotivationResult:
         }
         if len(temps) < 2:
             return float("inf")
-        return abs(temps[LITTLE] - temps[BIG])
+        values = list(temps.values())
+        return abs(values[0] - values[1])
 
     def report(self) -> str:
         rows = [
@@ -105,7 +110,7 @@ class MotivationResult:
             for o in self.outcomes
         ]
         return ascii_table(
-            ["app", "scenario", "mapping", "f_LITTLE", "f_big", "temperature"],
+            ["app", "scenario", "mapping", "f_slow", "f_fast", "temperature"],
             rows,
         )
 
@@ -137,6 +142,56 @@ def _steady_temp(
     return sim.sensor_temp_c()
 
 
+def _mapping_choices(
+    platform: Platform, config: MotivationConfig
+) -> List[Tuple[str, int]]:
+    """The two candidate AoI mappings as (cluster, core) pairs.
+
+    On big.LITTLE the configured cores are used verbatim (the paper's
+    setup); any other multi-cluster platform compares the first core of
+    the reference (slowest) cluster against the first core of the fastest
+    cluster.  A single-cluster platform has no mapping choice, which is
+    the whole premise of Fig. 1 — it raises rather than degenerating.
+    """
+    names = {c.name for c in platform.clusters}
+    if {LITTLE, BIG} <= names:
+        return [(LITTLE, config.little_core), (BIG, config.big_core)]
+    reference = reference_cluster(platform)
+    fastest = fastest_cluster(platform)
+    if reference.name == fastest.name:
+        raise ValueError(
+            f"the motivational experiment compares cluster mappings and "
+            f"needs at least two clusters; platform {platform.name!r} has "
+            f"{sorted(names)}"
+        )
+    return [
+        (reference.name, reference.core_ids[0]),
+        (fastest.name, fastest.core_ids[0]),
+    ]
+
+
+def _background_placements(
+    platform: Platform,
+    mappings: List[Tuple[str, int]],
+    background_app: str,
+) -> Dict[int, str]:
+    """Two background apps per mapping cluster, skipping the AoI cores.
+
+    On the HiKey 970 this reproduces the paper's cores {1, 2, 5, 6}.
+    """
+    aoi_cores = {core for _, core in mappings}
+    placements: Dict[int, str] = {}
+    for cluster_name, _ in mappings:
+        free = [
+            c
+            for c in platform.cores_in_cluster(cluster_name)
+            if c not in aoi_cores
+        ]
+        for core in free[:2]:
+            placements[core] = background_app
+    return placements
+
+
 def run_motivation(
     config: MotivationConfig = MotivationConfig(),
     platform: Optional[Platform] = None,
@@ -145,7 +200,8 @@ def run_motivation(
     """Run both scenarios for every configured application."""
     platform = platform or hikey970()
     result = MotivationResult()
-    mappings = [(LITTLE, config.little_core), (BIG, config.big_core)]
+    mappings = _mapping_choices(platform, config)
+    slow_name, fast_name = mappings[0][0], mappings[1][0]
 
     for app_name in config.apps:
         app = get_app(app_name)
@@ -174,16 +230,17 @@ def run_motivation(
                     app_name,
                     1,
                     cluster_name,
-                    vf[LITTLE].frequency_hz,
-                    vf[BIG].frequency_hz,
+                    vf[slow_name].frequency_hz,
+                    vf[fast_name].frequency_hz,
                     temp,
                     True,
                 )
             )
 
         # --- Scenario 2: heavy background pins both clusters at peak VF.
-        background = {1: config.background_app, 2: config.background_app,
-                      5: config.background_app, 6: config.background_app}
+        background = _background_placements(
+            platform, mappings, config.background_app
+        )
         vf = platform.max_vf_levels()
         for cluster_name, core in mappings:
             placements = dict(background)
@@ -196,8 +253,8 @@ def run_motivation(
                     app_name,
                     2,
                     cluster_name,
-                    vf[LITTLE].frequency_hz,
-                    vf[BIG].frequency_hz,
+                    vf[slow_name].frequency_hz,
+                    vf[fast_name].frequency_hz,
                     temp,
                     True,
                 )

@@ -1,0 +1,183 @@
+"""Extension — cross-platform comparison over the platform zoo.
+
+The paper evaluates on a single board; the generalization argument is
+that nothing in TOP-IL is HiKey-specific.  This experiment runs the main
+mixed-workload grid (:mod:`repro.experiments.main_mixed`) on every
+registered platform and tabulates the per-technique thermal/QoS outcomes
+side by side.
+
+Per platform it builds a *dedicated* design-time asset set (oracle
+traces, dataset, models, Q-tables where applicable) at one shared,
+deliberately small :class:`AssetConfig` — the same training budget on
+every platform keeps the comparison like-for-like, and the budget is kept
+small because the section multiplies every cost by the registry size.
+Techniques that do not apply to a topology (GTS and TOP-RL outside
+big.LITTLE) are skipped and reported as such.  All per-platform artifacts
+and grid cells key into the shared artifact store under the platform
+fingerprint, so cross-platform sweeps stay incremental.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.assets import AssetConfig, AssetStore
+from repro.experiments.main_mixed import (
+    MainMixedConfig,
+    MainMixedResult,
+    run_main_mixed,
+)
+from repro.platform.registry import get_platform, get_spec, platform_names
+from repro.thermal import FAN_COOLING
+from repro.utils.tables import ascii_table
+
+EXPERIMENT_NAME = "platforms"
+
+
+@dataclass
+class PlatformComparisonConfig:
+    """Grid and per-platform asset budget of the cross-platform section.
+
+    ``platforms`` is the registry subset to compare (empty = every
+    registered platform, sorted).  ``main_mixed`` is the workload grid
+    executed per platform; ``assets`` the design-time budget each
+    platform's models are trained under.
+    """
+
+    platforms: Sequence[str] = ()
+    main_mixed: MainMixedConfig = field(
+        default_factory=lambda: MainMixedConfig(
+            n_apps=6,
+            arrival_rates=(1.0 / 6.0,),
+            repetitions=1,
+            coolings=(FAN_COOLING,),
+            instruction_scale=0.02,
+        )
+    )
+    assets: AssetConfig = field(
+        default_factory=lambda: AssetConfig(
+            n_scenarios=8,
+            vf_levels_per_cluster=2,
+            max_aoi_candidates=2,
+            n_models=1,
+            rl_episodes=2,
+        )
+    )
+
+    @classmethod
+    def smoke(cls) -> "PlatformComparisonConfig":
+        """Seconds-per-platform sizes for CI."""
+        return cls(
+            main_mixed=MainMixedConfig(
+                n_apps=3,
+                arrival_rates=(1.0 / 4.0,),
+                repetitions=1,
+                coolings=(FAN_COOLING,),
+                instruction_scale=0.01,
+            ),
+            assets=AssetConfig(
+                n_scenarios=4,
+                vf_levels_per_cluster=2,
+                max_aoi_candidates=2,
+                n_models=1,
+                rl_episodes=1,
+            ),
+        )
+
+    @classmethod
+    def paper(cls) -> "PlatformComparisonConfig":
+        """Minutes-per-platform sizes for the full report."""
+        return cls(
+            main_mixed=MainMixedConfig(
+                n_apps=12,
+                arrival_rates=(1.0 / 20.0,),
+                repetitions=2,
+                coolings=(FAN_COOLING,),
+                instruction_scale=0.1,
+            ),
+            assets=AssetConfig(
+                n_scenarios=14,
+                vf_levels_per_cluster=3,
+                max_aoi_candidates=3,
+                n_models=2,
+                rl_episodes=3,
+            ),
+        )
+
+
+@dataclass
+class PlatformComparisonResult:
+    config: PlatformComparisonConfig
+    #: per-platform grid results, in comparison order
+    results: Dict[str, MainMixedResult] = field(default_factory=dict)
+
+    def report(self) -> str:
+        """One table: platform x technique outcomes, plus topology notes."""
+        rows: List[Tuple[str, str, str, str, str, int]] = []
+        notes: List[str] = []
+        for name, result in self.results.items():
+            spec = get_spec(name)
+            npu = "NPU" if spec.npu.present else "no NPU (CPU inference)"
+            notes.append(
+                f"{name}: {spec.n_cores} cores in "
+                f"{len(spec.clusters)} cluster(s) "
+                f"[{', '.join(spec.cluster_names)}], {npu}"
+            )
+            if result.skipped_techniques:
+                notes.append(
+                    f"{name}: skipped "
+                    + ", ".join(result.skipped_techniques)
+                    + " (requires big.LITTLE)"
+                )
+            for agg in result.aggregates:
+                rows.append(
+                    (
+                        name,
+                        agg.technique,
+                        f"{agg.mean_temp_c:.1f} C",
+                        f"{agg.mean_violations:.1f}",
+                        f"{100 * agg.mean_violation_fraction:.0f} %",
+                        agg.dtm_throttle_events,
+                    )
+                )
+        table = ascii_table(
+            ["platform", "technique", "avg temp", "QoS violations",
+             "violation %", "throttle events"],
+            rows,
+        )
+        return table + "\n\n" + "\n".join(notes)
+
+
+def run_platform_comparison(
+    assets: AssetStore,
+    config: Optional[PlatformComparisonConfig] = None,
+    parallel: Optional[bool] = None,
+    n_workers: Optional[int] = None,
+    backend: str = "auto",
+) -> PlatformComparisonResult:
+    """Run the mixed-workload grid on every (selected) registry platform.
+
+    ``assets`` supplies the shared artifact store and cache location; the
+    per-platform asset sets are built from ``config.assets`` (not from
+    ``assets.config``) so every platform trains under the same budget.
+    Platforms are compared in sorted-name order for deterministic output.
+    """
+    config = config or PlatformComparisonConfig()
+    names = list(config.platforms) if config.platforms else platform_names()
+    asset_config = replace(
+        config.assets, cache_dir=assets.config.cache_dir
+    )
+    result = PlatformComparisonResult(config=config)
+    for name in sorted(names):
+        platform_assets = AssetStore(
+            get_platform(name), asset_config, artifacts=assets.artifacts
+        )
+        result.results[name] = run_main_mixed(
+            platform_assets,
+            config.main_mixed,
+            parallel=parallel,
+            n_workers=n_workers,
+            backend=backend,
+        )
+    return result

@@ -29,6 +29,7 @@ from repro.experiments.model_eval import ModelEvalConfig
 from repro.experiments.motivation import MotivationConfig
 from repro.experiments.nas import NASConfig
 from repro.experiments.overhead import OverheadConfig
+from repro.experiments.platforms import PlatformComparisonConfig
 from repro.experiments.resilience import ResilienceConfig
 from repro.experiments.single_app import SingleAppConfig
 from repro.nn.training import TrainingConfig
@@ -51,6 +52,7 @@ class ReportScale:
     overhead: OverheadConfig
     ablation: AblationConfig
     resilience: ResilienceConfig
+    platforms: PlatformComparisonConfig
 
     @classmethod
     def smoke(cls) -> "ReportScale":
@@ -66,6 +68,7 @@ class ReportScale:
             overhead=OverheadConfig.smoke(),
             ablation=AblationConfig.smoke(),
             resilience=ResilienceConfig.smoke(),
+            platforms=PlatformComparisonConfig.smoke(),
         )
 
     @classmethod
@@ -95,6 +98,7 @@ class ReportScale:
             ),
             ablation=AblationConfig(n_train_scenarios=16, n_test_scenarios=6),
             resilience=ResilienceConfig(),
+            platforms=PlatformComparisonConfig(),
         )
 
     @classmethod
@@ -111,6 +115,7 @@ class ReportScale:
             overhead=OverheadConfig.paper(),
             ablation=AblationConfig.paper(),
             resilience=ResilienceConfig.paper(),
+            platforms=PlatformComparisonConfig.paper(),
         )
 
 
@@ -150,10 +155,12 @@ def generate_report(
     scale = scale or ReportScale.medium()
     say = progress or (lambda msg: None)
     sections: List[str] = []
+    platform_name = assets.platform.name if assets is not None else "hikey970"
     header = (
         "# EXPERIMENTS — paper vs. measured\n\n"
         "Generated by `repro.experiments.report.generate_report` at scale "
-        f"`{scale.name}` on the simulated HiKey 970 platform.  Absolute\n"
+        f"`{scale.name}` on the simulated `{platform_name}` "
+        "platform.  Absolute\n"
         "numbers come from the simulation substrate; the comparisons check\n"
         "the paper's *shapes* (who wins, by roughly what factor, where\n"
         "crossovers fall).\n"

@@ -31,7 +31,6 @@ from repro.experiments.parallel import FailedCell, run_cells_report
 from repro.faults import FaultPlan, FaultSpec
 from repro.il.technique import TopIL
 from repro.obs.metrics import MetricsRegistry
-from repro.platform import hikey970
 from repro.sim.kernel import SimulationTimeout
 from repro.store import ArtifactKey, cell_artifact_key
 from repro.thermal import FAN_COOLING
@@ -189,7 +188,7 @@ def _run_resilience_cell(rate: float) -> ResilienceRow:
     """One fault-rate simulation -> degradation-curve row."""
     assets: AssetStore = _RESILIENCE_STATE["assets"]  # type: ignore[assignment]
     config: ResilienceConfig = _RESILIENCE_STATE["config"]  # type: ignore[assignment]
-    platform = hikey970()
+    platform = assets.platform
     workload = mixed_workload(
         platform,
         n_apps=config.n_apps,
@@ -253,7 +252,7 @@ def run_resilience(
                 "fault_seed": config.fault_seed,
             },
             assets_config=assets.config.signature(),
-            platform=hikey970(),
+            platform=assets.platform,
             seed=config.seed,
         )
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.apps.adapt import adapt_app_for_platform
 from repro.apps.catalog import get_app
 from repro.platform import Platform, VFLevel
 from repro.platform.hikey import reduced_vf_grid
@@ -157,7 +158,11 @@ class TraceCollector:
             pid = sim.submit(get_app(app_name), qos_target_ips=1.0, arrival_time_s=0.0)
             placements[pid] = core
             pid_order.append(pid)
-        aoi_app = get_app(scenario.aoi_app)
+        # Adapted here (not just inside submit) because the window-size
+        # estimate below queries the model for this platform's clusters.
+        aoi_app = adapt_app_for_platform(
+            get_app(scenario.aoi_app), self.platform
+        )
         aoi_pid = sim.submit(aoi_app, qos_target_ips=1.0, arrival_time_s=0.0)
         placements[aoi_pid] = aoi_core
         sim.placement_policy = lambda s, p: placements[p.pid]

@@ -1,16 +1,42 @@
-"""Platform description: clusters, cores, VF tables, floorplan, DTM.
+"""Platform descriptions: clusters, cores, VF tables, floorplans, DTM.
 
 This package models the *static* hardware description of a heterogeneous
-clustered multi-core — the information a resource manager can know at design
-time.  The reproduction ships a faithful description of the HiKey 970 board
-used in the paper (:func:`repro.platform.hikey.hikey970`): an Arm big.LITTLE
-SoC with four Cortex-A53 (LITTLE) and four Cortex-A73 (big) cores,
-per-cluster DVFS, and a single on-chip temperature sensor.
+clustered multi-core — the information a resource manager can know at
+design time.  Two layers:
+
+* the imperative :class:`Platform` (:mod:`repro.platform.description`)
+  that the simulator substrate consumes, and
+* the declarative :class:`PlatformSpec` (:mod:`repro.platform.spec`) —
+  plain-data SoC descriptions validated and named by the registry
+  (:mod:`repro.platform.registry`).
+
+The registry ships three stock platforms (:mod:`repro.platform.zoo`):
+the paper's HiKey 970 board (``hikey970``), a flagship-phone tri-cluster
+SoC (``tricluster``), and an NPU-less many-core grid (``snuca-grid``).
+``repro.cli platform list`` enumerates them; ``docs/platforms.md`` is the
+authoring guide for adding more.
 """
 
 from repro.platform.vf import VFLevel, VFTable
 from repro.platform.description import Cluster, Core, FloorplanTile, Platform, DTMConfig
 from repro.platform.hikey import hikey970
+from repro.platform.spec import (
+    ClusterSpec,
+    CoolingSpec,
+    DTMSpec,
+    NPUSpec,
+    PlatformSpec,
+    PlatformSpecError,
+    ThermalSpec,
+    TileSpec,
+)
+from repro.platform.registry import (
+    get_platform,
+    get_spec,
+    platform_names,
+    register_platform,
+    spec_for_platform,
+)
 
 __all__ = [
     "VFLevel",
@@ -21,4 +47,17 @@ __all__ = [
     "Platform",
     "DTMConfig",
     "hikey970",
+    "ClusterSpec",
+    "CoolingSpec",
+    "DTMSpec",
+    "NPUSpec",
+    "PlatformSpec",
+    "PlatformSpecError",
+    "ThermalSpec",
+    "TileSpec",
+    "get_platform",
+    "get_spec",
+    "platform_names",
+    "register_platform",
+    "spec_for_platform",
 ]

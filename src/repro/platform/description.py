@@ -25,7 +25,7 @@ class Core:
     core_id: int
     cluster_name: str
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         check_non_negative("core_id", self.core_id)
 
 
@@ -49,7 +49,7 @@ class Cluster:
     # big cores have out-of-order pipelines and larger caches.
     out_of_order: bool = False
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.core_ids:
             raise ValueError(f"cluster {self.name!r} has no cores")
         check_positive("dyn_power_coeff", self.dyn_power_coeff)
@@ -71,7 +71,7 @@ class FloorplanTile:
     width: float
     height: float
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         check_positive("width", self.width)
         check_positive("height", self.height)
 
@@ -117,7 +117,7 @@ class DTMConfig:
     release_temp_c: float = 80.0
     check_period_s: float = 0.1
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.release_temp_c > self.trigger_temp_c:
             raise ValueError("release_temp_c must not exceed trigger_temp_c")
         check_positive("check_period_s", self.check_period_s)
@@ -133,7 +133,7 @@ class Platform:
     dtm: DTMConfig = field(default_factory=DTMConfig)
     ambient_temp_c: float = 25.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         seen_ids: set = set()
         for cluster in self.clusters:
             for cid in cluster.core_ids:
@@ -192,7 +192,9 @@ class Platform:
 
 
 def grid_floorplan(
-    blocks: Sequence[Tuple[str, float, float]], columns: int, origin=(0.0, 0.0)
+    blocks: Sequence[Tuple[str, float, float]],
+    columns: int,
+    origin: Tuple[float, float] = (0.0, 0.0),
 ) -> Dict[str, FloorplanTile]:
     """Lay out ``(name, width, height)`` blocks row-major on a grid.
 

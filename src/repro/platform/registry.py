@@ -1,0 +1,82 @@
+"""Platform registry: named, validated :class:`PlatformSpec` lookup.
+
+The registry maps a platform name to its declarative spec.  Registration
+validates eagerly (:meth:`PlatformSpec.validate`), so every registered
+platform is guaranteed to build and simulate; the platform-registry
+contract test additionally runs each entry under the sanitizer.
+
+The stock entries (:mod:`repro.platform.zoo`) are registered at import
+time; library users add their own with :func:`register_platform` — see
+``docs/platforms.md`` for a worked example.  Lookup is read-only after
+import, so forked experiment workers see a consistent registry without
+synchronization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.platform.description import Platform
+from repro.platform.spec import PlatformSpec
+from repro.platform.zoo import builtin_specs
+
+_REGISTRY: Dict[str, PlatformSpec] = {}
+
+
+def register_platform(spec: PlatformSpec, replace: bool = False) -> PlatformSpec:
+    """Validate ``spec`` and add it to the registry under ``spec.name``.
+
+    Re-registering an existing name raises unless ``replace=True`` (a
+    silent overwrite would let two call sites disagree about what a
+    platform name means while the artifact store fingerprints them
+    identically).  Returns the spec for chaining.
+    """
+    spec.validate()
+    if spec.name in _REGISTRY and not replace:
+        raise ValueError(
+            f"platform {spec.name!r} is already registered; "
+            "pass replace=True to overwrite"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def platform_names() -> List[str]:
+    """Registered platform names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_spec(name: str) -> PlatformSpec:
+    """The registered spec called ``name`` (KeyError with the known set)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown platform {name!r}; registered: {platform_names()}"
+        ) from None
+
+
+def get_platform(name: str) -> Platform:
+    """Build a fresh :class:`Platform` from the registered spec ``name``.
+
+    Each call constructs a new object; callers that rely on object
+    identity (the batch backend groups simulators by ``platform is``)
+    must build once and share, which the experiment drivers do via
+    :class:`~repro.experiments.assets.AssetStore.platform`.
+    """
+    return get_spec(name).build()
+
+
+def spec_for_platform(platform: Platform) -> Optional[PlatformSpec]:
+    """The spec registered under ``platform.name``, or ``None``.
+
+    Platforms constructed outside the registry (ad-hoc test platforms,
+    :func:`repro.platform.synthetic.tricluster` used directly) have no
+    spec; callers treat that as "no declarative metadata available".
+    """
+    return _REGISTRY.get(platform.name)
+
+
+for _spec in builtin_specs():
+    register_platform(_spec)
+del _spec

@@ -1,0 +1,554 @@
+"""Declarative platform specifications: SoC descriptions as plain data.
+
+A :class:`PlatformSpec` captures everything the simulator substrate needs
+to model one SoC — cluster topology, per-cluster VF tables, floorplan
+geometry, DTM thresholds, NPU presence/latency, RC-network materials, and
+board cooling — as frozen dataclasses of plain scalars.  Specs round-trip
+through :meth:`PlatformSpec.to_dict` / :meth:`PlatformSpec.from_dict`
+(JSON/TOML-compatible nesting), are validated eagerly by
+:meth:`PlatformSpec.validate`, and :meth:`PlatformSpec.build` lowers them
+to the imperative :class:`~repro.platform.description.Platform` the rest
+of the code base consumes.
+
+``build()`` copies every captured float verbatim — it never recomputes or
+re-derives values — so a spec captured from an existing platform via
+:meth:`PlatformSpec.from_platform` builds a bit-identical twin: same
+``canonical_json``, same :func:`~repro.store.keys.platform_fingerprint`,
+same simulation trace.  The golden-trace tests rely on this for the
+``hikey970`` registry entry.
+
+Specs carry two kinds of information the imperative ``Platform`` does not:
+
+* accelerator and cooling defaults (:class:`NPUSpec`, :class:`CoolingSpec`,
+  :class:`ThermalSpec`) consumed by technique construction and the
+  platform-zoo tooling, and
+* per-cluster *performance derivation hints* (``perf_like`` /
+  ``perf_scale``) that let the catalog's big.LITTLE application models run
+  on clusters the catalog has no measurements for (see
+  :func:`repro.apps.adapt.adapt_app_for_platform`).
+
+See ``docs/platforms.md`` for the authoring guide and
+:mod:`repro.platform.registry` for registration/lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.platform.description import (
+    Cluster,
+    DTMConfig,
+    FloorplanTile,
+    Platform,
+)
+from repro.platform.vf import VFLevel, VFTable
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep layering acyclic
+    from repro.npu.overhead import ManagementOverheadModel
+    from repro.thermal.builder import ThermalMaterials
+    from repro.thermal.cooling import CoolingConfig
+
+
+class PlatformSpecError(ValueError):
+    """A platform spec failed validation (bad topology, missing tiles...)."""
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """One DVFS cluster as plain data.
+
+    ``name``: cluster identifier (``"LITTLE"``, ``"big"``, ...).
+    ``core_ids``: global core indices owned by this cluster; across all
+    clusters the ids must be contiguous starting at 0.
+    ``vf_points``: ``(frequency_hz, voltage_v)`` pairs in ascending
+    frequency order — the cluster's cpufreq OPP table.
+    ``dyn_power_coeff``: effective switched capacitance per fully-active
+    core, in W / (V^2 * Hz).
+    ``static_power_coeff``: scale of the temperature-dependent leakage, in
+    W at the leakage reference temperature.
+    ``idle_power_fraction``: fraction (0..1) of active dynamic power a
+    clock-gated idle core still burns.
+    ``out_of_order``: microarchitectural class flag used by application
+    models (out-of-order cores have bigger caches and lower CPI).
+    ``perf_like``: name of the catalog cluster (``"LITTLE"`` or ``"big"``)
+    whose measured per-application parameters this cluster should inherit
+    when an application carries no entry for ``name``; ``None`` disables
+    derivation.
+    ``perf_scale``: dimensionless speedup applied to the inherited
+    parameters (CPI and memory stall time divide by it); 1.0 = identical.
+    """
+
+    name: str
+    core_ids: Tuple[int, ...]
+    vf_points: Tuple[Tuple[float, float], ...]
+    dyn_power_coeff: float
+    static_power_coeff: float
+    idle_power_fraction: float = 0.05
+    out_of_order: bool = False
+    perf_like: Optional[str] = None
+    perf_scale: float = 1.0
+
+    def vf_table(self) -> VFTable:
+        """The cluster's OPP table as an ordered :class:`VFTable`."""
+        return VFTable([VFLevel(f, v) for f, v in self.vf_points])
+
+    def build(self) -> Cluster:
+        """Lower to the imperative :class:`Cluster` (floats verbatim)."""
+        return Cluster(
+            name=self.name,
+            core_ids=tuple(self.core_ids),
+            vf_table=self.vf_table(),
+            dyn_power_coeff=self.dyn_power_coeff,
+            static_power_coeff=self.static_power_coeff,
+            idle_power_fraction=self.idle_power_fraction,
+            out_of_order=self.out_of_order,
+        )
+
+
+@dataclass(frozen=True)
+class TileSpec:
+    """Axis-aligned floorplan block: position and size in meters.
+
+    Tile names are load-bearing: the simulator requires one ``core<i>``
+    tile per core id, one ``uncore_<cluster>`` tile per cluster (the
+    cluster-level thermal-zone sensor node), and one ``soc_rest`` tile
+    (the remaining silicon, also a zone sensor node).
+    """
+
+    name: str
+    x_m: float
+    y_m: float
+    width_m: float
+    height_m: float
+
+    def build(self) -> FloorplanTile:
+        """Lower to the imperative :class:`FloorplanTile`."""
+        return FloorplanTile(
+            self.name, self.x_m, self.y_m, self.width_m, self.height_m
+        )
+
+
+@dataclass(frozen=True)
+class DTMSpec:
+    """Dynamic thermal management thresholds.
+
+    ``trigger_temp_c`` / ``release_temp_c``: throttle entry/exit
+    temperatures in degrees Celsius (release must not exceed trigger).
+    ``check_period_s``: DTM polling period in seconds.
+    """
+
+    trigger_temp_c: float = 85.0
+    release_temp_c: float = 80.0
+    check_period_s: float = 0.1
+
+    def build(self) -> DTMConfig:
+        """Lower to :class:`DTMConfig` (floats verbatim)."""
+        return DTMConfig(
+            trigger_temp_c=self.trigger_temp_c,
+            release_temp_c=self.release_temp_c,
+            check_period_s=self.check_period_s,
+        )
+
+
+@dataclass(frozen=True)
+class NPUSpec:
+    """Accelerator presence and inference-latency model parameters.
+
+    ``present``: whether the SoC has an NPU.  Platforms without one run
+    TOP-IL's neural network on a CPU core (the paper's Fig. 11 CPU
+    baseline) via :meth:`PlatformSpec.management_overhead_model`.
+    ``setup_s``: per-inference offload setup time in seconds.
+    ``per_wave_s``: seconds per wave of ``wave_size`` parallel MACs.
+    ``timeout_budget_s``: inference deadline in seconds; an inference
+    exceeding it is treated as failed by the resilience layer.
+    """
+
+    present: bool = True
+    setup_s: float = 1.7e-3
+    per_wave_s: float = 0.3e-3
+    wave_size: int = 16
+    timeout_budget_s: float = 25e-3
+
+
+@dataclass(frozen=True)
+class ThermalSpec:
+    """RC thermal-network material/geometry constants.
+
+    ``effective_thickness_m``: combined die + spreader thickness in meters.
+    ``lateral_k_w_per_mk``: in-plane conductivity in W/(m*K).
+    ``vertical_w_per_k_m2``: area-specific silicon-to-board conductance in
+    W/(K*m^2).
+    ``volumetric_heat_capacity_j_per_m3k``: heat capacity in J/(m^3*K).
+    Defaults equal :class:`repro.thermal.builder.ThermalMaterials`.
+    """
+
+    effective_thickness_m: float = 1.0e-3
+    lateral_k_w_per_mk: float = 150.0
+    vertical_w_per_k_m2: float = 5500.0
+    volumetric_heat_capacity_j_per_m3k: float = 1.75e6
+
+    def materials(self) -> "ThermalMaterials":
+        """Lower to :class:`ThermalMaterials` for the network builder."""
+        from repro.thermal.builder import ThermalMaterials
+
+        return ThermalMaterials(
+            effective_thickness_m=self.effective_thickness_m,
+            lateral_k_w_per_mk=self.lateral_k_w_per_mk,
+            vertical_w_per_k_m2=self.vertical_w_per_k_m2,
+            volumetric_heat_capacity_j_per_m3k=(
+                self.volumetric_heat_capacity_j_per_m3k
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class CoolingSpec:
+    """Board cooling defaults for the platform.
+
+    ``active_w_per_k`` / ``passive_w_per_k``: board-to-ambient convective
+    conductance in W/K with and without active cooling (fan).
+    ``board_capacitance_j_per_k``: board + heatsink thermal capacitance in
+    J/K.  Defaults equal the HiKey 970 ``FAN_COOLING`` / ``PASSIVE_COOLING``
+    configurations.
+    """
+
+    active_w_per_k: float = 0.70
+    passive_w_per_k: float = 0.24
+    board_capacitance_j_per_k: float = 60.0
+
+    def fan(self) -> "CoolingConfig":
+        """Active cooling as a :class:`CoolingConfig` (named ``"fan"``)."""
+        from repro.thermal.cooling import CoolingConfig
+
+        return CoolingConfig(
+            name="fan",
+            board_to_ambient_w_per_k=self.active_w_per_k,
+            board_capacitance_j_per_k=self.board_capacitance_j_per_k,
+        )
+
+    def passive(self) -> "CoolingConfig":
+        """Passive cooling as a :class:`CoolingConfig` (named ``"no_fan"``)."""
+        from repro.thermal.cooling import CoolingConfig
+
+        return CoolingConfig(
+            name="no_fan",
+            board_to_ambient_w_per_k=self.passive_w_per_k,
+            board_capacitance_j_per_k=self.board_capacitance_j_per_k,
+        )
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Complete declarative description of one SoC (see module docstring).
+
+    ``name`` doubles as the registry key and as the built
+    :attr:`Platform.name`, which the artifact store fingerprints — two
+    specs with different data must use different names.
+    ``ambient_temp_c`` is the default ambient temperature in Celsius.
+    """
+
+    name: str
+    clusters: Tuple[ClusterSpec, ...]
+    floorplan: Tuple[TileSpec, ...]
+    dtm: DTMSpec = field(default_factory=DTMSpec)
+    ambient_temp_c: float = 25.0
+    npu: NPUSpec = field(default_factory=NPUSpec)
+    thermal: ThermalSpec = field(default_factory=ThermalSpec)
+    cooling: CoolingSpec = field(default_factory=CoolingSpec)
+    description: str = ""
+
+    # --- lookups ---------------------------------------------------------------
+    @property
+    def n_cores(self) -> int:
+        """Total core count across clusters."""
+        return sum(len(c.core_ids) for c in self.clusters)
+
+    @property
+    def cluster_names(self) -> Tuple[str, ...]:
+        """Cluster names in declaration order."""
+        return tuple(c.name for c in self.clusters)
+
+    def cluster(self, name: str) -> ClusterSpec:
+        """The cluster spec called ``name`` (KeyError with the known set)."""
+        for cluster in self.clusters:
+            if cluster.name == name:
+                return cluster
+        raise KeyError(
+            f"unknown cluster {name!r}; have {self.cluster_names}"
+        )
+
+    # --- validation ------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`PlatformSpecError` on any structural problem.
+
+        Checks everything :meth:`build` relies on *plus* the simulator's
+        floorplan contract (``core<i>`` / ``uncore_<cluster>`` /
+        ``soc_rest`` tiles), so a registered spec is guaranteed to
+        simulate.  Value-level checks (positive coefficients, monotone VF
+        tables) are re-enforced by the target dataclasses at build time;
+        this method runs a build to surface them eagerly with the spec
+        name attached.
+        """
+        if not self.name:
+            raise PlatformSpecError("platform spec has an empty name")
+        prefix = f"platform spec {self.name!r}"
+        if not self.clusters:
+            raise PlatformSpecError(f"{prefix}: no clusters")
+        names = [c.name for c in self.clusters]
+        if len(set(names)) != len(names):
+            raise PlatformSpecError(f"{prefix}: duplicate cluster names")
+        core_ids = [cid for c in self.clusters for cid in c.core_ids]
+        if sorted(core_ids) != list(range(len(core_ids))):
+            raise PlatformSpecError(
+                f"{prefix}: core ids must be contiguous starting at 0, "
+                f"got {sorted(core_ids)}"
+            )
+        for cluster in self.clusters:
+            cprefix = f"{prefix}, cluster {cluster.name!r}"
+            if not cluster.vf_points:
+                raise PlatformSpecError(f"{cprefix}: empty VF table")
+            freqs = [f for f, _ in cluster.vf_points]
+            if sorted(freqs) != freqs:
+                raise PlatformSpecError(
+                    f"{cprefix}: VF points must be in ascending "
+                    "frequency order"
+                )
+            if cluster.perf_scale <= 0.0:
+                raise PlatformSpecError(f"{cprefix}: perf_scale must be > 0")
+            if cluster.perf_like is not None and cluster.perf_like == cluster.name:
+                raise PlatformSpecError(
+                    f"{cprefix}: perf_like must reference another cluster"
+                )
+        tile_names = {t.name for t in self.floorplan}
+        if len(tile_names) != len(self.floorplan):
+            raise PlatformSpecError(f"{prefix}: duplicate floorplan tiles")
+        missing = [
+            f"core{cid}" for cid in range(len(core_ids))
+            if f"core{cid}" not in tile_names
+        ]
+        missing += [
+            f"uncore_{c.name}" for c in self.clusters
+            if f"uncore_{c.name}" not in tile_names
+        ]
+        if "soc_rest" not in tile_names:
+            missing.append("soc_rest")
+        if missing:
+            raise PlatformSpecError(
+                f"{prefix}: floorplan is missing required tiles "
+                f"{missing} (the simulator indexes per-core tiles, "
+                "per-cluster uncore zone tiles, and soc_rest)"
+            )
+        if self.npu.wave_size <= 0:
+            raise PlatformSpecError(f"{prefix}: npu.wave_size must be > 0")
+        try:
+            self.build()
+        except PlatformSpecError:
+            raise
+        except (ValueError, KeyError) as exc:
+            raise PlatformSpecError(f"{prefix}: {exc}") from exc
+
+    # --- lowering --------------------------------------------------------------
+    def build(self) -> Platform:
+        """Construct the imperative :class:`Platform` (floats verbatim)."""
+        return Platform(
+            name=self.name,
+            clusters=[c.build() for c in self.clusters],
+            floorplan={t.name: t.build() for t in self.floorplan},
+            dtm=self.dtm.build(),
+            ambient_temp_c=self.ambient_temp_c,
+        )
+
+    def management_overhead_model(self) -> Optional["ManagementOverheadModel"]:
+        """Technique-construction hook for the platform's accelerator.
+
+        ``None`` when the platform has an NPU: TOP-IL then uses its
+        default :class:`NPUInferenceLatency` (the paper's configuration,
+        kept default so HiKey behavior is untouched).  For NPU-less
+        platforms, returns an overhead model that runs inference on a CPU
+        core for both the primary and the degraded path.
+        """
+        from repro.npu.latency import CPUInferenceLatency, NPUInferenceLatency
+        from repro.npu.overhead import ManagementOverheadModel
+
+        if self.npu.present:
+            return ManagementOverheadModel(
+                inference=NPUInferenceLatency(
+                    setup_s=self.npu.setup_s,
+                    per_wave_s=self.npu.per_wave_s,
+                    wave_size=self.npu.wave_size,
+                    timeout_budget_s=self.npu.timeout_budget_s,
+                )
+            )
+        cpu = CPUInferenceLatency()
+        return ManagementOverheadModel(inference=cpu, cpu_inference=cpu)
+
+    # --- plain-data round trip --------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON/TOML-compatible nested-dict form (round-trips from_dict)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "ambient_temp_c": self.ambient_temp_c,
+            "clusters": [
+                {
+                    "name": c.name,
+                    "core_ids": list(c.core_ids),
+                    "vf_points": [[f, v] for f, v in c.vf_points],
+                    "dyn_power_coeff": c.dyn_power_coeff,
+                    "static_power_coeff": c.static_power_coeff,
+                    "idle_power_fraction": c.idle_power_fraction,
+                    "out_of_order": c.out_of_order,
+                    "perf_like": c.perf_like,
+                    "perf_scale": c.perf_scale,
+                }
+                for c in self.clusters
+            ],
+            "floorplan": [
+                {
+                    "name": t.name,
+                    "x_m": t.x_m,
+                    "y_m": t.y_m,
+                    "width_m": t.width_m,
+                    "height_m": t.height_m,
+                }
+                for t in self.floorplan
+            ],
+            "dtm": {
+                "trigger_temp_c": self.dtm.trigger_temp_c,
+                "release_temp_c": self.dtm.release_temp_c,
+                "check_period_s": self.dtm.check_period_s,
+            },
+            "npu": {
+                "present": self.npu.present,
+                "setup_s": self.npu.setup_s,
+                "per_wave_s": self.npu.per_wave_s,
+                "wave_size": self.npu.wave_size,
+                "timeout_budget_s": self.npu.timeout_budget_s,
+            },
+            "thermal": {
+                "effective_thickness_m": self.thermal.effective_thickness_m,
+                "lateral_k_w_per_mk": self.thermal.lateral_k_w_per_mk,
+                "vertical_w_per_k_m2": self.thermal.vertical_w_per_k_m2,
+                "volumetric_heat_capacity_j_per_m3k": (
+                    self.thermal.volumetric_heat_capacity_j_per_m3k
+                ),
+            },
+            "cooling": {
+                "active_w_per_k": self.cooling.active_w_per_k,
+                "passive_w_per_k": self.cooling.passive_w_per_k,
+                "board_capacitance_j_per_k": (
+                    self.cooling.board_capacitance_j_per_k
+                ),
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PlatformSpec":
+        """Build a spec from the nested-dict form (e.g. parsed TOML).
+
+        Sections ``dtm`` / ``npu`` / ``thermal`` / ``cooling`` and every
+        per-cluster hint are optional and default as documented on the
+        spec classes.
+        """
+        clusters = tuple(
+            ClusterSpec(
+                name=c["name"],
+                core_ids=tuple(int(i) for i in c["core_ids"]),
+                vf_points=tuple(
+                    (float(f), float(v)) for f, v in c["vf_points"]
+                ),
+                dyn_power_coeff=float(c["dyn_power_coeff"]),
+                static_power_coeff=float(c["static_power_coeff"]),
+                idle_power_fraction=float(c.get("idle_power_fraction", 0.05)),
+                out_of_order=bool(c.get("out_of_order", False)),
+                perf_like=c.get("perf_like"),
+                perf_scale=float(c.get("perf_scale", 1.0)),
+            )
+            for c in data["clusters"]
+        )
+        floorplan = tuple(
+            TileSpec(
+                name=t["name"],
+                x_m=float(t["x_m"]),
+                y_m=float(t["y_m"]),
+                width_m=float(t["width_m"]),
+                height_m=float(t["height_m"]),
+            )
+            for t in data["floorplan"]
+        )
+        return cls(
+            name=data["name"],
+            clusters=clusters,
+            floorplan=floorplan,
+            dtm=DTMSpec(**data.get("dtm", {})),
+            ambient_temp_c=float(data.get("ambient_temp_c", 25.0)),
+            npu=NPUSpec(**data.get("npu", {})),
+            thermal=ThermalSpec(**data.get("thermal", {})),
+            cooling=CoolingSpec(**data.get("cooling", {})),
+            description=data.get("description", ""),
+        )
+
+    @classmethod
+    def from_platform(
+        cls,
+        platform: Platform,
+        *,
+        name: Optional[str] = None,
+        description: str = "",
+        npu: Optional[NPUSpec] = None,
+        thermal: Optional[ThermalSpec] = None,
+        cooling: Optional[CoolingSpec] = None,
+        perf_like: Optional[Mapping[str, Tuple[str, float]]] = None,
+    ) -> "PlatformSpec":
+        """Capture an existing :class:`Platform` as a declarative spec.
+
+        Every float is copied verbatim, so ``from_platform(p).build()``
+        is bit-identical to ``p``.  ``perf_like`` optionally maps a
+        cluster name to its ``(perf_like, perf_scale)`` derivation hint.
+        """
+        hints = dict(perf_like or {})
+        clusters = []
+        for cluster in platform.clusters:
+            like, scale = hints.get(cluster.name, (None, 1.0))
+            clusters.append(
+                ClusterSpec(
+                    name=cluster.name,
+                    core_ids=tuple(cluster.core_ids),
+                    vf_points=tuple(
+                        (lv.frequency_hz, lv.voltage_v)
+                        for lv in cluster.vf_table
+                    ),
+                    dyn_power_coeff=cluster.dyn_power_coeff,
+                    static_power_coeff=cluster.static_power_coeff,
+                    idle_power_fraction=cluster.idle_power_fraction,
+                    out_of_order=cluster.out_of_order,
+                    perf_like=like,
+                    perf_scale=scale,
+                )
+            )
+        floorplan = tuple(
+            TileSpec(
+                name=tile.name,
+                x_m=tile.x,
+                y_m=tile.y,
+                width_m=tile.width,
+                height_m=tile.height,
+            )
+            for tile in platform.floorplan.values()
+        )
+        return cls(
+            name=name if name is not None else platform.name,
+            clusters=tuple(clusters),
+            floorplan=floorplan,
+            dtm=DTMSpec(
+                trigger_temp_c=platform.dtm.trigger_temp_c,
+                release_temp_c=platform.dtm.release_temp_c,
+                check_period_s=platform.dtm.check_period_s,
+            ),
+            ambient_temp_c=platform.ambient_temp_c,
+            npu=npu if npu is not None else NPUSpec(),
+            thermal=thermal if thermal is not None else ThermalSpec(),
+            cooling=cooling if cooling is not None else CoolingSpec(),
+            description=description,
+        )

@@ -13,12 +13,14 @@ big.LITTLE-specific, as on real devices.)
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import TYPE_CHECKING, Dict, Sequence, Tuple
 
-from repro.apps.model import AppModel, ClusterPerfParams
 from repro.platform.description import Cluster, FloorplanTile, Platform
 from repro.platform.vf import VFLevel, VFTable
 from repro.utils.units import MHZ
+
+if TYPE_CHECKING:  # runtime import is lazy to avoid a platform<->apps cycle
+    from repro.apps.model import AppModel
 
 LITTLE = "LITTLE"
 BIG = "big"
@@ -29,7 +31,7 @@ _BIG_OPP = [(700 * MHZ, 0.72), (1400 * MHZ, 0.85), (2000 * MHZ, 0.95), (2400 * M
 _PRIME_OPP = [(800 * MHZ, 0.75), (1600 * MHZ, 0.88), (2400 * MHZ, 1.00), (2900 * MHZ, 1.10)]
 
 
-def _table(opp) -> VFTable:
+def _table(opp: Sequence[Tuple[float, float]]) -> VFTable:
     return VFTable([VFLevel(f, v) for f, v in opp])
 
 
@@ -96,8 +98,10 @@ def synthetic_app(
     cpi_prime: float = 0.55,
     mem_time: float = 1.0e-10,
     activity: float = 0.85,
-) -> AppModel:
+) -> "AppModel":
     """A constant-behaviour application with parameters for all clusters."""
+    from repro.apps.model import AppModel, ClusterPerfParams
+
     return AppModel(
         name=name,
         suite="synthetic",

@@ -23,7 +23,7 @@ class VFLevel:
     frequency_hz: float
     voltage_v: float
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         check_positive("frequency_hz", self.frequency_hz)
         check_positive("voltage_v", self.voltage_v)
 
@@ -35,7 +35,7 @@ class VFTable:
     with frequency (physical DVFS tables are monotone).
     """
 
-    def __init__(self, levels: Sequence[VFLevel]):
+    def __init__(self, levels: Sequence[VFLevel]) -> None:
         if not levels:
             raise ValueError("VFTable needs at least one level")
         ordered = sorted(levels, key=lambda lv: lv.frequency_hz)

@@ -1,0 +1,156 @@
+"""Built-in platform zoo: the registry's three stock SoC descriptions.
+
+* ``hikey970`` — the paper's board, captured verbatim from
+  :func:`repro.platform.hikey.hikey970` so the registry build is
+  bit-identical to the imperative constructor (golden-trace guarded).
+* ``tricluster`` — a modern flagship-phone SoC with LITTLE/big/prime
+  clusters (4+3+1), captured from :func:`repro.platform.synthetic.tricluster`
+  with derivation hints for the prime cluster.
+* ``snuca-grid`` — a many-core S-NUCA-style grid: 16 identical in-order
+  cores in one DVFS domain on a regular 4x4 floorplan, no NPU (TOP-IL
+  inference runs on a CPU core), server-class cooling.
+
+Every entry is a plain-data :class:`~repro.platform.spec.PlatformSpec`;
+``docs/platforms.md`` walks through authoring a fourth one.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.platform.hikey import hikey970
+from repro.platform.spec import (
+    ClusterSpec,
+    CoolingSpec,
+    NPUSpec,
+    PlatformSpec,
+    TileSpec,
+)
+from repro.platform.synthetic import tricluster
+from repro.utils.units import MHZ
+
+HIKEY970 = "hikey970"
+TRICLUSTER = "tricluster"
+SNUCA_GRID = "snuca-grid"
+
+
+def _hikey970_spec() -> PlatformSpec:
+    """The HiKey 970, captured float-for-float from the paper's model."""
+    return PlatformSpec.from_platform(
+        hikey970(),
+        description=(
+            "HiKey 970 (HiSilicon Kirin 970): 4x Cortex-A53 LITTLE + "
+            "4x Cortex-A73 big, per-cluster DVFS, on-SoC NPU — the "
+            "paper's evaluation board"
+        ),
+        npu=NPUSpec(present=True),
+    )
+
+
+def _tricluster_spec() -> PlatformSpec:
+    """A 4+3+1 LITTLE/big/prime flagship-phone SoC.
+
+    Captured from :func:`repro.platform.synthetic.tricluster` (the
+    platform the cluster-count-generalization tests exercise) and renamed
+    to the registry key.  The catalog's applications carry measured
+    parameters for ``LITTLE`` and ``big`` only; the prime cluster derives
+    its parameters from ``big`` scaled by 1.25 (a prime core is a wider
+    implementation of the same microarchitecture).
+    """
+    return PlatformSpec.from_platform(
+        tricluster(),
+        name=TRICLUSTER,
+        description=(
+            "Flagship-phone tri-cluster SoC: 4x LITTLE + 3x big + "
+            "1x prime with per-cluster DVFS and an NPU"
+        ),
+        npu=NPUSpec(present=True),
+        perf_like={"prime": ("big", 1.25)},
+    )
+
+
+# One shared OPP table for the grid's single DVFS domain: modest in-order
+# cores, DVFS between 600 MHz and 2.0 GHz.
+_GRID_OPP: Tuple[Tuple[float, float], ...] = (
+    (600 * MHZ, 0.70),
+    (1000 * MHZ, 0.78),
+    (1400 * MHZ, 0.86),
+    (1800 * MHZ, 0.95),
+    (2000 * MHZ, 1.00),
+)
+
+
+def _snuca_grid_spec(columns: int = 4, rows: int = 4) -> PlatformSpec:
+    """A many-core S-NUCA-style grid of identical in-order cores.
+
+    ``columns x rows`` cores tile the die regularly (each 1.1 x 1.1 mm);
+    a shared-LLC uncore strip and the remaining SoC sit above the grid.
+    One cluster, one VF domain, no NPU — the contrasting silicon for the
+    generalization claims: no big.LITTLE structure (GTS and the RL state
+    quantizer do not apply) and CPU-only TOP-IL inference.
+    """
+    mm = 1e-3
+    core_w, core_h = 1.1 * mm, 1.1 * mm
+    n = columns * rows
+    tiles: List[TileSpec] = [
+        TileSpec(
+            name=f"core{i}",
+            x_m=(i % columns) * core_w,
+            y_m=(i // columns) * core_h,
+            width_m=core_w,
+            height_m=core_h,
+        )
+        for i in range(n)
+    ]
+    grid_w = columns * core_w
+    grid_h = rows * core_h
+    tiles.append(
+        TileSpec(
+            name="uncore_grid",
+            x_m=0.0,
+            y_m=grid_h,
+            width_m=grid_w,
+            height_m=1.6 * mm,
+        )
+    )
+    tiles.append(
+        TileSpec(
+            name="soc_rest",
+            x_m=0.0,
+            y_m=grid_h + 1.6 * mm,
+            width_m=grid_w,
+            height_m=2.4 * mm,
+        )
+    )
+    return PlatformSpec(
+        name=SNUCA_GRID,
+        clusters=(
+            ClusterSpec(
+                name="grid",
+                core_ids=tuple(range(n)),
+                vf_points=_GRID_OPP,
+                dyn_power_coeff=2.8e-10,
+                static_power_coeff=0.040,
+                idle_power_fraction=0.04,
+                out_of_order=False,
+                perf_like="LITTLE",
+                perf_scale=1.1,
+            ),
+        ),
+        floorplan=tuple(tiles),
+        npu=NPUSpec(present=False),
+        cooling=CoolingSpec(
+            active_w_per_k=1.2,
+            passive_w_per_k=0.40,
+            board_capacitance_j_per_k=90.0,
+        ),
+        description=(
+            f"S-NUCA-style many-core grid: {n} identical in-order cores "
+            "in one DVFS domain, shared-LLC uncore strip, no NPU"
+        ),
+    )
+
+
+def builtin_specs() -> Tuple[PlatformSpec, ...]:
+    """All stock specs, in registry order (hikey970 first)."""
+    return (_hikey970_spec(), _tricluster_spec(), _snuca_grid_spec())

@@ -139,7 +139,15 @@ def batch_compatibility(ref: Simulator, sim: Simulator) -> Optional[str]:
     heterogeneous cell list into maximal compatible batches.
     """
     if sim.platform is not ref.platform:
-        return "different platform object"
+        # Identity, not equality: the batch kernel indexes one shared set
+        # of per-platform tables, and registry builds are fresh objects
+        # (share one AssetStore.platform per cell group to batch).
+        if sim.platform.name != ref.platform.name:
+            return (
+                f"different platform ({sim.platform.name!r} vs "
+                f"{ref.platform.name!r})"
+            )
+        return f"different platform object (both named {ref.platform.name!r})"
     if sim.config != ref.config:
         return "different SimConfig"
     if sim.thermal.node_names != ref.thermal.node_names:

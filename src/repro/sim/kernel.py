@@ -29,6 +29,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.apps.adapt import adapt_app_for_platform
 from repro.apps.model import AppModel
 from repro.faults.injectors import FaultTolerantSensor
 from repro.faults.runtime import FaultRuntime
@@ -272,9 +273,17 @@ class Simulator:
     def submit(
         self, app: AppModel, qos_target_ips: float, arrival_time_s: float = 0.0
     ) -> int:
-        """Add an application instance to the workload; returns its pid."""
+        """Add an application instance to the workload; returns its pid.
+
+        Applications missing per-cluster parameters for this platform are
+        adapted on entry (see :mod:`repro.apps.adapt`); on platforms the
+        app fully covers — every catalog app on the HiKey 970 — the model
+        passes through unchanged.  ``submit`` is the single entry point
+        for work, so every execution path sees the adapted model.
+        """
         if arrival_time_s < self.now_s:
             raise ValueError("cannot submit in the past")
+        app = adapt_app_for_platform(app, self.platform)
         pid = self._next_pid
         self._next_pid += 1
         process = Process(pid, app, qos_target_ips, arrival_time_s)

@@ -6,11 +6,11 @@ import dataclasses
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro.apps.adapt import adapt_app_for_platform
 from repro.apps.catalog import PARSEC_APPS, get_app
 from repro.apps.model import AppModel
-from repro.apps.qos import default_qos_target
+from repro.apps.qos import default_qos_target, reference_cluster
 from repro.platform import Platform
-from repro.platform.hikey import LITTLE
 from repro.utils.floatcmp import is_exactly
 from repro.utils.rng import RandomSource
 from repro.utils.validation import check_positive
@@ -98,8 +98,9 @@ def mixed_workload(
     """The paper's mixed workload: random apps, QoS targets, Poisson arrivals.
 
     QoS targets are drawn as a random fraction of the application's peak
-    IPS at the top LITTLE VF level, which keeps every target feasible on
-    either cluster in isolation while leaving contention to create real
+    IPS at the top VF level of the platform's reference (slowest) cluster
+    — ``LITTLE`` on the HiKey 970 — which keeps every target feasible on
+    any cluster in isolation while leaving contention to create real
     pressure — matching the paper's "random QoS target for each
     application".  The arrival rate controls the system load (the paper
     sweeps it to reach 13-37 % average utilization).
@@ -110,15 +111,15 @@ def mixed_workload(
     if not 0.0 < lo <= hi <= 1.0:
         raise ValueError("qos_fraction_range must satisfy 0 < lo <= hi <= 1")
     rng = RandomSource(seed).child("mixed-workload")
-    little_table = platform.cluster(LITTLE).vf_table
+    reference = reference_cluster(platform)
     items: List[WorkloadItem] = []
     t = 0.0
     for _ in range(n_apps):
         t += float(rng.exponential(1.0 / arrival_rate_per_s))
         name = str(rng.choice(list(apps)))
-        app = get_app(name)
+        app = adapt_app_for_platform(get_app(name), platform)
         fraction = float(rng.uniform(lo, hi))
-        target = fraction * app.max_ips(LITTLE, little_table)
+        target = fraction * app.max_ips(reference.name, reference.vf_table)
         items.append(WorkloadItem(name, target, t))
     return Workload(
         name=f"mixed-n{n_apps}-rate{arrival_rate_per_s:.4f}-seed{seed}",

@@ -83,3 +83,53 @@ def test_examples_readme_lists_trace_explorer():
         encoding="utf-8"
     )
     assert "trace_explorer.py" in examples_readme
+    assert "platform_zoo.py" in examples_readme
+
+
+class TestPlatformsDoc:
+    """``docs/platforms.md`` stays in lockstep with the platform registry."""
+
+    @property
+    def text(self) -> str:
+        path = DOC_PATH.parents[0] / "platforms.md"
+        assert path.exists(), "docs/platforms.md is missing"
+        return path.read_text(encoding="utf-8")
+
+    def test_documents_every_registered_platform(self):
+        from repro.platform import platform_names
+
+        text = self.text
+        for name in platform_names():
+            assert f"`{name}`" in text, (
+                f"registered platform {name!r} is absent from "
+                f"docs/platforms.md — document it in the stock table"
+            )
+
+    def test_documents_schema_sections(self):
+        text = self.text
+        for anchor in (
+            "PlatformSpec",
+            "ClusterSpec",
+            "floorplan contract",
+            "Fingerprinting",
+            "register_platform",
+            "perf_like",
+        ):
+            assert anchor in text, (
+                f"docs/platforms.md lost its {anchor!r} coverage"
+            )
+
+    def test_indexed_from_readme_and_architecture(self):
+        repo_root = DOC_PATH.parents[1]
+        readme = (repo_root / "README.md").read_text(encoding="utf-8")
+        architecture = (repo_root / "docs" / "architecture.md").read_text(
+            encoding="utf-8"
+        )
+        assert "docs/platforms.md" in readme
+        assert "platforms.md" in architecture
+
+    def test_cli_surface_documented(self):
+        text = self.text
+        assert "--platform" in text
+        assert "platform list" in text
+        assert "platform show" in text

@@ -47,6 +47,12 @@ class TestFastExamples:
         assert "prime" in out
         assert "QoS" in out
 
+    def test_platform_zoo(self):
+        out = _run("platform_zoo.py", "--n-apps", "3", "--duration", "10")
+        for name in ("hikey970", "tricluster", "snuca-grid"):
+            assert name in out
+        assert "headroom" in out
+
     def test_trace_explorer(self, tmp_path):
         out = _run("trace_explorer.py", "--out-dir", str(tmp_path))
         assert "top-5 hottest controller intervals" in out

@@ -78,6 +78,21 @@ def test_store_package_is_clean(tmp_path):
     assert payload["total"] == 0
 
 
+def test_platform_package_is_clean(tmp_path):
+    """The platform package is lint-gated with the strict core: the
+    declarative specs feed platform fingerprints (KEY discipline) and the
+    floorplan/VF numbers parametrize the thermal solver, so unit or
+    determinism violations here corrupt every downstream cache key."""
+    report = tmp_path / "platform_report.json"
+    result = _run_lint("src/repro/platform", "--json", str(report))
+    assert result.returncode == 0, (
+        f"repro-lint found violations in repro/platform:\n"
+        f"{result.stdout}{result.stderr}"
+    )
+    payload = json.loads(report.read_text())
+    assert payload["total"] == 0
+
+
 def test_batch_module_is_clean(tmp_path):
     """The batched lockstep kernel is lint-gated explicitly: its tick loop
     is the hottest code in the repo (HOT rules), its float comparisons

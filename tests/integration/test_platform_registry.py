@@ -1,0 +1,97 @@
+"""Platform-registry contract: every registered platform must simulate.
+
+Registering a platform is a promise: the spec builds, the thermal network
+solves, the kernel runs a smoke workload end to end under the runtime
+sanitizer (``REPRO_SANITIZE=1``) without NaN or invariant violations, and
+the mixed-workload experiment completes with its platform-appropriate
+technique subset.  New zoo entries get this coverage for free via the
+``platform_names()`` parametrization.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.assets import AssetConfig, AssetStore
+from repro.experiments.main_mixed import (
+    MainMixedConfig,
+    run_main_mixed,
+    supported_techniques,
+)
+from repro.platform import get_platform, get_spec, platform_names
+from repro.thermal import FAN_COOLING
+from repro.utils.sanitize import SANITIZE_ENV
+from repro.workloads.generator import mixed_workload
+from repro.workloads.runner import run_workload
+
+
+class SafePolicy:
+    """Minimal no-op management technique: default placement, fixed VF."""
+
+    name = "noop"
+
+    def attach(self, sim) -> None:  # pragma: no cover - interface hook
+        pass
+
+
+@pytest.mark.parametrize("name", platform_names())
+def test_platform_simulates_under_sanitizer(name, monkeypatch):
+    """Smoke workload on each platform with per-step invariant checks on."""
+    monkeypatch.setenv(SANITIZE_ENV, "1")
+    platform = get_platform(name)
+    workload = mixed_workload(
+        platform,
+        n_apps=3,
+        arrival_rate_per_s=0.5,
+        seed=7,
+        instruction_scale=0.005,
+    )
+    run = run_workload(
+        platform, SafePolicy(), workload, cooling=FAN_COOLING, seed=7
+    )
+    summary = run.summary
+    assert math.isfinite(summary.mean_temp_c)
+    assert math.isfinite(summary.peak_temp_c)
+    assert summary.mean_temp_c > platform.ambient_temp_c - 1.0
+    assert all(math.isfinite(t) for t in run.trace.sensor_temp_c)
+    assert all(math.isfinite(p) for p in run.trace.total_power_w)
+
+
+@pytest.mark.parametrize("name", platform_names())
+def test_platform_completes_micro_main_mixed(name, tmp_path):
+    """The mixed-workload grid completes on every registered platform with
+    its supported technique subset (TOP-IL everywhere; GTS and TOP-RL only
+    on big.LITTLE topologies)."""
+    platform = get_platform(name)
+    assets = AssetStore(
+        platform,
+        AssetConfig(
+            n_scenarios=4,
+            vf_levels_per_cluster=2,
+            max_aoi_candidates=2,
+            n_models=1,
+            rl_episodes=1,
+            cache_dir=str(tmp_path / "cache"),
+        ),
+    )
+    config = MainMixedConfig(
+        n_apps=3,
+        arrival_rates=(1.0 / 4.0,),
+        repetitions=1,
+        coolings=(FAN_COOLING,),
+        instruction_scale=0.01,
+    )
+    result = run_main_mixed(assets, config, parallel=False)
+    expected = supported_techniques(platform, config.techniques)
+    assert tuple(a.technique for a in result.aggregates) == expected
+    assert set(result.skipped_techniques) == (
+        set(config.techniques) - set(expected)
+    )
+    spec = get_spec(name)
+    if not ({"big", "LITTLE"} <= set(spec.cluster_names)):
+        assert result.skipped_techniques  # non-big.LITTLE must skip some
+    for agg in result.aggregates:
+        assert math.isfinite(agg.mean_temp_c)
+        assert agg.mean_temp_c > platform.ambient_temp_c - 1.0

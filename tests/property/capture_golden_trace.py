@@ -33,9 +33,13 @@ ARRIVAL_RATE = 1.0 / 6.0
 INSTRUCTION_SCALE = 0.02
 
 
-def run_golden_scenario():
-    """The fixed scenario both the capture and the regression test run."""
-    platform = hikey970()
+def run_golden_scenario(platform=None):
+    """The fixed scenario both the capture and the regression test run.
+
+    ``platform`` defaults to a directly built HiKey 970; the registry
+    bit-identity test passes ``get_platform("hikey970")`` instead.
+    """
+    platform = platform if platform is not None else hikey970()
     workload = mixed_workload(
         platform,
         n_apps=N_APPS,

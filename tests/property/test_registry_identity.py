@@ -1,0 +1,111 @@
+"""Registry-built HiKey 970 is bit-identical to the direct build.
+
+The declarative :class:`~repro.platform.spec.PlatformSpec` layer must not
+perturb the paper platform in any way: ``get_platform("hikey970")`` goes
+spec -> build() while ``hikey970()`` constructs the imperative description
+directly, and the two must agree float-for-float — same fingerprint, same
+golden-trace replay (serial), and the same lockstep batch behaviour.
+Exact equality throughout, never ``isclose``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from capture_golden_trace import run_golden_scenario, trace_to_dict
+from repro.governors.techniques import GTSOndemand, GTSPowersave
+from repro.platform import get_platform, get_spec, hikey970
+from repro.sim.batch import BatchSimulator
+from repro.store.keys import platform_fingerprint
+from repro.thermal import FAN_COOLING
+from repro.workloads.generator import mixed_workload
+from repro.workloads.runner import finalize_run, prepare_run, run_workload
+
+
+@pytest.fixture(scope="module")
+def registry_platform():
+    return get_platform("hikey970")
+
+
+class TestRegistryHikeyIdentity:
+    def test_fingerprint_identical(self, registry_platform):
+        assert platform_fingerprint(registry_platform) == platform_fingerprint(
+            hikey970()
+        )
+
+    def test_description_equal(self, registry_platform):
+        direct = hikey970()
+        assert registry_platform.name == direct.name
+        assert registry_platform.ambient_temp_c == direct.ambient_temp_c
+        assert registry_platform.dtm == direct.dtm
+        assert registry_platform.floorplan == direct.floorplan
+        assert len(registry_platform.clusters) == len(direct.clusters)
+        for built, want in zip(registry_platform.clusters, direct.clusters):
+            assert built.name == want.name
+            assert built.core_ids == want.core_ids
+            assert built.dyn_power_coeff == want.dyn_power_coeff
+            assert built.static_power_coeff == want.static_power_coeff
+            assert built.idle_power_fraction == want.idle_power_fraction
+            assert built.out_of_order == want.out_of_order
+            assert list(built.vf_table) == list(want.vf_table)
+
+    def test_spec_roundtrips_through_dict(self):
+        spec = get_spec("hikey970")
+        assert spec.from_dict(spec.to_dict()) == spec
+
+    def test_serial_golden_trace_identical(self, registry_platform):
+        """The golden smoke scenario replays bit-for-bit on the registry
+        build: every trace series and process counter exactly equal."""
+        direct = trace_to_dict(run_golden_scenario())
+        registry = trace_to_dict(run_golden_scenario(registry_platform))
+        assert registry == direct
+
+    def test_batched_run_identical(self, registry_platform):
+        """A lockstep batch on the registry platform reproduces the scalar
+        kernel on the direct build, cell by cell."""
+        specs = [(GTSOndemand, 61), (GTSPowersave, 62)]
+        scale, n_apps = 0.004, 3
+
+        def workload(platform, seed):
+            return mixed_workload(
+                platform,
+                n_apps=n_apps,
+                arrival_rate_per_s=0.3,
+                seed=seed,
+                instruction_scale=scale,
+            )
+
+        direct = hikey970()
+        serial = [
+            run_workload(direct, tech(), workload(direct, seed),
+                         FAN_COOLING, seed=seed)
+            for tech, seed in specs
+        ]
+        prepared = [
+            (prepare_run(registry_platform, tech(),
+                         workload(registry_platform, seed),
+                         FAN_COOLING, seed=seed), tech(), seed)
+            for tech, seed in specs
+        ]
+        outcomes = BatchSimulator(
+            [sim for sim, _, _ in prepared]
+        ).run(timeout_s=7200.0)
+        assert all(outcome is None for outcome in outcomes)
+        batched = [
+            finalize_run(sim, tech, workload(registry_platform, seed),
+                         seed=seed)
+            for sim, tech, seed in prepared
+        ]
+        for one_serial, one_batched in zip(serial, batched):
+            st, bt = one_serial.trace, one_batched.trace
+            assert st.times == bt.times
+            assert st.sensor_temp_c == bt.sensor_temp_c
+            assert st.total_power_w == bt.total_power_w
+            assert st.vf_levels == bt.vf_levels
+            assert st.core_temps == bt.core_temps
+            assert st.migrations == bt.migrations
+            assert np.array_equal(
+                one_serial.sim.thermal.theta, one_batched.sim.thermal.theta
+            )
+            assert one_serial.summary == one_batched.summary

@@ -187,6 +187,62 @@ class TestCacheFlags:
         assert cli._resolve_cache_dir(args) is None
 
 
+class TestPlatformCommand:
+    def test_list_shows_registry(self, capsys):
+        assert cli.main(["platform", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("hikey970", "tricluster", "snuca-grid"):
+            assert name in out
+        assert "fingerprint" in out
+
+    def test_show_prints_spec_json(self, capsys):
+        import json
+
+        assert cli.main(["platform", "show", "tricluster"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["name"] == "tricluster"
+        assert [c["name"] for c in payload["clusters"]] == [
+            "LITTLE", "big", "prime",
+        ]
+
+    def test_show_unknown_errors(self, capsys):
+        assert cli.main(["platform", "show", "vaporchip"]) == 2
+        assert "unknown platform" in capsys.readouterr().err
+
+
+class TestPlatformFlag:
+    def test_run_fig1_on_tricluster(self, tmp_path, capsys, monkeypatch):
+        from repro.experiments.motivation import MotivationConfig
+
+        monkeypatch.setattr(
+            "repro.experiments.report.MotivationConfig.smoke",
+            classmethod(lambda cls: MotivationConfig(observe_s=5.0)),
+        )
+        code = cli.main(
+            [
+                "run", "fig1", "--scale", "smoke",
+                "--platform", "tricluster", "--cache", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        assert "adi" in capsys.readouterr().out
+
+    def test_unknown_platform_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown platform"):
+            cli.main(
+                [
+                    "run", "fig1", "--scale", "smoke",
+                    "--platform", "vaporchip", "--cache", str(tmp_path),
+                ]
+            )
+
+    def test_assets_helper_builds_selected_platform(self, tmp_path):
+        assets = cli._assets(str(tmp_path), "smoke", "snuca-grid")
+        assert assets.platform.name == "snuca-grid"
+        assert cli._assets(str(tmp_path), "smoke").platform.name == "hikey970"
+
+
 class TestCacheCommand:
     def _seed(self, tmp_path):
         from repro.store import ArtifactKey, ArtifactStore, CellResultHandle

@@ -20,6 +20,7 @@ STRICT_PACKAGES = [
     "repro.power.*",
     "repro.faults.*",
     "repro.store.*",
+    "repro.platform.*",
     "repro.sim.batch",
     "repro.experiments.parallel",
 ]
@@ -67,7 +68,7 @@ def test_strict_packages_fully_annotated():
     import ast
 
     strict_paths = []
-    for pkg in ("utils", "thermal", "power", "faults", "store"):
+    for pkg in ("utils", "thermal", "power", "faults", "store", "platform"):
         strict_paths.extend(
             sorted((REPO_ROOT / "src" / "repro" / pkg).rglob("*.py"))
         )

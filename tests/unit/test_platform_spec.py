@@ -1,0 +1,230 @@
+"""Declarative PlatformSpec layer: validation, roundtrip, registry, zoo."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.platform import (
+    ClusterSpec,
+    NPUSpec,
+    PlatformSpec,
+    PlatformSpecError,
+    TileSpec,
+    get_platform,
+    get_spec,
+    hikey970,
+    platform_names,
+    register_platform,
+    spec_for_platform,
+)
+from repro.platform.registry import _REGISTRY
+from repro.platform.spec import CoolingSpec, DTMSpec, ThermalSpec
+from repro.platform.zoo import HIKEY970, SNUCA_GRID, TRICLUSTER, builtin_specs
+from repro.utils.units import MHZ
+
+
+def _valid_spec(name="testchip") -> PlatformSpec:
+    """A minimal valid two-core single-cluster platform."""
+    return PlatformSpec(
+        name=name,
+        clusters=(
+            ClusterSpec(
+                name="solo",
+                core_ids=(0, 1),
+                vf_points=((500 * MHZ, 0.7), (1000 * MHZ, 0.9)),
+                dyn_power_coeff=3e-10,
+                static_power_coeff=0.05,
+                perf_like="LITTLE",
+            ),
+        ),
+        floorplan=(
+            TileSpec("core0", 0.0, 0.0, 1e-3, 1e-3),
+            TileSpec("core1", 1e-3, 0.0, 1e-3, 1e-3),
+            TileSpec("uncore_solo", 0.0, 1e-3, 2e-3, 1e-3),
+            TileSpec("soc_rest", 0.0, 2e-3, 2e-3, 1e-3),
+        ),
+        npu=NPUSpec(present=False),
+    )
+
+
+class TestValidation:
+    def test_valid_spec_builds(self):
+        platform = _valid_spec().build()
+        assert platform.n_cores == 2
+        assert [c.name for c in platform.clusters] == ["solo"]
+
+    def test_duplicate_cluster_names_rejected(self):
+        spec = _valid_spec()
+        spec = dataclasses.replace(spec, clusters=spec.clusters * 2)
+        with pytest.raises(PlatformSpecError, match="duplicate cluster"):
+            spec.validate()
+
+    def test_non_contiguous_core_ids_rejected(self):
+        spec = _valid_spec()
+        bad = dataclasses.replace(spec.clusters[0], core_ids=(0, 2))
+        with pytest.raises(PlatformSpecError, match="core ids"):
+            dataclasses.replace(spec, clusters=(bad,)).validate()
+
+    def test_descending_vf_points_rejected(self):
+        spec = _valid_spec()
+        bad = dataclasses.replace(
+            spec.clusters[0],
+            vf_points=((1000 * MHZ, 0.9), (500 * MHZ, 0.7)),
+        )
+        with pytest.raises(PlatformSpecError, match="ascending"):
+            dataclasses.replace(spec, clusters=(bad,)).validate()
+
+    def test_missing_core_tile_rejected(self):
+        spec = _valid_spec()
+        floorplan = tuple(
+            t for t in spec.floorplan if t.name != "core1"
+        )
+        with pytest.raises(PlatformSpecError, match="core1"):
+            dataclasses.replace(spec, floorplan=floorplan).validate()
+
+    def test_missing_uncore_tile_rejected(self):
+        spec = _valid_spec()
+        floorplan = tuple(
+            t for t in spec.floorplan if t.name != "uncore_solo"
+        )
+        with pytest.raises(PlatformSpecError, match="uncore_solo"):
+            dataclasses.replace(spec, floorplan=floorplan).validate()
+
+    def test_missing_soc_rest_tile_rejected(self):
+        spec = _valid_spec()
+        floorplan = tuple(
+            t for t in spec.floorplan if t.name != "soc_rest"
+        )
+        with pytest.raises(PlatformSpecError, match="soc_rest"):
+            dataclasses.replace(spec, floorplan=floorplan).validate()
+
+    def test_self_referential_perf_like_rejected(self):
+        spec = _valid_spec()
+        bad = dataclasses.replace(spec.clusters[0], perf_like="solo")
+        with pytest.raises(PlatformSpecError, match="perf_like"):
+            dataclasses.replace(spec, clusters=(bad,)).validate()
+
+    def test_error_names_the_spec(self):
+        spec = _valid_spec(name="badchip")
+        bad = dataclasses.replace(spec.clusters[0], core_ids=(5, 6))
+        with pytest.raises(PlatformSpecError, match="badchip"):
+            dataclasses.replace(spec, clusters=(bad,)).validate()
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("spec", builtin_specs(), ids=lambda s: s.name)
+    def test_builtin_to_from_dict(self, spec):
+        assert PlatformSpec.from_dict(spec.to_dict()) == spec
+
+    def test_dict_form_is_plain_data(self):
+        import json
+
+        payload = _valid_spec().to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_from_platform_roundtrip(self):
+        spec = PlatformSpec.from_platform(hikey970(), npu=NPUSpec())
+        rebuilt = spec.build()
+        direct = hikey970()
+        assert rebuilt.floorplan == direct.floorplan
+        assert rebuilt.dtm == direct.dtm
+        for built, want in zip(rebuilt.clusters, direct.clusters):
+            assert list(built.vf_table) == list(want.vf_table)
+
+    def test_optional_sections_default(self):
+        payload = _valid_spec().to_dict()
+        for section in ("dtm", "npu", "thermal", "cooling"):
+            payload.pop(section, None)
+        spec = PlatformSpec.from_dict(payload)
+        assert spec.dtm == DTMSpec()
+        assert spec.npu == NPUSpec()
+        assert spec.thermal == ThermalSpec()
+        assert spec.cooling == CoolingSpec()
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {HIKEY970, TRICLUSTER, SNUCA_GRID} <= set(platform_names())
+
+    def test_get_platform_builds_fresh_objects(self):
+        assert get_platform(HIKEY970) is not get_platform(HIKEY970)
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="hikey970"):
+            get_platform("made-up-chip")
+
+    def test_reregister_without_replace_rejected(self):
+        spec = get_spec(HIKEY970)
+        with pytest.raises(ValueError, match="already registered"):
+            register_platform(spec)
+        register_platform(spec, replace=True)  # idempotent with replace
+
+    def test_register_validates(self):
+        spec = _valid_spec(name="invalid-entry")
+        bad = dataclasses.replace(spec.clusters[0], core_ids=(3, 4))
+        with pytest.raises(PlatformSpecError):
+            register_platform(dataclasses.replace(spec, clusters=(bad,)))
+        assert "invalid-entry" not in platform_names()
+
+    def test_spec_for_platform_by_name(self):
+        assert spec_for_platform(hikey970()) is get_spec(HIKEY970)
+        unknown = _valid_spec(name="unregistered").build()
+        assert spec_for_platform(unknown) is None
+
+    def test_register_and_unregister_custom(self):
+        spec = _valid_spec(name="customchip")
+        register_platform(spec)
+        try:
+            assert get_platform("customchip").n_cores == 2
+        finally:
+            _REGISTRY.pop("customchip")
+
+
+class TestZoo:
+    def test_hikey_is_big_little_with_npu(self):
+        spec = get_spec(HIKEY970)
+        assert spec.cluster_names == ("LITTLE", "big")
+        assert spec.npu.present
+
+    def test_tricluster_shape(self):
+        spec = get_spec(TRICLUSTER)
+        assert spec.cluster_names == ("LITTLE", "big", "prime")
+        assert spec.n_cores == 8
+        assert spec.npu.present
+
+    def test_grid_shape(self):
+        spec = get_spec(SNUCA_GRID)
+        assert spec.cluster_names == ("grid",)
+        assert spec.n_cores == 16
+        assert not spec.npu.present
+
+    def test_npuless_platform_gets_cpu_overhead_model(self):
+        model = get_spec(SNUCA_GRID).management_overhead_model()
+        assert model is not None
+        # Inference falls back to the CPU path on both legs.
+        assert model.inference is model.cpu_inference or (
+            type(model.inference) is type(model.cpu_inference)
+        )
+
+    def test_npu_platform_overhead_model_uses_npu(self):
+        model = get_spec(HIKEY970).management_overhead_model()
+        assert model is not None
+        assert type(model.inference) is not type(model.cpu_inference)
+
+    @pytest.mark.parametrize("spec", builtin_specs(), ids=lambda s: s.name)
+    def test_every_builtin_builds_and_fingerprints(self, spec):
+        from repro.store.keys import platform_fingerprint
+
+        fingerprint = platform_fingerprint(spec.build())
+        assert len(fingerprint) == 16
+
+    def test_fingerprints_are_distinct(self):
+        from repro.store.keys import platform_fingerprint
+
+        prints = {
+            platform_fingerprint(get_platform(name))
+            for name in platform_names()
+        }
+        assert len(prints) == len(platform_names())
