@@ -1,0 +1,47 @@
+"""Deterministic infrastructure chaos: host-level fault injection.
+
+Where :mod:`repro.faults` breaks the *simulated SoC* (sensors, NPU,
+deadlines), this package breaks the *host the experiments run on*: store
+reads and writes raise ``OSError``, payload writes tear mid-file, disks
+fill up (``ENOSPC``), grid workers get ``SIGKILL``'d, cells run slow.
+Every injection draws from private seeded streams
+(:class:`~repro.chaos.engine.ChaosEngine`), never from simulation RNG,
+so a zero-chaos plan is bit-identical to running with no chaos layer at
+all — and the injected faults themselves replay deterministically.
+
+Plans ride on the environment exactly like fault plans
+(``REPRO_CHAOS`` / ``REPRO_CHAOS_SEED`` / ``REPRO_CHAOS_DIR``), so forked
+grid workers inherit them with no extra plumbing.  The injection seams
+live in :class:`~repro.store.store.ArtifactStore` (read/write/mangle
+hooks) and the :mod:`repro.experiments.parallel` worker loop (cell-start
+hook); the ``chaos`` sweep experiment asserts the recovery invariants
+end to end.  Operator guide: ``docs/resilience.md``.
+"""
+
+from repro.chaos.engine import (
+    ChaosEngine,
+    engine_from_env,
+    pool_cell_hook,
+    reset_engine_cache,
+)
+from repro.chaos.plan import (
+    CHAOS_DIR_ENV,
+    CHAOS_ENV,
+    CHAOS_KINDS,
+    CHAOS_SEED_ENV,
+    ChaosPlan,
+    ChaosSpec,
+)
+
+__all__ = [
+    "CHAOS_DIR_ENV",
+    "CHAOS_ENV",
+    "CHAOS_KINDS",
+    "CHAOS_SEED_ENV",
+    "ChaosEngine",
+    "ChaosPlan",
+    "ChaosSpec",
+    "engine_from_env",
+    "pool_cell_hook",
+    "reset_engine_cache",
+]

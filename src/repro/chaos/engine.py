@@ -1,0 +1,223 @@
+"""The chaos engine: deterministic host-level fault injection.
+
+One :class:`ChaosEngine` owns the randomness of a :class:`ChaosPlan` in
+one process.  Streams are private children of ``RandomSource(plan.seed)``
+— the store and pool never touch simulation RNG, so chaos cannot shift a
+simulation result; it can only make the infrastructure around it fail.
+
+Two stream disciplines coexist:
+
+* **Sequential streams** for store I/O kinds: one child stream per kind,
+  drawn at every opportunity (even at rate 0, mirroring
+  ``FaultInjector._roll``) so changing one kind's rate never shifts the
+  decisions of another.
+* **Keyed streams** for per-cell kinds (``worker_kill``, ``slow_cell``):
+  the trigger decision for cell ``index`` attempt ``attempt`` comes from
+  a fresh ``child(f"chaos/{kind}/{index}/{attempt}")`` stream, so it is
+  identical no matter which worker picks the cell up or in what order —
+  the fork pool's scheduling stays free.
+
+``kill_after_checkpoint`` fires **once per scratch directory**, enforced
+by an exclusive-create marker file, so a killed-and-resumed worker does
+not get killed again at its next checkpoint.  Without a scratch dir the
+kind is inert.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import signal
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.chaos.plan import (
+    CHAOS_DIR_ENV,
+    CHAOS_ENV,
+    CHAOS_SEED_ENV,
+    SLOW_CELL_STALL_S,
+    ChaosPlan,
+    ChaosSpec,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.utils.rng import RandomSource
+
+
+class ChaosEngine:
+    """Executes one plan's injection decisions in one process."""
+
+    def __init__(
+        self,
+        plan: ChaosPlan,
+        registry: Optional["MetricsRegistry"] = None,
+    ) -> None:
+        self.plan = plan
+        self.registry = registry
+        self._root = RandomSource(plan.seed)
+        self._streams: Dict[str, RandomSource] = {
+            spec.kind: self._root.child(f"chaos/{spec.kind}")
+            for spec in plan.specs
+        }
+        self.event_counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ rolls
+    def _count(self, kind: str) -> None:
+        self.event_counts[kind] = self.event_counts.get(kind, 0) + 1
+        if self.registry is not None:
+            self.registry.counter("chaos_injected_total", kind=kind).inc()
+
+    def _roll(self, spec: ChaosSpec) -> bool:
+        """One sequential trigger decision; draws even at rate 0."""
+        hit = float(self._streams[spec.kind].uniform()) < spec.rate
+        return hit
+
+    def _roll_cell(self, spec: ChaosSpec, index: int, attempt: int) -> bool:
+        """One keyed trigger decision — scheduling-independent."""
+        if not spec.applies_to_attempt(attempt):
+            return False
+        stream = self._root.child(f"chaos/{spec.kind}/{index}/{attempt}")
+        return float(stream.uniform()) < spec.rate
+
+    # ------------------------------------------------------------------ store seams
+    def before_payload_read(self) -> None:
+        """Store seam: may raise a transient ``OSError`` before a read."""
+        spec = self.plan.spec_for("store_read_error")
+        if spec is not None and self._roll(spec):
+            self._count("store_read_error")
+            raise OSError(errno.EIO, "chaos: injected store read error")
+
+    def before_payload_write(self) -> None:
+        """Store seam: may raise before a payload write.
+
+        ``store_write_error`` raises a *transient* EIO (the store's
+        bounded retry should absorb it); ``enospc`` raises ENOSPC, which
+        the store treats as non-transient and degrades on.
+        """
+        spec = self.plan.spec_for("enospc")
+        if spec is not None and self._roll(spec):
+            self._count("enospc")
+            raise OSError(errno.ENOSPC, "chaos: injected ENOSPC")
+        spec = self.plan.spec_for("store_write_error")
+        if spec is not None and self._roll(spec):
+            self._count("store_write_error")
+            raise OSError(errno.EIO, "chaos: injected store write error")
+
+    def mangle_written_payload(self, path: str) -> None:
+        """Store seam: corrupt a freshly-written temp payload file.
+
+        Called *after* the store computed the payload checksum and
+        *before* the atomic publish, which is exactly where a real torn
+        write lands: the meta file certifies bytes that are no longer on
+        disk.  Verify-on-read must catch both mangles and never serve
+        the artifact.
+        """
+        spec = self.plan.spec_for("torn_write")
+        if spec is not None and self._roll(spec):
+            self._count("torn_write")
+            size = os.path.getsize(path)
+            with open(path, "ab") as handle:
+                handle.truncate(size // 2)
+            return
+        spec = self.plan.spec_for("corrupt_checksum")
+        if spec is not None and self._roll(spec):
+            self._count("corrupt_checksum")
+            with open(path, "r+b") as handle:
+                first = handle.read(1)
+                handle.seek(0)
+                handle.write(bytes([first[0] ^ 0xFF]) if first else b"\xff")
+
+    # ------------------------------------------------------------------ pool seams
+    def on_cell_start(self, index: int, attempt: int) -> None:
+        """Pool seam: called by a worker as it starts a cell attempt.
+
+        ``worker_kill`` SIGKILLs the *current process* — the hard crash
+        the supervisor must survive; ``slow_cell`` injects a short stall
+        so completions reorder.  Decisions are keyed by (index, attempt)
+        and therefore identical across pool widths and schedules.
+        """
+        spec = self.plan.spec_for("slow_cell")
+        if spec is not None and self._roll_cell(spec, index, attempt):
+            self._count("slow_cell")
+            time.sleep(SLOW_CELL_STALL_S)
+        spec = self.plan.spec_for("worker_kill")
+        if spec is not None and self._roll_cell(spec, index, attempt):
+            self._count("worker_kill")
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    # ------------------------------------------------------------------ runner seam
+    def after_checkpoint_write(self, token: str) -> None:
+        """Runner seam: called right after a checkpoint artifact lands.
+
+        Fires at most once per (scratch_dir, token): the first process
+        to exclusively create the marker file is SIGKILL'd, any later
+        call — including the resumed retry of the same cell — passes
+        through.  Inert when the plan has no scratch directory.
+        """
+        spec = self.plan.spec_for("kill_after_checkpoint")
+        if spec is None or self.plan.scratch_dir is None:
+            return
+        if not self._roll(spec):
+            return
+        marker = os.path.join(
+            self.plan.scratch_dir, f"killed-after-ckpt-{token}"
+        )
+        try:
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return
+        os.close(fd)
+        self._count("kill_after_checkpoint")
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+#: Per-process engine cache: (pid, env signature) -> engine.  Keyed by
+#: pid so a forked worker builds its own engine (fresh streams) instead
+#: of sharing the parent's sequence position.
+_ENGINE_CACHE: Dict[Tuple[int, str, str, str], Optional[ChaosEngine]] = {}
+
+
+def reset_engine_cache() -> None:
+    """Drop cached engines (tests that flip the env mid-process)."""
+    _ENGINE_CACHE.clear()
+
+
+def engine_from_env(
+    registry: Optional["MetricsRegistry"] = None,
+) -> Optional[ChaosEngine]:
+    """The process-wide engine for the env-carried plan, or None.
+
+    Reads ``REPRO_CHAOS``/``_SEED``/``_DIR`` lazily and memoizes per
+    (pid, env) so repeated store constructions in one worker share one
+    stream sequence, while forked children re-derive their own.
+    """
+    text = os.environ.get(CHAOS_ENV)
+    if text is None:
+        return None
+    key = (
+        os.getpid(),
+        text,
+        os.environ.get(CHAOS_SEED_ENV, "0"),
+        # Scratch dir carries once-only kill markers, never results;
+        # cell keys fold the plan itself via fault_env_signature.
+        os.environ.get(CHAOS_DIR_ENV, ""),  # repro-lint: ignore[KEY001]
+    )
+    if key not in _ENGINE_CACHE:
+        plan = ChaosPlan.from_env()
+        # Fork-safe by construction: the cache key leads with os.getpid(),
+        # so a forked worker never reads the parent's entry — it builds
+        # its own engine with streams at position 0.
+        _ENGINE_CACHE[key] = (  # repro-lint: ignore[FORK001]
+            ChaosEngine(plan, registry=registry) if plan is not None else None
+        )
+    return _ENGINE_CACHE[key]
+
+
+def pool_cell_hook(index: int, attempt: int) -> None:
+    """Module-level pool seam (picklable by reference, fork-inherited).
+
+    Called by :mod:`repro.experiments.parallel` workers at the start of
+    every cell attempt; a no-op without an env-carried plan.
+    """
+    engine = engine_from_env()
+    if engine is not None:
+        engine.on_cell_start(index, attempt)

@@ -1,0 +1,195 @@
+"""Chaos plans: *which* host-level faults to inject, and how often.
+
+A :class:`ChaosPlan` is the frozen, declarative twin of
+:class:`repro.faults.plan.FaultPlan`, one level down the stack: instead
+of simulated-SoC faults it describes failures of the infrastructure the
+experiments run on.  It carries no state — randomness lives entirely in
+:class:`~repro.chaos.engine.ChaosEngine`, which derives private streams
+from ``plan.seed`` so injections replay deterministically and a
+zero-rate plan never perturbs anything.
+
+The compact textual form (CLI ``--chaos``, env ``REPRO_CHAOS``)::
+
+    store_write_error:0.3,torn_write:0.5,worker_kill:1@1
+
+is comma-separated ``kind:rate`` pairs; the optional ``@N`` suffix caps
+injection to cell attempts ``<= N`` (1-based), which is how a plan says
+"kill the first attempt, let the retry through".  ``REPRO_CHAOS_DIR``
+names a scratch directory for cross-process once-only markers
+(``kill_after_checkpoint``); it is orchestration state, not part of the
+plan identity, so :meth:`ChaosPlan.describe` excludes it.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from repro.utils.floatcmp import is_zero
+
+#: Environment carriers for fork-pool workers (see repro.cli).
+CHAOS_ENV = "REPRO_CHAOS"
+CHAOS_SEED_ENV = "REPRO_CHAOS_SEED"
+CHAOS_DIR_ENV = "REPRO_CHAOS_DIR"
+
+#: Every chaos kind the engine understands, with the opportunity each
+#: rate is measured against.
+CHAOS_KINDS: Tuple[str, ...] = (
+    "store_read_error",  # per payload read: transient OSError (EIO)
+    "store_write_error",  # per payload write: transient OSError (EIO)
+    "torn_write",  # per payload write: file truncated before publish
+    "corrupt_checksum",  # per payload write: one byte flipped
+    "enospc",  # per payload write: OSError (ENOSPC), non-transient
+    "worker_kill",  # per cell attempt: SIGKILL the worker process
+    "slow_cell",  # per cell attempt: inject a short stall
+    "kill_after_checkpoint",  # once per scratch dir: SIGKILL after a checkpoint write
+)
+
+#: Kinds whose trigger decision is keyed by (cell index, attempt) so it
+#: is independent of worker scheduling.
+_CELL_KINDS = ("worker_kill", "slow_cell")
+
+#: Injected stall length for ``slow_cell`` (wall seconds, deliberately
+#: tiny — enough to reorder completions, not to slow the suite).
+SLOW_CELL_STALL_S = 0.05
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """One chaos family: kind, trigger rate, optional attempt cap.
+
+    ``rate`` is the probability of triggering at each opportunity.
+    ``max_attempt`` (1-based, ``None`` = unlimited) bounds injection to
+    early cell attempts for the per-cell kinds — a ``worker_kill`` plan
+    with ``max_attempt=1`` kills every first attempt it rolls for but
+    lets the supervisor's retry run to completion.
+    """
+
+    kind: str
+    rate: float
+    max_attempt: Optional[int] = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHAOS_KINDS:
+            raise ValueError(
+                f"unknown chaos kind {self.kind!r}; known: {CHAOS_KINDS}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.max_attempt is not None and self.max_attempt < 1:
+            raise ValueError("max_attempt must be >= 1 (1-based)")
+
+    def applies_to_attempt(self, attempt: int) -> bool:
+        """Whether this spec may inject on cell attempt ``attempt``."""
+        return self.max_attempt is None or attempt <= self.max_attempt
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """An immutable set of :class:`ChaosSpec` plus the engine seed."""
+
+    specs: Tuple[ChaosSpec, ...] = ()
+    seed: int = 0
+    scratch_dir: Optional[str] = None
+
+    def is_zero(self) -> bool:
+        """True when the plan can never trigger anything."""
+        return all(is_zero(spec.rate) for spec in self.specs)
+
+    def spec_for(self, kind: str) -> Optional[ChaosSpec]:
+        for spec in self.specs:
+            if spec.kind == kind:
+                return spec
+        return None
+
+    def with_seed(self, seed: int) -> "ChaosPlan":
+        return replace(self, seed=seed)
+
+    def describe(self) -> str:
+        """The compact ``kind:rate[@N],...`` form (round-trips via parse).
+
+        ``scratch_dir`` is deliberately excluded: it is per-run
+        orchestration state, not part of what the plan *does*.
+        """
+        parts = []
+        for s in self.specs:
+            suffix = "" if s.max_attempt == 1 else (
+                "@*" if s.max_attempt is None else f"@{s.max_attempt}"
+            )
+            parts.append(f"{s.kind}:{s.rate:g}{suffix}")
+        return ",".join(parts)
+
+    @classmethod
+    def parse(
+        cls,
+        text: str,
+        seed: int = 0,
+        scratch_dir: Optional[str] = None,
+    ) -> "ChaosPlan":
+        """Parse the CLI form ``kind:rate[@N][,kind:rate[@N]...]``.
+
+        ``@N`` caps injection to attempts ``<= N``; ``@*`` removes the
+        cap (the default cap is 1 so retries succeed by default).  An
+        empty string yields an empty (zero-chaos) plan, which still
+        installs the chaos layer — that is the configuration whose
+        results must be bit-identical to no chaos layer at all.
+        """
+        specs = []
+        for token in text.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            if ":" not in token:
+                raise ValueError(
+                    f"bad chaos token {token!r}; expected kind:rate[@N]"
+                )
+            kind, rate_text = token.split(":", 1)
+            max_attempt: Optional[int] = 1
+            if "@" in rate_text:
+                rate_text, cap_text = rate_text.split("@", 1)
+                if cap_text.strip() == "*":
+                    max_attempt = None
+                else:
+                    try:
+                        max_attempt = int(cap_text)
+                    except ValueError as exc:
+                        raise ValueError(
+                            f"bad attempt cap in {token!r}: {cap_text!r}"
+                        ) from exc
+            try:
+                rate = float(rate_text)
+            except ValueError as exc:
+                raise ValueError(
+                    f"bad chaos rate in {token!r}: {rate_text!r}"
+                ) from exc
+            specs.append(
+                ChaosSpec(
+                    kind=kind.strip(), rate=rate, max_attempt=max_attempt
+                )
+            )
+        return cls(specs=tuple(specs), seed=seed, scratch_dir=scratch_dir)
+
+    @classmethod
+    def from_env(cls) -> Optional["ChaosPlan"]:
+        """Read ``REPRO_CHAOS``/``_SEED``/``_DIR``; None when unset.
+
+        The fork-safe carrier: the CLI (or a test) writes the env vars
+        once in the parent and every forked worker inherits them, so the
+        store and pool in each process see the same plan.
+        """
+        text = os.environ.get(CHAOS_ENV)
+        if text is None:
+            return None
+        seed = int(os.environ.get(CHAOS_SEED_ENV, "0"))
+        # Scratch dir is orchestration state (kill markers), excluded
+        # from plan identity and result-neutral — see describe().
+        scratch_dir = os.environ.get(CHAOS_DIR_ENV) or None  # repro-lint: ignore[KEY001]
+        return cls.parse(text, seed=seed, scratch_dir=scratch_dir)
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        """Number of specs per kind (diagnostics / manifest metadata)."""
+        out: Dict[str, int] = {}
+        for spec in self.specs:
+            out[spec.kind] = out.get(spec.kind, 0) + 1
+        return out

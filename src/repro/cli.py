@@ -8,6 +8,9 @@ Usage::
                                  [--cache-dir DIR | --no-cache]
                                  [--trace] [--trace-dir DIR]
                                  [--faults PLAN] [--fault-seed N]
+                                 [--chaos PLAN] [--chaos-seed N]
+                                 [--checkpoint-dir DIR]
+                                 [--checkpoint-period-s SECONDS]
     python -m repro.cli report [--scale medium] [--out EXPERIMENTS.md]
                                [--platform NAME]
                                [--cache-dir DIR | --no-cache]
@@ -50,6 +53,16 @@ to setting ``REPRO_FAULTS``) using the compact plan form
 ``--fault-seed`` seeds the injector streams.  Fault plans fold into the
 artifact-store keys, so faulted and fault-free runs never share cache
 entries.  See ``docs/resilience.md``.
+
+``--chaos`` attaches the *infrastructure* chaos layer (equivalent to
+setting ``REPRO_CHAOS``) using the plan form ``kind:rate[@N]``, e.g.
+``store_write_error:0.1,worker_kill:0.5``: it injects host-level failures
+(store I/O errors, torn writes, ENOSPC, worker SIGKILLs) without touching
+simulation results; ``--chaos-seed`` seeds its streams.  ``--checkpoint-dir``
+enables periodic simulator checkpointing (``REPRO_CHECKPOINT_DIR``) so
+killed grid cells resume instead of restarting; ``--checkpoint-period-s``
+sets the snapshot cadence in simulated seconds.  See
+``docs/resilience.md``.
 """
 
 from __future__ import annotations
@@ -60,11 +73,18 @@ import sys
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
 
+from repro.chaos import CHAOS_ENV, CHAOS_SEED_ENV, ChaosPlan
 from repro.experiments import EXPERIMENTS
 from repro.experiments.assets import AssetConfig, AssetStore
 from repro.experiments.report import ReportScale, generate_report
 from repro.faults import FAULT_SEED_ENV, FAULTS_ENV, FaultPlan
 from repro.obs.config import TRACE_DIR_ENV, TRACE_ENV
+from repro.sim.checkpoint import (
+    CHECKPOINT_DIR_ENV,
+    CHECKPOINT_PERIOD_ENV,
+    DEFAULT_CHECKPOINT_PERIOD_S,
+    CheckpointPolicy,
+)
 from repro.platform.registry import get_platform, get_spec, platform_names
 from repro.store import ArtifactStore
 from repro.utils.tables import ascii_table
@@ -147,6 +167,23 @@ def _command_env(args: argparse.Namespace) -> Dict[str, str]:
             raise SystemExit(f"bad --faults value: {exc}") from exc
         updates[FAULTS_ENV] = args.faults
         updates[FAULT_SEED_ENV] = str(args.fault_seed)
+    if args.chaos is not None:
+        try:
+            ChaosPlan.parse(args.chaos, seed=args.chaos_seed)
+        except ValueError as exc:
+            raise SystemExit(f"bad --chaos value: {exc}") from exc
+        updates[CHAOS_ENV] = args.chaos
+        updates[CHAOS_SEED_ENV] = str(args.chaos_seed)
+    if args.checkpoint_dir is not None:
+        try:
+            CheckpointPolicy(
+                directory=args.checkpoint_dir,
+                period_s=args.checkpoint_period_s,
+            )
+        except ValueError as exc:
+            raise SystemExit(f"bad checkpoint options: {exc}") from exc
+        updates[CHECKPOINT_DIR_ENV] = args.checkpoint_dir
+        updates[CHECKPOINT_PERIOD_ENV] = str(args.checkpoint_period_s)
     return updates
 
 
@@ -350,6 +387,32 @@ def main(argv=None) -> int:
             type=int,
             default=0,
             help="seed for the fault injector's RNG streams (default 0)",
+        )
+        cmd_p.add_argument(
+            "--chaos",
+            default=None,
+            metavar="PLAN",
+            help="infrastructure chaos plan as kind:rate[@N][,...] "
+            "(e.g. store_write_error:0.1,worker_kill:0.5)",
+        )
+        cmd_p.add_argument(
+            "--chaos-seed",
+            type=int,
+            default=0,
+            help="seed for the chaos engine's RNG streams (default 0)",
+        )
+        cmd_p.add_argument(
+            "--checkpoint-dir",
+            default=None,
+            metavar="DIR",
+            help="enable periodic simulator checkpointing into DIR "
+            "(killed cells resume from their last snapshot)",
+        )
+        cmd_p.add_argument(
+            "--checkpoint-period-s",
+            type=float,
+            default=DEFAULT_CHECKPOINT_PERIOD_S,
+            help="simulated seconds between checkpoints (default 30)",
         )
 
     args = parser.parse_args(argv)

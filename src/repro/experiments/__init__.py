@@ -24,6 +24,7 @@ stability       extension — IL-vs-RL stability metrics
 optimality      extension — gap to a privileged oracle static mapping
 robustness      extension — ambient-temperature robustness
 platforms       extension — cross-platform comparison (platform zoo)
+chaos           extension — infrastructure chaos & crash recovery
 report          run everything, render EXPERIMENTS.md
 ==============  ===========================================================
 """
@@ -111,6 +112,10 @@ from repro.experiments.platforms import (
 )
 
 __all__ += ["PlatformComparisonConfig", "run_platform_comparison"]
+
+from repro.experiments.chaos import ChaosConfig, run_chaos
+
+__all__ += ["ChaosConfig", "run_chaos"]
 
 
 # --------------------------------------------------------------------------
@@ -251,6 +256,10 @@ def _ambient_body(assets, scale, registry):
 
 def _resilience_body(assets, scale, registry):
     return run_resilience(assets, scale.resilience, registry=registry).report()
+
+
+def _chaos_body(assets, scale, registry):
+    return run_chaos(assets, scale.chaos, registry=registry).report()
 
 
 def _platforms_body(assets, scale, registry):
@@ -407,6 +416,18 @@ EXPERIMENT_SPECS: _Tuple[ExperimentSpec, ...] = (
         ),
         body=_resilience_body,
         uses_store=True,
+    ),
+    ExperimentSpec(
+        name="chaos",
+        title="Extension — infrastructure chaos & crash recovery",
+        paper_claim=(
+            "not in the paper (methodology hardening): the same grid run "
+            "under deterministic host-level chaos — worker SIGKILLs, "
+            "kills right after a checkpoint, torn and failing store "
+            "writes, ENOSPC — completes via checkpoint resume and stays "
+            "bit-identical to the chaos-free baseline."
+        ),
+        body=_chaos_body,
     ),
     ExperimentSpec(
         name="platforms",

@@ -1,0 +1,389 @@
+"""Infrastructure-chaos sweep (extension beyond the paper).
+
+:mod:`repro.experiments.resilience` injects faults into the *simulated
+platform*; this experiment injects faults into the *infrastructure that
+runs the simulation* — the artifact store, the checkpoint files, and the
+worker processes themselves — and checks the recovery machinery end to
+end.  The same tiny grid of cells runs twice:
+
+1. **Baseline pass** — chaos and checkpointing both off.
+2. **Chaos pass** — a deterministic :class:`~repro.chaos.ChaosPlan`
+   (worker SIGKILLs, kill-after-checkpoint, torn checkpoint writes,
+   transient write errors, ENOSPC) plus periodic checkpointing, fanned
+   out over the supervised fork pool.
+
+The headline invariant is **bit-identity**: every chaos-pass cell must
+produce a :class:`~repro.metrics.summary.RunSummary` whose canonical
+digest equals the baseline cell's, because chaos only touches the host
+layer and recovery resumes from exact kernel snapshots.  The secondary
+invariant is **recovery**: cells killed after their first checkpoint must
+report ``resumed_from_s > 0`` — the sweep proves crashes were absorbed by
+resume, not by silent recompute-from-scratch.
+
+Per-cell kill kinds need the fork pool (a SIGKILL in the serial path
+would take down the supervisor); when the pool is unavailable the sweep
+automatically drops ``worker_kill``/``kill_after_checkpoint`` from the
+plan and says so in the report.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import shutil
+import tempfile
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.chaos import (
+    CHAOS_DIR_ENV,
+    CHAOS_ENV,
+    CHAOS_SEED_ENV,
+    ChaosPlan,
+    reset_engine_cache,
+)
+from repro.experiments.assets import AssetStore
+from repro.experiments.parallel import (
+    FailedCell,
+    default_workers,
+    parallel_enabled,
+    run_cells_report,
+)
+from repro.governors.techniques import GTSOndemand
+from repro.metrics.summary import RunSummary
+from repro.obs.manifest import canonical_json
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.checkpoint import CHECKPOINT_DIR_ENV, CHECKPOINT_PERIOD_ENV
+from repro.thermal import FAN_COOLING
+from repro.utils.tables import ascii_table
+from repro.workloads.generator import mixed_workload
+from repro.workloads.runner import run_workload
+
+#: Chaos kinds that SIGKILL the executing process: only safe on the fork
+#: pool, where the supervisor survives and retries the cell.
+_KILL_KINDS = ("worker_kill", "kill_after_checkpoint")
+
+
+@dataclass
+class ChaosConfig:
+    """One chaos sweep: grid size, plan text, and checkpoint cadence."""
+
+    #: Number of grid cells; each runs one seed of the tiny workload.
+    n_cells: int = 3
+    n_apps: int = 2
+    arrival_rate_per_s: float = 1.0
+    instruction_scale: float = 0.002
+    seed: int = 7
+    #: The injected plan (``ChaosPlan.parse`` syntax).  The default kills
+    #: every cell's first attempt outright, kills the retry right after
+    #: its first checkpoint, and tears/errors checkpoint-store writes —
+    #: every recovery path fires on every cell.
+    chaos_plan: str = (
+        "worker_kill:1,kill_after_checkpoint:1,"
+        "torn_write:0.5,store_write_error:0.3,enospc:0.2"
+    )
+    #: Engine seed.  Chosen so the *first* draw of each store-write
+    #: stream does not trigger: every attempt runs in a fresh fork (its
+    #: streams start at position 0), so the retry's first checkpoint
+    #: always lands intact and the kill-after-checkpoint / resume path is
+    #: exercised on every cell; later draws still tear and fail writes.
+    chaos_seed: int = 5
+    #: Simulated seconds between checkpoints (small: cells are tiny).
+    checkpoint_period_s: float = 0.5
+    cell_timeout_s: Optional[float] = 120.0
+    #: Attempt budget: 1 (killed at start) + 1 (killed after checkpoint)
+    #: + 1 (resumes and completes), plus one spare.
+    max_retries: int = 3
+    retry_backoff_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.n_cells < 1:
+            raise ValueError("n_cells must be >= 1")
+        if self.checkpoint_period_s <= 0.0:
+            raise ValueError("checkpoint_period_s must be > 0")
+        # Fail on an unparseable plan at config time, not mid-sweep.
+        ChaosPlan.parse(self.chaos_plan, seed=self.chaos_seed)
+
+    @classmethod
+    def smoke(cls) -> "ChaosConfig":
+        return cls(n_cells=2)
+
+    @classmethod
+    def paper(cls) -> "ChaosConfig":
+        return cls(n_cells=6, n_apps=4, instruction_scale=0.01)
+
+
+@dataclass(frozen=True)
+class ChaosRow:
+    """One cell's outcome in one pass (baseline or chaos)."""
+
+    cell_seed: int
+    mean_temp_c: float
+    peak_temp_c: float
+    qos_violations: int
+    migrations: int
+    #: SHA-256 over the canonical JSON of the full RunSummary — the
+    #: bit-identity fingerprint compared across passes.
+    summary_digest: str
+    #: Simulated time this cell resumed from (0.0 = never crashed or
+    #: recomputed from scratch).
+    resumed_from_s: float
+
+
+@dataclass
+class ChaosResult:
+    baseline: List[ChaosRow] = field(default_factory=list)
+    chaos: List[ChaosRow] = field(default_factory=list)
+    failed_cells: List[FailedCell] = field(default_factory=list)
+    retries_total: int = 0
+    #: The plan the chaos pass actually ran (kill kinds may be dropped).
+    plan_text: str = ""
+    #: True when the pool was unavailable and kill kinds were dropped.
+    kill_kinds_skipped: bool = False
+
+    def _by_seed(self, rows: List[ChaosRow]) -> Dict[int, ChaosRow]:
+        return {row.cell_seed: row for row in rows}
+
+    def bit_identical(self) -> bool:
+        """Every completed chaos cell matches its baseline digest."""
+        base = self._by_seed(self.baseline)
+        return bool(self.chaos) and all(
+            row.cell_seed in base
+            and base[row.cell_seed].summary_digest == row.summary_digest
+            for row in self.chaos
+        )
+
+    def recovered_cells(self) -> List[int]:
+        """Cell seeds whose chaos run resumed from a checkpoint."""
+        return [r.cell_seed for r in self.chaos if r.resumed_from_s > 0.0]
+
+    def report(self) -> str:
+        base = self._by_seed(self.baseline)
+        rows = []
+        for row in self.chaos:
+            ref = base.get(row.cell_seed)
+            identical = ref is not None and (
+                ref.summary_digest == row.summary_digest
+            )
+            rows.append(
+                (
+                    row.cell_seed,
+                    f"{row.mean_temp_c:.1f} C",
+                    row.qos_violations,
+                    row.migrations,
+                    f"{row.resumed_from_s:.2f} s",
+                    "yes" if identical else "NO",
+                )
+            )
+        table = ascii_table(
+            [
+                "cell seed", "avg temp", "violations", "migrations",
+                "resumed from", "== baseline",
+            ],
+            rows,
+        )
+        lines = [f"chaos plan: {self.plan_text or '(empty)'}", table]
+        if self.kill_kinds_skipped:
+            lines.append(
+                "note: fork pool not used (serial path); kill kinds were "
+                "dropped from the plan (no crash-recovery coverage this run)"
+            )
+        recovered = self.recovered_cells()
+        lines.append(
+            f"recovered cells: {len(recovered)}/{len(self.chaos)} "
+            f"(retries: {self.retries_total})"
+        )
+        lines.append(
+            "bit-identical to chaos-free baseline: "
+            + ("yes" if self.bit_identical() else "NO")
+        )
+        for failure in self.failed_cells:
+            lines.append(
+                f"FAILED cell[{failure.index}] seed={failure.cell}: "
+                f"{failure.reason} after {failure.attempts} attempt(s)"
+            )
+        return "\n".join(lines)
+
+
+@contextmanager
+def _install_env(values: Dict[str, Optional[str]]) -> Iterator[None]:
+    """Set/unset env carriers for one pass, restoring on exit.
+
+    Resets the per-process chaos engine cache on both edges so the pass
+    (and whatever runs after it) resolves the env it actually sees.
+    """
+    saved = {key: os.environ.get(key) for key in values}
+    for key, value in values.items():
+        if value is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = value
+    reset_engine_cache()
+    try:
+        yield
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        reset_engine_cache()
+
+
+def _summary_digest(summary: RunSummary) -> str:
+    return hashlib.sha256(
+        canonical_json(summary).encode("utf-8")
+    ).hexdigest()
+
+
+# Shared read-only state for the chaos workers (pool initializer).
+_CHAOS_STATE: Dict[str, object] = {}
+
+
+def _init_chaos_worker(assets: AssetStore, config: ChaosConfig) -> None:
+    _CHAOS_STATE["assets"] = assets
+    _CHAOS_STATE["config"] = config
+
+
+def _run_chaos_cell(cell_seed: int) -> ChaosRow:
+    """One tiny simulation -> fingerprinted row.
+
+    Chaos and checkpointing arrive via the environment (inherited across
+    the pool fork), so the *identical* worker code runs on both passes —
+    any divergence between them is the infrastructure's fault, which is
+    the point.
+    """
+    assets: AssetStore = _CHAOS_STATE["assets"]  # type: ignore[assignment]
+    config: ChaosConfig = _CHAOS_STATE["config"]  # type: ignore[assignment]
+    platform = assets.platform
+    workload = mixed_workload(
+        platform,
+        n_apps=config.n_apps,
+        arrival_rate_per_s=config.arrival_rate_per_s,
+        seed=cell_seed,
+        instruction_scale=config.instruction_scale,
+    )
+    run = run_workload(
+        platform,
+        GTSOndemand(),
+        workload,
+        cooling=FAN_COOLING,
+        seed=cell_seed,
+    )
+    return ChaosRow(
+        cell_seed=cell_seed,
+        mean_temp_c=run.summary.mean_temp_c,
+        peak_temp_c=run.summary.peak_temp_c,
+        qos_violations=run.summary.n_qos_violations,
+        migrations=run.summary.migrations,
+        summary_digest=_summary_digest(run.summary),
+        resumed_from_s=run.resumed_from_s,
+    )
+
+
+def _resolve_pool(
+    parallel: Optional[bool], n_workers: Optional[int], n_cells: int
+) -> Tuple[bool, Optional[int]]:
+    """Whether the chaos pass forks, and with how many workers.
+
+    Kill kinds are only safe under the supervised pool, and
+    ``run_cells_report`` forks only when it resolves >= 2 workers — so
+    the count is pinned to at least 2 here instead of trusting the
+    CPU-count default, which is 1 on small CI boxes and would silently
+    run SIGKILL kinds inline in the supervisor process.  An explicit
+    ``n_workers=1`` is the serial opt-out: the sweep drops kill kinds.
+    """
+    pooled = parallel_enabled(parallel) and n_cells > 1
+    if pooled:
+        try:
+            multiprocessing.get_context("fork")
+        except ValueError:
+            pooled = False
+    if not pooled or (n_workers is not None and int(n_workers) <= 1):
+        return False, n_workers
+    requested = default_workers() if n_workers is None else int(n_workers)
+    return True, min(max(2, requested), n_cells)
+
+
+def _effective_plan(config: ChaosConfig, pooled: bool) -> str:
+    """The plan text the chaos pass runs; kill kinds need the pool."""
+    plan = ChaosPlan.parse(config.chaos_plan, seed=config.chaos_seed)
+    if pooled:
+        return config.chaos_plan
+    kept = tuple(s for s in plan.specs if s.kind not in _KILL_KINDS)
+    return ChaosPlan(specs=kept, seed=config.chaos_seed).describe()
+
+
+def run_chaos(
+    assets: AssetStore,
+    config: ChaosConfig = ChaosConfig(),
+    parallel: Optional[bool] = None,
+    n_workers: Optional[int] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> ChaosResult:
+    """Run the grid chaos-free, then under chaos; compare fingerprints.
+
+    Neither pass uses the result cache: the bit-identity claim is only
+    meaningful when both passes actually computed their cells.  The chaos
+    pass gets a throwaway scratch tree (checkpoint store + kill markers)
+    that is deleted before returning.
+    """
+    cells = [config.seed + i for i in range(config.n_cells)]
+    pooled, chaos_workers = _resolve_pool(parallel, n_workers, len(cells))
+    plan_text = _effective_plan(config, pooled)
+
+    off: Dict[str, Optional[str]] = {
+        CHAOS_ENV: None,
+        CHAOS_SEED_ENV: None,
+        CHAOS_DIR_ENV: None,
+        CHECKPOINT_DIR_ENV: None,
+        CHECKPOINT_PERIOD_ENV: None,
+    }
+    with _install_env(off):
+        base_report = run_cells_report(
+            cells,
+            _run_chaos_cell,
+            init=_init_chaos_worker,
+            init_args=(assets, config),
+            parallel=parallel,
+            n_workers=n_workers,
+            cell_timeout_s=config.cell_timeout_s,
+            registry=registry,
+        )
+
+    scratch = tempfile.mkdtemp(prefix="repro-chaos-")
+    on: Dict[str, Optional[str]] = {
+        CHAOS_ENV: plan_text,
+        CHAOS_SEED_ENV: str(config.chaos_seed),
+        CHAOS_DIR_ENV: os.path.join(scratch, "markers"),
+        CHECKPOINT_DIR_ENV: os.path.join(scratch, "checkpoints"),
+        CHECKPOINT_PERIOD_ENV: str(config.checkpoint_period_s),
+    }
+    os.makedirs(on[CHAOS_DIR_ENV] or "", exist_ok=True)
+    try:
+        with _install_env(on):
+            chaos_report = run_cells_report(
+                cells,
+                _run_chaos_cell,
+                init=_init_chaos_worker,
+                init_args=(assets, config),
+                parallel=pooled,
+                n_workers=chaos_workers,
+                cell_timeout_s=config.cell_timeout_s,
+                max_retries=config.max_retries,
+                retry_backoff_s=config.retry_backoff_s,
+                registry=registry,
+            )
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    return ChaosResult(
+        baseline=[r for r in base_report.results if r is not None],
+        chaos=[r for r in chaos_report.results if r is not None],
+        failed_cells=chaos_report.failed_cells,
+        retries_total=chaos_report.retries_total,
+        plan_text=plan_text,
+        kill_kinds_skipped=not pooled,
+    )

@@ -83,6 +83,7 @@ from typing import (
     Tuple,
 )
 
+from repro.chaos.engine import pool_cell_hook
 from repro.obs.config import Observability
 from repro.obs.manifest import RunManifest, merge_manifests
 from repro.obs.metrics import MetricsRegistry
@@ -239,11 +240,15 @@ def _worker_loop(
     init: Optional[Callable[..., None]],
     init_args: Tuple[Any, ...],
 ) -> None:
-    """Long-lived worker: recv ``(index, cell)``, send a tagged reply.
+    """Long-lived worker: recv ``(index, cell, attempt)``, send a reply.
 
     Runs in the forked child.  A clean exception from ``worker`` becomes
     an ``("error", index, detail)`` reply; a crash (signal, interpreter
-    death) simply breaks the pipe, which the supervisor detects.
+    death) simply breaks the pipe, which the supervisor detects.  The
+    chaos seam (:func:`repro.chaos.pool_cell_hook`) runs at every cell
+    attempt start — a no-op unless ``REPRO_CHAOS`` is set, in which case
+    it may stall the cell or SIGKILL this very process (the crash path
+    the supervisor's retry-with-resume exists for).
     """
     try:
         if init is not None:
@@ -261,8 +266,9 @@ def _worker_loop(
             return
         if message is None:
             return
-        index, cell = message
+        index, cell, attempt = message
         try:
+            pool_cell_hook(index, attempt)
             payload = ("ok", index, worker(cell))
         except BaseException as exc:  # noqa: BLE001 - reported, not retried
             payload = ("error", index, _describe_error(exc))
@@ -423,7 +429,9 @@ def _supervise(
                 if task is None:
                     break
                 try:
-                    entry.conn.send((task.index, cells[task.index]))
+                    entry.conn.send(
+                        (task.index, cells[task.index], task.attempt)
+                    )
                 except (ValueError, OSError):
                     # Worker died while idle: requeue (no attempt burned,
                     # the cell never started) and replace the worker.

@@ -22,6 +22,7 @@ from typing import Callable, List, Optional
 from repro.experiments import EXPERIMENT_SPECS
 from repro.experiments.ablation import AblationConfig
 from repro.experiments.assets import AssetStore
+from repro.experiments.chaos import ChaosConfig
 from repro.experiments.illustrative import IllustrativeConfig
 from repro.experiments.main_mixed import MainMixedConfig
 from repro.experiments.migration import MigrationOverheadConfig
@@ -52,6 +53,7 @@ class ReportScale:
     overhead: OverheadConfig
     ablation: AblationConfig
     resilience: ResilienceConfig
+    chaos: ChaosConfig
     platforms: PlatformComparisonConfig
 
     @classmethod
@@ -68,6 +70,7 @@ class ReportScale:
             overhead=OverheadConfig.smoke(),
             ablation=AblationConfig.smoke(),
             resilience=ResilienceConfig.smoke(),
+            chaos=ChaosConfig.smoke(),
             platforms=PlatformComparisonConfig.smoke(),
         )
 
@@ -98,6 +101,7 @@ class ReportScale:
             ),
             ablation=AblationConfig(n_train_scenarios=16, n_test_scenarios=6),
             resilience=ResilienceConfig(),
+            chaos=ChaosConfig(),
             platforms=PlatformComparisonConfig(),
         )
 
@@ -115,6 +119,7 @@ class ReportScale:
             overhead=OverheadConfig.paper(),
             ablation=AblationConfig.paper(),
             resilience=ResilienceConfig.paper(),
+            chaos=ChaosConfig.paper(),
             platforms=PlatformComparisonConfig.paper(),
         )
 
@@ -171,7 +176,22 @@ def generate_report(
         say(f"[report] {spec.title} ...")
         # Wall-clock section timings are reporting metadata, not results.
         start = time.time()  # repro-lint: ignore[DET003]
-        body = spec.body(assets, scale, registry)
+        try:
+            body = spec.body(assets, scale, registry)
+        except Exception as exc:
+            # One broken experiment must not sink the other sections: a
+            # partial report with an explicit failure entry beats no
+            # report after hours of compute.
+            body = (
+                "SECTION FAILED — the remaining sections rendered from "
+                "their own runs.\n"
+                f"{type(exc).__name__}: {exc}"
+            )
+            say(f"[report] {spec.title} FAILED: {exc!r}")
+            if registry is not None:
+                registry.counter(
+                    "report_section_failures_total", section=spec.name
+                ).inc()
         elapsed_s = time.time() - start  # repro-lint: ignore[DET003]
         if registry is not None:
             registry.gauge(

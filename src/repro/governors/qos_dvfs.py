@@ -16,12 +16,15 @@ cold-cache transient does not masquerade as a QoS violation.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.platform.vf import VFLevel, VFTable
 from repro.sim.kernel import Simulator
 from repro.sim.process import Process
 from repro.utils.validation import check_positive
+
+if TYPE_CHECKING:
+    from repro.npu.overhead import ManagementOverheadModel
 
 
 def estimate_min_level(
@@ -126,3 +129,27 @@ class QoSDVFSControlLoop:
         histogram, and Chrome-trace spans.
         """
         sim.add_controller(name, self.period_s, self)
+
+
+class ChargedDVFSCallback:
+    """The DVFS loop wrapped with its own management-overhead charge.
+
+    TOP-IL and TOP-RL charge the loop's counter-reading cost on the
+    manager core before every invocation.  This is a module-level class
+    (not a closure inside ``attach``) so a `Simulator` carrying it stays
+    picklable — checkpoint/restore snapshots the controller callbacks by
+    pickling them.
+    """
+
+    def __init__(
+        self, loop: QoSDVFSControlLoop, overhead_model: "ManagementOverheadModel"
+    ):
+        self.loop = loop
+        self.overhead_model = overhead_model
+
+    def __call__(self, sim: Simulator) -> None:
+        sim.account_overhead(
+            "dvfs",
+            self.overhead_model.dvfs_invocation_s(len(sim.running_processes())),
+        )
+        self.loop(sim)

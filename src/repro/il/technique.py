@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.governors.base import Technique
-from repro.governors.qos_dvfs import QoSDVFSControlLoop
+from repro.governors.qos_dvfs import ChargedDVFSCallback, QoSDVFSControlLoop
 from repro.il.policy import TopILMigrationPolicy
 from repro.nn.layers import Sequential
 from repro.npu.overhead import ManagementOverheadModel
@@ -64,15 +64,12 @@ class TopIL(Technique):
             sim.obs.meta["technique"] = self.name
         self.dvfs_loop.attach(sim)
         self.migration.attach(sim)
-        # Charge the DVFS loop's counter-reading cost each invocation.
-        original = self.dvfs_loop.__call__
-
-        def with_overhead(s: Simulator, _orig=original) -> None:
-            s.account_overhead(
-                "dvfs", self._overhead.dvfs_invocation_s(len(s.running_processes()))
-            )
-            _orig(s)
-
-        # Replace the registered controller callback with the charged one.
+        # Replace the registered controller callback with the charged one
+        # (a picklable module-level class, so checkpointing can snapshot
+        # a simulator that carries this technique).
         sim.remove_controller("qos-dvfs")
-        sim.add_controller("qos-dvfs", self.dvfs_loop.period_s, with_overhead)
+        sim.add_controller(
+            "qos-dvfs",
+            self.dvfs_loop.period_s,
+            ChargedDVFSCallback(self.dvfs_loop, self._overhead),
+        )

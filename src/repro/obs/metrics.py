@@ -226,6 +226,31 @@ _SPECS: Tuple[MetricSpec, ...] = (
         "store_bytes", "gauge", "bytes",
         "Payload bytes written to the artifact store this run.", "",
     ),
+    MetricSpec(
+        "store_retries_total", "counter", "events",
+        "Transient store I/O errors absorbed by bounded retry, by op "
+        "(read/write).", "",
+    ),
+    MetricSpec(
+        "store_degraded", "gauge", "flag",
+        "1 once the store fell back to no-cache in-memory mode (unusable "
+        "cache directory); 0 otherwise.", "",
+    ),
+    # --- chaos / checkpointing ------------------------------------------
+    MetricSpec(
+        "chaos_injected_total", "counter", "events",
+        "Host-level faults injected by the chaos engine, by kind.", "",
+    ),
+    MetricSpec(
+        "checkpoint_writes_total", "counter", "events",
+        "Simulator checkpoints written by the runner's periodic cadence.",
+        "",
+    ),
+    MetricSpec(
+        "checkpoint_restores_total", "counter", "events",
+        "Runs resumed from a stored checkpoint instead of starting fresh.",
+        "",
+    ),
     # --- tracer / tooling ----------------------------------------------
     MetricSpec(
         "trace_events_recorded_total", "counter", "events",
@@ -238,6 +263,11 @@ _SPECS: Tuple[MetricSpec, ...] = (
     MetricSpec(
         "report_section_wall_s", "gauge", "s",
         "Wall-clock time of one report section, by section.", "",
+    ),
+    MetricSpec(
+        "report_section_failures_total", "counter", "events",
+        "Report sections whose experiment raised (rendered as a SECTION "
+        "FAILED entry in the partial report), by section.", "",
     ),
 )
 

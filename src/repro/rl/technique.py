@@ -9,7 +9,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.governors.base import Technique
-from repro.governors.qos_dvfs import QoSDVFSControlLoop
+from repro.governors.qos_dvfs import ChargedDVFSCallback, QoSDVFSControlLoop
 from repro.npu.overhead import ManagementOverheadModel
 from repro.rl.policy import RLConfig, TopRLMigrationPolicy
 from repro.rl.qtable import QTable
@@ -67,13 +67,9 @@ class TopRL(Technique):
             sim.obs.meta["technique"] = self.name
         self.dvfs_loop.attach(sim)
         self.migration.attach(sim)
-        original = self.dvfs_loop.__call__
-
-        def with_overhead(s: Simulator, _orig=original) -> None:
-            s.account_overhead(
-                "dvfs", self._overhead.dvfs_invocation_s(len(s.running_processes()))
-            )
-            _orig(s)
-
         sim.remove_controller("qos-dvfs")
-        sim.add_controller("qos-dvfs", self.dvfs_loop.period_s, with_overhead)
+        sim.add_controller(
+            "qos-dvfs",
+            self.dvfs_loop.period_s,
+            ChargedDVFSCallback(self.dvfs_loop, self._overhead),
+        )

@@ -1,0 +1,176 @@
+"""Deterministic simulator checkpoint/restore.
+
+A checkpoint is a pickled deep snapshot of the *complete* kernel state —
+RC thermal state vector, pending-event heap, per-process progress/QoS/EMA
+accounting, every RNG stream state (sensor, faults), controller and
+degradation state machines, obs counters — wrapped in a versioned,
+checksummed envelope.  The contract is bit-identity::
+
+    run-to-T  ==  run-to-T/2  +  snapshot  +  restore  +  run-to-T
+
+which holds because taking a snapshot is a pure read (no RNG draw, no
+state mutation) and restoring unpickles the exact object graph.  The
+property tests in ``tests/property/test_checkpoint_equivalence.py``
+enforce this on all three zoo platforms, with and without the sanitizer.
+
+This module is deliberately stdlib-only and does not import the kernel at
+runtime — the kernel imports *us* for :meth:`Simulator.snapshot`, and the
+store's :class:`repro.store.handles.CheckpointHandle` wraps the envelope
+as a cacheable artifact.
+
+Env carriers (read by ``workloads/runner.py``, inherited by forked grid
+workers exactly like ``REPRO_FAULTS``):
+
+``REPRO_CHECKPOINT_DIR``
+    Cache directory for periodic checkpoints; unset disables
+    checkpointing entirely (the default — checkpoint-disabled runs are
+    bit-identical to pre-checkpoint behavior).
+``REPRO_CHECKPOINT_PERIOD_S``
+    Simulated seconds between checkpoints (default 30.0).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+if TYPE_CHECKING:
+    from repro.sim.kernel import Simulator
+
+CHECKPOINT_SCHEMA_VERSION = 1
+
+CHECKPOINT_DIR_ENV = "REPRO_CHECKPOINT_DIR"
+CHECKPOINT_PERIOD_ENV = "REPRO_CHECKPOINT_PERIOD_S"
+DEFAULT_CHECKPOINT_PERIOD_S = 30.0
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be taken or restored.
+
+    Raised on unpicklable simulator state (snapshot) and on version or
+    checksum mismatches (restore).  Callers that resume opportunistically
+    — the runner, the fork pool — catch this and fall back to a fresh
+    run; the checkpoint is an optimization, never a correctness input.
+    """
+
+
+@dataclass(frozen=True)
+class SimCheckpoint:
+    """Versioned, checksummed envelope around one pickled simulator.
+
+    ``payload`` is the raw pickle of the simulator object graph;
+    ``checksum`` is its SHA-256 hex digest, verified before unpickling so
+    a torn or corrupted artifact fails loudly instead of resuming from
+    garbage.  ``meta`` carries identification only (platform, label,
+    sim-time) — nothing in it feeds the restore.
+    """
+
+    version: int
+    sim_time_s: float
+    payload: bytes
+    checksum: str
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+def _digest(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()
+
+
+def snapshot_simulator(
+    sim: "Simulator", meta: Optional[Dict[str, Any]] = None
+) -> SimCheckpoint:
+    """Capture the complete kernel state as a checksummed envelope.
+
+    Pure read: no RNG stream is advanced and no simulator attribute is
+    touched, so a run that takes snapshots is bit-identical to one that
+    does not.
+
+    Raises:
+        CheckpointError: if the simulator graph is not picklable (e.g. a
+            controller callback that is a lambda or nested closure —
+            use a module-level callable class instead, see
+            ``repro.governors.qos_dvfs.ChargedDVFSCallback``).
+    """
+    try:
+        payload = pickle.dumps(sim, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise CheckpointError(
+            f"simulator state is not picklable: {exc!r}; controller "
+            "callbacks and placement policies must be module-level "
+            "callables, not closures or lambdas"
+        ) from exc
+    return SimCheckpoint(
+        version=CHECKPOINT_SCHEMA_VERSION,
+        sim_time_s=sim.now_s,
+        payload=payload,
+        checksum=_digest(payload),
+        meta=dict(meta or {}),
+    )
+
+
+def restore_simulator(checkpoint: SimCheckpoint) -> "Simulator":
+    """Rebuild the simulator from an envelope, verifying it first.
+
+    Raises:
+        CheckpointError: on schema-version mismatch, checksum mismatch
+            (torn/corrupted payload), or an unpicklable payload.
+    """
+    if checkpoint.version != CHECKPOINT_SCHEMA_VERSION:
+        raise CheckpointError(
+            f"checkpoint schema version {checkpoint.version} != "
+            f"{CHECKPOINT_SCHEMA_VERSION}"
+        )
+    if _digest(checkpoint.payload) != checkpoint.checksum:
+        raise CheckpointError(
+            "checkpoint payload checksum mismatch (torn or corrupted)"
+        )
+    try:
+        sim = pickle.loads(checkpoint.payload)
+    except Exception as exc:
+        raise CheckpointError(
+            f"checkpoint payload failed to unpickle: {exc!r}"
+        ) from exc
+    return sim  # type: ignore[no-any-return]
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """When and where periodic checkpoints are written.
+
+    ``directory`` hosts an :class:`~repro.store.store.ArtifactStore`
+    keyed by the run's full configuration; ``period_s`` is the simulated
+    (not wall) time between snapshots, so the cadence is deterministic
+    and scheduling-independent.
+    """
+
+    directory: str
+    period_s: float = DEFAULT_CHECKPOINT_PERIOD_S
+
+    def __post_init__(self) -> None:
+        if not self.directory:
+            raise ValueError("CheckpointPolicy.directory must be non-empty")
+        if self.period_s <= 0.0:
+            raise ValueError("CheckpointPolicy.period_s must be > 0")
+
+    @classmethod
+    def from_env(cls) -> Optional["CheckpointPolicy"]:
+        """Policy from ``REPRO_CHECKPOINT_DIR``/``_PERIOD_S``, or None.
+
+        Unset (or empty) directory means checkpointing is off — the
+        common case, and the one whose behavior must stay bit-identical
+        to the pre-checkpoint kernel.
+        """
+        # Checkpoint config is result-neutral by the bit-identity
+        # contract (snapshots are pure reads; a checkpointed run equals
+        # a checkpoint-disabled one), so it must NOT fold into keys.
+        directory = os.environ.get(CHECKPOINT_DIR_ENV, "").strip()  # repro-lint: ignore[KEY001]
+        if not directory:
+            return None
+        period_text = os.environ.get(CHECKPOINT_PERIOD_ENV, "").strip()  # repro-lint: ignore[KEY001]
+        period_s = float(period_text) if period_text else (
+            DEFAULT_CHECKPOINT_PERIOD_S
+        )
+        return cls(directory=directory, period_s=period_s)

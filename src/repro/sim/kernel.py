@@ -441,13 +441,28 @@ class Simulator:
         while self.now_s < end - 1e-9:
             self.step()
 
-    def run_until_complete(self, timeout_s: float = 36000.0) -> None:
+    def run_until_complete(
+        self,
+        timeout_s: float = 36000.0,
+        checkpoint_every_s: Optional[float] = None,
+        on_checkpoint: Optional[Callable[["Simulator"], None]] = None,
+    ) -> None:
         """Run until every submitted process has finished.
 
         Args:
             timeout_s: Upper bound in *simulated* seconds (not wall time).
                 The default (36000 s = 10 simulated hours) is far beyond
                 any workload in the paper's evaluation.
+            checkpoint_every_s: When set (with ``on_checkpoint``), invoke
+                the checkpoint hook every this many *simulated* seconds,
+                at step boundaries.  The cadence is anchored at the
+                current ``now_s`` so a restored run continues the same
+                schedule.  The hook is a pure observer: it must not
+                mutate simulator state, which keeps checkpointed runs
+                bit-identical to unchecked ones.
+            on_checkpoint: Called with the simulator at each cadence
+                mark (typically ``repro.workloads.runner`` writing a
+                :class:`~repro.sim.checkpoint.SimCheckpoint` artifact).
 
         Returns:
             None — returns as soon as no process is pending or running.
@@ -459,15 +474,51 @@ class Simulator:
                 state (trace, metrics) is preserved for inspection.
         """
         end = self.now_s + timeout_s
+        next_checkpoint_s = (
+            self.now_s + checkpoint_every_s
+            if checkpoint_every_s is not None and on_checkpoint is not None
+            else None
+        )
         while self.now_s < end:
             if not self._pending and not self._running:
                 return
             self.step()
+            if (
+                next_checkpoint_s is not None
+                and self.now_s >= next_checkpoint_s - 1e-9
+            ):
+                on_checkpoint(self)  # type: ignore[misc]
+                while self.now_s >= next_checkpoint_s - 1e-9:
+                    next_checkpoint_s += checkpoint_every_s  # type: ignore[operator]
         stuck = sorted(
             [p.pid for p in self._running]
             + [pid for _, pid, _ in self._pending]
         )
         raise SimulationTimeout(timeout_s, self.now_s, stuck)
+
+    # ------------------------------------------------------------------ checkpointing
+    def snapshot(self, meta: Optional[Dict[str, object]] = None):
+        """Capture the complete kernel state as a checksummed envelope.
+
+        Pure read — no RNG draw, no attribute mutation — so runs that
+        snapshot are bit-identical to runs that do not.  See
+        :mod:`repro.sim.checkpoint` for the envelope format and the
+        bit-identity contract.
+        """
+        from repro.sim.checkpoint import snapshot_simulator
+
+        return snapshot_simulator(self, meta=meta)
+
+    @staticmethod
+    def restore(checkpoint) -> "Simulator":
+        """Rebuild a simulator from a :meth:`snapshot` envelope.
+
+        Verifies schema version and payload checksum first; raises
+        :class:`repro.sim.checkpoint.CheckpointError` on any mismatch.
+        """
+        from repro.sim.checkpoint import restore_simulator
+
+        return restore_simulator(checkpoint)
 
     # ------------------------------------------------------------------ internals
     def _admit_arrivals(self) -> None:

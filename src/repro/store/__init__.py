@@ -17,6 +17,7 @@ Operator surface: ``python -m repro.cli cache stats|gc|clear`` and the
 from repro.store.handles import (
     ArtifactHandle,
     CellResultHandle,
+    CheckpointHandle,
     ILDatasetHandle,
     ModelHandle,
     QTableHandle,
@@ -37,6 +38,7 @@ __all__ = [
     "ArtifactKey",
     "ArtifactStore",
     "CellResultHandle",
+    "CheckpointHandle",
     "ILDatasetHandle",
     "KindStats",
     "ModelHandle",

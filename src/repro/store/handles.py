@@ -32,6 +32,7 @@ from repro.rl.qtable import QTable
 __all__ = [
     "ArtifactHandle",
     "CellResultHandle",
+    "CheckpointHandle",
     "ILDatasetHandle",
     "ModelHandle",
     "QTableHandle",
@@ -194,11 +195,43 @@ class CellResultHandle(ArtifactHandle):
             return pickle.load(handle)
 
 
+class CheckpointHandle(ArtifactHandle):
+    """Mid-run simulator checkpoint envelope.
+
+    The payload is a pickled :class:`repro.sim.checkpoint.SimCheckpoint`
+    — itself a checksummed wrapper around the pickled simulator.  Two
+    integrity layers stack deliberately: the store's checksum guards the
+    artifact bytes on disk (verify-on-read evicts torn files), and the
+    envelope's inner checksum is re-verified by
+    :func:`~repro.sim.checkpoint.restore_simulator` so even a checkpoint
+    that bypassed the store (direct file hand-off) cannot resume from
+    corrupted state.
+    """
+
+    kind = "checkpoint"
+    schema_version = 1
+    suffix = ".ckpt.pkl"
+
+    def dump(self, obj: Any, path: str) -> None:
+        with open(path, "wb") as handle:
+            pickle.dump(obj, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def load(self, path: str) -> Any:
+        with open(path, "rb") as handle:
+            return pickle.load(handle)
+
+
 def handle_for_kind(kind: str) -> ArtifactHandle:
     """The default handle for a kind string (``cell/*`` maps to cells)."""
     if kind.startswith("cell"):
         return CellResultHandle()
-    for cls in (TraceGridHandle, ILDatasetHandle, ModelHandle, QTableHandle):
+    for cls in (
+        TraceGridHandle,
+        ILDatasetHandle,
+        ModelHandle,
+        QTableHandle,
+        CheckpointHandle,
+    ):
         if cls.kind == kind:
             return cls()
     raise KeyError(f"no artifact handle registered for kind {kind!r}")

@@ -119,19 +119,27 @@ class ArtifactKey:
 
 
 def fault_env_signature() -> Dict[str, str]:
-    """The fault-injection environment as a key ingredient.
+    """The fault- and chaos-injection environment as a key ingredient.
 
     Reads the same ``REPRO_FAULTS`` / ``REPRO_FAULT_SEED`` carrier the run
     engine resolves plans from, so a cached cell result can never be served
-    into a run with a different fault plan.
+    into a run with a different fault plan.  The chaos plan
+    (``REPRO_CHAOS`` / ``REPRO_CHAOS_SEED``) folds in for the same reason:
+    chaos must not change *results*, but a chaos grid and a chaos-free
+    grid are separate experiments and must never share cache entries —
+    the bit-identity assertion between them is only meaningful if each
+    computed its own.
     """
-    # Imported lazily: keys must stay importable without the faults package
-    # having been initialized (and vice versa).
+    # Imported lazily: keys must stay importable without the faults/chaos
+    # packages having been initialized (and vice versa).
+    from repro.chaos import CHAOS_ENV, CHAOS_SEED_ENV
     from repro.faults import FAULT_SEED_ENV, FAULTS_ENV
 
     return {
         "faults": os.environ.get(FAULTS_ENV, ""),
         "fault_seed": os.environ.get(FAULT_SEED_ENV, ""),
+        "chaos": os.environ.get(CHAOS_ENV, ""),
+        "chaos_seed": os.environ.get(CHAOS_SEED_ENV, ""),
     }
 
 

@@ -27,17 +27,29 @@ recomputed, never returned.
 Concurrent writers of the same digest are benign: both compute identical
 bytes (keys are content addresses), and ``os.replace`` is atomic, so the
 loser simply overwrites the winner with the same content.
+
+Infrastructure-failure posture (see ``docs/resilience.md``): transient
+I/O errors are retried a bounded number of times with deterministic
+jittered backoff; a cache directory that proves unusable (``ENOSPC``,
+read-only, permission denied, or retries exhausted on a write) degrades
+the store **once** to a no-cache in-memory mode — the run continues
+uncached, a warning is logged, and the ``store_degraded`` gauge flips to
+1.  The chaos harness (:mod:`repro.chaos`) injects exactly these faults
+through the seams in :meth:`ArtifactStore.put` / :meth:`lookup`.
 """
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
+import logging
 import os
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, TypeVar, Union
 
+from repro.chaos.engine import ChaosEngine, engine_from_env
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, NullTracer, RingTracer
 from repro.store.handles import ArtifactHandle
@@ -45,11 +57,45 @@ from repro.store.keys import ArtifactKey
 
 __all__ = ["ArtifactStore", "KindStats", "StoreStats"]
 
+_LOG = logging.getLogger("repro.store")
+
 _META_SUFFIX = ".meta.json"
 _TMP_PREFIX = "tmp-"
 
 #: Schema of the ``meta.json`` envelope itself (not the payloads).
 META_SCHEMA_VERSION = 1
+
+#: Bounded retry policy for transient I/O errors.  Backoff is
+#: exponential with a deterministic jitter derived from the operation
+#: token (no wall-clock randomness), capped by the ceiling — the shape
+#: the RETRY001 lint rule demands of every retry loop in ``src/``.
+_MAX_IO_ATTEMPTS = 3
+_BACKOFF_BASE_S = 0.01
+_BACKOFF_CEILING_S = 0.1
+
+#: Errnos that bounded retry cannot fix: the directory itself is
+#: unusable, so the store degrades instead of retrying.
+_NON_TRANSIENT_ERRNOS = frozenset(
+    {errno.ENOSPC, errno.EACCES, errno.EROFS, errno.EPERM, errno.EDQUOT}
+)
+
+#: Payload-path prefix reported for entries living in degraded-mode
+#: memory (never a real filesystem path).
+_MEMORY_PATH_PREFIX = "<memory>"
+
+_T = TypeVar("_T")
+
+
+def _backoff_s(token: str, attempt: int) -> float:
+    """Deterministic jittered exponential backoff for one retry.
+
+    The jitter comes from hashing ``token:attempt`` — stable across
+    runs (keeps retried grids reproducible) while still decorrelating
+    concurrent writers of different artifacts.
+    """
+    digest = hashlib.sha256(f"{token}:{attempt}".encode("utf-8")).hexdigest()
+    frac = int(digest[:8], 16) / float(0xFFFFFFFF)
+    return min(_BACKOFF_BASE_S * (2.0**attempt) * (0.5 + frac), _BACKOFF_CEILING_S)
 
 
 @dataclass
@@ -100,6 +146,7 @@ class ArtifactStore:
         root: str,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Union[RingTracer, NullTracer]] = None,
+        chaos: Optional[ChaosEngine] = None,
     ) -> None:
         self.root = os.path.abspath(root)
         self.registry = registry
@@ -107,9 +154,22 @@ class ArtifactStore:
             tracer if tracer is not None else NULL_TRACER
         )
         self.run_stats = StoreStats()
+        # Injection seam: an explicit engine wins; otherwise the
+        # env-carried plan (REPRO_CHAOS) applies, exactly as in workers.
+        self._chaos = chaos if chaos is not None else engine_from_env(registry)
+        # One-shot degradation state: once the cache dir proves unusable
+        # the store serves this process from `_memory` and never touches
+        # the directory again.
+        self._degraded = False
+        self._memory: Dict[Tuple[str, str], Any] = {}
         # Relative timestamps for store trace events; elapsed wall time is
         # observability metadata, never a simulation result.
         self._t0_s = time.monotonic()  # repro-lint: ignore[DET003]
+
+    @property
+    def degraded(self) -> bool:
+        """Whether this store fell back to no-cache in-memory mode."""
+        return self._degraded
 
     # ---------------------------------------------------------------- paths
     def kind_dir(self, kind: str) -> str:
@@ -160,6 +220,62 @@ class ArtifactStore:
             except OSError:
                 pass
 
+    # ------------------------------------------------------------ resilience
+    def _degrade(self, reason: str) -> None:
+        """One-shot switch to no-cache in-memory mode; warns exactly once."""
+        if self._degraded:
+            return
+        self._degraded = True
+        _LOG.warning(
+            "artifact store at %s degraded to in-memory mode (%s); "
+            "this process continues uncached",
+            self.root,
+            reason,
+        )
+        if self.registry is not None:
+            self.registry.gauge("store_degraded").set(1.0)
+        self.tracer.emit(
+            "store.degraded", ts_s=self._now_s(), cat="store",
+            args={"reason": reason},
+        )
+
+    def _io_retry(self, op: Callable[[], _T], op_name: str, token: str) -> _T:
+        """Run ``op`` with bounded retry on *transient* ``OSError``.
+
+        Non-transient errnos (``ENOSPC``, ``EACCES``, ``EROFS``, ...)
+        and the final failed attempt propagate to the caller, which
+        decides whether to degrade (writes) or miss (reads).  Bounded by
+        ``_MAX_IO_ATTEMPTS`` with a backoff ceiling — see RETRY001.
+        """
+        for attempt in range(_MAX_IO_ATTEMPTS):
+            try:
+                return op()
+            except OSError as exc:
+                if (
+                    exc.errno in _NON_TRANSIENT_ERRNOS
+                    or attempt == _MAX_IO_ATTEMPTS - 1
+                ):
+                    raise
+                if self.registry is not None:
+                    self.registry.counter(
+                        "store_retries_total", op=op_name
+                    ).inc()
+                time.sleep(_backoff_s(token, attempt))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _payload_checksum(self, path: str) -> str:
+        """Checksum a payload with the chaos read seam + bounded retry."""
+
+        def op() -> str:
+            if self._chaos is not None:
+                self._chaos.before_payload_read()
+            return _sha256_file(path)
+
+        return self._io_retry(op, "read", path)
+
+    def _memory_key(self, key: ArtifactKey) -> Tuple[str, str]:
+        return (key.kind, key.digest)
+
     # ---------------------------------------------------------------- reads
     def lookup(
         self, key: ArtifactKey, handle: ArtifactHandle
@@ -168,7 +284,18 @@ class ArtifactStore:
 
         Verifies meta parse, schema version, and payload checksum before
         deserializing; any failure evicts the entry and reports a miss.
+        Transient read errors are retried a bounded number of times and
+        then reported as a miss (the entry is left alone — it may be
+        fine once the I/O recovers); a degraded store serves only its
+        in-memory entries.
         """
+        mem_key = self._memory_key(key)
+        if mem_key in self._memory:
+            self._count_hit(key)
+            return (True, self._memory[mem_key])
+        if self._degraded:
+            self._count_miss(key)
+            return (False, None)
         meta_path = self.meta_path(key)
         payload_path = self.payload_path(key, handle)
         if not os.path.exists(meta_path):
@@ -177,8 +304,11 @@ class ArtifactStore:
         try:
             with open(meta_path, "r", encoding="utf-8") as fh:
                 meta = json.load(fh)
-        except (OSError, ValueError):
+        except ValueError:
             self._evict(key, handle, reason="meta")
+            self._count_miss(key)
+            return (False, None)
+        except OSError:
             self._count_miss(key)
             return (False, None)
         if (
@@ -188,10 +318,18 @@ class ArtifactStore:
             self._evict(key, handle, reason="schema")
             self._count_miss(key)
             return (False, None)
-        if (
-            not os.path.exists(payload_path)
-            or _sha256_file(payload_path) != meta.get("checksum")
-        ):
+        try:
+            checksum = (
+                self._payload_checksum(payload_path)
+                if os.path.exists(payload_path)
+                else None
+            )
+        except OSError:
+            # Transient reads exhausted: miss without evicting — the
+            # bytes on disk may be perfectly good once I/O recovers.
+            self._count_miss(key)
+            return (False, None)
+        if checksum != meta.get("checksum"):
             self._evict(key, handle, reason="checksum")
             self._count_miss(key)
             return (False, None)
@@ -222,11 +360,38 @@ class ArtifactStore:
     def put(self, key: ArtifactKey, value: Any, handle: ArtifactHandle) -> str:
         """Persist ``value`` under ``key``; returns the payload path.
 
-        Write protocol: dump to a temp file in the entry's own directory
-        (same filesystem, and suffix-preserving because ``np.savez``
-        appends ``.npz`` to alien extensions), checksum the temp bytes,
-        rename payload into place, then rename meta into place.  Meta
-        last: its presence certifies a complete payload.
+        Transient write errors are retried with bounded backoff; an
+        unusable cache directory (non-transient errno or retries
+        exhausted) degrades the store to in-memory mode instead of
+        crashing the run — the value is still served from ``lookup``
+        for the rest of this process, just not cached on disk.
+        """
+        if self._degraded:
+            return self._memory_put(key, value)
+        try:
+            return self._disk_put(key, value, handle)
+        except OSError as exc:
+            self._degrade(f"put failed: {exc}")
+            return self._memory_put(key, value)
+
+    def _memory_put(self, key: ArtifactKey, value: Any) -> str:
+        self._memory[self._memory_key(key)] = value
+        self.tracer.emit(
+            "store.put", ts_s=self._now_s(), cat="store",
+            args={"kind": key.kind, "digest": key.digest[:12], "memory": True},
+        )
+        return f"{_MEMORY_PATH_PREFIX}/{key.kind}/{key.digest}"
+
+    def _disk_put(
+        self, key: ArtifactKey, value: Any, handle: ArtifactHandle
+    ) -> str:
+        """The on-disk write protocol (all-or-nothing via atomic renames).
+
+        Dump to a temp file in the entry's own directory (same
+        filesystem, and suffix-preserving because ``np.savez`` appends
+        ``.npz`` to alien extensions), checksum the temp bytes, rename
+        payload into place, then rename meta into place.  Meta last: its
+        presence certifies a complete payload.
         """
         directory = self.kind_dir(key.kind)
         os.makedirs(directory, exist_ok=True)
@@ -236,10 +401,21 @@ class ArtifactStore:
         tmp_meta = os.path.join(
             directory, f"{_TMP_PREFIX}{os.getpid()}-{key.digest}{_META_SUFFIX}"
         )
-        try:
+
+        def write_payload() -> None:
+            if self._chaos is not None:
+                self._chaos.before_payload_write()
             handle.dump(value, tmp_payload)
+
+        try:
+            self._io_retry(write_payload, "write", tmp_payload)
             checksum = _sha256_file(tmp_payload)
             size = os.path.getsize(tmp_payload)
+            if self._chaos is not None:
+                # Torn-write / checksum-corruption seam: mangles the temp
+                # payload *after* its checksum went into the meta — the
+                # on-disk state a real torn write leaves behind.
+                self._chaos.mangle_written_payload(tmp_payload)
             meta = {
                 "meta_schema_version": META_SCHEMA_VERSION,
                 "schema_version": handle.schema_version,
@@ -283,6 +459,20 @@ class ArtifactStore:
         self.put(key, value, handle)
         return value
 
+    def discard(self, key: ArtifactKey, handle: ArtifactHandle) -> None:
+        """Remove an entry if present; never raises.
+
+        This is the GC hook for transient artifacts with a natural end
+        of life — a cell's checkpoint once the cell has completed, for
+        example — as opposed to :meth:`gc`'s policy-driven sweeps.
+        """
+        self._memory.pop(self._memory_key(key), None)
+        for path in (self.meta_path(key), self.payload_path(key, handle)):
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+
     # ----------------------------------------------------------- operations
     def stats(self) -> StoreStats:
         return self.run_stats
@@ -306,22 +496,48 @@ class ArtifactStore:
             if counts[1] > 0
         ]
 
-    def gc(self, max_age_s: Optional[float] = None) -> int:
-        """Reap temp droppings (always) and old entries (opt-in).
+    def gc(
+        self,
+        max_age_s: Optional[float] = None,
+        orphan_grace_s: float = 60.0,
+    ) -> int:
+        """Reap temp droppings and orphans (always), old entries (opt-in).
 
-        ``max_age_s`` measures wall-clock file age; ageing out cache
-        entries is an operator policy, not a correctness mechanism —
-        correctness comes from content addressing.  Returns the number of
-        files removed.
+        Three classes of garbage:
+
+        * ``tmp-*`` files — a writer died before any rename landed;
+        * **orphaned payloads** — a writer died *between* the two
+          ``os.replace`` calls in ``put``: the payload is published but
+          its meta never landed, so no reader will ever trust it.
+          ``orphan_grace_s`` of mtime age guards the race against a
+          healthy concurrent ``put`` whose meta rename is milliseconds
+          away (pass 0 in tests for immediate reaping);
+        * entries older than ``max_age_s`` (operator policy, opt-in —
+          correctness comes from content addressing, not ageing).
+
+        Returns the number of files removed.
         """
         removed = 0
         now_s = time.time()  # repro-lint: ignore[DET003]
         for directory, _, filenames in os.walk(self.root):
+            present = set(filenames)
             for name in filenames:
                 path = os.path.join(directory, name)
                 if name.startswith(_TMP_PREFIX):
                     removed += self._try_remove(path)
-                elif max_age_s is not None:
+                    continue
+                if not name.endswith(_META_SUFFIX):
+                    # Digests are hex, so the first dot starts the suffix.
+                    digest = name.split(".", 1)[0]
+                    if digest + _META_SUFFIX not in present:
+                        try:
+                            age_s = now_s - os.path.getmtime(path)
+                        except OSError:
+                            continue
+                        if age_s >= orphan_grace_s:
+                            removed += self._try_remove(path)
+                            continue
+                if max_age_s is not None:
                     try:
                         age_s = now_s - os.path.getmtime(path)
                     except OSError:

@@ -10,23 +10,28 @@ carrying the same headline numbers as the returned
 
 from __future__ import annotations
 
+import logging
 import os
 import re
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.chaos.engine import engine_from_env
 from repro.faults import FaultPlan, FaultRuntime
 from repro.governors.base import Technique
 from repro.metrics.summary import RunSummary, publish_summary, summarize_run
 from repro.obs.config import Observability
 from repro.obs.manifest import RunManifest
 from repro.platform import Platform
+from repro.sim.checkpoint import CheckpointError, CheckpointPolicy
 from repro.sim.kernel import SimConfig, Simulator
 from repro.sim.trace import TraceRecorder
 from repro.thermal import CoolingConfig, FAN_COOLING
 from repro.utils.rng import RandomSource
 from repro.workloads.generator import Workload
+
+_LOG = logging.getLogger("repro.runner")
 
 
 @dataclass
@@ -44,6 +49,10 @@ class RunResult:
     sim: Simulator
     manifest: Optional[RunManifest] = None
     artifacts: Dict[str, str] = field(default_factory=dict)
+    #: Simulated time the run resumed from (0.0 = started fresh).  Set
+    #: when periodic checkpointing found a prior checkpoint of this exact
+    #: run — the crash-recovery path's observable footprint.
+    resumed_from_s: float = 0.0
 
 
 def run_slug(text: str) -> str:
@@ -92,6 +101,110 @@ def _export_observability(
     return manifest, artifacts
 
 
+class _CheckpointSession:
+    """One run's periodic-checkpoint lifecycle against an artifact store.
+
+    Owns the checkpoint's content-addressed key (full run configuration +
+    platform + seed + fault/chaos env), the store under the policy's
+    directory, and the three moments of the protocol: *restore* (probe at
+    run start), *write* (the ``on_checkpoint`` hook, latest-wins under
+    one key), and *complete* (GC — a finished cell's checkpoint is dead
+    weight).  Write failures disable further checkpointing for the run
+    instead of crashing it: the checkpoint layer is an optimization and
+    must never change whether a run succeeds.
+    """
+
+    def __init__(
+        self,
+        policy: CheckpointPolicy,
+        platform: Platform,
+        technique: Technique,
+        workload: Workload,
+        cooling: CoolingConfig,
+        seed: int,
+        sim_config: Optional[SimConfig],
+        settle_s: float,
+        run_label: Optional[str],
+    ) -> None:
+        # Imported lazily: repro.store reaches back into this module via
+        # the RL pretraining pipeline, so a top-level import would cycle.
+        from repro.store.handles import CheckpointHandle
+        from repro.store.keys import ArtifactKey, fault_env_signature
+        from repro.store.store import ArtifactStore
+
+        self.policy = policy
+        self.handle = CheckpointHandle()
+        self.key = ArtifactKey.create(
+            "checkpoint",
+            config={
+                "technique": technique.name,
+                "technique_class": type(technique).__qualname__,
+                "workload": workload,
+                "cooling": cooling,
+                "sim_config": sim_config or SimConfig(),
+                # max_duration_s is deliberately NOT part of the key: a
+                # checkpoint is a prefix of the trajectory, valid no
+                # matter where the attempt's stop budget lies.
+                "settle_s": settle_s,
+            },
+            platform=platform,
+            seed=seed,
+            extra={"env": fault_env_signature(), "label": run_label},
+        )
+        self.store = ArtifactStore(policy.directory)
+        self.enabled = True
+        self.writes = 0
+
+    def try_restore(self) -> Optional[Simulator]:
+        """The checkpointed simulator of this exact run, or None.
+
+        A checkpoint that fails verification (version/checksum/unpickle)
+        is discarded and the run starts fresh — resume is opportunistic,
+        never load-bearing.
+        """
+        found, checkpoint = self.store.lookup(self.key, self.handle)
+        if not found:
+            return None
+        try:
+            sim = Simulator.restore(checkpoint)
+        except CheckpointError as exc:
+            _LOG.warning(
+                "discarding unusable checkpoint %s: %s", self.key.digest[:12], exc
+            )
+            self.store.discard(self.key, self.handle)
+            return None
+        if sim.obs is not None:
+            sim.obs.registry.counter("checkpoint_restores_total").inc()
+        return sim
+
+    def write(self, sim: Simulator) -> None:
+        """``on_checkpoint`` hook: snapshot + publish, latest wins."""
+        if not self.enabled:
+            return
+        try:
+            checkpoint = sim.snapshot(
+                meta={"label": self.key.digest[:12], "sim_time_s": sim.now_s}
+            )
+        except CheckpointError as exc:
+            # Unpicklable simulator state: warn once, run on uncheckpointed.
+            _LOG.warning("checkpointing disabled for this run: %s", exc)
+            self.enabled = False
+            return
+        self.store.put(self.key, checkpoint, self.handle)
+        self.writes += 1
+        if sim.obs is not None:
+            sim.obs.registry.counter("checkpoint_writes_total").inc()
+        chaos = engine_from_env()
+        if chaos is not None:
+            chaos.after_checkpoint_write(self.key.digest[:16])
+
+    def complete(self) -> None:
+        """GC the checkpoint once the cell finished — it can never be
+        resumed from again (the next identical run hits the *result*
+        cache, not the checkpoint)."""
+        self.store.discard(self.key, self.handle)
+
+
 def run_workload(
     platform: Platform,
     technique: Technique,
@@ -104,6 +217,7 @@ def run_workload(
     observability: Optional[Observability] = None,
     run_label: Optional[str] = None,
     fault_plan: Optional[FaultPlan] = None,
+    checkpoint: Optional[CheckpointPolicy] = None,
 ) -> RunResult:
     """Execute ``workload`` under ``technique`` and summarize the run.
 
@@ -133,25 +247,68 @@ def run_workload(
             is attached to the simulator — a **zero-fault plan is
             bit-identical to no plan at all** (the fault layer draws from
             its own seed streams, never the sensor's).
+        checkpoint: Periodic-checkpoint policy; ``None`` reads the
+            ``REPRO_CHECKPOINT_DIR`` / ``REPRO_CHECKPOINT_PERIOD_S``
+            environment (off by default).  When active, the run probes
+            the checkpoint store first and **resumes** a previously
+            killed attempt of this exact run from its last snapshot
+            (``RunResult.resumed_from_s`` > 0), writes a fresh snapshot
+            every ``period_s`` simulated seconds while running, and GCs
+            the checkpoint on completion.  Checkpointing never changes
+            results: snapshots are pure reads, so a checkpointed run is
+            bit-identical to a checkpoint-disabled one.
 
     Returns:
         A :class:`RunResult`; ``manifest``/``artifacts`` are set only for
         traced runs.
     """
     start_wall = time.perf_counter()  # repro-lint: ignore[DET003]
-    sim = prepare_run(
-        platform,
-        technique,
-        workload,
-        cooling=cooling,
-        seed=seed,
-        sim_config=sim_config,
-        settle_s=settle_s,
-        observability=observability,
-        fault_plan=fault_plan,
+    policy = (
+        checkpoint if checkpoint is not None else CheckpointPolicy.from_env()
     )
-    sim.run_until_complete(timeout_s=max_duration_s)
-    return finalize_run(
+    session: Optional[_CheckpointSession] = None
+    resumed_from_s = 0.0
+    sim: Optional[Simulator] = None
+    if policy is not None:
+        session = _CheckpointSession(
+            policy,
+            platform,
+            technique,
+            workload,
+            cooling,
+            seed,
+            sim_config,
+            settle_s,
+            run_label,
+        )
+        sim = session.try_restore()
+        if sim is not None:
+            resumed_from_s = sim.now_s
+    if sim is None:
+        sim = prepare_run(
+            platform,
+            technique,
+            workload,
+            cooling=cooling,
+            seed=seed,
+            sim_config=sim_config,
+            settle_s=settle_s,
+            observability=observability,
+            fault_plan=fault_plan,
+        )
+    # A resumed run targets the same *absolute* end of simulated time as
+    # the attempt it resumed, so resume cannot extend the budget.
+    timeout_s = max(sim.config.dt_s, max_duration_s - resumed_from_s)
+    if session is not None:
+        sim.run_until_complete(
+            timeout_s=timeout_s,
+            checkpoint_every_s=session.policy.period_s,
+            on_checkpoint=session.write,
+        )
+        session.complete()
+    else:
+        sim.run_until_complete(timeout_s=timeout_s)
+    result = finalize_run(
         sim,
         technique,
         workload,
@@ -159,6 +316,8 @@ def run_workload(
         start_wall=start_wall,
         run_label=run_label,
     )
+    result.resumed_from_s = resumed_from_s
+    return result
 
 
 def prepare_run(

@@ -1,0 +1,150 @@
+"""The chaos sweep end to end: injected crashes, full recovery, identity.
+
+This is the PR's acceptance gate in test form: a grid swept under
+SIGKILLs, torn writes, and ENOSPC must (a) complete with no failed
+cells, (b) resume killed cells from their checkpoints rather than
+recomputing, and (c) produce results bit-identical to the chaos-free
+baseline grid.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.chaos import CHAOS_ENV, reset_engine_cache
+from repro.experiments import chaos as chaos_mod
+from repro.experiments.chaos import (
+    ChaosConfig,
+    _effective_plan,
+    _resolve_pool,
+    run_chaos,
+)
+from repro.obs.metrics import MetricsRegistry
+
+_HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+@pytest.fixture(scope="module")
+def pooled_result(assets):
+    """One pooled smoke sweep shared by the assertions below."""
+    if not _HAS_FORK:
+        pytest.skip("fork start method unavailable")
+    return run_chaos(assets, ChaosConfig.smoke(), parallel=True, n_workers=2)
+
+
+class TestChaosConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(n_cells=0)
+        with pytest.raises(ValueError):
+            ChaosConfig(chaos_plan="bogus")
+
+    def test_serial_plan_drops_kill_kinds(self):
+        config = ChaosConfig.smoke()
+        serial = _effective_plan(config, pooled=False)
+        assert "worker_kill" not in serial
+        assert "kill_after_checkpoint" not in serial
+        assert "torn_write" in serial
+        assert "worker_kill" in _effective_plan(config, pooled=True)
+
+
+class TestResolvePool:
+    """The pool decision must match what run_cells_report will do.
+
+    The dangerous misconfiguration: parallel is allowed but the
+    CPU-count default resolves to one worker, run_cells_report collapses
+    to the serial path, and the SIGKILL kinds (kept because "pooled")
+    execute inline in the supervisor — killing the whole CLI process.
+    """
+
+    @pytest.mark.skipif(not _HAS_FORK, reason="fork unavailable")
+    def test_one_cpu_box_still_forks(self, monkeypatch):
+        monkeypatch.setattr(chaos_mod, "default_workers", lambda: 1)
+        assert _resolve_pool(None, None, 3) == (True, 2)
+
+    def test_explicit_single_worker_opts_out_of_pool(self):
+        pooled, workers = _resolve_pool(None, 1, 3)
+        assert pooled is False
+        assert workers == 1
+
+    def test_parallel_false_is_serial(self):
+        assert _resolve_pool(False, None, 3) == (False, None)
+
+    def test_single_cell_is_serial(self):
+        assert _resolve_pool(None, None, 1) == (False, None)
+
+    @pytest.mark.skipif(not _HAS_FORK, reason="fork unavailable")
+    def test_workers_clamped_to_cells(self):
+        assert _resolve_pool(None, 8, 3) == (True, 3)
+
+
+class TestPooledSweep:
+    def test_grid_completes_under_chaos(self, pooled_result):
+        assert pooled_result.failed_cells == []
+        assert len(pooled_result.chaos) == len(pooled_result.baseline)
+        # Every first attempt was SIGKILL'd, every second attempt was
+        # killed after its first checkpoint: two retries per cell.
+        assert pooled_result.retries_total == 2 * len(pooled_result.chaos)
+        assert not pooled_result.kill_kinds_skipped
+
+    def test_bit_identical_to_chaos_free_grid(self, pooled_result):
+        assert pooled_result.bit_identical()
+        for clean, chaotic in zip(
+            pooled_result.baseline, pooled_result.chaos
+        ):
+            assert clean.summary_digest == chaotic.summary_digest
+            assert clean.mean_temp_c == chaotic.mean_temp_c
+
+    def test_killed_cells_resumed_from_checkpoints(self, pooled_result):
+        recovered = pooled_result.recovered_cells()
+        assert recovered, "no cell resumed from a checkpoint"
+        # The engine seed is chosen so every cell's retry checkpoint
+        # lands intact: all cells recover, from sim-time > 0.
+        assert recovered == [r.cell_seed for r in pooled_result.chaos]
+        assert all(r.resumed_from_s > 0.0 for r in pooled_result.chaos)
+        # Baseline rows never resume (no chaos, no checkpoint dir).
+        assert all(r.resumed_from_s == 0.0 for r in pooled_result.baseline)
+
+    def test_report_renders(self, pooled_result):
+        text = pooled_result.report()
+        assert "bit-identical" in text
+        assert "resumed" in text
+
+    def test_env_restored_after_sweep(self, pooled_result):
+        # The sweep's env install/uninstall is exception-safe; after it
+        # returns the process carries no chaos configuration.
+        assert os.environ.get(CHAOS_ENV) is None
+
+
+class TestSerialSweep:
+    def test_serial_path_skips_kill_kinds_but_matches(self, assets):
+        reset_engine_cache()
+        result = run_chaos(assets, ChaosConfig.smoke(), parallel=False)
+        assert result.kill_kinds_skipped
+        assert result.failed_cells == []
+        assert result.bit_identical()
+        assert "kill kinds were dropped" in result.report()
+
+
+class TestRegistryCounts:
+    def test_metrics_flow_to_registry(self, assets):
+        if not _HAS_FORK:
+            pytest.skip("fork start method unavailable")
+        registry = MetricsRegistry()
+        result = run_chaos(
+            assets,
+            ChaosConfig.smoke(),
+            parallel=True,
+            n_workers=2,
+            registry=registry,
+        )
+        assert result.failed_cells == []
+        # Supervisor-side retries are visible in the shared registry;
+        # every retry in this sweep is a SIGKILL'd (crashed) attempt.
+        assert (
+            registry.counter("worker_retries_total", reason="crash").value
+            == result.retries_total
+        )

@@ -78,6 +78,34 @@ def test_store_package_is_clean(tmp_path):
     assert payload["total"] == 0
 
 
+def test_chaos_package_is_clean(tmp_path):
+    """The chaos layer is lint-gated like faults: it injects host-level
+    failures from private seeded streams (DET discipline) and its retry
+    targets in the store must stay bounded (RETRY001)."""
+    report = tmp_path / "chaos_report.json"
+    result = _run_lint("src/repro/chaos", "--json", str(report))
+    assert result.returncode == 0, (
+        f"repro-lint found violations in repro/chaos:\n"
+        f"{result.stdout}{result.stderr}"
+    )
+    payload = json.loads(report.read_text())
+    assert payload["total"] == 0
+
+
+def test_checkpoint_module_is_clean(tmp_path):
+    """The checkpoint layer carries the bit-identity contract: its code
+    must be deterministic and unit-disciplined like the kernel it
+    snapshots."""
+    report = tmp_path / "checkpoint_report.json"
+    result = _run_lint("src/repro/sim/checkpoint.py", "--json", str(report))
+    assert result.returncode == 0, (
+        f"repro-lint found violations in repro/sim/checkpoint.py:\n"
+        f"{result.stdout}{result.stderr}"
+    )
+    payload = json.loads(report.read_text())
+    assert payload["total"] == 0
+
+
 def test_platform_package_is_clean(tmp_path):
     """The platform package is lint-gated with the strict core: the
     declarative specs feed platform fingerprints (KEY discipline) and the
@@ -192,5 +220,5 @@ def test_violations_fail_with_exit_code_1(tmp_path):
 def test_list_rules():
     result = _run_lint("--list-rules")
     assert result.returncode == 0
-    for rule_id in ("DET001", "UNIT001", "FLT001", "HOT001"):
+    for rule_id in ("DET001", "UNIT001", "FLT001", "HOT001", "RETRY001"):
         assert rule_id in result.stdout

@@ -1,0 +1,164 @@
+"""The checkpoint bit-identity contract, enforced on the whole zoo.
+
+The contract: *run-to-T* equals *run-to-T/2 + snapshot + restore +
+run-to-T* — not approximately, but to the last bit of every trace
+channel, every VF decision, every migration, and the full thermal node
+vector.  A checkpoint that shifts one RNG draw or drops one controller
+phase silently corrupts every resumed grid cell, so the property is
+checked on all three zoo platforms, under both techniques (heuristic
+GTS and the paper's TOP-IL manager), and with the runtime sanitizer on —
+the three axes most likely to smuggle unpicklable or
+restore-order-dependent state into the kernel.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.governors.techniques import GTSOndemand
+from repro.il.features import FeatureExtractor
+from repro.il.technique import TopIL
+from repro.nn.layers import build_mlp
+from repro.platform.registry import get_platform
+from repro.sim.checkpoint import restore_simulator, snapshot_simulator
+from repro.utils.rng import RandomSource
+from repro.utils.sanitize import SANITIZE_ENV
+from repro.workloads.generator import Workload, WorkloadItem
+from repro.workloads.runner import prepare_run
+
+ZOO = ("hikey970", "tricluster", "snuca-grid")
+TOTAL_S = 2.0
+
+#: Every parallel-list channel the TraceRecorder carries; bit-identity
+#: means plain ``==`` on all of them, floats included.
+TRACE_FIELDS = (
+    "times",
+    "sensor_temp_c",
+    "max_core_temp_c",
+    "total_power_w",
+    "vf_levels",
+    "core_temps",
+    "process_cores",
+    "process_ips",
+    "migrations",
+)
+
+
+def _workload():
+    return Workload(
+        name="ckpt-equiv",
+        items=[
+            WorkloadItem("adi", 1e8, 0.0),
+            WorkloadItem("blackscholes", 8e7, 0.4),
+        ],
+        instruction_scale=0.002,
+    )
+
+
+def _topil(platform):
+    model = build_mlp(
+        FeatureExtractor(platform).n_features,
+        platform.n_cores,
+        2,
+        16,
+        RandomSource(0),
+    )
+    return TopIL(model)
+
+
+def _technique(name, platform):
+    return _topil(platform) if name == "top-il" else GTSOndemand()
+
+
+def _zoo_technique(platform_name):
+    """GTS assumes big.LITTLE cluster names; the single-cluster NUCA grid
+    runs under the cluster-agnostic TOP-IL manager instead."""
+    return "top-il" if platform_name == "snuca-grid" else "gts"
+
+
+def _assert_equivalent(resumed, straight):
+    assert resumed.now_s == straight.now_s
+    for field in TRACE_FIELDS:
+        assert getattr(resumed.trace, field) == getattr(
+            straight.trace, field
+        ), f"trace field {field} diverged after restore"
+    assert resumed.thermal.temperatures() == straight.thermal.temperatures()
+
+
+def _run_both(platform_name, technique_name, seed=11):
+    platform = get_platform(platform_name)
+    straight = prepare_run(
+        platform, _technique(technique_name, platform), _workload(), seed=seed
+    )
+    straight.run_for(TOTAL_S)
+
+    half = prepare_run(
+        platform, _technique(technique_name, platform), _workload(), seed=seed
+    )
+    half.run_for(TOTAL_S / 2)
+    checkpoint = half.snapshot()
+    resumed = restore_simulator(checkpoint)
+    assert resumed is not half
+    resumed.run_for(TOTAL_S - resumed.now_s)
+    return resumed, straight
+
+
+class TestBitIdentityAcrossZoo:
+    @pytest.mark.parametrize("platform_name", ZOO)
+    def test_snapshot_restore_roundtrip_is_invisible(self, platform_name):
+        resumed, straight = _run_both(
+            platform_name, _zoo_technique(platform_name)
+        )
+        _assert_equivalent(resumed, straight)
+
+    def test_holds_under_topil_manager(self):
+        """TOP-IL carries the most state across a restore: the NN model,
+        the shared DVFS/migration coupling, and the overhead model."""
+        resumed, straight = _run_both("hikey970", "top-il")
+        _assert_equivalent(resumed, straight)
+        assert len(straight.trace.times) > 0
+
+
+class TestBitIdentityUnderSanitizer:
+    @pytest.mark.parametrize("platform_name", ZOO)
+    def test_holds_with_sanitizer_enabled(self, platform_name, monkeypatch):
+        monkeypatch.setenv(SANITIZE_ENV, "1")
+        resumed, straight = _run_both(
+            platform_name, _zoo_technique(platform_name)
+        )
+        _assert_equivalent(resumed, straight)
+
+    def test_sanitized_run_matches_unsanitized(self, monkeypatch):
+        """The two switches compose: sanitize + checkpoint + restore is
+        still bit-identical to a bare straight run."""
+        monkeypatch.delenv(SANITIZE_ENV, raising=False)
+        _, straight = _run_both("hikey970", "gts")
+        monkeypatch.setenv(SANITIZE_ENV, "1")
+        resumed, _ = _run_both("hikey970", "gts")
+        _assert_equivalent(resumed, straight)
+
+
+class TestRepeatedCheckpointing:
+    def test_chained_restores_stay_on_trace(self):
+        """Snapshot/restore every quarter — four generations of restore
+        must still land exactly on the straight run."""
+        platform = get_platform("hikey970")
+        straight = prepare_run(platform, GTSOndemand(), _workload(), seed=11)
+        straight.run_for(TOTAL_S)
+
+        sim = prepare_run(platform, GTSOndemand(), _workload(), seed=11)
+        for _ in range(4):
+            sim.run_for(TOTAL_S / 4)
+            sim = restore_simulator(snapshot_simulator(sim))
+        _assert_equivalent(sim, straight)
+
+    def test_snapshot_determinism(self):
+        """Two snapshots of the same state carry the same checksum —
+        the artifact layer can content-address them."""
+        platform = get_platform("hikey970")
+        sim = prepare_run(platform, GTSOndemand(), _workload(), seed=11)
+        sim.run_for(0.5)
+        a = snapshot_simulator(sim)
+        b = snapshot_simulator(sim)
+        assert a.checksum == b.checksum
+        assert a.sim_time_s == b.sim_time_s

@@ -1,0 +1,141 @@
+"""SIGKILL atomicity: a murdered writer never poisons the store.
+
+The chaos harness's hardest invariant, checked with real ``SIGKILL``s
+(not cooperative ``os._exit``): a child killed mid-``put`` or
+mid-checkpoint-write leaves at most unreferenced temp droppings — never
+a servable corrupt entry — and the next process resumes from the latest
+*published* state as if the kill had not happened.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+
+from repro.governors.techniques import GTSOndemand
+from repro.platform.registry import get_platform
+from repro.sim.checkpoint import CheckpointPolicy
+from repro.store import ArtifactKey, ArtifactStore, CellResultHandle
+from repro.workloads.generator import Workload, WorkloadItem
+from repro.workloads.runner import run_workload
+
+
+def _key():
+    return ArtifactKey.create("cell/kill-test", config={"x": 1}, seed=7)
+
+
+def _workload():
+    return Workload(
+        name="kill-atomicity",
+        items=[WorkloadItem("adi", 1e8, 0.0)],
+        instruction_scale=0.002,
+    )
+
+
+def _sigkill_self() -> None:
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _die_mid_put(root: str) -> None:
+    """Child body: SIGKILL'd while the payload bytes are mid-flight."""
+
+    class DieDuringDump(CellResultHandle):
+        def dump(self, obj, path):
+            with open(path, "wb") as fh:
+                fh.write(b"half-written")
+            _sigkill_self()
+
+    ArtifactStore(root).put(_key(), "never-lands", DieDuringDump())
+
+
+def _die_mid_second_checkpoint(checkpoint_dir: str) -> None:
+    """Child body: first checkpoint publishes cleanly, the second write is
+    SIGKILL'd after the payload bytes hit disk but before any rename —
+    the on-disk state a power cut leaves behind."""
+    from repro.store.handles import CheckpointHandle
+
+    real_dump = CheckpointHandle.dump
+    calls = {"n": 0}
+
+    def dump(self, obj, path):
+        calls["n"] += 1
+        if calls["n"] >= 2:
+            with open(path, "wb") as fh:
+                fh.write(b"torn-checkpoint-bytes")
+            _sigkill_self()
+        real_dump(self, obj, path)
+
+    CheckpointHandle.dump = dump  # fork-isolated: dies with this child
+    run_workload(
+        get_platform("hikey970"),
+        GTSOndemand(),
+        _workload(),
+        seed=3,
+        checkpoint=CheckpointPolicy(directory=checkpoint_dir, period_s=0.5),
+    )
+
+
+def _run_child(target, *args) -> int:
+    ctx = multiprocessing.get_context("fork")
+    proc = ctx.Process(target=target, args=args)
+    proc.start()
+    proc.join(timeout=60)
+    assert not proc.is_alive(), "child survived its own SIGKILL"
+    return proc.exitcode
+
+
+class TestKillMidPut:
+    def test_no_corrupt_entry_served_and_gc_reaps(self, tmp_path):
+        exitcode = _run_child(_die_mid_put, str(tmp_path))
+        assert exitcode == -signal.SIGKILL
+        store = ArtifactStore(str(tmp_path))
+        key, handle = _key(), CellResultHandle()
+        assert store.lookup(key, handle) == (False, None)
+        droppings = [
+            name
+            for _, _, names in os.walk(str(tmp_path))
+            for name in names
+            if name.startswith("tmp-")
+        ]
+        assert droppings, "kill site should leave temp droppings"
+        assert store.gc(orphan_grace_s=0.0) >= len(droppings)
+        # The key is free for an honest retry.
+        store.put(key, "landed", handle)
+        assert store.get(key, handle) == "landed"
+
+
+class TestKillMidCheckpoint:
+    def test_resume_uses_latest_published_checkpoint(self, tmp_path):
+        checkpoint_dir = str(tmp_path / "ckpt")
+        exitcode = _run_child(_die_mid_second_checkpoint, checkpoint_dir)
+        assert exitcode == -signal.SIGKILL
+
+        # The first (published) checkpoint survived; the torn second
+        # write left only temp droppings that verify-on-read ignores.
+        published = [
+            name
+            for _, _, names in os.walk(checkpoint_dir)
+            for name in names
+            if not name.startswith("tmp-")
+        ]
+        assert published, "first checkpoint should have been published"
+
+        policy = CheckpointPolicy(directory=checkpoint_dir, period_s=0.5)
+        platform = get_platform("hikey970")
+        resumed = run_workload(
+            platform, GTSOndemand(), _workload(), seed=3, checkpoint=policy
+        )
+        assert resumed.resumed_from_s > 0.0
+        # Resumed-through-a-kill equals a run that never crashed.
+        plain = run_workload(platform, GTSOndemand(), _workload(), seed=3)
+        assert resumed.summary == plain.summary
+        assert resumed.trace.times == plain.trace.times
+        # Completion GC'd the checkpoint and the kill's droppings stayed
+        # invisible throughout; a final sweep leaves the dir empty.
+        store = ArtifactStore(checkpoint_dir)
+        store.gc(orphan_grace_s=0.0)
+        leftovers = [
+            name for _, _, names in os.walk(checkpoint_dir) for name in names
+        ]
+        assert leftovers == []

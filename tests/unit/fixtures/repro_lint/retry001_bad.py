@@ -1,0 +1,20 @@
+"""Fixture: unbounded retry loops (RETRY001 hits)."""
+
+import time
+
+
+def retry_forever(op):
+    while True:  # expect: RETRY001
+        try:
+            return op()
+        except OSError:
+            time.sleep(0.1)
+
+
+def retry_forever_bare_sleep(op, sleep):
+    while 1:  # expect: RETRY001
+        try:
+            return op()
+        except OSError:
+            pass
+        sleep(0.05)

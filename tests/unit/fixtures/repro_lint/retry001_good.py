@@ -1,0 +1,47 @@
+"""Fixture: bounded retries and innocent loops (no RETRY001 hits)."""
+
+import time
+
+
+def retry_bounded(op, max_attempts: int = 3):
+    for attempt in range(1, max_attempts + 1):
+        try:
+            return op()
+        except OSError:
+            if attempt == max_attempts:
+                raise
+            time.sleep(0.01 * attempt)
+
+
+def retry_counted(op, max_attempts: int = 3):
+    attempt = 1
+    while attempt <= max_attempts:
+        try:
+            return op()
+        except OSError:
+            attempt += 1
+            time.sleep(0.01)
+    raise OSError("exhausted")
+
+
+def drain_forever(queue):
+    # Infinite, but no try+sleep pair: an event loop, not a retry loop.
+    while True:
+        item = queue.get()
+        if item is None:
+            break
+        item.run()
+
+
+def schedule_retry(queue):
+    # The sleep lives in a nested callback, not in the loop's own body.
+    while True:
+        try:
+            task = queue.get()
+        except LookupError:
+            break
+
+        def backoff():
+            time.sleep(0.1)
+
+        task.on_failure = backoff

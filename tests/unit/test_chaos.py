@@ -1,0 +1,220 @@
+"""The chaos layer: plan parsing, engine determinism, injection seams."""
+
+import errno
+
+import pytest
+
+from repro.chaos import (
+    CHAOS_DIR_ENV,
+    CHAOS_ENV,
+    CHAOS_KINDS,
+    CHAOS_SEED_ENV,
+    ChaosEngine,
+    ChaosPlan,
+    ChaosSpec,
+    engine_from_env,
+    reset_engine_cache,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestChaosSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown chaos kind"):
+            ChaosSpec(kind="meteor_strike", rate=0.1)
+
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError):
+            ChaosSpec(kind="torn_write", rate=1.5)
+        with pytest.raises(ValueError):
+            ChaosSpec(kind="torn_write", rate=-0.1)
+
+    def test_attempt_cap(self):
+        spec = ChaosSpec(kind="worker_kill", rate=1.0, max_attempt=2)
+        assert spec.applies_to_attempt(1)
+        assert spec.applies_to_attempt(2)
+        assert not spec.applies_to_attempt(3)
+        unlimited = ChaosSpec(kind="worker_kill", rate=1.0, max_attempt=None)
+        assert unlimited.applies_to_attempt(99)
+        with pytest.raises(ValueError):
+            ChaosSpec(kind="worker_kill", rate=1.0, max_attempt=0)
+
+
+class TestChaosPlan:
+    def test_parse_describe_roundtrip(self):
+        text = "store_write_error:0.3,torn_write:0.5,worker_kill:1,enospc:0.2@*"
+        plan = ChaosPlan.parse(text, seed=9)
+        assert plan.describe() == text
+        again = ChaosPlan.parse(plan.describe(), seed=9)
+        assert again == plan
+
+    def test_parse_attempt_caps(self):
+        plan = ChaosPlan.parse("worker_kill:1@2,slow_cell:0.5@*")
+        assert plan.spec_for("worker_kill").max_attempt == 2
+        assert plan.spec_for("slow_cell").max_attempt is None
+        # Default cap is 1: retries succeed unless the plan says otherwise.
+        assert ChaosPlan.parse("worker_kill:1").spec_for(
+            "worker_kill"
+        ).max_attempt == 1
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("nonsense", "torn_write", "torn_write:x", "torn_write:1@y"):
+            with pytest.raises(ValueError):
+                ChaosPlan.parse(bad)
+
+    def test_empty_text_is_zero_plan(self):
+        plan = ChaosPlan.parse("")
+        assert plan.specs == ()
+        assert plan.is_zero()
+
+    def test_every_documented_kind_parses(self):
+        text = ",".join(f"{kind}:0.1" for kind in CHAOS_KINDS)
+        plan = ChaosPlan.parse(text)
+        assert len(plan.specs) == len(CHAOS_KINDS)
+
+    def test_from_env(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(CHAOS_ENV, raising=False)
+        assert ChaosPlan.from_env() is None
+        monkeypatch.setenv(CHAOS_ENV, "torn_write:0.5")
+        monkeypatch.setenv(CHAOS_SEED_ENV, "4")
+        monkeypatch.setenv(CHAOS_DIR_ENV, str(tmp_path))
+        plan = ChaosPlan.from_env()
+        assert plan.seed == 4
+        assert plan.scratch_dir == str(tmp_path)
+        assert plan.spec_for("torn_write").rate == 0.5
+
+
+class TestChaosEngineDeterminism:
+    def _plan(self):
+        return ChaosPlan.parse(
+            "store_read_error:0.4,store_write_error:0.4,torn_write:0.3",
+            seed=11,
+        )
+
+    def _read_decisions(self, engine, n=64):
+        out = []
+        for _ in range(n):
+            try:
+                engine.before_payload_read()
+                out.append(False)
+            except OSError:
+                out.append(True)
+        return out
+
+    def test_same_seed_same_decisions(self):
+        a = self._read_decisions(ChaosEngine(self._plan()))
+        b = self._read_decisions(ChaosEngine(self._plan()))
+        assert a == b
+        assert any(a) and not all(a)
+
+    def test_different_seed_different_decisions(self):
+        a = self._read_decisions(ChaosEngine(self._plan()))
+        b = self._read_decisions(ChaosEngine(self._plan().with_seed(12)))
+        assert a != b
+
+    def test_streams_are_independent_per_kind(self):
+        """Draining one kind's stream never shifts another's decisions."""
+        reference = self._read_decisions(ChaosEngine(self._plan()))
+        engine = ChaosEngine(self._plan())
+        for _ in range(100):  # drain the write streams heavily first
+            try:
+                engine.before_payload_write()
+            except OSError:
+                pass
+        assert self._read_decisions(engine) == reference
+
+    def test_cell_decisions_keyed_not_sequential(self):
+        """(index, attempt) decisions are scheduling-order independent."""
+        plan = ChaosPlan.parse("worker_kill:0.5@*", seed=7)
+        spec = plan.spec_for("worker_kill")
+        forward = [
+            ChaosEngine(plan)._roll_cell(spec, i, 1) for i in range(16)
+        ]
+        engine = ChaosEngine(plan)
+        backward = [
+            engine._roll_cell(spec, i, 1) for i in reversed(range(16))
+        ]
+        assert forward == list(reversed(backward))
+        assert any(forward) and not all(forward)
+
+    def test_attempt_cap_blocks_roll(self):
+        plan = ChaosPlan.parse("worker_kill:1")
+        engine = ChaosEngine(plan)
+        spec = plan.spec_for("worker_kill")
+        assert engine._roll_cell(spec, 0, 1)
+        assert not engine._roll_cell(spec, 0, 2)
+
+    def test_zero_rate_never_triggers_but_still_draws(self):
+        plan = ChaosPlan.parse("store_read_error:0")
+        engine = ChaosEngine(plan)
+        assert not any(self._read_decisions(engine, n=32))
+        assert engine.event_counts == {}
+
+
+class TestChaosEngineSeams:
+    def test_write_seam_raises_transient_and_enospc(self):
+        plan = ChaosPlan.parse("enospc:1")
+        with pytest.raises(OSError) as info:
+            ChaosEngine(plan).before_payload_write()
+        assert info.value.errno == errno.ENOSPC
+        plan = ChaosPlan.parse("store_write_error:1")
+        with pytest.raises(OSError) as info:
+            ChaosEngine(plan).before_payload_write()
+        assert info.value.errno == errno.EIO
+
+    def test_torn_write_truncates(self, tmp_path):
+        victim = tmp_path / "payload.bin"
+        victim.write_bytes(b"x" * 100)
+        engine = ChaosEngine(ChaosPlan.parse("torn_write:1"))
+        engine.mangle_written_payload(str(victim))
+        assert victim.stat().st_size == 50
+        assert engine.event_counts["torn_write"] == 1
+
+    def test_corrupt_checksum_flips_first_byte(self, tmp_path):
+        victim = tmp_path / "payload.bin"
+        victim.write_bytes(b"\x41rest")
+        engine = ChaosEngine(ChaosPlan.parse("corrupt_checksum:1"))
+        engine.mangle_written_payload(str(victim))
+        assert victim.read_bytes() == b"\xberest"
+
+    def test_kill_after_checkpoint_inert_without_scratch_dir(self):
+        engine = ChaosEngine(ChaosPlan.parse("kill_after_checkpoint:1"))
+        engine.after_checkpoint_write("tok")  # must not SIGKILL us
+        assert engine.event_counts == {}
+
+    def test_metrics_count_injections(self, tmp_path):
+        registry = MetricsRegistry()
+        engine = ChaosEngine(
+            ChaosPlan.parse("torn_write:1"), registry=registry
+        )
+        victim = tmp_path / "p.bin"
+        victim.write_bytes(b"0123456789")
+        engine.mangle_written_payload(str(victim))
+        assert (
+            registry.counter("chaos_injected_total", kind="torn_write").value
+            == 1
+        )
+
+
+class TestEngineFromEnv:
+    def test_none_without_env(self, monkeypatch):
+        monkeypatch.delenv(CHAOS_ENV, raising=False)
+        reset_engine_cache()
+        assert engine_from_env() is None
+
+    def test_memoized_per_env(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV, "torn_write:0.5")
+        monkeypatch.setenv(CHAOS_SEED_ENV, "2")
+        monkeypatch.delenv(CHAOS_DIR_ENV, raising=False)
+        reset_engine_cache()
+        first = engine_from_env()
+        assert first is engine_from_env()  # same env -> same engine
+        monkeypatch.setenv(CHAOS_SEED_ENV, "3")
+        second = engine_from_env()
+        assert second is not first
+        assert second.plan.seed == 3
+        reset_engine_cache()
+        assert engine_from_env() is not second
+        monkeypatch.delenv(CHAOS_ENV, raising=False)
+        monkeypatch.delenv(CHAOS_SEED_ENV, raising=False)
+        reset_engine_cache()

@@ -1,0 +1,197 @@
+"""Simulator checkpointing: snapshot/restore, policy, runner lifecycle."""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.governors.techniques import GTSOndemand
+from repro.sim.checkpoint import (
+    CHECKPOINT_DIR_ENV,
+    CHECKPOINT_PERIOD_ENV,
+    DEFAULT_CHECKPOINT_PERIOD_S,
+    CheckpointError,
+    CheckpointPolicy,
+    restore_simulator,
+    snapshot_simulator,
+)
+from repro.sim.kernel import SimulationTimeout
+from repro.store.handles import CheckpointHandle, handle_for_kind
+from repro.workloads.generator import Workload, WorkloadItem
+from repro.workloads.runner import prepare_run, run_workload
+
+
+def _workload():
+    return Workload(
+        name="ckpt-test",
+        items=[WorkloadItem("adi", 1e8, 0.0)],
+        instruction_scale=0.002,
+    )
+
+
+def _sim(platform, seed=0):
+    return prepare_run(platform, GTSOndemand(), _workload(), seed=seed)
+
+
+class TestSnapshotRestore:
+    def test_snapshot_captures_and_restores(self, platform):
+        sim = _sim(platform)
+        try:
+            sim.run_until_complete(timeout_s=1.0)
+        except SimulationTimeout:
+            pass
+        checkpoint = sim.snapshot(meta={"note": "t"})
+        assert checkpoint.sim_time_s == sim.now_s
+        assert checkpoint.meta["note"] == "t"
+        restored = restore_simulator(checkpoint)
+        assert restored.now_s == sim.now_s
+        assert restored.trace.times == sim.trace.times
+
+    def test_checksum_tamper_rejected(self, platform):
+        sim = _sim(platform)
+        checkpoint = snapshot_simulator(sim)
+        tampered = dataclasses.replace(
+            checkpoint,
+            payload=b"\x00" + checkpoint.payload[1:],
+        )
+        with pytest.raises(CheckpointError, match="checksum"):
+            restore_simulator(tampered)
+
+    def test_version_mismatch_rejected(self, platform):
+        sim = _sim(platform)
+        checkpoint = snapshot_simulator(sim)
+        futuristic = dataclasses.replace(checkpoint, version=999)
+        with pytest.raises(CheckpointError, match="version"):
+            restore_simulator(futuristic)
+
+    def test_unpicklable_state_raises_checkpoint_error(self, platform):
+        sim = _sim(platform)
+        sim.add_controller("evil", 0.5, lambda s: None)
+        with pytest.raises(CheckpointError):
+            snapshot_simulator(sim)
+
+
+class TestCheckpointPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CheckpointPolicy(directory="")
+        with pytest.raises(ValueError):
+            CheckpointPolicy(directory="/tmp/x", period_s=0.0)
+
+    def test_from_env_unset_is_none(self, monkeypatch):
+        monkeypatch.delenv(CHECKPOINT_DIR_ENV, raising=False)
+        assert CheckpointPolicy.from_env() is None
+        monkeypatch.setenv(CHECKPOINT_DIR_ENV, "")
+        assert CheckpointPolicy.from_env() is None
+
+    def test_from_env_reads_dir_and_period(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CHECKPOINT_DIR_ENV, str(tmp_path))
+        monkeypatch.delenv(CHECKPOINT_PERIOD_ENV, raising=False)
+        policy = CheckpointPolicy.from_env()
+        assert policy.directory == str(tmp_path)
+        assert policy.period_s == DEFAULT_CHECKPOINT_PERIOD_S
+        monkeypatch.setenv(CHECKPOINT_PERIOD_ENV, "2.5")
+        assert CheckpointPolicy.from_env().period_s == 2.5
+
+    def test_checkpoint_handle_registered(self):
+        assert isinstance(handle_for_kind("checkpoint"), CheckpointHandle)
+
+
+class TestRunnerLifecycle:
+    def test_checkpointed_run_matches_plain_and_gcs(self, platform, tmp_path):
+        plain = run_workload(platform, GTSOndemand(), _workload(), seed=3)
+        policy = CheckpointPolicy(directory=str(tmp_path), period_s=1.0)
+        checked = run_workload(
+            platform, GTSOndemand(), _workload(), seed=3, checkpoint=policy
+        )
+        assert checked.resumed_from_s == 0.0
+        assert checked.summary == plain.summary
+        assert checked.trace.times == plain.trace.times
+        # Completion GC'd the checkpoint: no entries survive.
+        leftovers = [
+            name
+            for _, _, names in os.walk(str(tmp_path))
+            for name in names
+        ]
+        assert leftovers == []
+
+    def test_crashed_run_resumes_from_checkpoint(self, platform, tmp_path):
+        policy = CheckpointPolicy(directory=str(tmp_path), period_s=1.0)
+        with pytest.raises(SimulationTimeout):
+            run_workload(
+                platform,
+                GTSOndemand(),
+                _workload(),
+                seed=3,
+                checkpoint=policy,
+                max_duration_s=1.2,
+            )
+        # The timed-out attempt's checkpoint survives (complete() skipped).
+        survivors = [
+            name for _, _, names in os.walk(str(tmp_path)) for name in names
+        ]
+        assert survivors
+        resumed = run_workload(
+            platform, GTSOndemand(), _workload(), seed=3, checkpoint=policy
+        )
+        assert resumed.resumed_from_s > 0.0
+        plain = run_workload(platform, GTSOndemand(), _workload(), seed=3)
+        assert resumed.summary == plain.summary
+        assert resumed.trace.times == plain.trace.times
+
+    def test_unpicklable_run_disables_checkpointing_but_completes(
+        self, platform, tmp_path
+    ):
+        policy = CheckpointPolicy(directory=str(tmp_path), period_s=0.5)
+        sim_probe = {}
+
+        class Unpicklable(GTSOndemand):
+            def attach(self, sim):
+                super().attach(sim)
+                sim.add_controller("closure", 0.5, lambda s: None)
+                sim_probe["attached"] = True
+
+        result = run_workload(
+            platform, Unpicklable(), _workload(), seed=3, checkpoint=policy
+        )
+        assert sim_probe["attached"]
+        assert result.resumed_from_s == 0.0
+        assert result.summary.duration_s > 0.0
+
+
+class TestKernelCadence:
+    def test_on_checkpoint_called_per_period(self, platform):
+        sim = _sim(platform)
+        times = []
+        try:
+            sim.run_until_complete(
+                timeout_s=2.0,
+                checkpoint_every_s=0.5,
+                on_checkpoint=lambda s: times.append(s.now_s),
+            )
+        except SimulationTimeout:
+            pass
+        assert len(times) >= 3
+        # Cadence is anchored at run start and advances by the period.
+        assert times[0] == pytest.approx(0.5, abs=0.05)
+        deltas = [b - a for a, b in zip(times, times[1:])]
+        assert all(d == pytest.approx(0.5, abs=0.05) for d in deltas)
+
+    def test_checkpoint_hooks_do_not_perturb_run(self, platform):
+        baseline = _sim(platform)
+        hooked = _sim(platform)
+        try:
+            baseline.run_until_complete(timeout_s=2.0)
+        except SimulationTimeout:
+            pass
+        try:
+            hooked.run_until_complete(
+                timeout_s=2.0,
+                checkpoint_every_s=0.25,
+                on_checkpoint=lambda s: s.snapshot(),
+            )
+        except SimulationTimeout:
+            pass
+        assert hooked.now_s == baseline.now_s
+        assert hooked.trace.times == baseline.trace.times
+        assert hooked.trace.sensor_temp_c == baseline.trace.sensor_temp_c

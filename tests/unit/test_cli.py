@@ -59,7 +59,11 @@ class TestCarrierEnv:
     def _args(self, **overrides):
         import argparse
 
-        base = dict(trace=False, trace_dir=None, faults=None, fault_seed=0)
+        base = dict(
+            trace=False, trace_dir=None, faults=None, fault_seed=0,
+            chaos=None, chaos_seed=0,
+            checkpoint_dir=None, checkpoint_period_s=30.0,
+        )
         base.update(overrides)
         return argparse.Namespace(**base)
 

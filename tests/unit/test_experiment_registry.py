@@ -24,7 +24,7 @@ class TestRegistryShape:
 
     def test_extensions_present(self):
         for name in ("ablations", "optimality", "stability", "ambient",
-                     "resilience", "rl-variants"):
+                     "resilience", "rl-variants", "chaos"):
             assert name in EXPERIMENTS
 
     def test_fig10_is_run_only(self):
@@ -79,3 +79,48 @@ class TestReportIterationContract:
         assert "Section B" not in text
         assert "**Paper:** claim A" in text
         assert "body-c" in text
+
+    def test_failing_section_contained_not_fatal(self, monkeypatch):
+        """One raising experiment renders as an explicit SECTION FAILED
+        entry; the sections around it still run and render."""
+        import repro.experiments.report as report_mod
+        from repro.obs.metrics import MetricsRegistry
+
+        def ok_body(assets, scale, registry):
+            return "fine"
+
+        def broken_body(assets, scale, registry):
+            raise RuntimeError("simulated section blow-up")
+
+        fake = (
+            ExperimentSpec(
+                name="before", title="Section Before", paper_claim="x",
+                body=ok_body,
+            ),
+            ExperimentSpec(
+                name="broken", title="Section Broken", paper_claim="x",
+                body=broken_body,
+            ),
+            ExperimentSpec(
+                name="after", title="Section After", paper_claim="x",
+                body=ok_body,
+            ),
+        )
+        monkeypatch.setattr(report_mod, "EXPERIMENT_SPECS", fake)
+        registry = MetricsRegistry()
+        text = report_mod.generate_report(
+            assets=None,
+            scale=report_mod.ReportScale.smoke(),
+            progress=None,
+            registry=registry,
+        )
+        assert "## Section Before" in text
+        assert "## Section After" in text
+        assert "SECTION FAILED" in text
+        assert "simulated section blow-up" in text
+        assert (
+            registry.counter(
+                "report_section_failures_total", section="broken"
+            ).value
+            == 1
+        )

@@ -23,6 +23,8 @@ STRICT_PACKAGES = [
     "repro.platform.*",
     "repro.sim.batch",
     "repro.experiments.parallel",
+    "repro.chaos.*",
+    "repro.sim.checkpoint",
 ]
 
 
@@ -68,12 +70,15 @@ def test_strict_packages_fully_annotated():
     import ast
 
     strict_paths = []
-    for pkg in ("utils", "thermal", "power", "faults", "store", "platform"):
+    for pkg in (
+        "utils", "thermal", "power", "faults", "store", "platform", "chaos",
+    ):
         strict_paths.extend(
             sorted((REPO_ROOT / "src" / "repro" / pkg).rglob("*.py"))
         )
     # Strict single modules (non-wildcard entries in STRICT_PACKAGES).
     strict_paths.append(REPO_ROOT / "src" / "repro" / "sim" / "batch.py")
+    strict_paths.append(REPO_ROOT / "src" / "repro" / "sim" / "checkpoint.py")
     strict_paths.append(
         REPO_ROOT / "src" / "repro" / "experiments" / "parallel.py"
     )

@@ -1,0 +1,121 @@
+"""Supervisor-level crash recovery: a SIGKILL'd grid cell resumes.
+
+The end-to-end retry-with-resume loop in one test file: the env-carried
+chaos plan kills every worker right after its first checkpoint lands,
+the fork-pool supervisor retries the cell, and the retried attempt
+restores from that checkpoint (``resumed_from_s > 0``) instead of
+starting over — finishing with results bit-identical to an undisturbed
+serial run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.chaos import (
+    CHAOS_DIR_ENV,
+    CHAOS_ENV,
+    CHAOS_SEED_ENV,
+    reset_engine_cache,
+)
+from repro.experiments.parallel import run_cells_report
+from repro.governors.techniques import GTSOndemand
+from repro.platform.registry import get_platform
+from repro.sim.checkpoint import CHECKPOINT_DIR_ENV, CHECKPOINT_PERIOD_ENV
+from repro.workloads.generator import Workload, WorkloadItem
+from repro.workloads.runner import run_workload
+
+
+def _workload():
+    return Workload(
+        name="pool-resume",
+        items=[WorkloadItem("adi", 1e8, 0.0)],
+        instruction_scale=0.002,
+    )
+
+
+def _run_cell(seed: int) -> dict:
+    """Grid worker (module-level: picklable by reference).
+
+    The checkpoint policy and chaos plan both arrive via the inherited
+    environment, exactly as in a real chaos-hardened sweep.
+    """
+    result = run_workload(
+        get_platform("hikey970"), GTSOndemand(), _workload(), seed=seed
+    )
+    return {
+        "seed": seed,
+        "resumed_from_s": result.resumed_from_s,
+        "mean_temp_c": result.summary.mean_temp_c,
+        "duration_s": result.summary.duration_s,
+    }
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method unavailable",
+)
+def test_sigkilled_cell_resumes_from_checkpoint(tmp_path, monkeypatch):
+    seeds = [3, 4]
+    platform = get_platform("hikey970")
+
+    # Baseline first, before any chaos/checkpoint env exists.
+    for env in (
+        CHAOS_ENV, CHAOS_SEED_ENV, CHAOS_DIR_ENV,
+        CHECKPOINT_DIR_ENV, CHECKPOINT_PERIOD_ENV,
+    ):
+        monkeypatch.delenv(env, raising=False)
+    reset_engine_cache()
+    baseline = [
+        run_workload(platform, GTSOndemand(), _workload(), seed=s)
+        for s in seeds
+    ]
+
+    checkpoint_dir = tmp_path / "checkpoints"
+    markers_dir = tmp_path / "markers"
+    markers_dir.mkdir()
+    monkeypatch.setenv(CHECKPOINT_DIR_ENV, str(checkpoint_dir))
+    monkeypatch.setenv(CHECKPOINT_PERIOD_ENV, "0.5")
+    monkeypatch.setenv(CHAOS_ENV, "kill_after_checkpoint:1")
+    monkeypatch.setenv(CHAOS_SEED_ENV, "0")
+    monkeypatch.setenv(CHAOS_DIR_ENV, str(markers_dir))
+    reset_engine_cache()
+    try:
+        report = run_cells_report(
+            seeds,
+            _run_cell,
+            parallel=True,
+            n_workers=2,
+            cell_timeout_s=120.0,
+            max_retries=2,
+            retry_backoff_s=0.05,
+        )
+    finally:
+        reset_engine_cache()
+
+    assert report.used_pool
+    assert report.ok(), f"cells failed: {report.failed_cells}"
+    # Every cell was killed once (marker per cell) and retried once.
+    assert report.retries_total == len(seeds)
+    assert len(list(markers_dir.iterdir())) == len(seeds)
+
+    for row, plain, seed in zip(report.results, baseline, seeds):
+        assert row["seed"] == seed
+        # The retried attempt restored the killed attempt's checkpoint
+        # rather than recomputing from t=0 ...
+        assert row["resumed_from_s"] > 0.0
+        # ... and landed on bit-identical results.
+        assert row["mean_temp_c"] == plain.summary.mean_temp_c
+        assert row["duration_s"] == plain.summary.duration_s
+
+    # Completed cells GC'd their checkpoints.
+    leftovers = [
+        name
+        for _, _, names in os.walk(str(checkpoint_dir))
+        for name in names
+        if not name.startswith("tmp-")
+    ]
+    assert leftovers == []

@@ -1,0 +1,228 @@
+"""The hardened store under injected infrastructure faults.
+
+Scripted duck-typed fake engines drive each failure mode one at a time
+(the real :class:`~repro.chaos.engine.ChaosEngine` is probabilistic;
+these tests need exact scripts): bounded retry absorbs transient write
+errors, verify-on-read refuses torn payloads, ENOSPC and unwritable
+directories trigger the one-shot in-memory degradation, and gc reaps
+what a crashed writer left behind.
+"""
+
+import errno
+import logging
+import os
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.store import ArtifactKey, ArtifactStore, CellResultHandle
+
+HANDLE = CellResultHandle()
+
+
+def _key(seed=7):
+    return ArtifactKey.create("cell/chaos-test", config={"x": 1}, seed=seed)
+
+
+class ScriptedEngine:
+    """Duck-typed stand-in: fails the first ``script`` opportunities.
+
+    ``script`` maps seam name -> list of exceptions (or ``"torn"`` /
+    ``"flip"`` markers for the mangle seam) consumed FIFO; an exhausted
+    list means the seam passes through.
+    """
+
+    def __init__(self, **script):
+        self.script = {k: list(v) for k, v in script.items()}
+
+    def _next(self, seam):
+        queue = self.script.get(seam, [])
+        return queue.pop(0) if queue else None
+
+    def before_payload_read(self):
+        exc = self._next("read")
+        if exc is not None:
+            raise exc
+
+    def before_payload_write(self):
+        exc = self._next("write")
+        if exc is not None:
+            raise exc
+
+    def mangle_written_payload(self, path):
+        action = self._next("mangle")
+        if action == "torn":
+            size = os.path.getsize(path)
+            with open(path, "ab") as handle:
+                handle.truncate(size // 2)
+        elif action == "flip":
+            with open(path, "r+b") as handle:
+                first = handle.read(1)
+                handle.seek(0)
+                handle.write(bytes([first[0] ^ 0xFF]))
+
+
+def _eio():
+    return OSError(errno.EIO, "injected transient error")
+
+
+class TestBoundedRetry:
+    def test_transient_write_errors_absorbed(self, tmp_path):
+        registry = MetricsRegistry()
+        engine = ScriptedEngine(write=[_eio(), _eio()])
+        store = ArtifactStore(str(tmp_path), registry=registry, chaos=engine)
+        store.put(_key(), {"v": 1}, HANDLE)
+        assert not store.degraded
+        assert store.lookup(_key(), HANDLE) == (True, {"v": 1})
+        assert (
+            registry.counter("store_retries_total", op="write").value == 2
+        )
+
+    def test_transient_read_errors_absorbed(self, tmp_path):
+        registry = MetricsRegistry()
+        store = ArtifactStore(str(tmp_path), chaos=ScriptedEngine())
+        store.put(_key(), {"v": 1}, HANDLE)
+        flaky = ArtifactStore(
+            str(tmp_path),
+            registry=registry,
+            chaos=ScriptedEngine(read=[_eio()]),
+        )
+        assert flaky.lookup(_key(), HANDLE) == (True, {"v": 1})
+        assert (
+            registry.counter("store_retries_total", op="read").value == 1
+        )
+
+    def test_retries_are_bounded_then_surface(self, tmp_path):
+        """Exhausted retries on a read are a miss, never an infinite loop
+        — and the entry is left on disk for when the I/O recovers."""
+        store = ArtifactStore(str(tmp_path), chaos=ScriptedEngine())
+        store.put(_key(), {"v": 1}, HANDLE)
+        sick = ArtifactStore(
+            str(tmp_path), chaos=ScriptedEngine(read=[_eio()] * 50)
+        )
+        assert sick.lookup(_key(), HANDLE) == (False, None)
+        healthy = ArtifactStore(str(tmp_path), chaos=ScriptedEngine())
+        assert healthy.lookup(_key(), HANDLE) == (True, {"v": 1})
+
+
+class TestTornWrites:
+    @pytest.mark.parametrize("mangle", ["torn", "flip"])
+    def test_corrupted_payload_never_served(self, tmp_path, mangle):
+        writer = ArtifactStore(
+            str(tmp_path), chaos=ScriptedEngine(mangle=[mangle])
+        )
+        writer.put(_key(), {"v": 1}, HANDLE)
+        registry = MetricsRegistry()
+        reader = ArtifactStore(str(tmp_path), registry=registry)
+        assert reader.lookup(_key(), HANDLE) == (False, None)
+        assert (
+            registry.counter(
+                "store_evicted_corrupt_total", reason="checksum"
+            ).value
+            == 1
+        )
+        # The eviction cleared the way: a clean rewrite is served.
+        reader.put(_key(), {"v": 2}, HANDLE)
+        assert reader.lookup(_key(), HANDLE) == (True, {"v": 2})
+
+    def test_get_or_create_recomputes_over_torn_entry(self, tmp_path):
+        writer = ArtifactStore(
+            str(tmp_path), chaos=ScriptedEngine(mangle=["torn"])
+        )
+        writer.put(_key(), {"v": "torn"}, HANDLE)
+        store = ArtifactStore(str(tmp_path))
+        built = []
+
+        def build():
+            built.append(True)
+            return {"v": "fresh"}
+
+        assert store.get_or_create(_key(), HANDLE, build) == {"v": "fresh"}
+        assert built == [True]
+        # The recomputed value was republished and now verifies.
+        assert ArtifactStore(str(tmp_path)).lookup(_key(), HANDLE) == (
+            True,
+            {"v": "fresh"},
+        )
+
+
+class TestDegradation:
+    def test_enospc_degrades_once_and_serves_memory(self, tmp_path, caplog):
+        registry = MetricsRegistry()
+        enospc = OSError(errno.ENOSPC, "injected: disk full")
+        store = ArtifactStore(
+            str(tmp_path),
+            registry=registry,
+            chaos=ScriptedEngine(write=[enospc]),
+        )
+        with caplog.at_level(logging.WARNING, logger="repro.store.store"):
+            path = store.put(_key(), {"v": 1}, HANDLE)
+        assert store.degraded
+        assert path.startswith("<memory>")
+        assert registry.gauge("store_degraded").value == 1.0
+        warnings = [
+            r for r in caplog.records if "degraded" in r.getMessage()
+        ]
+        assert len(warnings) == 1
+        # Degraded mode still serves this process's own writes...
+        assert store.lookup(_key(), HANDLE) == (True, {"v": 1})
+        # ...keeps serving later puts from memory without re-warning...
+        with caplog.at_level(logging.WARNING, logger="repro.store.store"):
+            store.put(_key(seed=8), {"v": 2}, HANDLE)
+        assert store.lookup(_key(seed=8), HANDLE) == (True, {"v": 2})
+        # ...and never touched the sick directory again.
+        assert [
+            name
+            for _, _, names in os.walk(str(tmp_path))
+            for name in names
+        ] == []
+
+    def test_degraded_store_does_not_read_disk(self, tmp_path):
+        healthy = ArtifactStore(str(tmp_path))
+        healthy.put(_key(), {"v": "on-disk"}, HANDLE)
+        enospc = OSError(errno.ENOSPC, "injected: disk full")
+        store = ArtifactStore(
+            str(tmp_path), chaos=ScriptedEngine(write=[enospc])
+        )
+        store.put(_key(seed=9), {"v": "mem"}, HANDLE)
+        assert store.degraded
+        # A degraded store cannot trust (or re-verify) the directory it
+        # failed on: the on-disk entry is a miss from its point of view.
+        assert store.lookup(_key(), HANDLE) == (False, None)
+        assert store.lookup(_key(seed=9), HANDLE) == (True, {"v": "mem"})
+
+    def test_unwritable_root_degrades(self, tmp_path):
+        if os.geteuid() == 0:
+            pytest.skip("root ignores directory permissions")
+        root = tmp_path / "sealed"
+        root.mkdir()
+        root.chmod(0o500)
+        try:
+            store = ArtifactStore(str(root))
+            store.put(_key(), {"v": 1}, HANDLE)
+            assert store.degraded
+            assert store.lookup(_key(), HANDLE) == (True, {"v": 1})
+        finally:
+            root.chmod(0o700)
+
+
+class TestGcOrphans:
+    def test_gc_reaps_crashed_writer_temp_files(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.put(_key(), {"v": 1}, HANDLE)
+        # What a SIGKILL'd writer leaves behind: temp payload + meta that
+        # never reached their atomic rename.
+        kind_dir = store.kind_dir("cell/chaos-test")
+        for name in ("tmp-999-deadbeef.json", "tmp-999-deadbeef.meta.json"):
+            with open(os.path.join(kind_dir, name), "w") as fh:
+                fh.write("half-written")
+        removed = store.gc(orphan_grace_s=0.0)
+        assert removed >= 2
+        survivors = {
+            name
+            for _, _, names in os.walk(str(tmp_path))
+            for name in names
+        }
+        assert not any(name.startswith("tmp-") for name in survivors)
+        # The completed entry survived the sweep.
+        assert store.lookup(_key(), HANDLE) == (True, {"v": 1})

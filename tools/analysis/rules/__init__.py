@@ -7,5 +7,6 @@ from tools.analysis.rules import (  # noqa: F401
     forksafety,
     hotpath,
     parity,
+    retry,
     units,
 )

@@ -1,0 +1,96 @@
+"""Retry-hygiene rules (RETRY0xx).
+
+The store/pool hardening added bounded, jittered retry around host I/O
+(:mod:`repro.store.store`, :mod:`repro.experiments.parallel`).  The shape
+that must never appear is the *unbounded* variant: ``while True`` around a
+``try`` with a ``sleep`` in the loop — under a persistent failure (a
+read-only cache directory, a dead worker pipe) it spins forever and turns
+an infrastructure hiccup into a hung experiment.  Retry loops must carry
+an explicit attempt bound (``for attempt in range(n)``, or a counted
+``while`` condition); a deliberately infinite supervision loop can waive
+the rule with ``# repro-lint: ignore[RETRY001]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from tools.analysis.core import FileContext, Rule, Violation
+from tools.analysis.registry import REGISTRY
+
+
+def _is_constant_true(test: ast.expr) -> bool:
+    """``while True:`` / ``while 1:`` — a loop only ``break`` can leave."""
+    return isinstance(test, ast.Constant) and bool(test.value)
+
+
+def _walk_loop_body(loop: ast.While) -> Iterator[ast.AST]:
+    """Walk a loop's body without descending into nested functions.
+
+    A sleep inside a callback *defined* in the loop runs on someone
+    else's schedule; only sleeps the loop itself executes make it a
+    retry-with-backoff loop.
+    """
+    stack: List[ast.AST] = list(loop.body) + list(loop.orelse)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_sleep_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr == "sleep":
+        return True
+    return isinstance(func, ast.Name) and func.id == "sleep"
+
+
+@REGISTRY.register
+class UnboundedRetryLoopRule(Rule):
+    """No unbounded retry loops: ``while True`` + ``try`` + ``sleep``.
+
+    Fires on a constant-true ``while`` whose body contains both a ``try``
+    statement and a ``sleep(...)`` call — the retry-with-backoff shape
+    with no attempt bound.  Under a *persistent* failure such a loop
+    never exits, so a broken cache directory or dead peer hangs the whole
+    experiment instead of failing it.  Bound the attempts
+    (``for attempt in range(max_attempts)``, or ``while attempt <= n``)
+    and re-raise on exhaustion — see ``ArtifactStore._io_retry`` for the
+    pattern.  Genuine supervision loops (that must outlive any failure)
+    take an explicit ``# repro-lint: ignore[RETRY001]`` waiver.
+    """
+
+    rule_id = "RETRY001"
+    summary = "unbounded retry loop (while True + try + sleep)"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.While):
+                continue
+            if not _is_constant_true(node.test):
+                continue
+            has_try = False
+            has_sleep = False
+            for child in _walk_loop_body(node):
+                if isinstance(child, ast.Try):
+                    has_try = True
+                elif _is_sleep_call(child):
+                    has_sleep = True
+                if has_try and has_sleep:
+                    break
+            if has_try and has_sleep:
+                yield self.violation(
+                    ctx,
+                    node,
+                    "unbounded retry loop: `while True` with try+sleep "
+                    "never exits under a persistent failure; bound the "
+                    "attempts (e.g. `for attempt in range(n)`) and "
+                    "re-raise on exhaustion",
+                )
